@@ -1,0 +1,77 @@
+//! P2 — latency of the hardware consensus primitives (one-shot object
+//! creation + decision), uncontended and contended.
+
+use std::sync::Arc;
+use std::thread;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use waitfree_sync::consensus::{ConsensusCell, FaaConsensus2, TasConsensus2, UsizeConsensus};
+
+fn uncontended(c: &mut Criterion) {
+    let mut group = c.benchmark_group("consensus_uncontended");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.bench_function("usize_cas", |b| {
+        b.iter(|| {
+            let obj = UsizeConsensus::new();
+            obj.decide(1)
+        });
+    });
+    group.bench_function("cell_clone_value", |b| {
+        b.iter(|| {
+            let obj: ConsensusCell<u64> = ConsensusCell::new(4);
+            obj.decide(0, 42)
+        });
+    });
+    group.bench_function("faa_two_process", |b| {
+        b.iter(|| {
+            let obj = FaaConsensus2::new();
+            obj.decide(0, 7)
+        });
+    });
+    group.bench_function("tas_two_process", |b| {
+        b.iter(|| {
+            let obj = TasConsensus2::new();
+            obj.decide(1, 7)
+        });
+    });
+    group.finish();
+}
+
+fn contended(c: &mut Criterion) {
+    let mut group = c.benchmark_group("consensus_contended");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    for threads in [2usize, 4, 8] {
+        group.bench_with_input(
+            BenchmarkId::new("usize_cas_batch", threads),
+            &threads,
+            |b, &t| {
+                // Amortize thread spawn over a batch of 1000 objects.
+                b.iter(|| {
+                    let objs: Arc<Vec<UsizeConsensus>> =
+                        Arc::new((0..1000).map(|_| UsizeConsensus::new()).collect());
+                    let joins: Vec<_> = (0..t)
+                        .map(|i| {
+                            let objs = Arc::clone(&objs);
+                            thread::spawn(move || {
+                                let mut acc = 0usize;
+                                for o in objs.iter() {
+                                    acc = acc.wrapping_add(o.decide(i + 1));
+                                }
+                                acc
+                            })
+                        })
+                        .collect();
+                    joins.into_iter().map(|j| j.join().unwrap()).sum::<usize>()
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, uncontended, contended);
+criterion_main!(benches);

@@ -1,0 +1,129 @@
+//! E16 — §3.1's message-passing comparison (after Dolev, Dwork &
+//! Stockmeyer): which channel flavors solve consensus?
+//!
+//! * ordered broadcast — solves n-process consensus (protocol verified
+//!   exhaustively);
+//! * point-to-point FIFO — fails bounded synthesis at n = 2;
+//! * unordered broadcast — fails bounded synthesis at n = 2 (delivery
+//!   nondeterminism is resolved adversarially by the explorer).
+
+use waitfree_bench::{verdict, Report};
+use waitfree_core::protocols::broadcast::BroadcastConsensus;
+use waitfree_explorer::check::{check_consensus, CheckSettings};
+use waitfree_explorer::synthesis::{search_pairs, SymbolicOp, SymbolicVal, SynthSpace};
+use waitfree_objects::channel::{BcastOp, ChanResp, FifoNetwork, P2pOp, UnorderedBroadcast};
+use waitfree_model::Pid;
+
+/// Point-to-point alphabet for 2 processes: send my id to peer; receive
+/// from peer (classified ⊥ / 0 / 1).
+fn p2p_space() -> SynthSpace<FifoNetwork> {
+    SynthSpace {
+        ops: vec![
+            SymbolicOp {
+                name: "send(peer, my-id)".into(),
+                make: Box::new(|p: Pid| P2pOp::Send { to: Pid(1 - p.0), body: p.as_val() }),
+                slots: 1,
+                classify: Box::new(|_, _| 0),
+            },
+            SymbolicOp {
+                name: "recv(peer)".into(),
+                make: Box::new(|p: Pid| P2pOp::Recv { from: Pid(1 - p.0) }),
+                slots: 3,
+                classify: Box::new(|_, r: &ChanResp| match r {
+                    ChanResp::Empty => 0,
+                    ChanResp::Msg { body: 0, .. } => 1,
+                    ChanResp::Msg { .. } => 2,
+                    ChanResp::Ack => unreachable!(),
+                }),
+            },
+        ],
+        decisions: vec![SymbolicVal::Const(0), SymbolicVal::Const(1)],
+    }
+}
+
+/// Unordered-broadcast alphabet for 2 processes.
+fn unordered_space() -> SynthSpace<UnorderedBroadcast> {
+    SynthSpace {
+        ops: vec![
+            SymbolicOp {
+                name: "bcast(my-id)".into(),
+                make: Box::new(|p: Pid| BcastOp::Bcast(p.as_val())),
+                slots: 1,
+                classify: Box::new(|_, _| 0),
+            },
+            SymbolicOp {
+                name: "recv".into(),
+                make: Box::new(|_| BcastOp::Recv),
+                slots: 3,
+                classify: Box::new(|_, r: &ChanResp| match r {
+                    ChanResp::Empty => 0,
+                    ChanResp::Msg { body: 0, .. } => 1,
+                    ChanResp::Msg { .. } => 2,
+                    ChanResp::Ack => unreachable!(),
+                }),
+            },
+        ],
+        decisions: vec![SymbolicVal::Const(0), SymbolicVal::Const(1)],
+    }
+}
+
+fn main() {
+    let mut report = Report::new(
+        "sec_3_1_channels",
+        "§3.1: message channels vs consensus (Dolev-Dwork-Stockmeyer cases)",
+        &["channel", "method", "result"],
+    );
+    let settings = CheckSettings::default();
+
+    // Ordered broadcast solves consensus.
+    for n in [2, 3] {
+        let (p, o) = BroadcastConsensus::setup(n);
+        let check = check_consensus(&p, &o, n, &settings);
+        if !check.is_ok() {
+            report.fail(format!("ordered broadcast n={n}: {:?}", check.violation));
+        }
+        report.row(&[
+            "ordered broadcast".into(),
+            format!("protocol, exhaustive n={n}"),
+            verdict(&check),
+        ]);
+    }
+
+    // FIFO point-to-point fails bounded synthesis.
+    for depth in [1, 2] {
+        let out = search_pairs(&p2p_space(), &FifoNetwork::new(2), depth, &settings);
+        report.row(&[
+            "point-to-point FIFO".into(),
+            format!("synthesis n=2, depth {depth}: {} trees, {} candidates", out.tree_count, out.candidates),
+            if out.is_impossible() {
+                "impossible (bounded)".into()
+            } else {
+                format!("SOLVED?! {:?}", out.survivors)
+            },
+        ]);
+        if !out.is_impossible() {
+            report.fail(format!("p2p FIFO depth {depth}: survivors"));
+        }
+    }
+
+    // Unordered broadcast fails bounded synthesis.
+    for depth in [1, 2] {
+        let out = search_pairs(&unordered_space(), &UnorderedBroadcast::new(2), depth, &settings);
+        report.row(&[
+            "unordered broadcast".into(),
+            format!("synthesis n=2, depth {depth}: {} trees, {} candidates", out.tree_count, out.candidates),
+            if out.is_impossible() {
+                "impossible (bounded)".into()
+            } else {
+                format!("SOLVED?! {:?}", out.survivors)
+            },
+        ]);
+        if !out.is_impossible() {
+            report.fail(format!("unordered broadcast depth {depth}: survivors"));
+        }
+    }
+
+    report.note("a queue item, unlike a message, is not addressed — hence Theorem 11 ≠ DDS's result");
+    report.note("unordered delivery is resolved adversarially: the explorer branches over deliveries");
+    report.finish();
+}

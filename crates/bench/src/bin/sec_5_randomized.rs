@@ -1,0 +1,80 @@
+//! E17 — §5's open question, implemented: randomized consensus from
+//! read/write registers (after Abrahamson, cited as \[1\]).
+//!
+//! Theorem 2 forbids *deterministic* wait-free 2-process consensus from
+//! registers. The "flip till agree" protocol keeps agreement and validity
+//! absolute while termination holds only with probability 1: measured
+//! here, plus the explicit adversarial lockstep schedule on which the
+//! protocol runs forever — the irreducible residue of the impossibility.
+
+use waitfree_bench::Report;
+use waitfree_core::protocols::randomized::FlipConsensus2;
+use waitfree_explorer::config::Config;
+use waitfree_explorer::random::{run_random, RandomSettings};
+use waitfree_model::Pid;
+
+fn main() {
+    let mut report = Report::new(
+        "sec_5_randomized",
+        "§5: randomized consensus from registers (probability-1 termination)",
+        &["scenario", "runs", "result"],
+    );
+
+    // 1. Random schedules: always agree, terminate fast.
+    let mut total_steps = 0u64;
+    let mut total_runs = 0u64;
+    let mut max_steps = 0usize;
+    for trial in 0..200u64 {
+        let (p, o) = FlipConsensus2::setup([trial * 2 + 1, trial * 5 + 3]);
+        let settings = RandomSettings {
+            runs: 25,
+            seed: trial,
+            crash_per_mille: 50,
+            max_steps_per_run: 100_000,
+        };
+        let r = run_random(&p, &o, 2, &settings);
+        if !r.is_ok() {
+            report.fail(format!("trial {trial}: {:?}", r.violation));
+        }
+        total_steps += r.total_steps;
+        total_runs += r.runs as u64;
+        max_steps = max_steps.max(r.max_run_steps);
+    }
+    let avg = total_steps as f64 / total_runs as f64;
+    report.row(&[
+        "random schedules + crashes".into(),
+        total_runs.to_string(),
+        format!("all agree; avg {avg:.1} steps/run, max {max_steps}"),
+    ]);
+    if avg > 40.0 {
+        report.fail(format!("expected steps per run too high: {avg:.1}"));
+    }
+
+    // 2. The adversarial schedule: identical coins + lockstep = forever.
+    let (p, o) = FlipConsensus2::setup([42, 42]);
+    let mut cfg = Config::initial(&p, o, 2);
+    let rounds = 10_000;
+    let mut undecided = true;
+    'outer: for _ in 0..rounds {
+        for pid in [0, 1, 0, 1] {
+            let succs = cfg.step(&p, Pid(pid));
+            if succs.is_empty() {
+                undecided = false;
+                break 'outer;
+            }
+            cfg = succs.into_iter().next().unwrap();
+        }
+    }
+    report.row(&[
+        "adversarial lockstep schedule, identical coin streams".into(),
+        rounds.to_string(),
+        if undecided { "no decision after 10k rounds (not wait-free)".into() } else { "decided?!".into() },
+    ]);
+    if !undecided {
+        report.fail("the adversarial schedule should prevent termination");
+    }
+
+    report.note("agreement & validity are absolute; only termination is probabilistic");
+    report.note("this is the strongest possible escape from Theorem 2 using registers");
+    report.finish();
+}

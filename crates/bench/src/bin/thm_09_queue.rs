@@ -1,0 +1,63 @@
+//! E6 — Theorem 9 / Corollary 10: a FIFO queue solves two-process
+//! consensus; so do the "trivial variations" for stacks and sets.
+
+use waitfree_bench::{verdict, Report};
+use waitfree_core::protocols::queue::{QueueConsensus, SetConsensus, StackConsensus};
+use waitfree_explorer::check::{check_consensus, CheckSettings};
+use waitfree_explorer::valency;
+
+fn main() {
+    let mut report = Report::new(
+        "thm_09_queue",
+        "Theorem 9: FIFO queue solves 2-process consensus (+ stack/set variants)",
+        &["object", "exhaustive check", "schedules", "critical configs"],
+    );
+    let settings = CheckSettings::default();
+
+    {
+        let (p, o) = QueueConsensus::setup();
+        let check = check_consensus(&p, &o, 2, &settings);
+        if !check.is_ok() {
+            report.fail(format!("queue: {:?}", check.violation));
+        }
+        let val = valency::analyze(&p, &o, 2, 1_000_000);
+        report.row(&[
+            "FIFO queue (deq race)".into(),
+            verdict(&check),
+            val.schedules.to_string(),
+            val.critical.len().to_string(),
+        ]);
+    }
+    {
+        let (p, o) = StackConsensus::setup();
+        let check = check_consensus(&p, &o, 2, &settings);
+        if !check.is_ok() {
+            report.fail(format!("stack: {:?}", check.violation));
+        }
+        let val = valency::analyze(&p, &o, 2, 1_000_000);
+        report.row(&[
+            "stack (pop race)".into(),
+            verdict(&check),
+            val.schedules.to_string(),
+            val.critical.len().to_string(),
+        ]);
+    }
+    {
+        let (p, o) = SetConsensus::setup();
+        let check = check_consensus(&p, &o, 2, &settings);
+        if !check.is_ok() {
+            report.fail(format!("set: {:?}", check.violation));
+        }
+        let val = valency::analyze(&p, &o, 2, 1_000_000);
+        report.row(&[
+            "set (insert race)".into(),
+            verdict(&check),
+            val.schedules.to_string(),
+            val.critical.len().to_string(),
+        ]);
+    }
+
+    report.note("queue initialized [first, second]; whoever dequeues `first` wins");
+    report.note("Corollary 10: none of these objects is implementable from registers");
+    report.finish();
+}

@@ -1,0 +1,50 @@
+//! E8 — Theorem 12 / Corollaries 13–14: a queue augmented with `peek`
+//! solves n-process consensus for arbitrary n.
+
+use waitfree_bench::{verdict, Report};
+use waitfree_core::protocols::augmented_queue::AugQueueConsensus;
+use waitfree_explorer::check::{check_consensus, CheckSettings};
+use waitfree_explorer::random::{run_random, RandomSettings};
+
+fn main() {
+    let mut report = Report::new(
+        "thm_12_augmented_queue",
+        "Theorem 12: augmented queue (peek) solves n-process consensus",
+        &["n", "method", "result", "distinct winners seen"],
+    );
+
+    for n in [2, 3, 4] {
+        let (p, o) = AugQueueConsensus::setup();
+        let check = check_consensus(&p, &o, n, &CheckSettings::default());
+        if !check.is_ok() {
+            report.fail(format!("n={n}: {:?}", check.violation));
+        }
+        report.row(&[
+            n.to_string(),
+            "exhaustive (with crashes)".into(),
+            verdict(&check),
+            check.decisions_seen.len().to_string(),
+        ]);
+    }
+
+    for n in [8, 16] {
+        let (p, o) = AugQueueConsensus::setup();
+        let settings = RandomSettings { runs: 2000, ..RandomSettings::default() };
+        let r = run_random(&p, &o, n, &settings);
+        if !r.is_ok() {
+            report.fail(format!("n={n}: {:?}", r.violation));
+        }
+        report.row(&[
+            n.to_string(),
+            format!("randomized ({} runs, crashes)", settings.runs),
+            if r.is_ok() { "ok".into() } else { "violated".into() },
+            r.decisions_seen.len().to_string(),
+        ]);
+    }
+
+    report.note("protocol: enq(my-id); decide(peek())");
+    report.note("Corollary 13: no wait-free augmented queue from read/write/TAS/swap/FAA —");
+    report.note("so Herlihy-Wing's FAA+swap queue cannot be given a wait-free peek");
+    report.note("Corollary 14: nor from plain FIFO queues (Theorem 11's experiment)");
+    report.finish();
+}

@@ -1,0 +1,62 @@
+//! E9 — Theorem 15 / Corollary 17: memory-to-memory `move` solves
+//! n-process consensus — despite returning no value.
+
+use waitfree_bench::{verdict, Report};
+use waitfree_core::protocols::mem_move::{MoveConsensus2, MoveConsensusN};
+use waitfree_explorer::check::{check_consensus, CheckSettings};
+use waitfree_explorer::random::{run_random, RandomSettings};
+
+fn main() {
+    let mut report = Report::new(
+        "thm_15_move",
+        "Theorem 15: memory-to-memory move solves n-process consensus",
+        &["protocol", "n", "method", "result"],
+    );
+
+    {
+        let (p, o) = MoveConsensus2::setup();
+        let check = check_consensus(&p, &o, 2, &CheckSettings::default());
+        if !check.is_ok() {
+            report.fail(format!("2-process form: {:?}", check.violation));
+        }
+        report.row(&[
+            "two-process (write ∥ move)".into(),
+            "2".into(),
+            "exhaustive".into(),
+            verdict(&check),
+        ]);
+    }
+
+    for n in [2, 3] {
+        let (p, o) = MoveConsensusN::setup(n);
+        let check = check_consensus(&p, &o, n, &CheckSettings::default());
+        if !check.is_ok() {
+            report.fail(format!("general form n={n}: {:?}", check.violation));
+        }
+        report.row(&[
+            "general (rounds + attacks)".into(),
+            n.to_string(),
+            "exhaustive".into(),
+            verdict(&check),
+        ]);
+    }
+
+    for n in [6, 10] {
+        let (p, o) = MoveConsensusN::setup(n);
+        let settings = RandomSettings { runs: 1500, ..RandomSettings::default() };
+        let r = run_random(&p, &o, n, &settings);
+        if !r.is_ok() {
+            report.fail(format!("general form n={n}: {:?}", r.violation));
+        }
+        report.row(&[
+            "general (rounds + attacks)".into(),
+            n.to_string(),
+            format!("randomized ({} runs)", settings.runs),
+            if r.is_ok() { "ok".into() } else { "violated".into() },
+        ]);
+    }
+
+    report.note("move returns nothing: level-∞ power can live entirely in the state effect");
+    report.note("Corollary 17: move is not implementable from read/write/TAS/swap/FAA");
+    report.finish();
+}

@@ -1,0 +1,115 @@
+//! E11 — Theorems 19 and 20: atomic m-register assignment solves
+//! m-process consensus directly, and 2m-2-process consensus via the
+//! two-group construction — the parametric middle of Figure 1-1.
+
+use waitfree_bench::{verdict, Report};
+use waitfree_core::protocols::assignment::{AssignConsensus, WideAssignConsensus};
+use waitfree_explorer::check::{check_consensus, CheckSettings, Violation};
+use waitfree_explorer::random::{run_random, RandomSettings};
+
+fn main() {
+    let mut report = Report::new(
+        "thm_19_assignment",
+        "Theorems 19/20: m-register assignment solves m and 2m-2 processes",
+        &["protocol", "width m", "processes n", "method", "result"],
+    );
+
+    // Theorem 19: width n serves n.
+    for n in [2, 3] {
+        let (p, o) = AssignConsensus::setup(n);
+        let check = check_consensus(&p, &o, n, &CheckSettings::default());
+        if !check.is_ok() {
+            report.fail(format!("Thm 19 n={n}: {:?}", check.violation));
+        }
+        report.row(&[
+            "Thm 19 (direct)".into(),
+            n.to_string(),
+            n.to_string(),
+            "exhaustive".into(),
+            verdict(&check),
+        ]);
+    }
+    for n in [5, 7] {
+        let (p, o) = AssignConsensus::setup(n);
+        let settings = RandomSettings { runs: 800, ..RandomSettings::default() };
+        let r = run_random(&p, &o, n, &settings);
+        if !r.is_ok() {
+            report.fail(format!("Thm 19 n={n}: {:?}", r.violation));
+        }
+        report.row(&[
+            "Thm 19 (direct)".into(),
+            n.to_string(),
+            n.to_string(),
+            format!("randomized ({} runs)", settings.runs),
+            if r.is_ok() { "ok".into() } else { "violated".into() },
+        ]);
+    }
+
+    // Theorem 20: width m serves 2m-2.
+    {
+        let (p, o) = WideAssignConsensus::setup(2);
+        let check = check_consensus(&p, &o, 2, &CheckSettings::default());
+        if !check.is_ok() {
+            report.fail(format!("Thm 20 m=2: {:?}", check.violation));
+        }
+        report.row(&[
+            "Thm 20 (two groups)".into(),
+            "2".into(),
+            "2".into(),
+            "exhaustive".into(),
+            verdict(&check),
+        ]);
+    }
+    {
+        // m=3 → n=4: bounded exhaustive (budget-capped) + randomized.
+        let (p, o) = WideAssignConsensus::setup(3);
+        let settings = CheckSettings { crashes: false, max_configs: 400_000 };
+        let check = check_consensus(&p, &o, 4, &settings);
+        match &check.violation {
+            None => {}
+            Some(Violation::Budget { .. }) => {}
+            Some(v) => report.fail(format!("Thm 20 m=3: {v}")),
+        }
+        report.row(&[
+            "Thm 20 (two groups)".into(),
+            "3".into(),
+            "4".into(),
+            "exhaustive (budget-capped)".into(),
+            verdict(&check),
+        ]);
+        let (p, o) = WideAssignConsensus::setup(3);
+        let settings = RandomSettings { runs: 3000, ..RandomSettings::default() };
+        let r = run_random(&p, &o, 4, &settings);
+        if !r.is_ok() {
+            report.fail(format!("Thm 20 m=3 randomized: {:?}", r.violation));
+        }
+        report.row(&[
+            "Thm 20 (two groups)".into(),
+            "3".into(),
+            "4".into(),
+            format!("randomized ({} runs, crashes)", settings.runs),
+            if r.is_ok() { format!("ok ({} winners seen)", r.decisions_seen.len()) } else { "violated".into() },
+        ]);
+    }
+    {
+        let (p, o) = WideAssignConsensus::setup(4);
+        let settings = RandomSettings { runs: 1500, ..RandomSettings::default() };
+        let r = run_random(&p, &o, 6, &settings);
+        if !r.is_ok() {
+            report.fail(format!("Thm 20 m=4: {:?}", r.violation));
+        }
+        report.row(&[
+            "Thm 20 (two groups)".into(),
+            "4".into(),
+            "6".into(),
+            format!("randomized ({} runs, crashes)", settings.runs),
+            if r.is_ok() { "ok".into() } else { "violated".into() },
+        ]);
+    }
+
+    report.note("Thm 19: assign id to private + shared registers; earliest assigner = unique");
+    report.note("participant whose shared marks were all overwritten by later assigners");
+    report.note("Thm 20: per-group Thm 19, then cross-group precedence graph; decide a source's group value");
+    report.note("with Thm 22 (thm_22_assignment_impossible): consensus is irreducible for even n");
+    report.finish();
+}

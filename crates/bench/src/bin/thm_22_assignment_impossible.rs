@@ -1,0 +1,147 @@
+//! E12 — Theorem 22: atomic m-register assignment cannot solve
+//! (2m-1)-process consensus. Instance checked: m = 2, n = 3.
+//!
+//! Bounded synthesis over a width-2 assignment bank shared by three
+//! processes (3 private + 3 pairwise-shared registers): every symmetric
+//! protocol in the stated space is enumerated and model-checked; none
+//! solves 3-process consensus. Two spaces are searched — depth 1 with a
+//! fine response classification, depth 2 with a coarser one (the
+//! enumeration is doubly exponential in depth × response slots).
+//!
+//! Caveat, stated plainly: the known *positive* protocol for n = 2
+//! (Theorem 19) needs depth 3, so this bounded certificate covers a
+//! protocol space smaller than where the positive solution lives. It
+//! mechanically rules out every short protocol; the unbounded claim is
+//! Theorem 22's private-register/shared-register counting argument.
+//! Combined with Theorems 20/21 it yields the paper's striking corollary:
+//! for even n, n-process consensus cannot be built from (n-1)-process
+//! consensus — consensus is irreducible.
+
+use waitfree_bench::Report;
+use waitfree_core::protocols::assignment::UNSET;
+use waitfree_explorer::check::CheckSettings;
+use waitfree_explorer::synthesis::{search_symmetric, SymbolicOp, SymbolicVal, SynthSpace};
+use waitfree_objects::assignment::{AssignBank, AssignOp, AssignResp};
+
+/// Cell layout: privates 0..3; shared(i,j) for i<j at 3 + index.
+fn shared_cell(i: usize, j: usize) -> usize {
+    match (i.min(j), i.max(j)) {
+        (0, 1) => 3,
+        (0, 2) => 4,
+        (1, 2) => 5,
+        _ => unreachable!("three processes"),
+    }
+}
+
+fn assign_ops() -> Vec<SymbolicOp<AssignBank>> {
+    [1usize, 2]
+        .into_iter()
+        .map(|d| SymbolicOp {
+            name: format!("assign(private, shared with +{d})"),
+            make: Box::new(move |p: waitfree_model::Pid| {
+                let me = p.0;
+                let peer = (me + d) % 3;
+                AssignOp::Assign(vec![
+                    (me, p.as_val()),
+                    (shared_cell(me, peer), p.as_val()),
+                ])
+            }),
+            slots: 1,
+            classify: Box::new(|_, _| 0),
+        })
+        .collect()
+}
+
+/// Depth-1 space: all reads, responses classified {⊥, mine, other}.
+fn fine_space() -> SynthSpace<AssignBank> {
+    let mut ops = assign_ops();
+    for d in [1usize, 2] {
+        ops.push(SymbolicOp {
+            name: format!("read shared with +{d}"),
+            make: Box::new(move |p| AssignOp::Read(shared_cell(p.0, (p.0 + d) % 3))),
+            slots: 3,
+            classify: Box::new(|p, r: &AssignResp| match r {
+                AssignResp::Value(v) if *v == UNSET => 0,
+                AssignResp::Value(v) if *v == p.as_val() => 1,
+                _ => 2,
+            }),
+        });
+        ops.push(SymbolicOp {
+            name: format!("read private of +{d}"),
+            make: Box::new(move |p| AssignOp::Read((p.0 + d) % 3)),
+            slots: 3,
+            classify: Box::new(|p, r: &AssignResp| match r {
+                AssignResp::Value(v) if *v == UNSET => 0,
+                AssignResp::Value(v) if *v == p.as_val() => 1,
+                _ => 2,
+            }),
+        });
+    }
+    SynthSpace {
+        ops,
+        decisions: vec![
+            SymbolicVal::MyId,
+            SymbolicVal::Const(0),
+            SymbolicVal::Const(1),
+            SymbolicVal::Const(2),
+        ],
+    }
+}
+
+/// Depth-2 space: shared-register reads only, responses classified
+/// {mine, not-mine}.
+fn coarse_space() -> SynthSpace<AssignBank> {
+    let mut ops = assign_ops();
+    for d in [1usize, 2] {
+        ops.push(SymbolicOp {
+            name: format!("read shared with +{d} (coarse)"),
+            make: Box::new(move |p| AssignOp::Read(shared_cell(p.0, (p.0 + d) % 3))),
+            slots: 2,
+            classify: Box::new(|p, r: &AssignResp| match r {
+                AssignResp::Value(v) if *v == p.as_val() => 0,
+                _ => 1,
+            }),
+        });
+    }
+    SynthSpace {
+        ops,
+        decisions: vec![
+            SymbolicVal::MyId,
+            SymbolicVal::Const(0),
+            SymbolicVal::Const(1),
+            SymbolicVal::Const(2),
+        ],
+    }
+}
+
+fn main() {
+    let mut report = Report::new(
+        "thm_22_assignment_impossible",
+        "Theorem 22: 2-register assignment cannot solve 3-process consensus",
+        &["search", "trees", "candidates", "survivors", "verdict"],
+    );
+    let settings = CheckSettings::default();
+    let bank = AssignBank::new(6, 2, UNSET);
+
+    for (label, space, depth) in [
+        ("fine responses", fine_space(), 1),
+        ("coarse responses", coarse_space(), 2),
+    ] {
+        let out = search_symmetric(&space, &bank, 3, depth, &settings);
+        report.row(&[
+            format!("symmetric n=3, width-2 assignment, {label}, depth {depth}"),
+            out.tree_count.to_string(),
+            out.candidates.to_string(),
+            out.survivors.len().to_string(),
+            if out.is_impossible() { "impossible (bounded)".into() } else { "SOLVED?!".into() },
+        ]);
+        if !out.is_impossible() {
+            report.fail(format!("depth {depth}: survivors {:?}", out.survivors));
+        }
+    }
+
+    report.note("positive side (Theorem 19/20) verified separately in thm_19_assignment");
+    report.note("depth bound is below the depth of the known n=2 solution; see module docs");
+    report.note("paper's proof: each default class forces k+1 assigned registers — width counting");
+    report.finish();
+}

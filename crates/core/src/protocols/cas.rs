@@ -1,0 +1,112 @@
+//! Theorem 7: compare-and-swap solves n-process consensus for arbitrary n.
+//!
+//! > *The register is initialized to `⊥`, and process Pᵢ executes
+//! > `old := compare-and-swap(r, ⊥, prefer); if old = ⊥ then
+//! > decide(prefer) else decide(old)`.*
+//!
+//! (The paper writes the initial value as `1` and the preference as a
+//! boolean; we use `⊥ = -1` and the process id, which is the same protocol
+//! for the election domain.) Corollary 8: compare-and-swap therefore has no
+//! wait-free implementation from any combination of read, write,
+//! test-and-set, swap, or fetch-and-add.
+
+use waitfree_model::{Action, Pid, ProcessAutomaton, Val};
+use waitfree_objects::rmw::{RmwFn, RmwOp, RmwRegister};
+
+/// Sentinel "unclaimed" value; process ids are non-negative.
+pub const UNCLAIMED: Val = -1;
+
+/// The n-process compare-and-swap consensus protocol of Theorem 7.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct CasConsensus;
+
+/// Local state of [`CasConsensus`].
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub enum CasState {
+    /// About to attempt the compare-and-swap.
+    Start,
+    /// Finished, with this decision.
+    Done(Val),
+}
+
+impl CasConsensus {
+    /// The protocol plus its correctly initialized register.
+    #[must_use]
+    pub fn setup() -> (Self, RmwRegister) {
+        (CasConsensus, RmwRegister::new(UNCLAIMED))
+    }
+}
+
+impl ProcessAutomaton for CasConsensus {
+    type Op = RmwOp;
+    type Resp = Val;
+    type State = CasState;
+
+    fn start(&self, _pid: Pid) -> CasState {
+        CasState::Start
+    }
+
+    fn action(&self, pid: Pid, state: &CasState) -> Action<RmwOp> {
+        match state {
+            CasState::Start => {
+                Action::Invoke(RmwOp(RmwFn::CompareAndSwap(UNCLAIMED, pid.as_val())))
+            }
+            CasState::Done(v) => Action::Decide(*v),
+        }
+    }
+
+    fn observe(&self, pid: Pid, _state: &CasState, resp: &Val) -> CasState {
+        if *resp == UNCLAIMED {
+            CasState::Done(pid.as_val()) // my CAS installed my preference
+        } else {
+            CasState::Done(*resp) // someone beat me; adopt the winner
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use waitfree_explorer::check::{check_consensus, CheckSettings};
+    use waitfree_explorer::random::{run_random, RandomSettings};
+
+    #[test]
+    fn theorem_7_exhaustive_two_and_three_processes() {
+        for n in [2, 3] {
+            let (p, o) = CasConsensus::setup();
+            let report = check_consensus(&p, &o, n, &CheckSettings::default());
+            assert!(report.is_ok(), "n={n}: {:?}", report.violation);
+            assert_eq!(
+                report.decisions_seen.len(),
+                n,
+                "every process can win some schedule"
+            );
+        }
+    }
+
+    #[test]
+    fn theorem_7_exhaustive_four_processes() {
+        let (p, o) = CasConsensus::setup();
+        let report = check_consensus(&p, &o, 4, &CheckSettings::default());
+        assert!(report.is_ok(), "{:?}", report.violation);
+    }
+
+    #[test]
+    fn theorem_7_randomized_sixteen_processes() {
+        let (p, o) = CasConsensus::setup();
+        let settings = RandomSettings { runs: 300, ..RandomSettings::default() };
+        let report = run_random(&p, &o, 16, &settings);
+        assert!(report.is_ok(), "{:?}", report.violation);
+    }
+
+    #[test]
+    fn each_operation_is_one_shot() {
+        // Strong wait-freedom: exactly one shared-memory operation per
+        // process, so the longest run with n processes is 2n steps
+        // (operation + decide each).
+        let (p, o) = CasConsensus::setup();
+        let report = check_consensus(&p, &o, 3, &CheckSettings { crashes: false, ..CheckSettings::default() });
+        assert!(report.is_ok());
+        assert_eq!(report.max_depth, 6);
+    }
+}

@@ -1,0 +1,85 @@
+//! Fetch-and-cons solves n-process consensus — the easy direction of the
+//! universality equivalence in §4 (the hard direction, consensus ⇒
+//! fetch-and-cons, is Figure 4-5, implemented in
+//! [`crate::universal::consensus_cons`]).
+//!
+//! Each process conses its identifier; the process whose item ends up
+//! *last* in the returned suffix chain was first, and wins. Concretely: if
+//! my `fetch-and-cons` returns the empty suffix I was first; otherwise the
+//! last element of my suffix is the first item ever consed.
+
+use waitfree_model::{Action, Pid, ProcessAutomaton, Val};
+use waitfree_objects::list::{ConsList, ListOp, ListResp};
+
+/// The n-process fetch-and-cons consensus protocol.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FetchConsConsensus;
+
+/// Local state of [`FetchConsConsensus`].
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub enum FetchConsState {
+    /// About to cons own identifier.
+    Cons,
+    /// Finished, with this decision.
+    Done(Val),
+}
+
+impl FetchConsConsensus {
+    /// The protocol plus an empty list.
+    #[must_use]
+    pub fn setup() -> (Self, ConsList) {
+        (FetchConsConsensus, ConsList::new())
+    }
+}
+
+impl ProcessAutomaton for FetchConsConsensus {
+    type Op = ListOp;
+    type Resp = ListResp;
+    type State = FetchConsState;
+
+    fn start(&self, _pid: Pid) -> FetchConsState {
+        FetchConsState::Cons
+    }
+
+    fn action(&self, pid: Pid, state: &FetchConsState) -> Action<ListOp> {
+        match state {
+            FetchConsState::Cons => Action::Invoke(ListOp::FetchAndCons(pid.as_val())),
+            FetchConsState::Done(v) => Action::Decide(*v),
+        }
+    }
+
+    fn observe(&self, pid: Pid, _state: &FetchConsState, resp: &ListResp) -> FetchConsState {
+        let ListResp::Items(suffix) = resp else {
+            unreachable!("fetch-and-cons returns the suffix")
+        };
+        match suffix.last() {
+            None => FetchConsState::Done(pid.as_val()), // I was first
+            Some(first_ever) => FetchConsState::Done(*first_ever),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use waitfree_explorer::check::{check_consensus, CheckSettings};
+    use waitfree_explorer::random::{run_random, RandomSettings};
+
+    #[test]
+    fn fetch_and_cons_solves_consensus_exhaustively() {
+        for n in [2, 3, 4] {
+            let (p, o) = FetchConsConsensus::setup();
+            let report = check_consensus(&p, &o, n, &CheckSettings::default());
+            assert!(report.is_ok(), "n={n}: {:?}", report.violation);
+            assert_eq!(report.decisions_seen.len(), n);
+        }
+    }
+
+    #[test]
+    fn fetch_and_cons_randomized_twelve_processes() {
+        let (p, o) = FetchConsConsensus::setup();
+        let settings = RandomSettings { runs: 200, ..RandomSettings::default() };
+        let report = run_random(&p, &o, 12, &settings);
+        assert!(report.is_ok(), "{:?}", report.violation);
+    }
+}

@@ -1,0 +1,202 @@
+//! Theorem 15: memory-to-memory `move` solves n-process consensus for
+//! arbitrary n — even though `move` returns no value.
+//!
+//! Two-process form (`move(a, b)` copies cell `a` into cell `b`):
+//!
+//! > *Let r1 and r2 be respectively initialized to 1 and 2.
+//! > `Decide_1: r2 := 1; decide(r1)` and
+//! > `Decide_2: move(r2, r1); decide(r1)`. The protocol decides 2 if P2's
+//! > move is linearized before P1's write, and 1 otherwise.*
+//!
+//! General form: process `i` first wins "its" round by moving `r[i,1]`
+//! into `r[i,2]`, then attacks every higher round `j` by overwriting
+//! `r[j,1]` with `j-1`, and finally scans rounds from the top down,
+//! deciding the highest round whose owner won it.
+
+use waitfree_model::{Action, Pid, ProcessAutomaton, Val};
+use waitfree_objects::memory::{MemOp, MemoryBank, MemResp};
+
+/// The two-process memory-to-memory-move protocol of Theorem 15.
+///
+/// Process 0 plays the writer (`Decide_1`), process 1 the mover
+/// (`Decide_2`). Cell 0 is `r1`, cell 1 is `r2`.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct MoveConsensus2;
+
+/// Local state of [`MoveConsensus2`].
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub enum Move2State {
+    /// About to perform the write (P0) or move (P1).
+    Act,
+    /// About to read `r1`.
+    ReadBack,
+    /// Finished, with this decision.
+    Done(Val),
+}
+
+impl MoveConsensus2 {
+    /// The protocol plus its bank: `r1 = 0` (P0's id), `r2 = 1` (P1's id).
+    #[must_use]
+    pub fn setup() -> (Self, MemoryBank) {
+        (MoveConsensus2, MemoryBank::from_values(vec![0, 1]))
+    }
+}
+
+impl ProcessAutomaton for MoveConsensus2 {
+    type Op = MemOp;
+    type Resp = MemResp;
+    type State = Move2State;
+
+    fn start(&self, _pid: Pid) -> Move2State {
+        Move2State::Act
+    }
+
+    fn action(&self, pid: Pid, state: &Move2State) -> Action<MemOp> {
+        match state {
+            Move2State::Act => {
+                if pid == Pid(0) {
+                    Action::Invoke(MemOp::Write(1, 0)) // r2 := my id
+                } else {
+                    Action::Invoke(MemOp::Move { src: 1, dst: 0 }) // r1 := r2
+                }
+            }
+            Move2State::ReadBack => Action::Invoke(MemOp::Read(0)),
+            Move2State::Done(v) => Action::Decide(*v),
+        }
+    }
+
+    fn observe(&self, _pid: Pid, state: &Move2State, resp: &MemResp) -> Move2State {
+        match (state, resp) {
+            (Move2State::Act, _) => Move2State::ReadBack,
+            (Move2State::ReadBack, MemResp::Value(v)) => Move2State::Done(*v),
+            (s, r) => unreachable!("unexpected {r:?} in {s:?}"),
+        }
+    }
+}
+
+/// The general n-process protocol of Theorem 15.
+///
+/// Cell layout: `r[i,1]` at `2i` (initialized to `i+1`) and `r[i,2]` at
+/// `2i+1` (initialized to `i`), using 1-based values so that "`r[i,2]`
+/// holds `i+1`" marks process `i` (0-based) as the winner of round `i`.
+#[derive(Clone, Copy, Debug)]
+pub struct MoveConsensusN {
+    n: usize,
+}
+
+/// Local state of [`MoveConsensusN`].
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub enum MoveNState {
+    /// About to move `r[i,1]` into `r[i,2]` (win own round).
+    MoveOwn,
+    /// Attacking round `j` by writing `r[j,1] := j` (the 1-based `j-1`).
+    Attack(usize),
+    /// Scanning rounds from the top: about to read `r[j,2]`.
+    Scan(usize),
+    /// Finished, with this decision.
+    Done(Val),
+}
+
+impl MoveConsensusN {
+    /// The protocol for `n` processes plus its initialized bank.
+    #[must_use]
+    pub fn setup(n: usize) -> (Self, MemoryBank) {
+        let mut cells = Vec::with_capacity(2 * n);
+        for i in 0..n {
+            cells.push(i as Val + 1); // r[i,1] = i+1
+            cells.push(i as Val); // r[i,2] = i
+        }
+        (MoveConsensusN { n }, MemoryBank::from_values(cells))
+    }
+
+    fn r1(i: usize) -> usize {
+        2 * i
+    }
+
+    fn r2(i: usize) -> usize {
+        2 * i + 1
+    }
+}
+
+impl ProcessAutomaton for MoveConsensusN {
+    type Op = MemOp;
+    type Resp = MemResp;
+    type State = MoveNState;
+
+    fn start(&self, _pid: Pid) -> MoveNState {
+        MoveNState::MoveOwn
+    }
+
+    fn action(&self, pid: Pid, state: &MoveNState) -> Action<MemOp> {
+        match state {
+            MoveNState::MoveOwn => Action::Invoke(MemOp::Move {
+                src: Self::r1(pid.0),
+                dst: Self::r2(pid.0),
+            }),
+            MoveNState::Attack(j) => Action::Invoke(MemOp::Write(Self::r1(*j), *j as Val)),
+            MoveNState::Scan(j) => Action::Invoke(MemOp::Read(Self::r2(*j))),
+            MoveNState::Done(v) => Action::Decide(*v),
+        }
+    }
+
+    fn observe(&self, pid: Pid, state: &MoveNState, resp: &MemResp) -> MoveNState {
+        let after_attacks = |j: usize| {
+            if j + 1 < self.n {
+                MoveNState::Attack(j + 1)
+            } else {
+                MoveNState::Scan(self.n - 1)
+            }
+        };
+        match state {
+            MoveNState::MoveOwn => after_attacks(pid.0),
+            MoveNState::Attack(j) => after_attacks(*j),
+            MoveNState::Scan(j) => {
+                let MemResp::Value(v) = resp else {
+                    unreachable!("read returns a value")
+                };
+                if *v == *j as Val + 1 {
+                    // Round j was won by its owner.
+                    MoveNState::Done(*j as Val)
+                } else {
+                    assert!(*j > 0, "some round always has a winner");
+                    MoveNState::Scan(*j - 1)
+                }
+            }
+            MoveNState::Done(_) => unreachable!("decided processes do not observe"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use waitfree_explorer::check::{check_consensus, CheckSettings};
+    use waitfree_explorer::random::{run_random, RandomSettings};
+
+    #[test]
+    fn theorem_15_two_process_form() {
+        let (p, o) = MoveConsensus2::setup();
+        let report = check_consensus(&p, &o, 2, &CheckSettings::default());
+        assert!(report.is_ok(), "{:?}", report.violation);
+        assert_eq!(report.decisions_seen.len(), 2);
+    }
+
+    #[test]
+    fn theorem_15_general_form_exhaustive() {
+        for n in [1, 2, 3] {
+            let (p, o) = MoveConsensusN::setup(n);
+            let report = check_consensus(&p, &o, n, &CheckSettings::default());
+            assert!(report.is_ok(), "n={n}: {:?}", report.violation);
+        }
+    }
+
+    #[test]
+    fn theorem_15_general_form_randomized() {
+        for n in [5, 8] {
+            let (p, o) = MoveConsensusN::setup(n);
+            let settings = RandomSettings { runs: 200, ..RandomSettings::default() };
+            let report = run_random(&p, &o, n, &settings);
+            assert!(report.is_ok(), "n={n}: {:?}", report.violation);
+        }
+    }
+}

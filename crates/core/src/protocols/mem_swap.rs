@@ -1,0 +1,130 @@
+//! Theorem 16: memory-to-memory `swap` solves n-process consensus for
+//! arbitrary n.
+//!
+//! > *The processes share an array of registers `p[1..n]` whose elements
+//! > are initialized to 0, and a single register r, initialized to 1.
+//! > Process Pᵢ executes `swap(p[i], r)`, then scans `p` and decides the
+//! > first k with `p[k] = 1`. The first process to swap 1 into p wins.*
+//!
+//! (Footnote 3 of the paper: this *memory-to-memory* swap exchanges two
+//! shared cells, unlike the read-modify-write swap of §3.2.) The single
+//! token `1` moves from `r` into the first swapper's slot and then can
+//! never leave: later swaps exchange zeros.
+
+use waitfree_model::{Action, Pid, ProcessAutomaton, Val};
+use waitfree_objects::memory::{MemOp, MemoryBank, MemResp};
+
+/// The n-process memory-to-memory-swap protocol of Theorem 16.
+///
+/// Cell layout: `p[i]` at cell `i` (initialized 0), `r` at cell `n`
+/// (initialized 1).
+#[derive(Clone, Copy, Debug)]
+pub struct SwapConsensusN {
+    n: usize,
+}
+
+/// Local state of [`SwapConsensusN`].
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub enum SwapNState {
+    /// About to `swap(p[i], r)`.
+    Swap,
+    /// Scanning `p[k]`.
+    Scan(usize),
+    /// Finished, with this decision.
+    Done(Val),
+}
+
+impl SwapConsensusN {
+    /// The protocol for `n` processes plus its initialized bank.
+    #[must_use]
+    pub fn setup(n: usize) -> (Self, MemoryBank) {
+        let mut cells = vec![0; n + 1];
+        cells[n] = 1;
+        (SwapConsensusN { n }, MemoryBank::from_values(cells))
+    }
+}
+
+impl ProcessAutomaton for SwapConsensusN {
+    type Op = MemOp;
+    type Resp = MemResp;
+    type State = SwapNState;
+
+    fn start(&self, _pid: Pid) -> SwapNState {
+        SwapNState::Swap
+    }
+
+    fn action(&self, pid: Pid, state: &SwapNState) -> Action<MemOp> {
+        match state {
+            SwapNState::Swap => Action::Invoke(MemOp::Swap { a: pid.0, b: self.n }),
+            SwapNState::Scan(k) => Action::Invoke(MemOp::Read(*k)),
+            SwapNState::Done(v) => Action::Decide(*v),
+        }
+    }
+
+    fn observe(&self, _pid: Pid, state: &SwapNState, resp: &MemResp) -> SwapNState {
+        match state {
+            SwapNState::Swap => SwapNState::Scan(0),
+            SwapNState::Scan(k) => {
+                let MemResp::Value(v) = resp else {
+                    unreachable!("read returns a value")
+                };
+                if *v == 1 {
+                    SwapNState::Done(*k as Val)
+                } else {
+                    assert!(
+                        *k + 1 < self.n,
+                        "the token is always in some slot after my swap"
+                    );
+                    SwapNState::Scan(*k + 1)
+                }
+            }
+            SwapNState::Done(_) => unreachable!("decided processes do not observe"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use waitfree_explorer::check::{check_consensus, CheckSettings};
+    use waitfree_explorer::random::{run_random, RandomSettings};
+    use waitfree_explorer::valency;
+
+    #[test]
+    fn theorem_16_exhaustive_small_n() {
+        for n in [1, 2, 3] {
+            let (p, o) = SwapConsensusN::setup(n);
+            let report = check_consensus(&p, &o, n, &CheckSettings::default());
+            assert!(report.is_ok(), "n={n}: {:?}", report.violation);
+            assert_eq!(report.decisions_seen.len(), n);
+        }
+    }
+
+    #[test]
+    fn theorem_16_randomized_ten_processes() {
+        let (p, o) = SwapConsensusN::setup(10);
+        let settings = RandomSettings { runs: 200, ..RandomSettings::default() };
+        let report = run_random(&p, &o, 10, &settings);
+        assert!(report.is_ok(), "{:?}", report.violation);
+    }
+
+    #[test]
+    fn decision_is_fixed_by_first_swap() {
+        // Once any process swaps, the configuration is univalent: the
+        // token's position decides everything. Valency analysis confirms
+        // the only bivalent configurations precede the first swap.
+        let (p, o) = SwapConsensusN::setup(2);
+        let report = valency::analyze(&p, &o, 2, 1_000_000);
+        assert!(report.initially_bivalent());
+        for crit in &report.critical {
+            // In a critical configuration, no process has swapped yet.
+            assert!(
+                crit.config.procs.iter().all(|s| matches!(
+                    s,
+                    waitfree_explorer::config::ProcStatus::Running(SwapNState::Swap)
+                )),
+                "critical configurations precede the first swap"
+            );
+        }
+    }
+}

@@ -1,0 +1,31 @@
+//! The consensus protocols of §3, one module per object family.
+//!
+//! Each protocol is a [`ProcessAutomaton`](waitfree_model::ProcessAutomaton)
+//! paired with a `setup()` constructor that also produces the correctly
+//! initialized shared object, mirroring the paper's protocol descriptions
+//! ("The queue is initialized by enqueuing the value *first* followed by
+//! the value *second*", etc.).
+//!
+//! | module | theorem | object | solves |
+//! |--------|---------|--------|--------|
+//! | [`rmw`] | 4 | any non-trivial read-modify-write | 2-process |
+//! | [`cas`] | 7 | compare-and-swap | n-process |
+//! | [`queue`] | 9 | FIFO queue (also stack variant) | 2-process |
+//! | [`augmented_queue`] | 12 | queue with `peek` | n-process |
+//! | [`mem_move`] | 15 | memory-to-memory move | n-process |
+//! | [`mem_swap`] | 16 | memory-to-memory swap | n-process |
+//! | [`assignment`] | 19/20 | atomic m-register assignment | m and 2m-2 |
+//! | [`broadcast`] | §3.1 | ordered broadcast | n-process |
+//! | [`fetch_cons`] | §4 | fetch-and-cons | n-process |
+//! | [`randomized`] | §5 (future work) | read/write registers + coins | 2-process, probabilistic termination |
+
+pub mod assignment;
+pub mod augmented_queue;
+pub mod broadcast;
+pub mod cas;
+pub mod fetch_cons;
+pub mod mem_move;
+pub mod mem_swap;
+pub mod queue;
+pub mod randomized;
+pub mod rmw;

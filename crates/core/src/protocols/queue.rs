@@ -1,0 +1,253 @@
+//! Theorem 9: two-process consensus from a FIFO queue (and the "trivial
+//! variations" for stacks and sets of Corollary 10).
+//!
+//! > *The queue is initialized by enqueuing the value `first` followed by
+//! > the value `second`. P and Q each attempt to dequeue the first item in
+//! > the queue; if P succeeds, the protocol decides on 0, otherwise it
+//! > decides on 1.*
+//!
+//! Theorem 11 shows the same queue *cannot* solve three-process consensus;
+//! the bounded synthesis experiment (`thm_11_queue_three`) reproduces that
+//! side mechanically.
+
+use waitfree_model::{Action, Pid, ProcessAutomaton, Val};
+use waitfree_objects::queue::{FifoQueue, QueueOp, QueueResp};
+use waitfree_objects::setobj::{SetObj, SetOp, SetResp};
+use waitfree_objects::stack::{Stack, StackOp, StackResp};
+
+/// Item meaning "whoever dequeues me went first".
+pub const FIRST: Val = 100;
+/// Item meaning "the other process went first".
+pub const SECOND: Val = 200;
+
+/// Shared two-phase local state for the queue/stack/set protocols.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub enum DrawState {
+    /// About to draw from the object.
+    Start,
+    /// Finished, with this decision.
+    Done(Val),
+}
+
+/// The two-process FIFO-queue consensus protocol of Theorem 9.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct QueueConsensus;
+
+impl QueueConsensus {
+    /// The protocol plus the queue initialized to `[FIRST, SECOND]`.
+    #[must_use]
+    pub fn setup() -> (Self, FifoQueue) {
+        (QueueConsensus, FifoQueue::from_items([FIRST, SECOND]))
+    }
+}
+
+impl ProcessAutomaton for QueueConsensus {
+    type Op = QueueOp;
+    type Resp = QueueResp;
+    type State = DrawState;
+
+    fn start(&self, _pid: Pid) -> DrawState {
+        DrawState::Start
+    }
+
+    fn action(&self, _pid: Pid, state: &DrawState) -> Action<QueueOp> {
+        match state {
+            DrawState::Start => Action::Invoke(QueueOp::Deq),
+            DrawState::Done(v) => Action::Decide(*v),
+        }
+    }
+
+    fn observe(&self, pid: Pid, _state: &DrawState, resp: &QueueResp) -> DrawState {
+        match resp {
+            QueueResp::Item(v) if *v == FIRST => DrawState::Done(pid.as_val()),
+            _ => DrawState::Done(1 - pid.as_val()),
+        }
+    }
+}
+
+/// The stack variant: initialized to `[SECOND, FIRST]` (FIRST on top);
+/// whoever pops `FIRST` wins.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct StackConsensus;
+
+impl StackConsensus {
+    /// The protocol plus the stack with `FIRST` on top.
+    #[must_use]
+    pub fn setup() -> (Self, Stack) {
+        (StackConsensus, Stack::from_items([SECOND, FIRST]))
+    }
+}
+
+impl ProcessAutomaton for StackConsensus {
+    type Op = StackOp;
+    type Resp = StackResp;
+    type State = DrawState;
+
+    fn start(&self, _pid: Pid) -> DrawState {
+        DrawState::Start
+    }
+
+    fn action(&self, _pid: Pid, state: &DrawState) -> Action<StackOp> {
+        match state {
+            DrawState::Start => Action::Invoke(StackOp::Pop),
+            DrawState::Done(v) => Action::Decide(*v),
+        }
+    }
+
+    fn observe(&self, pid: Pid, _state: &DrawState, resp: &StackResp) -> DrawState {
+        match resp {
+            StackResp::Item(v) if *v == FIRST => DrawState::Done(pid.as_val()),
+            _ => DrawState::Done(1 - pid.as_val()),
+        }
+    }
+}
+
+/// The set variant: both processes insert the same element; `insert`
+/// reports whether it was new, so whoever inserts first wins. ("any
+/// deterministic object with operations that return different results if
+/// applied in different orders.")
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SetConsensus;
+
+impl SetConsensus {
+    /// The protocol plus an empty set.
+    #[must_use]
+    pub fn setup() -> (Self, SetObj) {
+        (SetConsensus, SetObj::new())
+    }
+}
+
+impl ProcessAutomaton for SetConsensus {
+    type Op = SetOp;
+    type Resp = SetResp;
+    type State = DrawState;
+
+    fn start(&self, _pid: Pid) -> DrawState {
+        DrawState::Start
+    }
+
+    fn action(&self, _pid: Pid, state: &DrawState) -> Action<SetOp> {
+        match state {
+            DrawState::Start => Action::Invoke(SetOp::Insert(FIRST)),
+            DrawState::Done(v) => Action::Decide(*v),
+        }
+    }
+
+    fn observe(&self, pid: Pid, _state: &DrawState, resp: &SetResp) -> DrawState {
+        match resp {
+            SetResp::Bool(true) => DrawState::Done(pid.as_val()),
+            _ => DrawState::Done(1 - pid.as_val()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use waitfree_explorer::check::{check_consensus, CheckSettings};
+
+    #[test]
+    fn theorem_9_queue() {
+        let (p, o) = QueueConsensus::setup();
+        let report = check_consensus(&p, &o, 2, &CheckSettings::default());
+        assert!(report.is_ok(), "{:?}", report.violation);
+        assert_eq!(report.decisions_seen.len(), 2);
+    }
+
+    #[test]
+    fn corollary_10_stack_variant() {
+        let (p, o) = StackConsensus::setup();
+        let report = check_consensus(&p, &o, 2, &CheckSettings::default());
+        assert!(report.is_ok(), "{:?}", report.violation);
+    }
+
+    #[test]
+    fn corollary_10_set_variant() {
+        let (p, o) = SetConsensus::setup();
+        let report = check_consensus(&p, &o, 2, &CheckSettings::default());
+        assert!(report.is_ok(), "{:?}", report.violation);
+    }
+
+    #[test]
+    fn queue_protocol_three_processes_fails() {
+        // Running the *two-process* queue protocol with three processes
+        // violates agreement (two losers decide different "winners"):
+        // this is not Theorem 11 itself, but a sanity check that the
+        // protocol does not accidentally generalize.
+        let (p, o) = QueueConsensus::setup();
+        let report = check_consensus(&p, &o, 3, &CheckSettings::default());
+        assert!(!report.is_ok());
+    }
+}
+
+/// The priority-queue variant of Corollary 10: both processes insert
+/// their marker then extract the minimum; the extraction order reveals
+/// who was linearized first. Initialized with `FIRST` so the first
+/// extractor always wins a deterministic token.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PqConsensus;
+
+impl PqConsensus {
+    /// The protocol plus its priority queue holding `[FIRST, SECOND]`.
+    #[must_use]
+    pub fn setup() -> (Self, waitfree_objects::pqueue::PriorityQueue) {
+        use waitfree_model::ObjectSpec;
+        let mut pq = waitfree_objects::pqueue::PriorityQueue::new();
+        pq.apply(Pid(0), &waitfree_objects::pqueue::PqOp::Insert(FIRST));
+        pq.apply(Pid(0), &waitfree_objects::pqueue::PqOp::Insert(SECOND));
+        (PqConsensus, pq)
+    }
+}
+
+impl ProcessAutomaton for PqConsensus {
+    type Op = waitfree_objects::pqueue::PqOp;
+    type Resp = waitfree_objects::pqueue::PqResp;
+    type State = DrawState;
+
+    fn start(&self, _pid: Pid) -> DrawState {
+        DrawState::Start
+    }
+
+    fn action(&self, _pid: Pid, state: &DrawState) -> Action<waitfree_objects::pqueue::PqOp> {
+        match state {
+            DrawState::Start => Action::Invoke(waitfree_objects::pqueue::PqOp::ExtractMin),
+            DrawState::Done(v) => Action::Decide(*v),
+        }
+    }
+
+    fn observe(
+        &self,
+        pid: Pid,
+        _state: &DrawState,
+        resp: &waitfree_objects::pqueue::PqResp,
+    ) -> DrawState {
+        match resp {
+            waitfree_objects::pqueue::PqResp::Item(v) if *v == FIRST => {
+                DrawState::Done(pid.as_val())
+            }
+            _ => DrawState::Done(1 - pid.as_val()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod pq_tests {
+    use super::*;
+    use waitfree_explorer::check::{check_consensus, CheckSettings};
+
+    #[test]
+    fn corollary_10_priority_queue_variant() {
+        let (p, o) = PqConsensus::setup();
+        let report = check_consensus(&p, &o, 2, &CheckSettings::default());
+        assert!(report.is_ok(), "{:?}", report.violation);
+        assert_eq!(report.decisions_seen.len(), 2);
+    }
+
+    #[test]
+    fn pq_variant_fails_at_three() {
+        let (p, o) = PqConsensus::setup();
+        let report = check_consensus(&p, &o, 3, &CheckSettings::default());
+        assert!(!report.is_ok(), "priority queues are level 2, not 3");
+        assert!(report.counterexample.is_some());
+    }
+}

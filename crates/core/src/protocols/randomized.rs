@@ -1,0 +1,229 @@
+//! Randomized consensus from read/write registers — the direction §5
+//! flags as unexplored ("the use of randomization \[1\] for wait-free
+//! concurrent objects remains unexplored", citing Abrahamson's PODC 1988
+//! paper).
+//!
+//! Theorem 2 says *deterministic* wait-free 2-process consensus from
+//! registers is impossible. Randomization circumvents it in the weakest
+//! possible sense: agreement and validity remain absolute, but
+//! termination holds only with probability 1 against a non-adaptive
+//! adversary — and this module demonstrates **both** sides:
+//!
+//! * under seeded random schedules the protocol always terminates and
+//!   agrees (tests drive thousands of runs);
+//! * an explicit adversarial schedule keeps it running forever
+//!   ([`lockstep_schedule_never_decides`](self#the-adversarial-schedule)
+//!   in the tests): schedule the processes in lockstep with identical
+//!   coin streams and their preferences swap endlessly. The explorer's
+//!   wait-freedom check would rightly reject this protocol; randomization
+//!   trades the *certainty* of Theorem 2's impossibility for an
+//!   expected-finite run.
+//!
+//! The protocol ("flip till agree"): each process publishes its
+//! preference in its own register and reads the other's. Seeing `⊥` (the
+//! other never started) or its own preference, it decides. Seeing a
+//! disagreement, it adopts the other's preference with probability ½ and
+//! retries. Preferences only ever copy inputs (validity); a decided
+//! process's register is frozen, which makes the first decision sticky
+//! (agreement — see the safety test exploring *all* schedules of a
+//! bounded-coin variant).
+
+use waitfree_model::{Action, Pid, ProcessAutomaton, Val};
+use waitfree_objects::register::{BankOp, RegResp, RegisterBank};
+
+/// "Not yet written" marker.
+pub const EMPTY: Val = -1;
+
+/// A tiny deterministic PRNG (xorshift64*), embedded in the local state
+/// so the automaton stays deterministic given its seed — randomness is an
+/// *input*, exactly like Abrahamson's model.
+fn next_coin(state: u64) -> (u64, bool) {
+    let mut x = state.max(1);
+    x ^= x >> 12;
+    x ^= x << 25;
+    x ^= x >> 27;
+    (x, x.wrapping_mul(0x2545_F491_4F6C_DD1D) >> 63 == 1)
+}
+
+/// The two-process randomized "flip till agree" consensus protocol.
+#[derive(Clone, Debug)]
+pub struct FlipConsensus2 {
+    /// Per-process coin-stream seeds.
+    pub seeds: [u64; 2],
+}
+
+/// Local state of [`FlipConsensus2`].
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub enum FlipState {
+    /// About to publish the current preference.
+    Publish {
+        /// Current preference.
+        pref: Val,
+        /// Coin-stream state.
+        rng: u64,
+    },
+    /// About to read the peer's register.
+    Peek {
+        /// Current preference.
+        pref: Val,
+        /// Coin-stream state.
+        rng: u64,
+    },
+    /// Finished, with this decision.
+    Done(Val),
+}
+
+impl FlipConsensus2 {
+    /// The protocol (with the given coin seeds) plus its two registers.
+    #[must_use]
+    pub fn setup(seeds: [u64; 2]) -> (Self, RegisterBank) {
+        (FlipConsensus2 { seeds }, RegisterBank::new(2, EMPTY))
+    }
+}
+
+impl ProcessAutomaton for FlipConsensus2 {
+    type Op = BankOp;
+    type Resp = RegResp;
+    type State = FlipState;
+
+    fn start(&self, pid: Pid) -> FlipState {
+        FlipState::Publish {
+            pref: pid.as_val(),
+            rng: self.seeds[pid.0],
+        }
+    }
+
+    fn action(&self, pid: Pid, state: &FlipState) -> Action<BankOp> {
+        match state {
+            FlipState::Publish { pref, .. } => Action::Invoke(BankOp::Write(pid.0, *pref)),
+            FlipState::Peek { .. } => Action::Invoke(BankOp::Read(1 - pid.0)),
+            FlipState::Done(v) => Action::Decide(*v),
+        }
+    }
+
+    fn observe(&self, _pid: Pid, state: &FlipState, resp: &RegResp) -> FlipState {
+        match (state, resp) {
+            (FlipState::Publish { pref, rng }, RegResp::Written) => {
+                FlipState::Peek { pref: *pref, rng: *rng }
+            }
+            (FlipState::Peek { pref, rng }, RegResp::Read(other)) => {
+                if *other == EMPTY || other == pref {
+                    // Peer absent or agreeing: decide. The freeze of our
+                    // own register makes this sticky.
+                    FlipState::Done(*pref)
+                } else {
+                    let (rng2, switch) = next_coin(*rng);
+                    let pref2 = if switch { *other } else { *pref };
+                    FlipState::Publish { pref: pref2, rng: rng2 }
+                }
+            }
+            (s, r) => unreachable!("unexpected {r:?} in {s:?}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use waitfree_explorer::config::Config;
+    use waitfree_explorer::random::{run_random, RandomSettings};
+
+    #[test]
+    fn randomized_runs_always_terminate_and_agree() {
+        // 500 random schedules × distinct seed pairs: agreement and
+        // validity must hold in every run; termination within the step
+        // budget in all of them (expected constant rounds).
+        for trial in 0..50 {
+            let (p, o) = FlipConsensus2::setup([trial * 2 + 1, trial * 3 + 2]);
+            let settings = RandomSettings {
+                runs: 10,
+                seed: 0xABCD + trial,
+                crash_per_mille: 100,
+                max_steps_per_run: 10_000,
+            };
+            let report = run_random(&p, &o, 2, &settings);
+            assert!(report.is_ok(), "trial {trial}: {:?}", report.violation);
+        }
+    }
+
+    #[test]
+    fn expected_rounds_are_small() {
+        let mut total_steps = 0u64;
+        let mut runs = 0u64;
+        for trial in 0..100 {
+            let (p, o) = FlipConsensus2::setup([trial + 11, trial * 7 + 5]);
+            let settings = RandomSettings {
+                runs: 10,
+                seed: trial,
+                crash_per_mille: 0,
+                max_steps_per_run: 10_000,
+            };
+            let report = run_random(&p, &o, 2, &settings);
+            assert!(report.is_ok());
+            total_steps += report.total_steps;
+            runs += u64::from(report.runs as u32);
+        }
+        let avg = total_steps as f64 / runs as f64;
+        // Each round is 2 steps/process; geometric agreement: small mean.
+        assert!(avg < 40.0, "expected steps per run too high: {avg}");
+    }
+
+    /// The adversarial schedule: identical coin streams + lockstep
+    /// scheduling swap the preferences forever. This is the residue of
+    /// Theorem 2 that randomization cannot remove.
+    #[test]
+    fn lockstep_schedule_never_decides() {
+        let (p, o) = FlipConsensus2::setup([42, 42]); // identical coins
+        let mut cfg = Config::initial(&p, o, 2);
+        // Lockstep: P0 write, P1 write, P0 read, P1 read, repeat.
+        // With equal coin streams both processes always flip the same
+        // way: both switch (swap prefs) or both hold — disagreement is
+        // invariant.
+        for round in 0..200 {
+            for pid in [0, 1, 0, 1] {
+                let succs = cfg.step(&p, Pid(pid));
+                assert!(
+                    !succs.is_empty(),
+                    "round {round}: {pid} decided — adversary failed"
+                );
+                cfg = succs.into_iter().next().unwrap();
+            }
+            assert_eq!(cfg.decisions().count(), 0, "round {round}");
+        }
+        // 200 rounds without a decision: the protocol is not wait-free.
+    }
+
+    #[test]
+    fn solo_process_decides_itself() {
+        let (p, o) = FlipConsensus2::setup([1, 2]);
+        let mut cfg = Config::initial(&p, o, 2);
+        cfg = cfg.crash(Pid(1)).unwrap();
+        cfg = cfg.step(&p, Pid(0)).remove(0); // write
+        cfg = cfg.step(&p, Pid(0)).remove(0); // read ⊥
+        cfg = cfg.step(&p, Pid(0)).remove(0); // decide
+        assert_eq!(cfg.decisions().collect::<Vec<_>>(), vec![0]);
+    }
+
+    #[test]
+    fn first_decision_is_sticky() {
+        // P0 runs alone and decides 0; P1 then runs with the opposite
+        // preference and must converge to 0 regardless of its coins.
+        for seed in 0..50 {
+            let (p, o) = FlipConsensus2::setup([7, seed]);
+            let mut cfg = Config::initial(&p, o, 2);
+            for _ in 0..3 {
+                cfg = cfg.step(&p, Pid(0)).remove(0);
+            }
+            assert_eq!(cfg.decisions().collect::<Vec<_>>(), vec![0]);
+            // Now run P1 to completion (bounded by coin luck; generous cap).
+            let mut steps = 0;
+            while cfg.procs[1].is_running() {
+                cfg = cfg.step(&p, Pid(1)).remove(0);
+                steps += 1;
+                assert!(steps < 10_000, "seed {seed}: P1 failed to converge");
+            }
+            let decisions: Vec<Val> = cfg.decisions().collect();
+            assert_eq!(decisions, vec![0, 0], "seed {seed}");
+        }
+    }
+}

@@ -1,0 +1,147 @@
+//! Theorem 4: two-process consensus from any non-trivial read-modify-write
+//! operation.
+//!
+//! > *Since `f` is not the identity, there exists a value `v` such that
+//! > `v ≠ f(v)`. Let P and Q be the two processes, and let the shared
+//! > register `r` be initialized to `v` … The protocol chooses 0 if P's
+//! > operation is linearized first, and 1 otherwise.*
+//!
+//! Each process performs one `RMW(r, f)`; whoever observes the initial
+//! value `v` went first and wins.
+
+use waitfree_model::{Action, Pid, ProcessAutomaton, Val};
+use waitfree_objects::rmw::{RmwFn, RmwOp, RmwRegister};
+
+/// The two-process consensus protocol of Theorem 4, parameterized by the
+/// non-trivial function `f` and a witness value `v` with `f(v) ≠ v`.
+#[derive(Clone, Debug)]
+pub struct RmwConsensus {
+    f: RmwFn,
+    witness: Val,
+}
+
+/// Local state of [`RmwConsensus`].
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub enum RmwState {
+    /// About to perform the RMW.
+    Start,
+    /// Finished, with this decision.
+    Done(Val),
+}
+
+impl RmwConsensus {
+    /// Build the protocol for a non-trivial `f`, choosing the smallest
+    /// non-negative witness `v` with `f(v) ≠ v`, and the register
+    /// initialized to it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `f` is trivial on `0..=64` (no witness found) — Theorem 4
+    /// only applies to non-trivial operations.
+    #[must_use]
+    pub fn setup(f: RmwFn) -> (Self, RmwRegister) {
+        let witness = (0..=64)
+            .find(|&v| f.eval(v) != v)
+            .expect("function is trivial: Theorem 4 does not apply");
+        (RmwConsensus { f, witness }, RmwRegister::new(witness))
+    }
+
+    /// The test-and-set instance.
+    #[must_use]
+    pub fn test_and_set() -> (Self, RmwRegister) {
+        RmwConsensus::setup(RmwFn::TestAndSet)
+    }
+
+    /// The swap instance (swapping in `2`, with witness `0`).
+    #[must_use]
+    pub fn swap() -> (Self, RmwRegister) {
+        RmwConsensus::setup(RmwFn::Swap(2))
+    }
+
+    /// The fetch-and-add instance.
+    #[must_use]
+    pub fn fetch_and_add() -> (Self, RmwRegister) {
+        RmwConsensus::setup(RmwFn::FetchAndAdd(1))
+    }
+}
+
+impl ProcessAutomaton for RmwConsensus {
+    type Op = RmwOp;
+    type Resp = Val;
+    type State = RmwState;
+
+    fn start(&self, _pid: Pid) -> RmwState {
+        RmwState::Start
+    }
+
+    fn action(&self, _pid: Pid, state: &RmwState) -> Action<RmwOp> {
+        match state {
+            RmwState::Start => Action::Invoke(RmwOp(self.f)),
+            RmwState::Done(v) => Action::Decide(*v),
+        }
+    }
+
+    fn observe(&self, pid: Pid, _state: &RmwState, resp: &Val) -> RmwState {
+        // Observing the witness value means my RMW was linearized first.
+        if *resp == self.witness {
+            RmwState::Done(pid.as_val())
+        } else {
+            RmwState::Done(1 - pid.as_val())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use waitfree_explorer::check::{check_consensus, CheckSettings};
+    use waitfree_explorer::valency;
+
+    #[test]
+    fn theorem_4_test_and_set() {
+        let (p, o) = RmwConsensus::test_and_set();
+        let report = check_consensus(&p, &o, 2, &CheckSettings::default());
+        assert!(report.is_ok(), "{:?}", report.violation);
+        assert_eq!(report.decisions_seen.len(), 2, "either process can win");
+    }
+
+    #[test]
+    fn theorem_4_swap() {
+        let (p, o) = RmwConsensus::swap();
+        let report = check_consensus(&p, &o, 2, &CheckSettings::default());
+        assert!(report.is_ok(), "{:?}", report.violation);
+    }
+
+    #[test]
+    fn theorem_4_fetch_and_add() {
+        let (p, o) = RmwConsensus::fetch_and_add();
+        let report = check_consensus(&p, &o, 2, &CheckSettings::default());
+        assert!(report.is_ok(), "{:?}", report.violation);
+    }
+
+    #[test]
+    fn theorem_4_fetch_and_or_and_max() {
+        for f in [RmwFn::FetchAndOr(1), RmwFn::FetchAndMax(1), RmwFn::ShiftIn(1)] {
+            let (p, o) = RmwConsensus::setup(f);
+            let report = check_consensus(&p, &o, 2, &CheckSettings::default());
+            assert!(report.is_ok(), "{f:?}: {:?}", report.violation);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "trivial")]
+    fn trivial_function_rejected() {
+        let _ = RmwConsensus::setup(RmwFn::Identity);
+    }
+
+    #[test]
+    fn protocol_is_initially_bivalent_with_critical_state() {
+        // The structure the impossibility proofs rely on: a correct
+        // 2-process protocol starts bivalent and passes through a critical
+        // configuration.
+        let (p, o) = RmwConsensus::test_and_set();
+        let report = valency::analyze(&p, &o, 2, 100_000);
+        assert!(report.initially_bivalent());
+        assert!(!report.critical.is_empty());
+    }
+}

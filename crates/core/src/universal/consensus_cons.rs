@@ -1,0 +1,600 @@
+//! Figure 4-5 — a wait-free fetch-and-cons from *any* consensus object.
+//!
+//! This is the construction behind Theorem 26 ("an object X is universal
+//! if (and only if) it solves n-process consensus"): combined with §4.1
+//! (any sequential object from fetch-and-cons, [`crate::universal::log`]),
+//! it turns a consensus protocol into a universal object.
+//!
+//! Faithful to the paper's pseudocode: each process keeps shared registers
+//! `announce[i]` (its latest operation), `round[i]` (its latest consensus
+//! round) and `prefer[i]` (its latest preference list), a *persistent*
+//! local variable `winner`, and an unbounded array of consensus objects.
+//! A fetch-and-cons announces its item, builds a goal from everyone's
+//! announcements, catches up with the highest observed round, then runs at
+//! most n rounds of consensus, merging its goal into the winning
+//! preference each time. "Our fetch-and-cons implementation requires at
+//! most n rounds of consensus, implying that any consensus protocol that
+//! is polynomial in n can be systematically transformed into a wait-free
+//! fetch-and-cons polynomial in n."
+//!
+//! Correctness of generated histories is checked with the paper's own
+//! §4.2 criterion ([`verify_history`]): all views coherent, and real-time
+//! precedence implies the suffix relation (Lemmas 24 and 25).
+
+use std::collections::BTreeMap;
+
+use waitfree_model::{History, ImplAction, ImplAutomaton, ObjectSpec, Pid, Val};
+
+use super::merge::{is_suffix, merge, trim_after, view};
+
+/// A logged item: who consed it, their per-process sequence number, and
+/// the payload. The sequence number keeps repeated payloads by the same
+/// process distinguishable, which `trim` ("the suffix following its own
+/// most recent operation") requires.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Item {
+    /// The consing process.
+    pub owner: usize,
+    /// The owner's operation counter at cons time.
+    pub seq: usize,
+    /// The consed value.
+    pub payload: Val,
+}
+
+/// The representation object: announce/round/prefer register arrays plus
+/// the unbounded consensus array. Every operation touches exactly one
+/// register or one consensus object, so this object grants no power
+/// beyond "registers + consensus" — which is the point.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct F45Rep {
+    announce: Vec<Option<Item>>,
+    round: Vec<usize>,
+    prefer: Vec<Vec<Item>>,
+    winners: BTreeMap<usize, usize>,
+}
+
+impl F45Rep {
+    /// Fresh representation for `n` processes: all announces `⊥`, all
+    /// rounds 0, all preferences `Λ`, no round decided.
+    #[must_use]
+    pub fn new(n: usize) -> Self {
+        F45Rep {
+            announce: vec![None; n],
+            round: vec![0; n],
+            prefer: vec![Vec::new(); n],
+            winners: BTreeMap::new(),
+        }
+    }
+}
+
+/// Operations on [`F45Rep`] — each touches one register or one consensus
+/// object.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub enum F45Op {
+    /// `announce[caller] := item`.
+    WriteAnnounce(Item),
+    /// Read `announce[p]`.
+    ReadAnnounce(usize),
+    /// Read `round[p]`.
+    ReadRound(usize),
+    /// `round[caller] := r`.
+    WriteRound(usize),
+    /// Read `prefer[p]`.
+    ReadPrefer(usize),
+    /// `prefer[caller] := list`.
+    WritePrefer(Vec<Item>),
+    /// `consensus[round].decide(caller)`.
+    Decide {
+        /// The consensus round to join.
+        round: usize,
+    },
+}
+
+/// Responses from [`F45Rep`].
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub enum F45Resp {
+    /// A write completed.
+    Ack,
+    /// Contents of an announce register.
+    Announce(Option<Item>),
+    /// Contents of a round register.
+    Round(usize),
+    /// Contents of a prefer register.
+    Prefer(Vec<Item>),
+    /// The winning process of a consensus round.
+    Winner(usize),
+}
+
+impl ObjectSpec for F45Rep {
+    type Op = F45Op;
+    type Resp = F45Resp;
+
+    fn apply(&mut self, pid: Pid, op: &F45Op) -> F45Resp {
+        match op {
+            F45Op::WriteAnnounce(item) => {
+                self.announce[pid.0] = Some(*item);
+                F45Resp::Ack
+            }
+            F45Op::ReadAnnounce(p) => F45Resp::Announce(self.announce[*p]),
+            F45Op::ReadRound(p) => F45Resp::Round(self.round[*p]),
+            F45Op::WriteRound(r) => {
+                self.round[pid.0] = *r;
+                F45Resp::Ack
+            }
+            F45Op::ReadPrefer(p) => F45Resp::Prefer(self.prefer[*p].clone()),
+            F45Op::WritePrefer(list) => {
+                self.prefer[pid.0] = list.clone();
+                F45Resp::Ack
+            }
+            F45Op::Decide { round } => {
+                let w = *self.winners.entry(*round).or_insert(pid.0);
+                F45Resp::Winner(w)
+            }
+        }
+    }
+}
+
+/// Front-end state of [`ConsensusFetchAndCons`]. The `Idle` variant is the
+/// persistent between-operations state (the paper's local `winner`
+/// variable and the operation counter).
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub enum F45State {
+    /// Between operations.
+    Idle {
+        /// Winner of the last consensus round this process joined.
+        winner: Option<usize>,
+        /// Number of operations completed (sequence numbers).
+        seq: usize,
+    },
+    /// About to write `announce[i]`.
+    Announce {
+        /// Persisted winner coming into this operation.
+        winner0: Option<usize>,
+        /// This operation's item.
+        item: Item,
+    },
+    /// Scanning `announce[p]`.
+    ScanAnnounce {
+        /// Persisted winner.
+        winner0: Option<usize>,
+        /// This operation's item.
+        item: Item,
+        /// Process being scanned.
+        p: usize,
+        /// Goal list so far (newest first).
+        goal: Vec<Item>,
+        /// Maximum round seen so far.
+        last_round: usize,
+        /// Own round register's value.
+        my_round: usize,
+    },
+    /// Scanning `round[p]`.
+    ScanRound {
+        /// Persisted winner.
+        winner0: Option<usize>,
+        /// This operation's item.
+        item: Item,
+        /// Process being scanned.
+        p: usize,
+        /// Goal list so far.
+        goal: Vec<Item>,
+        /// Maximum round seen so far.
+        last_round: usize,
+        /// Own round register's value.
+        my_round: usize,
+    },
+    /// Joining the highest observed round to learn its winner.
+    CatchUp {
+        /// This operation's item.
+        item: Item,
+        /// Goal list.
+        goal: Vec<Item>,
+        /// The highest observed round.
+        last_round: usize,
+    },
+    /// Loop step (a): reading `prefer[winner]`.
+    ReadWinnerPref {
+        /// This operation's item.
+        item: Item,
+        /// Goal list.
+        goal: Vec<Item>,
+        /// Current round.
+        r: usize,
+        /// Final round of this operation's window.
+        end: usize,
+        /// Winner whose preference is read.
+        winner: usize,
+    },
+    /// Loop step (b): writing the merged preference.
+    WriteMerged {
+        /// This operation's item.
+        item: Item,
+        /// Goal list.
+        goal: Vec<Item>,
+        /// Current round.
+        r: usize,
+        /// Final round.
+        end: usize,
+        /// `goal \ prefer[winner]`.
+        merged: Vec<Item>,
+    },
+    /// Loop step (c): joining round `r`.
+    RoundDecide {
+        /// This operation's item.
+        item: Item,
+        /// Goal list.
+        goal: Vec<Item>,
+        /// Current round.
+        r: usize,
+        /// Final round.
+        end: usize,
+    },
+    /// Loop step (d): reading the new winner's preference.
+    ReadNewWinnerPref {
+        /// This operation's item.
+        item: Item,
+        /// Goal list.
+        goal: Vec<Item>,
+        /// Current round.
+        r: usize,
+        /// Final round.
+        end: usize,
+        /// Winner of round `r`.
+        new_winner: usize,
+    },
+    /// Loop step (e): adopting the winner's preference.
+    AdoptPref {
+        /// This operation's item.
+        item: Item,
+        /// Goal list.
+        goal: Vec<Item>,
+        /// Current round.
+        r: usize,
+        /// Final round.
+        end: usize,
+        /// Winner of round `r`.
+        new_winner: usize,
+        /// The adopted preference.
+        adopted: Vec<Item>,
+    },
+    /// Loop step (f): writing `round[i] := r`.
+    WriteMyRound {
+        /// This operation's item.
+        item: Item,
+        /// Goal list.
+        goal: Vec<Item>,
+        /// Current round.
+        r: usize,
+        /// Final round.
+        end: usize,
+        /// Winner of round `r`.
+        new_winner: usize,
+        /// The adopted preference.
+        adopted: Vec<Item>,
+    },
+    /// About to return the trimmed suffix.
+    Respond {
+        /// Winner to persist.
+        winner: usize,
+        /// This operation's sequence number (to persist `seq + 1`).
+        seq: usize,
+        /// The operation's result.
+        result: Vec<Item>,
+    },
+}
+
+/// The Figure 4-5 front-end: implements fetch-and-cons over [`F45Rep`].
+#[derive(Clone, Debug)]
+pub struct ConsensusFetchAndCons {
+    /// Number of processes.
+    pub n: usize,
+}
+
+impl ConsensusFetchAndCons {
+    /// Front-end for `n` processes plus its fresh representation.
+    #[must_use]
+    pub fn setup(n: usize) -> (Self, F45Rep) {
+        (ConsensusFetchAndCons { n }, F45Rep::new(n))
+    }
+
+    /// Enter the round loop: with a known previous winner we first read
+    /// that winner's preference; with none (no round ever ran) the
+    /// previous preference is `Λ`, so the merge is just the goal.
+    fn enter_loop(
+        item: Item,
+        goal: Vec<Item>,
+        r: usize,
+        end: usize,
+        winner: Option<usize>,
+    ) -> F45State {
+        match winner {
+            Some(w) => F45State::ReadWinnerPref { item, goal, r, end, winner: w },
+            None => {
+                let merged = merge(&goal, &[]);
+                F45State::WriteMerged { item, goal, r, end, merged }
+            }
+        }
+    }
+}
+
+impl ImplAutomaton for ConsensusFetchAndCons {
+    type HiOp = Val;
+    type HiResp = Vec<Item>;
+    type LoOp = F45Op;
+    type LoResp = F45Resp;
+    type State = F45State;
+
+    fn idle(&self, _pid: Pid) -> F45State {
+        F45State::Idle { winner: None, seq: 0 }
+    }
+
+    fn begin(&self, pid: Pid, state: &F45State, payload: &Val) -> F45State {
+        let F45State::Idle { winner, seq } = state else {
+            unreachable!("begin on a busy front-end")
+        };
+        F45State::Announce {
+            winner0: *winner,
+            item: Item { owner: pid.0, seq: *seq, payload: *payload },
+        }
+    }
+
+    fn action(&self, _pid: Pid, state: &F45State) -> ImplAction<F45Op, Vec<Item>> {
+        match state {
+            F45State::Idle { .. } => unreachable!("idle front-end has no action"),
+            F45State::Announce { item, .. } => ImplAction::Invoke(F45Op::WriteAnnounce(*item)),
+            F45State::ScanAnnounce { p, .. } => ImplAction::Invoke(F45Op::ReadAnnounce(*p)),
+            F45State::ScanRound { p, .. } => ImplAction::Invoke(F45Op::ReadRound(*p)),
+            F45State::CatchUp { last_round, .. } => {
+                ImplAction::Invoke(F45Op::Decide { round: *last_round })
+            }
+            F45State::ReadWinnerPref { winner, .. } => {
+                ImplAction::Invoke(F45Op::ReadPrefer(*winner))
+            }
+            F45State::WriteMerged { merged, .. } => {
+                ImplAction::Invoke(F45Op::WritePrefer(merged.clone()))
+            }
+            F45State::RoundDecide { r, .. } => ImplAction::Invoke(F45Op::Decide { round: *r }),
+            F45State::ReadNewWinnerPref { new_winner, .. } => {
+                ImplAction::Invoke(F45Op::ReadPrefer(*new_winner))
+            }
+            F45State::AdoptPref { adopted, .. } => {
+                ImplAction::Invoke(F45Op::WritePrefer(adopted.clone()))
+            }
+            F45State::WriteMyRound { r, .. } => ImplAction::Invoke(F45Op::WriteRound(*r)),
+            F45State::Respond { result, .. } => ImplAction::Return(result.clone()),
+        }
+    }
+
+    fn observe(&self, pid: Pid, state: &F45State, resp: &F45Resp) -> F45State {
+        let me = pid.0;
+        match (state.clone(), resp) {
+            (F45State::Announce { winner0, item }, F45Resp::Ack) => F45State::ScanAnnounce {
+                winner0,
+                item,
+                p: 0,
+                goal: Vec::new(),
+                last_round: 0,
+                my_round: 0,
+            },
+            (
+                F45State::ScanAnnounce { winner0, item, p, mut goal, last_round, my_round },
+                F45Resp::Announce(a),
+            ) => {
+                if let Some(it) = a {
+                    goal.insert(0, *it); // goal := announce[P] · goal
+                }
+                F45State::ScanRound { winner0, item, p, goal, last_round, my_round }
+            }
+            (
+                F45State::ScanRound { winner0, item, p, goal, last_round, my_round },
+                F45Resp::Round(k),
+            ) => {
+                let last_round = last_round.max(*k);
+                let my_round = if p == me { *k } else { my_round };
+                if p + 1 < self.n {
+                    F45State::ScanAnnounce {
+                        winner0,
+                        item,
+                        p: p + 1,
+                        goal,
+                        last_round,
+                        my_round,
+                    }
+                } else if last_round > my_round {
+                    F45State::CatchUp { item, goal, last_round }
+                } else {
+                    Self::enter_loop(item, goal, last_round + 1, last_round + self.n, winner0)
+                }
+            }
+            (F45State::CatchUp { item, goal, last_round }, F45Resp::Winner(w)) => {
+                Self::enter_loop(item, goal, last_round + 1, last_round + self.n, Some(*w))
+            }
+            (F45State::ReadWinnerPref { item, goal, r, end, .. }, F45Resp::Prefer(list)) => {
+                let merged = merge(&goal, list);
+                F45State::WriteMerged { item, goal, r, end, merged }
+            }
+            (F45State::WriteMerged { item, goal, r, end, .. }, F45Resp::Ack) => {
+                F45State::RoundDecide { item, goal, r, end }
+            }
+            (F45State::RoundDecide { item, goal, r, end }, F45Resp::Winner(w)) => {
+                F45State::ReadNewWinnerPref { item, goal, r, end, new_winner: *w }
+            }
+            (
+                F45State::ReadNewWinnerPref { item, goal, r, end, new_winner },
+                F45Resp::Prefer(list),
+            ) => F45State::AdoptPref { item, goal, r, end, new_winner, adopted: list.clone() },
+            (F45State::AdoptPref { item, goal, r, end, new_winner, adopted }, F45Resp::Ack) => {
+                F45State::WriteMyRound { item, goal, r, end, new_winner, adopted }
+            }
+            (
+                F45State::WriteMyRound { item, goal, r, end, new_winner, adopted },
+                F45Resp::Ack,
+            ) => {
+                if new_winner == me || r == end {
+                    let result = trim_after(&adopted, |it: &Item| it.owner == me && it.seq == item.seq)
+                        .unwrap_or_else(|| {
+                            unreachable!(
+                                "Lemma 24: after winning or n rounds, the item is preferred"
+                            )
+                        })
+                        .to_vec();
+                    F45State::Respond { winner: new_winner, seq: item.seq, result }
+                } else {
+                    Self::enter_loop(item, goal, r + 1, end, Some(new_winner))
+                }
+            }
+            (s, r) => unreachable!("unexpected response {r:?} in state {s:?}"),
+        }
+    }
+
+    fn finish(&self, _pid: Pid, state: &F45State) -> F45State {
+        let F45State::Respond { winner, seq, .. } = state else {
+            unreachable!("finish outside Respond")
+        };
+        F45State::Idle { winner: Some(*winner), seq: seq + 1 }
+    }
+}
+
+/// Verify a fetch-and-cons history against the paper's §4.2
+/// linearizability criterion:
+///
+/// 1. every two views are coherent (one is a suffix of the other), and
+/// 2. if operation `p` completes before `q` starts, `p`'s view is a
+///    suffix of `q`'s view.
+///
+/// Views are reconstructed from the history: the view of an operation is
+/// its item prepended to its result (pending operations are skipped).
+#[must_use]
+pub fn verify_history(history: &History<Val, Vec<Item>>) -> bool {
+    let ops = history.ops();
+    // Reconstruct items: the k-th completed-or-pending op by process P has
+    // seq k in invocation order.
+    let mut seqs: BTreeMap<usize, usize> = BTreeMap::new();
+    let mut views: Vec<Option<Vec<Item>>> = Vec::new();
+    for op in &ops {
+        let seq = seqs.entry(op.pid.0).or_insert(0);
+        let item = Item { owner: op.pid.0, seq: *seq, payload: op.op };
+        *seq += 1;
+        views.push(op.resp.as_ref().map(|r| view(item, r)));
+    }
+    let complete: Vec<Vec<Item>> = views.iter().flatten().cloned().collect();
+    if !super::merge::coherent(&complete) {
+        return false;
+    }
+    for i in 0..ops.len() {
+        for j in 0..ops.len() {
+            if ops[i].precedes(&ops[j]) {
+                if let (Some(vi), Some(vj)) = (&views[i], &views[j]) {
+                    if !is_suffix(vi, vj) {
+                        return false;
+                    }
+                }
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use waitfree_explorer::impl_sim::{run_random, run_schedule};
+
+    #[test]
+    fn sequential_operations_chain_views() {
+        let (fe, rep) = ConsensusFetchAndCons::setup(2);
+        // P0 conses 10, then P1 conses 20, strictly sequentially.
+        let workloads = vec![vec![10], vec![20]];
+        let schedule: Vec<usize> = std::iter::repeat(0)
+            .take(64)
+            .chain(std::iter::repeat(1).take(64))
+            .collect();
+        let run = run_schedule(&fe, rep, &workloads, &schedule);
+        assert!(run.complete);
+        let ops = run.history.ops();
+        assert_eq!(ops[0].resp.as_ref().unwrap().len(), 0, "first cons sees Λ");
+        let second = ops[1].resp.as_ref().unwrap();
+        assert_eq!(second.len(), 1, "second cons sees the first item");
+        assert_eq!(second[0].payload, 10);
+        assert!(verify_history(&run.history));
+    }
+
+    #[test]
+    fn random_runs_two_processes_are_linearizable() {
+        let (fe, rep) = ConsensusFetchAndCons::setup(2);
+        let workloads = vec![vec![10, 11], vec![20, 21]];
+        for seed in 0..300 {
+            let run = run_random(&fe, rep.clone(), &workloads, seed, 200);
+            assert!(run.complete, "seed {seed}");
+            assert!(verify_history(&run.history), "seed {seed}: {:?}", run.history);
+        }
+    }
+
+    #[test]
+    fn random_runs_three_processes_are_linearizable() {
+        let (fe, rep) = ConsensusFetchAndCons::setup(3);
+        let workloads = vec![vec![10, 11], vec![20, 21], vec![30, 31]];
+        for seed in 0..200 {
+            let run = run_random(&fe, rep.clone(), &workloads, seed, 400);
+            assert!(run.complete, "seed {seed}");
+            assert!(verify_history(&run.history), "seed {seed}: {:?}", run.history);
+        }
+    }
+
+    #[test]
+    fn random_runs_four_processes_repeated_payloads() {
+        // Identical payloads across processes and operations: the seq
+        // numbers must keep trim working.
+        let (fe, rep) = ConsensusFetchAndCons::setup(4);
+        let workloads = vec![vec![7, 7], vec![7, 7], vec![7], vec![7]];
+        for seed in 0..100 {
+            let run = run_random(&fe, rep.clone(), &workloads, seed, 600);
+            assert!(run.complete, "seed {seed}");
+            assert!(verify_history(&run.history), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn step_complexity_is_bounded_by_rounds() {
+        // Strong wait-freedom: one operation costs at most
+        // 1 (announce) + 2n (scan) + 1 (catch-up) + 6n (rounds) low-level
+        // steps.
+        let (fe, rep) = ConsensusFetchAndCons::setup(3);
+        let n = 3;
+        let bound_per_op = 1 + 2 * n + 1 + 6 * n;
+        let workloads = vec![vec![1, 2], vec![3, 4], vec![5, 6]];
+        for seed in 0..50 {
+            let run = run_random(&fe, rep.clone(), &workloads, seed, 500);
+            assert!(run.complete);
+            for (p, steps) in run.lo_steps.iter().enumerate() {
+                assert!(
+                    *steps <= 2 * bound_per_op,
+                    "seed {seed}: P{p} took {steps} > {}",
+                    2 * bound_per_op
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn verify_history_rejects_forked_views() {
+        let mut h: History<Val, Vec<Item>> = History::new();
+        // Two operations that both claim to be first: incoherent views.
+        h.invoke(Pid(0), 10);
+        h.respond(Pid(0), vec![]).unwrap();
+        h.invoke(Pid(1), 20);
+        h.respond(Pid(1), vec![]).unwrap();
+        assert!(!verify_history(&h), "P1's view must include P0's item");
+    }
+
+    #[test]
+    fn verify_history_accepts_the_legal_order() {
+        let mut h: History<Val, Vec<Item>> = History::new();
+        h.invoke(Pid(0), 10);
+        h.respond(Pid(0), vec![]).unwrap();
+        h.invoke(Pid(1), 20);
+        h.respond(Pid(1), vec![Item { owner: 0, seq: 0, payload: 10 }])
+            .unwrap();
+        assert!(verify_history(&h));
+    }
+}

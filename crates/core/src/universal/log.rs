@@ -1,0 +1,399 @@
+//! §4.1 — the universal construction: any deterministic sequential object
+//! from fetch-and-cons.
+//!
+//! > *We represent the object's state as a list of the invocations that
+//! > have been applied to it, placing the most recent invocation at the
+//! > head of the list. … First, [a process] uses fetch-and-cons to place
+//! > the operation at the head of the list. This step is when the
+//! > operation "really happens." Second, the process computes the
+//! > operation's result after traversing the list to reconstruct the
+//! > object's previous state.*
+//!
+//! Two artifacts:
+//!
+//! * [`LogUniversal`] — the construction as a directly usable data
+//!   structure, with the optional **checkpoint truncation** that makes it
+//!   *strongly* wait-free ("we allow each element in the list to be either
+//!   an operation or a state … a front-end will replay at most n
+//!   operations before it encounters a state"). Replay lengths are
+//!   tracked so the O(k) vs O(n) difference is measurable (bench
+//!   `log_truncation`).
+//! * [`LogFrontEnd`] — the same construction as a front-end automaton over
+//!   a `ConsList` representation, so the explorer can interleave it and
+//!   the linearizability checker can certify the resulting histories.
+
+use std::fmt::Debug;
+use std::hash::Hash;
+
+use waitfree_model::{ImplAction, ImplAutomaton, ObjectSpec, Pid};
+use waitfree_objects::list::{ListOp, ListResp};
+
+/// One log entry: an invocation, or a checkpointed state (the strongly
+/// wait-free extension: "We allow each element in the list to be either an
+/// operation or a state").
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub enum LogEntry<S: ObjectSpec> {
+    /// An invocation: who called what.
+    Op {
+        /// Invoking process.
+        pid: Pid,
+        /// The operation.
+        op: S::Op,
+    },
+    /// The object state reflecting every entry *below* (older than) this
+    /// point.
+    Checkpoint(S),
+}
+
+/// Replay a head-first (newest-first) log suffix from `initial`, stopping
+/// early at the first checkpoint: "The eval function is extended in the
+/// obvious way, returning immediately when it encounters a state in place
+/// of an operation." Returns the reconstructed state and the number of
+/// operation entries actually replayed.
+pub fn replay<S: ObjectSpec>(initial: &S, suffix: &[LogEntry<S>]) -> (S, usize) {
+    // Find the newest checkpoint (closest to the head).
+    let stop = suffix
+        .iter()
+        .position(|e| matches!(e, LogEntry::Checkpoint(_)))
+        .unwrap_or(suffix.len());
+    let mut state = match suffix.get(stop) {
+        Some(LogEntry::Checkpoint(s)) => s.clone(),
+        _ => initial.clone(),
+    };
+    // Apply the operations above the checkpoint, oldest first.
+    let mut replayed = 0;
+    for entry in suffix[..stop].iter().rev() {
+        let LogEntry::Op { pid, op } = entry else {
+            unreachable!("no checkpoint above `stop`")
+        };
+        state.apply(*pid, op);
+        replayed += 1;
+    }
+    (state, replayed)
+}
+
+/// The universal construction as a directly usable object.
+///
+/// `invoke` is the whole §4.1 algorithm: atomically thread the invocation
+/// onto the log, replay the suffix to reconstruct the prior state, compute
+/// the response. With `checkpointing` enabled, the caller then replaces
+/// everything below its entry with the reconstructed state, bounding every
+/// future replay by the number of concurrent operations.
+///
+/// # Example
+///
+/// ```
+/// use waitfree_core::universal::log::LogUniversal;
+/// use waitfree_model::Pid;
+/// use waitfree_objects::queue::{FifoQueue, QueueOp, QueueResp};
+///
+/// let mut q = LogUniversal::new(FifoQueue::new(), true);
+/// q.invoke(Pid(0), QueueOp::Enq(7));
+/// assert_eq!(q.invoke(Pid(1), QueueOp::Deq), QueueResp::Item(7));
+/// ```
+#[derive(Clone, Debug)]
+pub struct LogUniversal<S: ObjectSpec> {
+    initial: S,
+    /// Head-first log.
+    log: Vec<LogEntry<S>>,
+    checkpointing: bool,
+    last_replay: usize,
+    max_replay: usize,
+}
+
+impl<S: ObjectSpec> LogUniversal<S> {
+    /// Wrap a sequential object. With `checkpointing`, the construction is
+    /// strongly wait-free (bounded replay); without, replay cost grows
+    /// with history length.
+    #[must_use]
+    pub fn new(initial: S, checkpointing: bool) -> Self {
+        LogUniversal {
+            initial,
+            log: Vec::new(),
+            checkpointing,
+            last_replay: 0,
+            max_replay: 0,
+        }
+    }
+
+    /// Execute one operation through the log.
+    pub fn invoke(&mut self, pid: Pid, op: S::Op) -> S::Resp {
+        // Step 1: fetch-and-cons — the operation "really happens" here.
+        self.log.insert(
+            0,
+            LogEntry::Op {
+                pid,
+                op: op.clone(),
+            },
+        );
+        // Step 2: replay the suffix (everything after our entry).
+        let (mut state, replayed) = replay(&self.initial, &self.log[1..]);
+        self.last_replay = replayed;
+        self.max_replay = self.max_replay.max(replayed);
+        if self.checkpointing {
+            // Replace our cdr with the reconstructed (pre-operation)
+            // state: future replays stop here.
+            self.log.truncate(1);
+            self.log.push(LogEntry::Checkpoint(state.clone()));
+        }
+        state.apply(pid, &op)
+    }
+
+    /// Entries replayed by the most recent `invoke`.
+    #[must_use]
+    pub fn last_replay(&self) -> usize {
+        self.last_replay
+    }
+
+    /// Maximum entries replayed by any `invoke` so far.
+    #[must_use]
+    pub fn max_replay(&self) -> usize {
+        self.max_replay
+    }
+
+    /// Current log length (the space-complexity side of §4.1).
+    #[must_use]
+    pub fn log_len(&self) -> usize {
+        self.log.len()
+    }
+
+    /// Reconstruct the current abstract state (replays the whole log).
+    #[must_use]
+    pub fn state(&self) -> S {
+        replay(&self.initial, &self.log).0
+    }
+}
+
+/// A log item as stored in the `ConsList` representation: the invoking
+/// process's index paired with the operation.
+pub type LogItem<Op> = (usize, Op);
+
+/// The §4.1 construction as a front-end automaton over `ConsList<LogItem>`
+/// — the form the explorer can drive and the linearizability checker can
+/// certify.
+#[derive(Clone, Debug)]
+pub struct LogFrontEnd<S: ObjectSpec> {
+    /// The implemented object's initial state.
+    pub initial: S,
+}
+
+/// Front-end state of [`LogFrontEnd`].
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub enum LogFeState<S: ObjectSpec> {
+    /// Between operations.
+    Idle,
+    /// About to fetch-and-cons this operation.
+    Threading(S::Op),
+    /// Computed the response; about to return it.
+    Responding(S::Resp),
+}
+
+impl<S: ObjectSpec> ImplAutomaton for LogFrontEnd<S> {
+    type HiOp = S::Op;
+    type HiResp = S::Resp;
+    type LoOp = ListOp<LogItem<S::Op>>;
+    type LoResp = ListResp<LogItem<S::Op>>;
+    type State = LogFeState<S>;
+
+    fn idle(&self, _pid: Pid) -> Self::State {
+        LogFeState::Idle
+    }
+
+    fn begin(&self, _pid: Pid, _state: &Self::State, op: &S::Op) -> Self::State {
+        LogFeState::Threading(op.clone())
+    }
+
+    fn action(&self, pid: Pid, state: &Self::State) -> ImplAction<Self::LoOp, S::Resp> {
+        match state {
+            LogFeState::Idle => unreachable!("idle front-end has no action"),
+            LogFeState::Threading(op) => {
+                ImplAction::Invoke(ListOp::FetchAndCons((pid.0, op.clone())))
+            }
+            LogFeState::Responding(resp) => ImplAction::Return(resp.clone()),
+        }
+    }
+
+    fn observe(&self, pid: Pid, state: &Self::State, resp: &Self::LoResp) -> Self::State {
+        let LogFeState::Threading(op) = state else {
+            unreachable!("only the fetch-and-cons awaits a response")
+        };
+        let ListResp::Items(suffix) = resp else {
+            unreachable!("fetch-and-cons returns the suffix")
+        };
+        // Replay the suffix, oldest first.
+        let mut st = self.initial.clone();
+        for (p, o) in suffix.iter().rev() {
+            st.apply(Pid(*p), o);
+        }
+        LogFeState::Responding(st.apply(pid, op))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use waitfree_explorer::impl_sim::{all_histories, run_random};
+    use waitfree_model::{linearize, PendingPolicy, Val};
+    use waitfree_objects::counter::{Counter, CounterOp, CounterResp};
+    use waitfree_objects::queue::{FifoQueue, QueueOp, QueueResp};
+    use waitfree_objects::list::ConsList;
+    use waitfree_objects::stack::{Stack, StackOp};
+
+    #[test]
+    fn universal_queue_matches_direct_queue_sequentially() {
+        let mut uni = LogUniversal::new(FifoQueue::new(), false);
+        let mut direct = FifoQueue::new();
+        use waitfree_model::ObjectSpec;
+        let script = [
+            QueueOp::Enq(1),
+            QueueOp::Enq(2),
+            QueueOp::Deq,
+            QueueOp::Enq(3),
+            QueueOp::Deq,
+            QueueOp::Deq,
+            QueueOp::Deq,
+        ];
+        for (i, op) in script.iter().enumerate() {
+            let pid = Pid(i % 3);
+            assert_eq!(uni.invoke(pid, op.clone()), direct.apply(pid, op), "{op:?}");
+        }
+        assert_eq!(uni.state(), direct);
+    }
+
+    #[test]
+    fn replay_grows_without_checkpointing() {
+        let mut uni = LogUniversal::new(Counter::new(0), false);
+        for k in 0..50 {
+            uni.invoke(Pid(0), CounterOp::Add(1));
+            assert_eq!(uni.last_replay(), k, "k-th op replays k entries");
+        }
+        assert_eq!(uni.log_len(), 50);
+        assert_eq!(uni.max_replay(), 49);
+    }
+
+    #[test]
+    fn replay_is_constant_with_checkpointing() {
+        let mut uni = LogUniversal::new(Counter::new(0), true);
+        for _ in 0..50 {
+            uni.invoke(Pid(0), CounterOp::Add(1));
+            assert!(uni.last_replay() <= 1, "checkpoint bounds the replay");
+        }
+        assert!(uni.log_len() <= 2);
+        match uni.invoke(Pid(1), CounterOp::Get) {
+            CounterResp::Value(v) => assert_eq!(v, 50),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn checkpointed_and_plain_agree() {
+        let mut a = LogUniversal::new(Stack::new(), true);
+        let mut b = LogUniversal::new(Stack::new(), false);
+        let script = [
+            StackOp::Push(4),
+            StackOp::Push(5),
+            StackOp::Pop,
+            StackOp::Pop,
+            StackOp::Pop,
+        ];
+        for (i, op) in script.iter().enumerate() {
+            let pid = Pid(i % 2);
+            assert_eq!(a.invoke(pid, op.clone()), b.invoke(pid, op.clone()));
+        }
+    }
+
+    #[test]
+    fn replay_helper_stops_at_checkpoint() {
+        let ck = {
+            let mut s = Counter::new(0);
+            use waitfree_model::ObjectSpec;
+            s.apply(Pid(0), &CounterOp::Add(10));
+            s
+        };
+        let suffix: Vec<LogEntry<Counter>> = vec![
+            LogEntry::Op { pid: Pid(1), op: CounterOp::Add(1) },
+            LogEntry::Checkpoint(ck),
+            LogEntry::Op { pid: Pid(0), op: CounterOp::Add(100) }, // ignored
+        ];
+        let (state, replayed) = replay(&Counter::new(0), &suffix);
+        assert_eq!(state.value(), 11);
+        assert_eq!(replayed, 1);
+    }
+
+    #[test]
+    fn front_end_histories_linearize_against_queue_spec() {
+        let fe = LogFrontEnd { initial: FifoQueue::new() };
+        let workloads = vec![
+            vec![QueueOp::Enq(10), QueueOp::Deq],
+            vec![QueueOp::Enq(20), QueueOp::Deq],
+        ];
+        let histories = all_histories(
+            &fe,
+            &ConsList::<LogItem<QueueOp>>::new(),
+            &workloads,
+            50_000,
+        );
+        assert!(histories.len() > 1, "concurrency produces several histories");
+        for h in &histories {
+            let report = linearize(h, &FifoQueue::new(), PendingPolicy::MayTakeEffect);
+            assert!(report.outcome.is_ok(), "{h:?}");
+        }
+    }
+
+    #[test]
+    fn front_end_random_runs_linearize_three_processes() {
+        let fe = LogFrontEnd { initial: FifoQueue::new() };
+        let workloads: Vec<Vec<QueueOp>> = (0..3)
+            .map(|p| {
+                vec![
+                    QueueOp::Enq(10 * p as Val),
+                    QueueOp::Deq,
+                    QueueOp::Enq(10 * p as Val + 1),
+                    QueueOp::Deq,
+                ]
+            })
+            .collect();
+        for seed in 0..20 {
+            let run = run_random(
+                &fe,
+                ConsList::<LogItem<QueueOp>>::new(),
+                &workloads,
+                seed,
+                500,
+            );
+            assert!(run.complete);
+            let report = linearize(&run.history, &FifoQueue::new(), PendingPolicy::MayTakeEffect);
+            assert!(report.outcome.is_ok(), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn front_end_responses_expose_enqueue_order() {
+        // Two concurrent enqueues then two dequeues: the dequeues must
+        // return the two items in *some* consistent FIFO order — never the
+        // same item twice and never `Empty`.
+        let fe = LogFrontEnd { initial: FifoQueue::new() };
+        let workloads = vec![
+            vec![QueueOp::Enq(1), QueueOp::Deq],
+            vec![QueueOp::Enq(2), QueueOp::Deq],
+        ];
+        let histories = all_histories(
+            &fe,
+            &ConsList::<LogItem<QueueOp>>::new(),
+            &workloads,
+            50_000,
+        );
+        for h in &histories {
+            let deq_results: Vec<QueueResp> = h
+                .ops()
+                .iter()
+                .filter(|o| o.op == QueueOp::Deq)
+                .filter_map(|o| o.resp.clone())
+                .collect();
+            if deq_results.len() == 2 {
+                assert_ne!(deq_results[0], deq_results[1], "items dequeued once each");
+                assert!(!deq_results.contains(&QueueResp::Empty));
+            }
+        }
+    }
+}

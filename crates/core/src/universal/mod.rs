@@ -1,0 +1,23 @@
+//! §4 — Universality results.
+//!
+//! The paper's two-step reduction, each step implemented and checkable:
+//!
+//! 1. [`log`] — §4.1: any deterministic sequential object has a wait-free
+//!    implementation from **fetch-and-cons** ("we represent the object's
+//!    state as a list of the invocations that have been applied to it"),
+//!    plus the strongly-wait-free variant that truncates the log with
+//!    checkpointed states.
+//! 2. [`consensus_cons`] — Figure 4-5: fetch-and-cons has a wait-free
+//!    implementation from **any n-process consensus object**, using at
+//!    most n rounds of consensus per operation.
+//!
+//! Together: an object is universal iff it solves n-process consensus
+//! (Theorem 26). [`swap_cons`] adds the direct constant-time
+//! implementation of fetch-and-cons from memory-to-memory swap
+//! (Figures 4-3/4-4), and [`merge`] holds the list operators (`\`, views,
+//! trim) with the coherence lemmas as tested properties.
+
+pub mod consensus_cons;
+pub mod log;
+pub mod merge;
+pub mod swap_cons;

@@ -1,0 +1,267 @@
+//! Figures 4-3 / 4-4 — a constant-time fetch-and-cons from
+//! memory-to-memory swap.
+//!
+//! > *One way to show that an object is universal is to give a direct
+//! > implementation of fetch-and-cons. For example, Figures 4-3 and 4-4
+//! > show a constant-time implementation of fetch-and-cons by
+//! > memory-to-memory swap.*
+//!
+//! The trick: a process prepares a fresh cons cell holding its item, with
+//! the cell's `next` field pointing *at the cell itself*; a single
+//! memory-to-memory swap of `Anchor` with the cell's `next` field then
+//! atomically (1) makes the anchor point at the new cell and (2) makes the
+//! new cell's `next` point at the old list — the entire thread-on step is
+//! one atomic operation. Reading back the suffix is a plain pointer walk
+//! over immutable cells.
+
+use waitfree_model::{ImplAction, ImplAutomaton, Pid, Val};
+use waitfree_objects::memory::{MemOp, MemoryBank, MemResp};
+
+/// Null pointer inside the arena.
+pub const NIL: Val = -1;
+
+/// The swap-based fetch-and-cons front-end over a [`MemoryBank`] arena.
+///
+/// Cell 0 is the anchor. Each process owns a preallocated region of
+/// `max_ops` two-cell nodes (`item`, `next`); operation `s` of process `p`
+/// uses the node at `1 + 2(p · max_ops + s)`.
+#[derive(Clone, Debug)]
+pub struct SwapFetchAndCons {
+    /// Number of processes.
+    pub n: usize,
+    /// Per-process operation budget (arena sizing).
+    pub max_ops: usize,
+}
+
+/// Front-end state of [`SwapFetchAndCons`].
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub enum SwapFacState {
+    /// Between operations; `usize` counts completed operations.
+    Idle(usize),
+    /// Writing the item into the fresh node.
+    WriteItem {
+        /// Operation index (node selector).
+        seq: usize,
+        /// The item.
+        x: Val,
+    },
+    /// Initializing the node's `next` to point at the node itself.
+    WriteNext {
+        /// Operation index.
+        seq: usize,
+    },
+    /// The atomic thread-on: swap anchor with the node's `next`.
+    DoSwap {
+        /// Operation index.
+        seq: usize,
+    },
+    /// Reading back the node's `next` (now the old list head).
+    ReadHead {
+        /// Operation index.
+        seq: usize,
+    },
+    /// Walking the suffix: about to read the item at `ptr`.
+    WalkItem {
+        /// Operation index.
+        seq: usize,
+        /// Node base cell being visited.
+        ptr: Val,
+        /// Items collected so far (newest first).
+        acc: Vec<Val>,
+    },
+    /// Walking the suffix: about to read the `next` at `ptr`.
+    WalkNext {
+        /// Operation index.
+        seq: usize,
+        /// Node base cell being visited.
+        ptr: Val,
+        /// Items collected so far.
+        acc: Vec<Val>,
+    },
+    /// About to return the suffix.
+    Respond {
+        /// Operation index.
+        seq: usize,
+        /// The collected suffix.
+        acc: Vec<Val>,
+    },
+}
+
+impl SwapFetchAndCons {
+    /// Front-end for `n` processes, each performing at most `max_ops`
+    /// operations, plus the arena: anchor `NIL`, all nodes zeroed.
+    #[must_use]
+    pub fn setup(n: usize, max_ops: usize) -> (Self, MemoryBank) {
+        let mut cells = vec![0; 1 + 2 * n * max_ops];
+        cells[0] = NIL;
+        (SwapFetchAndCons { n, max_ops }, MemoryBank::from_values(cells))
+    }
+
+    fn node_base(&self, pid: usize, seq: usize) -> usize {
+        assert!(
+            seq < self.max_ops,
+            "process P{pid} exceeded its arena budget of {} operations",
+            self.max_ops
+        );
+        1 + 2 * (pid * self.max_ops + seq)
+    }
+}
+
+impl ImplAutomaton for SwapFetchAndCons {
+    type HiOp = Val;
+    type HiResp = Vec<Val>;
+    type LoOp = MemOp;
+    type LoResp = MemResp;
+    type State = SwapFacState;
+
+    fn idle(&self, _pid: Pid) -> SwapFacState {
+        SwapFacState::Idle(0)
+    }
+
+    fn begin(&self, _pid: Pid, state: &SwapFacState, x: &Val) -> SwapFacState {
+        let SwapFacState::Idle(seq) = state else {
+            unreachable!("begin on a busy front-end")
+        };
+        SwapFacState::WriteItem { seq: *seq, x: *x }
+    }
+
+    fn action(&self, pid: Pid, state: &SwapFacState) -> ImplAction<MemOp, Vec<Val>> {
+        match state {
+            SwapFacState::Idle(_) => unreachable!("idle front-end has no action"),
+            SwapFacState::WriteItem { seq, x } => {
+                ImplAction::Invoke(MemOp::Write(self.node_base(pid.0, *seq), *x))
+            }
+            SwapFacState::WriteNext { seq } => {
+                let base = self.node_base(pid.0, *seq);
+                // The self-pointer: next := &node.
+                ImplAction::Invoke(MemOp::Write(base + 1, base as Val))
+            }
+            SwapFacState::DoSwap { seq } => {
+                let base = self.node_base(pid.0, *seq);
+                ImplAction::Invoke(MemOp::Swap { a: 0, b: base + 1 })
+            }
+            SwapFacState::ReadHead { seq } => {
+                let base = self.node_base(pid.0, *seq);
+                ImplAction::Invoke(MemOp::Read(base + 1))
+            }
+            SwapFacState::WalkItem { ptr, .. } => {
+                ImplAction::Invoke(MemOp::Read(*ptr as usize))
+            }
+            SwapFacState::WalkNext { ptr, .. } => {
+                ImplAction::Invoke(MemOp::Read(*ptr as usize + 1))
+            }
+            SwapFacState::Respond { acc, .. } => ImplAction::Return(acc.clone()),
+        }
+    }
+
+    fn observe(&self, _pid: Pid, state: &SwapFacState, resp: &MemResp) -> SwapFacState {
+        match (state.clone(), resp) {
+            (SwapFacState::WriteItem { seq, .. }, MemResp::Ack) => {
+                SwapFacState::WriteNext { seq }
+            }
+            (SwapFacState::WriteNext { seq }, MemResp::Ack) => SwapFacState::DoSwap { seq },
+            (SwapFacState::DoSwap { seq }, MemResp::Ack) => SwapFacState::ReadHead { seq },
+            (SwapFacState::ReadHead { seq }, MemResp::Value(head)) => {
+                if *head == NIL {
+                    SwapFacState::Respond { seq, acc: Vec::new() }
+                } else {
+                    SwapFacState::WalkItem { seq, ptr: *head, acc: Vec::new() }
+                }
+            }
+            (SwapFacState::WalkItem { seq, ptr, mut acc }, MemResp::Value(item)) => {
+                acc.push(*item);
+                SwapFacState::WalkNext { seq, ptr, acc }
+            }
+            (SwapFacState::WalkNext { seq, acc, .. }, MemResp::Value(next)) => {
+                if *next == NIL {
+                    SwapFacState::Respond { seq, acc }
+                } else {
+                    SwapFacState::WalkItem { seq, ptr: *next, acc }
+                }
+            }
+            (s, r) => unreachable!("unexpected response {r:?} in state {s:?}"),
+        }
+    }
+
+    fn finish(&self, _pid: Pid, state: &SwapFacState) -> SwapFacState {
+        let SwapFacState::Respond { seq, .. } = state else {
+            unreachable!("finish outside Respond")
+        };
+        SwapFacState::Idle(seq + 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use waitfree_explorer::impl_sim::{all_histories, run_random, run_schedule};
+    use waitfree_model::{linearize, ObjectSpec, PendingPolicy};
+
+    /// The high-level sequential specification: fetch-and-cons over plain
+    /// values, for the linearizability checker.
+    #[derive(Clone, Debug, PartialEq, Eq, Hash, Default)]
+    struct FacSpec(Vec<Val>);
+
+    impl ObjectSpec for FacSpec {
+        type Op = Val;
+        type Resp = Vec<Val>;
+        fn apply(&mut self, _pid: Pid, x: &Val) -> Vec<Val> {
+            let old = self.0.clone();
+            self.0.insert(0, *x);
+            old
+        }
+    }
+
+    #[test]
+    fn sequential_chain() {
+        let (fe, arena) = SwapFetchAndCons::setup(1, 3);
+        let run = run_schedule(&fe, arena, &[vec![10, 20, 30]], &vec![0; 100]);
+        assert!(run.complete);
+        let ops = run.history.ops();
+        assert_eq!(ops[0].resp, Some(vec![]));
+        assert_eq!(ops[1].resp, Some(vec![10]));
+        assert_eq!(ops[2].resp, Some(vec![20, 10]));
+    }
+
+    #[test]
+    fn exhaustive_two_processes_linearizable() {
+        let (fe, arena) = SwapFetchAndCons::setup(2, 1);
+        let histories = all_histories(&fe, &arena, &[vec![10], vec![20]], 500_000);
+        assert!(histories.len() > 1);
+        for h in &histories {
+            let report = linearize(h, &FacSpec::default(), PendingPolicy::MayTakeEffect);
+            assert!(report.outcome.is_ok(), "{h:?}");
+        }
+    }
+
+    #[test]
+    fn random_three_processes_linearizable() {
+        let (fe, arena) = SwapFetchAndCons::setup(3, 2);
+        let workloads = vec![vec![10, 11], vec![20, 21], vec![30, 31]];
+        for seed in 0..150 {
+            let run = run_random(&fe, arena.clone(), &workloads, seed, 300);
+            assert!(run.complete, "seed {seed}");
+            let report = linearize(&run.history, &FacSpec::default(), PendingPolicy::MayTakeEffect);
+            assert!(report.outcome.is_ok(), "seed {seed}: {:?}", run.history);
+        }
+    }
+
+    #[test]
+    fn threading_is_constant_time() {
+        // The thread-on (write, write, swap) is 3 low-level steps; only the
+        // read-back walk depends on history length. With k prior items an
+        // operation costs 3 + 1 + 2k steps.
+        let (fe, arena) = SwapFetchAndCons::setup(1, 5);
+        let run = run_schedule(&fe, arena, &[vec![1, 2, 3, 4, 5]], &vec![0; 200]);
+        assert!(run.complete);
+        // Total: sum over k=0..4 of (4 + 2k) = 20 + 20 = 40.
+        assert_eq!(run.lo_steps[0], 40);
+    }
+
+    #[test]
+    #[should_panic(expected = "arena budget")]
+    fn arena_budget_is_enforced() {
+        let (fe, arena) = SwapFetchAndCons::setup(1, 1);
+        let _ = run_schedule(&fe, arena, &[vec![1, 2]], &vec![0; 100]);
+    }
+}

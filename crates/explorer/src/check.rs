@@ -1,0 +1,572 @@
+//! Exhaustive verification of consensus protocols.
+//!
+//! [`check_consensus`] explores *every* schedule of a protocol (optionally
+//! including crash steps) and verifies the three properties the paper
+//! demands of a wait-free consensus protocol (§3):
+//!
+//! 1. **Agreement** — no history has more than one decision value;
+//! 2. **Validity** — if a history has decision value `Pⱼ`, then `Pⱼ` took
+//!    at least one step (ruling out predefined choices);
+//! 3. **Wait-freedom** — no process takes an infinite number of steps
+//!    without deciding. Because configurations are finite, an infinite run
+//!    exists iff the configuration graph has a reachable cycle, which the
+//!    three-color depth-first search detects exactly.
+
+use std::collections::{BTreeSet, HashMap};
+
+use waitfree_model::{BranchingSpec, Pid, ProcessAutomaton, Val};
+
+use crate::config::Config;
+
+/// Settings for the exhaustive checker.
+#[derive(Clone, Debug)]
+pub struct CheckSettings {
+    /// Explore crash steps: at any point the adversary may silently halt a
+    /// running process. The surviving processes must still decide — this
+    /// is the fault-tolerance content of wait-freedom. Enabled by default.
+    pub crashes: bool,
+    /// Abort after visiting this many distinct configurations.
+    pub max_configs: usize,
+}
+
+impl Default for CheckSettings {
+    fn default() -> Self {
+        CheckSettings {
+            crashes: true,
+            max_configs: 5_000_000,
+        }
+    }
+}
+
+/// Why a protocol failed verification.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Violation {
+    /// Two processes decided differently in the same execution.
+    Agreement {
+        /// The conflicting decision values.
+        values: (Val, Val),
+    },
+    /// A decision value names a process that never took a step (or is not
+    /// a process name at all).
+    Validity {
+        /// The invalid decision value.
+        value: Val,
+    },
+    /// A reachable cycle exists: some process can take infinitely many
+    /// steps without deciding.
+    WaitFreedom,
+    /// The configuration budget was exhausted before the search finished.
+    Budget {
+        /// The configured limit that was hit.
+        limit: usize,
+    },
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Violation::Agreement { values } => {
+                write!(f, "agreement violated: {} vs {}", values.0, values.1)
+            }
+            Violation::Validity { value } => {
+                write!(f, "validity violated: decided {value}, which took no step")
+            }
+            Violation::WaitFreedom => write!(f, "wait-freedom violated: infinite run exists"),
+            Violation::Budget { limit } => write!(f, "configuration budget {limit} exhausted"),
+        }
+    }
+}
+
+/// One scheduling decision in a counterexample trace.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TraceStep {
+    /// The process took one protocol step (operation or decide).
+    Step(Pid),
+    /// The adversary crashed the process.
+    Crash(Pid),
+}
+
+impl std::fmt::Display for TraceStep {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TraceStep::Step(p) => write!(f, "{p} steps"),
+            TraceStep::Crash(p) => write!(f, "{p} crashes"),
+        }
+    }
+}
+
+/// Result of exhaustively checking a protocol.
+#[derive(Clone, Debug)]
+pub struct CheckReport {
+    /// First violation found, or `None` if the protocol is correct.
+    pub violation: Option<Violation>,
+    /// Number of distinct configurations visited.
+    pub configs: usize,
+    /// Decision values observed across all executions.
+    pub decisions_seen: BTreeSet<Val>,
+    /// Length of the longest simple execution explored (steps).
+    pub max_depth: usize,
+    /// A schedule witnessing the violation: the sequence of scheduling
+    /// decisions from the initial configuration. `None` when the protocol
+    /// passed (or the violation was a budget overrun).
+    pub counterexample: Option<Vec<TraceStep>>,
+}
+
+impl CheckReport {
+    /// Whether the protocol passed all three properties.
+    #[must_use]
+    pub fn is_ok(&self) -> bool {
+        self.violation.is_none()
+    }
+}
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Color {
+    /// On the current DFS path.
+    Grey,
+    /// Fully explored.
+    Black,
+}
+
+/// Exhaustively verify an `n`-process consensus protocol over `object`.
+///
+/// Every interleaving of process steps (at linearization granularity) is
+/// explored; if [`CheckSettings::crashes`] is set, the adversary may also
+/// halt processes at any point. See the crate root for a worked example.
+pub fn check_consensus<O, P>(
+    protocol: &P,
+    object: &O,
+    n: usize,
+    settings: &CheckSettings,
+) -> CheckReport
+where
+    O: BranchingSpec,
+    P: ProcessAutomaton<Op = O::Op, Resp = O::Resp>,
+{
+    let initial = Config::initial(protocol, object.clone(), n);
+    let mut report = CheckReport {
+        violation: None,
+        configs: 0,
+        decisions_seen: BTreeSet::new(),
+        max_depth: 0,
+        counterexample: None,
+    };
+    let mut colors: HashMap<Config<O, P::State>, Color> = HashMap::new();
+
+    // Iterative three-color DFS. Each frame owns the list of labeled
+    // successor configurations of one node and an index into it; the
+    // incoming label reconstructs counterexample schedules.
+    struct Frame<C> {
+        config: C,
+        incoming: Option<TraceStep>,
+        succs: Vec<(TraceStep, C)>,
+        next: usize,
+    }
+
+    let succs_of = |cfg: &Config<O, P::State>| -> Vec<(TraceStep, Config<O, P::State>)> {
+        let mut out = Vec::new();
+        for pid in cfg.running().collect::<Vec<Pid>>() {
+            out.extend(cfg.step(protocol, pid).into_iter().map(|c| (TraceStep::Step(pid), c)));
+            if settings.crashes {
+                out.extend(cfg.crash(pid).map(|c| (TraceStep::Crash(pid), c)));
+            }
+        }
+        out
+    };
+
+    let check_leaf = |cfg: &Config<O, P::State>, report: &mut CheckReport| {
+        let mut first: Option<Val> = None;
+        for v in cfg.decisions() {
+            report.decisions_seen.insert(v);
+            match first {
+                None => first = Some(v),
+                Some(f) if f != v => {
+                    report.violation = Some(Violation::Agreement { values: (f, v) });
+                    return;
+                }
+                Some(_) => {}
+            }
+            let valid = v >= 0 && (v as usize) < cfg.n() && cfg.has_moved(Pid(v as usize));
+            if !valid {
+                report.violation = Some(Violation::Validity { value: v });
+                return;
+            }
+        }
+    };
+
+    enum Todo<C> {
+        Pop,
+        Visit(C),
+    }
+
+    // The schedule leading to the currently open frame (excluding root).
+    let trace_of = |stack: &[Frame<Config<O, P::State>>]| -> Vec<TraceStep> {
+        stack.iter().filter_map(|f| f.incoming).collect()
+    };
+
+    colors.insert(initial.clone(), Color::Grey);
+    report.configs = 1;
+    let succs = succs_of(&initial);
+    let mut stack = vec![Frame { config: initial, incoming: None, succs, next: 0 }];
+
+    while !stack.is_empty() {
+        report.max_depth = report.max_depth.max(stack.len() - 1);
+        let todo = {
+            let frame = stack.last_mut().expect("non-empty stack");
+            if frame.next == 0 && frame.config.is_terminal() {
+                check_leaf(&frame.config, &mut report);
+                if report.violation.is_some() {
+                    report.counterexample = Some(trace_of(&stack));
+                    return report;
+                }
+            }
+            if frame.next >= frame.succs.len() {
+                Todo::Pop
+            } else {
+                let child = frame.succs[frame.next].clone();
+                frame.next += 1;
+                Todo::Visit(child)
+            }
+        };
+        match todo {
+            Todo::Pop => {
+                let frame = stack.pop().expect("non-empty stack");
+                colors.insert(frame.config, Color::Black);
+            }
+            Todo::Visit((label, child)) => match colors.get(&child) {
+                Some(Color::Grey) => {
+                    report.violation = Some(Violation::WaitFreedom);
+                    let mut trace = trace_of(&stack);
+                    trace.push(label);
+                    report.counterexample = Some(trace);
+                    return report;
+                }
+                Some(Color::Black) => {}
+                None => {
+                    report.configs += 1;
+                    if report.configs > settings.max_configs {
+                        report.violation = Some(Violation::Budget {
+                            limit: settings.max_configs,
+                        });
+                        return report;
+                    }
+                    colors.insert(child.clone(), Color::Grey);
+                    let succs = succs_of(&child);
+                    stack.push(Frame { config: child, incoming: Some(label), succs, next: 0 });
+                }
+            },
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use waitfree_model::{Action, ObjectSpec};
+    use waitfree_objects::register::{RegOp, RegResp, RwRegister};
+    use waitfree_objects::rmw::{RmwFn, RmwOp, RmwRegister};
+
+    /// Theorem 4's two-process protocol for any non-trivial RMW.
+    struct Rmw2 {
+        f: RmwFn,
+        initial: Val,
+    }
+
+    #[derive(Clone, Debug, PartialEq, Eq, Hash)]
+    enum St {
+        Start,
+        Done(Val),
+    }
+
+    impl ProcessAutomaton for Rmw2 {
+        type Op = RmwOp;
+        type Resp = <RmwRegister as ObjectSpec>::Resp;
+        type State = St;
+
+        fn start(&self, _pid: Pid) -> St {
+            St::Start
+        }
+
+        fn action(&self, _pid: Pid, st: &St) -> Action<RmwOp> {
+            match st {
+                St::Start => Action::Invoke(RmwOp(self.f)),
+                St::Done(v) => Action::Decide(*v),
+            }
+        }
+
+        fn observe(&self, pid: Pid, _st: &St, resp: &Val) -> St {
+            // Saw the initial value => I was linearized first => I win.
+            if *resp == self.initial {
+                St::Done(pid.as_val())
+            } else {
+                St::Done(1 - pid.as_val())
+            }
+        }
+    }
+
+    #[test]
+    fn tas_consensus_passes_exhaustive_check() {
+        let proto = Rmw2 { f: RmwFn::TestAndSet, initial: 0 };
+        let report = check_consensus(&proto, &RmwRegister::new(0), 2, &CheckSettings::default());
+        assert!(report.is_ok(), "{:?}", report.violation);
+        assert_eq!(report.decisions_seen, BTreeSet::from([0, 1]));
+        assert!(report.configs > 4);
+    }
+
+    #[test]
+    fn fetch_and_add_consensus_passes() {
+        let proto = Rmw2 { f: RmwFn::FetchAndAdd(1), initial: 0 };
+        let report = check_consensus(&proto, &RmwRegister::new(0), 2, &CheckSettings::default());
+        assert!(report.is_ok(), "{:?}", report.violation);
+    }
+
+    /// A broken protocol: both processes decide themselves.
+    struct Selfish;
+
+    impl ProcessAutomaton for Selfish {
+        type Op = RmwOp;
+        type Resp = Val;
+        type State = St;
+        fn start(&self, _pid: Pid) -> St {
+            St::Start
+        }
+        fn action(&self, pid: Pid, st: &St) -> Action<RmwOp> {
+            match st {
+                St::Start => Action::Invoke(RmwOp(RmwFn::TestAndSet)),
+                St::Done(_) => Action::Decide(pid.as_val()),
+            }
+        }
+        fn observe(&self, _pid: Pid, _st: &St, resp: &Val) -> St {
+            St::Done(*resp)
+        }
+    }
+
+    #[test]
+    fn disagreement_is_detected() {
+        let report = check_consensus(&Selfish, &RmwRegister::new(0), 2, &CheckSettings::default());
+        assert!(matches!(report.violation, Some(Violation::Agreement { .. })), "{report:?}");
+    }
+
+    /// A protocol deciding a constant: valid only for the process that
+    /// moved; deciding P1 when P1 never ran violates validity.
+    struct Constant;
+
+    impl ProcessAutomaton for Constant {
+        type Op = RmwOp;
+        type Resp = Val;
+        type State = St;
+        fn start(&self, _pid: Pid) -> St {
+            St::Start
+        }
+        fn action(&self, _pid: Pid, st: &St) -> Action<RmwOp> {
+            match st {
+                St::Start => Action::Invoke(RmwOp(RmwFn::Identity)),
+                St::Done(_) => Action::Decide(1),
+            }
+        }
+        fn observe(&self, _pid: Pid, _st: &St, _resp: &Val) -> St {
+            St::Done(0)
+        }
+    }
+
+    #[test]
+    fn validity_violation_is_detected() {
+        // In the run where only P0 executes (P1 crashed), decision 1 names
+        // a process that took no step.
+        let report = check_consensus(&Constant, &RmwRegister::new(0), 2, &CheckSettings::default());
+        assert_eq!(report.violation, Some(Violation::Validity { value: 1 }));
+    }
+
+    /// A protocol that spins forever re-reading a register.
+    struct Spinner;
+
+    impl ProcessAutomaton for Spinner {
+        type Op = RegOp;
+        type Resp = RegResp;
+        type State = u8;
+        fn start(&self, _pid: Pid) -> u8 {
+            0
+        }
+        fn action(&self, _pid: Pid, _st: &u8) -> Action<RegOp> {
+            Action::Invoke(RegOp::Read)
+        }
+        fn observe(&self, _pid: Pid, st: &u8, _resp: &RegResp) -> u8 {
+            *st // never progresses
+        }
+    }
+
+    #[test]
+    fn livelock_is_detected_as_wait_freedom_violation() {
+        let report = check_consensus(&Spinner, &RwRegister::new(0), 1, &CheckSettings::default());
+        assert_eq!(report.violation, Some(Violation::WaitFreedom));
+    }
+
+    /// A protocol that busy-waits on a register another process must set —
+    /// the "conditional waiting" the wait-free condition forbids.
+    struct Waiter;
+
+    #[derive(Clone, Debug, PartialEq, Eq, Hash)]
+    enum WSt {
+        Announce,
+        Wait,
+        Done(Val),
+    }
+
+    impl ProcessAutomaton for Waiter {
+        type Op = RegOp;
+        type Resp = RegResp;
+        type State = WSt;
+        fn start(&self, _pid: Pid) -> WSt {
+            WSt::Announce
+        }
+        fn action(&self, pid: Pid, st: &WSt) -> Action<RegOp> {
+            match st {
+                WSt::Announce if pid == Pid(0) => Action::Invoke(RegOp::Write(1)),
+                WSt::Announce | WSt::Wait => Action::Invoke(RegOp::Read),
+                WSt::Done(v) => Action::Decide(*v),
+            }
+        }
+        fn observe(&self, pid: Pid, st: &WSt, resp: &RegResp) -> WSt {
+            match (pid, st, resp) {
+                (Pid(0), WSt::Announce, _) => WSt::Done(0),
+                (_, _, RegResp::Read(1)) => WSt::Done(0),
+                _ => WSt::Wait, // keep polling until P0's write lands
+            }
+        }
+    }
+
+    #[test]
+    fn busy_waiting_on_another_process_is_rejected() {
+        let report = check_consensus(&Waiter, &RwRegister::new(0), 2, &CheckSettings::default());
+        assert_eq!(report.violation, Some(Violation::WaitFreedom));
+    }
+
+    #[test]
+    fn budget_exhaustion_reported() {
+        let proto = Rmw2 { f: RmwFn::TestAndSet, initial: 0 };
+        let settings = CheckSettings { crashes: true, max_configs: 3 };
+        let report = check_consensus(&proto, &RmwRegister::new(0), 2, &settings);
+        assert_eq!(report.violation, Some(Violation::Budget { limit: 3 }));
+    }
+
+    #[test]
+    fn crash_free_check_also_passes() {
+        let proto = Rmw2 { f: RmwFn::TestAndSet, initial: 0 };
+        let settings = CheckSettings { crashes: false, ..CheckSettings::default() };
+        let report = check_consensus(&proto, &RmwRegister::new(0), 2, &settings);
+        assert!(report.is_ok());
+    }
+}
+
+#[cfg(test)]
+mod trace_tests {
+    use super::*;
+    use waitfree_model::{Action, ProcessAutomaton};
+    use waitfree_objects::rmw::{RmwFn, RmwOp, RmwRegister};
+
+    /// Both processes decide themselves: the counterexample must be a
+    /// concrete schedule ending in disagreement.
+    struct Selfish;
+
+    #[derive(Clone, Debug, PartialEq, Eq, Hash)]
+    enum St {
+        Start,
+        Done,
+    }
+
+    impl ProcessAutomaton for Selfish {
+        type Op = RmwOp;
+        type Resp = Val;
+        type State = St;
+        fn start(&self, _pid: Pid) -> St {
+            St::Start
+        }
+        fn action(&self, pid: Pid, st: &St) -> Action<RmwOp> {
+            match st {
+                St::Start => Action::Invoke(RmwOp(RmwFn::TestAndSet)),
+                St::Done => Action::Decide(pid.as_val()),
+            }
+        }
+        fn observe(&self, _pid: Pid, _st: &St, _resp: &Val) -> St {
+            St::Done
+        }
+    }
+
+    #[test]
+    fn agreement_violation_comes_with_a_schedule() {
+        let report = check_consensus(&Selfish, &RmwRegister::new(0), 2, &CheckSettings::default());
+        assert!(matches!(report.violation, Some(Violation::Agreement { .. })));
+        let trace = report.counterexample.expect("violations carry schedules");
+        assert!(!trace.is_empty());
+        // Replaying the schedule must reproduce the disagreement.
+        let mut cfg = crate::config::Config::initial(&Selfish, RmwRegister::new(0), 2);
+        for step in &trace {
+            cfg = match step {
+                TraceStep::Step(p) => cfg.step(&Selfish, *p).remove(0),
+                TraceStep::Crash(p) => cfg.crash(*p).expect("running"),
+            };
+        }
+        let decisions: std::collections::BTreeSet<Val> = cfg.decisions().collect();
+        assert_eq!(decisions.len(), 2, "schedule reproduces the disagreement");
+    }
+
+    #[test]
+    fn passing_protocols_have_no_counterexample() {
+        use crate::check::tests_support::Rmw2;
+        let proto = Rmw2 { f: RmwFn::TestAndSet, initial: 0 };
+        let report = check_consensus(&proto, &RmwRegister::new(0), 2, &CheckSettings::default());
+        assert!(report.is_ok());
+        assert!(report.counterexample.is_none());
+    }
+
+    #[test]
+    fn trace_step_display() {
+        assert_eq!(TraceStep::Step(Pid(0)).to_string(), "P0 steps");
+        assert_eq!(TraceStep::Crash(Pid(2)).to_string(), "P2 crashes");
+    }
+}
+
+/// Protocol fixtures shared between test modules.
+#[cfg(test)]
+pub(crate) mod tests_support {
+    use waitfree_model::{Action, Pid, ProcessAutomaton, Val};
+    use waitfree_objects::rmw::{RmwFn, RmwOp};
+
+    /// Theorem 4's two-process protocol over a non-trivial RMW.
+    pub(crate) struct Rmw2 {
+        pub f: RmwFn,
+        pub initial: Val,
+    }
+
+    #[derive(Clone, Debug, PartialEq, Eq, Hash)]
+    pub(crate) enum St {
+        Start,
+        Done(Val),
+    }
+
+    impl ProcessAutomaton for Rmw2 {
+        type Op = RmwOp;
+        type Resp = Val;
+        type State = St;
+
+        fn start(&self, _pid: Pid) -> St {
+            St::Start
+        }
+
+        fn action(&self, _pid: Pid, st: &St) -> Action<RmwOp> {
+            match st {
+                St::Start => Action::Invoke(RmwOp(self.f)),
+                St::Done(v) => Action::Decide(*v),
+            }
+        }
+
+        fn observe(&self, pid: Pid, _st: &St, resp: &Val) -> St {
+            if *resp == self.initial {
+                St::Done(pid.as_val())
+            } else {
+                St::Done(1 - pid.as_val())
+            }
+        }
+    }
+}

@@ -1,0 +1,227 @@
+//! Global configurations of a protocol system.
+
+use waitfree_model::{Action, BranchingSpec, Pid, ProcessAutomaton, Val};
+
+/// The status of one process within a configuration.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub enum ProcStatus<S> {
+    /// Still executing the protocol, with this local state.
+    Running(S),
+    /// Halted with a decision value.
+    Decided(Val),
+    /// Halted without deciding (an undetected failure — the fault model
+    /// the wait-free condition is about).
+    Crashed,
+}
+
+impl<S> ProcStatus<S> {
+    /// The decision value, if decided.
+    pub fn decision(&self) -> Option<Val> {
+        match self {
+            ProcStatus::Decided(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Whether the process can still take steps.
+    pub fn is_running(&self) -> bool {
+        matches!(self, ProcStatus::Running(_))
+    }
+}
+
+/// A global configuration: the shared object's state, every process's
+/// status, and the set of processes that have taken at least one step
+/// (needed for the paper's validity condition: "If a history has decision
+/// value Pⱼ, then Pⱼ took at least one step").
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct Config<O, S> {
+    /// Shared object state.
+    pub object: O,
+    /// Per-process statuses, indexed by pid.
+    pub procs: Vec<ProcStatus<S>>,
+    /// Bitmask over pids: processes that have taken ≥ 1 step.
+    pub moved: u64,
+}
+
+impl<O: BranchingSpec, S: Clone + Eq + std::hash::Hash + std::fmt::Debug> Config<O, S> {
+    /// The initial configuration of `n` processes running `protocol`
+    /// against `object`.
+    pub fn initial<P>(protocol: &P, object: O, n: usize) -> Self
+    where
+        P: ProcessAutomaton<Op = O::Op, Resp = O::Resp, State = S>,
+    {
+        assert!(n <= 64, "at most 64 processes supported");
+        Config {
+            object,
+            procs: Pid::all(n).map(|p| ProcStatus::Running(protocol.start(p))).collect(),
+            moved: 0,
+        }
+    }
+
+    /// Number of processes.
+    pub fn n(&self) -> usize {
+        self.procs.len()
+    }
+
+    /// Whether `pid` has taken at least one step.
+    pub fn has_moved(&self, pid: Pid) -> bool {
+        self.moved & (1 << pid.0) != 0
+    }
+
+    /// Pids that can still take steps.
+    pub fn running(&self) -> impl Iterator<Item = Pid> + '_ {
+        self.procs
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.is_running())
+            .map(|(i, _)| Pid(i))
+    }
+
+    /// Whether no process can take a step (every process decided or
+    /// crashed) — a leaf of the execution tree.
+    pub fn is_terminal(&self) -> bool {
+        self.procs.iter().all(|s| !s.is_running())
+    }
+
+    /// Decision values present in the configuration.
+    pub fn decisions(&self) -> impl Iterator<Item = Val> + '_ {
+        self.procs.iter().filter_map(ProcStatus::decision)
+    }
+
+    /// All configurations reachable by one step of `pid` (several when the
+    /// object is nondeterministic). Crash steps are *not* included; see
+    /// [`Config::crash`].
+    ///
+    /// Returns an empty vector if `pid` is not running.
+    pub fn step<P>(&self, protocol: &P, pid: Pid) -> Vec<Self>
+    where
+        P: ProcessAutomaton<Op = O::Op, Resp = O::Resp, State = S>,
+    {
+        let ProcStatus::Running(local) = &self.procs[pid.0] else {
+            return Vec::new();
+        };
+        match protocol.action(pid, local) {
+            Action::Decide(v) => {
+                let mut next = self.clone();
+                next.procs[pid.0] = ProcStatus::Decided(v);
+                next.moved |= 1 << pid.0;
+                vec![next]
+            }
+            Action::Invoke(op) => self
+                .object
+                .apply_all(pid, &op)
+                .into_iter()
+                .map(|(object, resp)| {
+                    let mut next = self.clone();
+                    next.object = object;
+                    next.procs[pid.0] = ProcStatus::Running(protocol.observe(pid, local, &resp));
+                    next.moved |= 1 << pid.0;
+                    next
+                })
+                .collect(),
+        }
+    }
+
+    /// The configuration in which `pid` has crashed, or `None` if it is
+    /// not running. Crashing is not a step: `moved` is unchanged.
+    pub fn crash(&self, pid: Pid) -> Option<Self> {
+        if !self.procs[pid.0].is_running() {
+            return None;
+        }
+        let mut next = self.clone();
+        next.procs[pid.0] = ProcStatus::Crashed;
+        Some(next)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use waitfree_model::ObjectSpec;
+    use waitfree_objects::rmw::{RmwFn, RmwOp, RmwRegister};
+
+    /// Theorem 4's protocol for test-and-set, used as a fixture.
+    struct TasConsensus;
+
+    #[derive(Clone, Debug, PartialEq, Eq, Hash)]
+    enum St {
+        Start,
+        Done(Val),
+    }
+
+    impl ProcessAutomaton for TasConsensus {
+        type Op = RmwOp;
+        type Resp = <RmwRegister as ObjectSpec>::Resp;
+        type State = St;
+
+        fn start(&self, _pid: Pid) -> St {
+            St::Start
+        }
+
+        fn action(&self, _pid: Pid, st: &St) -> Action<RmwOp> {
+            match st {
+                St::Start => Action::Invoke(RmwOp(RmwFn::TestAndSet)),
+                St::Done(v) => Action::Decide(*v),
+            }
+        }
+
+        fn observe(&self, pid: Pid, _st: &St, resp: &Val) -> St {
+            if *resp == 0 {
+                St::Done(pid.as_val())
+            } else {
+                St::Done(1 - pid.as_val())
+            }
+        }
+    }
+
+    fn initial() -> Config<RmwRegister, St> {
+        Config::initial(&TasConsensus, RmwRegister::new(0), 2)
+    }
+
+    #[test]
+    fn initial_config_shape() {
+        let c = initial();
+        assert_eq!(c.n(), 2);
+        assert!(!c.is_terminal());
+        assert_eq!(c.running().count(), 2);
+        assert_eq!(c.moved, 0);
+    }
+
+    #[test]
+    fn stepping_tracks_moved_mask() {
+        let c = initial();
+        let next = &c.step(&TasConsensus, Pid(1))[0];
+        assert!(next.has_moved(Pid(1)));
+        assert!(!next.has_moved(Pid(0)));
+    }
+
+    #[test]
+    fn full_run_reaches_agreement() {
+        let c = initial();
+        // P0 wins the test-and-set, both decide 0.
+        let c = c.step(&TasConsensus, Pid(0)).remove(0);
+        let c = c.step(&TasConsensus, Pid(1)).remove(0);
+        let c = c.step(&TasConsensus, Pid(0)).remove(0);
+        let c = c.step(&TasConsensus, Pid(1)).remove(0);
+        assert!(c.is_terminal());
+        let d: Vec<Val> = c.decisions().collect();
+        assert_eq!(d, vec![0, 0]);
+    }
+
+    #[test]
+    fn crash_removes_process_without_moving_it() {
+        let c = initial();
+        let crashed = c.crash(Pid(0)).unwrap();
+        assert!(!crashed.procs[0].is_running());
+        assert!(!crashed.has_moved(Pid(0)));
+        assert!(crashed.crash(Pid(0)).is_none(), "cannot crash twice");
+    }
+
+    #[test]
+    fn stepping_decided_process_is_empty() {
+        let c = initial();
+        let c = c.step(&TasConsensus, Pid(0)).remove(0);
+        let c = c.step(&TasConsensus, Pid(0)).remove(0); // decides
+        assert!(c.step(&TasConsensus, Pid(0)).is_empty());
+    }
+}

@@ -1,0 +1,76 @@
+//! # waitfree-explorer
+//!
+//! The mechanical proof engine for the reproduction of Herlihy's PODC 1988
+//! paper. Three capabilities:
+//!
+//! 1. **Exhaustive interleaving exploration** ([`check`]) — verifies the
+//!    *positive* results (Theorems 4, 7, 9, 12, 15, 16, 19, 20): a given
+//!    consensus protocol satisfies agreement, validity and wait-freedom
+//!    over *every* schedule, including schedules in which processes crash.
+//! 2. **Valency analysis** ([`valency`]) — computes the bivalent/univalent
+//!    structure that drives the paper's impossibility proofs (the FLP-style
+//!    argument of Theorem 2), locating *critical* configurations where the
+//!    next step decides everything.
+//! 3. **Bounded protocol synthesis** ([`synthesis`]) — enumerates *every*
+//!    deterministic protocol up to a size bound over a given object type
+//!    and certifies that none solves consensus, the executable analog of
+//!    the *negative* results (Theorems 2, 6, 11, 22). A bounded search
+//!    cannot replace the unbounded theorem; it reproduces its
+//!    combinatorial core mechanically.
+//!
+//! Supporting modules: [`config`] (global configurations), [`impl_sim`]
+//! (driving front-end implementations to produce concurrent histories for
+//! the linearizability checker), and [`random`] (randomized schedules for
+//! process counts where exhaustive search is infeasible).
+//!
+//! # Example: the queue consensus protocol of Theorem 9
+//!
+//! ```
+//! use waitfree_explorer::check::{check_consensus, CheckSettings};
+//! use waitfree_model::{Action, Pid, ProcessAutomaton, Val};
+//! use waitfree_objects::queue::{FifoQueue, QueueOp, QueueResp};
+//!
+//! /// Each process dequeues once; whoever gets the first item wins.
+//! struct QueueConsensus;
+//!
+//! #[derive(Clone, Debug, PartialEq, Eq, Hash)]
+//! enum St { Start, Done(Val) }
+//!
+//! impl ProcessAutomaton for QueueConsensus {
+//!     type Op = QueueOp;
+//!     type Resp = QueueResp;
+//!     type State = St;
+//!     fn start(&self, _pid: Pid) -> St { St::Start }
+//!     fn action(&self, _pid: Pid, st: &St) -> Action<QueueOp> {
+//!         match st {
+//!             St::Start => Action::Invoke(QueueOp::Deq),
+//!             St::Done(v) => Action::Decide(*v),
+//!         }
+//!     }
+//!     fn observe(&self, pid: Pid, _st: &St, resp: &QueueResp) -> St {
+//!         // Queue holds [0, 1]; drawing 0 means "I won".
+//!         match resp {
+//!             QueueResp::Item(0) => St::Done(pid.as_val()),
+//!             _ => St::Done(1 - pid.as_val()),
+//!         }
+//!     }
+//! }
+//!
+//! let report = check_consensus(
+//!     &QueueConsensus,
+//!     &FifoQueue::from_items([0, 1]),
+//!     2,
+//!     &CheckSettings::default(),
+//! );
+//! assert!(report.is_ok());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod check;
+pub mod config;
+pub mod impl_sim;
+pub mod random;
+pub mod synthesis;
+pub mod valency;

@@ -1,0 +1,448 @@
+//! Bounded protocol synthesis: the executable analog of "no wait-free
+//! consensus protocol exists for object Y".
+//!
+//! The paper's negative results (Theorems 2, 6, 11, 22) quantify over *all*
+//! protocols. A finite search cannot close that quantifier, but it can
+//! close it over the finite space of deterministic protocols of bounded
+//! depth with a bounded operation alphabet: enumerate every candidate,
+//! model-check each one exhaustively, and certify that none satisfies
+//! agreement + validity + wait-freedom. The same search doubles as a
+//! *positive* control: over a test-and-set alphabet it discovers
+//! Theorem 4's protocol automatically.
+//!
+//! Protocols are decision trees. A [`SynthSpace`] describes the alphabet:
+//! which operations a process may invoke (parameterized by its own
+//! identity — protocols in the paper are symmetric up to pid), how
+//! responses map to branches, and which decision values leaves may carry.
+
+use std::hash::{Hash, Hasher};
+use std::rc::Rc;
+
+use waitfree_model::{Action, BranchingSpec, Pid, ProcessAutomaton, Val};
+
+use crate::check::{check_consensus, CheckReport, CheckSettings};
+
+/// A decision value at a protocol-tree leaf, possibly referring to the
+/// executing process's own identity.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SymbolicVal {
+    /// A concrete value.
+    Const(Val),
+    /// The executing process's pid.
+    MyId,
+    /// The *other* process's pid in a two-process protocol (`1 - my id`).
+    /// Lets symmetric trees express "the peer won".
+    OtherOfTwo,
+}
+
+impl SymbolicVal {
+    /// Resolve for a given process.
+    #[must_use]
+    pub fn resolve(self, pid: Pid) -> Val {
+        match self {
+            SymbolicVal::Const(v) => v,
+            SymbolicVal::MyId => pid.as_val(),
+            SymbolicVal::OtherOfTwo => 1 - pid.as_val(),
+        }
+    }
+}
+
+/// One operation in the synthesis alphabet, parameterized by the caller.
+pub struct SymbolicOp<O: BranchingSpec> {
+    /// Display name for reports (e.g. `"enq(my-id)"`).
+    pub name: String,
+    /// Instantiate the concrete operation for a process.
+    pub make: Box<dyn Fn(Pid) -> O::Op>,
+    /// Number of response branches the tree must provide.
+    pub slots: usize,
+    /// Map a concrete response to a branch index in `0..slots`.
+    pub classify: Box<dyn Fn(Pid, &O::Resp) -> usize>,
+}
+
+/// The space of protocols to search: an operation alphabet plus the
+/// decision values leaves may carry.
+pub struct SynthSpace<O: BranchingSpec> {
+    /// Operation alphabet.
+    pub ops: Vec<SymbolicOp<O>>,
+    /// Leaf decision values.
+    pub decisions: Vec<SymbolicVal>,
+}
+
+/// A protocol decision tree. Interior nodes invoke an operation (an index
+/// into [`SynthSpace::ops`]) and branch on the response; leaves decide (an
+/// index into [`SynthSpace::decisions`]).
+#[derive(Debug)]
+pub enum Tree {
+    /// Decide the value at this decision index.
+    Decide(usize),
+    /// Invoke the operation at this op index and branch on the response.
+    Invoke {
+        /// Index into [`SynthSpace::ops`].
+        op: usize,
+        /// One subtree per response slot.
+        children: Vec<Rc<Tree>>,
+    },
+}
+
+/// Enumerate every tree of depth at most `depth` over `space`.
+///
+/// Depth counts invocations on the longest path; depth 0 trees decide
+/// immediately. The count grows doubly exponentially — keep `depth ≤ 2`
+/// for response-rich alphabets.
+#[must_use]
+pub fn enumerate_trees<O: BranchingSpec>(space: &SynthSpace<O>, depth: usize) -> Vec<Rc<Tree>> {
+    let mut trees: Vec<Rc<Tree>> =
+        (0..space.decisions.len()).map(|d| Rc::new(Tree::Decide(d))).collect();
+    if depth == 0 {
+        return trees;
+    }
+    let sub = enumerate_trees(space, depth - 1);
+    for (op_idx, op) in space.ops.iter().enumerate() {
+        // Odometer over `slots` positions, each ranging over `sub`.
+        let mut idx = vec![0usize; op.slots];
+        loop {
+            trees.push(Rc::new(Tree::Invoke {
+                op: op_idx,
+                children: idx.iter().map(|&i| sub[i].clone()).collect(),
+            }));
+            let mut k = 0;
+            loop {
+                if k == idx.len() {
+                    break;
+                }
+                idx[k] += 1;
+                if idx[k] < sub.len() {
+                    break;
+                }
+                idx[k] = 0;
+                k += 1;
+            }
+            if k == idx.len() {
+                break;
+            }
+        }
+    }
+    trees
+}
+
+/// A position in a protocol tree, compared by node identity. Trees are
+/// immutable and shared, so pointer identity coincides with position
+/// identity.
+#[derive(Clone, Debug)]
+pub struct Cursor(Rc<Tree>);
+
+impl PartialEq for Cursor {
+    fn eq(&self, other: &Self) -> bool {
+        Rc::ptr_eq(&self.0, &other.0)
+    }
+}
+
+impl Eq for Cursor {}
+
+impl Hash for Cursor {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        (Rc::as_ptr(&self.0) as usize).hash(state);
+    }
+}
+
+/// A candidate protocol: one tree per process, over a shared space.
+pub struct SynthProtocol<'a, O: BranchingSpec> {
+    space: &'a SynthSpace<O>,
+    roots: Vec<Rc<Tree>>,
+}
+
+impl<'a, O: BranchingSpec> SynthProtocol<'a, O> {
+    /// A protocol in which process `i` runs `roots[i]`.
+    #[must_use]
+    pub fn new(space: &'a SynthSpace<O>, roots: Vec<Rc<Tree>>) -> Self {
+        SynthProtocol { space, roots }
+    }
+}
+
+impl<O: BranchingSpec> ProcessAutomaton for SynthProtocol<'_, O> {
+    type Op = O::Op;
+    type Resp = O::Resp;
+    type State = Cursor;
+
+    fn start(&self, pid: Pid) -> Cursor {
+        Cursor(self.roots[pid.0].clone())
+    }
+
+    fn action(&self, pid: Pid, state: &Cursor) -> Action<O::Op> {
+        match &*state.0 {
+            Tree::Decide(d) => Action::Decide(self.space.decisions[*d].resolve(pid)),
+            Tree::Invoke { op, .. } => Action::Invoke((self.space.ops[*op].make)(pid)),
+        }
+    }
+
+    fn observe(&self, pid: Pid, state: &Cursor, resp: &O::Resp) -> Cursor {
+        match &*state.0 {
+            Tree::Decide(_) => unreachable!("observe on a decided cursor"),
+            Tree::Invoke { op, children } => {
+                let slot = (self.space.ops[*op].classify)(pid, resp);
+                Cursor(children[slot].clone())
+            }
+        }
+    }
+}
+
+/// Outcome of a bounded synthesis search.
+#[derive(Clone, Debug)]
+pub struct SynthesisOutcome {
+    /// Trees in the enumerated space.
+    pub tree_count: usize,
+    /// Candidate protocols examined (after prefiltering).
+    pub candidates: usize,
+    /// Candidates rejected by the cheap solo-run prefilter.
+    pub rejected_solo: usize,
+    /// Candidates rejected by full exhaustive model checking.
+    pub rejected_check: usize,
+    /// Surviving protocols — each is the per-process list of tree indices.
+    /// Empty for impossibility certificates; non-empty when the object
+    /// *can* solve consensus within the bound.
+    pub survivors: Vec<Vec<usize>>,
+    /// Total configurations explored across all model-checking runs.
+    pub configs_total: u64,
+}
+
+impl SynthesisOutcome {
+    /// Whether no protocol in the space solves consensus (the bounded
+    /// impossibility certificate).
+    #[must_use]
+    pub fn is_impossible(&self) -> bool {
+        self.survivors.is_empty()
+    }
+}
+
+/// Check that in every solo execution of `pid` (all other processes
+/// crashed at the start), the protocol decides `pid` — a cheap necessary
+/// condition implied by validity, used to prefilter candidates.
+fn solo_ok<O, P>(protocol: &P, object: &O, n: usize, pid: Pid, max_steps: usize) -> bool
+where
+    O: BranchingSpec,
+    P: ProcessAutomaton<Op = O::Op, Resp = O::Resp>,
+{
+    // DFS over the (branching) solo executions of `pid`.
+    let mut stack = vec![(object.clone(), protocol.start(pid), 0usize)];
+    while let Some((obj, st, steps)) = stack.pop() {
+        if steps > max_steps {
+            return false; // runaway solo execution: not wait-free
+        }
+        match protocol.action(pid, &st) {
+            Action::Decide(v) => {
+                if v != pid.as_val() {
+                    return false;
+                }
+            }
+            Action::Invoke(op) => {
+                for (obj2, resp) in obj.apply_all(pid, &op) {
+                    let st2 = protocol.observe(pid, &st, &resp);
+                    stack.push((obj2, st2, steps + 1));
+                }
+            }
+        }
+    }
+    let _ = n;
+    true
+}
+
+/// Search every *symmetric* candidate: all processes run the same tree
+/// (with `MyId` leaves and pid-parameterized operations). This is the
+/// tractable regime for `n ≥ 3`.
+pub fn search_symmetric<O: BranchingSpec>(
+    space: &SynthSpace<O>,
+    object: &O,
+    n: usize,
+    depth: usize,
+    settings: &CheckSettings,
+) -> SynthesisOutcome {
+    let trees = enumerate_trees(space, depth);
+    let mut out = SynthesisOutcome {
+        tree_count: trees.len(),
+        candidates: 0,
+        rejected_solo: 0,
+        rejected_check: 0,
+        survivors: Vec::new(),
+        configs_total: 0,
+    };
+    for (i, t) in trees.iter().enumerate() {
+        out.candidates += 1;
+        let proto = SynthProtocol::new(space, vec![t.clone(); n]);
+        if !Pid::all(n).all(|p| solo_ok(&proto, object, n, p, 64)) {
+            out.rejected_solo += 1;
+            continue;
+        }
+        let report: CheckReport = check_consensus(&proto, object, n, settings);
+        out.configs_total += report.configs as u64;
+        if report.is_ok() {
+            out.survivors.push(vec![i; n]);
+        } else {
+            out.rejected_check += 1;
+        }
+    }
+    out
+}
+
+/// Search every ordered pair of trees as a two-process protocol. The solo
+/// prefilter runs per tree (not per pair), so the quadratic stage only
+/// sees plausible candidates.
+pub fn search_pairs<O: BranchingSpec>(
+    space: &SynthSpace<O>,
+    object: &O,
+    depth: usize,
+    settings: &CheckSettings,
+) -> SynthesisOutcome {
+    let trees = enumerate_trees(space, depth);
+    let mut out = SynthesisOutcome {
+        tree_count: trees.len(),
+        candidates: 0,
+        rejected_solo: 0,
+        rejected_check: 0,
+        survivors: Vec::new(),
+        configs_total: 0,
+    };
+    // Per-tree solo filters for each role.
+    let mut ok0 = Vec::new();
+    let mut ok1 = Vec::new();
+    for (i, t) in trees.iter().enumerate() {
+        let proto = SynthProtocol::new(space, vec![t.clone(), t.clone()]);
+        if solo_ok(&proto, object, 2, Pid(0), 64) {
+            ok0.push(i);
+        }
+        if solo_ok(&proto, object, 2, Pid(1), 64) {
+            ok1.push(i);
+        }
+    }
+    let pruned_pairs = trees.len() * trees.len() - ok0.len() * ok1.len();
+    out.rejected_solo = pruned_pairs;
+    out.candidates = trees.len() * trees.len();
+    for &i in &ok0 {
+        for &j in &ok1 {
+            let proto = SynthProtocol::new(space, vec![trees[i].clone(), trees[j].clone()]);
+            let report = check_consensus(&proto, object, 2, settings);
+            out.configs_total += report.configs as u64;
+            if report.is_ok() {
+                out.survivors.push(vec![i, j]);
+            } else {
+                out.rejected_check += 1;
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use waitfree_objects::register::{RegOp, RegResp, RwRegister};
+    use waitfree_objects::rmw::{RmwFn, RmwOp, RmwRegister};
+
+    /// Alphabet over one RMW register with values {0, 1}: test-and-set
+    /// (two response slots) only.
+    fn tas_space() -> SynthSpace<RmwRegister> {
+        SynthSpace {
+            ops: vec![SymbolicOp {
+                name: "test-and-set".into(),
+                make: Box::new(|_| RmwOp(RmwFn::TestAndSet)),
+                slots: 2,
+                classify: Box::new(|_, r: &Val| usize::from(*r != 0)),
+            }],
+            decisions: vec![SymbolicVal::Const(0), SymbolicVal::Const(1)],
+        }
+    }
+
+    /// Alphabet over one read/write register with values {0, 1}.
+    fn reg_space() -> SynthSpace<RwRegister> {
+        SynthSpace {
+            ops: vec![
+                SymbolicOp {
+                    name: "read".into(),
+                    make: Box::new(|_| RegOp::Read),
+                    slots: 2,
+                    classify: Box::new(|_, r: &RegResp| match r {
+                        RegResp::Read(v) => usize::from(*v != 0),
+                        RegResp::Written => unreachable!(),
+                    }),
+                },
+                SymbolicOp {
+                    name: "write(0)".into(),
+                    make: Box::new(|_| RegOp::Write(0)),
+                    slots: 1,
+                    classify: Box::new(|_, _| 0),
+                },
+                SymbolicOp {
+                    name: "write(1)".into(),
+                    make: Box::new(|_| RegOp::Write(1)),
+                    slots: 1,
+                    classify: Box::new(|_, _| 0),
+                },
+            ],
+            decisions: vec![SymbolicVal::Const(0), SymbolicVal::Const(1)],
+        }
+    }
+
+    #[test]
+    fn tree_enumeration_counts() {
+        let space = tas_space();
+        // depth 0: 2 leaves. depth 1: 2 + 1 op * 2^2 children = 6.
+        assert_eq!(enumerate_trees(&space, 0).len(), 2);
+        assert_eq!(enumerate_trees(&space, 1).len(), 6);
+        // depth 2: 2 + 6^2 = 38.
+        assert_eq!(enumerate_trees(&space, 2).len(), 38);
+    }
+
+    #[test]
+    fn synthesis_discovers_theorem_4_protocol() {
+        // Positive control: over a TAS alphabet the search must find a
+        // working 2-process consensus protocol at depth 1.
+        let space = tas_space();
+        let outcome = search_pairs(&space, &RmwRegister::new(0), 1, &CheckSettings::default());
+        assert!(!outcome.is_impossible(), "TAS must solve 2-consensus");
+    }
+
+    #[test]
+    fn registers_cannot_solve_two_consensus_at_depth_two() {
+        // Theorem 2, bounded form: no pair of depth-≤2 read/write protocols
+        // over a single binary register solves 2-process consensus.
+        let space = reg_space();
+        let outcome = search_pairs(&space, &RwRegister::new(0), 2, &CheckSettings::default());
+        assert!(outcome.is_impossible(), "survivors: {:?}", outcome.survivors);
+        assert!(outcome.candidates > 0);
+    }
+
+    #[test]
+    fn symmetric_search_rejects_registers_at_depth_two() {
+        let space = reg_space();
+        let outcome =
+            search_symmetric(&space, &RwRegister::new(0), 2, 2, &CheckSettings::default());
+        assert!(outcome.is_impossible());
+        assert_eq!(
+            outcome.candidates,
+            outcome.tree_count,
+            "every tree is examined once in symmetric mode"
+        );
+    }
+
+    #[test]
+    fn solo_prefilter_counts_are_consistent() {
+        let space = tas_space();
+        let outcome = search_pairs(&space, &RmwRegister::new(0), 1, &CheckSettings::default());
+        assert_eq!(
+            outcome.candidates,
+            outcome.rejected_solo + outcome.rejected_check + outcome.survivors.len()
+        );
+    }
+
+    #[test]
+    fn symmetric_tas_with_myid_decisions_finds_protocol() {
+        // The same search in symmetric mode, with MyId leaves: the winner
+        // decides itself, the loser decides the other process.
+        let space = SynthSpace {
+            ops: tas_space().ops,
+            decisions: vec![SymbolicVal::MyId, SymbolicVal::OtherOfTwo],
+        };
+        let outcome =
+            search_symmetric(&space, &RmwRegister::new(0), 2, 1, &CheckSettings::default());
+        assert!(!outcome.is_impossible());
+    }
+}

@@ -1,0 +1,539 @@
+//! Valency analysis — the combinatorial core of the paper's impossibility
+//! proofs.
+//!
+//! A protocol configuration is *bivalent* if both decision values are still
+//! reachable, and *univalent* (X-valent) otherwise (§3). The proofs of
+//! Theorems 2, 6, 11 and 22 all follow the same plan: maneuver the protocol
+//! into a *critical* configuration — a bivalent configuration whose every
+//! successor is univalent — and then derive a contradiction by showing two
+//! of those successors are indistinguishable to some process.
+//!
+//! This module computes the valency of every reachable configuration of a
+//! concrete protocol, counts bivalent/univalent/critical configurations,
+//! and reports, per critical configuration, the valence each process's
+//! pending step forces — mechanizing the case analyses of the proofs.
+
+use std::collections::{BTreeSet, HashMap};
+
+use waitfree_model::{BranchingSpec, Pid, ProcessAutomaton, Val};
+
+use crate::config::Config;
+
+/// The set of decision values reachable from a configuration.
+pub type Valence = BTreeSet<Val>;
+
+/// A critical configuration: bivalent, with every successor univalent.
+#[derive(Clone, Debug)]
+pub struct CriticalConfig<O, S> {
+    /// The configuration itself.
+    pub config: Config<O, S>,
+    /// For each running process, the union of valences of configurations
+    /// reached if that process steps next (a singleton per successor,
+    /// since successors of a critical configuration are univalent).
+    pub outcome_by_pid: Vec<(Pid, Valence)>,
+}
+
+/// Full valency analysis of a protocol.
+#[derive(Clone, Debug)]
+pub struct ValencyReport<O, S> {
+    /// Valence of the initial configuration.
+    pub initial_valence: Valence,
+    /// Number of reachable configurations.
+    pub configs: usize,
+    /// Number of bivalent (|valence| ≥ 2) configurations.
+    pub bivalent: usize,
+    /// Number of univalent configurations.
+    pub univalent: usize,
+    /// All critical configurations.
+    pub critical: Vec<CriticalConfig<O, S>>,
+    /// Number of maximal executions (schedules), saturating at `u128::MAX`.
+    pub schedules: u128,
+}
+
+impl<O, S> ValencyReport<O, S> {
+    /// Whether the initial configuration is bivalent — the starting point
+    /// of every impossibility argument ("The initial protocol state is
+    /// bivalent by assumption").
+    #[must_use]
+    pub fn initially_bivalent(&self) -> bool {
+        self.initial_valence.len() >= 2
+    }
+}
+
+/// Compute the valency structure of an `n`-process protocol over `object`.
+///
+/// Crash steps are excluded: the paper's valency arguments quantify over
+/// schedules, with "the adversary stops scheduling P" expressed by simply
+/// following only other processes' edges.
+///
+/// # Panics
+///
+/// Panics if the protocol is not wait-free (the configuration graph has a
+/// cycle) — run [`crate::check::check_consensus`] first — or if it has
+/// more than `max_configs` reachable configurations.
+pub fn analyze<O, P>(
+    protocol: &P,
+    object: &O,
+    n: usize,
+    max_configs: usize,
+) -> ValencyReport<O, P::State>
+where
+    O: BranchingSpec,
+    P: ProcessAutomaton<Op = O::Op, Resp = O::Resp>,
+{
+    let initial = Config::initial(protocol, object.clone(), n);
+
+    // Forward exploration: enumerate reachable configurations and edges.
+    let mut index: HashMap<Config<O, P::State>, usize> = HashMap::new();
+    let mut nodes: Vec<Config<O, P::State>> = Vec::new();
+    // Edges annotated with the pid that steps.
+    let mut edges: Vec<Vec<(Pid, usize)>> = Vec::new();
+
+    index.insert(initial.clone(), 0);
+    nodes.push(initial);
+    edges.push(Vec::new());
+    let mut frontier = vec![0usize];
+    while let Some(i) = frontier.pop() {
+        let cfg = nodes[i].clone();
+        let mut out = Vec::new();
+        for pid in cfg.running().collect::<Vec<Pid>>() {
+            for succ in cfg.step(protocol, pid) {
+                let j = *index.entry(succ.clone()).or_insert_with(|| {
+                    nodes.push(succ);
+                    edges.push(Vec::new());
+                    frontier.push(nodes.len() - 1);
+                    nodes.len() - 1
+                });
+                out.push((pid, j));
+            }
+        }
+        assert!(
+            nodes.len() <= max_configs,
+            "valency analysis exceeded {max_configs} configurations"
+        );
+        edges[i] = out;
+    }
+
+    // Backward pass over the DAG: valence(c) = union of successor
+    // valences; terminal configurations contribute their decision values.
+    let order = postorder(&edges);
+    let mut valence: Vec<Valence> = vec![Valence::new(); nodes.len()];
+    let mut schedules: Vec<u128> = vec![0; nodes.len()];
+    for &i in &order {
+        if edges[i].is_empty() {
+            valence[i] = nodes[i].decisions().collect();
+            schedules[i] = 1;
+        } else {
+            let mut vs = Valence::new();
+            let mut count: u128 = 0;
+            for &(_, j) in &edges[i] {
+                vs.extend(valence[j].iter().copied());
+                count = count.saturating_add(schedules[j]);
+            }
+            valence[i] = vs;
+            schedules[i] = count;
+        }
+    }
+
+    let mut bivalent = 0;
+    let mut univalent = 0;
+    let mut critical = Vec::new();
+    for i in 0..nodes.len() {
+        if valence[i].len() >= 2 {
+            bivalent += 1;
+            if !edges[i].is_empty() && edges[i].iter().all(|&(_, j)| valence[j].len() == 1) {
+                let mut outcome_by_pid: Vec<(Pid, Valence)> = Vec::new();
+                for &(pid, j) in &edges[i] {
+                    match outcome_by_pid.iter_mut().find(|(p, _)| *p == pid) {
+                        Some((_, vs)) => vs.extend(valence[j].iter().copied()),
+                        None => outcome_by_pid.push((pid, valence[j].clone())),
+                    }
+                }
+                critical.push(CriticalConfig {
+                    config: nodes[i].clone(),
+                    outcome_by_pid,
+                });
+            }
+        } else {
+            univalent += 1;
+        }
+    }
+
+    ValencyReport {
+        initial_valence: valence[0].clone(),
+        configs: nodes.len(),
+        bivalent,
+        univalent,
+        critical,
+        schedules: schedules[0],
+    }
+}
+
+/// Iterative DFS postorder of a DAG given as adjacency lists.
+///
+/// # Panics
+///
+/// Panics if the graph has a cycle (the protocol is not wait-free).
+fn postorder(edges: &[Vec<(Pid, usize)>]) -> Vec<usize> {
+    #[derive(Clone, Copy, PartialEq)]
+    enum Color {
+        White,
+        Grey,
+        Black,
+    }
+    let mut color = vec![Color::White; edges.len()];
+    let mut order = Vec::with_capacity(edges.len());
+    let mut stack: Vec<(usize, usize)> = Vec::new();
+    for root in 0..edges.len() {
+        if color[root] != Color::White {
+            continue;
+        }
+        color[root] = Color::Grey;
+        stack.push((root, 0));
+        while let Some(&mut (i, ref mut next)) = stack.last_mut() {
+            if *next < edges[i].len() {
+                let (_, j) = edges[i][*next];
+                *next += 1;
+                match color[j] {
+                    Color::White => {
+                        color[j] = Color::Grey;
+                        stack.push((j, 0));
+                    }
+                    Color::Grey => panic!("cycle in configuration graph: protocol not wait-free"),
+                    Color::Black => {}
+                }
+            } else {
+                color[i] = Color::Black;
+                order.push(i);
+                stack.pop();
+            }
+        }
+    }
+    order
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use waitfree_model::{Action, ObjectSpec};
+    use waitfree_objects::rmw::{RmwFn, RmwOp, RmwRegister};
+
+    /// Theorem 4's protocol (test-and-set flavor).
+    struct Tas2;
+
+    #[derive(Clone, Debug, PartialEq, Eq, Hash)]
+    enum St {
+        Start,
+        Done(Val),
+    }
+
+    impl ProcessAutomaton for Tas2 {
+        type Op = RmwOp;
+        type Resp = <RmwRegister as ObjectSpec>::Resp;
+        type State = St;
+        fn start(&self, _pid: Pid) -> St {
+            St::Start
+        }
+        fn action(&self, _pid: Pid, st: &St) -> Action<RmwOp> {
+            match st {
+                St::Start => Action::Invoke(RmwOp(RmwFn::TestAndSet)),
+                St::Done(v) => Action::Decide(*v),
+            }
+        }
+        fn observe(&self, pid: Pid, _st: &St, resp: &Val) -> St {
+            if *resp == 0 {
+                St::Done(pid.as_val())
+            } else {
+                St::Done(1 - pid.as_val())
+            }
+        }
+    }
+
+    #[test]
+    fn tas_protocol_is_initially_bivalent() {
+        let report = analyze(&Tas2, &RmwRegister::new(0), 2, 100_000);
+        assert!(report.initially_bivalent());
+        assert_eq!(report.initial_valence, Valence::from([0, 1]));
+        assert!(report.bivalent >= 1);
+        assert!(report.univalent >= 2);
+        assert_eq!(report.bivalent + report.univalent, report.configs);
+    }
+
+    #[test]
+    fn tas_protocol_has_a_critical_configuration() {
+        // The initial configuration itself is critical for the one-shot
+        // TAS protocol: whoever steps first wins.
+        let report = analyze(&Tas2, &RmwRegister::new(0), 2, 100_000);
+        assert!(!report.critical.is_empty());
+        let crit = &report.critical[0];
+        assert_eq!(crit.outcome_by_pid.len(), 2);
+        let v0 = &crit.outcome_by_pid[0].1;
+        let v1 = &crit.outcome_by_pid[1].1;
+        assert_ne!(v0, v1, "a critical state separates the outcomes");
+    }
+
+    #[test]
+    fn solo_protocol_has_one_schedule_and_is_univalent() {
+        struct Solo;
+        impl ProcessAutomaton for Solo {
+            type Op = RmwOp;
+            type Resp = Val;
+            type State = St;
+            fn start(&self, _pid: Pid) -> St {
+                St::Start
+            }
+            fn action(&self, _pid: Pid, st: &St) -> Action<RmwOp> {
+                match st {
+                    St::Start => Action::Invoke(RmwOp(RmwFn::TestAndSet)),
+                    St::Done(v) => Action::Decide(*v),
+                }
+            }
+            fn observe(&self, pid: Pid, _st: &St, _resp: &Val) -> St {
+                St::Done(pid.as_val())
+            }
+        }
+        let report = analyze(&Solo, &RmwRegister::new(0), 1, 1000);
+        assert_eq!(report.schedules, 1);
+        assert_eq!(report.initial_valence, Valence::from([0]));
+        assert_eq!(report.bivalent, 0);
+    }
+
+    #[test]
+    fn two_process_tas_has_six_interleavings() {
+        // Each process takes 2 steps (TAS, then decide): C(4,2) = 6.
+        let report = analyze(&Tas2, &RmwRegister::new(0), 2, 100_000);
+        assert_eq!(report.schedules, 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeded")]
+    fn config_budget_enforced() {
+        analyze(&Tas2, &RmwRegister::new(0), 2, 2);
+    }
+}
+
+/// A mechanized instance of the contradiction at the heart of the
+/// impossibility proofs: two configurations with *disjoint singleton*
+/// valences that some process cannot tell apart (same object state, same
+/// local state). Running that process solo from either configuration
+/// produces identical executions, so it must decide the same value in
+/// both — contradicting the disjoint valences. A *correct* protocol never
+/// exhibits such a pair; the proofs of Theorems 2, 6, 11 and 22 show that
+/// for weak objects any hypothetical protocol must.
+#[derive(Clone, Debug)]
+pub struct IndistinguishablePair<O, S> {
+    /// First configuration.
+    pub left: Config<O, S>,
+    /// Second configuration.
+    pub right: Config<O, S>,
+    /// The process that cannot tell them apart.
+    pub observer: Pid,
+    /// Valence of `left`.
+    pub left_valence: Valence,
+    /// Valence of `right`.
+    pub right_valence: Valence,
+}
+
+/// Search the one- and two-step successors of every critical configuration
+/// for an [`IndistinguishablePair`]. For a correct wait-free consensus
+/// protocol the result is empty — this is the exact consistency property
+/// the paper's case analyses exploit, available as a reusable check.
+pub fn refutation_witnesses<O, P>(
+    protocol: &P,
+    object: &O,
+    n: usize,
+    max_configs: usize,
+) -> Vec<IndistinguishablePair<O, P::State>>
+where
+    O: BranchingSpec,
+    P: ProcessAutomaton<Op = O::Op, Resp = O::Resp>,
+{
+    // Rebuild the reachable graph with a valence lookup.
+    let initial = Config::initial(protocol, object.clone(), n);
+    let mut index: HashMap<Config<O, P::State>, usize> = HashMap::new();
+    let mut nodes: Vec<Config<O, P::State>> = Vec::new();
+    let mut edges: Vec<Vec<(Pid, usize)>> = Vec::new();
+    index.insert(initial.clone(), 0);
+    nodes.push(initial);
+    edges.push(Vec::new());
+    let mut frontier = vec![0usize];
+    while let Some(i) = frontier.pop() {
+        let cfg = nodes[i].clone();
+        let mut out = Vec::new();
+        for pid in cfg.running().collect::<Vec<Pid>>() {
+            for succ in cfg.step(protocol, pid) {
+                let j = *index.entry(succ.clone()).or_insert_with(|| {
+                    nodes.push(succ);
+                    edges.push(Vec::new());
+                    frontier.push(nodes.len() - 1);
+                    nodes.len() - 1
+                });
+                out.push((pid, j));
+            }
+        }
+        assert!(nodes.len() <= max_configs, "witness search exceeded {max_configs} configs");
+        edges[i] = out;
+    }
+    let order = postorder(&edges);
+    let mut valence: Vec<Valence> = vec![Valence::new(); nodes.len()];
+    for &i in &order {
+        if edges[i].is_empty() {
+            valence[i] = nodes[i].decisions().collect();
+        } else {
+            let mut vs = Valence::new();
+            for &(_, j) in &edges[i] {
+                vs.extend(valence[j].iter().copied());
+            }
+            valence[i] = vs;
+        }
+    }
+
+    // Critical configurations and their 1- and 2-step successors.
+    let mut witnesses = Vec::new();
+    for i in 0..nodes.len() {
+        if valence[i].len() < 2 || edges[i].is_empty() {
+            continue;
+        }
+        if !edges[i].iter().all(|&(_, j)| valence[j].len() == 1) {
+            continue; // not critical
+        }
+        let mut candidates: Vec<usize> = edges[i].iter().map(|&(_, j)| j).collect();
+        for &(_, j) in &edges[i] {
+            candidates.extend(edges[j].iter().map(|&(_, k)| k));
+        }
+        candidates.sort_unstable();
+        candidates.dedup();
+        for (a_pos, &a) in candidates.iter().enumerate() {
+            for &b in &candidates[a_pos + 1..] {
+                if valence[a].len() != 1
+                    || valence[b].len() != 1
+                    || valence[a] == valence[b]
+                    || nodes[a].object != nodes[b].object
+                {
+                    continue;
+                }
+                for r in 0..n {
+                    let (ca, cb) = (&nodes[a], &nodes[b]);
+                    if ca.procs[r].is_running()
+                        && ca.procs[r] == cb.procs[r]
+                        && ca.has_moved(Pid(r)) == cb.has_moved(Pid(r))
+                    {
+                        witnesses.push(IndistinguishablePair {
+                            left: ca.clone(),
+                            right: cb.clone(),
+                            observer: Pid(r),
+                            left_valence: valence[a].clone(),
+                            right_valence: valence[b].clone(),
+                        });
+                    }
+                }
+            }
+        }
+    }
+    witnesses
+}
+
+#[cfg(test)]
+mod witness_tests {
+    use super::*;
+    use waitfree_model::{Action, ObjectSpec};
+    use waitfree_objects::rmw::{RmwFn, RmwOp, RmwRegister};
+
+    struct Tas2;
+
+    #[derive(Clone, Debug, PartialEq, Eq, Hash)]
+    enum St {
+        Start,
+        Done(Val),
+    }
+
+    impl ProcessAutomaton for Tas2 {
+        type Op = RmwOp;
+        type Resp = <RmwRegister as ObjectSpec>::Resp;
+        type State = St;
+        fn start(&self, _pid: Pid) -> St {
+            St::Start
+        }
+        fn action(&self, _pid: Pid, st: &St) -> Action<RmwOp> {
+            match st {
+                St::Start => Action::Invoke(RmwOp(RmwFn::TestAndSet)),
+                St::Done(v) => Action::Decide(*v),
+            }
+        }
+        fn observe(&self, pid: Pid, _st: &St, resp: &Val) -> St {
+            if *resp == 0 {
+                St::Done(pid.as_val())
+            } else {
+                St::Done(1 - pid.as_val())
+            }
+        }
+    }
+
+    #[test]
+    fn correct_tas_protocol_has_no_witness() {
+        // The informative response of test-and-set is precisely what
+        // destroys indistinguishability — the paper's point about why
+        // registers fail where RMW succeeds.
+        let witnesses = refutation_witnesses(&Tas2, &RmwRegister::new(0), 2, 100_000);
+        assert!(witnesses.is_empty(), "{witnesses:?}");
+    }
+
+    /// The proof step of Theorem 11's deq/deq case, mechanized directly:
+    /// with three processes on a queue, the configurations reached by
+    /// "P dequeues then Q dequeues" and "Q dequeues then P dequeues" are
+    /// indistinguishable to R — same object state, same R local state —
+    /// so any solo execution of R proceeds identically from both. (In the
+    /// paper this contradicts the assumed X-/Y-valence of the two
+    /// configurations; here we verify the indistinguishability itself and
+    /// the identity of R's solo runs.)
+    #[test]
+    fn queue_deq_deq_orders_are_indistinguishable_to_third_process() {
+        use waitfree_objects::queue::{FifoQueue, QueueOp, QueueResp};
+
+        /// Each process dequeues once and decides by what it drew (the
+        /// Theorem 9 protocol shape, deliberately run with n = 3).
+        struct Deq3;
+        impl ProcessAutomaton for Deq3 {
+            type Op = QueueOp;
+            type Resp = QueueResp;
+            type State = St;
+            fn start(&self, _pid: Pid) -> St {
+                St::Start
+            }
+            fn action(&self, _pid: Pid, st: &St) -> Action<QueueOp> {
+                match st {
+                    St::Start => Action::Invoke(QueueOp::Deq),
+                    St::Done(v) => Action::Decide(*v),
+                }
+            }
+            fn observe(&self, pid: Pid, _st: &St, resp: &QueueResp) -> St {
+                match resp {
+                    QueueResp::Item(100) => St::Done(pid.as_val()),
+                    // Losers remember *which* item they drew, so local
+                    // states genuinely depend on the order.
+                    _ => St::Done(pid.as_val() + 10),
+                }
+            }
+        }
+
+        let object = FifoQueue::from_items([100, 200, 300]);
+        let init = Config::initial(&Deq3, object, 3);
+        // Order 1: P0 deq, P1 deq. Order 2: P1 deq, P0 deq.
+        let c1 = init.step(&Deq3, Pid(0)).remove(0).step(&Deq3, Pid(1)).remove(0);
+        let c2 = init.step(&Deq3, Pid(1)).remove(0).step(&Deq3, Pid(0)).remove(0);
+        // Indistinguishable to P2: same queue, same local state.
+        assert_eq!(c1.object, c2.object, "queue state agrees across orders");
+        assert_eq!(c1.procs[2], c2.procs[2], "R's view agrees across orders");
+        // And therefore R's solo run is identical from both.
+        let solo = |mut cfg: Config<FifoQueue, St>| -> Vec<Val> {
+            while cfg.procs[2].is_running() {
+                cfg = cfg.step(&Deq3, Pid(2)).remove(0);
+            }
+            cfg.procs[2].decision().into_iter().collect()
+        };
+        assert_eq!(solo(c1.clone()), solo(c2.clone()));
+        // The two configurations differ only in P0's and P1's local
+        // states — the exact situation the paper's contradiction uses.
+        assert!(c1.procs[0] != c2.procs[0] || c1.procs[1] != c2.procs[1]);
+    }
+}

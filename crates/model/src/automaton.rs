@@ -1,0 +1,142 @@
+//! Process and front-end automata.
+
+use std::fmt::Debug;
+use std::hash::Hash;
+
+use crate::{Pid, Val};
+
+/// What a protocol process does next.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub enum Action<Op> {
+    /// Invoke an operation on the shared object; the scheduler will deliver
+    /// the response through [`ProcessAutomaton::observe`].
+    Invoke(Op),
+    /// Halt with a decision value (the `DECIDE(P, v)` output event of the
+    /// paper's consensus protocols, §3).
+    Decide(Val),
+}
+
+/// A deterministic per-process protocol.
+///
+/// This is the executable analog of the paper's process automaton: the
+/// process alternates invocations and responses, and eventually emits a
+/// decision. Determinism plus hashable local states let the explorer
+/// memoize global configurations and compute valency.
+///
+/// The *wait-free* conditions of the paper (§3) are enforced externally by
+/// the explorer: no process may take infinitely many steps without
+/// deciding, and an undecided process always has an enabled action (which
+/// determinism plus totality of `action` guarantees by construction).
+///
+/// `self` carries protocol parameters (e.g. the number of processes);
+/// per-process mutable data lives in `State`.
+pub trait ProcessAutomaton {
+    /// Operations issued to the shared object.
+    type Op: Clone + Eq + Hash + Debug;
+    /// Responses received from the shared object.
+    type Resp: Clone + Eq + Hash + Debug;
+    /// Local process state.
+    type State: Clone + Eq + Hash + Debug;
+
+    /// Initial local state of process `pid`.
+    fn start(&self, pid: Pid) -> Self::State;
+
+    /// The enabled action in `state`. Must be total for undecided states.
+    fn action(&self, pid: Pid, state: &Self::State) -> Action<Self::Op>;
+
+    /// Deliver the response to the most recent invocation, producing the
+    /// successor local state.
+    fn observe(&self, pid: Pid, state: &Self::State, resp: &Self::Resp) -> Self::State;
+}
+
+/// What a front-end automaton does next while serving one high-level
+/// operation.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub enum ImplAction<LoOp, HiResp> {
+    /// Invoke a low-level operation on the representation object.
+    Invoke(LoOp),
+    /// Complete the high-level operation with this response.
+    Return(HiResp),
+}
+
+/// A front-end automaton implementing a high-level object from a low-level
+/// ("representation") object — the paper's §2.4 structure `{F₁ … Fₙ; R}`.
+///
+/// Each process owns one front-end. A high-level invocation enters through
+/// [`ImplAutomaton::begin`]; the front-end then performs a finite sequence
+/// of low-level operations (wait-freedom: the explorer bounds this
+/// sequence) before emitting [`ImplAction::Return`].
+pub trait ImplAutomaton {
+    /// High-level operations (of the implemented object).
+    type HiOp: Clone + Eq + Hash + Debug;
+    /// High-level responses.
+    type HiResp: Clone + Eq + Hash + Debug;
+    /// Low-level operations (on the representation object).
+    type LoOp: Clone + Eq + Hash + Debug;
+    /// Low-level responses.
+    type LoResp: Clone + Eq + Hash + Debug;
+    /// Local front-end state.
+    type State: Clone + Eq + Hash + Debug;
+
+    /// Idle state of the front-end for process `pid`.
+    fn idle(&self, pid: Pid) -> Self::State;
+
+    /// Accept a high-level invocation, making the front-end busy.
+    fn begin(&self, pid: Pid, state: &Self::State, op: &Self::HiOp) -> Self::State;
+
+    /// The enabled action while busy.
+    fn action(&self, pid: Pid, state: &Self::State) -> ImplAction<Self::LoOp, Self::HiResp>;
+
+    /// Deliver the response to the pending low-level invocation.
+    fn observe(&self, pid: Pid, state: &Self::State, resp: &Self::LoResp) -> Self::State;
+
+    /// Acknowledge that the high-level response was returned, making the
+    /// front-end idle again. The default transitions through [`Self::idle`].
+    fn finish(&self, pid: Pid, _state: &Self::State) -> Self::State {
+        self.idle(pid)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A protocol that reads once, then decides what it read.
+    struct ReadAndDecide;
+
+    #[derive(Clone, Debug, PartialEq, Eq, Hash)]
+    enum St {
+        Fresh,
+        Got(Val),
+    }
+
+    impl ProcessAutomaton for ReadAndDecide {
+        type Op = ();
+        type Resp = Val;
+        type State = St;
+
+        fn start(&self, _pid: Pid) -> St {
+            St::Fresh
+        }
+
+        fn action(&self, _pid: Pid, state: &St) -> Action<()> {
+            match state {
+                St::Fresh => Action::Invoke(()),
+                St::Got(v) => Action::Decide(*v),
+            }
+        }
+
+        fn observe(&self, _pid: Pid, _state: &St, resp: &Val) -> St {
+            St::Got(*resp)
+        }
+    }
+
+    #[test]
+    fn automaton_walkthrough() {
+        let a = ReadAndDecide;
+        let s0 = a.start(Pid(0));
+        assert_eq!(a.action(Pid(0), &s0), Action::Invoke(()));
+        let s1 = a.observe(Pid(0), &s0, &42);
+        assert_eq!(a.action(Pid(0), &s1), Action::Decide(42));
+    }
+}

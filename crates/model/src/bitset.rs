@@ -1,0 +1,176 @@
+//! A small, hashable bit set used by the linearizability checker.
+
+use std::fmt;
+
+/// A fixed-capacity bit set over `usize` indices.
+///
+/// Used to memoize which operations have already been linearized during the
+/// Wing–Gong search; must therefore be cheap to clone, hash and compare.
+///
+/// # Example
+///
+/// ```
+/// use waitfree_model::BitSet;
+/// let mut s = BitSet::new(100);
+/// s.insert(3);
+/// s.insert(99);
+/// assert!(s.contains(3));
+/// assert!(!s.contains(4));
+/// assert_eq!(s.len(), 2);
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct BitSet {
+    words: Vec<u64>,
+    capacity: usize,
+}
+
+impl BitSet {
+    /// An empty set able to hold indices `0..capacity`.
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        BitSet {
+            words: vec![0; capacity.div_ceil(64)],
+            capacity,
+        }
+    }
+
+    /// Number of indices the set can hold.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Insert `i`, returning whether it was newly inserted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= capacity`.
+    pub fn insert(&mut self, i: usize) -> bool {
+        assert!(i < self.capacity, "index {i} out of capacity {}", self.capacity);
+        let (w, b) = (i / 64, i % 64);
+        let fresh = self.words[w] & (1 << b) == 0;
+        self.words[w] |= 1 << b;
+        fresh
+    }
+
+    /// Remove `i`, returning whether it was present.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= capacity`.
+    pub fn remove(&mut self, i: usize) -> bool {
+        assert!(i < self.capacity, "index {i} out of capacity {}", self.capacity);
+        let (w, b) = (i / 64, i % 64);
+        let present = self.words[w] & (1 << b) != 0;
+        self.words[w] &= !(1 << b);
+        present
+    }
+
+    /// Whether `i` is in the set. Out-of-capacity indices are absent.
+    #[must_use]
+    pub fn contains(&self, i: usize) -> bool {
+        if i >= self.capacity {
+            return false;
+        }
+        self.words[i / 64] & (1 << (i % 64)) != 0
+    }
+
+    /// Number of elements in the set.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Whether the set is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Iterate over the members in increasing order.
+    pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        (0..self.capacity).filter(move |&i| self.contains(i))
+    }
+}
+
+impl fmt::Debug for BitSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_set().entries(self.iter()).finish()
+    }
+}
+
+impl FromIterator<usize> for BitSet {
+    /// Collect indices into a set sized to the largest index.
+    fn from_iter<I: IntoIterator<Item = usize>>(iter: I) -> Self {
+        let items: Vec<usize> = iter.into_iter().collect();
+        let cap = items.iter().max().map_or(0, |m| m + 1);
+        let mut s = BitSet::new(cap);
+        for i in items {
+            s.insert(i);
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_remove_contains() {
+        let mut s = BitSet::new(130);
+        assert!(s.insert(0));
+        assert!(s.insert(64));
+        assert!(s.insert(129));
+        assert!(!s.insert(64), "second insert reports already-present");
+        assert_eq!(s.len(), 3);
+        assert!(s.remove(64));
+        assert!(!s.remove(64));
+        assert!(!s.contains(64));
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn empty_and_iter() {
+        let mut s = BitSet::new(10);
+        assert!(s.is_empty());
+        s.insert(2);
+        s.insert(7);
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![2, 7]);
+        assert!(!s.is_empty());
+    }
+
+    #[test]
+    fn equality_and_hash_agree_on_content() {
+        use std::collections::HashSet;
+        let mut a = BitSet::new(70);
+        let mut b = BitSet::new(70);
+        a.insert(5);
+        b.insert(5);
+        let mut seen = HashSet::new();
+        seen.insert(a.clone());
+        assert!(seen.contains(&b));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn from_iterator_sizes_to_max() {
+        let s: BitSet = [3usize, 9, 1].into_iter().collect();
+        assert_eq!(s.capacity(), 10);
+        assert!(s.contains(9));
+        assert!(!s.contains(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of capacity")]
+    fn insert_past_capacity_panics() {
+        let mut s = BitSet::new(4);
+        s.insert(4);
+    }
+
+    #[test]
+    fn contains_past_capacity_is_false() {
+        let s = BitSet::new(4);
+        assert!(!s.contains(1000));
+    }
+}

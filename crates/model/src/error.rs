@@ -1,0 +1,105 @@
+//! Error types.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::Pid;
+
+/// Ill-formed concurrent history (the paper's well-formedness condition:
+/// each process alternates matching invocations and responses, §2.2).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum HistoryError {
+    /// A response event arrived for a process with no pending invocation.
+    ResponseWithoutInvocation {
+        /// Offending process.
+        pid: Pid,
+        /// Index of the offending event within the history.
+        index: usize,
+    },
+    /// An invocation event arrived while the process already had one pending.
+    OverlappingInvocation {
+        /// Offending process.
+        pid: Pid,
+        /// Index of the offending event within the history.
+        index: usize,
+    },
+}
+
+impl fmt::Display for HistoryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HistoryError::ResponseWithoutInvocation { pid, index } => {
+                write!(f, "response without matching invocation for {pid} at event {index}")
+            }
+            HistoryError::OverlappingInvocation { pid, index } => {
+                write!(f, "overlapping invocation for {pid} at event {index}")
+            }
+        }
+    }
+}
+
+impl Error for HistoryError {}
+
+/// Errors surfaced by model-level procedures.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ModelError {
+    /// The history was ill-formed.
+    History(HistoryError),
+    /// A search exceeded its configured resource budget.
+    BudgetExceeded {
+        /// Human-readable description of the budget that was exhausted.
+        what: &'static str,
+        /// The configured limit.
+        limit: usize,
+    },
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::History(e) => write!(f, "ill-formed history: {e}"),
+            ModelError::BudgetExceeded { what, limit } => {
+                write!(f, "search budget exceeded: {what} (limit {limit})")
+            }
+        }
+    }
+}
+
+impl Error for ModelError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ModelError::History(e) => Some(e),
+            ModelError::BudgetExceeded { .. } => None,
+        }
+    }
+}
+
+impl From<HistoryError> for ModelError {
+    fn from(e: HistoryError) -> Self {
+        ModelError::History(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_concise() {
+        let e = HistoryError::OverlappingInvocation { pid: Pid(2), index: 7 };
+        assert_eq!(e.to_string(), "overlapping invocation for P2 at event 7");
+        let m: ModelError = e.into();
+        assert!(m.to_string().starts_with("ill-formed history"));
+    }
+
+    #[test]
+    fn error_source_chain() {
+        let m = ModelError::History(HistoryError::ResponseWithoutInvocation {
+            pid: Pid(0),
+            index: 0,
+        });
+        assert!(std::error::Error::source(&m).is_some());
+        let b = ModelError::BudgetExceeded { what: "states", limit: 10 };
+        assert!(std::error::Error::source(&b).is_none());
+    }
+}

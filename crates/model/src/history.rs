@@ -1,0 +1,322 @@
+//! Concurrent histories of invocation and response events.
+
+use std::fmt::Debug;
+use std::hash::Hash;
+
+use crate::{HistoryError, Pid};
+
+/// One event in a concurrent history (the paper's `INVOKE`/`RESPOND`
+/// events, §2.1, restricted to a single object).
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub enum Event<Op, Resp> {
+    /// Process `pid` invokes `op`.
+    Invoke {
+        /// Invoking process.
+        pid: Pid,
+        /// Invoked operation.
+        op: Op,
+    },
+    /// Process `pid` receives `resp` for its pending invocation.
+    Respond {
+        /// Responding process.
+        pid: Pid,
+        /// The result value.
+        resp: Resp,
+    },
+}
+
+impl<Op, Resp> Event<Op, Resp> {
+    /// The process this event belongs to.
+    pub fn pid(&self) -> Pid {
+        match self {
+            Event::Invoke { pid, .. } | Event::Respond { pid, .. } => *pid,
+        }
+    }
+}
+
+/// One operation extracted from a history: its invocation, its response (if
+/// any), and the event indices delimiting its duration.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct OpRecord<Op, Resp> {
+    /// Invoking process.
+    pub pid: Pid,
+    /// The operation.
+    pub op: Op,
+    /// The response, or `None` if the operation is pending.
+    pub resp: Option<Resp>,
+    /// Index of the invocation event.
+    pub invoked_at: usize,
+    /// Index of the response event (`usize::MAX` while pending).
+    pub responded_at: usize,
+}
+
+impl<Op, Resp> OpRecord<Op, Resp> {
+    /// Whether the operation completed within the history.
+    pub fn is_complete(&self) -> bool {
+        self.resp.is_some()
+    }
+
+    /// Whether this operation finished strictly before `other` was invoked
+    /// (the "real-time order" that linearizability must respect).
+    pub fn precedes(&self, other: &Self) -> bool {
+        self.is_complete() && self.responded_at < other.invoked_at
+    }
+}
+
+/// How the linearizability checker treats pending invocations.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum PendingPolicy {
+    /// A pending invocation may either have taken effect (with any response)
+    /// or not; both possibilities are explored. This is the standard
+    /// completion semantics for linearizability.
+    #[default]
+    MayTakeEffect,
+    /// Pending invocations are ignored entirely.
+    Drop,
+}
+
+/// A well-formed concurrent history over one object.
+///
+/// # Example
+///
+/// ```
+/// use waitfree_model::{History, Pid};
+/// let mut h: History<&str, i64> = History::new();
+/// h.invoke(Pid(0), "write(7)");
+/// h.invoke(Pid(1), "read");
+/// h.respond(Pid(0), 0).unwrap();
+/// h.respond(Pid(1), 7).unwrap();
+/// assert_eq!(h.ops().len(), 2);
+/// assert!(h.ops()[0].precedes(&h.ops()[1]) == false); // they overlap
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct History<Op, Resp> {
+    events: Vec<Event<Op, Resp>>,
+}
+
+impl<Op, Resp> Default for History<Op, Resp> {
+    fn default() -> Self {
+        History { events: Vec::new() }
+    }
+}
+
+impl<Op: Clone + Debug, Resp: Clone + Debug> History<Op, Resp> {
+    /// An empty history.
+    #[must_use]
+    pub fn new() -> Self {
+        History { events: Vec::new() }
+    }
+
+    /// The raw event sequence.
+    #[must_use]
+    pub fn events(&self) -> &[Event<Op, Resp>] {
+        &self.events
+    }
+
+    /// Number of events.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the history has no events.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Record an invocation by `pid`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pid` already has a pending invocation (well-formedness);
+    /// use [`History::try_invoke`] to get an error instead.
+    pub fn invoke(&mut self, pid: Pid, op: Op) {
+        self.try_invoke(pid, op).expect("well-formed history");
+    }
+
+    /// Record an invocation by `pid`, or report ill-formedness.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HistoryError::OverlappingInvocation`] if `pid` already has
+    /// a pending invocation.
+    pub fn try_invoke(&mut self, pid: Pid, op: Op) -> Result<(), HistoryError> {
+        if self.has_pending(pid) {
+            return Err(HistoryError::OverlappingInvocation {
+                pid,
+                index: self.events.len(),
+            });
+        }
+        self.events.push(Event::Invoke { pid, op });
+        Ok(())
+    }
+
+    /// Record a response for `pid`'s pending invocation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HistoryError::ResponseWithoutInvocation`] if `pid` has no
+    /// pending invocation.
+    pub fn respond(&mut self, pid: Pid, resp: Resp) -> Result<(), HistoryError> {
+        if !self.has_pending(pid) {
+            return Err(HistoryError::ResponseWithoutInvocation {
+                pid,
+                index: self.events.len(),
+            });
+        }
+        self.events.push(Event::Respond { pid, resp });
+        Ok(())
+    }
+
+    /// Whether `pid` has an invocation without a matching response.
+    #[must_use]
+    pub fn has_pending(&self, pid: Pid) -> bool {
+        let mut pending = false;
+        for e in &self.events {
+            if e.pid() == pid {
+                pending = matches!(e, Event::Invoke { .. });
+            }
+        }
+        pending
+    }
+
+    /// Extract per-operation records, pairing invocations with responses.
+    #[must_use]
+    pub fn ops(&self) -> Vec<OpRecord<Op, Resp>> {
+        let mut out: Vec<OpRecord<Op, Resp>> = Vec::new();
+        // Per-pid index of the op awaiting a response.
+        let mut open: std::collections::HashMap<Pid, usize> = std::collections::HashMap::new();
+        for (i, e) in self.events.iter().enumerate() {
+            match e {
+                Event::Invoke { pid, op } => {
+                    open.insert(*pid, out.len());
+                    out.push(OpRecord {
+                        pid: *pid,
+                        op: op.clone(),
+                        resp: None,
+                        invoked_at: i,
+                        responded_at: usize::MAX,
+                    });
+                }
+                Event::Respond { pid, resp } => {
+                    let idx = open.remove(pid).expect("well-formed history");
+                    out[idx].resp = Some(resp.clone());
+                    out[idx].responded_at = i;
+                }
+            }
+        }
+        out
+    }
+
+    /// The subhistory of a single process (the paper's `H | P`).
+    #[must_use]
+    pub fn project(&self, pid: Pid) -> History<Op, Resp> {
+        History {
+            events: self
+                .events
+                .iter()
+                .filter(|e| e.pid() == pid)
+                .cloned()
+                .collect(),
+        }
+    }
+
+    /// Whether each process alternates matching invocations and responses.
+    #[must_use]
+    pub fn is_well_formed(&self) -> bool {
+        let mut pending: std::collections::HashSet<Pid> = std::collections::HashSet::new();
+        for e in &self.events {
+            match e {
+                Event::Invoke { pid, .. } => {
+                    if !pending.insert(*pid) {
+                        return false;
+                    }
+                }
+                Event::Respond { pid, .. } => {
+                    if !pending.remove(pid) {
+                        return false;
+                    }
+                }
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn invoke_respond_pairing() {
+        let mut h: History<u8, u8> = History::new();
+        h.invoke(Pid(0), 1);
+        h.respond(Pid(0), 10).unwrap();
+        h.invoke(Pid(0), 2);
+        let ops = h.ops();
+        assert_eq!(ops.len(), 2);
+        assert!(ops[0].is_complete());
+        assert!(!ops[1].is_complete());
+        assert_eq!(ops[0].resp, Some(10));
+    }
+
+    #[test]
+    fn precedes_respects_real_time() {
+        let mut h: History<u8, u8> = History::new();
+        h.invoke(Pid(0), 1);
+        h.respond(Pid(0), 0).unwrap();
+        h.invoke(Pid(1), 2);
+        h.respond(Pid(1), 0).unwrap();
+        let ops = h.ops();
+        assert!(ops[0].precedes(&ops[1]));
+        assert!(!ops[1].precedes(&ops[0]));
+    }
+
+    #[test]
+    fn overlapping_ops_do_not_precede() {
+        let mut h: History<u8, u8> = History::new();
+        h.invoke(Pid(0), 1);
+        h.invoke(Pid(1), 2);
+        h.respond(Pid(0), 0).unwrap();
+        h.respond(Pid(1), 0).unwrap();
+        let ops = h.ops();
+        assert!(!ops[0].precedes(&ops[1]));
+        assert!(!ops[1].precedes(&ops[0]));
+    }
+
+    #[test]
+    fn double_invoke_rejected() {
+        let mut h: History<u8, u8> = History::new();
+        h.invoke(Pid(0), 1);
+        assert_eq!(
+            h.try_invoke(Pid(0), 2),
+            Err(HistoryError::OverlappingInvocation { pid: Pid(0), index: 1 })
+        );
+    }
+
+    #[test]
+    fn orphan_response_rejected() {
+        let mut h: History<u8, u8> = History::new();
+        assert!(h.respond(Pid(0), 1).is_err());
+    }
+
+    #[test]
+    fn projection_keeps_only_one_pid() {
+        let mut h: History<u8, u8> = History::new();
+        h.invoke(Pid(0), 1);
+        h.invoke(Pid(1), 2);
+        h.respond(Pid(1), 0).unwrap();
+        let p1 = h.project(Pid(1));
+        assert_eq!(p1.len(), 2);
+        assert!(p1.is_well_formed());
+    }
+
+    #[test]
+    fn well_formedness() {
+        let mut h: History<u8, u8> = History::new();
+        assert!(h.is_well_formed());
+        h.invoke(Pid(0), 1);
+        assert!(h.is_well_formed());
+    }
+}

@@ -1,0 +1,83 @@
+//! # waitfree-model
+//!
+//! The formal model underlying the reproduction of Herlihy's
+//! *"Impossibility and Universality Results for Wait-Free Synchronization"*
+//! (PODC 1988).
+//!
+//! The paper models processes and objects as I/O automata mediated by a
+//! scheduler (its §2). This crate provides the executable analog:
+//!
+//! * [`Pid`] — process identities (consensus is treated as an *election*
+//!   among process names, exactly as in the paper's §3).
+//! * [`ObjectSpec`] / [`BranchingSpec`] — sequential object specifications
+//!   as deterministic (or finitely nondeterministic) state machines. Because
+//!   every object in the paper is linearizable, a concurrent execution can
+//!   be explored at the granularity of complete operations ("Since registers
+//!   are linearizable, we can consider complete read and write operations",
+//!   proof of Theorem 2).
+//! * [`ProcessAutomaton`] — deterministic per-process protocol code that
+//!   invokes operations and eventually decides; the unit the explorer
+//!   schedules.
+//! * [`ImplAutomaton`] — front-end automata implementing a high-level object
+//!   from a low-level one (the paper's §2.4 implementation structure).
+//! * [`History`] and [`linearize`] — invocation/response histories and a
+//!   decision procedure for linearizability (the paper's §2.3 correctness
+//!   condition).
+//!
+//! # Example
+//!
+//! ```
+//! use waitfree_model::{ObjectSpec, Pid};
+//!
+//! /// A single read/write register over `i64` values.
+//! #[derive(Clone, Debug, PartialEq, Eq, Hash)]
+//! struct Register(i64);
+//!
+//! #[derive(Clone, Debug, PartialEq, Eq, Hash)]
+//! enum Op { Read, Write(i64) }
+//!
+//! impl ObjectSpec for Register {
+//!     type Op = Op;
+//!     type Resp = i64;
+//!     fn apply(&mut self, _pid: Pid, op: &Op) -> i64 {
+//!         match *op {
+//!             Op::Read => self.0,
+//!             Op::Write(v) => { let old = self.0; self.0 = v; old }
+//!         }
+//!     }
+//! }
+//!
+//! let mut r = Register(0);
+//! assert_eq!(r.apply(Pid(0), &Op::Write(7)), 0);
+//! assert_eq!(r.apply(Pid(1), &Op::Read), 7);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod automaton;
+mod bitset;
+mod error;
+mod history;
+mod linearize;
+mod pid;
+mod spec;
+
+pub use automaton::{Action, ImplAction, ImplAutomaton, ProcessAutomaton};
+pub use bitset::BitSet;
+pub use error::{HistoryError, ModelError};
+pub use history::{Event, History, OpRecord, PendingPolicy};
+pub use linearize::{linearize, LinearizeOutcome, LinearizeReport};
+pub use pid::Pid;
+pub use spec::{BranchingSpec, Nondet, ObjectSpec};
+
+/// The value domain shared by protocols and simple objects.
+///
+/// The paper takes the consensus domain `D` to be the set of process names;
+/// we use `i64` so the same domain also covers register contents,
+/// fetch-and-add deltas, and sentinel values such as `EMPTY`.
+pub type Val = i64;
+
+/// Sentinel conventionally used for "empty" / `⊥` responses where an
+/// `Option` would obscure arithmetic (kept out of the way of small pids).
+pub const BOTTOM: Val = i64::MIN;

@@ -1,0 +1,281 @@
+//! A decision procedure for linearizability (Herlihy & Wing's correctness
+//! condition, §2.3 of the paper), in the style of Wing & Gong's checker.
+//!
+//! Given a concurrent [`History`] and an [`ObjectSpec`], the checker
+//! searches for a *linearization*: a sequential order of the operations
+//! that (1) respects real-time precedence (an operation that completed
+//! before another was invoked must be ordered first) and (2) is legal for
+//! the sequential specification, reproducing each completed operation's
+//! response.
+
+use std::collections::HashSet;
+
+use crate::{BitSet, History, ObjectSpec, OpRecord, PendingPolicy};
+
+/// Result of checking a history.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum LinearizeOutcome {
+    /// A legal linearization exists; the witness lists operation indices
+    /// (into [`History::ops`]) in linearization order. Pending operations
+    /// that were deemed never to have taken effect are absent.
+    Linearizable {
+        /// Witness order of operation indices.
+        witness: Vec<usize>,
+    },
+    /// No legal linearization exists.
+    NotLinearizable,
+}
+
+impl LinearizeOutcome {
+    /// Whether the history was linearizable.
+    #[must_use]
+    pub fn is_ok(&self) -> bool {
+        matches!(self, LinearizeOutcome::Linearizable { .. })
+    }
+}
+
+/// Outcome plus search statistics.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LinearizeReport {
+    /// The verdict and witness.
+    pub outcome: LinearizeOutcome,
+    /// Number of distinct `(linearized-set, object-state)` configurations
+    /// visited; a measure of how hard the history was to check.
+    pub configurations: usize,
+}
+
+/// Check whether `history` is linearizable with respect to the sequential
+/// specification starting in `initial`.
+///
+/// `pending` selects how incomplete invocations are treated; the default
+/// ([`PendingPolicy::MayTakeEffect`]) is the standard completion semantics.
+///
+/// # Example
+///
+/// A non-linearizable register history: a read returns a value that was
+/// never written.
+///
+/// ```
+/// use waitfree_model::{linearize, History, ObjectSpec, PendingPolicy, Pid};
+///
+/// #[derive(Clone, Debug, PartialEq, Eq, Hash)]
+/// struct Reg(i64);
+/// #[derive(Clone, Debug, PartialEq, Eq, Hash)]
+/// enum Op { Read, Write(i64) }
+/// impl ObjectSpec for Reg {
+///     type Op = Op;
+///     type Resp = i64;
+///     fn apply(&mut self, _p: Pid, op: &Op) -> i64 {
+///         match *op { Op::Read => self.0, Op::Write(v) => { self.0 = v; 0 } }
+///     }
+/// }
+///
+/// let mut h = History::new();
+/// h.invoke(Pid(0), Op::Write(1));
+/// h.respond(Pid(0), 0).unwrap();
+/// h.invoke(Pid(1), Op::Read);
+/// h.respond(Pid(1), 9).unwrap(); // 9 was never written
+/// let report = linearize(&h, &Reg(0), PendingPolicy::MayTakeEffect);
+/// assert!(!report.outcome.is_ok());
+/// ```
+#[must_use]
+pub fn linearize<O: ObjectSpec>(
+    history: &History<O::Op, O::Resp>,
+    initial: &O,
+    pending: PendingPolicy,
+) -> LinearizeReport {
+    let mut ops = history.ops();
+    if pending == PendingPolicy::Drop {
+        ops.retain(OpRecord::is_complete);
+    }
+    let n = ops.len();
+    let complete: Vec<usize> = (0..n).filter(|&i| ops[i].is_complete()).collect();
+
+    let mut seen: HashSet<(BitSet, O)> = HashSet::new();
+    let mut witness: Vec<usize> = Vec::new();
+    let done = BitSet::new(n);
+    let ok = search(&ops, &complete, initial, done, &mut seen, &mut witness);
+    LinearizeReport {
+        outcome: if ok {
+            LinearizeOutcome::Linearizable { witness }
+        } else {
+            LinearizeOutcome::NotLinearizable
+        },
+        configurations: seen.len(),
+    }
+}
+
+fn search<O: ObjectSpec>(
+    ops: &[OpRecord<O::Op, O::Resp>],
+    complete: &[usize],
+    state: &O,
+    done: BitSet,
+    seen: &mut HashSet<(BitSet, O)>,
+    witness: &mut Vec<usize>,
+) -> bool {
+    if complete.iter().all(|&i| done.contains(i)) {
+        return true;
+    }
+    if !seen.insert((done.clone(), state.clone())) {
+        return false;
+    }
+    // An undone op may be linearized next iff no other undone op completed
+    // strictly before it was invoked.
+    let min_response = (0..ops.len())
+        .filter(|&i| !done.contains(i))
+        .map(|i| ops[i].responded_at)
+        .min()
+        .unwrap_or(usize::MAX);
+    for i in 0..ops.len() {
+        if done.contains(i) || ops[i].invoked_at > min_response {
+            continue;
+        }
+        let (next_state, resp) = state.applied(ops[i].pid, &ops[i].op);
+        if let Some(expected) = &ops[i].resp {
+            if &resp != expected {
+                continue;
+            }
+        }
+        let mut next_done = done.clone();
+        next_done.insert(i);
+        witness.push(i);
+        if search(ops, complete, &next_state, next_done, seen, witness) {
+            return true;
+        }
+        witness.pop();
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Pid;
+
+    #[derive(Clone, Debug, PartialEq, Eq, Hash)]
+    struct Reg(i64);
+
+    #[derive(Clone, Debug, PartialEq, Eq, Hash)]
+    enum Op {
+        Read,
+        Write(i64),
+    }
+
+    impl ObjectSpec for Reg {
+        type Op = Op;
+        type Resp = i64;
+        fn apply(&mut self, _p: Pid, op: &Op) -> i64 {
+            match *op {
+                Op::Read => self.0,
+                Op::Write(v) => {
+                    self.0 = v;
+                    0
+                }
+            }
+        }
+    }
+
+    fn check(h: &History<Op, i64>) -> bool {
+        linearize(h, &Reg(0), PendingPolicy::MayTakeEffect)
+            .outcome
+            .is_ok()
+    }
+
+    #[test]
+    fn empty_history_is_linearizable() {
+        let h: History<Op, i64> = History::new();
+        assert!(check(&h));
+    }
+
+    #[test]
+    fn sequential_history_is_linearizable() {
+        let mut h = History::new();
+        h.invoke(Pid(0), Op::Write(5));
+        h.respond(Pid(0), 0).unwrap();
+        h.invoke(Pid(1), Op::Read);
+        h.respond(Pid(1), 5).unwrap();
+        assert!(check(&h));
+    }
+
+    #[test]
+    fn overlapping_reads_may_reorder() {
+        // W(1) overlaps R->0 and R->1: both reads can be placed around it.
+        let mut h = History::new();
+        h.invoke(Pid(0), Op::Write(1));
+        h.invoke(Pid(1), Op::Read);
+        h.respond(Pid(1), 0).unwrap();
+        h.invoke(Pid(1), Op::Read);
+        h.respond(Pid(1), 1).unwrap();
+        h.respond(Pid(0), 0).unwrap();
+        assert!(check(&h));
+    }
+
+    #[test]
+    fn stale_read_after_completion_is_rejected() {
+        // W(1) completes, then R returns 0: violates real-time order.
+        let mut h = History::new();
+        h.invoke(Pid(0), Op::Write(1));
+        h.respond(Pid(0), 0).unwrap();
+        h.invoke(Pid(1), Op::Read);
+        h.respond(Pid(1), 0).unwrap();
+        assert!(!check(&h));
+    }
+
+    #[test]
+    fn new_old_inversion_is_rejected() {
+        // P1 reads 1 then P2 reads 0 strictly later, with the only W(1)
+        // completed before both reads: illegal.
+        let mut h = History::new();
+        h.invoke(Pid(0), Op::Write(1));
+        h.respond(Pid(0), 0).unwrap();
+        h.invoke(Pid(1), Op::Read);
+        h.respond(Pid(1), 1).unwrap();
+        h.invoke(Pid(2), Op::Read);
+        h.respond(Pid(2), 0).unwrap();
+        assert!(!check(&h));
+    }
+
+    #[test]
+    fn pending_write_may_take_effect() {
+        // W(3) never responds, but a read sees 3: allowed, the pending
+        // write may have taken effect.
+        let mut h = History::new();
+        h.invoke(Pid(0), Op::Write(3));
+        h.invoke(Pid(1), Op::Read);
+        h.respond(Pid(1), 3).unwrap();
+        assert!(check(&h));
+    }
+
+    #[test]
+    fn pending_write_dropped_under_drop_policy() {
+        let mut h = History::new();
+        h.invoke(Pid(0), Op::Write(3));
+        h.invoke(Pid(1), Op::Read);
+        h.respond(Pid(1), 3).unwrap();
+        let report = linearize(&h, &Reg(0), PendingPolicy::Drop);
+        assert!(!report.outcome.is_ok());
+    }
+
+    #[test]
+    fn witness_order_is_legal() {
+        let mut h = History::new();
+        h.invoke(Pid(0), Op::Write(2));
+        h.respond(Pid(0), 0).unwrap();
+        h.invoke(Pid(1), Op::Read);
+        h.respond(Pid(1), 2).unwrap();
+        let report = linearize(&h, &Reg(0), PendingPolicy::MayTakeEffect);
+        match report.outcome {
+            LinearizeOutcome::Linearizable { witness } => assert_eq!(witness, vec![0, 1]),
+            LinearizeOutcome::NotLinearizable => panic!("expected linearizable"),
+        }
+    }
+
+    #[test]
+    fn configurations_counted() {
+        let mut h = History::new();
+        h.invoke(Pid(0), Op::Write(1));
+        h.respond(Pid(0), 0).unwrap();
+        let report = linearize(&h, &Reg(0), PendingPolicy::MayTakeEffect);
+        assert!(report.configurations >= 1);
+    }
+}

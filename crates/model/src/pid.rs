@@ -1,0 +1,88 @@
+//! Process identities.
+
+use std::fmt;
+
+/// A process identity.
+///
+/// The paper phrases consensus as an election over the domain of process
+/// names, each process proposing its own name (§3). We therefore make the
+/// identity a first-class, ordered value.
+///
+/// # Example
+///
+/// ```
+/// use waitfree_model::Pid;
+/// let p = Pid(0);
+/// let q = Pid(1);
+/// assert!(p < q);
+/// assert_eq!(p.as_val(), 0);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Pid(pub usize);
+
+impl Pid {
+    /// The identity as a value in the shared domain (`i64`).
+    #[must_use]
+    pub fn as_val(self) -> crate::Val {
+        self.0 as crate::Val
+    }
+
+    /// Iterator over the first `n` process identities `P0..P(n-1)`.
+    ///
+    /// ```
+    /// use waitfree_model::Pid;
+    /// let all: Vec<Pid> = Pid::all(3).collect();
+    /// assert_eq!(all, vec![Pid(0), Pid(1), Pid(2)]);
+    /// ```
+    pub fn all(n: usize) -> impl Iterator<Item = Pid> {
+        (0..n).map(Pid)
+    }
+}
+
+impl fmt::Debug for Pid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "P{}", self.0)
+    }
+}
+
+impl fmt::Display for Pid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "P{}", self.0)
+    }
+}
+
+impl From<usize> for Pid {
+    fn from(i: usize) -> Self {
+        Pid(i)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pid_ordering_follows_index() {
+        assert!(Pid(0) < Pid(1));
+        assert!(Pid(5) > Pid(4));
+    }
+
+    #[test]
+    fn pid_display_and_debug() {
+        assert_eq!(format!("{}", Pid(3)), "P3");
+        assert_eq!(format!("{:?}", Pid(3)), "P3");
+    }
+
+    #[test]
+    fn pid_all_enumerates_in_order() {
+        assert_eq!(Pid::all(0).count(), 0);
+        assert_eq!(Pid::all(4).last(), Some(Pid(3)));
+    }
+
+    #[test]
+    fn pid_as_val_roundtrip() {
+        for i in 0..10 {
+            assert_eq!(Pid(i).as_val(), i as i64);
+        }
+    }
+}

@@ -1,0 +1,175 @@
+//! Atomic n-register assignment — §3.6.
+//!
+//! The expression `r₁, …, rₙ := v₁, …, vₙ` assigns every `vᵢ` to `rᵢ`
+//! *atomically*. Herlihy shows m-register assignment solves consensus for
+//! exactly `2m-2` processes (Theorems 20 and 22) — the one family in the
+//! paper occupying the intermediate levels of the hierarchy, and the
+//! source of the striking corollary that consensus is *irreducible*: for
+//! even n, n-process consensus cannot be built from (n-1)-process
+//! consensus objects.
+
+use waitfree_model::{ObjectSpec, Pid, Val};
+
+/// Operation on an assignment bank.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub enum AssignOp {
+    /// Atomically assign each `(cell, value)` pair. Returns nothing.
+    ///
+    /// Pairs must name distinct cells; duplicates would make the result
+    /// order-dependent and are rejected (see `apply`).
+    Assign(Vec<(usize, Val)>),
+    /// Read one cell.
+    Read(usize),
+}
+
+/// Response of an assignment-bank operation.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub enum AssignResp {
+    /// An assignment completed (no information is returned).
+    Ack,
+    /// A read returned this value.
+    Value(Val),
+}
+
+/// A bank of registers supporting atomic multi-register assignment.
+///
+/// The *width* (maximum number of cells one `Assign` may touch) is a
+/// property of the object instance: `m`-register assignment is the object
+/// whose width is `m`. Width is enforced so that experiments about
+/// "m-assignment" cannot accidentally use wider operations.
+///
+/// # Example
+///
+/// ```
+/// use waitfree_model::{ObjectSpec, Pid};
+/// use waitfree_objects::assignment::{AssignBank, AssignOp, AssignResp};
+///
+/// let mut b = AssignBank::new(3, 2, -1); // 3 cells, width-2 assignment
+/// b.apply(Pid(0), &AssignOp::Assign(vec![(0, 5), (2, 7)]));
+/// assert_eq!(b.apply(Pid(1), &AssignOp::Read(2)), AssignResp::Value(7));
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct AssignBank {
+    cells: Vec<Val>,
+    width: usize,
+}
+
+impl AssignBank {
+    /// A bank of `len` cells with assignment width `width`, all cells
+    /// holding `initial`.
+    #[must_use]
+    pub fn new(len: usize, width: usize, initial: Val) -> Self {
+        AssignBank {
+            cells: vec![initial; len],
+            width,
+        }
+    }
+
+    /// The assignment width `m`.
+    #[must_use]
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Number of cells.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Whether the bank has no cells.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// Contents of cell `idx` (test/debug convenience).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of bounds.
+    #[must_use]
+    pub fn value(&self, idx: usize) -> Val {
+        self.cells[idx]
+    }
+}
+
+impl ObjectSpec for AssignBank {
+    type Op = AssignOp;
+    type Resp = AssignResp;
+
+    /// # Panics
+    ///
+    /// Panics if a cell index is out of bounds, if an `Assign` exceeds the
+    /// bank's width, or if it names the same cell twice.
+    fn apply(&mut self, _pid: Pid, op: &AssignOp) -> AssignResp {
+        match op {
+            AssignOp::Assign(pairs) => {
+                assert!(
+                    pairs.len() <= self.width,
+                    "assignment of {} cells exceeds width {}",
+                    pairs.len(),
+                    self.width
+                );
+                for (i, &(cell, _)) in pairs.iter().enumerate() {
+                    assert!(
+                        pairs[..i].iter().all(|&(c, _)| c != cell),
+                        "duplicate cell {cell} in atomic assignment"
+                    );
+                }
+                for &(cell, v) in pairs {
+                    self.cells[cell] = v;
+                }
+                AssignResp::Ack
+            }
+            AssignOp::Read(i) => AssignResp::Value(self.cells[*i]),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn assignment_is_atomic_per_operation() {
+        let mut b = AssignBank::new(4, 3, 0);
+        b.apply(Pid(0), &AssignOp::Assign(vec![(0, 1), (1, 2), (3, 4)]));
+        assert_eq!(b.value(0), 1);
+        assert_eq!(b.value(1), 2);
+        assert_eq!(b.value(2), 0);
+        assert_eq!(b.value(3), 4);
+    }
+
+    #[test]
+    fn single_assignment_is_a_write() {
+        let mut b = AssignBank::new(2, 2, 0);
+        assert_eq!(
+            b.apply(Pid(0), &AssignOp::Assign(vec![(1, 9)])),
+            AssignResp::Ack
+        );
+        assert_eq!(b.apply(Pid(0), &AssignOp::Read(1)), AssignResp::Value(9));
+    }
+
+    #[test]
+    fn empty_assignment_is_a_no_op() {
+        let mut b = AssignBank::new(2, 2, 3);
+        let before = b.clone();
+        b.apply(Pid(0), &AssignOp::Assign(vec![]));
+        assert_eq!(b, before);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds width")]
+    fn width_is_enforced() {
+        let mut b = AssignBank::new(4, 2, 0);
+        b.apply(Pid(0), &AssignOp::Assign(vec![(0, 1), (1, 1), (2, 1)]));
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate cell")]
+    fn duplicate_cells_rejected() {
+        let mut b = AssignBank::new(4, 2, 0);
+        b.apply(Pid(0), &AssignOp::Assign(vec![(0, 1), (0, 2)]));
+    }
+}

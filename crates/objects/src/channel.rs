@@ -1,0 +1,362 @@
+//! Message channels — the message-passing comparison in §3.1.
+//!
+//! The paper maps Dolev–Dwork–Stockmeyer's parameter space into the shared
+//! object model: send and receive become operations on a shared channel
+//! object. Its conclusions, reproduced by this module's three channel
+//! flavors:
+//!
+//! * point-to-point transmission with FIFO delivery cannot solve
+//!   two-process consensus;
+//! * broadcast with *unordered* delivery cannot either;
+//! * broadcast with *ordered* delivery solves n-process consensus.
+//!
+//! Theorem 11 extends this: since queues (which subsume FIFO channels)
+//! cannot solve three-process consensus, "message-passing architectures
+//! such as hypercubes are not universal".
+
+use waitfree_model::{BranchingSpec, ObjectSpec, Pid, Val};
+
+/// Response of a channel operation.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub enum ChanResp {
+    /// A send completed.
+    Ack,
+    /// A received message and its sender.
+    Msg {
+        /// The sending process.
+        from: Pid,
+        /// The message body.
+        body: Val,
+    },
+    /// No message was available (receive is total, it never blocks).
+    Empty,
+}
+
+/// Operation on a point-to-point FIFO channel network.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub enum P2pOp {
+    /// Send `body` to process `to`.
+    Send {
+        /// Destination process.
+        to: Pid,
+        /// Message body.
+        body: Val,
+    },
+    /// Receive the oldest message sent to the caller by `from`.
+    Recv {
+        /// The sender whose channel to poll.
+        from: Pid,
+    },
+}
+
+/// A complete network of point-to-point FIFO channels for `n` processes.
+///
+/// # Example
+///
+/// ```
+/// use waitfree_model::{ObjectSpec, Pid};
+/// use waitfree_objects::channel::{ChanResp, FifoNetwork, P2pOp};
+///
+/// let mut net = FifoNetwork::new(2);
+/// net.apply(Pid(0), &P2pOp::Send { to: Pid(1), body: 9 });
+/// assert_eq!(
+///     net.apply(Pid(1), &P2pOp::Recv { from: Pid(0) }),
+///     ChanResp::Msg { from: Pid(0), body: 9 }
+/// );
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct FifoNetwork {
+    n: usize,
+    /// `queues[sender * n + receiver]`, oldest message first.
+    queues: Vec<Vec<Val>>,
+}
+
+impl FifoNetwork {
+    /// An empty network among `n` processes.
+    #[must_use]
+    pub fn new(n: usize) -> Self {
+        FifoNetwork {
+            n,
+            queues: vec![Vec::new(); n * n],
+        }
+    }
+
+    /// Number of processes.
+    #[must_use]
+    pub fn processes(&self) -> usize {
+        self.n
+    }
+
+    fn slot(&self, from: Pid, to: Pid) -> usize {
+        assert!(from.0 < self.n && to.0 < self.n, "pid out of range");
+        from.0 * self.n + to.0
+    }
+}
+
+impl ObjectSpec for FifoNetwork {
+    type Op = P2pOp;
+    type Resp = ChanResp;
+
+    /// # Panics
+    ///
+    /// Panics if a pid is out of range for the network.
+    fn apply(&mut self, pid: Pid, op: &P2pOp) -> ChanResp {
+        match *op {
+            P2pOp::Send { to, body } => {
+                let s = self.slot(pid, to);
+                self.queues[s].push(body);
+                ChanResp::Ack
+            }
+            P2pOp::Recv { from } => {
+                let s = self.slot(from, pid);
+                if self.queues[s].is_empty() {
+                    ChanResp::Empty
+                } else {
+                    ChanResp::Msg {
+                        from,
+                        body: self.queues[s].remove(0),
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Operation on a broadcast channel.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub enum BcastOp {
+    /// Broadcast `body` to every process (including the sender).
+    Bcast(Val),
+    /// Receive the next undelivered broadcast.
+    Recv,
+}
+
+/// Broadcast with totally ordered delivery — solves n-process consensus
+/// ("Broadcast with ordered delivery, however, does solve n-process
+/// consensus", §3.1). Every receiver sees the same global sequence.
+///
+/// # Example
+///
+/// ```
+/// use waitfree_model::{ObjectSpec, Pid};
+/// use waitfree_objects::channel::{BcastOp, ChanResp, OrderedBroadcast};
+///
+/// let mut ch = OrderedBroadcast::new(2);
+/// ch.apply(Pid(0), &BcastOp::Bcast(5));
+/// ch.apply(Pid(1), &BcastOp::Bcast(6));
+/// // Both receivers see 5 before 6.
+/// assert_eq!(ch.apply(Pid(0), &BcastOp::Recv), ChanResp::Msg { from: Pid(0), body: 5 });
+/// assert_eq!(ch.apply(Pid(1), &BcastOp::Recv), ChanResp::Msg { from: Pid(0), body: 5 });
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct OrderedBroadcast {
+    log: Vec<(Pid, Val)>,
+    cursor: Vec<usize>,
+}
+
+impl OrderedBroadcast {
+    /// An empty ordered-broadcast channel among `n` processes.
+    #[must_use]
+    pub fn new(n: usize) -> Self {
+        OrderedBroadcast {
+            log: Vec::new(),
+            cursor: vec![0; n],
+        }
+    }
+}
+
+impl ObjectSpec for OrderedBroadcast {
+    type Op = BcastOp;
+    type Resp = ChanResp;
+
+    /// # Panics
+    ///
+    /// Panics if the pid is out of range for the channel.
+    fn apply(&mut self, pid: Pid, op: &BcastOp) -> ChanResp {
+        match *op {
+            BcastOp::Bcast(body) => {
+                self.log.push((pid, body));
+                ChanResp::Ack
+            }
+            BcastOp::Recv => {
+                let c = self.cursor[pid.0];
+                if c < self.log.len() {
+                    self.cursor[pid.0] += 1;
+                    let (from, body) = self.log[c];
+                    ChanResp::Msg { from, body }
+                } else {
+                    ChanResp::Empty
+                }
+            }
+        }
+    }
+}
+
+/// Broadcast with *unordered* delivery — each receive may deliver any
+/// pending message, chosen by the adversary. This is inherently
+/// nondeterministic, so the object implements [`BranchingSpec`] directly
+/// and the explorer branches over every possible delivery.
+///
+/// The paper (§3.1, citing Dolev–Dwork–Stockmeyer) notes this channel
+/// cannot solve two-process consensus.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct UnorderedBroadcast {
+    /// Per-receiver pending multiset, kept sorted so equal abstract states
+    /// are equal Rust values.
+    pending: Vec<Vec<(Pid, Val)>>,
+}
+
+impl UnorderedBroadcast {
+    /// An empty unordered-broadcast channel among `n` processes.
+    #[must_use]
+    pub fn new(n: usize) -> Self {
+        UnorderedBroadcast {
+            pending: vec![Vec::new(); n],
+        }
+    }
+
+    /// Number of messages pending for `pid`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pid is out of range for the channel.
+    #[must_use]
+    pub fn pending_for(&self, pid: Pid) -> usize {
+        self.pending[pid.0].len()
+    }
+}
+
+impl BranchingSpec for UnorderedBroadcast {
+    type Op = BcastOp;
+    type Resp = ChanResp;
+
+    /// # Panics
+    ///
+    /// Panics if the pid is out of range for the channel.
+    fn apply_all(&self, pid: Pid, op: &BcastOp) -> Vec<(Self, ChanResp)> {
+        match *op {
+            BcastOp::Bcast(body) => {
+                let mut next = self.clone();
+                for (rcpt, inbox) in next.pending.iter_mut().enumerate() {
+                    let entry = (pid, body);
+                    let pos = inbox.partition_point(|e| *e <= entry);
+                    inbox.insert(pos, entry);
+                    let _ = rcpt;
+                }
+                vec![(next, ChanResp::Ack)]
+            }
+            BcastOp::Recv => {
+                let inbox = &self.pending[pid.0];
+                if inbox.is_empty() {
+                    return vec![(self.clone(), ChanResp::Empty)];
+                }
+                let mut out = Vec::new();
+                for i in 0..inbox.len() {
+                    // Skip duplicates: delivering equal messages leads to
+                    // identical successor states.
+                    if i > 0 && inbox[i] == inbox[i - 1] {
+                        continue;
+                    }
+                    let mut next = self.clone();
+                    let (from, body) = next.pending[pid.0].remove(i);
+                    out.push((next, ChanResp::Msg { from, body }));
+                }
+                out
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn p2p_channels_are_fifo_per_pair() {
+        let mut net = FifoNetwork::new(3);
+        net.apply(Pid(0), &P2pOp::Send { to: Pid(2), body: 1 });
+        net.apply(Pid(0), &P2pOp::Send { to: Pid(2), body: 2 });
+        net.apply(Pid(1), &P2pOp::Send { to: Pid(2), body: 9 });
+        assert_eq!(
+            net.apply(Pid(2), &P2pOp::Recv { from: Pid(0) }),
+            ChanResp::Msg { from: Pid(0), body: 1 }
+        );
+        assert_eq!(
+            net.apply(Pid(2), &P2pOp::Recv { from: Pid(0) }),
+            ChanResp::Msg { from: Pid(0), body: 2 }
+        );
+        assert_eq!(
+            net.apply(Pid(2), &P2pOp::Recv { from: Pid(1) }),
+            ChanResp::Msg { from: Pid(1), body: 9 }
+        );
+    }
+
+    #[test]
+    fn p2p_recv_is_total() {
+        let mut net = FifoNetwork::new(2);
+        assert_eq!(net.apply(Pid(0), &P2pOp::Recv { from: Pid(1) }), ChanResp::Empty);
+    }
+
+    #[test]
+    fn ordered_broadcast_delivers_same_sequence_to_all() {
+        let mut ch = OrderedBroadcast::new(3);
+        ch.apply(Pid(2), &BcastOp::Bcast(7));
+        ch.apply(Pid(0), &BcastOp::Bcast(8));
+        for p in Pid::all(3) {
+            assert_eq!(
+                ch.apply(p, &BcastOp::Recv),
+                ChanResp::Msg { from: Pid(2), body: 7 }
+            );
+            assert_eq!(
+                ch.apply(p, &BcastOp::Recv),
+                ChanResp::Msg { from: Pid(0), body: 8 }
+            );
+            assert_eq!(ch.apply(p, &BcastOp::Recv), ChanResp::Empty);
+        }
+    }
+
+    #[test]
+    fn sender_receives_own_broadcast() {
+        let mut ch = OrderedBroadcast::new(1);
+        ch.apply(Pid(0), &BcastOp::Bcast(3));
+        assert_eq!(
+            ch.apply(Pid(0), &BcastOp::Recv),
+            ChanResp::Msg { from: Pid(0), body: 3 }
+        );
+    }
+
+    #[test]
+    fn unordered_recv_branches_over_all_pending() {
+        let ch = UnorderedBroadcast::new(2);
+        let (ch, _) = ch.apply_all(Pid(0), &BcastOp::Bcast(1)).pop().unwrap();
+        let (ch, _) = ch.apply_all(Pid(1), &BcastOp::Bcast(2)).pop().unwrap();
+        let outcomes = ch.apply_all(Pid(0), &BcastOp::Recv);
+        assert_eq!(outcomes.len(), 2, "either message may be delivered first");
+        let bodies: Vec<Val> = outcomes
+            .iter()
+            .map(|(_, r)| match r {
+                ChanResp::Msg { body, .. } => *body,
+                other => panic!("unexpected {other:?}"),
+            })
+            .collect();
+        assert!(bodies.contains(&1) && bodies.contains(&2));
+    }
+
+    #[test]
+    fn unordered_recv_empty_is_total() {
+        let ch = UnorderedBroadcast::new(1);
+        let outcomes = ch.apply_all(Pid(0), &BcastOp::Recv);
+        assert_eq!(outcomes.len(), 1);
+        assert_eq!(outcomes[0].1, ChanResp::Empty);
+    }
+
+    #[test]
+    fn unordered_duplicate_messages_collapse_branches() {
+        let ch = UnorderedBroadcast::new(1);
+        let (ch, _) = ch.apply_all(Pid(0), &BcastOp::Bcast(5)).pop().unwrap();
+        let (ch, _) = ch.apply_all(Pid(0), &BcastOp::Bcast(5)).pop().unwrap();
+        let outcomes = ch.apply_all(Pid(0), &BcastOp::Recv);
+        assert_eq!(outcomes.len(), 1, "identical deliveries are one branch");
+        assert_eq!(ch.pending_for(Pid(0)), 2);
+    }
+}

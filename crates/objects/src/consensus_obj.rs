@@ -1,0 +1,137 @@
+//! Consensus objects — §4.2.
+//!
+//! A *consensus object* is the distilled level-∞ primitive: the first
+//! `decide(v)` fixes the outcome, and every later `decide` returns the same
+//! winner. The universal construction of Figure 4-5 consumes an unbounded
+//! array of these ("we model multiple rounds of consensus as an unbounded
+//! array `consensus`"), provided here as [`ConsensusArray`].
+
+use std::collections::BTreeMap;
+
+use waitfree_model::{ObjectSpec, Pid, Val};
+
+/// Operation on a single consensus object.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct DecideOp(pub Val);
+
+/// A one-shot consensus object: the first proposal wins and every call
+/// returns the winner.
+///
+/// # Example
+///
+/// ```
+/// use waitfree_model::{ObjectSpec, Pid};
+/// use waitfree_objects::consensus_obj::{ConsensusObj, DecideOp};
+///
+/// let mut c = ConsensusObj::new();
+/// assert_eq!(c.apply(Pid(1), &DecideOp(11)), 11);
+/// assert_eq!(c.apply(Pid(0), &DecideOp(22)), 11); // too late
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq, Hash, Default)]
+pub struct ConsensusObj {
+    winner: Option<Val>,
+}
+
+impl ConsensusObj {
+    /// An undecided consensus object.
+    #[must_use]
+    pub fn new() -> Self {
+        ConsensusObj::default()
+    }
+
+    /// The winner, if decided.
+    #[must_use]
+    pub fn winner(&self) -> Option<Val> {
+        self.winner
+    }
+}
+
+impl ObjectSpec for ConsensusObj {
+    type Op = DecideOp;
+    type Resp = Val;
+
+    fn apply(&mut self, _pid: Pid, op: &DecideOp) -> Val {
+        *self.winner.get_or_insert(op.0)
+    }
+}
+
+/// Operation on a consensus array: decide in round `round`.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct RoundDecideOp {
+    /// Which round's consensus object to join.
+    pub round: usize,
+    /// The caller's input value.
+    pub input: Val,
+}
+
+/// An unbounded array of consensus objects, indexed by round number —
+/// the `consensus[k].decide(i)` of Figure 4-5.
+///
+/// Rounds are materialized lazily, so the object is "unbounded" while the
+/// state stays finite (only decided rounds are stored).
+#[derive(Clone, Debug, PartialEq, Eq, Hash, Default)]
+pub struct ConsensusArray {
+    winners: BTreeMap<usize, Val>,
+}
+
+impl ConsensusArray {
+    /// An array with every round undecided.
+    #[must_use]
+    pub fn new() -> Self {
+        ConsensusArray::default()
+    }
+
+    /// The winner of `round`, if decided.
+    #[must_use]
+    pub fn winner(&self, round: usize) -> Option<Val> {
+        self.winners.get(&round).copied()
+    }
+
+    /// Number of decided rounds.
+    #[must_use]
+    pub fn decided_rounds(&self) -> usize {
+        self.winners.len()
+    }
+}
+
+impl ObjectSpec for ConsensusArray {
+    type Op = RoundDecideOp;
+    type Resp = Val;
+
+    fn apply(&mut self, _pid: Pid, op: &RoundDecideOp) -> Val {
+        *self.winners.entry(op.round).or_insert(op.input)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_decide_wins() {
+        let mut c = ConsensusObj::new();
+        assert_eq!(c.winner(), None);
+        assert_eq!(c.apply(Pid(0), &DecideOp(5)), 5);
+        assert_eq!(c.apply(Pid(1), &DecideOp(6)), 5);
+        assert_eq!(c.apply(Pid(2), &DecideOp(7)), 5);
+        assert_eq!(c.winner(), Some(5));
+    }
+
+    #[test]
+    fn rounds_are_independent() {
+        let mut a = ConsensusArray::new();
+        assert_eq!(a.apply(Pid(0), &RoundDecideOp { round: 3, input: 30 }), 30);
+        assert_eq!(a.apply(Pid(1), &RoundDecideOp { round: 1, input: 10 }), 10);
+        assert_eq!(a.apply(Pid(1), &RoundDecideOp { round: 3, input: 99 }), 30);
+        assert_eq!(a.winner(1), Some(10));
+        assert_eq!(a.winner(2), None);
+        assert_eq!(a.decided_rounds(), 2);
+    }
+
+    #[test]
+    fn repeat_decide_by_same_process_is_stable() {
+        let mut c = ConsensusObj::new();
+        c.apply(Pid(0), &DecideOp(1));
+        assert_eq!(c.apply(Pid(0), &DecideOp(2)), 1);
+    }
+}

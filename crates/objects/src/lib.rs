@@ -1,0 +1,50 @@
+//! # waitfree-objects
+//!
+//! Executable sequential specifications for every shared object discussed
+//! in Herlihy's *"Impossibility and Universality Results for Wait-Free
+//! Synchronization"* (PODC 1988):
+//!
+//! | paper section | objects | module |
+//! |---------------|---------|--------|
+//! | §3.1 | atomic read/write registers | [`register`] |
+//! | §3.2 | read-modify-write: test-and-set, swap, fetch-and-add, compare-and-swap | [`rmw`] |
+//! | §3.3 | FIFO queue, stack, priority queue, set, list | [`queue`], [`stack`], [`pqueue`], [`setobj`] |
+//! | §3.4 | augmented queue (`peek`) | [`queue`] |
+//! | §3.5 | memory-to-memory `move` and `swap` | [`memory`] |
+//! | §3.6 | atomic n-register assignment | [`assignment`] |
+//! | §3.1 (message passing) | FIFO point-to-point, ordered/unordered broadcast | [`channel`] |
+//! | §4 | fetch-and-cons, consensus objects | [`list`], [`consensus_obj`] |
+//!
+//! All objects implement [`waitfree_model::ObjectSpec`] (deterministic) or
+//! [`waitfree_model::BranchingSpec`] (finitely nondeterministic, e.g. the
+//! unordered-broadcast channel), so the explorer can schedule them and the
+//! linearizability checker can replay them.
+//!
+//! # Example
+//!
+//! ```
+//! use waitfree_model::{ObjectSpec, Pid};
+//! use waitfree_objects::queue::{FifoQueue, QueueOp, QueueResp};
+//!
+//! let mut q = FifoQueue::new();
+//! q.apply(Pid(0), &QueueOp::Enq(7));
+//! assert_eq!(q.apply(Pid(1), &QueueOp::Deq), QueueResp::Item(7));
+//! assert_eq!(q.apply(Pid(1), &QueueOp::Deq), QueueResp::Empty);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod assignment;
+pub mod channel;
+pub mod consensus_obj;
+pub mod counter;
+pub mod list;
+pub mod memory;
+pub mod pair;
+pub mod pqueue;
+pub mod queue;
+pub mod register;
+pub mod rmw;
+pub mod setobj;
+pub mod stack;

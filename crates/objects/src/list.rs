@@ -1,0 +1,182 @@
+//! Lists and `fetch-and-cons` — the engine of the universal construction
+//! (§4.1).
+//!
+//! `fetch-and-cons(x)` atomically (1) places `x` at the head of the list
+//! and (2) returns the list of items that follow it — i.e. the prior
+//! contents. It is the read-modify-write of the list world, sits at level ∞
+//! of the hierarchy (Figure 1-1), and any object that solves n-process
+//! consensus can implement it (Figure 4-5), which is exactly why "consensus
+//! ⇒ universal".
+//!
+//! The list is generic over its item type: the universal construction logs
+//! *operations* of the implemented object, so `ConsList<S::Op>` is the
+//! representation object of §4.1 ("we represent the object's state as a
+//! list of the invocations that have been applied to it").
+
+use std::fmt::Debug;
+use std::hash::Hash;
+
+use waitfree_model::{ObjectSpec, Pid, Val};
+
+/// Operation on a [`ConsList`].
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub enum ListOp<T = Val> {
+    /// Atomically prepend an item and return the suffix that follows it.
+    FetchAndCons(T),
+    /// Read the whole list (head first). Non-destructive.
+    Read,
+    /// Read the head item. Non-destructive.
+    Car,
+}
+
+/// Response of a list operation.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub enum ListResp<T = Val> {
+    /// The list of items following the freshly consed item (for
+    /// `FetchAndCons`) or the whole list (for `Read`), head first.
+    Items(Vec<T>),
+    /// The head item (for `Car`).
+    Item(T),
+    /// The list was empty (for `Car`).
+    Empty,
+}
+
+/// A shared list supporting atomic `fetch-and-cons` — hierarchy level ∞.
+///
+/// # Example
+///
+/// ```
+/// use waitfree_model::{ObjectSpec, Pid};
+/// use waitfree_objects::list::{ConsList, ListOp, ListResp};
+///
+/// let mut l: ConsList = ConsList::new();
+/// assert_eq!(l.apply(Pid(0), &ListOp::FetchAndCons(1)), ListResp::Items(vec![]));
+/// assert_eq!(l.apply(Pid(1), &ListOp::FetchAndCons(2)), ListResp::Items(vec![1]));
+/// assert_eq!(l.apply(Pid(0), &ListOp::Read), ListResp::Items(vec![2, 1]));
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct ConsList<T = Val> {
+    /// Head-first item sequence.
+    items: Vec<T>,
+}
+
+impl<T> Default for ConsList<T> {
+    fn default() -> Self {
+        ConsList { items: Vec::new() }
+    }
+}
+
+impl<T: Clone + Eq + Hash + Debug> ConsList<T> {
+    /// An empty list (the paper's `Λ`).
+    #[must_use]
+    pub fn new() -> Self {
+        ConsList::default()
+    }
+
+    /// A list with the given head-first contents.
+    #[must_use]
+    pub fn from_items<I: IntoIterator<Item = T>>(items: I) -> Self {
+        ConsList {
+            items: items.into_iter().collect(),
+        }
+    }
+
+    /// Head-first contents (test/debug convenience).
+    #[must_use]
+    pub fn items(&self) -> &[T] {
+        &self.items
+    }
+
+    /// Number of items.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether the list is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+}
+
+impl<T: Clone + Eq + Hash + Debug> ObjectSpec for ConsList<T> {
+    type Op = ListOp<T>;
+    type Resp = ListResp<T>;
+
+    fn apply(&mut self, _pid: Pid, op: &ListOp<T>) -> ListResp<T> {
+        match op {
+            ListOp::FetchAndCons(v) => {
+                let suffix = self.items.clone();
+                self.items.insert(0, v.clone());
+                ListResp::Items(suffix)
+            }
+            ListOp::Read => ListResp::Items(self.items.clone()),
+            ListOp::Car => match self.items.first() {
+                Some(v) => ListResp::Item(v.clone()),
+                None => ListResp::Empty,
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fetch_and_cons_returns_prior_contents() {
+        let mut l: ConsList = ConsList::new();
+        assert_eq!(l.apply(Pid(0), &ListOp::FetchAndCons(10)), ListResp::Items(vec![]));
+        assert_eq!(
+            l.apply(Pid(1), &ListOp::FetchAndCons(20)),
+            ListResp::Items(vec![10])
+        );
+        assert_eq!(
+            l.apply(Pid(2), &ListOp::FetchAndCons(30)),
+            ListResp::Items(vec![20, 10])
+        );
+        assert_eq!(l.items(), &[30, 20, 10]);
+    }
+
+    #[test]
+    fn suffix_property_each_view_extends_predecessor() {
+        // The linearizability criterion of §4.2: each operation's view
+        // (argument prepended to result) is extended by its successor's
+        // result. Check it on a sequential run.
+        let mut l: ConsList = ConsList::new();
+        let mut prev_view: Vec<Val> = Vec::new();
+        for x in 0..5 {
+            let resp = l.apply(Pid(0), &ListOp::FetchAndCons(x));
+            let ListResp::Items(suffix) = resp else { panic!() };
+            assert_eq!(suffix, prev_view, "result must equal predecessor's view");
+            let mut view = vec![x];
+            view.extend(&suffix);
+            prev_view = view;
+        }
+    }
+
+    #[test]
+    fn car_and_read_are_queries() {
+        let mut l: ConsList = ConsList::from_items([1, 2]);
+        let before = l.clone();
+        assert_eq!(l.apply(Pid(0), &ListOp::Car), ListResp::Item(1));
+        assert_eq!(l.apply(Pid(0), &ListOp::Read), ListResp::Items(vec![1, 2]));
+        assert_eq!(l, before);
+    }
+
+    #[test]
+    fn car_of_empty_is_total() {
+        let mut l: ConsList = ConsList::new();
+        assert_eq!(l.apply(Pid(0), &ListOp::Car), ListResp::Empty);
+    }
+
+    #[test]
+    fn generic_item_type() {
+        // The universal construction logs (pid, op-name) pairs.
+        let mut l: ConsList<(u8, &'static str)> = ConsList::new();
+        l.apply(Pid(0), &ListOp::FetchAndCons((0, "enq")));
+        let resp = l.apply(Pid(1), &ListOp::FetchAndCons((1, "deq")));
+        assert_eq!(resp, ListResp::Items(vec![(0, "enq")]));
+    }
+}

@@ -1,0 +1,178 @@
+//! Memory-to-memory operations — §3.5.
+//!
+//! A bank of registers augmented with `move` (atomically copy one cell to
+//! another) or memory-to-memory `swap` (atomically exchange two cells).
+//! Both solve n-process consensus for arbitrary n (Theorems 15 and 16) and
+//! therefore sit at level ∞ of the hierarchy, even though neither returns
+//! any value! Their power is in what they do to shared state, not in what
+//! they report.
+//!
+//! The paper's footnote 3 distinguishes memory-to-memory swap (exchanges
+//! two *shared* cells) from the read-modify-write swap of §3.2 (exchanges a
+//! shared cell with a private value); both live in this workspace,
+//! the latter in [`crate::rmw`].
+
+use waitfree_model::{ObjectSpec, Pid, Val};
+
+/// Operation on a memory bank.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub enum MemOp {
+    /// Read cell `idx`.
+    Read(usize),
+    /// Overwrite cell `idx` with a value.
+    Write(usize, Val),
+    /// Atomically copy cell `src` into cell `dst`. Returns nothing.
+    Move {
+        /// Source cell.
+        src: usize,
+        /// Destination cell.
+        dst: usize,
+    },
+    /// Atomically exchange cells `a` and `b`. Returns nothing.
+    Swap {
+        /// First cell.
+        a: usize,
+        /// Second cell.
+        b: usize,
+    },
+}
+
+/// Response of a memory-bank operation.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub enum MemResp {
+    /// A write/move/swap completed (no information is returned).
+    Ack,
+    /// A read returned this value.
+    Value(Val),
+}
+
+/// A bank of registers with memory-to-memory `move` and `swap`.
+///
+/// # Example
+///
+/// ```
+/// use waitfree_model::{ObjectSpec, Pid};
+/// use waitfree_objects::memory::{MemOp, MemResp, MemoryBank};
+///
+/// let mut m = MemoryBank::from_values(vec![1, 2]);
+/// m.apply(Pid(0), &MemOp::Swap { a: 0, b: 1 });
+/// assert_eq!(m.apply(Pid(0), &MemOp::Read(0)), MemResp::Value(2));
+/// assert_eq!(m.apply(Pid(0), &MemOp::Read(1)), MemResp::Value(1));
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct MemoryBank {
+    cells: Vec<Val>,
+}
+
+impl MemoryBank {
+    /// A bank of `len` cells, all holding `initial`.
+    #[must_use]
+    pub fn new(len: usize, initial: Val) -> Self {
+        MemoryBank {
+            cells: vec![initial; len],
+        }
+    }
+
+    /// A bank with explicit initial contents.
+    #[must_use]
+    pub fn from_values(cells: Vec<Val>) -> Self {
+        MemoryBank { cells }
+    }
+
+    /// Number of cells.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Whether the bank has no cells.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// Contents of cell `idx` (test/debug convenience).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of bounds.
+    #[must_use]
+    pub fn value(&self, idx: usize) -> Val {
+        self.cells[idx]
+    }
+}
+
+impl ObjectSpec for MemoryBank {
+    type Op = MemOp;
+    type Resp = MemResp;
+
+    /// # Panics
+    ///
+    /// Panics if a cell index is out of bounds.
+    fn apply(&mut self, _pid: Pid, op: &MemOp) -> MemResp {
+        match *op {
+            MemOp::Read(i) => MemResp::Value(self.cells[i]),
+            MemOp::Write(i, v) => {
+                self.cells[i] = v;
+                MemResp::Ack
+            }
+            MemOp::Move { src, dst } => {
+                self.cells[dst] = self.cells[src];
+                MemResp::Ack
+            }
+            MemOp::Swap { a, b } => {
+                self.cells.swap(a, b);
+                MemResp::Ack
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn move_copies_not_moves() {
+        let mut m = MemoryBank::from_values(vec![7, 0]);
+        assert_eq!(m.apply(Pid(0), &MemOp::Move { src: 0, dst: 1 }), MemResp::Ack);
+        assert_eq!(m.value(0), 7, "source is unchanged");
+        assert_eq!(m.value(1), 7);
+    }
+
+    #[test]
+    fn swap_exchanges_cells() {
+        let mut m = MemoryBank::from_values(vec![1, 2, 3]);
+        m.apply(Pid(0), &MemOp::Swap { a: 0, b: 2 });
+        assert_eq!(m.value(0), 3);
+        assert_eq!(m.value(2), 1);
+        assert_eq!(m.value(1), 2);
+    }
+
+    #[test]
+    fn swap_with_self_is_identity() {
+        let mut m = MemoryBank::from_values(vec![4, 5]);
+        let before = m.clone();
+        m.apply(Pid(0), &MemOp::Swap { a: 1, b: 1 });
+        assert_eq!(m, before);
+    }
+
+    #[test]
+    fn move_and_swap_return_no_information() {
+        // Level-∞ power without informative responses.
+        let mut a = MemoryBank::from_values(vec![1, 2]);
+        let mut b = MemoryBank::from_values(vec![9, 8]);
+        assert_eq!(
+            a.apply(Pid(0), &MemOp::Move { src: 0, dst: 1 }),
+            b.apply(Pid(0), &MemOp::Move { src: 0, dst: 1 }),
+        );
+    }
+
+    #[test]
+    fn read_write_basics() {
+        let mut m = MemoryBank::new(2, 0);
+        assert_eq!(m.apply(Pid(0), &MemOp::Write(1, 5)), MemResp::Ack);
+        assert_eq!(m.apply(Pid(0), &MemOp::Read(1)), MemResp::Value(5));
+        assert_eq!(m.len(), 2);
+    }
+}

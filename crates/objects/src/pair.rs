@@ -1,0 +1,92 @@
+//! Composition of two shared objects into one.
+//!
+//! Protocols frequently use several objects of different types at once —
+//! Figure 4-5's fetch-and-cons uses read/write registers *and* an array of
+//! consensus objects. [`Pair`] packages two [`ObjectSpec`]s as a single
+//! spec whose operations are tagged with the side they address, so the
+//! explorer still sees one shared object.
+
+use waitfree_model::{ObjectSpec, Pid};
+
+/// An operation (or response) routed to one side of a [`Pair`].
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub enum Either<L, R> {
+    /// The first component.
+    Left(L),
+    /// The second component.
+    Right(R),
+}
+
+/// Two shared objects packaged as one.
+///
+/// # Example
+///
+/// ```
+/// use waitfree_model::{ObjectSpec, Pid};
+/// use waitfree_objects::pair::{Either, Pair};
+/// use waitfree_objects::register::{RegOp, RegResp, RwRegister};
+/// use waitfree_objects::queue::{FifoQueue, QueueOp, QueueResp};
+///
+/// let mut obj = Pair::new(RwRegister::new(0), FifoQueue::new());
+/// obj.apply(Pid(0), &Either::Left(RegOp::Write(1)));
+/// obj.apply(Pid(0), &Either::Right(QueueOp::Enq(2)));
+/// assert_eq!(
+///     obj.apply(Pid(1), &Either::Right(QueueOp::Deq)),
+///     Either::Right(QueueResp::Item(2))
+/// );
+/// assert_eq!(
+///     obj.apply(Pid(1), &Either::Left(RegOp::Read)),
+///     Either::Left(RegResp::Read(1))
+/// );
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct Pair<L, R> {
+    /// First component object.
+    pub left: L,
+    /// Second component object.
+    pub right: R,
+}
+
+impl<L, R> Pair<L, R> {
+    /// Package `left` and `right` as one object.
+    #[must_use]
+    pub fn new(left: L, right: R) -> Self {
+        Pair { left, right }
+    }
+}
+
+impl<L: ObjectSpec, R: ObjectSpec> ObjectSpec for Pair<L, R> {
+    type Op = Either<L::Op, R::Op>;
+    type Resp = Either<L::Resp, R::Resp>;
+
+    fn apply(&mut self, pid: Pid, op: &Self::Op) -> Self::Resp {
+        match op {
+            Either::Left(o) => Either::Left(self.left.apply(pid, o)),
+            Either::Right(o) => Either::Right(self.right.apply(pid, o)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::register::{RegOp, RegResp, RwRegister};
+
+    #[test]
+    fn components_do_not_interfere() {
+        let mut p = Pair::new(RwRegister::new(0), RwRegister::new(100));
+        p.apply(Pid(0), &Either::Left(RegOp::Write(1)));
+        assert_eq!(
+            p.apply(Pid(0), &Either::Right(RegOp::Read)),
+            Either::Right(RegResp::Read(100))
+        );
+    }
+
+    #[test]
+    fn nesting_pairs_composes() {
+        let inner = Pair::new(RwRegister::new(1), RwRegister::new(2));
+        let mut outer = Pair::new(inner, RwRegister::new(3));
+        let resp = outer.apply(Pid(0), &Either::Left(Either::Right(RegOp::Read)));
+        assert_eq!(resp, Either::Left(Either::Right(RegResp::Read(2))));
+    }
+}

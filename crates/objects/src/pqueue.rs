@@ -1,0 +1,142 @@
+//! Priority queue — another §3.3 data type at hierarchy level 2
+//! (Corollary 10 / "the same result holds for many similar data types").
+
+use waitfree_model::{ObjectSpec, Pid, Val};
+
+/// Operation on a priority queue.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub enum PqOp {
+    /// Insert an item.
+    Insert(Val),
+    /// Remove and return the minimum item.
+    ExtractMin,
+    /// Return, without removing, the minimum item.
+    FindMin,
+}
+
+/// Response of a priority-queue operation.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub enum PqResp {
+    /// An insert completed.
+    Ack,
+    /// The extracted or found item.
+    Item(Val),
+    /// The queue was empty.
+    Empty,
+}
+
+/// A min-priority queue with total operations.
+///
+/// The state is kept as a sorted vector so that equal abstract states are
+/// equal Rust values — a requirement for the explorer's memoization
+/// (`ObjectSpec: Eq + Hash`). Duplicate priorities are allowed.
+///
+/// # Example
+///
+/// ```
+/// use waitfree_model::{ObjectSpec, Pid};
+/// use waitfree_objects::pqueue::{PqOp, PqResp, PriorityQueue};
+///
+/// let mut pq = PriorityQueue::new();
+/// pq.apply(Pid(0), &PqOp::Insert(5));
+/// pq.apply(Pid(0), &PqOp::Insert(2));
+/// assert_eq!(pq.apply(Pid(1), &PqOp::ExtractMin), PqResp::Item(2));
+/// assert_eq!(pq.apply(Pid(1), &PqOp::ExtractMin), PqResp::Item(5));
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq, Hash, Default)]
+pub struct PriorityQueue {
+    sorted: Vec<Val>,
+}
+
+impl PriorityQueue {
+    /// An empty priority queue.
+    #[must_use]
+    pub fn new() -> Self {
+        PriorityQueue::default()
+    }
+
+    /// Number of queued items.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// Whether the queue is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+}
+
+impl ObjectSpec for PriorityQueue {
+    type Op = PqOp;
+    type Resp = PqResp;
+
+    fn apply(&mut self, _pid: Pid, op: &PqOp) -> PqResp {
+        match op {
+            PqOp::Insert(v) => {
+                let pos = self.sorted.partition_point(|&x| x <= *v);
+                self.sorted.insert(pos, *v);
+                PqResp::Ack
+            }
+            PqOp::ExtractMin => {
+                if self.sorted.is_empty() {
+                    PqResp::Empty
+                } else {
+                    PqResp::Item(self.sorted.remove(0))
+                }
+            }
+            PqOp::FindMin => match self.sorted.first() {
+                Some(&v) => PqResp::Item(v),
+                None => PqResp::Empty,
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn extract_min_is_sorted() {
+        let mut pq = PriorityQueue::new();
+        for v in [3, 1, 4, 1, 5] {
+            assert_eq!(pq.apply(Pid(0), &PqOp::Insert(v)), PqResp::Ack);
+        }
+        let mut out = Vec::new();
+        while let PqResp::Item(v) = pq.apply(Pid(1), &PqOp::ExtractMin) {
+            out.push(v);
+        }
+        assert_eq!(out, vec![1, 1, 3, 4, 5]);
+    }
+
+    #[test]
+    fn empty_operations_are_total() {
+        let mut pq = PriorityQueue::new();
+        assert_eq!(pq.apply(Pid(0), &PqOp::ExtractMin), PqResp::Empty);
+        assert_eq!(pq.apply(Pid(0), &PqOp::FindMin), PqResp::Empty);
+    }
+
+    #[test]
+    fn find_min_does_not_remove() {
+        let mut pq = PriorityQueue::new();
+        pq.apply(Pid(0), &PqOp::Insert(9));
+        assert_eq!(pq.apply(Pid(0), &PqOp::FindMin), PqResp::Item(9));
+        assert_eq!(pq.len(), 1);
+    }
+
+    #[test]
+    fn duplicate_insert_stable_state() {
+        let mut a = PriorityQueue::new();
+        let mut b = PriorityQueue::new();
+        // Same multiset inserted in different orders yields equal states.
+        for v in [2, 1, 2] {
+            a.apply(Pid(0), &PqOp::Insert(v));
+        }
+        for v in [2, 2, 1] {
+            b.apply(Pid(0), &PqOp::Insert(v));
+        }
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,237 @@
+//! FIFO queues — §3.3 — and the augmented (peek) queue — §3.4.
+//!
+//! A FIFO queue solves two-process consensus (Theorem 9) but not
+//! three-process consensus (Theorem 11), placing it at level 2 of the
+//! hierarchy. Adding a single non-destructive `peek` operation lifts it to
+//! level ∞ (Theorem 12): every process enqueues its identifier and peeks,
+//! and the first enqueue wins.
+
+use std::collections::VecDeque;
+
+use waitfree_model::{ObjectSpec, Pid, Val};
+
+/// Operation on a (plain) FIFO queue.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub enum QueueOp {
+    /// Place an item at the end of the queue.
+    Enq(Val),
+    /// Remove the item at the head of the queue.
+    Deq,
+}
+
+/// Operation on an augmented FIFO queue.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub enum AugQueueOp {
+    /// Place an item at the end of the queue.
+    Enq(Val),
+    /// Remove the item at the head of the queue.
+    Deq,
+    /// Return, without removing, the item at the head of the queue.
+    Peek,
+}
+
+/// Response of a queue operation. Operations are total: dequeuing or
+/// peeking an empty queue returns [`QueueResp::Empty`], exactly as the
+/// paper requires of total operations (§2.2).
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub enum QueueResp {
+    /// An enqueue completed.
+    Ack,
+    /// The dequeued or peeked item.
+    Item(Val),
+    /// The queue was empty.
+    Empty,
+}
+
+/// A FIFO queue — hierarchy level 2.
+///
+/// # Example
+///
+/// ```
+/// use waitfree_model::{ObjectSpec, Pid};
+/// use waitfree_objects::queue::{FifoQueue, QueueOp, QueueResp};
+///
+/// // The initialization of Theorem 9's protocol:
+/// let mut q = FifoQueue::from_items([0, 1]); // "first", "second"
+/// assert_eq!(q.apply(Pid(0), &QueueOp::Deq), QueueResp::Item(0));
+/// assert_eq!(q.apply(Pid(1), &QueueOp::Deq), QueueResp::Item(1));
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq, Hash, Default)]
+pub struct FifoQueue {
+    items: VecDeque<Val>,
+}
+
+impl FifoQueue {
+    /// An empty queue.
+    #[must_use]
+    pub fn new() -> Self {
+        FifoQueue::default()
+    }
+
+    /// A queue pre-loaded with `items`, front first.
+    #[must_use]
+    pub fn from_items<I: IntoIterator<Item = Val>>(items: I) -> Self {
+        FifoQueue {
+            items: items.into_iter().collect(),
+        }
+    }
+
+    /// Number of queued items.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether the queue is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+}
+
+impl ObjectSpec for FifoQueue {
+    type Op = QueueOp;
+    type Resp = QueueResp;
+
+    fn apply(&mut self, _pid: Pid, op: &QueueOp) -> QueueResp {
+        match op {
+            QueueOp::Enq(v) => {
+                self.items.push_back(*v);
+                QueueResp::Ack
+            }
+            QueueOp::Deq => match self.items.pop_front() {
+                Some(v) => QueueResp::Item(v),
+                None => QueueResp::Empty,
+            },
+        }
+    }
+}
+
+/// A FIFO queue augmented with `peek` — hierarchy level ∞ (Theorem 12).
+///
+/// Corollaries 13 and 14: this object has no wait-free implementation from
+/// any combination of read, write, test-and-set, swap or fetch-and-add, nor
+/// from plain FIFO queues.
+///
+/// # Example
+///
+/// ```
+/// use waitfree_model::{ObjectSpec, Pid};
+/// use waitfree_objects::queue::{AugQueueOp, AugmentedQueue, QueueResp};
+///
+/// // Theorem 12's protocol: enqueue your id, decide on peek().
+/// let mut q = AugmentedQueue::new();
+/// q.apply(Pid(1), &AugQueueOp::Enq(1));
+/// q.apply(Pid(0), &AugQueueOp::Enq(0));
+/// assert_eq!(q.apply(Pid(0), &AugQueueOp::Peek), QueueResp::Item(1));
+/// assert_eq!(q.apply(Pid(1), &AugQueueOp::Peek), QueueResp::Item(1));
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq, Hash, Default)]
+pub struct AugmentedQueue {
+    items: VecDeque<Val>,
+}
+
+impl AugmentedQueue {
+    /// An empty queue.
+    #[must_use]
+    pub fn new() -> Self {
+        AugmentedQueue::default()
+    }
+
+    /// A queue pre-loaded with `items`, front first.
+    #[must_use]
+    pub fn from_items<I: IntoIterator<Item = Val>>(items: I) -> Self {
+        AugmentedQueue {
+            items: items.into_iter().collect(),
+        }
+    }
+
+    /// Number of queued items.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether the queue is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+}
+
+impl ObjectSpec for AugmentedQueue {
+    type Op = AugQueueOp;
+    type Resp = QueueResp;
+
+    fn apply(&mut self, _pid: Pid, op: &AugQueueOp) -> QueueResp {
+        match op {
+            AugQueueOp::Enq(v) => {
+                self.items.push_back(*v);
+                QueueResp::Ack
+            }
+            AugQueueOp::Deq => match self.items.pop_front() {
+                Some(v) => QueueResp::Item(v),
+                None => QueueResp::Empty,
+            },
+            AugQueueOp::Peek => match self.items.front() {
+                Some(v) => QueueResp::Item(*v),
+                None => QueueResp::Empty,
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_order() {
+        let mut q = FifoQueue::new();
+        for v in [1, 2, 3] {
+            assert_eq!(q.apply(Pid(0), &QueueOp::Enq(v)), QueueResp::Ack);
+        }
+        assert_eq!(q.apply(Pid(1), &QueueOp::Deq), QueueResp::Item(1));
+        assert_eq!(q.apply(Pid(1), &QueueOp::Deq), QueueResp::Item(2));
+        assert_eq!(q.apply(Pid(1), &QueueOp::Deq), QueueResp::Item(3));
+    }
+
+    #[test]
+    fn deq_on_empty_is_total() {
+        let mut q = FifoQueue::new();
+        assert_eq!(q.apply(Pid(0), &QueueOp::Deq), QueueResp::Empty);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn from_items_preserves_front_first() {
+        let mut q = FifoQueue::from_items([10, 20]);
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.apply(Pid(0), &QueueOp::Deq), QueueResp::Item(10));
+    }
+
+    #[test]
+    fn peek_does_not_remove() {
+        let mut q = AugmentedQueue::from_items([5]);
+        assert_eq!(q.apply(Pid(0), &AugQueueOp::Peek), QueueResp::Item(5));
+        assert_eq!(q.apply(Pid(0), &AugQueueOp::Peek), QueueResp::Item(5));
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.apply(Pid(0), &AugQueueOp::Deq), QueueResp::Item(5));
+        assert_eq!(q.apply(Pid(0), &AugQueueOp::Peek), QueueResp::Empty);
+    }
+
+    #[test]
+    fn augmented_deq_matches_plain_queue() {
+        let mut a = AugmentedQueue::new();
+        let mut p = FifoQueue::new();
+        for v in [3, 1, 4, 1, 5] {
+            a.apply(Pid(0), &AugQueueOp::Enq(v));
+            p.apply(Pid(0), &QueueOp::Enq(v));
+        }
+        for _ in 0..6 {
+            let ra = a.apply(Pid(1), &AugQueueOp::Deq);
+            let rp = p.apply(Pid(1), &QueueOp::Deq);
+            assert_eq!(ra, rp);
+        }
+    }
+}

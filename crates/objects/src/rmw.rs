@@ -1,0 +1,243 @@
+//! Read-modify-write registers — §3.2 of the paper.
+//!
+//! `RMW(r, f)` atomically replaces the register's value `v` by `f(v)` and
+//! returns the old value. The paper shows:
+//!
+//! * any *non-trivial* `f` (not the identity) solves two-process consensus
+//!   (Theorem 4);
+//! * an *interfering* family of functions — every pair either commutes or
+//!   one overwrites the other — cannot solve three-process consensus
+//!   (Theorem 6), which covers `test-and-set`, `swap` and `fetch-and-add`;
+//! * `compare-and-swap` escapes the interference condition and solves
+//!   n-process consensus for every n (Theorem 7).
+//!
+//! Functions are represented as *data* ([`RmwFn`]) so that protocols stay
+//! hashable and so the interference analysis in `waitfree-core` can
+//! enumerate and classify function families mechanically.
+
+use waitfree_model::{ObjectSpec, Pid, Val};
+
+/// A read-modify-write function `f : Val -> Val`, as data.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum RmwFn {
+    /// `f(v) = v` — a plain read.
+    Identity,
+    /// `f(v) = 1` — test-and-set (returns old value, sets the register).
+    TestAndSet,
+    /// `f(v) = x` — swap in a new value.
+    Swap(Val),
+    /// `f(v) = v + d` — fetch-and-add.
+    FetchAndAdd(Val),
+    /// `f(v) = if v == old { new } else { v }` — compare-and-swap.
+    CompareAndSwap(Val, Val),
+    /// `f(v) = v | m` — fetch-and-or (bitwise), another classic primitive.
+    FetchAndOr(Val),
+    /// `f(v) = max(v, x)` — fetch-and-max; commutes with itself.
+    FetchAndMax(Val),
+    /// `f(v) = 2v + b` for `b ∈ {0,1}` — a *non-interfering* artificial
+    /// function pair used in tests: neither commutes nor overwrites.
+    ShiftIn(Val),
+}
+
+impl RmwFn {
+    /// Evaluate the function.
+    #[must_use]
+    pub fn eval(self, v: Val) -> Val {
+        match self {
+            RmwFn::Identity => v,
+            RmwFn::TestAndSet => 1,
+            RmwFn::Swap(x) => x,
+            RmwFn::FetchAndAdd(d) => v.wrapping_add(d),
+            RmwFn::CompareAndSwap(old, new) => {
+                if v == old {
+                    new
+                } else {
+                    v
+                }
+            }
+            RmwFn::FetchAndOr(m) => v | m,
+            RmwFn::FetchAndMax(x) => v.max(x),
+            RmwFn::ShiftIn(b) => v.wrapping_mul(2).wrapping_add(b),
+        }
+    }
+
+    /// Whether the function is *trivial* (the identity) over the sampled
+    /// domain. Theorem 4 applies exactly to the non-trivial functions.
+    #[must_use]
+    pub fn is_trivial_on(self, domain: &[Val]) -> bool {
+        domain.iter().all(|&v| self.eval(v) == v)
+    }
+}
+
+/// Operation on a read-modify-write register.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct RmwOp(pub RmwFn);
+
+/// A register supporting arbitrary read-modify-write operations.
+///
+/// Every operation returns the *old* value, the defining property of RMW
+/// (§3.2). A plain read is `RmwOp(RmwFn::Identity)`.
+///
+/// # Example
+///
+/// ```
+/// use waitfree_model::{ObjectSpec, Pid};
+/// use waitfree_objects::rmw::{RmwFn, RmwOp, RmwRegister};
+///
+/// let mut r = RmwRegister::new(0);
+/// assert_eq!(r.apply(Pid(0), &RmwOp(RmwFn::TestAndSet)), 0); // won
+/// assert_eq!(r.apply(Pid(1), &RmwOp(RmwFn::TestAndSet)), 1); // lost
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct RmwRegister {
+    value: Val,
+}
+
+impl RmwRegister {
+    /// A register holding `initial`.
+    #[must_use]
+    pub fn new(initial: Val) -> Self {
+        RmwRegister { value: initial }
+    }
+
+    /// Current contents (test/debug convenience).
+    #[must_use]
+    pub fn value(&self) -> Val {
+        self.value
+    }
+}
+
+impl ObjectSpec for RmwRegister {
+    type Op = RmwOp;
+    type Resp = Val;
+
+    fn apply(&mut self, _pid: Pid, op: &RmwOp) -> Val {
+        let old = self.value;
+        self.value = op.0.eval(old);
+        old
+    }
+}
+
+/// Operation on a bank of RMW registers.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct RmwBankOp {
+    /// Which register to operate on.
+    pub idx: usize,
+    /// The function to apply.
+    pub f: RmwFn,
+}
+
+/// A fixed-size array of RMW registers.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct RmwBank {
+    cells: Vec<Val>,
+}
+
+impl RmwBank {
+    /// A bank of `len` registers, all holding `initial`.
+    #[must_use]
+    pub fn new(len: usize, initial: Val) -> Self {
+        RmwBank {
+            cells: vec![initial; len],
+        }
+    }
+
+    /// Contents of register `idx` (test/debug convenience).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of bounds.
+    #[must_use]
+    pub fn value(&self, idx: usize) -> Val {
+        self.cells[idx]
+    }
+}
+
+impl ObjectSpec for RmwBank {
+    type Op = RmwBankOp;
+    type Resp = Val;
+
+    /// # Panics
+    ///
+    /// Panics if the register index is out of bounds.
+    fn apply(&mut self, _pid: Pid, op: &RmwBankOp) -> Val {
+        let old = self.cells[op.idx];
+        self.cells[op.idx] = op.f.eval(old);
+        old
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_is_a_read() {
+        let mut r = RmwRegister::new(17);
+        assert_eq!(r.apply(Pid(0), &RmwOp(RmwFn::Identity)), 17);
+        assert_eq!(r.value(), 17);
+    }
+
+    #[test]
+    fn test_and_set_first_caller_sees_initial() {
+        let mut r = RmwRegister::new(0);
+        assert_eq!(r.apply(Pid(0), &RmwOp(RmwFn::TestAndSet)), 0);
+        assert_eq!(r.apply(Pid(1), &RmwOp(RmwFn::TestAndSet)), 1);
+        assert_eq!(r.value(), 1);
+    }
+
+    #[test]
+    fn swap_exchanges() {
+        let mut r = RmwRegister::new(5);
+        assert_eq!(r.apply(Pid(0), &RmwOp(RmwFn::Swap(9))), 5);
+        assert_eq!(r.value(), 9);
+    }
+
+    #[test]
+    fn fetch_and_add_accumulates() {
+        let mut r = RmwRegister::new(10);
+        assert_eq!(r.apply(Pid(0), &RmwOp(RmwFn::FetchAndAdd(3))), 10);
+        assert_eq!(r.apply(Pid(1), &RmwOp(RmwFn::FetchAndAdd(4))), 13);
+        assert_eq!(r.value(), 17);
+    }
+
+    #[test]
+    fn cas_succeeds_only_on_match() {
+        let mut r = RmwRegister::new(1);
+        assert_eq!(r.apply(Pid(0), &RmwOp(RmwFn::CompareAndSwap(1, 7))), 1);
+        assert_eq!(r.value(), 7);
+        assert_eq!(r.apply(Pid(1), &RmwOp(RmwFn::CompareAndSwap(1, 9))), 7);
+        assert_eq!(r.value(), 7, "failed CAS leaves value unchanged");
+    }
+
+    #[test]
+    fn triviality_detection() {
+        let domain: Vec<Val> = (-4..=4).collect();
+        assert!(RmwFn::Identity.is_trivial_on(&domain));
+        assert!(RmwFn::FetchAndAdd(0).is_trivial_on(&domain));
+        assert!(!RmwFn::TestAndSet.is_trivial_on(&domain));
+        assert!(!RmwFn::Swap(0).is_trivial_on(&domain));
+        assert!(!RmwFn::FetchAndAdd(1).is_trivial_on(&domain));
+        // CAS(x, x) is also trivial.
+        assert!(RmwFn::CompareAndSwap(2, 2).is_trivial_on(&domain));
+        assert!(!RmwFn::CompareAndSwap(2, 3).is_trivial_on(&domain));
+    }
+
+    #[test]
+    fn fetch_and_or_and_max() {
+        let mut r = RmwRegister::new(0b0101);
+        assert_eq!(r.apply(Pid(0), &RmwOp(RmwFn::FetchAndOr(0b0010))), 0b0101);
+        assert_eq!(r.value(), 0b0111);
+        assert_eq!(r.apply(Pid(0), &RmwOp(RmwFn::FetchAndMax(3))), 0b0111);
+        assert_eq!(r.value(), 0b0111, "max with smaller value is a no-op");
+    }
+
+    #[test]
+    fn bank_applies_per_cell() {
+        let mut b = RmwBank::new(2, 0);
+        b.apply(Pid(0), &RmwBankOp { idx: 0, f: RmwFn::FetchAndAdd(5) });
+        b.apply(Pid(1), &RmwBankOp { idx: 1, f: RmwFn::TestAndSet });
+        assert_eq!(b.value(0), 5);
+        assert_eq!(b.value(1), 1);
+    }
+}

@@ -1,0 +1,132 @@
+//! Set — §3.3 lists "sets" among the types registers cannot implement
+//! (Corollary 10). `insert`/`remove` return whether they changed the set,
+//! which is what makes concurrent order observable (two inserts of the same
+//! element return different results depending on order), giving the set its
+//! level-2 consensus power.
+
+use std::collections::BTreeSet;
+
+use waitfree_model::{ObjectSpec, Pid, Val};
+
+/// Operation on a set.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub enum SetOp {
+    /// Add an element; responds with whether it was newly added.
+    Insert(Val),
+    /// Remove an element; responds with whether it was present.
+    Remove(Val),
+    /// Membership test.
+    Member(Val),
+    /// Number of elements.
+    Size,
+}
+
+/// Response of a set operation.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub enum SetResp {
+    /// Boolean outcome of insert/remove/member.
+    Bool(bool),
+    /// Cardinality answer to `Size`.
+    Count(usize),
+}
+
+/// A mathematical set of values with total operations.
+///
+/// # Example
+///
+/// ```
+/// use waitfree_model::{ObjectSpec, Pid};
+/// use waitfree_objects::setobj::{SetObj, SetOp, SetResp};
+///
+/// let mut s = SetObj::new();
+/// assert_eq!(s.apply(Pid(0), &SetOp::Insert(1)), SetResp::Bool(true));
+/// assert_eq!(s.apply(Pid(1), &SetOp::Insert(1)), SetResp::Bool(false));
+/// assert_eq!(s.apply(Pid(1), &SetOp::Member(1)), SetResp::Bool(true));
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq, Hash, Default)]
+pub struct SetObj {
+    items: BTreeSet<Val>,
+}
+
+impl SetObj {
+    /// An empty set.
+    #[must_use]
+    pub fn new() -> Self {
+        SetObj::default()
+    }
+
+    /// A set pre-loaded with `items`.
+    #[must_use]
+    pub fn from_items<I: IntoIterator<Item = Val>>(items: I) -> Self {
+        SetObj {
+            items: items.into_iter().collect(),
+        }
+    }
+
+    /// Number of elements.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether the set is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+}
+
+impl ObjectSpec for SetObj {
+    type Op = SetOp;
+    type Resp = SetResp;
+
+    fn apply(&mut self, _pid: Pid, op: &SetOp) -> SetResp {
+        match op {
+            SetOp::Insert(v) => SetResp::Bool(self.items.insert(*v)),
+            SetOp::Remove(v) => SetResp::Bool(self.items.remove(v)),
+            SetOp::Member(v) => SetResp::Bool(self.items.contains(v)),
+            SetOp::Size => SetResp::Count(self.items.len()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_reports_novelty() {
+        let mut s = SetObj::new();
+        assert_eq!(s.apply(Pid(0), &SetOp::Insert(7)), SetResp::Bool(true));
+        assert_eq!(s.apply(Pid(0), &SetOp::Insert(7)), SetResp::Bool(false));
+    }
+
+    #[test]
+    fn remove_reports_presence() {
+        let mut s = SetObj::from_items([1, 2]);
+        assert_eq!(s.apply(Pid(0), &SetOp::Remove(1)), SetResp::Bool(true));
+        assert_eq!(s.apply(Pid(0), &SetOp::Remove(1)), SetResp::Bool(false));
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn member_and_size_are_queries() {
+        let mut s = SetObj::from_items([4]);
+        let before = s.clone();
+        assert_eq!(s.apply(Pid(0), &SetOp::Member(4)), SetResp::Bool(true));
+        assert_eq!(s.apply(Pid(0), &SetOp::Member(5)), SetResp::Bool(false));
+        assert_eq!(s.apply(Pid(0), &SetOp::Size), SetResp::Count(1));
+        assert_eq!(s, before);
+    }
+
+    #[test]
+    fn state_is_order_insensitive() {
+        let mut a = SetObj::new();
+        let mut b = SetObj::new();
+        a.apply(Pid(0), &SetOp::Insert(1));
+        a.apply(Pid(0), &SetOp::Insert(2));
+        b.apply(Pid(0), &SetOp::Insert(2));
+        b.apply(Pid(0), &SetOp::Insert(1));
+        assert_eq!(a, b);
+    }
+}

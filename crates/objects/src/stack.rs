@@ -1,0 +1,119 @@
+//! LIFO stack — one of the "trivial variations" of §3.3 (Corollary 10):
+//! it solves two-process consensus but, like the queue, not three.
+
+use waitfree_model::{ObjectSpec, Pid, Val};
+
+/// Operation on a stack.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub enum StackOp {
+    /// Push an item.
+    Push(Val),
+    /// Pop the most recently pushed item.
+    Pop,
+}
+
+/// Response of a stack operation.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub enum StackResp {
+    /// A push completed.
+    Ack,
+    /// The popped item.
+    Item(Val),
+    /// The stack was empty.
+    Empty,
+}
+
+/// A LIFO stack with total operations — hierarchy level 2.
+///
+/// # Example
+///
+/// ```
+/// use waitfree_model::{ObjectSpec, Pid};
+/// use waitfree_objects::stack::{Stack, StackOp, StackResp};
+///
+/// let mut s = Stack::new();
+/// s.apply(Pid(0), &StackOp::Push(1));
+/// s.apply(Pid(0), &StackOp::Push(2));
+/// assert_eq!(s.apply(Pid(1), &StackOp::Pop), StackResp::Item(2));
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq, Hash, Default)]
+pub struct Stack {
+    items: Vec<Val>,
+}
+
+impl Stack {
+    /// An empty stack.
+    #[must_use]
+    pub fn new() -> Self {
+        Stack::default()
+    }
+
+    /// A stack pre-loaded with `items`; the *last* item is on top.
+    #[must_use]
+    pub fn from_items<I: IntoIterator<Item = Val>>(items: I) -> Self {
+        Stack {
+            items: items.into_iter().collect(),
+        }
+    }
+
+    /// Number of items on the stack.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether the stack is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+}
+
+impl ObjectSpec for Stack {
+    type Op = StackOp;
+    type Resp = StackResp;
+
+    fn apply(&mut self, _pid: Pid, op: &StackOp) -> StackResp {
+        match op {
+            StackOp::Push(v) => {
+                self.items.push(*v);
+                StackResp::Ack
+            }
+            StackOp::Pop => match self.items.pop() {
+                Some(v) => StackResp::Item(v),
+                None => StackResp::Empty,
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lifo_order() {
+        let mut s = Stack::new();
+        for v in [1, 2, 3] {
+            assert_eq!(s.apply(Pid(0), &StackOp::Push(v)), StackResp::Ack);
+        }
+        assert_eq!(s.apply(Pid(1), &StackOp::Pop), StackResp::Item(3));
+        assert_eq!(s.apply(Pid(1), &StackOp::Pop), StackResp::Item(2));
+        assert_eq!(s.apply(Pid(1), &StackOp::Pop), StackResp::Item(1));
+        assert_eq!(s.apply(Pid(1), &StackOp::Pop), StackResp::Empty);
+    }
+
+    #[test]
+    fn pop_on_empty_is_total() {
+        let mut s = Stack::new();
+        assert_eq!(s.apply(Pid(0), &StackOp::Pop), StackResp::Empty);
+    }
+
+    #[test]
+    fn from_items_puts_last_on_top() {
+        let mut s = Stack::from_items([1, 2]);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.apply(Pid(0), &StackOp::Pop), StackResp::Item(2));
+        assert!(!s.is_empty());
+    }
+}

@@ -1,0 +1,173 @@
+//! Property tests: each simulated object's sequential semantics agrees
+//! with an independent reference model on arbitrary operation sequences.
+
+use proptest::prelude::*;
+use std::collections::VecDeque;
+use waitfree_model::{ObjectSpec, Pid, Val};
+use waitfree_objects::assignment::{AssignBank, AssignOp, AssignResp};
+use waitfree_objects::memory::{MemOp, MemoryBank, MemResp};
+use waitfree_objects::pqueue::{PqOp, PqResp, PriorityQueue};
+use waitfree_objects::queue::{AugQueueOp, AugmentedQueue, QueueOp, QueueResp};
+use waitfree_objects::rmw::{RmwFn, RmwOp, RmwRegister};
+use waitfree_objects::stack::{Stack, StackOp, StackResp};
+
+proptest! {
+    /// Queue (and augmented queue) vs `VecDeque`.
+    #[test]
+    fn queue_matches_vecdeque(ops in proptest::collection::vec(
+        prop_oneof![(0i64..64).prop_map(Some), Just(None)], 0..60)
+    ) {
+        let mut q = waitfree_objects::queue::FifoQueue::new();
+        let mut aq = AugmentedQueue::new();
+        let mut model: VecDeque<Val> = VecDeque::new();
+        for op in ops {
+            match op {
+                Some(v) => {
+                    prop_assert_eq!(q.apply(Pid(0), &QueueOp::Enq(v)), QueueResp::Ack);
+                    prop_assert_eq!(aq.apply(Pid(0), &AugQueueOp::Enq(v)), QueueResp::Ack);
+                    model.push_back(v);
+                }
+                None => {
+                    // Peek first (augmented only), then dequeue from all.
+                    let expect_peek = model.front().map_or(QueueResp::Empty, |&v| QueueResp::Item(v));
+                    prop_assert_eq!(aq.apply(Pid(0), &AugQueueOp::Peek), expect_peek);
+                    let expect = model.pop_front().map_or(QueueResp::Empty, QueueResp::Item);
+                    prop_assert_eq!(q.apply(Pid(0), &QueueOp::Deq), expect.clone());
+                    prop_assert_eq!(aq.apply(Pid(0), &AugQueueOp::Deq), expect);
+                }
+            }
+        }
+        prop_assert_eq!(q.len(), model.len());
+    }
+
+    /// Stack vs `Vec`.
+    #[test]
+    fn stack_matches_vec(ops in proptest::collection::vec(
+        prop_oneof![(0i64..64).prop_map(Some), Just(None)], 0..60)
+    ) {
+        let mut s = Stack::new();
+        let mut model: Vec<Val> = Vec::new();
+        for op in ops {
+            match op {
+                Some(v) => {
+                    s.apply(Pid(0), &StackOp::Push(v));
+                    model.push(v);
+                }
+                None => {
+                    let expect = model.pop().map_or(StackResp::Empty, StackResp::Item);
+                    prop_assert_eq!(s.apply(Pid(0), &StackOp::Pop), expect);
+                }
+            }
+        }
+    }
+
+    /// Priority queue vs a sorted reference.
+    #[test]
+    fn pqueue_matches_sorted_model(ops in proptest::collection::vec(
+        prop_oneof![(0i64..32).prop_map(Some), Just(None)], 0..60)
+    ) {
+        let mut pq = PriorityQueue::new();
+        let mut model: Vec<Val> = Vec::new();
+        for op in ops {
+            match op {
+                Some(v) => {
+                    pq.apply(Pid(0), &PqOp::Insert(v));
+                    model.push(v);
+                    model.sort_unstable();
+                }
+                None => {
+                    let expect = if model.is_empty() {
+                        PqResp::Empty
+                    } else {
+                        PqResp::Item(model.remove(0))
+                    };
+                    prop_assert_eq!(pq.apply(Pid(0), &PqOp::ExtractMin), expect);
+                }
+            }
+        }
+    }
+
+    /// RMW register vs direct function application.
+    #[test]
+    fn rmw_matches_direct_application(
+        init in -8i64..8,
+        fns in proptest::collection::vec(0usize..6, 0..40)
+    ) {
+        let catalogue = [
+            RmwFn::Identity,
+            RmwFn::TestAndSet,
+            RmwFn::Swap(3),
+            RmwFn::FetchAndAdd(2),
+            RmwFn::CompareAndSwap(1, 9),
+            RmwFn::FetchAndMax(4),
+        ];
+        let mut reg = RmwRegister::new(init);
+        let mut model = init;
+        for i in fns {
+            let f = catalogue[i];
+            let old = reg.apply(Pid(0), &RmwOp(f));
+            prop_assert_eq!(old, model, "{:?}", f);
+            model = f.eval(model);
+        }
+        prop_assert_eq!(reg.value(), model);
+    }
+
+    /// Memory bank: move/swap/read/write vs a plain vector.
+    #[test]
+    fn memory_bank_matches_vec(
+        ops in proptest::collection::vec((0usize..4, 0usize..4, -4i64..4, 0usize..4), 0..60)
+    ) {
+        let mut bank = MemoryBank::new(4, 0);
+        let mut model = vec![0i64; 4];
+        for (a, b, v, kind) in ops {
+            match kind {
+                0 => {
+                    prop_assert_eq!(bank.apply(Pid(0), &MemOp::Read(a)), MemResp::Value(model[a]));
+                }
+                1 => {
+                    bank.apply(Pid(0), &MemOp::Write(a, v));
+                    model[a] = v;
+                }
+                2 => {
+                    bank.apply(Pid(0), &MemOp::Move { src: a, dst: b });
+                    model[b] = model[a];
+                }
+                _ => {
+                    bank.apply(Pid(0), &MemOp::Swap { a, b });
+                    model.swap(a, b);
+                }
+            }
+        }
+        for i in 0..4 {
+            prop_assert_eq!(bank.value(i), model[i]);
+        }
+    }
+
+    /// Atomic assignment: the whole batch lands or (on reads) nothing moves.
+    #[test]
+    fn assignment_is_batch_atomic(
+        batches in proptest::collection::vec(
+            proptest::collection::vec((0usize..5, -4i64..4), 0..3), 0..20)
+    ) {
+        let mut bank = AssignBank::new(5, 3, -1);
+        let mut model = vec![-1i64; 5];
+        for batch in batches {
+            // Deduplicate cells within a batch (the object rejects dups).
+            let mut seen = std::collections::HashSet::new();
+            let batch: Vec<(usize, Val)> = batch
+                .into_iter()
+                .filter(|(c, _)| seen.insert(*c))
+                .collect();
+            bank.apply(Pid(0), &AssignOp::Assign(batch.clone()));
+            for (c, v) in batch {
+                model[c] = v;
+            }
+            for i in 0..5 {
+                prop_assert_eq!(
+                    bank.apply(Pid(0), &AssignOp::Read(i)),
+                    AssignResp::Value(model[i])
+                );
+            }
+        }
+    }
+}

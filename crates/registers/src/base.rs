@@ -1,0 +1,273 @@
+//! Base register models: safe, regular, and typed atomic banks.
+//!
+//! A *safe* register (Lamport \[16\], discussed at the end of the paper's
+//! §3.1) "behaves like an atomic read/write register as long as operations
+//! do not overlap. If a read overlaps a write, however, no guarantees are
+//! made about the value read." A *regular* register narrows that: an
+//! overlapping read returns either the old value or a concurrently
+//! written one.
+//!
+//! To expose overlap, writes are split into `StartWrite`/`EndWrite`
+//! micro-operations; a read that lands between them is resolved by the
+//! adversary through [`BranchingSpec`] — the explorer then quantifies over
+//! every resolution.
+
+use std::fmt::Debug;
+use std::hash::Hash;
+
+use waitfree_model::{BranchingSpec, ObjectSpec, Pid, Val};
+
+/// Operation on a bank of safe or regular registers.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub enum WeakOp {
+    /// Begin writing `Val` to register `usize`.
+    StartWrite(usize, Val),
+    /// Complete the pending write to register `usize`.
+    EndWrite(usize),
+    /// Read register `usize`.
+    Read(usize),
+}
+
+/// Response of a weak-register operation.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub enum WeakResp {
+    /// A write step completed.
+    Ack,
+    /// A read returned this value.
+    Read(Val),
+}
+
+/// How an overlapping read is resolved.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Weakness {
+    /// Safe: an overlapping read may return *any* value in the domain.
+    Safe,
+    /// Regular: an overlapping read returns the old or the new value.
+    Regular,
+}
+
+/// A bank of single-writer safe or regular registers over the domain
+/// `0..domain` (binary registers have `domain = 2`).
+///
+/// Writers must bracket writes with `StartWrite`/`EndWrite`; at most one
+/// write may be pending per register (single-writer).
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct WeakBank {
+    weakness: Weakness,
+    domain: Val,
+    /// Steady value of each register.
+    values: Vec<Val>,
+    /// Pending write per register, if any.
+    writing: Vec<Option<Val>>,
+}
+
+impl WeakBank {
+    /// A bank of `len` registers with the given weakness and value domain,
+    /// all initialized to `initial`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `initial` is outside `0..domain`.
+    #[must_use]
+    pub fn new(weakness: Weakness, len: usize, domain: Val, initial: Val) -> Self {
+        assert!((0..domain).contains(&initial), "initial value outside domain");
+        WeakBank {
+            weakness,
+            domain,
+            values: vec![initial; len],
+            writing: vec![None; len],
+        }
+    }
+
+    /// Steady value of register `idx` (test convenience).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of bounds.
+    #[must_use]
+    pub fn value(&self, idx: usize) -> Val {
+        self.values[idx]
+    }
+}
+
+impl BranchingSpec for WeakBank {
+    type Op = WeakOp;
+    type Resp = WeakResp;
+
+    /// # Panics
+    ///
+    /// Panics on out-of-bounds registers, on nested writes to the same
+    /// register (single-writer violation), or `EndWrite` without a start.
+    fn apply_all(&self, _pid: Pid, op: &WeakOp) -> Vec<(Self, WeakResp)> {
+        match *op {
+            WeakOp::StartWrite(i, v) => {
+                assert!(self.writing[i].is_none(), "nested write to register {i}");
+                assert!((0..self.domain).contains(&v), "write outside domain");
+                let mut next = self.clone();
+                next.writing[i] = Some(v);
+                vec![(next, WeakResp::Ack)]
+            }
+            WeakOp::EndWrite(i) => {
+                let v = self.writing[i].expect("EndWrite without StartWrite");
+                let mut next = self.clone();
+                next.values[i] = v;
+                next.writing[i] = None;
+                vec![(next, WeakResp::Ack)]
+            }
+            WeakOp::Read(i) => match (self.writing[i], self.weakness) {
+                (None, _) => vec![(self.clone(), WeakResp::Read(self.values[i]))],
+                (Some(new), Weakness::Regular) => {
+                    let mut out = vec![(self.clone(), WeakResp::Read(self.values[i]))];
+                    if new != self.values[i] {
+                        out.push((self.clone(), WeakResp::Read(new)));
+                    }
+                    out
+                }
+                (Some(_), Weakness::Safe) => (0..self.domain)
+                    .map(|v| (self.clone(), WeakResp::Read(v)))
+                    .collect(),
+            },
+        }
+    }
+}
+
+/// Operation on a [`TypedBank`].
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub enum TypedOp<T> {
+    /// Read register `usize`.
+    Read(usize),
+    /// Write a value to register `usize`.
+    Write(usize, T),
+}
+
+/// Response of a [`TypedBank`] operation.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub enum TypedResp<T> {
+    /// A write completed.
+    Written,
+    /// A read returned this value.
+    Read(T),
+}
+
+/// A bank of *atomic* registers holding arbitrary (hashable) values —
+/// timestamps, pairs, embedded scans. The timestamped constructions and
+/// the snapshot build on this.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct TypedBank<T> {
+    cells: Vec<T>,
+}
+
+impl<T: Clone + Eq + Hash + Debug> TypedBank<T> {
+    /// A bank with the given initial cell contents.
+    #[must_use]
+    pub fn new(cells: Vec<T>) -> Self {
+        TypedBank { cells }
+    }
+
+    /// Number of registers.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Whether the bank has no registers.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// Contents of register `idx` (test convenience).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of bounds.
+    #[must_use]
+    pub fn value(&self, idx: usize) -> &T {
+        &self.cells[idx]
+    }
+}
+
+impl<T: Clone + Eq + Hash + Debug> ObjectSpec for TypedBank<T> {
+    type Op = TypedOp<T>;
+    type Resp = TypedResp<T>;
+
+    /// # Panics
+    ///
+    /// Panics if the register index is out of bounds.
+    fn apply(&mut self, _pid: Pid, op: &TypedOp<T>) -> TypedResp<T> {
+        match op {
+            TypedOp::Read(i) => TypedResp::Read(self.cells[*i].clone()),
+            TypedOp::Write(i, v) => {
+                self.cells[*i] = v.clone();
+                TypedResp::Written
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn non_overlapping_reads_are_exact() {
+        let bank = WeakBank::new(Weakness::Safe, 1, 4, 3);
+        let out = bank.apply_all(Pid(0), &WeakOp::Read(0));
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].1, WeakResp::Read(3));
+    }
+
+    #[test]
+    fn safe_overlapping_read_branches_over_domain() {
+        let bank = WeakBank::new(Weakness::Safe, 1, 4, 0);
+        let (bank, _) = bank.apply_all(Pid(0), &WeakOp::StartWrite(0, 1)).remove(0);
+        let out = bank.apply_all(Pid(1), &WeakOp::Read(0));
+        assert_eq!(out.len(), 4, "any of the 4 domain values may be read");
+    }
+
+    #[test]
+    fn regular_overlapping_read_branches_old_new() {
+        let bank = WeakBank::new(Weakness::Regular, 1, 4, 0);
+        let (bank, _) = bank.apply_all(Pid(0), &WeakOp::StartWrite(0, 3)).remove(0);
+        let reads: Vec<WeakResp> = bank
+            .apply_all(Pid(1), &WeakOp::Read(0))
+            .into_iter()
+            .map(|(_, r)| r)
+            .collect();
+        assert_eq!(reads, vec![WeakResp::Read(0), WeakResp::Read(3)]);
+    }
+
+    #[test]
+    fn regular_same_value_write_does_not_branch() {
+        let bank = WeakBank::new(Weakness::Regular, 1, 2, 1);
+        let (bank, _) = bank.apply_all(Pid(0), &WeakOp::StartWrite(0, 1)).remove(0);
+        let out = bank.apply_all(Pid(1), &WeakOp::Read(0));
+        assert_eq!(out.len(), 1, "old == new collapses the branch");
+    }
+
+    #[test]
+    fn end_write_installs_value() {
+        let bank = WeakBank::new(Weakness::Safe, 2, 2, 0);
+        let (bank, _) = bank.apply_all(Pid(0), &WeakOp::StartWrite(1, 1)).remove(0);
+        let (bank, _) = bank.apply_all(Pid(0), &WeakOp::EndWrite(1)).remove(0);
+        assert_eq!(bank.value(1), 1);
+        assert_eq!(bank.value(0), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "nested write")]
+    fn single_writer_enforced() {
+        let bank = WeakBank::new(Weakness::Safe, 1, 2, 0);
+        let (bank, _) = bank.apply_all(Pid(0), &WeakOp::StartWrite(0, 1)).remove(0);
+        let _ = bank.apply_all(Pid(0), &WeakOp::StartWrite(0, 1));
+    }
+
+    #[test]
+    fn typed_bank_round_trip() {
+        use waitfree_model::ObjectSpec;
+        let mut bank = TypedBank::new(vec![(0i64, 0i64); 2]);
+        bank.apply(Pid(0), &TypedOp::Write(1, (5, 7)));
+        assert_eq!(bank.apply(Pid(1), &TypedOp::Read(1)), TypedResp::Read((5, 7)));
+        assert_eq!(bank.apply(Pid(1), &TypedOp::Read(0)), TypedResp::Read((0, 0)));
+    }
+}

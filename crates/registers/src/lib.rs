@@ -1,0 +1,32 @@
+//! # waitfree-registers
+//!
+//! The register substrate under level 1 of the hierarchy.
+//!
+//! The paper's §3.1 situates its results against the register-construction
+//! literature it cites ([3, 4, 13, 16, 21, 23, 24, 27, 29]): atomic
+//! read/write registers are themselves *built*, wait-free, out of weaker
+//! "safe" registers. This crate makes level 1 a real substrate rather than
+//! an assumed primitive:
+//!
+//! * [`base`] — safe and regular register models (reads overlapping a
+//!   write are resolved adversarially, via
+//!   [`waitfree_model::BranchingSpec`]), and a typed register bank for
+//!   constructions whose registers carry structured values;
+//! * [`semantics`] — history checkers for the safe / regular / atomic
+//!   register conditions (Lamport's hierarchy);
+//! * [`constructions`] — the classical wait-free constructions:
+//!   safe→regular (binary), binary regular→multivalued regular (unary
+//!   encoding), SRSW atomic→MRSW atomic and MRSW→MRMW (timestamped);
+//! * [`snapshot`] — a wait-free atomic snapshot from atomic registers
+//!   (double collect with embedded-scan helping).
+//!
+//! Everything is verified by driving the front-ends through the explorer
+//! and checking the produced histories against the appropriate semantics.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod base;
+pub mod constructions;
+pub mod semantics;
+pub mod snapshot;

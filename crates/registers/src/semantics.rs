@@ -1,0 +1,198 @@
+//! History checkers for Lamport's register hierarchy: safe ⊂ regular ⊂
+//! atomic.
+//!
+//! Given a single-writer register history (high-level reads and writes
+//! with their real-time intervals), decide which condition it satisfies:
+//!
+//! * **safe** — a read not overlapping any write returns the most recently
+//!   written value; an overlapping read may return anything in the domain;
+//! * **regular** — a read returns the most recent completed value or any
+//!   concurrently-being-written value;
+//! * **atomic** — the whole history is linearizable (checked with the
+//!   generic [`waitfree_model::linearize`]).
+
+use waitfree_model::{linearize, History, ObjectSpec, PendingPolicy, Pid, Val};
+use waitfree_objects::register::{RegOp, RegResp, RwRegister};
+
+/// Extracted read/write intervals of a register history.
+struct Intervals {
+    /// (value, invoked_at, responded_at) per write; pending writes have
+    /// `responded_at == usize::MAX`.
+    writes: Vec<(Val, usize, usize)>,
+    /// (value read, invoked_at, responded_at) per completed read.
+    reads: Vec<(Val, usize, usize)>,
+}
+
+fn intervals(history: &History<RegOp, RegResp>) -> Intervals {
+    let mut writes = Vec::new();
+    let mut reads = Vec::new();
+    for op in history.ops() {
+        match op.op {
+            RegOp::Write(v) => writes.push((v, op.invoked_at, op.responded_at)),
+            RegOp::Read => {
+                if let Some(RegResp::Read(v)) = op.resp {
+                    reads.push((v, op.invoked_at, op.responded_at));
+                }
+            }
+        }
+    }
+    Intervals { writes, reads }
+}
+
+/// Values a read may return under the **regular** condition: the latest
+/// write completed before the read began (or `initial`), plus every write
+/// overlapping the read.
+fn regular_allowed(iv: &Intervals, initial: Val, r_inv: usize, r_resp: usize) -> Vec<Val> {
+    let mut allowed = Vec::new();
+    // Latest write completed before the read started.
+    let last_before = iv
+        .writes
+        .iter()
+        .filter(|&&(_, _, w_resp)| w_resp < r_inv)
+        .max_by_key(|&&(_, _, w_resp)| w_resp);
+    allowed.push(last_before.map_or(initial, |&(v, _, _)| v));
+    // Writes overlapping the read.
+    for &(v, w_inv, w_resp) in &iv.writes {
+        if w_inv < r_resp && w_resp > r_inv {
+            allowed.push(v);
+        }
+    }
+    allowed
+}
+
+/// Whether the history satisfies the **safe** condition over the value
+/// domain `0..domain`.
+#[must_use]
+pub fn is_safe(history: &History<RegOp, RegResp>, initial: Val, domain: Val) -> bool {
+    let iv = intervals(history);
+    iv.reads.iter().all(|&(v, r_inv, r_resp)| {
+        let overlapped = iv
+            .writes
+            .iter()
+            .any(|&(_, w_inv, w_resp)| w_inv < r_resp && w_resp > r_inv);
+        if overlapped {
+            (0..domain).contains(&v)
+        } else {
+            regular_allowed(&iv, initial, r_inv, r_resp)[0] == v
+        }
+    })
+}
+
+/// Whether the history satisfies the **regular** condition.
+#[must_use]
+pub fn is_regular(history: &History<RegOp, RegResp>, initial: Val) -> bool {
+    let iv = intervals(history);
+    iv.reads
+        .iter()
+        .all(|&(v, r_inv, r_resp)| regular_allowed(&iv, initial, r_inv, r_resp).contains(&v))
+}
+
+/// Whether the history satisfies the **atomic** condition (is
+/// linearizable).
+#[must_use]
+pub fn is_atomic(history: &History<RegOp, RegResp>, initial: Val) -> bool {
+    linearize(history, &RwRegister::new(initial), PendingPolicy::MayTakeEffect)
+        .outcome
+        .is_ok()
+}
+
+/// Convenience: replay a sequence of already-serial operations into a
+/// history (each op completes before the next begins). Useful for tests.
+#[must_use]
+pub fn serial_history(ops: &[(Pid, RegOp)], initial: Val) -> History<RegOp, RegResp> {
+    let mut reg = RwRegister::new(initial);
+    let mut h = History::new();
+    for (pid, op) in ops {
+        h.invoke(*pid, op.clone());
+        let resp = reg.apply(*pid, op);
+        h.respond(*pid, resp).expect("just invoked");
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// w(1) completes, read overlaps nothing: must see 1 under all three.
+    #[test]
+    fn serial_histories_satisfy_all_levels() {
+        let h = serial_history(
+            &[(Pid(0), RegOp::Write(1)), (Pid(1), RegOp::Read)],
+            0,
+        );
+        assert!(is_safe(&h, 0, 2));
+        assert!(is_regular(&h, 0));
+        assert!(is_atomic(&h, 0));
+    }
+
+    /// An overlapping read returning garbage (within domain) is safe but
+    /// not regular.
+    #[test]
+    fn garbage_during_overlap_is_safe_not_regular() {
+        let mut h: History<RegOp, RegResp> = History::new();
+        h.invoke(Pid(0), RegOp::Write(1)); // long write of 1 over initial 1
+        h.invoke(Pid(1), RegOp::Read);
+        h.respond(Pid(1), RegResp::Read(0)).unwrap(); // reads 0: neither old nor new
+        h.respond(Pid(0), RegResp::Written).unwrap();
+        // initial value is 1, write writes 1: regular allows only 1.
+        assert!(is_safe(&h, 1, 2));
+        assert!(!is_regular(&h, 1));
+        assert!(!is_atomic(&h, 1));
+    }
+
+    /// Old-new inversion: two sequential reads overlapping one write see
+    /// new then old. Regular allows it; atomic does not.
+    #[test]
+    fn old_new_inversion_is_regular_not_atomic() {
+        let mut h: History<RegOp, RegResp> = History::new();
+        h.invoke(Pid(0), RegOp::Write(1)); // writing 1 over initial 0
+        h.invoke(Pid(1), RegOp::Read);
+        h.respond(Pid(1), RegResp::Read(1)).unwrap(); // sees new
+        h.invoke(Pid(1), RegOp::Read);
+        h.respond(Pid(1), RegResp::Read(0)).unwrap(); // then sees old!
+        h.respond(Pid(0), RegResp::Written).unwrap();
+        assert!(is_regular(&h, 0));
+        assert!(is_safe(&h, 0, 2));
+        assert!(!is_atomic(&h, 0));
+    }
+
+    /// A read entirely after a completed write must see it even under
+    /// safe semantics.
+    #[test]
+    fn stale_non_overlapping_read_fails_even_safe() {
+        let mut h: History<RegOp, RegResp> = History::new();
+        h.invoke(Pid(0), RegOp::Write(1));
+        h.respond(Pid(0), RegResp::Written).unwrap();
+        h.invoke(Pid(1), RegOp::Read);
+        h.respond(Pid(1), RegResp::Read(0)).unwrap();
+        assert!(!is_safe(&h, 0, 2));
+        assert!(!is_regular(&h, 0));
+    }
+
+    /// Out-of-domain garbage is rejected even for overlapping safe reads.
+    #[test]
+    fn safe_requires_domain_membership() {
+        let mut h: History<RegOp, RegResp> = History::new();
+        h.invoke(Pid(0), RegOp::Write(1));
+        h.invoke(Pid(1), RegOp::Read);
+        h.respond(Pid(1), RegResp::Read(7)).unwrap(); // domain is {0,1}
+        h.respond(Pid(0), RegResp::Written).unwrap();
+        assert!(!is_safe(&h, 0, 2));
+    }
+
+    /// The hierarchy is ordered: atomic ⇒ regular ⇒ safe on overlapping
+    /// histories.
+    #[test]
+    fn hierarchy_inclusions_hold_on_samples() {
+        // A linearizable overlapping history: read during write sees old.
+        let mut h: History<RegOp, RegResp> = History::new();
+        h.invoke(Pid(0), RegOp::Write(1));
+        h.invoke(Pid(1), RegOp::Read);
+        h.respond(Pid(1), RegResp::Read(0)).unwrap();
+        h.respond(Pid(0), RegResp::Written).unwrap();
+        assert!(is_atomic(&h, 0));
+        assert!(is_regular(&h, 0));
+        assert!(is_safe(&h, 0, 2));
+    }
+}

@@ -1,0 +1,336 @@
+//! Wait-free atomic snapshot from atomic registers (the unbounded-
+//! timestamp double-collect construction with embedded-scan helping,
+//! after Afek et al.).
+//!
+//! The snapshot object holds one segment per process; `update` installs a
+//! value in the caller's segment and `scan` returns an atomic view of all
+//! segments. The construction is the canonical example of *helping*: an
+//! updater embeds a full scan in its segment, so a scanner that keeps
+//! getting disrupted can borrow the view of a process that moved twice —
+//! that view is guaranteed to lie within the scanner's interval.
+//!
+//! Registers alone cannot solve 2-process consensus (Theorem 2), yet they
+//! *can* do atomic snapshots — a useful calibration of how much of the
+//! hierarchy's level 1 is actually usable.
+
+use waitfree_model::{ImplAction, ImplAutomaton, ObjectSpec, Pid, Val};
+
+use crate::base::{TypedBank, TypedOp, TypedResp};
+
+/// One process's segment in the snapshot representation.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct Segment {
+    /// The stored value.
+    pub val: Val,
+    /// Monotone per-writer sequence number.
+    pub seq: Val,
+    /// The writer's embedded scan at update time.
+    pub view: Vec<Val>,
+}
+
+/// High-level snapshot operations.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub enum SnapOp {
+    /// Install a value in the caller's segment.
+    Update(Val),
+    /// Atomically read all segments.
+    Scan,
+}
+
+/// High-level snapshot responses.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub enum SnapResp {
+    /// An update completed.
+    Ack,
+    /// The scanned view, one value per process.
+    View(Vec<Val>),
+}
+
+/// The sequential snapshot specification (for the linearizability
+/// checker).
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct SnapSpec {
+    cells: Vec<Val>,
+}
+
+impl SnapSpec {
+    /// A snapshot of `n` segments, all holding `initial`.
+    #[must_use]
+    pub fn new(n: usize, initial: Val) -> Self {
+        SnapSpec {
+            cells: vec![initial; n],
+        }
+    }
+}
+
+impl ObjectSpec for SnapSpec {
+    type Op = SnapOp;
+    type Resp = SnapResp;
+
+    fn apply(&mut self, pid: Pid, op: &SnapOp) -> SnapResp {
+        match op {
+            SnapOp::Update(v) => {
+                self.cells[pid.0] = *v;
+                SnapResp::Ack
+            }
+            SnapOp::Scan => SnapResp::View(self.cells.clone()),
+        }
+    }
+}
+
+/// Why the front-end is scanning.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+enum Mode {
+    ForScan,
+    ForUpdate(Val),
+}
+
+/// Front-end state of [`SnapshotFrontEnd`].
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct SnapState(Inner);
+
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+enum Inner {
+    /// Between operations; the caller's sequence counter.
+    Idle { seq: Val },
+    /// Collecting segment `j` into `cur`.
+    Collect {
+        mode: Mode,
+        seq: Val,
+        prev: Option<Vec<Segment>>,
+        cur: Vec<Segment>,
+        j: usize,
+        moved: Vec<u8>,
+    },
+    /// Update: installing the new segment.
+    Install { seq: Val, val: Val, view: Vec<Val> },
+    /// About to return.
+    Respond { seq: Val, resp: SnapResp },
+}
+
+/// The double-collect snapshot front-end for `n` processes over a
+/// [`TypedBank`] of [`Segment`]s.
+#[derive(Clone, Debug)]
+pub struct SnapshotFrontEnd {
+    /// Number of processes / segments.
+    pub n: usize,
+}
+
+impl SnapshotFrontEnd {
+    /// The front-end plus its bank, all segments holding `initial`.
+    #[must_use]
+    pub fn setup(n: usize, initial: Val) -> (Self, TypedBank<Segment>) {
+        let seg = Segment {
+            val: initial,
+            seq: 0,
+            view: vec![initial; n],
+        };
+        (SnapshotFrontEnd { n }, TypedBank::new(vec![seg; n]))
+    }
+
+    /// Resolution of a finished double collect.
+    fn resolve(&self, mode: &Mode, seq: Val, view: Vec<Val>) -> Inner {
+        match mode {
+            Mode::ForScan => Inner::Respond { seq, resp: SnapResp::View(view) },
+            Mode::ForUpdate(v) => Inner::Install { seq, val: *v, view },
+        }
+    }
+}
+
+impl ImplAutomaton for SnapshotFrontEnd {
+    type HiOp = SnapOp;
+    type HiResp = SnapResp;
+    type LoOp = TypedOp<Segment>;
+    type LoResp = TypedResp<Segment>;
+    type State = SnapState;
+
+    fn idle(&self, _pid: Pid) -> SnapState {
+        SnapState(Inner::Idle { seq: 0 })
+    }
+
+    fn begin(&self, _pid: Pid, state: &SnapState, op: &SnapOp) -> SnapState {
+        let Inner::Idle { seq } = &state.0 else {
+            unreachable!("begin on a busy front-end")
+        };
+        let mode = match op {
+            SnapOp::Update(v) => Mode::ForUpdate(*v),
+            SnapOp::Scan => Mode::ForScan,
+        };
+        SnapState(Inner::Collect {
+            mode,
+            seq: *seq,
+            prev: None,
+            cur: Vec::new(),
+            j: 0,
+            moved: vec![0; self.n],
+        })
+    }
+
+    fn action(&self, pid: Pid, state: &SnapState) -> ImplAction<TypedOp<Segment>, SnapResp> {
+        match &state.0 {
+            Inner::Idle { .. } => unreachable!("idle front-end has no action"),
+            Inner::Collect { j, .. } => ImplAction::Invoke(TypedOp::Read(*j)),
+            Inner::Install { seq, val, view } => ImplAction::Invoke(TypedOp::Write(
+                pid.0,
+                Segment { val: *val, seq: seq + 1, view: view.clone() },
+            )),
+            Inner::Respond { resp, .. } => ImplAction::Return(resp.clone()),
+        }
+    }
+
+    fn observe(&self, pid: Pid, state: &SnapState, resp: &TypedResp<Segment>) -> SnapState {
+        let Inner::Collect { mode, seq, prev, cur, j, moved } = &state.0 else {
+            match (&state.0, resp) {
+                (Inner::Install { seq, .. }, TypedResp::Written) => {
+                    return SnapState(Inner::Respond { seq: seq + 1, resp: SnapResp::Ack })
+                }
+                (s, r) => unreachable!("unexpected {r:?} in {s:?}"),
+            }
+        };
+        let TypedResp::Read(segment) = resp else {
+            unreachable!("collect reads segments")
+        };
+        let mut cur = cur.clone();
+        cur.push(segment.clone());
+        if *j + 1 < self.n {
+            return SnapState(Inner::Collect {
+                mode: mode.clone(),
+                seq: *seq,
+                prev: prev.clone(),
+                cur,
+                j: j + 1,
+                moved: moved.clone(),
+            });
+        }
+        // A collect just completed.
+        let Some(prev_c) = prev else {
+            // First collect: go around again.
+            return SnapState(Inner::Collect {
+                mode: mode.clone(),
+                seq: *seq,
+                prev: Some(cur),
+                cur: Vec::new(),
+                j: 0,
+                moved: moved.clone(),
+            });
+        };
+        if prev_c.iter().zip(&cur).all(|(a, b)| a.seq == b.seq) {
+            // Clean double collect.
+            let view: Vec<Val> = cur.iter().map(|s| s.val).collect();
+            let _ = pid;
+            return SnapState(self.resolve(mode, *seq, view));
+        }
+        // Someone moved; track movers and maybe borrow a view.
+        let mut moved = moved.clone();
+        for (k, (a, b)) in prev_c.iter().zip(&cur).enumerate() {
+            if a.seq != b.seq {
+                moved[k] += 1;
+                if moved[k] >= 2 {
+                    return SnapState(self.resolve(mode, *seq, b.view.clone()));
+                }
+            }
+        }
+        SnapState(Inner::Collect {
+            mode: mode.clone(),
+            seq: *seq,
+            prev: Some(cur),
+            cur: Vec::new(),
+            j: 0,
+            moved,
+        })
+    }
+
+    fn finish(&self, _pid: Pid, state: &SnapState) -> SnapState {
+        match &state.0 {
+            Inner::Respond { seq, .. } => SnapState(Inner::Idle { seq: *seq }),
+            s => unreachable!("finish outside Respond: {s:?}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use waitfree_explorer::impl_sim::{all_histories, run_random};
+    use waitfree_model::{linearize, PendingPolicy};
+
+    #[test]
+    fn snapshot_spec_is_per_process_segments() {
+        let mut s = SnapSpec::new(2, 0);
+        s.apply(Pid(1), &SnapOp::Update(9));
+        assert_eq!(s.apply(Pid(0), &SnapOp::Scan), SnapResp::View(vec![0, 9]));
+    }
+
+    #[test]
+    fn exhaustive_two_processes_linearizable() {
+        let (fe, bank) = SnapshotFrontEnd::setup(2, 0);
+        let workloads = vec![
+            vec![SnapOp::Update(5), SnapOp::Scan],
+            vec![SnapOp::Scan, SnapOp::Update(7)],
+        ];
+        let histories = all_histories(&fe, &bank, &workloads, 2_000_000);
+        assert!(histories.len() > 1);
+        for h in &histories {
+            let report = linearize(h, &SnapSpec::new(2, 0), PendingPolicy::MayTakeEffect);
+            assert!(report.outcome.is_ok(), "{h:?}");
+        }
+    }
+
+    #[test]
+    fn random_three_processes_linearizable() {
+        let (fe, bank) = SnapshotFrontEnd::setup(3, 0);
+        let workloads = vec![
+            vec![SnapOp::Update(1), SnapOp::Scan, SnapOp::Update(2)],
+            vec![SnapOp::Scan, SnapOp::Update(3), SnapOp::Scan],
+            vec![SnapOp::Update(4), SnapOp::Scan],
+        ];
+        for seed in 0..100 {
+            let run = run_random(&fe, bank.clone(), &workloads, seed, 400);
+            assert!(run.complete, "seed {seed}");
+            let report =
+                linearize(&run.history, &SnapSpec::new(3, 0), PendingPolicy::MayTakeEffect);
+            assert!(report.outcome.is_ok(), "seed {seed}: {:?}", run.history);
+        }
+    }
+
+    #[test]
+    fn scan_costs_are_bounded_by_helping() {
+        // Even under heavy interference, a scan performs at most
+        // O(n^2) low-level reads before it borrows a view.
+        let (fe, bank) = SnapshotFrontEnd::setup(3, 0);
+        let workloads = vec![
+            vec![SnapOp::Scan],
+            vec![SnapOp::Update(1), SnapOp::Update(2), SnapOp::Update(3)],
+            vec![SnapOp::Update(4), SnapOp::Update(5)],
+        ];
+        for seed in 0..50 {
+            let run = run_random(&fe, bank.clone(), &workloads, seed, 400);
+            assert!(run.complete);
+            // n=3: a scan needs at most (n+2) collects of n reads.
+            assert!(run.lo_steps[0] <= (3 + 2) * 3, "seed {seed}: {}", run.lo_steps[0]);
+        }
+    }
+
+    #[test]
+    fn sequential_update_then_scan() {
+        use waitfree_model::ImplAction;
+        let (fe, mut bank) = SnapshotFrontEnd::setup(2, 0);
+        let drive = |pid: Pid, op: SnapOp, bank: &mut TypedBank<Segment>| -> SnapResp {
+            let mut st = fe.begin(pid, &fe.idle(pid), &op);
+            loop {
+                match fe.action(pid, &st) {
+                    ImplAction::Invoke(lo) => {
+                        let resp = bank.apply(pid, &lo);
+                        st = fe.observe(pid, &st, &resp);
+                    }
+                    ImplAction::Return(r) => return r,
+                }
+            }
+        };
+        assert_eq!(drive(Pid(0), SnapOp::Update(42), &mut bank), SnapResp::Ack);
+        assert_eq!(
+            drive(Pid(1), SnapOp::Scan, &mut bank),
+            SnapResp::View(vec![42, 0])
+        );
+    }
+}

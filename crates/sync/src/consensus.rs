@@ -1,0 +1,283 @@
+//! Hardware consensus objects.
+//!
+//! Theorem 7's protocol compiled to silicon: one `compare_exchange` is an
+//! n-process one-shot consensus. The two-process fetch-and-add and swap
+//! objects are Theorem 4's protocol on `fetch_add`/`swap`. Orderings are
+//! uniformly `SeqCst`: these objects exist to be obviously faithful to the
+//! paper, not to shave cycles.
+
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicUsize, Ordering};
+use std::sync::OnceLock;
+
+/// Sentinel for "undecided" in [`UsizeConsensus`].
+const UNDECIDED: usize = usize::MAX;
+
+/// One-shot n-process consensus over `usize` values (which must not be
+/// `usize::MAX`). The first `decide` wins; every call returns the winner.
+///
+/// # Example
+///
+/// ```
+/// use waitfree_sync::consensus::UsizeConsensus;
+/// let c = UsizeConsensus::new();
+/// assert_eq!(c.decide(7), 7);
+/// assert_eq!(c.decide(9), 7);
+/// assert_eq!(c.winner(), Some(7));
+/// ```
+#[derive(Debug, Default)]
+pub struct UsizeConsensus {
+    cell: AtomicUsize,
+}
+
+impl UsizeConsensus {
+    /// An undecided consensus object.
+    #[must_use]
+    pub fn new() -> Self {
+        UsizeConsensus {
+            cell: AtomicUsize::new(UNDECIDED),
+        }
+    }
+
+    /// Propose `v`; returns the winning proposal.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v == usize::MAX` (the sentinel).
+    pub fn decide(&self, v: usize) -> usize {
+        assert_ne!(v, UNDECIDED, "usize::MAX is reserved");
+        match self
+            .cell
+            .compare_exchange(UNDECIDED, v, Ordering::SeqCst, Ordering::SeqCst)
+        {
+            Ok(_) => v,
+            Err(winner) => winner,
+        }
+    }
+
+    /// The winner, if decided.
+    #[must_use]
+    pub fn winner(&self) -> Option<usize> {
+        match self.cell.load(Ordering::SeqCst) {
+            UNDECIDED => None,
+            w => Some(w),
+        }
+    }
+}
+
+/// One-shot n-process consensus over arbitrary (cloneable) values:
+/// proposers announce their value in a per-process slot, then race a
+/// [`UsizeConsensus`] on the slot index. Wait-free: one slot write, one
+/// CAS, one slot read.
+///
+/// # Example
+///
+/// ```
+/// use waitfree_sync::consensus::ConsensusCell;
+/// let c: ConsensusCell<String> = ConsensusCell::new(2);
+/// assert_eq!(c.decide(1, "beta".into()), "beta");
+/// assert_eq!(c.decide(0, "alpha".into()), "beta");
+/// ```
+#[derive(Debug)]
+pub struct ConsensusCell<T> {
+    winner: UsizeConsensus,
+    slots: Box<[OnceLock<T>]>,
+}
+
+impl<T: Clone> ConsensusCell<T> {
+    /// An undecided cell for `n` proposers.
+    #[must_use]
+    pub fn new(n: usize) -> Self {
+        ConsensusCell {
+            winner: UsizeConsensus::new(),
+            slots: (0..n).map(|_| OnceLock::new()).collect(),
+        }
+    }
+
+    /// Propose `value` as process `pid`; returns the winning value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pid` is out of range, or if the same `pid` proposes
+    /// twice with different values.
+    pub fn decide(&self, pid: usize, value: T) -> T {
+        // Announce before racing: the winner's slot is guaranteed
+        // populated before anyone can read the winner index.
+        self.slots[pid].get_or_init(|| value);
+        let w = self.winner.decide(pid);
+        self.slots[w]
+            .get()
+            .expect("winner announced before deciding")
+            .clone()
+    }
+
+    /// The decided value, if any.
+    #[must_use]
+    pub fn value(&self) -> Option<&T> {
+        self.winner.winner().map(|w| {
+            self.slots[w]
+                .get()
+                .expect("winner announced before deciding")
+        })
+    }
+}
+
+/// Theorem 4 on `fetch_add`: one-shot *two*-process consensus. Each
+/// process announces its value and then increments the counter; whoever
+/// saw zero was linearized first and wins.
+///
+/// # Example
+///
+/// ```
+/// use waitfree_sync::consensus::FaaConsensus2;
+/// let c = FaaConsensus2::new();
+/// assert_eq!(c.decide(0, 100), 100);
+/// assert_eq!(c.decide(1, 200), 100);
+/// ```
+#[derive(Debug, Default)]
+pub struct FaaConsensus2 {
+    counter: AtomicUsize,
+    prefs: [AtomicI64; 2],
+}
+
+impl FaaConsensus2 {
+    /// An undecided object.
+    #[must_use]
+    pub fn new() -> Self {
+        FaaConsensus2 {
+            counter: AtomicUsize::new(0),
+            prefs: [AtomicI64::new(0), AtomicI64::new(0)],
+        }
+    }
+
+    /// Propose `v` as process `pid ∈ {0, 1}`; returns the winning value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pid > 1`.
+    pub fn decide(&self, pid: usize, v: i64) -> i64 {
+        assert!(pid <= 1, "FaaConsensus2 is a two-process object");
+        self.prefs[pid].store(v, Ordering::SeqCst);
+        if self.counter.fetch_add(1, Ordering::SeqCst) == 0 {
+            v
+        } else {
+            self.prefs[1 - pid].load(Ordering::SeqCst)
+        }
+    }
+}
+
+/// Theorem 4 on `swap` (test-and-set flavor): one-shot two-process
+/// consensus from an atomic boolean swap.
+#[derive(Debug, Default)]
+pub struct TasConsensus2 {
+    claimed: AtomicBool,
+    prefs: [AtomicI64; 2],
+}
+
+impl TasConsensus2 {
+    /// An undecided object.
+    #[must_use]
+    pub fn new() -> Self {
+        TasConsensus2::default()
+    }
+
+    /// Propose `v` as process `pid ∈ {0, 1}`; returns the winning value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pid > 1`.
+    pub fn decide(&self, pid: usize, v: i64) -> i64 {
+        assert!(pid <= 1, "TasConsensus2 is a two-process object");
+        self.prefs[pid].store(v, Ordering::SeqCst);
+        if !self.claimed.swap(true, Ordering::SeqCst) {
+            v
+        } else {
+            self.prefs[1 - pid].load(Ordering::SeqCst)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::thread;
+
+    #[test]
+    fn usize_consensus_agreement_under_threads() {
+        for _ in 0..200 {
+            let c = Arc::new(UsizeConsensus::new());
+            let handles: Vec<_> = (0..4)
+                .map(|i| {
+                    let c = Arc::clone(&c);
+                    thread::spawn(move || c.decide(i + 1))
+                })
+                .collect();
+            let results: Vec<usize> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+            assert!(results.windows(2).all(|w| w[0] == w[1]), "{results:?}");
+            assert!((1..=4).contains(&results[0]), "validity");
+        }
+    }
+
+    #[test]
+    fn consensus_cell_agreement_under_threads() {
+        for _ in 0..200 {
+            let c: Arc<ConsensusCell<Vec<u8>>> = Arc::new(ConsensusCell::new(3));
+            let handles: Vec<_> = (0..3)
+                .map(|i| {
+                    let c = Arc::clone(&c);
+                    thread::spawn(move || c.decide(i, vec![i as u8; 3]))
+                })
+                .collect();
+            let results: Vec<Vec<u8>> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+            assert!(results.windows(2).all(|w| w[0] == w[1]), "{results:?}");
+        }
+    }
+
+    #[test]
+    fn faa_consensus_agreement_under_threads() {
+        for _ in 0..500 {
+            let c = Arc::new(FaaConsensus2::new());
+            let a = {
+                let c = Arc::clone(&c);
+                thread::spawn(move || c.decide(0, 10))
+            };
+            let b = {
+                let c = Arc::clone(&c);
+                thread::spawn(move || c.decide(1, 20))
+            };
+            let (ra, rb) = (a.join().unwrap(), b.join().unwrap());
+            assert_eq!(ra, rb);
+            assert!(ra == 10 || ra == 20);
+        }
+    }
+
+    #[test]
+    fn tas_consensus_agreement_under_threads() {
+        for _ in 0..500 {
+            let c = Arc::new(TasConsensus2::new());
+            let a = {
+                let c = Arc::clone(&c);
+                thread::spawn(move || c.decide(0, -5))
+            };
+            let b = {
+                let c = Arc::clone(&c);
+                thread::spawn(move || c.decide(1, 5))
+            };
+            let (ra, rb) = (a.join().unwrap(), b.join().unwrap());
+            assert_eq!(ra, rb);
+        }
+    }
+
+    #[test]
+    fn repeat_decides_return_winner() {
+        let c = UsizeConsensus::new();
+        assert_eq!(c.decide(3), 3);
+        for v in [1, 2, 9] {
+            assert_eq!(c.decide(v), 3);
+        }
+        let cell: ConsensusCell<i32> = ConsensusCell::new(2);
+        assert_eq!(cell.decide(0, 5), 5);
+        assert_eq!(cell.decide(0, 5), 5, "same proposer again is fine");
+        assert_eq!(cell.value(), Some(&5));
+    }
+}

@@ -1,0 +1,196 @@
+//! The Herlihy–Wing queue from fetch-and-add and swap — the paper's own
+//! earlier construction (its citation \[10\]), referenced in §3.4:
+//!
+//! > *Elsewhere, we have given an implementation of a FIFO queue using
+//! > read, fetch-and-add, and swap operations that permits an arbitrary
+//! > number of concurrent enq and deq operations. (Although this queue
+//! > does not use mutual exclusion, it is not wait-free, since a deq
+//! > applied to an empty queue busy-waits until an item is enqueued.)
+//! > Corollary 13 implies that this queue implementation cannot be
+//! > extended to support a wait-free peek operation.*
+//!
+//! `enq` is wait-free (one fetch-and-add + one store). `deq` sweeps the
+//! occupied prefix with atomic swaps; the *blocking* flavor busy-waits on
+//! an empty queue exactly as the paper says, and the total `try_deq`
+//! returns `None` after one sweep. There is deliberately no `peek`: by
+//! Corollary 13 no wait-free one can exist over these primitives.
+
+use std::sync::atomic::{AtomicI64, AtomicUsize, Ordering};
+
+/// Slot sentinel: empty.
+const EMPTY: i64 = i64::MIN;
+
+/// The Herlihy–Wing FAA/swap queue over `i64` items (which must not be
+/// `i64::MIN`), with a fixed slot arena.
+#[derive(Debug)]
+pub struct FaaQueue {
+    back: AtomicUsize,
+    items: Box<[AtomicI64]>,
+}
+
+impl FaaQueue {
+    /// A queue with capacity for `capacity` lifetime enqueues.
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        FaaQueue {
+            back: AtomicUsize::new(0),
+            items: (0..capacity).map(|_| AtomicI64::new(EMPTY)).collect(),
+        }
+    }
+
+    /// Enqueue an item. Wait-free: one fetch-and-add, one store.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slot arena is exhausted or `item == i64::MIN`.
+    pub fn enq(&self, item: i64) {
+        assert_ne!(item, EMPTY, "i64::MIN is the empty sentinel");
+        let i = self.back.fetch_add(1, Ordering::SeqCst);
+        assert!(i < self.items.len(), "queue arena exhausted");
+        self.items[i].store(item, Ordering::SeqCst);
+    }
+
+    /// One sweep over the occupied prefix: remove and return the first
+    /// present item. Total (returns `None` on empty) but *not*
+    /// linearizable as a standalone `deq` — this is the paper's point
+    /// about this construction living below wait-free totality.
+    pub fn try_deq(&self) -> Option<i64> {
+        let range = self.back.load(Ordering::SeqCst).min(self.items.len());
+        for i in 0..range {
+            let x = self.items[i].swap(EMPTY, Ordering::SeqCst);
+            if x != EMPTY {
+                return Some(x);
+            }
+        }
+        None
+    }
+
+    /// The paper's blocking `deq`: busy-wait until an item appears. Not
+    /// wait-free — a crashed producer leaves consumers spinning, which is
+    /// exactly the §3.4 caveat.
+    pub fn deq_blocking(&self) -> i64 {
+        loop {
+            if let Some(x) = self.try_deq() {
+                return x;
+            }
+            std::hint::spin_loop();
+        }
+    }
+
+    /// Number of enqueue tickets issued so far.
+    #[must_use]
+    pub fn tickets(&self) -> usize {
+        self.back.load(Ordering::SeqCst)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::thread;
+
+    #[test]
+    fn fifo_single_thread() {
+        let q = FaaQueue::new(8);
+        q.enq(1);
+        q.enq(2);
+        q.enq(3);
+        assert_eq!(q.try_deq(), Some(1));
+        assert_eq!(q.try_deq(), Some(2));
+        assert_eq!(q.try_deq(), Some(3));
+        assert_eq!(q.try_deq(), None);
+    }
+
+    #[test]
+    fn concurrent_enqueue_conserves_items() {
+        let producers = 4;
+        let per = 500;
+        let q = Arc::new(FaaQueue::new(producers * per));
+        let joins: Vec<_> = (0..producers)
+            .map(|t| {
+                let q = Arc::clone(&q);
+                thread::spawn(move || {
+                    for i in 0..per {
+                        q.enq((t * per + i) as i64);
+                    }
+                })
+            })
+            .collect();
+        for j in joins {
+            j.join().unwrap();
+        }
+        assert_eq!(q.tickets(), producers * per);
+        let mut all = Vec::new();
+        while let Some(v) = q.try_deq() {
+            all.push(v);
+        }
+        all.sort_unstable();
+        let expect: Vec<i64> = (0..(producers * per) as i64).collect();
+        assert_eq!(all, expect);
+    }
+
+    #[test]
+    fn concurrent_producers_and_consumers() {
+        let q = Arc::new(FaaQueue::new(4000));
+        let producer = {
+            let q = Arc::clone(&q);
+            thread::spawn(move || {
+                for i in 0..2000 {
+                    q.enq(i);
+                }
+            })
+        };
+        let consumer = {
+            let q = Arc::clone(&q);
+            thread::spawn(move || {
+                let mut got = Vec::new();
+                while got.len() < 2000 {
+                    got.push(q.deq_blocking());
+                }
+                got
+            })
+        };
+        producer.join().unwrap();
+        let got = consumer.join().unwrap();
+        let mut sorted = got.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 2000, "each item exactly once");
+    }
+
+    #[test]
+    fn per_producer_order_preserved_single_consumer() {
+        // With one producer and one consumer, the queue is FIFO.
+        let q = Arc::new(FaaQueue::new(1000));
+        let producer = {
+            let q = Arc::clone(&q);
+            thread::spawn(move || {
+                for i in 0..1000 {
+                    q.enq(i);
+                }
+            })
+        };
+        let consumer = {
+            let q = Arc::clone(&q);
+            thread::spawn(move || {
+                let mut last = -1;
+                for _ in 0..1000 {
+                    let v = q.deq_blocking();
+                    assert!(v > last, "FIFO violated: {v} after {last}");
+                    last = v;
+                }
+            })
+        };
+        producer.join().unwrap();
+        consumer.join().unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "arena exhausted")]
+    fn arena_bound_is_explicit() {
+        let q = FaaQueue::new(1);
+        q.enq(1);
+        q.enq(2);
+    }
+}

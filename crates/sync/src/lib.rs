@@ -1,0 +1,34 @@
+//! # waitfree-sync
+//!
+//! The practical runtime: the paper's constructions on real hardware
+//! atomics, with real threads.
+//!
+//! The paper closes (§5) noting that "little is known about practical
+//! techniques" for wait-free synchronization; this crate is the practical
+//! half of the reproduction:
+//!
+//! * [`consensus`] — hardware consensus objects: one-shot n-process
+//!   consensus from `compare_exchange` (Theorem 7 on silicon), plus the
+//!   two-process fetch-and-add and swap variants of Theorem 4;
+//! * [`universal`] — a wait-free universal object: any
+//!   [`ObjectSpec`](waitfree_model::ObjectSpec) shared among n threads via
+//!   a log of per-position consensus cells with announce-array helping
+//!   (the practical shape of §4's construction);
+//! * [`lockfree`] — specialized lock-free baselines (Treiber stack,
+//!   Michael–Scott queue) built on `crossbeam-epoch` for safe memory
+//!   reclamation;
+//! * [`faa_queue`] — the Herlihy–Wing FAA/swap queue (the paper's \[10\]),
+//!   whose missing wait-free `peek` is Corollary 13's subject;
+//! * [`locked`] — lock-based baselines (`parking_lot`) for the benchmark
+//!   comparisons;
+//! * [`wrappers`] — typed wait-free objects (queue, stack, counter,
+//!   register) instantiating the universal construction.
+
+#![warn(missing_docs)]
+
+pub mod consensus;
+pub mod faa_queue;
+pub mod lockfree;
+pub mod locked;
+pub mod universal;
+pub mod wrappers;

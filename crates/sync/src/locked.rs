@@ -1,0 +1,151 @@
+//! Lock-based baselines.
+//!
+//! The paper's opening argument against critical sections — "if a faulty
+//! process halts in a critical section, non-faulty processes will also be
+//! unable to progress" — is qualitative; these baselines give the
+//! *quantitative* comparison: the same sequential objects guarded by a
+//! `parking_lot` mutex, for the `universal_throughput` benchmarks.
+
+use std::collections::VecDeque;
+
+use parking_lot::Mutex;
+
+/// A queue guarded by a mutex.
+#[derive(Debug, Default)]
+pub struct LockedQueue<T> {
+    inner: Mutex<VecDeque<T>>,
+}
+
+impl<T> LockedQueue<T> {
+    /// An empty queue.
+    #[must_use]
+    pub fn new() -> Self {
+        LockedQueue {
+            inner: Mutex::new(VecDeque::new()),
+        }
+    }
+
+    /// Enqueue a value.
+    pub fn enq(&self, value: T) {
+        self.inner.lock().push_back(value);
+    }
+
+    /// Dequeue the oldest value.
+    pub fn deq(&self) -> Option<T> {
+        self.inner.lock().pop_front()
+    }
+
+    /// Number of queued items.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.inner.lock().len()
+    }
+
+    /// Whether the queue is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.inner.lock().is_empty()
+    }
+}
+
+/// A stack guarded by a mutex.
+#[derive(Debug, Default)]
+pub struct LockedStack<T> {
+    inner: Mutex<Vec<T>>,
+}
+
+impl<T> LockedStack<T> {
+    /// An empty stack.
+    #[must_use]
+    pub fn new() -> Self {
+        LockedStack {
+            inner: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Push a value.
+    pub fn push(&self, value: T) {
+        self.inner.lock().push(value);
+    }
+
+    /// Pop the most recent value.
+    pub fn pop(&self) -> Option<T> {
+        self.inner.lock().pop()
+    }
+}
+
+/// A counter guarded by a mutex.
+#[derive(Debug, Default)]
+pub struct LockedCounter {
+    inner: Mutex<i64>,
+}
+
+impl LockedCounter {
+    /// A zeroed counter.
+    #[must_use]
+    pub fn new() -> Self {
+        LockedCounter::default()
+    }
+
+    /// Add `delta`, returning the old value.
+    pub fn fetch_add(&self, delta: i64) -> i64 {
+        let mut guard = self.inner.lock();
+        let old = *guard;
+        *guard += delta;
+        old
+    }
+
+    /// Current value.
+    #[must_use]
+    pub fn get(&self) -> i64 {
+        *self.inner.lock()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::thread;
+
+    #[test]
+    fn queue_fifo() {
+        let q = LockedQueue::new();
+        q.enq(1);
+        q.enq(2);
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.deq(), Some(1));
+        assert_eq!(q.deq(), Some(2));
+        assert_eq!(q.deq(), None);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn stack_lifo() {
+        let s = LockedStack::new();
+        s.push(1);
+        s.push(2);
+        assert_eq!(s.pop(), Some(2));
+        assert_eq!(s.pop(), Some(1));
+        assert_eq!(s.pop(), None);
+    }
+
+    #[test]
+    fn counter_exact_under_contention() {
+        let c = Arc::new(LockedCounter::new());
+        let joins: Vec<_> = (0..4)
+            .map(|_| {
+                let c = Arc::clone(&c);
+                thread::spawn(move || {
+                    for _ in 0..1000 {
+                        c.fetch_add(1);
+                    }
+                })
+            })
+            .collect();
+        for j in joins {
+            j.join().unwrap();
+        }
+        assert_eq!(c.get(), 4000);
+    }
+}

@@ -1,0 +1,393 @@
+//! Specialized lock-free baselines: Treiber's stack and the
+//! Michael–Scott queue, with `crossbeam-epoch` for safe memory
+//! reclamation — the "crossbeam tricks" a practical lock-free object
+//! needs once nodes are heap-allocated.
+//!
+//! These are *lock-free*, not wait-free: a thread can starve while others
+//! make progress. They serve as the throughput baselines the universal
+//! construction is benchmarked against (benches `universal_throughput`).
+
+use std::sync::atomic::Ordering;
+
+use crossbeam_epoch::{self as epoch, Atomic, Owned, Shared};
+
+/// Treiber's lock-free stack.
+///
+/// # Example
+///
+/// ```
+/// use waitfree_sync::lockfree::TreiberStack;
+/// let s = TreiberStack::new();
+/// s.push(1);
+/// s.push(2);
+/// assert_eq!(s.pop(), Some(2));
+/// assert_eq!(s.pop(), Some(1));
+/// assert_eq!(s.pop(), None);
+/// ```
+#[derive(Debug, Default)]
+pub struct TreiberStack<T> {
+    head: Atomic<Node<T>>,
+}
+
+#[derive(Debug)]
+struct Node<T> {
+    value: T,
+    next: Atomic<Node<T>>,
+}
+
+impl<T> TreiberStack<T> {
+    /// An empty stack.
+    #[must_use]
+    pub fn new() -> Self {
+        TreiberStack { head: Atomic::null() }
+    }
+
+    /// Push a value (lock-free).
+    pub fn push(&self, value: T) {
+        let mut node = Owned::new(Node {
+            value,
+            next: Atomic::null(),
+        });
+        let guard = epoch::pin();
+        loop {
+            let head = self.head.load(Ordering::Acquire, &guard);
+            node.next.store(head, Ordering::Relaxed);
+            match self.head.compare_exchange(
+                head,
+                node,
+                Ordering::Release,
+                Ordering::Relaxed,
+                &guard,
+            ) {
+                Ok(_) => return,
+                Err(e) => node = e.new,
+            }
+        }
+    }
+
+    /// Pop the most recently pushed value (lock-free).
+    pub fn pop(&self) -> Option<T>
+    where
+        T: Clone,
+    {
+        let guard = epoch::pin();
+        loop {
+            let head = self.head.load(Ordering::Acquire, &guard);
+            let node = unsafe { head.as_ref() }?;
+            let next = node.next.load(Ordering::Acquire, &guard);
+            if self
+                .head
+                .compare_exchange(head, next, Ordering::Release, Ordering::Relaxed, &guard)
+                .is_ok()
+            {
+                let value = node.value.clone();
+                unsafe { guard.defer_destroy(head) };
+                return Some(value);
+            }
+        }
+    }
+
+    /// Whether the stack is currently empty (a racy snapshot).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        let guard = epoch::pin();
+        self.head.load(Ordering::Acquire, &guard).is_null()
+    }
+}
+
+impl<T> Drop for TreiberStack<T> {
+    fn drop(&mut self) {
+        // Exclusive access: walk and free.
+        unsafe {
+            let guard = epoch::unprotected();
+            let mut cur = self.head.load(Ordering::Relaxed, guard);
+            while let Some(node) = cur.as_ref() {
+                let next = node.next.load(Ordering::Relaxed, guard);
+                drop(cur.into_owned());
+                cur = next;
+            }
+        }
+    }
+}
+
+/// The Michael–Scott lock-free FIFO queue.
+///
+/// # Example
+///
+/// ```
+/// use waitfree_sync::lockfree::MsQueue;
+/// let q = MsQueue::new();
+/// q.enq(1);
+/// q.enq(2);
+/// assert_eq!(q.deq(), Some(1));
+/// assert_eq!(q.deq(), Some(2));
+/// assert_eq!(q.deq(), None);
+/// ```
+#[derive(Debug)]
+pub struct MsQueue<T> {
+    head: Atomic<QNode<T>>,
+    tail: Atomic<QNode<T>>,
+}
+
+#[derive(Debug)]
+struct QNode<T> {
+    value: Option<T>,
+    next: Atomic<QNode<T>>,
+}
+
+impl<T> Default for MsQueue<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> MsQueue<T> {
+    /// An empty queue (with the usual dummy node).
+    #[must_use]
+    pub fn new() -> Self {
+        let dummy = Owned::new(QNode {
+            value: None,
+            next: Atomic::null(),
+        })
+        .into_shared(unsafe { epoch::unprotected() });
+        MsQueue {
+            head: Atomic::from(dummy),
+            tail: Atomic::from(dummy),
+        }
+    }
+
+    /// Enqueue a value (lock-free).
+    pub fn enq(&self, value: T) {
+        let node = Owned::new(QNode {
+            value: Some(value),
+            next: Atomic::null(),
+        });
+        let guard = epoch::pin();
+        let node = node.into_shared(&guard);
+        loop {
+            let tail = self.tail.load(Ordering::Acquire, &guard);
+            let tail_ref = unsafe { tail.deref() };
+            let next = tail_ref.next.load(Ordering::Acquire, &guard);
+            if !next.is_null() {
+                // Tail lagging: help swing it.
+                let _ = self.tail.compare_exchange(
+                    tail,
+                    next,
+                    Ordering::Release,
+                    Ordering::Relaxed,
+                    &guard,
+                );
+                continue;
+            }
+            if tail_ref
+                .next
+                .compare_exchange(
+                    Shared::null(),
+                    node,
+                    Ordering::Release,
+                    Ordering::Relaxed,
+                    &guard,
+                )
+                .is_ok()
+            {
+                let _ = self.tail.compare_exchange(
+                    tail,
+                    node,
+                    Ordering::Release,
+                    Ordering::Relaxed,
+                    &guard,
+                );
+                return;
+            }
+        }
+    }
+
+    /// Dequeue the oldest value (lock-free).
+    pub fn deq(&self) -> Option<T>
+    where
+        T: Clone,
+    {
+        let guard = epoch::pin();
+        loop {
+            let head = self.head.load(Ordering::Acquire, &guard);
+            let head_ref = unsafe { head.deref() };
+            let next = head_ref.next.load(Ordering::Acquire, &guard);
+            let next_ref = unsafe { next.as_ref() }?;
+            let tail = self.tail.load(Ordering::Acquire, &guard);
+            if head == tail {
+                // Tail lagging behind a non-empty queue: help.
+                let _ = self.tail.compare_exchange(
+                    tail,
+                    next,
+                    Ordering::Release,
+                    Ordering::Relaxed,
+                    &guard,
+                );
+                continue;
+            }
+            if self
+                .head
+                .compare_exchange(head, next, Ordering::Release, Ordering::Relaxed, &guard)
+                .is_ok()
+            {
+                let value = next_ref.value.clone();
+                unsafe { guard.defer_destroy(head) };
+                return value;
+            }
+        }
+    }
+}
+
+impl<T> Drop for MsQueue<T> {
+    fn drop(&mut self) {
+        unsafe {
+            let guard = epoch::unprotected();
+            let mut cur = self.head.load(Ordering::Relaxed, guard);
+            while let Some(node) = cur.as_ref() {
+                let next = node.next.load(Ordering::Relaxed, guard);
+                drop(cur.into_owned());
+                cur = next;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::thread;
+
+    #[test]
+    fn stack_lifo_single_thread() {
+        let s = TreiberStack::new();
+        assert!(s.is_empty());
+        for v in 0..10 {
+            s.push(v);
+        }
+        for v in (0..10).rev() {
+            assert_eq!(s.pop(), Some(v));
+        }
+        assert_eq!(s.pop(), None);
+    }
+
+    #[test]
+    fn stack_concurrent_push_pop_conserves_items() {
+        let s = Arc::new(TreiberStack::new());
+        let threads = 4;
+        let per = 1000;
+        let joins: Vec<_> = (0..threads)
+            .map(|t| {
+                let s = Arc::clone(&s);
+                thread::spawn(move || {
+                    let mut popped = Vec::new();
+                    for i in 0..per {
+                        s.push((t * per + i) as i64);
+                        if let Some(v) = s.pop() {
+                            popped.push(v);
+                        }
+                    }
+                    popped
+                })
+            })
+            .collect();
+        let mut all: Vec<i64> = joins.into_iter().flat_map(|j| j.join().unwrap()).collect();
+        while let Some(v) = s.pop() {
+            all.push(v);
+        }
+        all.sort_unstable();
+        let expect: Vec<i64> = (0..(threads * per) as i64).collect();
+        assert_eq!(all, expect, "every pushed item popped exactly once");
+    }
+
+    #[test]
+    fn queue_fifo_single_thread() {
+        let q = MsQueue::new();
+        for v in 0..10 {
+            q.enq(v);
+        }
+        for v in 0..10 {
+            assert_eq!(q.deq(), Some(v));
+        }
+        assert_eq!(q.deq(), None);
+    }
+
+    #[test]
+    fn queue_concurrent_producers_consumers() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let q = Arc::new(MsQueue::new());
+        let producers = 3;
+        let per = 1000;
+        let total = producers * per;
+        let consumed = Arc::new(AtomicUsize::new(0));
+        let p_joins: Vec<_> = (0..producers)
+            .map(|t| {
+                let q = Arc::clone(&q);
+                thread::spawn(move || {
+                    for i in 0..per {
+                        q.enq((t * per + i) as i64);
+                    }
+                })
+            })
+            .collect();
+        let consumers = 3;
+        let c_joins: Vec<_> = (0..consumers)
+            .map(|_| {
+                let q = Arc::clone(&q);
+                let consumed = Arc::clone(&consumed);
+                thread::spawn(move || {
+                    let mut got = Vec::new();
+                    while consumed.load(Ordering::SeqCst) < total {
+                        if let Some(v) = q.deq() {
+                            consumed.fetch_add(1, Ordering::SeqCst);
+                            got.push(v);
+                        } else {
+                            thread::yield_now();
+                        }
+                    }
+                    got
+                })
+            })
+            .collect();
+        for j in p_joins {
+            j.join().unwrap();
+        }
+        let mut all: Vec<i64> = c_joins.into_iter().flat_map(|j| j.join().unwrap()).collect();
+        while let Some(v) = q.deq() {
+            all.push(v);
+        }
+        all.sort_unstable();
+        all.dedup();
+        assert_eq!(all.len(), total, "every item consumed exactly once");
+    }
+
+    #[test]
+    fn queue_per_producer_order_is_preserved() {
+        let q = Arc::new(MsQueue::new());
+        let per = 2000;
+        let producer = {
+            let q = Arc::clone(&q);
+            thread::spawn(move || {
+                for i in 0..per {
+                    q.enq(i as i64);
+                }
+            })
+        };
+        let consumer = {
+            let q = Arc::clone(&q);
+            thread::spawn(move || {
+                let mut last = -1;
+                let mut count = 0;
+                while count < per {
+                    if let Some(v) = q.deq() {
+                        assert!(v > last, "FIFO violated: {v} after {last}");
+                        last = v;
+                        count += 1;
+                    }
+                }
+            })
+        };
+        producer.join().unwrap();
+        consumer.join().unwrap();
+    }
+}

@@ -1,0 +1,361 @@
+//! A wait-free universal object on hardware atomics.
+//!
+//! The practical rendering of §4's universality result: a shared log in
+//! which each position is a one-shot [`ConsensusCell`], plus an announce
+//! array with a helping discipline that bounds every operation — the
+//! difference between *lock-free* (someone wins) and *wait-free*
+//! (everyone finishes) is exactly the helping.
+//!
+//! How an operation executes:
+//!
+//! 1. **Announce** the operation in the caller's announce slot.
+//! 2. **Thread** it onto the log: repeatedly take the first undecided
+//!    position `k` and run consensus on a candidate entry — the *preferred
+//!    thread* of position `k` is `k mod n`, and if that thread has a
+//!    pending announced operation, helpers propose *its* entry rather than
+//!    their own. Once every position periodically prefers each thread, an
+//!    announced operation is threaded within `n` positions: the wait-free
+//!    bound.
+//! 3. **Replay** the log from the handle's cached state up to the caller's
+//!    entry to compute the response (§4.1's `eval`/`apply`).
+//!
+//! Helping can thread the same entry into two positions (a helper and the
+//! owner may both win with it); replay deduplicates by per-thread sequence
+//! number, the standard fix. The log is a pre-sized arena — capacity
+//! exhaustion is an explicit panic, the documented substitution for
+//! unbounded memory (DESIGN.md).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, OnceLock};
+
+use waitfree_model::{ObjectSpec, Pid};
+
+use crate::consensus::ConsensusCell;
+
+/// A log entry: one announced operation.
+#[derive(Clone, Debug)]
+pub struct Entry<Op> {
+    /// The invoking thread.
+    pub tid: usize,
+    /// The invoker's operation counter.
+    pub seq: usize,
+    /// The operation.
+    pub op: Op,
+}
+
+#[derive(Debug)]
+struct Shared<S: ObjectSpec> {
+    n: usize,
+    max_ops: usize,
+    /// `announce[tid][seq]`.
+    announce: Vec<Vec<OnceLock<Entry<S::Op>>>>,
+    /// Number of operations thread `tid` has announced.
+    announced: Vec<AtomicUsize>,
+    /// Number of operations of thread `tid` threaded onto the log.
+    done: Vec<AtomicUsize>,
+    /// The log.
+    positions: Vec<ConsensusCell<Entry<S::Op>>>,
+    /// Lower bound on the first undecided position.
+    hint: AtomicUsize,
+}
+
+/// A wait-free universal object wrapping a sequential specification `S`.
+///
+/// Create with [`WfUniversal::new`], then hand one [`WfHandle`] to each
+/// thread. See [`crate::wrappers`] for typed instantiations.
+///
+/// # Example
+///
+/// ```
+/// use waitfree_model::Pid;
+/// use waitfree_objects::counter::{Counter, CounterOp, CounterResp};
+/// use waitfree_sync::universal::WfUniversal;
+///
+/// let mut handles = WfUniversal::new(Counter::new(0), 2, 16);
+/// let mut h0 = handles.remove(0);
+/// assert_eq!(h0.invoke(CounterOp::FetchAndAdd(5)), CounterResp::Value(0));
+/// assert_eq!(h0.invoke(CounterOp::Get), CounterResp::Value(5));
+/// ```
+pub struct WfUniversal<S: ObjectSpec>(std::marker::PhantomData<S>);
+
+impl<S: ObjectSpec> WfUniversal<S> {
+    /// Build the object for `n` threads, each performing at most
+    /// `max_ops` operations, returning one handle per thread.
+    ///
+    /// The log arena holds `2·n·max_ops + 16` positions (each entry may be
+    /// duplicated by helping).
+    #[must_use]
+    pub fn new(initial: S, n: usize, max_ops: usize) -> Vec<WfHandle<S>> {
+        let capacity = 2 * n * max_ops + 16;
+        let shared = Arc::new(Shared {
+            n,
+            max_ops,
+            announce: (0..n)
+                .map(|_| (0..max_ops).map(|_| OnceLock::new()).collect())
+                .collect(),
+            announced: (0..n).map(|_| AtomicUsize::new(0)).collect(),
+            done: (0..n).map(|_| AtomicUsize::new(0)).collect(),
+            positions: (0..capacity).map(|_| ConsensusCell::new(n)).collect(),
+            hint: AtomicUsize::new(0),
+        });
+        (0..n)
+            .map(|tid| WfHandle {
+                shared: Arc::clone(&shared),
+                tid,
+                state: initial.clone(),
+                applied: vec![0; n],
+                cursor: 0,
+                next_seq: 0,
+            })
+            .collect()
+    }
+}
+
+/// One thread's handle onto a [`WfUniversal`] object. Not `Clone`: the
+/// thread identity is baked in.
+#[derive(Debug)]
+pub struct WfHandle<S: ObjectSpec> {
+    shared: Arc<Shared<S>>,
+    tid: usize,
+    /// Cached replica, replayed up to `cursor`.
+    state: S,
+    /// Per-thread watermark of applied sequence numbers (deduplication).
+    applied: Vec<usize>,
+    /// First log position not yet replayed.
+    cursor: usize,
+    next_seq: usize,
+}
+
+impl<S: ObjectSpec> WfHandle<S> {
+    /// This handle's thread index.
+    #[must_use]
+    pub fn tid(&self) -> usize {
+        self.tid
+    }
+
+    /// The oldest announced-but-unthreaded entry of thread `t`, if any.
+    fn pending(&self, t: usize) -> Option<Entry<S::Op>> {
+        let d = self.shared.done[t].load(Ordering::SeqCst);
+        let a = self.shared.announced[t].load(Ordering::SeqCst);
+        if d < a {
+            self.shared.announce[t][d].get().cloned()
+        } else {
+            None
+        }
+    }
+
+    /// Execute `op` wait-free, returning its response.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the handle exceeds its `max_ops` budget or the log arena
+    /// is exhausted.
+    pub fn invoke(&mut self, op: S::Op) -> S::Resp {
+        let seq = self.next_seq;
+        assert!(
+            seq < self.shared.max_ops,
+            "thread {} exceeded its budget of {} operations",
+            self.tid,
+            self.shared.max_ops
+        );
+        self.next_seq += 1;
+
+        // 1. Announce.
+        let entry = Entry { tid: self.tid, seq, op };
+        let _ = self.shared.announce[self.tid][seq].set(entry.clone());
+        self.shared.announced[self.tid].store(seq + 1, Ordering::SeqCst);
+
+        // 2. Thread onto the log, helping the preferred thread of each
+        //    position.
+        let mut k = self.shared.hint.load(Ordering::SeqCst);
+        while self.shared.done[self.tid].load(Ordering::SeqCst) <= seq {
+            assert!(
+                k < self.shared.positions.len(),
+                "log arena exhausted at position {k}"
+            );
+            let preferred = k % self.shared.n;
+            let candidate = self.pending(preferred).unwrap_or_else(|| entry.clone());
+            let winner = self.shared.positions[k].decide(self.tid, candidate);
+            self.shared.done[winner.tid].fetch_max(winner.seq + 1, Ordering::SeqCst);
+            k += 1;
+            self.shared.hint.fetch_max(k, Ordering::SeqCst);
+        }
+
+        // 3. Replay until our own entry is applied.
+        loop {
+            let Some(e) = self.shared.positions[self.cursor].value() else {
+                unreachable!("own entry is threaded at or before the first undecided position")
+            };
+            let e = e.clone();
+            self.cursor += 1;
+            if e.seq != self.applied[e.tid] {
+                continue; // duplicate from helping
+            }
+            let resp = self.state.apply(Pid(e.tid), &e.op);
+            self.applied[e.tid] += 1;
+            if e.tid == self.tid && e.seq == seq {
+                return resp;
+            }
+        }
+    }
+
+    /// Replay any outstanding log entries and return a copy of the
+    /// current abstract state (a linearizable read of the whole object).
+    pub fn refresh(&mut self) -> S {
+        while let Some(e) = self.shared.positions[self.cursor].value() {
+            let e = e.clone();
+            self.cursor += 1;
+            if e.seq != self.applied[e.tid] {
+                continue;
+            }
+            self.state.apply(Pid(e.tid), &e.op);
+            self.applied[e.tid] += 1;
+        }
+        self.state.clone()
+    }
+
+    /// Total log entries this handle has replayed (diagnostics).
+    #[must_use]
+    pub fn replayed(&self) -> usize {
+        self.cursor
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+    use waitfree_objects::counter::{Counter, CounterOp, CounterResp};
+    use waitfree_objects::queue::{FifoQueue, QueueOp, QueueResp};
+
+    #[test]
+    fn single_thread_matches_spec() {
+        let mut handles = WfUniversal::new(FifoQueue::new(), 1, 16);
+        let mut h = handles.remove(0);
+        assert_eq!(h.invoke(QueueOp::Enq(1)), QueueResp::Ack);
+        assert_eq!(h.invoke(QueueOp::Enq(2)), QueueResp::Ack);
+        assert_eq!(h.invoke(QueueOp::Deq), QueueResp::Item(1));
+        assert_eq!(h.invoke(QueueOp::Deq), QueueResp::Item(2));
+        assert_eq!(h.invoke(QueueOp::Deq), QueueResp::Empty);
+    }
+
+    #[test]
+    fn counter_is_exact_under_contention() {
+        let threads = 4;
+        let per = 500;
+        let handles = WfUniversal::new(Counter::new(0), threads, per + 1);
+        let joins: Vec<_> = handles
+            .into_iter()
+            .map(|mut h| {
+                thread::spawn(move || {
+                    for _ in 0..per {
+                        h.invoke(CounterOp::Add(1));
+                    }
+                    h
+                })
+            })
+            .collect();
+        let mut finished: Vec<_> = joins.into_iter().map(|j| j.join().unwrap()).collect();
+        let mut last = finished.pop().unwrap();
+        match last.invoke(CounterOp::Get) {
+            CounterResp::Value(v) => assert_eq!(v, (threads * per) as i64),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn fetch_and_add_responses_are_unique_under_contention() {
+        // Linearizability witness: every FetchAndAdd(1) must see a
+        // distinct old value.
+        let threads = 4;
+        let per = 300;
+        let handles = WfUniversal::new(Counter::new(0), threads, per);
+        let joins: Vec<_> = handles
+            .into_iter()
+            .map(|mut h| {
+                thread::spawn(move || {
+                    (0..per)
+                        .map(|_| match h.invoke(CounterOp::FetchAndAdd(1)) {
+                            CounterResp::Value(v) => v,
+                            other => panic!("unexpected {other:?}"),
+                        })
+                        .collect::<Vec<i64>>()
+                })
+            })
+            .collect();
+        let mut all: Vec<i64> = joins.into_iter().flat_map(|j| j.join().unwrap()).collect();
+        all.sort_unstable();
+        let expect: Vec<i64> = (0..(threads * per) as i64).collect();
+        assert_eq!(all, expect, "each ticket taken exactly once");
+    }
+
+    #[test]
+    fn queue_items_dequeued_exactly_once() {
+        let threads = 4;
+        let per = 200;
+        let handles = WfUniversal::new(FifoQueue::new(), threads, 2 * per);
+        let joins: Vec<_> = handles
+            .into_iter()
+            .map(|mut h| {
+                let tid = h.tid() as i64;
+                thread::spawn(move || {
+                    let mut got = Vec::new();
+                    for i in 0..per {
+                        h.invoke(QueueOp::Enq(tid * 1_000_000 + i as i64));
+                        if let QueueResp::Item(v) = h.invoke(QueueOp::Deq) {
+                            got.push(v);
+                        }
+                    }
+                    got
+                })
+            })
+            .collect();
+        let mut all: Vec<i64> = joins.into_iter().flat_map(|j| j.join().unwrap()).collect();
+        let total = all.len();
+        all.sort_unstable();
+        all.dedup();
+        assert_eq!(all.len(), total, "no item dequeued twice");
+        assert!(total <= threads * per);
+    }
+
+    #[test]
+    fn refresh_converges_across_handles() {
+        let mut handles = WfUniversal::new(Counter::new(0), 2, 8);
+        let mut h1 = handles.pop().unwrap();
+        let mut h0 = handles.pop().unwrap();
+        h0.invoke(CounterOp::Add(3));
+        h0.invoke(CounterOp::Add(4));
+        assert_eq!(h1.refresh(), h0.refresh(), "replicas converge");
+    }
+
+    #[test]
+    #[should_panic(expected = "budget")]
+    fn op_budget_is_enforced() {
+        let mut handles = WfUniversal::new(Counter::new(0), 1, 1);
+        let mut h = handles.remove(0);
+        h.invoke(CounterOp::Add(1));
+        h.invoke(CounterOp::Add(1));
+    }
+
+    #[test]
+    fn per_op_position_consumption_is_bounded() {
+        // Wait-freedom evidence: with helping, total positions consumed
+        // stays within the 2·n·ops arena even under contention.
+        let threads = 3;
+        let per = 400;
+        let handles = WfUniversal::new(Counter::new(0), threads, per);
+        let joins: Vec<_> = handles
+            .into_iter()
+            .map(|mut h| {
+                thread::spawn(move || {
+                    for _ in 0..per {
+                        h.invoke(CounterOp::Add(1));
+                    }
+                })
+            })
+            .collect();
+        for j in joins {
+            j.join().unwrap();
+        }
+    }
+}

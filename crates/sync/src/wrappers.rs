@@ -1,0 +1,206 @@
+//! Typed wait-free objects instantiating the universal construction —
+//! "a wait-free implementation of any sequential object" (§4), made
+//! concrete: queue, stack, counter and register handles over
+//! [`WfUniversal`] instances.
+//!
+//! [`WfUniversal`]: crate::universal::WfUniversal
+//!
+//! The point of these wrappers is the corollary users actually care
+//! about: none of these objects can be built wait-free from reads and
+//! writes alone (Corollaries 5 and 10), but all of them fall out of *one*
+//! construction given a consensus primitive.
+
+use waitfree_model::Val;
+use waitfree_objects::counter::{Counter, CounterOp, CounterResp};
+use waitfree_objects::queue::{FifoQueue, QueueOp, QueueResp};
+use waitfree_objects::register::{RegOp, RegResp, RwRegister};
+use waitfree_objects::stack::{Stack, StackOp, StackResp};
+
+use crate::universal::{WfHandle, WfUniversal};
+
+/// One thread's handle to a wait-free FIFO queue of [`Val`]s.
+#[derive(Debug)]
+pub struct WfQueueHandle(WfHandle<FifoQueue>);
+
+impl WfQueueHandle {
+    /// Create a wait-free queue for `n` threads, `max_ops` operations per
+    /// thread, returning one handle per thread.
+    #[must_use]
+    pub fn create(n: usize, max_ops: usize) -> Vec<WfQueueHandle> {
+        WfUniversal::new(FifoQueue::new(), n, max_ops)
+            .into_iter()
+            .map(WfQueueHandle)
+            .collect()
+    }
+
+    /// Enqueue a value (wait-free).
+    pub fn enq(&mut self, v: Val) {
+        let _ = self.0.invoke(QueueOp::Enq(v));
+    }
+
+    /// Dequeue the oldest value (wait-free, total: `None` when empty).
+    pub fn deq(&mut self) -> Option<Val> {
+        match self.0.invoke(QueueOp::Deq) {
+            QueueResp::Item(v) => Some(v),
+            QueueResp::Empty => None,
+            QueueResp::Ack => unreachable!("deq never acks"),
+        }
+    }
+}
+
+/// One thread's handle to a wait-free LIFO stack of [`Val`]s.
+#[derive(Debug)]
+pub struct WfStackHandle(WfHandle<Stack>);
+
+impl WfStackHandle {
+    /// Create a wait-free stack for `n` threads, `max_ops` operations per
+    /// thread.
+    #[must_use]
+    pub fn create(n: usize, max_ops: usize) -> Vec<WfStackHandle> {
+        WfUniversal::new(Stack::new(), n, max_ops)
+            .into_iter()
+            .map(WfStackHandle)
+            .collect()
+    }
+
+    /// Push a value (wait-free).
+    pub fn push(&mut self, v: Val) {
+        let _ = self.0.invoke(StackOp::Push(v));
+    }
+
+    /// Pop the most recent value (wait-free, total).
+    pub fn pop(&mut self) -> Option<Val> {
+        match self.0.invoke(StackOp::Pop) {
+            StackResp::Item(v) => Some(v),
+            StackResp::Empty => None,
+            StackResp::Ack => unreachable!("pop never acks"),
+        }
+    }
+}
+
+/// One thread's handle to a wait-free counter.
+#[derive(Debug)]
+pub struct WfCounterHandle(WfHandle<Counter>);
+
+impl WfCounterHandle {
+    /// Create a wait-free counter for `n` threads, `max_ops` operations
+    /// per thread.
+    #[must_use]
+    pub fn create(n: usize, max_ops: usize) -> Vec<WfCounterHandle> {
+        WfUniversal::new(Counter::new(0), n, max_ops)
+            .into_iter()
+            .map(WfCounterHandle)
+            .collect()
+    }
+
+    /// Add `delta`, returning the previous value (wait-free).
+    pub fn fetch_add(&mut self, delta: Val) -> Val {
+        match self.0.invoke(CounterOp::FetchAndAdd(delta)) {
+            CounterResp::Value(v) => v,
+            CounterResp::Ack => unreachable!("fetch-and-add returns a value"),
+        }
+    }
+
+    /// Current value (wait-free linearizable read).
+    pub fn get(&mut self) -> Val {
+        match self.0.invoke(CounterOp::Get) {
+            CounterResp::Value(v) => v,
+            CounterResp::Ack => unreachable!("get returns a value"),
+        }
+    }
+}
+
+/// One thread's handle to a wait-free multi-writer register.
+#[derive(Debug)]
+pub struct WfRegisterHandle(WfHandle<RwRegister>);
+
+impl WfRegisterHandle {
+    /// Create a wait-free register for `n` threads, `max_ops` operations
+    /// per thread, initialized to `initial`.
+    #[must_use]
+    pub fn create(n: usize, max_ops: usize, initial: Val) -> Vec<WfRegisterHandle> {
+        WfUniversal::new(RwRegister::new(initial), n, max_ops)
+            .into_iter()
+            .map(WfRegisterHandle)
+            .collect()
+    }
+
+    /// Write a value (wait-free).
+    pub fn write(&mut self, v: Val) {
+        let _ = self.0.invoke(RegOp::Write(v));
+    }
+
+    /// Read the current value (wait-free linearizable read).
+    pub fn read(&mut self) -> Val {
+        match self.0.invoke(RegOp::Read) {
+            RegResp::Read(v) => v,
+            RegResp::Written => unreachable!("read returns a value"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn wf_queue_conserves_items_across_threads() {
+        let handles = WfQueueHandle::create(4, 400);
+        let joins: Vec<_> = handles
+            .into_iter()
+            .enumerate()
+            .map(|(t, mut h)| {
+                thread::spawn(move || {
+                    let mut got = Vec::new();
+                    for i in 0..150 {
+                        h.enq((t * 1000 + i) as Val);
+                        if let Some(v) = h.deq() {
+                            got.push(v);
+                        }
+                    }
+                    got
+                })
+            })
+            .collect();
+        let mut all: Vec<Val> = joins.into_iter().flat_map(|j| j.join().unwrap()).collect();
+        let total = all.len();
+        all.sort_unstable();
+        all.dedup();
+        assert_eq!(all.len(), total, "no duplicates");
+    }
+
+    #[test]
+    fn wf_stack_round_trip() {
+        let mut handles = WfStackHandle::create(1, 8);
+        let h = &mut handles[0];
+        h.push(1);
+        h.push(2);
+        assert_eq!(h.pop(), Some(2));
+        assert_eq!(h.pop(), Some(1));
+        assert_eq!(h.pop(), None);
+    }
+
+    #[test]
+    fn wf_counter_tickets_unique() {
+        let handles = WfCounterHandle::create(3, 200);
+        let joins: Vec<_> = handles
+            .into_iter()
+            .map(|mut h| thread::spawn(move || (0..100).map(|_| h.fetch_add(1)).collect::<Vec<_>>()))
+            .collect();
+        let mut all: Vec<Val> = joins.into_iter().flat_map(|j| j.join().unwrap()).collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..300).collect::<Vec<Val>>());
+    }
+
+    #[test]
+    fn wf_register_reads_latest_write() {
+        let mut handles = WfRegisterHandle::create(2, 8, 0);
+        let mut h1 = handles.pop().unwrap();
+        let mut h0 = handles.pop().unwrap();
+        h0.write(42);
+        assert_eq!(h1.read(), 42);
+        h1.write(7);
+        assert_eq!(h0.read(), 7);
+    }
+}

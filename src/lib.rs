@@ -1,0 +1,15 @@
+//! # waitfree
+//!
+//! Facade crate re-exporting the whole workspace. See the README for an
+//! architecture overview.
+//!
+//! ```
+//! use waitfree::core::hierarchy;
+//! assert!(hierarchy::table().len() >= 4);
+//! ```
+pub use waitfree_core as core;
+pub use waitfree_explorer as explorer;
+pub use waitfree_model as model;
+pub use waitfree_objects as objects;
+pub use waitfree_registers as registers;
+pub use waitfree_sync as sync;

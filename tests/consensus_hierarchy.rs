@@ -1,0 +1,72 @@
+//! Integration: the consensus hierarchy end to end — protocols from
+//! `waitfree-core`, objects from `waitfree-objects`, verification by
+//! `waitfree-explorer`.
+
+use waitfree::core::hierarchy::{table, validate_row, Level};
+use waitfree::core::protocols::cas::CasConsensus;
+use waitfree::core::protocols::queue::QueueConsensus;
+use waitfree::explorer::check::{check_consensus, CheckSettings, Violation};
+use waitfree::explorer::valency;
+
+#[test]
+fn every_hierarchy_row_validates_at_its_level() {
+    for row in table() {
+        let n = match row.level {
+            Level::Exact(n) => n,
+            Level::AssignmentFamily => 3, // Theorem 19 instance
+            Level::Infinite => 3,
+        };
+        assert_eq!(validate_row(&row, n), Some(true), "{} at n={n}", row.object);
+    }
+}
+
+#[test]
+fn level_two_objects_make_no_claim_at_three() {
+    for row in table() {
+        if row.level == Level::Exact(2) {
+            assert_eq!(
+                validate_row(&row, 3),
+                None,
+                "{} must not claim 3-process consensus",
+                row.object
+            );
+        }
+    }
+}
+
+#[test]
+fn running_a_two_process_protocol_with_three_processes_breaks() {
+    // The "hierarchy is strict" sanity check: the queue protocol of
+    // Theorem 9 misbehaves with a third participant.
+    let (p, o) = QueueConsensus::setup();
+    let report = check_consensus(&p, &o, 3, &CheckSettings::default());
+    assert!(matches!(
+        report.violation,
+        Some(Violation::Agreement { .. } | Violation::Validity { .. })
+    ));
+}
+
+#[test]
+fn correct_protocols_are_initially_bivalent() {
+    // The premise every impossibility proof starts from, checked on a
+    // real protocol: "The initial protocol state is bivalent".
+    let (p, o) = CasConsensus::setup();
+    let report = valency::analyze(&p, &o, 2, 1_000_000);
+    assert!(report.initially_bivalent());
+    // And a decision eventually happens: some univalent configs exist.
+    assert!(report.univalent > 0);
+    // Schedule count for 2 one-shot processes: C(4,2) = 6.
+    assert_eq!(report.schedules, 6);
+}
+
+#[test]
+fn crashes_do_not_block_survivors_for_universal_objects() {
+    for row in table() {
+        if row.level == Level::Infinite {
+            // The exhaustive checker already includes crash branches; a
+            // passing report means survivors always decided.
+            let report = (row.solves)(3).expect("universal objects solve any n");
+            assert!(report.is_ok(), "{}", row.object);
+        }
+    }
+}

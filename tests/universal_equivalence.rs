@@ -1,0 +1,147 @@
+//! Integration: the three fetch-and-cons/universal implementations agree
+//! with each other and with the sequential specification.
+
+use waitfree::core::universal::consensus_cons::{verify_history, ConsensusFetchAndCons};
+use waitfree::core::universal::log::{LogFrontEnd, LogItem, LogUniversal};
+use waitfree::core::universal::swap_cons::SwapFetchAndCons;
+use waitfree::explorer::impl_sim::{run_random, run_schedule};
+use waitfree::model::{linearize, ObjectSpec, PendingPolicy, Pid, Val};
+use waitfree::objects::list::ConsList;
+use waitfree::objects::queue::{FifoQueue, QueueOp};
+use waitfree::sync::universal::WfUniversal;
+
+/// Sequential fetch-and-cons spec over plain values.
+#[derive(Clone, Debug, PartialEq, Eq, Hash, Default)]
+struct FacSpec(Vec<Val>);
+
+impl ObjectSpec for FacSpec {
+    type Op = Val;
+    type Resp = Vec<Val>;
+    fn apply(&mut self, _pid: Pid, x: &Val) -> Vec<Val> {
+        let old = self.0.clone();
+        self.0.insert(0, *x);
+        old
+    }
+}
+
+#[test]
+fn swap_cons_and_consensus_cons_agree_sequentially() {
+    // Drive both fetch-and-cons implementations through the same strictly
+    // sequential workload; their responses must coincide with the spec.
+    let items: Vec<Val> = vec![5, 9, 2, 7];
+
+    // Reference.
+    let mut spec = FacSpec::default();
+    let expected: Vec<Vec<Val>> = items.iter().map(|x| spec.apply(Pid(0), x)).collect();
+
+    // Swap-based (one process, sequential).
+    let (fe, arena) = SwapFetchAndCons::setup(1, items.len());
+    let run = run_schedule(&fe, arena, &[items.clone()], &vec![0usize; 400]);
+    assert!(run.complete);
+    let got: Vec<Vec<Val>> = run
+        .history
+        .ops()
+        .iter()
+        .map(|o| o.resp.clone().expect("complete"))
+        .collect();
+    assert_eq!(got, expected, "swap-based fetch-and-cons");
+
+    // Consensus-based (one process, sequential); items carry (owner, seq,
+    // payload) tags, so project the payloads.
+    let (fe, rep) = ConsensusFetchAndCons::setup(1);
+    let run = run_schedule(&fe, rep, &[items.clone()], &vec![0usize; 800]);
+    assert!(run.complete);
+    let got: Vec<Vec<Val>> = run
+        .history
+        .ops()
+        .iter()
+        .map(|o| {
+            o.resp
+                .clone()
+                .expect("complete")
+                .into_iter()
+                .map(|it| it.payload)
+                .collect()
+        })
+        .collect();
+    assert_eq!(got, expected, "consensus-based fetch-and-cons");
+}
+
+#[test]
+fn simulated_and_hardware_universal_queue_agree() {
+    // The same mixed workload through (a) the §4.1 log construction in
+    // the simulator and (b) the hardware universal object, single
+    // threaded — byte-for-byte identical responses.
+    let script = [
+        QueueOp::Enq(4),
+        QueueOp::Enq(5),
+        QueueOp::Deq,
+        QueueOp::Deq,
+        QueueOp::Deq,
+        QueueOp::Enq(6),
+        QueueOp::Deq,
+    ];
+
+    let mut sim = LogUniversal::new(FifoQueue::new(), true);
+    let mut hw = WfUniversal::new(FifoQueue::new(), 1, script.len()).remove(0);
+    let mut spec = FifoQueue::new();
+    for op in &script {
+        let expected = spec.apply(Pid(0), op);
+        assert_eq!(sim.invoke(Pid(0), op.clone()), expected, "{op:?}");
+        assert_eq!(hw.invoke(op.clone()), expected, "{op:?}");
+    }
+}
+
+#[test]
+fn log_front_end_and_consensus_cons_both_linearize_concurrently() {
+    // Concurrent runs of both universal paths, checked by their
+    // respective criteria.
+    let fe = LogFrontEnd { initial: FifoQueue::new() };
+    let workloads = vec![
+        vec![QueueOp::Enq(1), QueueOp::Deq],
+        vec![QueueOp::Enq(2), QueueOp::Deq],
+        vec![QueueOp::Enq(3), QueueOp::Deq],
+    ];
+    for seed in 0..50 {
+        let run = run_random(&fe, ConsList::<LogItem<QueueOp>>::new(), &workloads, seed, 300);
+        let report = linearize(&run.history, &FifoQueue::new(), PendingPolicy::MayTakeEffect);
+        assert!(report.outcome.is_ok(), "log front-end, seed {seed}");
+    }
+
+    let (fe, rep) = ConsensusFetchAndCons::setup(3);
+    let workloads: Vec<Vec<Val>> = (0..3).map(|p| vec![p * 10, p * 10 + 1]).collect();
+    for seed in 0..50 {
+        let run = run_random(&fe, rep.clone(), &workloads, seed, 500);
+        assert!(verify_history(&run.history), "consensus cons, seed {seed}");
+    }
+}
+
+#[test]
+fn hardware_universal_object_survives_thread_churn() {
+    // Handles dropped early (threads "crash" after a few ops): the
+    // remaining threads keep completing operations.
+    let threads = 4;
+    let per = 200;
+    let handles = WfUniversal::new(FifoQueue::new(), threads, per + 4);
+    let joins: Vec<_> = handles
+        .into_iter()
+        .map(|mut h| {
+            std::thread::spawn(move || {
+                let quit_early = h.tid() % 2 == 0;
+                let ops = if quit_early { 3 } else { per };
+                for i in 0..ops {
+                    h.invoke(QueueOp::Enq(i as Val));
+                }
+                // Early-quitters just return: an undetected halt.
+            })
+        })
+        .collect();
+    for j in joins {
+        j.join().unwrap();
+    }
+    // A fresh count from a surviving handle's perspective: the object is
+    // still fully operational.
+    let mut check = WfUniversal::new(FifoQueue::new(), 1, 4).remove(0);
+    check.invoke(QueueOp::Enq(1));
+    assert_eq!(check.invoke(QueueOp::Deq), waitfree::objects::queue::QueueResp::Item(1));
+}
