@@ -4,74 +4,52 @@
 use std::sync::Arc;
 use std::thread;
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use waitfree_bench::timing::bench;
 use waitfree_sync::consensus::{ConsensusCell, FaaConsensus2, TasConsensus2, UsizeConsensus};
 
-fn uncontended(c: &mut Criterion) {
-    let mut group = c.benchmark_group("consensus_uncontended");
-    group.sample_size(10);
-    group.measurement_time(std::time::Duration::from_secs(2));
-    group.warm_up_time(std::time::Duration::from_millis(500));
-    group.bench_function("usize_cas", |b| {
-        b.iter(|| {
-            let obj = UsizeConsensus::new();
-            obj.decide(1)
-        });
+fn uncontended() {
+    bench("consensus_uncontended", "usize_cas", || {
+        let obj = UsizeConsensus::new();
+        let _ = obj.decide(1);
     });
-    group.bench_function("cell_clone_value", |b| {
-        b.iter(|| {
-            let obj: ConsensusCell<u64> = ConsensusCell::new(4);
-            obj.decide(0, 42)
-        });
+    bench("consensus_uncontended", "cell_clone_value", || {
+        let obj: ConsensusCell<u64> = ConsensusCell::new(4);
+        let _ = obj.decide(0, 42);
     });
-    group.bench_function("faa_two_process", |b| {
-        b.iter(|| {
-            let obj = FaaConsensus2::new();
-            obj.decide(0, 7)
-        });
+    bench("consensus_uncontended", "faa_two_process", || {
+        let obj = FaaConsensus2::new();
+        let _ = obj.decide(0, 7);
     });
-    group.bench_function("tas_two_process", |b| {
-        b.iter(|| {
-            let obj = TasConsensus2::new();
-            obj.decide(1, 7)
-        });
+    bench("consensus_uncontended", "tas_two_process", || {
+        let obj = TasConsensus2::new();
+        let _ = obj.decide(1, 7);
     });
-    group.finish();
 }
 
-fn contended(c: &mut Criterion) {
-    let mut group = c.benchmark_group("consensus_contended");
-    group.sample_size(10);
-    group.measurement_time(std::time::Duration::from_secs(3));
-    group.warm_up_time(std::time::Duration::from_millis(500));
+fn contended() {
     for threads in [2usize, 4, 8] {
-        group.bench_with_input(
-            BenchmarkId::new("usize_cas_batch", threads),
-            &threads,
-            |b, &t| {
-                // Amortize thread spawn over a batch of 1000 objects.
-                b.iter(|| {
-                    let objs: Arc<Vec<UsizeConsensus>> =
-                        Arc::new((0..1000).map(|_| UsizeConsensus::new()).collect());
-                    let joins: Vec<_> = (0..t)
-                        .map(|i| {
-                            let objs = Arc::clone(&objs);
-                            thread::spawn(move || {
-                                let mut acc = 0usize;
-                                for o in objs.iter() {
-                                    acc = acc.wrapping_add(o.decide(i + 1));
-                                }
-                                acc
-                            })
-                        })
-                        .collect();
-                    joins.into_iter().map(|j| j.join().unwrap()).sum::<usize>()
-                });
-            },
-        );
+        // Amortize thread spawn over a batch of 1000 objects.
+        bench("consensus_contended", &format!("usize_cas_batch/{threads}"), || {
+            let objs: Arc<Vec<UsizeConsensus>> =
+                Arc::new((0..1000).map(|_| UsizeConsensus::new()).collect());
+            let joins: Vec<_> = (0..threads)
+                .map(|i| {
+                    let objs = Arc::clone(&objs);
+                    thread::spawn(move || {
+                        let mut acc = 0usize;
+                        for o in objs.iter() {
+                            acc = acc.wrapping_add(o.decide(i + 1));
+                        }
+                        acc
+                    })
+                })
+                .collect();
+            let _: usize = joins.into_iter().map(|j| j.join().unwrap()).sum();
+        });
     }
-    group.finish();
 }
 
-criterion_group!(benches, uncontended, contended);
-criterion_main!(benches);
+fn main() {
+    uncontended();
+    contended();
+}

@@ -2,7 +2,7 @@
 //! checking, valency analysis cost, and the ablation the design calls
 //! out: crash branching multiplies the explored space.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use waitfree_bench::timing::bench;
 use waitfree_core::protocols::cas::CasConsensus;
 use waitfree_core::protocols::mem_swap::SwapConsensusN;
 use waitfree_explorer::check::{check_consensus, CheckSettings};
@@ -10,74 +10,54 @@ use waitfree_explorer::valency;
 use waitfree_model::{linearize, PendingPolicy, Pid};
 use waitfree_objects::register::{RegOp, RegResp, RwRegister};
 
-fn exhaustive_check(c: &mut Criterion) {
-    let mut group = c.benchmark_group("exhaustive_check");
-    group.sample_size(10);
-    group.measurement_time(std::time::Duration::from_secs(2));
-    group.warm_up_time(std::time::Duration::from_millis(500));
+fn exhaustive_check() {
     for n in [2usize, 3, 4] {
-        group.bench_with_input(BenchmarkId::new("cas_with_crashes", n), &n, |b, &n| {
+        bench("exhaustive_check", &format!("cas_with_crashes/{n}"), || {
             let settings = CheckSettings::default();
-            b.iter(|| {
-                let (p, o) = CasConsensus::setup();
-                check_consensus(&p, &o, n, &settings)
-            });
+            let (p, o) = CasConsensus::setup();
+            let _ = check_consensus(&p, &o, n, &settings);
         });
-        group.bench_with_input(BenchmarkId::new("cas_no_crashes", n), &n, |b, &n| {
+        bench("exhaustive_check", &format!("cas_no_crashes/{n}"), || {
             let settings = CheckSettings { crashes: false, ..CheckSettings::default() };
-            b.iter(|| {
-                let (p, o) = CasConsensus::setup();
-                check_consensus(&p, &o, n, &settings)
-            });
+            let (p, o) = CasConsensus::setup();
+            let _ = check_consensus(&p, &o, n, &settings);
         });
     }
-    group.bench_function("mem_swap_n3_with_crashes", |b| {
+    bench("exhaustive_check", "mem_swap_n3_with_crashes", || {
         let settings = CheckSettings::default();
-        b.iter(|| {
-            let (p, o) = SwapConsensusN::setup(3);
-            check_consensus(&p, &o, 3, &settings)
-        });
+        let (p, o) = SwapConsensusN::setup(3);
+        let _ = check_consensus(&p, &o, 3, &settings);
     });
-    group.finish();
 }
 
-fn valency_analysis(c: &mut Criterion) {
-    let mut group = c.benchmark_group("valency_analysis");
-    group.sample_size(10);
-    group.measurement_time(std::time::Duration::from_secs(2));
-    group.warm_up_time(std::time::Duration::from_millis(500));
+fn valency_analysis() {
     for n in [2usize, 3] {
-        group.bench_with_input(BenchmarkId::new("mem_swap", n), &n, |b, &n| {
-            b.iter(|| {
-                let (p, o) = SwapConsensusN::setup(n);
-                valency::analyze(&p, &o, n, 10_000_000)
-            });
+        bench("valency_analysis", &format!("mem_swap/{n}"), || {
+            let (p, o) = SwapConsensusN::setup(n);
+            let _ = valency::analyze(&p, &o, n, 10_000_000);
         });
     }
-    group.finish();
 }
 
-fn linearizability_check(c: &mut Criterion) {
-    let mut group = c.benchmark_group("linearizability_check");
-    group.sample_size(10);
-    group.measurement_time(std::time::Duration::from_secs(2));
-    group.warm_up_time(std::time::Duration::from_millis(500));
+fn linearizability_check() {
     for ops in [6usize, 10, 14] {
-        group.bench_with_input(BenchmarkId::new("register_history", ops), &ops, |b, &ops| {
-            // A maximally overlapping register history: all writes open,
-            // then interleaved reads.
-            let mut h = waitfree_model::History::new();
-            for i in 0..ops / 2 {
-                h.invoke(Pid(i), RegOp::Write(i as i64));
-            }
-            for i in 0..ops / 2 {
-                h.respond(Pid(i), RegResp::Written).unwrap();
-            }
-            b.iter(|| linearize(&h, &RwRegister::new(0), PendingPolicy::MayTakeEffect));
+        // A maximally overlapping register history: all writes open,
+        // then interleaved reads.
+        let mut h = waitfree_model::History::new();
+        for i in 0..ops / 2 {
+            h.invoke(Pid(i), RegOp::Write(i as i64));
+        }
+        for i in 0..ops / 2 {
+            h.respond(Pid(i), RegResp::Written).unwrap();
+        }
+        bench("linearizability_check", &format!("register_history/{ops}"), || {
+            let _ = linearize(&h, &RwRegister::new(0), PendingPolicy::MayTakeEffect);
         });
     }
-    group.finish();
 }
 
-criterion_group!(benches, exhaustive_check, valency_analysis, linearizability_check);
-criterion_main!(benches);
+fn main() {
+    exhaustive_check();
+    valency_analysis();
+    linearizability_check();
+}

@@ -3,47 +3,26 @@
 //! is bounded. This is the wait-free → strongly-wait-free upgrade,
 //! measured.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use waitfree_bench::timing::bench;
 use waitfree_core::universal::log::LogUniversal;
 use waitfree_model::Pid;
 use waitfree_objects::counter::{Counter, CounterOp};
 
-fn log_truncation(c: &mut Criterion) {
-    let mut group = c.benchmark_group("log_truncation");
-    group.sample_size(10);
-    group.measurement_time(std::time::Duration::from_secs(2));
-    group.warm_up_time(std::time::Duration::from_millis(500));
+fn main() {
     for history_len in [64usize, 256, 1024] {
-        group.throughput(Throughput::Elements(history_len as u64));
-        group.bench_with_input(
-            BenchmarkId::new("plain_replay", history_len),
-            &history_len,
-            |b, &k| {
-                b.iter(|| {
-                    let mut uni = LogUniversal::new(Counter::new(0), false);
-                    for _ in 0..k {
-                        uni.invoke(Pid(0), CounterOp::Add(1));
-                    }
-                    uni.last_replay()
-                });
-            },
-        );
-        group.bench_with_input(
-            BenchmarkId::new("checkpointed", history_len),
-            &history_len,
-            |b, &k| {
-                b.iter(|| {
-                    let mut uni = LogUniversal::new(Counter::new(0), true);
-                    for _ in 0..k {
-                        uni.invoke(Pid(0), CounterOp::Add(1));
-                    }
-                    uni.last_replay()
-                });
-            },
-        );
+        bench("log_truncation", &format!("plain_replay/{history_len}"), || {
+            let mut uni = LogUniversal::new(Counter::new(0), false);
+            for _ in 0..history_len {
+                uni.invoke(Pid(0), CounterOp::Add(1));
+            }
+            let _ = uni.last_replay();
+        });
+        bench("log_truncation", &format!("checkpointed/{history_len}"), || {
+            let mut uni = LogUniversal::new(Counter::new(0), true);
+            for _ in 0..history_len {
+                uni.invoke(Pid(0), CounterOp::Add(1));
+            }
+            let _ = uni.last_replay();
+        });
     }
-    group.finish();
 }
-
-criterion_group!(benches, log_truncation);
-criterion_main!(benches);

@@ -2,7 +2,7 @@
 //! operations one high-level operation needs at each level of the tower,
 //! and the simulated-time cost of driving them.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use waitfree_bench::timing::bench;
 use waitfree_explorer::impl_sim::{run_random, run_schedule};
 use waitfree_model::Pid;
 use waitfree_objects::register::RegOp;
@@ -10,79 +10,54 @@ use waitfree_registers::base::{TypedBank, TypedOp};
 use waitfree_registers::constructions::{MrswToMrmw, SrswToMrsw, UnaryMultivalued};
 use waitfree_registers::snapshot::{SnapOp, SnapshotFrontEnd};
 
-fn construction_costs(c: &mut Criterion) {
-    let mut group = c.benchmark_group("register_constructions");
-    group.sample_size(10);
-    group.measurement_time(std::time::Duration::from_secs(2));
-    group.warm_up_time(std::time::Duration::from_millis(500));
+fn main() {
+    let group = "register_constructions";
 
-    group.bench_function("unary_multivalued_write_k8", |b| {
+    bench(group, "unary_multivalued_write_k8", || {
         // The weak bank is nondeterministic, so drive it through the
         // randomized runner (seeded: reproducible).
-        b.iter(|| {
-            let (fe, bank) = UnaryMultivalued::setup(8, 0);
-            run_random(&fe, bank, &[vec![RegOp::Write(7)], vec![]], 1, 0)
-        });
+        let (fe, bank) = UnaryMultivalued::setup(8, 0);
+        let _ = run_random(&fe, bank, &[vec![RegOp::Write(7)], vec![]], 1, 0);
     });
 
     for readers in [2usize, 4] {
-        group.bench_with_input(
-            BenchmarkId::new("srsw_to_mrsw_read", readers),
-            &readers,
-            |b, &r| {
-                b.iter(|| {
-                    let (fe, bank) = SrswToMrsw::setup(r, 0);
-                    let mut workloads = vec![vec![RegOp::Write(5)]];
-                    for _ in 0..r {
-                        workloads.push(vec![RegOp::Read]);
-                    }
-                    let schedule: Vec<usize> = (0..(r + 1) * 16).map(|i| i % (r + 1)).collect();
-                    run_schedule(&fe, bank, &workloads, &schedule)
-                });
-            },
-        );
+        bench(group, &format!("srsw_to_mrsw_read/{readers}"), || {
+            let (fe, bank) = SrswToMrsw::setup(readers, 0);
+            let mut workloads = vec![vec![RegOp::Write(5)]];
+            for _ in 0..readers {
+                workloads.push(vec![RegOp::Read]);
+            }
+            let schedule: Vec<usize> =
+                (0..(readers + 1) * 16).map(|i| i % (readers + 1)).collect();
+            let _ = run_schedule(&fe, bank, &workloads, &schedule);
+        });
     }
 
     for writers in [2usize, 4, 8] {
-        group.bench_with_input(
-            BenchmarkId::new("mrsw_to_mrmw_write", writers),
-            &writers,
-            |b, &n| {
-                b.iter(|| {
-                    let (fe, bank) = MrswToMrmw::setup(n, 0);
-                    let workloads: Vec<Vec<RegOp>> =
-                        (0..n).map(|i| vec![RegOp::Write(i as i64)]).collect();
-                    let schedule: Vec<usize> = (0..n * 8).map(|i| i % n).collect();
-                    run_schedule(&fe, bank, &workloads, &schedule)
-                });
-            },
-        );
+        bench(group, &format!("mrsw_to_mrmw_write/{writers}"), || {
+            let (fe, bank) = MrswToMrmw::setup(writers, 0);
+            let workloads: Vec<Vec<RegOp>> =
+                (0..writers).map(|i| vec![RegOp::Write(i as i64)]).collect();
+            let schedule: Vec<usize> = (0..writers * 8).map(|i| i % writers).collect();
+            let _ = run_schedule(&fe, bank, &workloads, &schedule);
+        });
     }
 
     for n in [2usize, 4, 8] {
-        group.bench_with_input(BenchmarkId::new("snapshot_scan", n), &n, |b, &n| {
-            b.iter(|| {
-                let (fe, bank) = SnapshotFrontEnd::setup(n, 0);
-                let mut workloads = vec![vec![SnapOp::Scan]];
-                for _ in 1..n {
-                    workloads.push(vec![]);
-                }
-                run_schedule(&fe, bank, &workloads, &vec![0usize; 4 * n * n])
-            });
+        bench(group, &format!("snapshot_scan/{n}"), || {
+            let (fe, bank) = SnapshotFrontEnd::setup(n, 0);
+            let mut workloads = vec![vec![SnapOp::Scan]];
+            for _ in 1..n {
+                workloads.push(vec![]);
+            }
+            let _ = run_schedule(&fe, bank, &workloads, &vec![0usize; 4 * n * n]);
         });
     }
 
     // Baseline: a raw typed-bank write, for scale.
-    group.bench_function("raw_bank_write", |b| {
+    bench(group, "raw_bank_write", || {
         use waitfree_model::ObjectSpec;
-        b.iter(|| {
-            let mut bank = TypedBank::new(vec![0i64; 4]);
-            bank.apply(Pid(0), &TypedOp::Write(0, 1))
-        });
+        let mut bank = TypedBank::new(vec![0i64; 4]);
+        let _ = bank.apply(Pid(0), &TypedOp::Write(0, 1));
     });
-
-    group.finish();
 }
-
-criterion_group!(benches, construction_costs);
-criterion_main!(benches);

@@ -11,157 +11,127 @@ use std::sync::atomic::{AtomicI64, Ordering};
 use std::sync::Arc;
 use std::thread;
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use waitfree_bench::timing::bench;
 use waitfree_sync::locked::{LockedCounter, LockedQueue};
 use waitfree_sync::lockfree::MsQueue;
 use waitfree_sync::wrappers::{WfCounterHandle, WfQueueHandle};
 
 const OPS_PER_THREAD: usize = 2_000;
 
-fn counter_throughput(c: &mut Criterion) {
-    let mut group = c.benchmark_group("counter_throughput");
-    group.sample_size(10);
-    group.measurement_time(std::time::Duration::from_secs(2));
-    group.warm_up_time(std::time::Duration::from_millis(500));
+fn counter_throughput() {
     for threads in [1usize, 2, 4] {
-        let total_ops = (threads * OPS_PER_THREAD) as u64;
-        group.throughput(Throughput::Elements(total_ops));
-
-        group.bench_with_input(BenchmarkId::new("wf_universal", threads), &threads, |b, &t| {
-            b.iter(|| {
-                let handles = WfCounterHandle::create(t, OPS_PER_THREAD + 1);
-                let joins: Vec<_> = handles
-                    .into_iter()
-                    .map(|mut h| {
-                        thread::spawn(move || {
-                            for _ in 0..OPS_PER_THREAD {
-                                h.fetch_add(1);
-                            }
-                        })
+        bench("counter_throughput", &format!("wf_universal/{threads}"), || {
+            let handles = WfCounterHandle::create(threads, OPS_PER_THREAD + 1);
+            let joins: Vec<_> = handles
+                .into_iter()
+                .map(|mut h| {
+                    thread::spawn(move || {
+                        for _ in 0..OPS_PER_THREAD {
+                            h.fetch_add(1);
+                        }
                     })
-                    .collect();
-                for j in joins {
-                    j.join().unwrap();
-                }
-            });
+                })
+                .collect();
+            for j in joins {
+                j.join().unwrap();
+            }
         });
 
-        group.bench_with_input(BenchmarkId::new("mutex", threads), &threads, |b, &t| {
-            b.iter(|| {
-                let counter = Arc::new(LockedCounter::new());
-                let joins: Vec<_> = (0..t)
-                    .map(|_| {
-                        let c = Arc::clone(&counter);
-                        thread::spawn(move || {
-                            for _ in 0..OPS_PER_THREAD {
-                                c.fetch_add(1);
-                            }
-                        })
+        bench("counter_throughput", &format!("mutex/{threads}"), || {
+            let counter = Arc::new(LockedCounter::new());
+            let joins: Vec<_> = (0..threads)
+                .map(|_| {
+                    let c = Arc::clone(&counter);
+                    thread::spawn(move || {
+                        for _ in 0..OPS_PER_THREAD {
+                            c.fetch_add(1);
+                        }
                     })
-                    .collect();
-                for j in joins {
-                    j.join().unwrap();
-                }
-            });
+                })
+                .collect();
+            for j in joins {
+                j.join().unwrap();
+            }
         });
 
-        group.bench_with_input(BenchmarkId::new("native_faa", threads), &threads, |b, &t| {
-            b.iter(|| {
-                let counter = Arc::new(AtomicI64::new(0));
-                let joins: Vec<_> = (0..t)
-                    .map(|_| {
-                        let c = Arc::clone(&counter);
-                        thread::spawn(move || {
-                            for _ in 0..OPS_PER_THREAD {
-                                c.fetch_add(1, Ordering::SeqCst);
-                            }
-                        })
+        bench("counter_throughput", &format!("native_faa/{threads}"), || {
+            let counter = Arc::new(AtomicI64::new(0));
+            let joins: Vec<_> = (0..threads)
+                .map(|_| {
+                    let c = Arc::clone(&counter);
+                    thread::spawn(move || {
+                        for _ in 0..OPS_PER_THREAD {
+                            c.fetch_add(1, Ordering::SeqCst);
+                        }
                     })
-                    .collect();
-                for j in joins {
-                    j.join().unwrap();
-                }
-            });
+                })
+                .collect();
+            for j in joins {
+                j.join().unwrap();
+            }
         });
     }
-    group.finish();
 }
 
-fn queue_throughput(c: &mut Criterion) {
-    let mut group = c.benchmark_group("queue_throughput");
-    group.sample_size(10);
-    group.measurement_time(std::time::Duration::from_secs(2));
-    group.warm_up_time(std::time::Duration::from_millis(500));
+fn queue_throughput() {
     for threads in [1usize, 2, 4] {
-        let total_ops = (threads * OPS_PER_THREAD) as u64;
-        group.throughput(Throughput::Elements(total_ops));
-
-        group.bench_with_input(BenchmarkId::new("wf_universal", threads), &threads, |b, &t| {
-            b.iter(|| {
-                let handles = WfQueueHandle::create(t, OPS_PER_THREAD + 1);
-                let joins: Vec<_> = handles
-                    .into_iter()
-                    .map(|mut h| {
-                        thread::spawn(move || {
-                            for i in 0..OPS_PER_THREAD / 2 {
-                                h.enq(i as i64);
-                                let _ = h.deq();
-                            }
-                        })
+        bench("queue_throughput", &format!("wf_universal/{threads}"), || {
+            let handles = WfQueueHandle::create(threads, OPS_PER_THREAD + 1);
+            let joins: Vec<_> = handles
+                .into_iter()
+                .map(|mut h| {
+                    thread::spawn(move || {
+                        for i in 0..OPS_PER_THREAD / 2 {
+                            h.enq(i as i64);
+                            let _ = h.deq();
+                        }
                     })
-                    .collect();
-                for j in joins {
-                    j.join().unwrap();
-                }
-            });
+                })
+                .collect();
+            for j in joins {
+                j.join().unwrap();
+            }
         });
 
-        group.bench_with_input(BenchmarkId::new("mutex", threads), &threads, |b, &t| {
-            b.iter(|| {
-                let q = Arc::new(LockedQueue::new());
-                let joins: Vec<_> = (0..t)
-                    .map(|_| {
-                        let q = Arc::clone(&q);
-                        thread::spawn(move || {
-                            for i in 0..OPS_PER_THREAD / 2 {
-                                q.enq(i as i64);
-                                let _ = q.deq();
-                            }
-                        })
+        bench("queue_throughput", &format!("mutex/{threads}"), || {
+            let q = Arc::new(LockedQueue::new());
+            let joins: Vec<_> = (0..threads)
+                .map(|_| {
+                    let q = Arc::clone(&q);
+                    thread::spawn(move || {
+                        for i in 0..OPS_PER_THREAD / 2 {
+                            q.enq(i as i64);
+                            let _ = q.deq();
+                        }
                     })
-                    .collect();
-                for j in joins {
-                    j.join().unwrap();
-                }
-            });
+                })
+                .collect();
+            for j in joins {
+                j.join().unwrap();
+            }
         });
 
-        group.bench_with_input(
-            BenchmarkId::new("michael_scott", threads),
-            &threads,
-            |b, &t| {
-                b.iter(|| {
-                    let q = Arc::new(MsQueue::new());
-                    let joins: Vec<_> = (0..t)
-                        .map(|_| {
-                            let q = Arc::clone(&q);
-                            thread::spawn(move || {
-                                for i in 0..OPS_PER_THREAD / 2 {
-                                    q.enq(i as i64);
-                                    let _ = q.deq();
-                                }
-                            })
-                        })
-                        .collect();
-                    for j in joins {
-                        j.join().unwrap();
-                    }
-                });
-            },
-        );
+        bench("queue_throughput", &format!("michael_scott/{threads}"), || {
+            let q = Arc::new(MsQueue::new());
+            let joins: Vec<_> = (0..threads)
+                .map(|_| {
+                    let q = Arc::clone(&q);
+                    thread::spawn(move || {
+                        for i in 0..OPS_PER_THREAD / 2 {
+                            q.enq(i as i64);
+                            let _ = q.deq();
+                        }
+                    })
+                })
+                .collect();
+            for j in joins {
+                j.join().unwrap();
+            }
+        });
     }
-    group.finish();
 }
 
-criterion_group!(benches, counter_throughput, queue_throughput);
-criterion_main!(benches);
+fn main() {
+    counter_throughput();
+    queue_throughput();
+}

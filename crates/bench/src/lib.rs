@@ -2,7 +2,8 @@
 //!
 //! The experiment harness: one binary per figure/theorem of the paper
 //! (see DESIGN.md's per-experiment index and EXPERIMENTS.md for recorded
-//! outcomes), plus criterion benches for the performance comparisons.
+//! outcomes), plus self-contained timing benches (`benches/`, run with
+//! `cargo bench`) for the performance comparisons.
 //!
 //! Each binary prints a human-readable table and writes a JSON record
 //! under `results/` so EXPERIMENTS.md can be regenerated and diffed.
@@ -24,10 +25,10 @@
 use std::fs;
 use std::path::Path;
 
-use serde::Serialize;
+pub mod timing;
 
 /// A machine- and human-readable experiment report.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct Report {
     /// Experiment id (e.g. `"thm_07_cas"`).
     pub id: String,
@@ -118,20 +119,61 @@ impl Report {
         let dir = Path::new("results");
         if fs::create_dir_all(dir).is_ok() {
             let path = dir.join(format!("{}.json", self.id));
-            match serde_json::to_string_pretty(&self) {
-                Ok(json) => {
-                    if let Err(e) = fs::write(&path, json) {
-                        eprintln!("could not write {}: {e}", path.display());
-                    } else {
-                        println!("  wrote {}", path.display());
-                    }
-                }
-                Err(e) => eprintln!("could not serialize report: {e}"),
+            if let Err(e) = fs::write(&path, self.to_json()) {
+                eprintln!("could not write {}: {e}", path.display());
+            } else {
+                println!("  wrote {}", path.display());
             }
         }
         if !self.pass {
             std::process::exit(1);
         }
+    }
+
+    /// Serialize the report as pretty-printed JSON (hand-rolled: the
+    /// workspace carries no serialization dependency).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        fn esc(s: &str) -> String {
+            let mut out = String::with_capacity(s.len() + 2);
+            out.push('"');
+            for c in s.chars() {
+                match c {
+                    '"' => out.push_str("\\\""),
+                    '\\' => out.push_str("\\\\"),
+                    '\n' => out.push_str("\\n"),
+                    '\r' => out.push_str("\\r"),
+                    '\t' => out.push_str("\\t"),
+                    c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                    c => out.push(c),
+                }
+            }
+            out.push('"');
+            out
+        }
+        fn str_array(items: &[String], indent: &str) -> String {
+            if items.is_empty() {
+                return "[]".to_string();
+            }
+            let cells: Vec<String> = items.iter().map(|s| esc(s)).collect();
+            format!("[\n{indent}  {}\n{indent}]", cells.join(&format!(",\n{indent}  ")))
+        }
+        let rows = if self.rows.is_empty() {
+            "[]".to_string()
+        } else {
+            let rendered: Vec<String> =
+                self.rows.iter().map(|r| str_array(r, "    ")).collect();
+            format!("[\n    {}\n  ]", rendered.join(",\n    "))
+        };
+        format!(
+            "{{\n  \"id\": {},\n  \"title\": {},\n  \"columns\": {},\n  \"rows\": {},\n  \"notes\": {},\n  \"pass\": {}\n}}\n",
+            esc(&self.id),
+            esc(&self.title),
+            str_array(&self.columns, "  "),
+            rows,
+            str_array(&self.notes, "  "),
+            self.pass
+        )
     }
 }
 
@@ -160,6 +202,19 @@ mod tests {
     fn report_arity_enforced() {
         let mut r = Report::new("x", "t", &["a", "b"]);
         r.row(&["1".into()]);
+    }
+
+    #[test]
+    fn json_escapes_specials_and_renders_all_fields() {
+        let mut r = Report::new("id\"1", "a\\b\nc", &["col"]);
+        r.row(&["cell".into()]);
+        r.note("n\tote");
+        let json = r.to_json();
+        assert!(json.contains("\"id\\\"1\""));
+        assert!(json.contains("\"a\\\\b\\nc\""));
+        assert!(json.contains("\"cell\""));
+        assert!(json.contains("\"n\\tote\""));
+        assert!(json.contains("\"pass\": true"));
     }
 
     #[test]

@@ -170,7 +170,7 @@ fn solves_assignment(n: usize) -> Option<CheckReport> {
     if n <= 3 {
         let (p, o) = AssignConsensus::setup(n.max(1));
         Some(check_consensus(&p, &o, n, &settings()))
-    } else if n % 2 == 0 {
+    } else if n.is_multiple_of(2) {
         let m = (n + 2) / 2;
         let (p, o) = WideAssignConsensus::setup(m);
         // Exhaustive beyond n=4 is expensive; cap the budget and accept

@@ -505,9 +505,8 @@ mod tests {
         let (fe, rep) = ConsensusFetchAndCons::setup(2);
         // P0 conses 10, then P1 conses 20, strictly sequentially.
         let workloads = vec![vec![10], vec![20]];
-        let schedule: Vec<usize> = std::iter::repeat(0)
-            .take(64)
-            .chain(std::iter::repeat(1).take(64))
+        let schedule: Vec<usize> = std::iter::repeat_n(0, 64)
+            .chain(std::iter::repeat_n(1, 64))
             .collect();
         let run = run_schedule(&fe, rep, &workloads, &schedule);
         assert!(run.complete);

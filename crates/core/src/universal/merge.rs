@@ -88,8 +88,7 @@ pub fn coherent<T: PartialEq>(views: &[Vec<T>]) -> bool {
 /// assert_eq!(trim_after(&log, |&x| x == 99), None);
 /// ```
 pub fn trim_after<T, F: FnMut(&T) -> bool>(list: &[T], pred: F) -> Option<&[T]> {
-    let mut pred = pred;
-    list.iter().position(|x| pred(x)).map(|i| &list[i + 1..])
+    list.iter().position(pred).map(|i| &list[i + 1..])
 }
 
 #[cfg(test)]
@@ -148,48 +147,69 @@ mod tests {
         assert_eq!(suffix, &[(0, 'a'), (1, 'z')]);
     }
 
-    proptest::proptest! {
-        /// merge(p, s) always ends with s.
-        #[test]
-        fn prop_merge_keeps_suffix(prefix in proptest::collection::vec(0i64..20, 0..8),
-                                   suffix in proptest::collection::vec(0i64..20, 0..8)) {
-            let m = merge(&prefix, &suffix);
-            proptest::prop_assert!(is_suffix(&suffix, &m));
-        }
+    // Randomized property tests over seeded lists (deterministic, offline
+    // replacement for the former proptest strategies).
+    fn random_list(rng: &mut waitfree_faults::rng::DetRng, max_len: usize, vals: i64) -> Vec<i64> {
+        let len = rng.below(max_len + 1);
+        (0..len).map(|_| rng.range_i64(0, vals)).collect()
+    }
 
-        /// Entries of the result = entries of suffix plus prefix-only entries.
-        #[test]
-        fn prop_merge_contains_exactly_union(prefix in proptest::collection::vec(0i64..20, 0..8),
-                                             suffix in proptest::collection::vec(0i64..20, 0..8)) {
+    /// merge(p, s) always ends with s.
+    #[test]
+    fn prop_merge_keeps_suffix() {
+        let mut rng = waitfree_faults::rng::DetRng::new(0x4D45_5247);
+        for _ in 0..512 {
+            let prefix = random_list(&mut rng, 7, 20);
+            let suffix = random_list(&mut rng, 7, 20);
+            let m = merge(&prefix, &suffix);
+            assert!(is_suffix(&suffix, &m), "prefix {prefix:?} suffix {suffix:?} -> {m:?}");
+        }
+    }
+
+    /// Entries of the result = entries of suffix plus prefix-only entries.
+    #[test]
+    fn prop_merge_contains_exactly_union() {
+        let mut rng = waitfree_faults::rng::DetRng::new(0x554E_494F);
+        for _ in 0..512 {
+            let prefix = random_list(&mut rng, 7, 20);
+            let suffix = random_list(&mut rng, 7, 20);
             let m = merge(&prefix, &suffix);
             for p in &prefix {
-                proptest::prop_assert!(m.contains(p));
+                assert!(m.contains(p));
             }
             for s in &suffix {
-                proptest::prop_assert!(m.contains(s));
+                assert!(m.contains(s));
             }
             // No invented entries.
             for x in &m {
-                proptest::prop_assert!(prefix.contains(x) || suffix.contains(x));
+                assert!(prefix.contains(x) || suffix.contains(x));
             }
         }
+    }
 
-        /// Merging is monotone: a second merge with the same prefix is a no-op
-        /// when the suffix already absorbed it.
-        #[test]
-        fn prop_merge_absorbs(prefix in proptest::collection::vec(0i64..10, 0..6),
-                              suffix in proptest::collection::vec(0i64..10, 0..6)) {
+    /// Merging is monotone: a second merge with the same prefix is a no-op
+    /// when the suffix already absorbed it.
+    #[test]
+    fn prop_merge_absorbs() {
+        let mut rng = waitfree_faults::rng::DetRng::new(0x4142_534F);
+        for _ in 0..512 {
+            let prefix = random_list(&mut rng, 5, 10);
+            let suffix = random_list(&mut rng, 5, 10);
             let once = merge(&prefix, &suffix);
             let twice = merge(&prefix, &once);
-            proptest::prop_assert_eq!(once, twice);
+            assert_eq!(once, twice);
         }
+    }
 
-        /// is_suffix is a partial order: antisymmetric on distinct lists.
-        #[test]
-        fn prop_suffix_antisymmetric(a in proptest::collection::vec(0i64..5, 0..6),
-                                     b in proptest::collection::vec(0i64..5, 0..6)) {
+    /// is_suffix is a partial order: antisymmetric on distinct lists.
+    #[test]
+    fn prop_suffix_antisymmetric() {
+        let mut rng = waitfree_faults::rng::DetRng::new(0x414E_5449);
+        for _ in 0..2048 {
+            let a = random_list(&mut rng, 5, 5);
+            let b = random_list(&mut rng, 5, 5);
             if is_suffix(&a, &b) && is_suffix(&b, &a) {
-                proptest::prop_assert_eq!(a, b);
+                assert_eq!(a, b);
             }
         }
     }

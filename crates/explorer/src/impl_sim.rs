@@ -13,8 +13,7 @@
 
 use std::collections::HashSet;
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use waitfree_faults::rng::DetRng;
 use waitfree_model::{BranchingSpec, History, ImplAction, ImplAutomaton, ObjectSpec, Pid};
 
 /// The phase of one front-end within a run.
@@ -135,7 +134,7 @@ where
     A: ImplAutomaton<LoOp = O::Op, LoResp = O::Resp>,
 {
     let n = workloads.len();
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = DetRng::new(seed);
     let mut rep = rep;
     let mut history: History<A::HiOp, A::HiResp> = History::new();
     let mut phases: Vec<Phase<A::State>> =
@@ -155,7 +154,7 @@ where
         if candidates.is_empty() {
             break;
         }
-        let p = candidates[rng.gen_range(0..candidates.len())];
+        let p = candidates[rng.below(candidates.len())];
         let pid = Pid(p);
         match &phases[p] {
             Phase::Idle(k, persisted) => {
@@ -167,7 +166,7 @@ where
             Phase::Busy(k, st) => match automaton.action(pid, st) {
                 ImplAction::Invoke(lo) => {
                     let mut outcomes = rep.apply_all(pid, &lo);
-                    let pick = rng.gen_range(0..outcomes.len());
+                    let pick = rng.below(outcomes.len());
                     let (rep2, resp) = outcomes.swap_remove(pick);
                     rep = rep2;
                     lo_steps[p] += 1;
@@ -194,6 +193,135 @@ where
     }
 }
 
+/// Fault model for [`run_random_crashing`]: halt failures only, the
+/// paper's model (§1) and the mirror of the exhaustive checker's
+/// [`crate::check::CheckSettings::crashes`] branching — a crashed process
+/// simply takes no further steps; it is never Byzantine.
+#[derive(Clone, Debug)]
+pub struct CrashSettings {
+    /// RNG seed (schedule, branching outcomes, and crash draws).
+    pub seed: u64,
+    /// Per-step probability (‰) that the scheduled process crashes
+    /// instead of stepping.
+    pub crash_per_mille: u32,
+    /// Cap on the number of processes allowed to crash in one run.
+    pub max_crashes: usize,
+    /// Contention-phase step budget, as in [`run_random`].
+    pub max_steps: usize,
+}
+
+impl Default for CrashSettings {
+    fn default() -> Self {
+        CrashSettings { seed: 0, crash_per_mille: 25, max_crashes: 1, max_steps: 0 }
+    }
+}
+
+/// A [`run_random`] result plus which processes were crashed.
+#[derive(Clone, Debug)]
+pub struct CrashingRun<O, HiOp, HiResp> {
+    /// The run. `complete` here means every *surviving* process finished
+    /// its workload; crashed processes may leave a pending (invoked,
+    /// never responded) high-level operation in the history — linearize
+    /// such histories with `PendingPolicy::MayTakeEffect`.
+    pub run: ImplRun<O, HiOp, HiResp>,
+    /// Pids crashed during the run, in crash order.
+    pub crashed: Vec<usize>,
+}
+
+/// Like [`run_random`], but each scheduled step may instead permanently
+/// halt the chosen process (with probability
+/// [`CrashSettings::crash_per_mille`], at most
+/// [`CrashSettings::max_crashes`] times). Survivors are driven until
+/// their workloads complete: the run doubles as a wait-freedom check
+/// under halt failures, since a front-end that waits on a crashed peer
+/// never completes.
+///
+/// # Panics
+///
+/// Panics if the surviving processes do not complete within the hard
+/// step bound — a wait-freedom failure of the implementation under test.
+pub fn run_random_crashing<O, A>(
+    automaton: &A,
+    rep: O,
+    workloads: &[Vec<A::HiOp>],
+    settings: &CrashSettings,
+) -> CrashingRun<O, A::HiOp, A::HiResp>
+where
+    O: BranchingSpec,
+    A: ImplAutomaton<LoOp = O::Op, LoResp = O::Resp>,
+{
+    let n = workloads.len();
+    let mut rng = DetRng::new(settings.seed);
+    let mut rep = rep;
+    let mut history: History<A::HiOp, A::HiResp> = History::new();
+    let mut phases: Vec<Phase<A::State>> =
+        Pid::all(n).map(|p| Phase::Idle(0, automaton.idle(p))).collect();
+    let mut lo_steps = vec![0usize; n];
+    let mut crashed: Vec<usize> = Vec::new();
+    let mut halted = vec![false; n];
+
+    let total_hi: usize = workloads.iter().map(Vec::len).sum();
+    let hard_bound = settings.max_steps + (total_hi * 256).max(4096);
+    let runnable = |phases: &[Phase<A::State>], halted: &[bool]| -> Vec<usize> {
+        (0..n)
+            .filter(|&p| {
+                !halted[p]
+                    && !matches!(&phases[p], Phase::Idle(k, _) if *k >= workloads[p].len())
+            })
+            .collect()
+    };
+
+    for _ in 0..hard_bound {
+        let candidates = runnable(&phases, &halted);
+        if candidates.is_empty() {
+            break;
+        }
+        let p = candidates[rng.below(candidates.len())];
+        if crashed.len() < settings.max_crashes && rng.per_mille(settings.crash_per_mille) {
+            // Halt failure: p takes no further steps, ever. If it was
+            // mid-operation the invocation stays pending in the history.
+            halted[p] = true;
+            crashed.push(p);
+            continue;
+        }
+        let pid = Pid(p);
+        match &phases[p] {
+            Phase::Idle(k, persisted) => {
+                let op = &workloads[p][*k];
+                history.invoke(pid, op.clone());
+                let st = automaton.begin(pid, persisted, op);
+                phases[p] = Phase::Busy(*k, st);
+            }
+            Phase::Busy(k, st) => match automaton.action(pid, st) {
+                ImplAction::Invoke(lo) => {
+                    let mut outcomes = rep.apply_all(pid, &lo);
+                    let pick = rng.below(outcomes.len());
+                    let (rep2, resp) = outcomes.swap_remove(pick);
+                    rep = rep2;
+                    lo_steps[p] += 1;
+                    let st2 = automaton.observe(pid, st, &resp);
+                    phases[p] = Phase::Busy(*k, st2);
+                }
+                ImplAction::Return(hi) => {
+                    history.respond(pid, hi).expect("well-formed by construction");
+                    let persisted = automaton.finish(pid, st);
+                    phases[p] = Phase::Idle(*k + 1, persisted);
+                }
+            },
+        }
+    }
+
+    let complete = runnable(&phases, &halted).is_empty();
+    assert!(
+        complete,
+        "survivors did not complete within {hard_bound} steps (crashed: {crashed:?})"
+    );
+    CrashingRun {
+        run: ImplRun { history, final_object: rep, lo_steps, complete },
+        crashed,
+    }
+}
+
 /// Exhaustively enumerate the distinct complete histories the
 /// implementation can produce for the given workloads, up to `max_runs`
 /// explored schedules (depth-first). Suitable only for tiny workloads.
@@ -212,7 +340,7 @@ where
     let mut runs = 0usize;
 
     // DFS over schedules, represented by the prefix so far.
-    #[allow(clippy::type_complexity)]
+    #[allow(clippy::type_complexity, clippy::too_many_arguments)]
     fn dfs<O, A>(
         automaton: &A,
         workloads: &[Vec<A::HiOp>],
@@ -384,6 +512,54 @@ mod tests {
                 linearize(&run.history, &RwRegister::new(0), PendingPolicy::MayTakeEffect);
             assert!(report.outcome.is_ok(), "seed {seed}: {:?}", run.history);
         }
+    }
+
+    #[test]
+    fn crashing_runs_leave_linearizable_histories_with_pending_ops() {
+        let workloads = vec![
+            vec![RegOp::Write(1), RegOp::Read],
+            vec![RegOp::Write(2), RegOp::Read],
+            vec![RegOp::Read, RegOp::Write(3)],
+        ];
+        let mut saw_crash = false;
+        let mut saw_pending = false;
+        for seed in 0..60 {
+            let settings =
+                CrashSettings { seed, crash_per_mille: 120, max_crashes: 2, max_steps: 100 };
+            let out =
+                run_random_crashing(&PassThrough, RegisterBank::new(1, 0), &workloads, &settings);
+            assert!(out.run.complete, "survivors always complete");
+            saw_crash |= !out.crashed.is_empty();
+            saw_pending |= out.run.history.ops().iter().any(|op| op.resp.is_none());
+            let report =
+                linearize(&out.run.history, &RwRegister::new(0), PendingPolicy::MayTakeEffect);
+            assert!(report.outcome.is_ok(), "seed {seed}: {:?}", out.run.history);
+        }
+        assert!(saw_crash, "the crash rate must actually bite across 60 seeds");
+        assert!(saw_pending, "some crash must land mid-operation");
+    }
+
+    #[test]
+    fn crashing_runner_is_deterministic_per_seed() {
+        let workloads = vec![vec![RegOp::Write(1), RegOp::Read], vec![RegOp::Read]];
+        let settings =
+            CrashSettings { seed: 42, crash_per_mille: 200, max_crashes: 1, max_steps: 50 };
+        let a = run_random_crashing(&PassThrough, RegisterBank::new(1, 0), &workloads, &settings);
+        let b = run_random_crashing(&PassThrough, RegisterBank::new(1, 0), &workloads, &settings);
+        assert_eq!(a.crashed, b.crashed);
+        assert_eq!(format!("{:?}", a.run.history), format!("{:?}", b.run.history));
+    }
+
+    #[test]
+    fn zero_crash_rate_behaves_like_run_random() {
+        let workloads = vec![vec![RegOp::Write(1), RegOp::Read], vec![RegOp::Read]];
+        let settings =
+            CrashSettings { seed: 7, crash_per_mille: 0, max_crashes: 3, max_steps: 50 };
+        let out =
+            run_random_crashing(&PassThrough, RegisterBank::new(1, 0), &workloads, &settings);
+        assert!(out.crashed.is_empty());
+        assert!(out.run.complete);
+        assert!(out.run.history.ops().iter().all(|op| op.resp.is_some()));
     }
 
     #[test]

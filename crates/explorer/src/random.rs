@@ -8,8 +8,7 @@
 
 use std::collections::BTreeSet;
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use waitfree_faults::rng::DetRng;
 use waitfree_model::{BranchingSpec, Pid, ProcessAutomaton, Val};
 
 use crate::check::Violation;
@@ -85,7 +84,7 @@ where
     };
 
     for run in 0..settings.runs {
-        let mut rng = StdRng::seed_from_u64(settings.seed.wrapping_add(run as u64));
+        let mut rng = DetRng::new(settings.seed.wrapping_add(run as u64));
         let mut cfg = Config::initial(protocol, object.clone(), n);
         let mut steps = 0usize;
         loop {
@@ -97,15 +96,15 @@ where
                 report.violation = Some(Violation::WaitFreedom);
                 return report;
             }
-            let pid = running[rng.gen_range(0..running.len())];
+            let pid = running[rng.below(running.len())];
             // Never crash the last running process: a run where everyone
             // crashes is vacuous.
-            if running.len() > 1 && rng.gen_range(0..1000) < settings.crash_per_mille {
+            if running.len() > 1 && rng.per_mille(settings.crash_per_mille) {
                 cfg = cfg.crash(pid).expect("pid is running");
                 continue;
             }
             let mut succs = cfg.step(protocol, pid);
-            let k = rng.gen_range(0..succs.len());
+            let k = rng.below(succs.len());
             cfg = succs.swap_remove(k);
             steps += 1;
         }

@@ -47,6 +47,10 @@ impl SymbolicVal {
     }
 }
 
+/// Response classifier carried by [`SymbolicOp`]: maps a concrete
+/// response to a branch index in `0..slots`.
+pub type ClassifyFn<O> = Box<dyn Fn(Pid, &<O as BranchingSpec>::Resp) -> usize>;
+
 /// One operation in the synthesis alphabet, parameterized by the caller.
 pub struct SymbolicOp<O: BranchingSpec> {
     /// Display name for reports (e.g. `"enq(my-id)"`).
@@ -56,7 +60,7 @@ pub struct SymbolicOp<O: BranchingSpec> {
     /// Number of response branches the tree must provide.
     pub slots: usize,
     /// Map a concrete response to a branch index in `0..slots`.
-    pub classify: Box<dyn Fn(Pid, &O::Resp) -> usize>,
+    pub classify: ClassifyFn<O>,
 }
 
 /// The space of protocols to search: an operation alphabet plus the

@@ -86,8 +86,12 @@ pub struct Nondet<O: ObjectSpec> {
     /// Underlying deterministic state.
     pub state: O,
     /// Enumerates outcomes; supersedes the deterministic `apply`.
-    pub branches: fn(&O, Pid, &O::Op) -> Vec<(O, O::Resp)>,
+    pub branches: BranchFn<O>,
 }
+
+/// Outcome-enumeration function carried by [`Nondet`]: all
+/// `(successor, response)` pairs an operation may produce from a state.
+pub type BranchFn<O> = fn(&O, Pid, &<O as ObjectSpec>::Op) -> Vec<(O, <O as ObjectSpec>::Resp)>;
 
 impl<O: ObjectSpec> PartialEq for Nondet<O> {
     fn eq(&self, other: &Self) -> bool {

@@ -1,8 +1,11 @@
 //! Property tests: each simulated object's sequential semantics agrees
 //! with an independent reference model on arbitrary operation sequences.
+//! Sequences are drawn from the workspace's seeded [`DetRng`] (offline
+//! replacement for proptest strategies): 256 random sequences per
+//! property, reproducible by seed.
 
-use proptest::prelude::*;
 use std::collections::VecDeque;
+use waitfree_faults::rng::DetRng;
 use waitfree_model::{ObjectSpec, Pid, Val};
 use waitfree_objects::assignment::{AssignBank, AssignOp, AssignResp};
 use waitfree_objects::memory::{MemOp, MemoryBank, MemResp};
@@ -11,40 +14,53 @@ use waitfree_objects::queue::{AugQueueOp, AugmentedQueue, QueueOp, QueueResp};
 use waitfree_objects::rmw::{RmwFn, RmwOp, RmwRegister};
 use waitfree_objects::stack::{Stack, StackOp, StackResp};
 
-proptest! {
-    /// Queue (and augmented queue) vs `VecDeque`.
-    #[test]
-    fn queue_matches_vecdeque(ops in proptest::collection::vec(
-        prop_oneof![(0i64..64).prop_map(Some), Just(None)], 0..60)
-    ) {
+const SEQUENCES: usize = 256;
+
+/// `len` draws of `Some(value in 0..vals)` (an insert) or `None` (a removal).
+fn push_pop_ops(rng: &mut DetRng, max_len: usize, vals: i64) -> Vec<Option<Val>> {
+    let len = rng.below(max_len + 1);
+    (0..len)
+        .map(|_| if rng.per_mille(500) { Some(rng.range_i64(0, vals)) } else { None })
+        .collect()
+}
+
+/// Queue (and augmented queue) vs `VecDeque`.
+#[test]
+fn queue_matches_vecdeque() {
+    let mut rng = DetRng::new(0x5155_4555);
+    for _ in 0..SEQUENCES {
+        let ops = push_pop_ops(&mut rng, 60, 64);
         let mut q = waitfree_objects::queue::FifoQueue::new();
         let mut aq = AugmentedQueue::new();
         let mut model: VecDeque<Val> = VecDeque::new();
         for op in ops {
             match op {
                 Some(v) => {
-                    prop_assert_eq!(q.apply(Pid(0), &QueueOp::Enq(v)), QueueResp::Ack);
-                    prop_assert_eq!(aq.apply(Pid(0), &AugQueueOp::Enq(v)), QueueResp::Ack);
+                    assert_eq!(q.apply(Pid(0), &QueueOp::Enq(v)), QueueResp::Ack);
+                    assert_eq!(aq.apply(Pid(0), &AugQueueOp::Enq(v)), QueueResp::Ack);
                     model.push_back(v);
                 }
                 None => {
                     // Peek first (augmented only), then dequeue from all.
-                    let expect_peek = model.front().map_or(QueueResp::Empty, |&v| QueueResp::Item(v));
-                    prop_assert_eq!(aq.apply(Pid(0), &AugQueueOp::Peek), expect_peek);
+                    let expect_peek =
+                        model.front().map_or(QueueResp::Empty, |&v| QueueResp::Item(v));
+                    assert_eq!(aq.apply(Pid(0), &AugQueueOp::Peek), expect_peek);
                     let expect = model.pop_front().map_or(QueueResp::Empty, QueueResp::Item);
-                    prop_assert_eq!(q.apply(Pid(0), &QueueOp::Deq), expect.clone());
-                    prop_assert_eq!(aq.apply(Pid(0), &AugQueueOp::Deq), expect);
+                    assert_eq!(q.apply(Pid(0), &QueueOp::Deq), expect.clone());
+                    assert_eq!(aq.apply(Pid(0), &AugQueueOp::Deq), expect);
                 }
             }
         }
-        prop_assert_eq!(q.len(), model.len());
+        assert_eq!(q.len(), model.len());
     }
+}
 
-    /// Stack vs `Vec`.
-    #[test]
-    fn stack_matches_vec(ops in proptest::collection::vec(
-        prop_oneof![(0i64..64).prop_map(Some), Just(None)], 0..60)
-    ) {
+/// Stack vs `Vec`.
+#[test]
+fn stack_matches_vec() {
+    let mut rng = DetRng::new(0x5354_4143);
+    for _ in 0..SEQUENCES {
+        let ops = push_pop_ops(&mut rng, 60, 64);
         let mut s = Stack::new();
         let mut model: Vec<Val> = Vec::new();
         for op in ops {
@@ -55,17 +71,19 @@ proptest! {
                 }
                 None => {
                     let expect = model.pop().map_or(StackResp::Empty, StackResp::Item);
-                    prop_assert_eq!(s.apply(Pid(0), &StackOp::Pop), expect);
+                    assert_eq!(s.apply(Pid(0), &StackOp::Pop), expect);
                 }
             }
         }
     }
+}
 
-    /// Priority queue vs a sorted reference.
-    #[test]
-    fn pqueue_matches_sorted_model(ops in proptest::collection::vec(
-        prop_oneof![(0i64..32).prop_map(Some), Just(None)], 0..60)
-    ) {
+/// Priority queue vs a sorted reference.
+#[test]
+fn pqueue_matches_sorted_model() {
+    let mut rng = DetRng::new(0x5051_5545);
+    for _ in 0..SEQUENCES {
+        let ops = push_pop_ops(&mut rng, 60, 32);
         let mut pq = PriorityQueue::new();
         let mut model: Vec<Val> = Vec::new();
         for op in ops {
@@ -81,48 +99,54 @@ proptest! {
                     } else {
                         PqResp::Item(model.remove(0))
                     };
-                    prop_assert_eq!(pq.apply(Pid(0), &PqOp::ExtractMin), expect);
+                    assert_eq!(pq.apply(Pid(0), &PqOp::ExtractMin), expect);
                 }
             }
         }
     }
+}
 
-    /// RMW register vs direct function application.
-    #[test]
-    fn rmw_matches_direct_application(
-        init in -8i64..8,
-        fns in proptest::collection::vec(0usize..6, 0..40)
-    ) {
-        let catalogue = [
-            RmwFn::Identity,
-            RmwFn::TestAndSet,
-            RmwFn::Swap(3),
-            RmwFn::FetchAndAdd(2),
-            RmwFn::CompareAndSwap(1, 9),
-            RmwFn::FetchAndMax(4),
-        ];
+/// RMW register vs direct function application.
+#[test]
+fn rmw_matches_direct_application() {
+    let catalogue = [
+        RmwFn::Identity,
+        RmwFn::TestAndSet,
+        RmwFn::Swap(3),
+        RmwFn::FetchAndAdd(2),
+        RmwFn::CompareAndSwap(1, 9),
+        RmwFn::FetchAndMax(4),
+    ];
+    let mut rng = DetRng::new(0x524D_5752);
+    for _ in 0..SEQUENCES {
+        let init = rng.range_i64(-8, 8);
+        let count = rng.below(41);
         let mut reg = RmwRegister::new(init);
         let mut model = init;
-        for i in fns {
-            let f = catalogue[i];
+        for _ in 0..count {
+            let f = catalogue[rng.below(catalogue.len())];
             let old = reg.apply(Pid(0), &RmwOp(f));
-            prop_assert_eq!(old, model, "{:?}", f);
+            assert_eq!(old, model, "{f:?}");
             model = f.eval(model);
         }
-        prop_assert_eq!(reg.value(), model);
+        assert_eq!(reg.value(), model);
     }
+}
 
-    /// Memory bank: move/swap/read/write vs a plain vector.
-    #[test]
-    fn memory_bank_matches_vec(
-        ops in proptest::collection::vec((0usize..4, 0usize..4, -4i64..4, 0usize..4), 0..60)
-    ) {
+/// Memory bank: move/swap/read/write vs a plain vector.
+#[test]
+fn memory_bank_matches_vec() {
+    let mut rng = DetRng::new(0x4D45_4D42);
+    for _ in 0..SEQUENCES {
+        let count = rng.below(61);
         let mut bank = MemoryBank::new(4, 0);
-        let mut model = vec![0i64; 4];
-        for (a, b, v, kind) in ops {
-            match kind {
+        let mut model = [0i64; 4];
+        for _ in 0..count {
+            let (a, b) = (rng.below(4), rng.below(4));
+            let v = rng.range_i64(-4, 4);
+            match rng.below(4) {
                 0 => {
-                    prop_assert_eq!(bank.apply(Pid(0), &MemOp::Read(a)), MemResp::Value(model[a]));
+                    assert_eq!(bank.apply(Pid(0), &MemOp::Read(a)), MemResp::Value(model[a]));
                 }
                 1 => {
                     bank.apply(Pid(0), &MemOp::Write(a, v));
@@ -138,35 +162,33 @@ proptest! {
                 }
             }
         }
-        for i in 0..4 {
-            prop_assert_eq!(bank.value(i), model[i]);
+        for (i, &m) in model.iter().enumerate() {
+            assert_eq!(bank.value(i), m);
         }
     }
+}
 
-    /// Atomic assignment: the whole batch lands or (on reads) nothing moves.
-    #[test]
-    fn assignment_is_batch_atomic(
-        batches in proptest::collection::vec(
-            proptest::collection::vec((0usize..5, -4i64..4), 0..3), 0..20)
-    ) {
+/// Atomic assignment: the whole batch lands or (on reads) nothing moves.
+#[test]
+fn assignment_is_batch_atomic() {
+    let mut rng = DetRng::new(0x4153_4742);
+    for _ in 0..SEQUENCES {
+        let batches = rng.below(21);
         let mut bank = AssignBank::new(5, 3, -1);
-        let mut model = vec![-1i64; 5];
-        for batch in batches {
+        let mut model = [-1i64; 5];
+        for _ in 0..batches {
+            let raw: Vec<(usize, Val)> =
+                (0..rng.below(3)).map(|_| (rng.below(5), rng.range_i64(-4, 4))).collect();
             // Deduplicate cells within a batch (the object rejects dups).
             let mut seen = std::collections::HashSet::new();
-            let batch: Vec<(usize, Val)> = batch
-                .into_iter()
-                .filter(|(c, _)| seen.insert(*c))
-                .collect();
+            let batch: Vec<(usize, Val)> =
+                raw.into_iter().filter(|(c, _)| seen.insert(*c)).collect();
             bank.apply(Pid(0), &AssignOp::Assign(batch.clone()));
             for (c, v) in batch {
                 model[c] = v;
             }
-            for i in 0..5 {
-                prop_assert_eq!(
-                    bank.apply(Pid(0), &AssignOp::Read(i)),
-                    AssignResp::Value(model[i])
-                );
+            for (i, &m) in model.iter().enumerate() {
+                assert_eq!(bank.apply(Pid(0), &AssignOp::Read(i)), AssignResp::Value(m));
             }
         }
     }

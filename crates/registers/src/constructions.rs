@@ -681,14 +681,9 @@ mod tests {
         for (w, v) in [(0usize, 5), (1usize, 6), (0usize, 7)] {
             let pid = Pid(w);
             let mut st = fe.begin(pid, &fe.idle(pid), &RegOp::Write(v));
-            loop {
-                match fe.action(pid, &st) {
-                    ImplAction::Invoke(lo) => {
-                        let resp = bank.apply(pid, &lo);
-                        st = fe.observe(pid, &st, &resp);
-                    }
-                    ImplAction::Return(_) => break,
-                }
+            while let ImplAction::Invoke(lo) = fe.action(pid, &st) {
+                let resp = bank.apply(pid, &lo);
+                st = fe.observe(pid, &st, &resp);
             }
             let cell = *bank.value(w);
             assert!((cell.0, cell.1) > last, "stamps increase");

@@ -5,9 +5,17 @@
 //! objects are Theorem 4's protocol on `fetch_add`/`swap`. Orderings are
 //! uniformly `SeqCst`: these objects exist to be obviously faithful to the
 //! paper, not to shave cycles.
+//!
+//! Failpoint sites (feature `failpoints`): `consensus::announce` before a
+//! [`ConsensusCell`] proposer publishes its slot, `consensus::cas` before
+//! the winner-index compare-and-swap. A thread crashed at either site
+//! never blocks the other proposers: consensus here is decided by a
+//! single hardware primitive, not by waiting.
 
 use std::sync::atomic::{AtomicBool, AtomicI64, AtomicUsize, Ordering};
 use std::sync::OnceLock;
+
+use waitfree_faults::failpoint;
 
 /// Sentinel for "undecided" in [`UsizeConsensus`].
 const UNDECIDED: usize = usize::MAX;
@@ -45,6 +53,7 @@ impl UsizeConsensus {
     /// Panics if `v == usize::MAX` (the sentinel).
     pub fn decide(&self, v: usize) -> usize {
         assert_ne!(v, UNDECIDED, "usize::MAX is reserved");
+        failpoint!("consensus::cas");
         match self
             .cell
             .compare_exchange(UNDECIDED, v, Ordering::SeqCst, Ordering::SeqCst)
@@ -102,6 +111,7 @@ impl<T: Clone> ConsensusCell<T> {
     pub fn decide(&self, pid: usize, value: T) -> T {
         // Announce before racing: the winner's slot is guaranteed
         // populated before anyone can read the winner index.
+        failpoint!("consensus::announce");
         self.slots[pid].get_or_init(|| value);
         let w = self.winner.decide(pid);
         self.slots[w]

@@ -15,7 +15,15 @@
 //! returns `None` after one sweep. There is deliberately no `peek`: by
 //! Corollary 13 no wait-free one can exist over these primitives.
 
+//! Failpoint sites (feature `failpoints`): `faa_queue::enq_faa` before
+//! the ticket fetch-and-add, `faa_queue::enq_store` between taking the
+//! ticket and storing the item (a crash here leaves a permanently empty
+//! slot — the visible wound of a halt failure in this construction), and
+//! `faa_queue::deq_sweep` before each sweep's swap.
+
 use std::sync::atomic::{AtomicI64, AtomicUsize, Ordering};
+
+use waitfree_faults::failpoint;
 
 /// Slot sentinel: empty.
 const EMPTY: i64 = i64::MIN;
@@ -45,8 +53,10 @@ impl FaaQueue {
     /// Panics if the slot arena is exhausted or `item == i64::MIN`.
     pub fn enq(&self, item: i64) {
         assert_ne!(item, EMPTY, "i64::MIN is the empty sentinel");
+        failpoint!("faa_queue::enq_faa");
         let i = self.back.fetch_add(1, Ordering::SeqCst);
         assert!(i < self.items.len(), "queue arena exhausted");
+        failpoint!("faa_queue::enq_store");
         self.items[i].store(item, Ordering::SeqCst);
     }
 
@@ -57,6 +67,7 @@ impl FaaQueue {
     pub fn try_deq(&self) -> Option<i64> {
         let range = self.back.load(Ordering::SeqCst).min(self.items.len());
         for i in 0..range {
+            failpoint!("faa_queue::deq_sweep");
             let x = self.items[i].swap(EMPTY, Ordering::SeqCst);
             if x != EMPTY {
                 return Some(x);

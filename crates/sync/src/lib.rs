@@ -15,14 +15,23 @@
 //!   a log of per-position consensus cells with announce-array helping
 //!   (the practical shape of §4's construction);
 //! * [`lockfree`] — specialized lock-free baselines (Treiber stack,
-//!   Michael–Scott queue) built on `crossbeam-epoch` for safe memory
+//!   Michael–Scott queue) on raw `AtomicPtr` CAS with drop-deferred
 //!   reclamation;
 //! * [`faa_queue`] — the Herlihy–Wing FAA/swap queue (the paper's \[10\]),
 //!   whose missing wait-free `peek` is Corollary 13's subject;
-//! * [`locked`] — lock-based baselines (`parking_lot`) for the benchmark
-//!   comparisons;
+//! * [`locked`] — lock-based baselines (`std::sync::Mutex`) for the
+//!   benchmark comparisons;
 //! * [`wrappers`] — typed wait-free objects (queue, stack, counter,
 //!   register) instantiating the universal construction.
+//!
+//! # Fault injection (feature `failpoints`)
+//!
+//! The hot paths of [`universal`], [`consensus`], [`faa_queue`] and
+//! [`lockfree`] carry named [`waitfree_faults::failpoint!`] sites at their
+//! linearization-relevant steps. With the `failpoints` feature disabled
+//! (the default) every site compiles to an empty inline function; enabled,
+//! tests can inject crashes, stalls and delays per site and per thread —
+//! see `waitfree-faults` and the workspace's `tests/fault_tolerance.rs`.
 
 #![warn(missing_docs)]
 

@@ -7,8 +7,13 @@
 //! `parking_lot` mutex, for the `universal_throughput` benchmarks.
 
 use std::collections::VecDeque;
+use std::sync::Mutex;
 
-use parking_lot::Mutex;
+/// Acquire ignoring poison: these baselines guard plain data, and a
+/// panicking workload thread must not cascade into every later lock.
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
 
 /// A queue guarded by a mutex.
 #[derive(Debug, Default)]
@@ -27,24 +32,24 @@ impl<T> LockedQueue<T> {
 
     /// Enqueue a value.
     pub fn enq(&self, value: T) {
-        self.inner.lock().push_back(value);
+        lock(&self.inner).push_back(value);
     }
 
     /// Dequeue the oldest value.
     pub fn deq(&self) -> Option<T> {
-        self.inner.lock().pop_front()
+        lock(&self.inner).pop_front()
     }
 
     /// Number of queued items.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.inner.lock().len()
+        lock(&self.inner).len()
     }
 
     /// Whether the queue is empty.
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.inner.lock().is_empty()
+        lock(&self.inner).is_empty()
     }
 }
 
@@ -65,12 +70,12 @@ impl<T> LockedStack<T> {
 
     /// Push a value.
     pub fn push(&self, value: T) {
-        self.inner.lock().push(value);
+        lock(&self.inner).push(value);
     }
 
     /// Pop the most recent value.
     pub fn pop(&self) -> Option<T> {
-        self.inner.lock().pop()
+        lock(&self.inner).pop()
     }
 }
 
@@ -89,7 +94,7 @@ impl LockedCounter {
 
     /// Add `delta`, returning the old value.
     pub fn fetch_add(&self, delta: i64) -> i64 {
-        let mut guard = self.inner.lock();
+        let mut guard = lock(&self.inner);
         let old = *guard;
         *guard += delta;
         old
@@ -98,7 +103,7 @@ impl LockedCounter {
     /// Current value.
     #[must_use]
     pub fn get(&self) -> i64 {
-        *self.inner.lock()
+        *lock(&self.inner)
     }
 }
 

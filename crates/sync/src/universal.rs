@@ -22,15 +22,72 @@
 //! Helping can thread the same entry into two positions (a helper and the
 //! owner may both win with it); replay deduplicates by per-thread sequence
 //! number, the standard fix. The log is a pre-sized arena — capacity
-//! exhaustion is an explicit panic, the documented substitution for
-//! unbounded memory (DESIGN.md).
+//! exhaustion is a typed [`UniversalError::LogFull`] from
+//! [`WfHandle::try_invoke`] (the panicking [`WfHandle::invoke`] is a thin
+//! wrapper), the documented substitution for unbounded memory (DESIGN.md).
+//!
+//! # Failpoint sites (feature `failpoints`)
+//!
+//! | site | placed |
+//! |------|--------|
+//! | `universal::announce`  | before the announce-slot write |
+//! | `universal::announced` | after the announce is published, before threading |
+//! | `universal::cas`       | in the threading loop, before each consensus decide |
+//! | `universal::decided`   | after a decide, before the position hint advances |
+//! | `universal::replay`    | in the replay loop, per applied entry |
+//!
+//! A thread crashed at `universal::announce` has published nothing; one
+//! crashed at any later site has an announced operation that helpers may
+//! still thread — verify such histories with
+//! `PendingPolicy::MayTakeEffect`.
 
+use std::fmt;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, OnceLock};
 
+use waitfree_faults::failpoint;
 use waitfree_model::{ObjectSpec, Pid};
 
 use crate::consensus::ConsensusCell;
+
+/// Why a universal-object operation could not complete. These are the
+/// resource-exhaustion edges of the bounded-arena rendering of §4 — not
+/// concurrency failures, which the construction tolerates by design.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum UniversalError {
+    /// The log arena has no undecided position left. The operation was
+    /// already announced and *may still take effect* through helping;
+    /// the object as a whole cannot accept further operations.
+    LogFull {
+        /// First position past the arena.
+        position: usize,
+        /// Arena capacity.
+        capacity: usize,
+    },
+    /// This handle used all `max_ops` announce slots; the operation was
+    /// not announced and has no effect.
+    BudgetExhausted {
+        /// The invoking thread.
+        tid: usize,
+        /// Its per-thread operation budget.
+        max_ops: usize,
+    },
+}
+
+impl fmt::Display for UniversalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            UniversalError::LogFull { position, capacity } => {
+                write!(f, "log arena exhausted at position {position} (capacity {capacity})")
+            }
+            UniversalError::BudgetExhausted { tid, max_ops } => {
+                write!(f, "thread {tid} exceeded its budget of {max_ops} operations")
+            }
+        }
+    }
+}
+
+impl std::error::Error for UniversalError {}
 
 /// A log entry: one announced operation.
 #[derive(Clone, Debug)]
@@ -84,9 +141,24 @@ impl<S: ObjectSpec> WfUniversal<S> {
     ///
     /// The log arena holds `2·n·max_ops + 16` positions (each entry may be
     /// duplicated by helping).
+    // `WfUniversal` is a factory: the object only exists as the shared
+    // state behind the per-thread handles it hands out.
+    #[allow(clippy::new_ret_no_self)]
     #[must_use]
     pub fn new(initial: S, n: usize, max_ops: usize) -> Vec<WfHandle<S>> {
-        let capacity = 2 * n * max_ops + 16;
+        Self::with_capacity(initial, n, max_ops, 2 * n * max_ops + 16)
+    }
+
+    /// [`WfUniversal::new`] with an explicit log-arena capacity, for
+    /// tests that need to observe [`UniversalError::LogFull`] without
+    /// allocating a large arena first.
+    #[must_use]
+    pub fn with_capacity(
+        initial: S,
+        n: usize,
+        max_ops: usize,
+        capacity: usize,
+    ) -> Vec<WfHandle<S>> {
         let shared = Arc::new(Shared {
             n,
             max_ops,
@@ -106,6 +178,8 @@ impl<S: ObjectSpec> WfUniversal<S> {
                 applied: vec![0; n],
                 cursor: 0,
                 next_seq: 0,
+                last_threading_steps: 0,
+                max_threading_steps: 0,
             })
             .collect()
     }
@@ -124,6 +198,10 @@ pub struct WfHandle<S: ObjectSpec> {
     /// First log position not yet replayed.
     cursor: usize,
     next_seq: usize,
+    /// Threading-loop iterations (consensus decides) of the last invoke.
+    last_threading_steps: usize,
+    /// Maximum threading-loop iterations over any single invoke.
+    max_threading_steps: usize,
 }
 
 impl<S: ObjectSpec> WfHandle<S> {
@@ -131,6 +209,28 @@ impl<S: ObjectSpec> WfHandle<S> {
     #[must_use]
     pub fn tid(&self) -> usize {
         self.tid
+    }
+
+    /// Number of threads sharing the object (the `n` of the O(n)
+    /// helping bound).
+    #[must_use]
+    pub fn n(&self) -> usize {
+        self.shared.n
+    }
+
+    /// Consensus decides the last completed `invoke` spent threading its
+    /// operation. Wait-freedom (§4.1) bounds this by O(n) *regardless of
+    /// other threads' speed or crashes* — the fault-tolerance tests
+    /// assert it.
+    #[must_use]
+    pub fn last_threading_steps(&self) -> usize {
+        self.last_threading_steps
+    }
+
+    /// Worst [`Self::last_threading_steps`] across this handle's life.
+    #[must_use]
+    pub fn max_threading_steps(&self) -> usize {
+        self.max_threading_steps
     }
 
     /// The oldest announced-but-unthreaded entry of thread `t`, if any.
@@ -149,37 +249,68 @@ impl<S: ObjectSpec> WfHandle<S> {
     /// # Panics
     ///
     /// Panics if the handle exceeds its `max_ops` budget or the log arena
-    /// is exhausted.
+    /// is exhausted — the message is the [`UniversalError`] display. Use
+    /// [`Self::try_invoke`] to handle exhaustion as a value.
     pub fn invoke(&mut self, op: S::Op) -> S::Resp {
+        match self.try_invoke(op) {
+            Ok(resp) => resp,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Execute `op` wait-free, or report resource exhaustion as a typed
+    /// error instead of panicking.
+    ///
+    /// On [`UniversalError::BudgetExhausted`] nothing was announced and
+    /// the call had no effect (repeat calls keep failing the same way).
+    /// On [`UniversalError::LogFull`] the operation *was* announced and
+    /// may still be threaded by a helper; treat the object as done.
+    ///
+    /// # Errors
+    ///
+    /// [`UniversalError::BudgetExhausted`] after `max_ops` invocations on
+    /// this handle; [`UniversalError::LogFull`] when the log arena runs
+    /// out of undecided positions.
+    pub fn try_invoke(&mut self, op: S::Op) -> Result<S::Resp, UniversalError> {
         let seq = self.next_seq;
-        assert!(
-            seq < self.shared.max_ops,
-            "thread {} exceeded its budget of {} operations",
-            self.tid,
-            self.shared.max_ops
-        );
+        if seq >= self.shared.max_ops {
+            return Err(UniversalError::BudgetExhausted {
+                tid: self.tid,
+                max_ops: self.shared.max_ops,
+            });
+        }
         self.next_seq += 1;
 
         // 1. Announce.
+        failpoint!("universal::announce");
         let entry = Entry { tid: self.tid, seq, op };
         let _ = self.shared.announce[self.tid][seq].set(entry.clone());
         self.shared.announced[self.tid].store(seq + 1, Ordering::SeqCst);
+        failpoint!("universal::announced");
 
         // 2. Thread onto the log, helping the preferred thread of each
         //    position.
+        let mut steps = 0usize;
         let mut k = self.shared.hint.load(Ordering::SeqCst);
         while self.shared.done[self.tid].load(Ordering::SeqCst) <= seq {
-            assert!(
-                k < self.shared.positions.len(),
-                "log arena exhausted at position {k}"
-            );
+            if k >= self.shared.positions.len() {
+                return Err(UniversalError::LogFull {
+                    position: k,
+                    capacity: self.shared.positions.len(),
+                });
+            }
             let preferred = k % self.shared.n;
             let candidate = self.pending(preferred).unwrap_or_else(|| entry.clone());
+            failpoint!("universal::cas");
             let winner = self.shared.positions[k].decide(self.tid, candidate);
             self.shared.done[winner.tid].fetch_max(winner.seq + 1, Ordering::SeqCst);
+            failpoint!("universal::decided");
+            steps += 1;
             k += 1;
             self.shared.hint.fetch_max(k, Ordering::SeqCst);
         }
+        self.last_threading_steps = steps;
+        self.max_threading_steps = self.max_threading_steps.max(steps);
 
         // 3. Replay until our own entry is applied.
         loop {
@@ -191,10 +322,11 @@ impl<S: ObjectSpec> WfHandle<S> {
             if e.seq != self.applied[e.tid] {
                 continue; // duplicate from helping
             }
+            failpoint!("universal::replay");
             let resp = self.state.apply(Pid(e.tid), &e.op);
             self.applied[e.tid] += 1;
             if e.tid == self.tid && e.seq == seq {
-                return resp;
+                return Ok(resp);
             }
         }
     }
@@ -335,6 +467,65 @@ mod tests {
         let mut h = handles.remove(0);
         h.invoke(CounterOp::Add(1));
         h.invoke(CounterOp::Add(1));
+    }
+
+    #[test]
+    fn log_full_is_a_typed_error_not_a_panic() {
+        // A deliberately tiny arena: the third operation has no
+        // undecided position left.
+        let mut handles = WfUniversal::with_capacity(Counter::new(0), 1, 8, 2);
+        let mut h = handles.remove(0);
+        assert!(h.try_invoke(CounterOp::Add(1)).is_ok());
+        assert!(h.try_invoke(CounterOp::Add(1)).is_ok());
+        match h.try_invoke(CounterOp::Add(1)) {
+            Err(UniversalError::LogFull { position, capacity }) => {
+                assert_eq!(position, 2);
+                assert_eq!(capacity, 2);
+            }
+            other => panic!("expected LogFull, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn budget_error_is_typed_stable_and_effect_free() {
+        let mut handles = WfUniversal::new(Counter::new(0), 1, 2);
+        let mut h = handles.remove(0);
+        h.invoke(CounterOp::Add(1));
+        h.invoke(CounterOp::Add(1));
+        for _ in 0..3 {
+            assert_eq!(
+                h.try_invoke(CounterOp::Add(1)),
+                Err(UniversalError::BudgetExhausted { tid: 0, max_ops: 2 })
+            );
+        }
+        // The failed attempts announced nothing: a fresh handle's replay
+        // sees exactly two additions.
+        assert_eq!(h.refresh(), {
+            let mut c = Counter::new(0);
+            c.apply(Pid(0), &CounterOp::Add(1));
+            c.apply(Pid(0), &CounterOp::Add(1));
+            c
+        });
+    }
+
+    #[test]
+    fn error_display_names_the_resource() {
+        let log = UniversalError::LogFull { position: 9, capacity: 9 };
+        assert!(log.to_string().contains("log arena exhausted"));
+        let budget = UniversalError::BudgetExhausted { tid: 3, max_ops: 7 };
+        assert!(budget.to_string().contains("budget"));
+    }
+
+    #[test]
+    fn threading_steps_are_counted_and_bounded_solo() {
+        let mut handles = WfUniversal::new(Counter::new(0), 1, 8);
+        let mut h = handles.remove(0);
+        assert_eq!(h.max_threading_steps(), 0);
+        h.invoke(CounterOp::Add(1));
+        // Alone, threading one op takes exactly one consensus decide.
+        assert_eq!(h.last_threading_steps(), 1);
+        assert_eq!(h.max_threading_steps(), 1);
+        assert_eq!(h.n(), 1);
     }
 
     #[test]

@@ -11,8 +11,8 @@ fn main() {
     println!("Impossibility and Universality Hierarchy (Figure 1-1)");
     println!("{:-<78}", "");
     println!(
-        "{:<28} {:>10}   {:<12} {}",
-        "object", "level", "verified", "cannot do (certificate)"
+        "{:<28} {:>10}   {:<12} cannot do (certificate)",
+        "object", "level", "verified"
     );
     println!("{:-<78}", "");
 

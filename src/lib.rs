@@ -9,6 +9,7 @@
 //! ```
 pub use waitfree_core as core;
 pub use waitfree_explorer as explorer;
+pub use waitfree_faults as faults;
 pub use waitfree_model as model;
 pub use waitfree_objects as objects;
 pub use waitfree_registers as registers;

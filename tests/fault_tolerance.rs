@@ -1,0 +1,292 @@
+//! Fault-injection stress tests (feature `failpoints`): wait-freedom
+//! under crashes and stalls on real hardware atomics.
+//!
+//! The paper's wait-freedom guarantee (§3) is *per process*: every
+//! process completes each operation in a bounded number of its own
+//! steps, "regardless of the execution speeds of the other processes" —
+//! including speed zero (crash) and arbitrarily slow (stall). These
+//! tests make that operational: an adversary halts or parks a chosen
+//! subset of threads at linearization-relevant failpoint sites inside
+//! the universal construction, and we assert that
+//!
+//! 1. the survivors complete all their operations *while the victims
+//!    are still dead or parked*,
+//! 2. no completed operation spent more than O(n) consensus steps
+//!    threading itself (the helping bound), and
+//! 3. the observed history — crashed threads' announced-but-unfinished
+//!    operations included as pending invocations — is accepted by
+//!    [`waitfree::model::linearize`] under `PendingPolicy::MayTakeEffect`.
+//!
+//! Run with `cargo test --features failpoints --test fault_tolerance`.
+#![cfg(feature = "failpoints")]
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread;
+use std::time::Duration;
+
+use waitfree::faults::failpoints::{self, FailpointConfig, FaultAction, Fire};
+use waitfree::faults::harness::{install_adversary, plan_adversary, spawn_workers, Outcome};
+use waitfree::model::{linearize, History, PendingPolicy, Pid};
+use waitfree::objects::counter::{Counter, CounterOp, CounterResp};
+use waitfree::sync::universal::{UniversalError, WfUniversal};
+
+/// Sites the adversary may target: announce published, pre-CAS, post-CAS.
+const SITES: &[&str] = &["universal::announced", "universal::cas", "universal::decided"];
+
+/// One timeline event: an operation's invocation or its response.
+#[derive(Clone, Debug)]
+enum Ev {
+    Inv(usize),
+    Resp(usize, CounterResp),
+}
+
+/// Replay stamped events into a [`History`]. Invocation stamps are taken
+/// before entering `invoke` and response stamps after it returns, so each
+/// recorded interval contains the real one; this can only widen overlap,
+/// never invent precedence, keeping the linearizability verdict sound.
+fn build_history(mut events: Vec<(u64, Ev)>) -> History<CounterOp, CounterResp> {
+    events.sort_by_key(|(stamp, _)| *stamp);
+    let mut h = History::new();
+    for (_, ev) in events {
+        match ev {
+            Ev::Inv(tid) => h.invoke(Pid(tid), CounterOp::FetchAndAdd(1)),
+            Ev::Resp(tid, resp) => {
+                h.respond(Pid(tid), resp).expect("response follows its invocation");
+            }
+        }
+    }
+    h
+}
+
+/// The full adversarial scenario, per seed: 6 threads hammer one
+/// wait-free counter; 2 of them are crashed/stalled mid-operation.
+fn adversarial_round(seed: u64) {
+    const N: usize = 6;
+    const VICTIMS: usize = 2;
+    const OPS: usize = 8;
+
+    let plan = plan_adversary(seed, N, SITES, VICTIMS);
+    let stalled: Vec<usize> = plan
+        .iter()
+        .filter(|v| matches!(v.kind, FaultAction::Stall))
+        .map(|v| v.tid)
+        .collect();
+    let crashed: Vec<usize> = plan
+        .iter()
+        .filter(|v| matches!(v.kind, FaultAction::Crash))
+        .map(|v| v.tid)
+        .collect();
+    failpoints::set_seed(seed);
+    install_adversary(&plan);
+
+    let handles: Arc<Vec<Mutex<Option<_>>>> = Arc::new(
+        WfUniversal::new(Counter::new(0), N, OPS)
+            .into_iter()
+            .map(|h| Mutex::new(Some(h)))
+            .collect(),
+    );
+    let clock = Arc::new(AtomicU64::new(0));
+    let events: Arc<Mutex<Vec<(u64, Ev)>>> = Arc::new(Mutex::new(Vec::new()));
+
+    let group = {
+        let handles = Arc::clone(&handles);
+        let clock = Arc::clone(&clock);
+        let events = Arc::clone(&events);
+        spawn_workers(N, move |tid| {
+            let mut h = handles[tid].lock().unwrap().take().expect("one handle per tid");
+            let mut responses = Vec::with_capacity(OPS);
+            for _ in 0..OPS {
+                let stamp = clock.fetch_add(1, Ordering::SeqCst);
+                events.lock().unwrap().push((stamp, Ev::Inv(tid)));
+                let resp = h.invoke(CounterOp::FetchAndAdd(1));
+                let stamp = clock.fetch_add(1, Ordering::SeqCst);
+                events.lock().unwrap().push((stamp, Ev::Resp(tid, resp.clone())));
+                responses.push(resp);
+            }
+            (responses, h.max_threading_steps())
+        })
+    };
+
+    // (1) Survivors and crash victims terminate while stall victims are
+    // still parked: wait-freedom does not wait for the slow.
+    assert!(
+        group.await_finished(N - stalled.len(), Duration::from_secs(60)),
+        "seed {seed}: survivors did not complete while victims were down"
+    );
+
+    let outcomes = group.finish();
+    for (tid, outcome) in outcomes.iter().enumerate() {
+        match outcome {
+            Outcome::Completed((responses, max_steps)) => {
+                assert!(
+                    !crashed.contains(&tid),
+                    "seed {seed}: crash victim {tid} completed all ops"
+                );
+                assert_eq!(responses.len(), OPS);
+                // (2) The helping bound: O(n) own consensus steps per op.
+                assert!(
+                    *max_steps <= 2 * N + 8,
+                    "seed {seed}: thread {tid} took {max_steps} threading steps (n = {N})"
+                );
+            }
+            Outcome::Crashed { site } => {
+                assert!(
+                    crashed.contains(&tid),
+                    "seed {seed}: unplanned crash of thread {tid} at {site}"
+                );
+                assert!(SITES.contains(&site.as_str()), "seed {seed}: foreign site {site}");
+            }
+            Outcome::Panicked { message } => {
+                panic!("seed {seed}: thread {tid} genuinely panicked: {message}")
+            }
+        }
+    }
+
+    // (3) The recorded history — pending invocations of the crashed
+    // included — linearizes against the sequential counter.
+    let events = Arc::try_unwrap(events).expect("all workers joined").into_inner().unwrap();
+    let history = build_history(events);
+    let pending = history.ops().iter().filter(|op| op.resp.is_none()).count();
+    assert!(pending <= VICTIMS, "seed {seed}: at most one pending op per victim");
+    let report = linearize(&history, &Counter::new(0), PendingPolicy::MayTakeEffect);
+    assert!(
+        report.outcome.is_ok(),
+        "seed {seed}: non-linearizable history with {pending} pending ops: {history:?}"
+    );
+}
+
+#[test]
+fn survivors_complete_and_history_linearizes_under_adversary() {
+    let _guard = failpoints::exclusive();
+    for seed in [1, 2, 3, 4, 5] {
+        failpoints::clear();
+        adversarial_round(seed);
+    }
+    failpoints::clear();
+}
+
+#[test]
+fn stalled_thread_is_observable_parked_then_resumes() {
+    let _guard = failpoints::exclusive();
+    failpoints::clear();
+
+    const N: usize = 3;
+    const OPS: usize = 6;
+    failpoints::configure(
+        "universal::cas",
+        FailpointConfig {
+            action: FaultAction::Stall,
+            fire: Fire::Nth(2),
+            tid: Some(0),
+            budget: Some(1),
+        },
+    );
+
+    let handles: Arc<Vec<Mutex<Option<_>>>> = Arc::new(
+        WfUniversal::new(Counter::new(0), N, OPS)
+            .into_iter()
+            .map(|h| Mutex::new(Some(h)))
+            .collect(),
+    );
+    let group = {
+        let handles = Arc::clone(&handles);
+        spawn_workers(N, move |tid| {
+            let mut h = handles[tid].lock().unwrap().take().unwrap();
+            let mut responses = Vec::new();
+            for _ in 0..OPS {
+                responses.push(h.invoke(CounterOp::FetchAndAdd(1)));
+            }
+            responses
+        })
+    };
+
+    // The two unstalled threads finish; thread 0 ends up parked at the
+    // site (it may still be on its way there when the survivors finish,
+    // hence the bounded wait rather than an instant assert).
+    assert!(group.await_finished(N - 1, Duration::from_secs(60)));
+    let deadline = std::time::Instant::now() + Duration::from_secs(60);
+    while failpoints::stalled_count() != 1 {
+        assert!(std::time::Instant::now() < deadline, "victim never parked");
+        thread::yield_now();
+    }
+    assert_eq!(group.finished_count(), N - 1, "the parked victim never counts as finished");
+
+    // finish() releases the stall; the victim completes its remaining ops.
+    let outcomes = group.finish();
+    let mut all: Vec<i64> = outcomes
+        .into_iter()
+        .flat_map(|o| o.completed().expect("stall is transparent after release"))
+        .map(|r| match r {
+            CounterResp::Value(v) => v,
+            other => panic!("unexpected {other:?}"),
+        })
+        .collect();
+    all.sort_unstable();
+    let expect: Vec<i64> = (0..(N * OPS) as i64).collect();
+    assert_eq!(all, expect, "every fetch-and-add ticket taken exactly once");
+    failpoints::clear();
+}
+
+#[test]
+fn log_exhaustion_is_a_typed_error_even_with_a_crashed_peer() {
+    let _guard = failpoints::exclusive();
+    failpoints::clear();
+
+    const N: usize = 3;
+    // Arena far smaller than the op budget: exhaustion is guaranteed.
+    const CAPACITY: usize = 24;
+    failpoints::configure(
+        "universal::decided",
+        FailpointConfig {
+            action: FaultAction::Crash,
+            fire: Fire::Nth(3),
+            tid: Some(2),
+            budget: Some(1),
+        },
+    );
+
+    let handles: Arc<Vec<Mutex<Option<_>>>> = Arc::new(
+        WfUniversal::with_capacity(Counter::new(0), N, 1000, CAPACITY)
+            .into_iter()
+            .map(|h| Mutex::new(Some(h)))
+            .collect(),
+    );
+    let group = {
+        let handles = Arc::clone(&handles);
+        spawn_workers(N, move |tid| {
+            let mut h = handles[tid].lock().unwrap().take().unwrap();
+            let mut ok = 0usize;
+            loop {
+                match h.try_invoke(CounterOp::FetchAndAdd(1)) {
+                    Ok(_) => ok += 1,
+                    Err(e @ UniversalError::LogFull { .. }) => return (ok, e),
+                    Err(other) => panic!("unexpected error: {other}"),
+                }
+            }
+        })
+    };
+
+    // Everyone terminates: the exhausted log surfaces as an error value,
+    // not a deadlock or abort, even though thread 2 died mid-operation.
+    assert!(group.await_finished(N - 1, Duration::from_secs(60)));
+    let outcomes = group.finish();
+    let mut total_ok = 0usize;
+    for (tid, outcome) in outcomes.into_iter().enumerate() {
+        match outcome {
+            Outcome::Completed((ok, UniversalError::LogFull { capacity, .. })) => {
+                assert_eq!(capacity, CAPACITY);
+                total_ok += ok;
+            }
+            Outcome::Crashed { site } => {
+                assert_eq!(tid, 2, "only the planned victim crashes");
+                assert_eq!(site, "universal::decided");
+            }
+            other => panic!("thread {tid}: unexpected outcome {other:?}"),
+        }
+    }
+    // Each completed op consumed at least one log position.
+    assert!(total_ok <= CAPACITY, "{total_ok} ops cannot fit in {CAPACITY} positions");
+    assert!(total_ok > 0, "some ops completed before exhaustion");
+    failpoints::clear();
+}

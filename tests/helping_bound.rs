@@ -1,0 +1,97 @@
+//! The O(n) helping bound of §4's universal construction, measured on
+//! real threads: no operation's threading loop runs more than ~2n
+//! consensus decides, because every log position periodically prefers
+//! each thread's announced operation.
+//!
+//! The bound argument: when an operation is announced the log frontier
+//! sits at some position F; within the next n positions one position's
+//! preferred thread is the announcer, and whoever decides that position
+//! proposes the announced entry. The announcer's own loop starts at most
+//! n positions behind F (the shared hint lags each running thread by at
+//! most one position), so it iterates at most ~2n times. We assert
+//! `max_threading_steps <= 2n + 8`, slack for the startup positions.
+
+use std::thread;
+
+use waitfree::objects::counter::{Counter, CounterOp};
+use waitfree::sync::universal::WfUniversal;
+
+#[test]
+fn helping_bounds_threading_steps_under_contention() {
+    let n = 4;
+    let per = 400;
+    let handles = WfUniversal::new(Counter::new(0), n, per);
+    let joins: Vec<_> = handles
+        .into_iter()
+        .map(|mut h| {
+            thread::spawn(move || {
+                for _ in 0..per {
+                    h.invoke(CounterOp::Add(1));
+                }
+                (h.tid(), h.max_threading_steps())
+            })
+        })
+        .collect();
+    for j in joins {
+        let (tid, max_steps) = j.join().unwrap();
+        assert!(
+            max_steps <= 2 * n + 8,
+            "thread {tid}: {max_steps} threading steps exceeds the O(n) bound (n = {n})"
+        );
+    }
+}
+
+/// The same bound with an adversarially stalled thread: helping means a
+/// parked peer costs the survivors *nothing* in their own step count —
+/// that is exactly what separates wait-free from lock-free.
+#[cfg(feature = "failpoints")]
+#[test]
+fn helping_bound_survives_an_injected_stall() {
+    use std::sync::{Arc, Mutex};
+    use std::time::Duration;
+    use waitfree::faults::failpoints::{self, FailpointConfig, FaultAction, Fire};
+    use waitfree::faults::harness::spawn_workers;
+
+    let _guard = failpoints::exclusive();
+    failpoints::clear();
+
+    const N: usize = 4;
+    const PER: usize = 100;
+    failpoints::configure(
+        "universal::announced",
+        FailpointConfig {
+            action: FaultAction::Stall,
+            fire: Fire::Nth(5),
+            tid: Some(1),
+            budget: Some(1),
+        },
+    );
+
+    let handles: Arc<Vec<Mutex<Option<_>>>> = Arc::new(
+        WfUniversal::new(Counter::new(0), N, PER)
+            .into_iter()
+            .map(|h| Mutex::new(Some(h)))
+            .collect(),
+    );
+    let group = {
+        let handles = Arc::clone(&handles);
+        spawn_workers(N, move |tid| {
+            let mut h = handles[tid].lock().unwrap().take().unwrap();
+            for _ in 0..PER {
+                h.invoke(CounterOp::Add(1));
+            }
+            h.max_threading_steps()
+        })
+    };
+
+    // Survivors finish with the victim still parked mid-operation.
+    assert!(group.await_finished(N - 1, Duration::from_secs(60)));
+    for (tid, outcome) in group.finish().into_iter().enumerate() {
+        let max_steps = outcome.completed().expect("all threads complete after release");
+        assert!(
+            max_steps <= 2 * N + 8,
+            "thread {tid}: {max_steps} threading steps exceeds the O(n) bound (n = {N})"
+        );
+    }
+    failpoints::clear();
+}

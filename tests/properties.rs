@@ -1,67 +1,81 @@
-//! Property-based integration tests (proptest): the universal
-//! construction is equivalent to its sequential specification on
-//! arbitrary workloads; the linearizability checker agrees with a
+//! Property-based integration tests (seeded random workloads): the
+//! universal construction is equivalent to its sequential specification
+//! on arbitrary workloads; the linearizability checker agrees with a
 //! brute-force oracle on tiny histories.
 
-use proptest::prelude::*;
 use waitfree::core::universal::log::LogUniversal;
+use waitfree::faults::rng::DetRng;
 use waitfree::model::{linearize, History, ObjectSpec, PendingPolicy, Pid};
 use waitfree::objects::queue::{FifoQueue, QueueOp};
 use waitfree::objects::register::{RegOp, RegResp, RwRegister};
 use waitfree::objects::stack::{Stack, StackOp};
 use waitfree::sync::universal::WfUniversal;
 
-fn queue_op() -> impl Strategy<Value = QueueOp> {
-    prop_oneof![
-        (0i64..16).prop_map(QueueOp::Enq),
-        Just(QueueOp::Deq),
-    ]
+const SEQUENCES: usize = 256;
+
+fn queue_ops(rng: &mut DetRng, max_len: usize) -> Vec<QueueOp> {
+    (0..rng.below(max_len + 1))
+        .map(|_| if rng.per_mille(500) { QueueOp::Enq(rng.range_i64(0, 16)) } else { QueueOp::Deq })
+        .collect()
 }
 
-fn stack_op() -> impl Strategy<Value = StackOp> {
-    prop_oneof![
-        (0i64..16).prop_map(StackOp::Push),
-        Just(StackOp::Pop),
-    ]
+fn stack_ops(rng: &mut DetRng, max_len: usize) -> Vec<StackOp> {
+    (0..rng.below(max_len + 1))
+        .map(|_| {
+            if rng.per_mille(500) {
+                StackOp::Push(rng.range_i64(0, 16))
+            } else {
+                StackOp::Pop
+            }
+        })
+        .collect()
 }
 
-proptest! {
-    /// §4.1's claim, as a property: replaying the log IS the object.
-    #[test]
-    fn log_universal_queue_equals_spec(ops in proptest::collection::vec(queue_op(), 0..40)) {
+/// §4.1's claim, as a property: replaying the log IS the object.
+#[test]
+fn log_universal_queue_equals_spec() {
+    let mut rng = DetRng::new(0x4C4F_4755);
+    for _ in 0..SEQUENCES {
+        let ops = queue_ops(&mut rng, 39);
         let mut uni_plain = LogUniversal::new(FifoQueue::new(), false);
         let mut uni_ckpt = LogUniversal::new(FifoQueue::new(), true);
         let mut spec = FifoQueue::new();
         for (i, op) in ops.iter().enumerate() {
             let pid = Pid(i % 3);
             let expected = spec.apply(pid, op);
-            prop_assert_eq!(uni_plain.invoke(pid, op.clone()), expected.clone());
-            prop_assert_eq!(uni_ckpt.invoke(pid, op.clone()), expected);
+            assert_eq!(uni_plain.invoke(pid, op.clone()), expected.clone());
+            assert_eq!(uni_ckpt.invoke(pid, op.clone()), expected);
         }
-        prop_assert_eq!(uni_plain.state(), spec);
+        assert_eq!(uni_plain.state(), spec);
     }
+}
 
-    /// Same for stacks, through the hardware universal object.
-    #[test]
-    fn hardware_universal_stack_equals_spec(ops in proptest::collection::vec(stack_op(), 0..40)) {
+/// Same for stacks, through the hardware universal object.
+#[test]
+fn hardware_universal_stack_equals_spec() {
+    let mut rng = DetRng::new(0x4857_5354);
+    for _ in 0..SEQUENCES {
+        let ops = stack_ops(&mut rng, 39);
         let mut hw = WfUniversal::new(Stack::new(), 1, ops.len().max(1)).remove(0);
         let mut spec = Stack::new();
         for op in &ops {
             let expected = spec.apply(Pid(0), op);
-            prop_assert_eq!(hw.invoke(op.clone()), expected);
+            assert_eq!(hw.invoke(op.clone()), expected);
         }
     }
+}
 
-    /// The Wing-Gong checker agrees with a brute-force permutation oracle
-    /// on small register histories.
-    #[test]
-    fn linearize_agrees_with_bruteforce(
+/// The Wing-Gong checker agrees with a brute-force permutation oracle
+/// on small register histories.
+#[test]
+fn linearize_agrees_with_bruteforce() {
+    let mut rng = DetRng::new(0x4252_5554);
+    for _ in 0..SEQUENCES {
         // Up to 5 complete operations across 2 processes with random
         // overlap structure and random (possibly wrong) read results.
-        spec in proptest::collection::vec(
-            ((0usize..2), (0usize..3), (0i64..3)), 1..5
-        )
-    ) {
+        let spec: Vec<(usize, usize, i64)> = (0..1 + rng.below(4))
+            .map(|_| (rng.below(2), rng.below(3), rng.range_i64(0, 3)))
+            .collect();
         // Build a history: each tuple (pid, kind, v): kind 0 => write v,
         // kind 1 => read returning v, kind 2 => read returning 0.
         // All operations are sequential per process but interleaved
@@ -96,7 +110,7 @@ proptest! {
             .outcome
             .is_ok();
         let slow = bruteforce_linearizable(&h);
-        prop_assert_eq!(fast, slow, "history: {:?}", h);
+        assert_eq!(fast, slow, "history: {h:?}");
     }
 }
 

@@ -36,7 +36,7 @@ fn swap_cons_and_consensus_cons_agree_sequentially() {
 
     // Swap-based (one process, sequential).
     let (fe, arena) = SwapFetchAndCons::setup(1, items.len());
-    let run = run_schedule(&fe, arena, &[items.clone()], &vec![0usize; 400]);
+    let run = run_schedule(&fe, arena, std::slice::from_ref(&items), &vec![0usize; 400]);
     assert!(run.complete);
     let got: Vec<Vec<Val>> = run
         .history
@@ -49,7 +49,7 @@ fn swap_cons_and_consensus_cons_agree_sequentially() {
     // Consensus-based (one process, sequential); items carry (owner, seq,
     // payload) tags, so project the payloads.
     let (fe, rep) = ConsensusFetchAndCons::setup(1);
-    let run = run_schedule(&fe, rep, &[items.clone()], &vec![0usize; 800]);
+    let run = run_schedule(&fe, rep, std::slice::from_ref(&items), &vec![0usize; 800]);
     assert!(run.complete);
     let got: Vec<Vec<Val>> = run
         .history
