@@ -1,0 +1,219 @@
+//! P2 — before/after benchmark for the universal-object hot-path
+//! optimisation: the pointer-CAS segmented-log path
+//! (`waitfree_sync::universal`) against the seed `ConsensusCell` arena
+//! path (`waitfree_sync::universal_cell`), on a contended counter and a
+//! FIFO queue at n ∈ {1, 2, 4, 8} threads.
+//!
+//! Each row records the median wall-clock ns per operation of the whole
+//! workload (object creation + n threads × ops + join — the seed's
+//! O(n²·max_ops) eager arena is part of what the optimisation removes,
+//! so it is deliberately inside the timed region) and the worst
+//! per-operation threading-step count, which must stay within the O(n)
+//! helping bound on both paths.
+//!
+//! Writes `BENCH_universal.json` in the working directory (the repo root
+//! when run via `cargo run -p waitfree-bench --bin bench_universal`) —
+//! the recorded perf trajectory the README quotes — plus the usual
+//! `results/bench_universal.json` copy. Environment knobs for the CI
+//! smoke job: `BENCH_UNIVERSAL_OPS` (ops per thread, default 2000) and
+//! `BENCH_UNIVERSAL_SAMPLES` (median-of samples, default 5).
+
+use std::thread;
+
+use waitfree_bench::timing::measure;
+use waitfree_bench::Report;
+use waitfree_objects::counter::{Counter, CounterOp, CounterResp};
+use waitfree_objects::queue::{FifoQueue, QueueOp};
+use waitfree_sync::universal::WfUniversal;
+use waitfree_sync::universal_cell::CellUniversal;
+
+const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+/// One universal-object implementation under measurement.
+trait UniPath {
+    const NAME: &'static str;
+    type CounterH: Send + 'static;
+    type QueueH: Send + 'static;
+
+    fn counter(n: usize, max_ops: usize) -> Vec<Self::CounterH>;
+    fn queue(n: usize, max_ops: usize) -> Vec<Self::QueueH>;
+    fn faa(h: &mut Self::CounterH) -> i64;
+    fn enq_deq(h: &mut Self::QueueH, v: i64);
+    fn counter_steps(h: &Self::CounterH) -> usize;
+    fn queue_steps(h: &Self::QueueH) -> usize;
+}
+
+/// The optimised pointer-CAS segmented-log path (the *after* leg).
+struct PtrPath;
+
+impl UniPath for PtrPath {
+    const NAME: &'static str = "pointer";
+    type CounterH = waitfree_sync::universal::WfHandle<Counter>;
+    type QueueH = waitfree_sync::universal::WfHandle<FifoQueue>;
+
+    fn counter(n: usize, max_ops: usize) -> Vec<Self::CounterH> {
+        WfUniversal::new(Counter::new(0), n, max_ops)
+    }
+    fn queue(n: usize, max_ops: usize) -> Vec<Self::QueueH> {
+        WfUniversal::new(FifoQueue::new(), n, max_ops)
+    }
+    fn faa(h: &mut Self::CounterH) -> i64 {
+        match h.invoke(CounterOp::FetchAndAdd(1)) {
+            CounterResp::Value(v) => v,
+            CounterResp::Ack => unreachable!("fetch-and-add returns a value"),
+        }
+    }
+    fn enq_deq(h: &mut Self::QueueH, v: i64) {
+        let _ = h.invoke(QueueOp::Enq(v));
+        let _ = h.invoke(QueueOp::Deq);
+    }
+    fn counter_steps(h: &Self::CounterH) -> usize {
+        h.max_threading_steps()
+    }
+    fn queue_steps(h: &Self::QueueH) -> usize {
+        h.max_threading_steps()
+    }
+}
+
+/// The seed `ConsensusCell` arena path (the *before* leg).
+struct CellPath;
+
+impl UniPath for CellPath {
+    const NAME: &'static str = "cell";
+    type CounterH = waitfree_sync::universal_cell::CellHandle<Counter>;
+    type QueueH = waitfree_sync::universal_cell::CellHandle<FifoQueue>;
+
+    fn counter(n: usize, max_ops: usize) -> Vec<Self::CounterH> {
+        CellUniversal::new(Counter::new(0), n, max_ops)
+    }
+    fn queue(n: usize, max_ops: usize) -> Vec<Self::QueueH> {
+        CellUniversal::new(FifoQueue::new(), n, max_ops)
+    }
+    fn faa(h: &mut Self::CounterH) -> i64 {
+        match h.invoke(CounterOp::FetchAndAdd(1)) {
+            CounterResp::Value(v) => v,
+            CounterResp::Ack => unreachable!("fetch-and-add returns a value"),
+        }
+    }
+    fn enq_deq(h: &mut Self::QueueH, v: i64) {
+        let _ = h.invoke(QueueOp::Enq(v));
+        let _ = h.invoke(QueueOp::Deq);
+    }
+    fn counter_steps(h: &Self::CounterH) -> usize {
+        h.max_threading_steps()
+    }
+    fn queue_steps(h: &Self::QueueH) -> usize {
+        h.max_threading_steps()
+    }
+}
+
+/// n threads each perform `ops` fetch-and-adds on one shared counter;
+/// returns the worst per-op threading-step count observed.
+fn counter_workload<P: UniPath>(n: usize, ops: usize) -> usize {
+    let joins: Vec<_> = P::counter(n, ops + 1)
+        .into_iter()
+        .map(|mut h| {
+            thread::spawn(move || {
+                for _ in 0..ops {
+                    P::faa(&mut h);
+                }
+                P::counter_steps(&h)
+            })
+        })
+        .collect();
+    joins.into_iter().map(|j| j.join().unwrap()).max().unwrap_or(0)
+}
+
+/// n threads each perform `ops` operations (enq/deq pairs) on one shared
+/// FIFO queue; returns the worst per-op threading-step count observed.
+fn queue_workload<P: UniPath>(n: usize, ops: usize) -> usize {
+    let joins: Vec<_> = P::queue(n, ops + 1)
+        .into_iter()
+        .map(|mut h| {
+            thread::spawn(move || {
+                for i in 0..ops / 2 {
+                    P::enq_deq(&mut h, i as i64);
+                }
+                P::queue_steps(&h)
+            })
+        })
+        .collect();
+    joins.into_iter().map(|j| j.join().unwrap()).max().unwrap_or(0)
+}
+
+/// ns/op and worst threading steps for one (path, workload, n) cell.
+fn run_one<P: UniPath>(workload: &str, n: usize, ops: usize, samples: usize) -> (f64, usize) {
+    let mut steps = 0usize;
+    let median = match workload {
+        "counter" => measure(samples, || steps = counter_workload::<P>(n, ops)),
+        "queue" => measure(samples, || steps = queue_workload::<P>(n, ops)),
+        other => unreachable!("unknown workload {other}"),
+    };
+    let total_ops = (n * ops) as f64;
+    (median.as_nanos() as f64 / total_ops, steps)
+}
+
+fn env_usize(key: &str, default: usize) -> usize {
+    std::env::var(key).ok().and_then(|s| s.parse().ok()).unwrap_or(default)
+}
+
+fn main() {
+    let ops = env_usize("BENCH_UNIVERSAL_OPS", 2_000);
+    let samples = env_usize("BENCH_UNIVERSAL_SAMPLES", 5).max(1);
+
+    let mut report = Report::new(
+        "bench_universal",
+        "Universal object: pointer-CAS segmented log vs ConsensusCell arena",
+        &["workload", "impl", "n", "ops/thread", "ns/op", "max_steps"],
+    );
+    report.note(format!("ops_per_thread={ops} samples={samples} (median of whole-workload runs)"));
+    report.note(
+        "timed region includes object creation: the seed path's eager \
+         O(n^2*max_ops) arena allocation is part of what the segmented log removes",
+    );
+
+    for workload in ["counter", "queue"] {
+        for n in THREAD_COUNTS {
+            let (cell_ns, cell_steps) = run_one::<CellPath>(workload, n, ops, samples);
+            let (ptr_ns, ptr_steps) = run_one::<PtrPath>(workload, n, ops, samples);
+            for (name, ns, steps) in
+                [(CellPath::NAME, cell_ns, cell_steps), (PtrPath::NAME, ptr_ns, ptr_steps)]
+            {
+                report.row(&[
+                    workload.to_string(),
+                    name.to_string(),
+                    n.to_string(),
+                    ops.to_string(),
+                    format!("{ns:.1}"),
+                    steps.to_string(),
+                ]);
+            }
+            let speedup = cell_ns / ptr_ns;
+            report.note(format!("speedup {workload} n={n}: {speedup:.2}x (cell -> pointer)"));
+            // The helping bound must hold on both paths even while racing
+            // at full speed; 2n + 8 matches the stress tests' slack.
+            for (name, steps) in [(CellPath::NAME, cell_steps), (PtrPath::NAME, ptr_steps)] {
+                if steps > 2 * n + 8 {
+                    report.fail(format!(
+                        "{workload} n={n} {name}: {steps} threading steps exceeds the O(n) bound"
+                    ));
+                }
+            }
+            if workload == "counter" && n == 4 && speedup < 1.5 {
+                report.note(format!(
+                    "WARNING: contended-counter speedup at n=4 is {speedup:.2}x, \
+                     below the 1.5x target"
+                ));
+            }
+        }
+    }
+
+    // The recorded perf-trajectory file at the repo root, alongside the
+    // standard results/ copy written by finish().
+    if let Err(e) = std::fs::write("BENCH_universal.json", report.to_json()) {
+        eprintln!("could not write BENCH_universal.json: {e}");
+        std::process::exit(1);
+    }
+    println!("  wrote BENCH_universal.json");
+    report.finish();
+}

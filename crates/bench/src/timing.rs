@@ -38,6 +38,28 @@ pub fn bench<F: FnMut()>(group: &str, name: &str, mut f: F) {
     println!("{group}/{name}: {} per iter ({iters} iters x {SAMPLES} samples)", fmt(median));
 }
 
+/// Time one call of `f` per sample (no batching) and return the median
+/// wall-clock duration over `samples` runs, after one untimed warm-up.
+///
+/// For workload-shaped benchmarks — whole multi-threaded runs taking
+/// milliseconds each — where the caller wants the number back (to emit
+/// JSON, compute speedups) rather than a printed line. The per-call
+/// median tolerates scheduler noise the same way [`bench`]'s does.
+#[must_use]
+pub fn measure<F: FnMut()>(samples: usize, mut f: F) -> Duration {
+    assert!(samples > 0, "need at least one sample");
+    f(); // warm-up
+    let mut timings: Vec<Duration> = (0..samples)
+        .map(|_| {
+            let start = Instant::now();
+            f();
+            start.elapsed()
+        })
+        .collect();
+    timings.sort_unstable();
+    timings[samples / 2]
+}
+
 /// Human formatting: pick ns/µs/ms/s by magnitude.
 fn fmt(d: Duration) -> String {
     let ns = d.as_nanos();
@@ -69,5 +91,13 @@ mod tests {
         let mut count = 0u64;
         bench("t", "noop", || count += 1);
         assert!(count > 0);
+    }
+
+    #[test]
+    fn measure_returns_a_median_and_runs_warmup_plus_samples() {
+        let mut count = 0u64;
+        let d = measure(3, || count += 1);
+        assert_eq!(count, 4, "one warm-up + three samples");
+        assert!(d < Duration::from_secs(1));
     }
 }

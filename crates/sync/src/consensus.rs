@@ -104,10 +104,15 @@ impl<T: Clone> ConsensusCell<T> {
 
     /// Propose `value` as process `pid`; returns the winning value.
     ///
+    /// Calling `decide` again with the same `pid` is allowed and
+    /// idempotent in the slot: `get_or_init` silently keeps the *first*
+    /// value that `pid` announced, even if a later call passes a
+    /// different one (exercised by the `repeat_decides_return_winner`
+    /// test). Either way the returned value is the cell-wide winner.
+    ///
     /// # Panics
     ///
-    /// Panics if `pid` is out of range, or if the same `pid` proposes
-    /// twice with different values.
+    /// Panics if `pid` is out of range.
     pub fn decide(&self, pid: usize, value: T) -> T {
         // Announce before racing: the winner's slot is guaranteed
         // populated before anyone can read the winner index.

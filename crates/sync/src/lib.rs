@@ -12,8 +12,12 @@
 //!   two-process fetch-and-add and swap variants of Theorem 4;
 //! * [`universal`] — a wait-free universal object: any
 //!   [`ObjectSpec`](waitfree_model::ObjectSpec) shared among n threads via
-//!   a log of per-position consensus cells with announce-array helping
-//!   (the practical shape of §4's construction);
+//!   a segmented log of pointer-CAS consensus cells with announce-array
+//!   helping (the practical shape of §4's construction, optimised for the
+//!   hot path — `Arc`'d entries, single-CAS decides, lazy log growth);
+//! * [`universal_cell`] — the original [`consensus::ConsensusCell`]-based
+//!   rendering of the same algorithm, kept as the fidelity baseline and
+//!   the *before* leg of the `bench_universal` comparison;
 //! * [`lockfree`] — specialized lock-free baselines (Treiber stack,
 //!   Michael–Scott queue) on raw `AtomicPtr` CAS with drop-deferred
 //!   reclamation;
@@ -40,4 +44,5 @@ pub mod faa_queue;
 pub mod lockfree;
 pub mod locked;
 pub mod universal;
+pub mod universal_cell;
 pub mod wrappers;

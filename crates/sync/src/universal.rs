@@ -1,12 +1,39 @@
-//! A wait-free universal object on hardware atomics.
+//! A wait-free universal object on hardware atomics — the optimised
+//! pointer-CAS rendering.
 //!
 //! The practical rendering of §4's universality result: a shared log in
-//! which each position is a one-shot [`ConsensusCell`], plus an announce
-//! array with a helping discipline that bounds every operation — the
-//! difference between *lock-free* (someone wins) and *wait-free*
-//! (everyone finishes) is exactly the helping.
+//! which each position is decided by a *single* `AtomicPtr`
+//! compare-exchange on an `Arc<Entry>` (Theorem 7 compiled to one
+//! hardware primitive), plus an announce array with a helping discipline
+//! that bounds every operation — the difference between *lock-free*
+//! (someone wins) and *wait-free* (everyone finishes) is exactly the
+//! helping.
 //!
-//! How an operation executes:
+//! This module replaces the original 3-atomic-op
+//! [`ConsensusCell`](crate::consensus::ConsensusCell) hot path, which is
+//! preserved verbatim in [`crate::universal_cell`] as the fidelity
+//! baseline for the explorer/model crates and for the before/after
+//! benchmark (`bench_universal`). Two structural changes make this path
+//! fast:
+//!
+//! * **Pointer consensus.** A log position is one `AtomicPtr<Entry>`:
+//!   null means undecided, and the first successful CAS from null wins.
+//!   Proposals are `Arc<Entry>`, so announcing, candidate construction
+//!   and replay never clone the operation payload — every hand-off is a
+//!   refcount bump. The cell path did slot-write + usize-CAS + slot-read
+//!   per decide and cloned the `Entry` on every iteration.
+//! * **Segmented, lazily grown log.** Instead of an eagerly allocated
+//!   `2·n·max_ops + 16` arena of n-slot cells (O(n²·max_ops) memory
+//!   before the first op), the log is a linked list of fixed-size
+//!   segments. A thread that walks off the end allocates the next
+//!   segment and installs it with a CAS on the link; the loser of that
+//!   race frees its duplicate and follows the winner — growth is itself
+//!   wait-free (one CAS attempt, then proceed). [`WfUniversal::new`]
+//!   builds an *unbounded* log; [`UniversalError::LogFull`] remains as
+//!   an explicit opt-in cap via [`WfUniversal::with_capacity`] for the
+//!   fault tests.
+//!
+//! How an operation executes (unchanged from Figure 4-5's algorithm):
 //!
 //! 1. **Announce** the operation in the caller's announce slot.
 //! 2. **Thread** it onto the log: repeatedly take the first undecided
@@ -21,10 +48,28 @@
 //!
 //! Helping can thread the same entry into two positions (a helper and the
 //! owner may both win with it); replay deduplicates by per-thread sequence
-//! number, the standard fix. The log is a pre-sized arena — capacity
-//! exhaustion is a typed [`UniversalError::LogFull`] from
-//! [`WfHandle::try_invoke`] (the panicking [`WfHandle::invoke`] is a thin
-//! wrapper), the documented substitution for unbounded memory (DESIGN.md).
+//! number, the standard fix.
+//!
+//! # Memory orderings
+//!
+//! The decide CAS stays `SeqCst` on success — it is the linearization
+//! point and the paper's consensus primitive. Every relaxation off that
+//! spine carries a comment naming the happens-before edge it relies on;
+//! the summary:
+//!
+//! * segment `next` links: `Release` install / `Acquire` follow, so a
+//!   segment's initialized header and null slots are visible before the
+//!   segment is reachable;
+//! * slot loads (replay, frontier scan): `Acquire`, pairing with the
+//!   release half of the winner's `SeqCst` CAS, so the `Entry` pointed to
+//!   is fully visible;
+//! * the `hint` word: `Relaxed` — it is a heuristic lower bound on the
+//!   first undecided position, and every structural read it leads to is
+//!   re-validated by a CAS or an acquire load (staleness costs
+//!   iterations, never correctness);
+//! * `announced`/`done`: `SeqCst` — they form the announce/help
+//!   handshake the O(n) bound is proved against, and they are off the
+//!   per-iteration fast path.
 //!
 //! # Failpoint sites (feature `failpoints`)
 //!
@@ -33,35 +78,44 @@
 //! | `universal::announce`  | before the announce-slot write |
 //! | `universal::announced` | after the announce is published, before threading |
 //! | `universal::cas`       | in the threading loop, before each consensus decide |
-//! | `universal::decided`   | after a decide, before the position hint advances |
+//! | `universal::decided`   | after a decide, before the position advances |
 //! | `universal::replay`    | in the replay loop, per applied entry |
 //!
-//! A thread crashed at `universal::announce` has published nothing; one
-//! crashed at any later site has an announced operation that helpers may
-//! still thread — verify such histories with
+//! The sites carry the same names as the baseline's
+//! ([`crate::universal_cell`]), so one adversary plan stresses either
+//! path. A thread crashed at `universal::announce` has published nothing;
+//! one crashed at any later site has an announced operation that helpers
+//! may still thread — verify such histories with
 //! `PendingPolicy::MayTakeEffect`.
 
 use std::fmt;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::marker::PhantomData;
+use std::ptr;
+use std::sync::atomic::{AtomicPtr, AtomicUsize, Ordering};
 use std::sync::{Arc, OnceLock};
 
 use waitfree_faults::failpoint;
 use waitfree_model::{ObjectSpec, Pid};
 
-use crate::consensus::ConsensusCell;
+/// Log positions per segment. 64 keeps a segment at one or two cache
+/// pages of pointers and makes the growth tests cheap to trigger.
+pub const SEGMENT_SIZE: usize = 64;
 
 /// Why a universal-object operation could not complete. These are the
-/// resource-exhaustion edges of the bounded-arena rendering of §4 — not
+/// resource-exhaustion edges of the bounded renderings of §4 — not
 /// concurrency failures, which the construction tolerates by design.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum UniversalError {
-    /// The log arena has no undecided position left. The operation was
-    /// already announced and *may still take effect* through helping;
-    /// the object as a whole cannot accept further operations.
+    /// The log reached its opt-in position cap
+    /// ([`WfUniversal::with_capacity`]) with no undecided position left.
+    /// The operation was already announced and *may still take effect*
+    /// through helping; the object as a whole cannot accept further
+    /// operations. Never returned by objects built with
+    /// [`WfUniversal::new`], whose log grows without bound.
     LogFull {
-        /// First position past the arena.
+        /// First position past the cap.
         position: usize,
-        /// Arena capacity.
+        /// The configured position cap.
         capacity: usize,
     },
     /// This handle used all `max_ops` announce slots; the operation was
@@ -89,7 +143,9 @@ impl fmt::Display for UniversalError {
 
 impl std::error::Error for UniversalError {}
 
-/// A log entry: one announced operation.
+/// A log entry: one announced operation. Threaded through the log as
+/// `Arc<Entry<Op>>`, so it is constructed once per operation and only
+/// ever refcount-bumped afterwards.
 #[derive(Clone, Debug)]
 pub struct Entry<Op> {
     /// The invoking thread.
@@ -100,26 +156,209 @@ pub struct Entry<Op> {
     pub op: Op,
 }
 
-#[derive(Debug)]
+/// One announce-array slot: set exactly once by the owner, read (and
+/// refcount-bumped) by helpers.
+type AnnounceSlot<S> = OnceLock<Arc<Entry<<S as ObjectSpec>::Op>>>;
+
+/// One fixed-size block of the segmented log. `base` is the global index
+/// of `slots[0]`; a null slot is an undecided position. Segments are
+/// reachable only through `next` links installed by CAS and are freed
+/// when the owning [`Shared`] drops (a decided slot owns one strong
+/// `Arc<Entry>` reference).
+struct Segment<Op> {
+    base: usize,
+    slots: Box<[AtomicPtr<Entry<Op>>]>,
+    next: AtomicPtr<Segment<Op>>,
+    /// Segments logically own the `Arc<Entry<Op>>` behind each decided
+    /// slot (dropped in `Drop`); the marker keeps auto-traits honest.
+    _own: PhantomData<Arc<Entry<Op>>>,
+}
+
+impl<Op> Segment<Op> {
+    fn new(base: usize) -> Box<Self> {
+        Box::new(Segment {
+            base,
+            slots: (0..SEGMENT_SIZE).map(|_| AtomicPtr::new(ptr::null_mut())).collect(),
+            next: AtomicPtr::new(ptr::null_mut()),
+            _own: PhantomData,
+        })
+    }
+}
+
+impl<Op> Drop for Segment<Op> {
+    fn drop(&mut self) {
+        for slot in self.slots.iter_mut() {
+            let p = *slot.get_mut();
+            if !p.is_null() {
+                // SAFETY: a non-null slot holds the strong reference
+                // transferred by the winning decide CAS; each segment is
+                // dropped exactly once (the head by its owning Box, the
+                // rest detached below before their Boxes drop), so the
+                // reference is released exactly once.
+                unsafe { drop(Arc::from_raw(p)) };
+            }
+        }
+        // Free the rest of the chain iteratively: a long log must not
+        // recurse once per segment.
+        let mut next = std::mem::replace(self.next.get_mut(), ptr::null_mut());
+        while !next.is_null() {
+            // SAFETY: `next` came from `Box::into_raw` in `grow` and is
+            // detached before the Box drops, so each segment is freed once.
+            let mut seg = unsafe { Box::from_raw(next) };
+            next = std::mem::replace(seg.next.get_mut(), ptr::null_mut());
+        }
+    }
+}
+
 struct Shared<S: ObjectSpec> {
     n: usize,
     max_ops: usize,
-    /// `announce[tid][seq]`.
-    announce: Vec<Vec<OnceLock<Entry<S::Op>>>>,
+    /// Opt-in position cap; `None` lets the log grow without bound.
+    cap: Option<usize>,
+    /// `announce[tid][seq]`. `Arc`'d so helpers take a refcount bump,
+    /// not a payload clone.
+    announce: Vec<Vec<AnnounceSlot<S>>>,
     /// Number of operations thread `tid` has announced.
     announced: Vec<AtomicUsize>,
     /// Number of operations of thread `tid` threaded onto the log.
     done: Vec<AtomicUsize>,
-    /// The log.
-    positions: Vec<ConsensusCell<Entry<S::Op>>>,
-    /// Lower bound on the first undecided position.
+    /// First segment of the log (base 0). Later segments hang off its
+    /// `next` chain and are owned by it (freed in `Segment::drop`).
+    head: Box<Segment<S::Op>>,
+    /// Number of segments ever installed (diagnostics; duplicates that
+    /// lose the install race are freed and not counted).
+    segments: AtomicUsize,
+    /// Heuristic lower bound on the first undecided position.
     hint: AtomicUsize,
 }
+
+impl<S: ObjectSpec> fmt::Debug for Shared<S> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Shared")
+            .field("n", &self.n)
+            .field("max_ops", &self.max_ops)
+            .field("cap", &self.cap)
+            .field("segments", &self.segments.load(Ordering::Relaxed))
+            .field("hint", &self.hint.load(Ordering::Relaxed))
+            .finish_non_exhaustive()
+    }
+}
+
+impl<S: ObjectSpec> Shared<S> {
+    /// The segment containing position `k`, walking forward from `seg`
+    /// (which must satisfy `seg.base <= k`) and growing the log as
+    /// needed. Returns a pointer into the chain owned by `self.head`.
+    ///
+    /// Growth is wait-free: a thread allocates the missing segment and
+    /// makes exactly one install attempt; on failure it frees its copy
+    /// and follows the winner.
+    fn seg_for(&self, mut seg: *const Segment<S::Op>, k: usize) -> *const Segment<S::Op> {
+        // SAFETY (all derefs below): segment pointers originate from
+        // `self.head` or from `next` links installed with Release and
+        // read with Acquire; segments are never freed while `self` is
+        // alive, and callers hold the `Arc<Shared>` keeping it alive.
+        loop {
+            let s = unsafe { &*seg };
+            debug_assert!(s.base <= k);
+            if k < s.base + SEGMENT_SIZE {
+                return seg;
+            }
+            // Acquire: pairs with the Release install below, so the new
+            // segment's header and nulled slots are initialized before we
+            // can observe the link.
+            let next = s.next.load(Ordering::Acquire);
+            if !next.is_null() {
+                seg = next;
+                continue;
+            }
+            let fresh = Box::into_raw(Segment::new(s.base + SEGMENT_SIZE));
+            match s.next.compare_exchange(
+                ptr::null_mut(),
+                fresh,
+                // Release: publishes the fully built segment together
+                // with the link; Acquire on failure to safely follow the
+                // winner's segment.
+                Ordering::Release,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => {
+                    self.segments.fetch_add(1, Ordering::Relaxed);
+                    seg = fresh;
+                }
+                Err(winner) => {
+                    // SAFETY: the CAS failed, so `fresh` was never
+                    // published; we still own it exclusively.
+                    drop(unsafe { Box::from_raw(fresh) });
+                    seg = winner;
+                }
+            }
+        }
+    }
+
+    /// The slot of global position `k` inside `seg` (which must contain
+    /// `k`).
+    fn slot(&self, seg: *const Segment<S::Op>, k: usize) -> &AtomicPtr<Entry<S::Op>> {
+        // SAFETY: see `seg_for` — the chain outlives `&self`.
+        let s = unsafe { &*seg };
+        debug_assert!(s.base <= k && k < s.base + SEGMENT_SIZE);
+        &s.slots[k - s.base]
+    }
+
+    /// Run pointer consensus on `slot`: propose `candidate`, return the
+    /// winner. The single CAS is the decide of Theorem 7; on success the
+    /// slot takes over `candidate`'s strong reference.
+    fn decide(
+        &self,
+        slot: &AtomicPtr<Entry<S::Op>>,
+        candidate: Arc<Entry<S::Op>>,
+    ) -> Arc<Entry<S::Op>> {
+        let proposed = Arc::into_raw(candidate).cast_mut();
+        // SeqCst success: the linearization point — kept at the strongest
+        // ordering exactly as the cell path's winner CAS was. Acquire
+        // failure: pairs with the winner's (SeqCst ⊇ Release) store so
+        // the winning Entry's fields are visible before we read them.
+        match slot.compare_exchange(
+            ptr::null_mut(),
+            proposed,
+            Ordering::SeqCst,
+            Ordering::Acquire,
+        ) {
+            Ok(_) => {
+                // SAFETY: `proposed` is a live Arc we just installed; the
+                // slot holds one strong count, this hands the caller
+                // another.
+                unsafe {
+                    Arc::increment_strong_count(proposed);
+                    Arc::from_raw(proposed)
+                }
+            }
+            Err(winner) => {
+                // SAFETY: reclaim the candidate reference the slot did
+                // not take, then borrow the winner with a fresh count
+                // (the slot's own reference stays untouched).
+                unsafe {
+                    drop(Arc::from_raw(proposed));
+                    Arc::increment_strong_count(winner);
+                    Arc::from_raw(winner)
+                }
+            }
+        }
+    }
+}
+
+// SAFETY: `Shared` is a bag of atomics plus `OnceLock<Arc<Entry<Op>>>`
+// announce slots; the raw segment pointers it owns are only mutated via
+// atomic CAS and freed once, in `Drop`. Thread-safety therefore reduces
+// to the payload's: `Op: Send + Sync` makes the shared `Arc<Entry<Op>>`s
+// safe to hand across threads.
+unsafe impl<S: ObjectSpec + Send> Send for Shared<S> where S::Op: Send + Sync {}
+unsafe impl<S: ObjectSpec + Sync> Sync for Shared<S> where S::Op: Send + Sync {}
 
 /// A wait-free universal object wrapping a sequential specification `S`.
 ///
 /// Create with [`WfUniversal::new`], then hand one [`WfHandle`] to each
-/// thread. See [`crate::wrappers`] for typed instantiations.
+/// thread. See [`crate::wrappers`] for typed instantiations, and
+/// [`crate::universal_cell`] for the unoptimised reference rendering.
 ///
 /// # Example
 ///
@@ -139,19 +378,21 @@ impl<S: ObjectSpec> WfUniversal<S> {
     /// Build the object for `n` threads, each performing at most
     /// `max_ops` operations, returning one handle per thread.
     ///
-    /// The log arena holds `2·n·max_ops + 16` positions (each entry may be
-    /// duplicated by helping).
+    /// The log starts as a single [`SEGMENT_SIZE`] segment and grows
+    /// lazily: memory is O(positions actually decided), not
+    /// O(n²·max_ops) up front, and [`UniversalError::LogFull`] is never
+    /// returned.
     // `WfUniversal` is a factory: the object only exists as the shared
     // state behind the per-thread handles it hands out.
     #[allow(clippy::new_ret_no_self)]
     #[must_use]
     pub fn new(initial: S, n: usize, max_ops: usize) -> Vec<WfHandle<S>> {
-        Self::with_capacity(initial, n, max_ops, 2 * n * max_ops + 16)
+        Self::build(initial, n, max_ops, None)
     }
 
-    /// [`WfUniversal::new`] with an explicit log-arena capacity, for
-    /// tests that need to observe [`UniversalError::LogFull`] without
-    /// allocating a large arena first.
+    /// [`WfUniversal::new`] with an explicit position cap, for tests
+    /// that need to observe [`UniversalError::LogFull`]. The log still
+    /// grows segment by segment; only the cap is enforced eagerly.
     #[must_use]
     pub fn with_capacity(
         initial: S,
@@ -159,27 +400,38 @@ impl<S: ObjectSpec> WfUniversal<S> {
         max_ops: usize,
         capacity: usize,
     ) -> Vec<WfHandle<S>> {
+        Self::build(initial, n, max_ops, Some(capacity))
+    }
+
+    fn build(initial: S, n: usize, max_ops: usize, cap: Option<usize>) -> Vec<WfHandle<S>> {
         let shared = Arc::new(Shared {
             n,
             max_ops,
+            cap,
             announce: (0..n)
                 .map(|_| (0..max_ops).map(|_| OnceLock::new()).collect())
                 .collect(),
             announced: (0..n).map(|_| AtomicUsize::new(0)).collect(),
             done: (0..n).map(|_| AtomicUsize::new(0)).collect(),
-            positions: (0..capacity).map(|_| ConsensusCell::new(n)).collect(),
+            head: Segment::new(0),
+            segments: AtomicUsize::new(1),
             hint: AtomicUsize::new(0),
         });
         (0..n)
-            .map(|tid| WfHandle {
-                shared: Arc::clone(&shared),
-                tid,
-                state: initial.clone(),
-                applied: vec![0; n],
-                cursor: 0,
-                next_seq: 0,
-                last_threading_steps: 0,
-                max_threading_steps: 0,
+            .map(|tid| {
+                let head: *const Segment<S::Op> = &*shared.head;
+                WfHandle {
+                    shared: Arc::clone(&shared),
+                    tid,
+                    state: initial.clone(),
+                    applied: vec![0; n],
+                    cursor: 0,
+                    replay_seg: head,
+                    thread_seg: head,
+                    next_seq: 0,
+                    last_threading_steps: 0,
+                    max_threading_steps: 0,
+                }
             })
             .collect()
     }
@@ -197,12 +449,25 @@ pub struct WfHandle<S: ObjectSpec> {
     applied: Vec<usize>,
     /// First log position not yet replayed.
     cursor: usize,
+    /// Segment containing `cursor` (invariant: `base <= cursor`); both
+    /// only move forward, so the cache never has to back up.
+    replay_seg: *const Segment<S::Op>,
+    /// Segment cache for the threading loop, whose position is likewise
+    /// monotone (it starts at the only-growing `hint`).
+    thread_seg: *const Segment<S::Op>,
     next_seq: usize,
     /// Threading-loop iterations (consensus decides) of the last invoke.
     last_threading_steps: usize,
     /// Maximum threading-loop iterations over any single invoke.
     max_threading_steps: usize,
 }
+
+// SAFETY: the raw segment pointers cached here always point into the
+// chain owned by `shared`, which the handle keeps alive via its
+// `Arc<Shared<S>>`; they are plain caches, carrying no ownership. The
+// handle is therefore exactly as thread-safe as its owned state (`S`)
+// plus the shared structure (see `Shared`'s impls).
+unsafe impl<S: ObjectSpec + Send + Sync> Send for WfHandle<S> where S::Op: Send + Sync {}
 
 impl<S: ObjectSpec> WfHandle<S> {
     /// This handle's thread index.
@@ -233,8 +498,20 @@ impl<S: ObjectSpec> WfHandle<S> {
         self.max_threading_steps
     }
 
-    /// The oldest announced-but-unthreaded entry of thread `t`, if any.
-    fn pending(&self, t: usize) -> Option<Entry<S::Op>> {
+    /// Number of log segments installed so far (each [`SEGMENT_SIZE`]
+    /// positions). Starts at 1; diagnostics for the growth tests.
+    #[must_use]
+    pub fn segments(&self) -> usize {
+        self.shared.segments.load(Ordering::Relaxed)
+    }
+
+    /// The oldest announced-but-unthreaded entry of thread `t`, if any —
+    /// a refcount bump, never a payload clone.
+    fn pending(&self, t: usize) -> Option<Arc<Entry<S::Op>>> {
+        // SeqCst on both counters: the announce/help handshake. Seeing
+        // `announced > done` must imply the announce slot is populated,
+        // which the announcing thread guarantees by writing the slot
+        // before its SeqCst store to `announced`.
         let d = self.shared.done[t].load(Ordering::SeqCst);
         let a = self.shared.announced[t].load(Ordering::SeqCst);
         if d < a {
@@ -248,9 +525,10 @@ impl<S: ObjectSpec> WfHandle<S> {
     ///
     /// # Panics
     ///
-    /// Panics if the handle exceeds its `max_ops` budget or the log arena
-    /// is exhausted — the message is the [`UniversalError`] display. Use
-    /// [`Self::try_invoke`] to handle exhaustion as a value.
+    /// Panics if the handle exceeds its `max_ops` budget or a
+    /// [`WfUniversal::with_capacity`] log cap is hit — the message is
+    /// the [`UniversalError`] display. Use [`Self::try_invoke`] to
+    /// handle exhaustion as a value.
     pub fn invoke(&mut self, op: S::Op) -> S::Resp {
         match self.try_invoke(op) {
             Ok(resp) => resp,
@@ -269,8 +547,9 @@ impl<S: ObjectSpec> WfHandle<S> {
     /// # Errors
     ///
     /// [`UniversalError::BudgetExhausted`] after `max_ops` invocations on
-    /// this handle; [`UniversalError::LogFull`] when the log arena runs
-    /// out of undecided positions.
+    /// this handle; [`UniversalError::LogFull`] when a
+    /// [`WfUniversal::with_capacity`] cap leaves no undecided position
+    /// (never for [`WfUniversal::new`] objects).
     pub fn try_invoke(&mut self, op: S::Op) -> Result<S::Resp, UniversalError> {
         let seq = self.next_seq;
         if seq >= self.shared.max_ops {
@@ -281,43 +560,66 @@ impl<S: ObjectSpec> WfHandle<S> {
         }
         self.next_seq += 1;
 
-        // 1. Announce.
+        // 1. Announce. One allocation per operation; everything after
+        //    this line moves the Arc, not the payload.
         failpoint!("universal::announce");
-        let entry = Entry { tid: self.tid, seq, op };
-        let _ = self.shared.announce[self.tid][seq].set(entry.clone());
+        let entry = Arc::new(Entry { tid: self.tid, seq, op });
+        let _ = self.shared.announce[self.tid][seq].set(Arc::clone(&entry));
         self.shared.announced[self.tid].store(seq + 1, Ordering::SeqCst);
         failpoint!("universal::announced");
 
         // 2. Thread onto the log, helping the preferred thread of each
-        //    position.
+        //    position. The shared hint is republished every n-th
+        //    iteration and once after the loop (not per decide): its lag
+        //    behind the true frontier stays < n, preserving the ≤ 2n
+        //    step bound, while the common case pays zero RMWs on the
+        //    contended word inside the loop.
         let mut steps = 0usize;
-        let mut k = self.shared.hint.load(Ordering::SeqCst);
+        // Relaxed: `hint` is a heuristic starting point. A stale value
+        // only costs extra (cheap, already-decided) iterations; segment
+        // reachability is re-established by the acquire walk in
+        // `seg_for`, never assumed from `hint`.
+        let mut k = self.shared.hint.load(Ordering::Relaxed);
         while self.shared.done[self.tid].load(Ordering::SeqCst) <= seq {
-            if k >= self.shared.positions.len() {
-                return Err(UniversalError::LogFull {
-                    position: k,
-                    capacity: self.shared.positions.len(),
-                });
+            if let Some(cap) = self.shared.cap {
+                if k >= cap {
+                    self.publish_hint(k);
+                    return Err(UniversalError::LogFull { position: k, capacity: cap });
+                }
             }
+            self.thread_seg = self.shared.seg_for(self.thread_seg, k);
+            let slot = self.shared.slot(self.thread_seg, k);
             let preferred = k % self.shared.n;
-            let candidate = self.pending(preferred).unwrap_or_else(|| entry.clone());
+            let candidate = self.pending(preferred).unwrap_or_else(|| Arc::clone(&entry));
             failpoint!("universal::cas");
-            let winner = self.shared.positions[k].decide(self.tid, candidate);
+            let winner = self.shared.decide(slot, candidate);
             self.shared.done[winner.tid].fetch_max(winner.seq + 1, Ordering::SeqCst);
             failpoint!("universal::decided");
             steps += 1;
             k += 1;
-            self.shared.hint.fetch_max(k, Ordering::SeqCst);
+            if steps.is_multiple_of(self.shared.n) {
+                self.publish_hint(k);
+            }
         }
+        self.publish_hint(k);
         self.last_threading_steps = steps;
         self.max_threading_steps = self.max_threading_steps.max(steps);
 
         // 3. Replay until our own entry is applied.
         loop {
-            let Some(e) = self.shared.positions[self.cursor].value() else {
-                unreachable!("own entry is threaded at or before the first undecided position")
-            };
-            let e = e.clone();
+            self.replay_seg = self.shared.seg_for(self.replay_seg, self.cursor);
+            // Acquire: pairs with the winning decide CAS (SeqCst ⊇
+            // Release), so the Entry behind a non-null slot is fully
+            // initialized before we dereference it.
+            let raw = self.shared.slot(self.replay_seg, self.cursor).load(Ordering::Acquire);
+            assert!(
+                !raw.is_null(),
+                "own entry is threaded at or before the first undecided position"
+            );
+            // SAFETY: a non-null slot holds a strong reference that is
+            // never released while `shared` lives; borrow it without
+            // taking a count — the borrow ends inside this iteration.
+            let e = unsafe { &*raw };
             self.cursor += 1;
             if e.seq != self.applied[e.tid] {
                 continue; // duplicate from helping
@@ -331,11 +633,26 @@ impl<S: ObjectSpec> WfHandle<S> {
         }
     }
 
+    /// Advance the shared frontier hint to at least `k`.
+    fn publish_hint(&self, k: usize) {
+        // Relaxed: the hint is advisory (see the load in `try_invoke`);
+        // no reader derives a happens-before edge from it.
+        self.shared.hint.fetch_max(k, Ordering::Relaxed);
+    }
+
     /// Replay any outstanding log entries and return a copy of the
     /// current abstract state (a linearizable read of the whole object).
     pub fn refresh(&mut self) -> S {
-        while let Some(e) = self.shared.positions[self.cursor].value() {
-            let e = e.clone();
+        loop {
+            self.replay_seg = self.shared.seg_for(self.replay_seg, self.cursor);
+            // Acquire: same slot-publication edge as the replay loop.
+            let raw = self.shared.slot(self.replay_seg, self.cursor).load(Ordering::Acquire);
+            if raw.is_null() {
+                break;
+            }
+            // SAFETY: as in `try_invoke`'s replay — the slot's strong
+            // reference outlives this borrow.
+            let e = unsafe { &*raw };
             self.cursor += 1;
             if e.seq != self.applied[e.tid] {
                 continue;
@@ -471,8 +788,8 @@ mod tests {
 
     #[test]
     fn log_full_is_a_typed_error_not_a_panic() {
-        // A deliberately tiny arena: the third operation has no
-        // undecided position left.
+        // A deliberately tiny cap: the third operation has no undecided
+        // position left.
         let mut handles = WfUniversal::with_capacity(Counter::new(0), 1, 8, 2);
         let mut h = handles.remove(0);
         assert!(h.try_invoke(CounterOp::Add(1)).is_ok());
@@ -484,6 +801,20 @@ mod tests {
             }
             other => panic!("expected LogFull, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn uncapped_log_outgrows_the_old_arena_formula() {
+        // The seed arena would have held 2·1·4 + 16 = 24 positions; the
+        // segmented log happily passes any fixed bound.
+        let per = 3 * SEGMENT_SIZE;
+        let mut handles = WfUniversal::new(Counter::new(0), 1, per + 1);
+        let mut h = handles.remove(0);
+        for _ in 0..per {
+            h.invoke(CounterOp::Add(1));
+        }
+        assert_eq!(h.invoke(CounterOp::Get), CounterResp::Value(per as i64));
+        assert!(h.segments() >= 3, "log grew across segments: {}", h.segments());
     }
 
     #[test]
@@ -531,7 +862,8 @@ mod tests {
     #[test]
     fn per_op_position_consumption_is_bounded() {
         // Wait-freedom evidence: with helping, total positions consumed
-        // stays within the 2·n·ops arena even under contention.
+        // stay within 2·n·ops even under contention (each entry appears
+        // at most twice).
         let threads = 3;
         let per = 400;
         let handles = WfUniversal::new(Counter::new(0), threads, per);
@@ -542,11 +874,53 @@ mod tests {
                     for _ in 0..per {
                         h.invoke(CounterOp::Add(1));
                     }
+                    h.segments()
                 })
             })
             .collect();
         for j in joins {
-            j.join().unwrap();
+            let segments = j.join().unwrap();
+            let max_positions = 2 * threads * per;
+            assert!(
+                (segments - 1) * SEGMENT_SIZE <= max_positions,
+                "{segments} segments exceeds the 2·n·ops position bound"
+            );
         }
+    }
+
+    #[test]
+    fn entries_are_freed_with_the_object() {
+        // Leak check by refcount: after all handles drop, the Arc<Entry>
+        // count behind a probe operation must fall back to 1.
+        let probe = Arc::new(());
+        #[derive(Clone, Debug, PartialEq, Eq, Hash)]
+        struct Probe;
+        impl waitfree_model::ObjectSpec for Probe {
+            type Op = ProbeOp;
+            type Resp = ();
+            fn apply(&mut self, _pid: Pid, _op: &Self::Op) {}
+        }
+        // The field is never read: it exists so the op's drop decrements
+        // the probe Arc, making leaked entries observable as refcounts.
+        #[derive(Clone, Debug)]
+        struct ProbeOp(#[allow(dead_code)] Arc<()>);
+        impl PartialEq for ProbeOp {
+            fn eq(&self, _: &Self) -> bool {
+                true
+            }
+        }
+        impl Eq for ProbeOp {}
+        impl std::hash::Hash for ProbeOp {
+            fn hash<H: std::hash::Hasher>(&self, _: &mut H) {}
+        }
+
+        let mut handles = WfUniversal::new(Probe, 2, 8);
+        let mut h = handles.remove(0);
+        h.invoke(ProbeOp(Arc::clone(&probe)));
+        h.invoke(ProbeOp(Arc::clone(&probe)));
+        assert!(Arc::strong_count(&probe) > 1, "log holds the payload");
+        drop(h);
+        drop(handles);
+        assert_eq!(Arc::strong_count(&probe), 1, "all log references freed");
     }
 }

@@ -1,0 +1,360 @@
+//! The original [`ConsensusCell`]-based universal object, kept as the
+//! fidelity baseline.
+//!
+//! This is §4's construction exactly as first built here: a shared log
+//! in which each position is a one-shot [`ConsensusCell`] (slot-write +
+//! usize-CAS + slot-read per decide), an eagerly allocated
+//! `2·n·max_ops + 16` position arena, and an `Entry` clone per threading
+//! iteration. [`crate::universal`] supersedes it on the hot path with
+//! single-CAS pointer consensus and a segmented, lazily grown log; this
+//! module stays because
+//!
+//! * it is the most literal hardware transcription of Figure 4-5, the
+//!   shape the explorer/model crates cross-check against, and
+//! * it is the *before* leg of the `bench_universal` comparison — the
+//!   recorded speedup in `BENCH_universal.json` is measured against this
+//!   implementation, so it must keep running.
+//!
+//! Aside from the renaming ([`CellUniversal`]/[`CellHandle`]) and the
+//! shared [`UniversalError`]/[`Entry`] types, the algorithm, memory
+//! orderings (uniformly `SeqCst`) and failpoint sites are unchanged from
+//! the seed. The sites carry the same `universal::*` names as the
+//! optimised path so the fault-injection harness can stress either
+//! implementation with one adversary plan.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, OnceLock};
+
+use waitfree_faults::failpoint;
+use waitfree_model::{ObjectSpec, Pid};
+
+use crate::consensus::ConsensusCell;
+use crate::universal::{Entry, UniversalError};
+
+#[derive(Debug)]
+struct Shared<S: ObjectSpec> {
+    n: usize,
+    max_ops: usize,
+    /// `announce[tid][seq]`.
+    announce: Vec<Vec<OnceLock<Entry<S::Op>>>>,
+    /// Number of operations thread `tid` has announced.
+    announced: Vec<AtomicUsize>,
+    /// Number of operations of thread `tid` threaded onto the log.
+    done: Vec<AtomicUsize>,
+    /// The log.
+    positions: Vec<ConsensusCell<Entry<S::Op>>>,
+    /// Lower bound on the first undecided position.
+    hint: AtomicUsize,
+}
+
+/// The unoptimised wait-free universal object (see the module docs for
+/// why it is kept). Same API shape as
+/// [`WfUniversal`](crate::universal::WfUniversal): a factory returning
+/// one [`CellHandle`] per thread.
+///
+/// # Example
+///
+/// ```
+/// use waitfree_objects::counter::{Counter, CounterOp, CounterResp};
+/// use waitfree_sync::universal_cell::CellUniversal;
+///
+/// let mut handles = CellUniversal::new(Counter::new(0), 2, 16);
+/// let mut h0 = handles.remove(0);
+/// assert_eq!(h0.invoke(CounterOp::FetchAndAdd(5)), CounterResp::Value(0));
+/// ```
+pub struct CellUniversal<S: ObjectSpec>(std::marker::PhantomData<S>);
+
+impl<S: ObjectSpec> CellUniversal<S> {
+    /// Build the object for `n` threads, each performing at most
+    /// `max_ops` operations, returning one handle per thread.
+    ///
+    /// The log arena holds `2·n·max_ops + 16` positions (each entry may
+    /// be duplicated by helping), each an n-slot [`ConsensusCell`] —
+    /// allocated eagerly, the O(n²·max_ops) footprint the segmented path
+    /// removes.
+    #[allow(clippy::new_ret_no_self)]
+    #[must_use]
+    pub fn new(initial: S, n: usize, max_ops: usize) -> Vec<CellHandle<S>> {
+        Self::with_capacity(initial, n, max_ops, 2 * n * max_ops + 16)
+    }
+
+    /// [`CellUniversal::new`] with an explicit log-arena capacity, for
+    /// tests that need to observe [`UniversalError::LogFull`] without
+    /// allocating a large arena first.
+    #[must_use]
+    pub fn with_capacity(
+        initial: S,
+        n: usize,
+        max_ops: usize,
+        capacity: usize,
+    ) -> Vec<CellHandle<S>> {
+        let shared = Arc::new(Shared {
+            n,
+            max_ops,
+            announce: (0..n)
+                .map(|_| (0..max_ops).map(|_| OnceLock::new()).collect())
+                .collect(),
+            announced: (0..n).map(|_| AtomicUsize::new(0)).collect(),
+            done: (0..n).map(|_| AtomicUsize::new(0)).collect(),
+            positions: (0..capacity).map(|_| ConsensusCell::new(n)).collect(),
+            hint: AtomicUsize::new(0),
+        });
+        (0..n)
+            .map(|tid| CellHandle {
+                shared: Arc::clone(&shared),
+                tid,
+                state: initial.clone(),
+                applied: vec![0; n],
+                cursor: 0,
+                next_seq: 0,
+                last_threading_steps: 0,
+                max_threading_steps: 0,
+            })
+            .collect()
+    }
+}
+
+/// One thread's handle onto a [`CellUniversal`] object. Not `Clone`: the
+/// thread identity is baked in.
+#[derive(Debug)]
+pub struct CellHandle<S: ObjectSpec> {
+    shared: Arc<Shared<S>>,
+    tid: usize,
+    /// Cached replica, replayed up to `cursor`.
+    state: S,
+    /// Per-thread watermark of applied sequence numbers (deduplication).
+    applied: Vec<usize>,
+    /// First log position not yet replayed.
+    cursor: usize,
+    next_seq: usize,
+    /// Threading-loop iterations (consensus decides) of the last invoke.
+    last_threading_steps: usize,
+    /// Maximum threading-loop iterations over any single invoke.
+    max_threading_steps: usize,
+}
+
+impl<S: ObjectSpec> CellHandle<S> {
+    /// This handle's thread index.
+    #[must_use]
+    pub fn tid(&self) -> usize {
+        self.tid
+    }
+
+    /// Number of threads sharing the object (the `n` of the O(n)
+    /// helping bound).
+    #[must_use]
+    pub fn n(&self) -> usize {
+        self.shared.n
+    }
+
+    /// Consensus decides the last completed `invoke` spent threading its
+    /// operation.
+    #[must_use]
+    pub fn last_threading_steps(&self) -> usize {
+        self.last_threading_steps
+    }
+
+    /// Worst [`Self::last_threading_steps`] across this handle's life.
+    #[must_use]
+    pub fn max_threading_steps(&self) -> usize {
+        self.max_threading_steps
+    }
+
+    /// The oldest announced-but-unthreaded entry of thread `t`, if any.
+    fn pending(&self, t: usize) -> Option<Entry<S::Op>> {
+        let d = self.shared.done[t].load(Ordering::SeqCst);
+        let a = self.shared.announced[t].load(Ordering::SeqCst);
+        if d < a {
+            self.shared.announce[t][d].get().cloned()
+        } else {
+            None
+        }
+    }
+
+    /// Execute `op` wait-free, returning its response.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the handle exceeds its `max_ops` budget or the log arena
+    /// is exhausted — the message is the [`UniversalError`] display. Use
+    /// [`Self::try_invoke`] to handle exhaustion as a value.
+    pub fn invoke(&mut self, op: S::Op) -> S::Resp {
+        match self.try_invoke(op) {
+            Ok(resp) => resp,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Execute `op` wait-free, or report resource exhaustion as a typed
+    /// error instead of panicking.
+    ///
+    /// # Errors
+    ///
+    /// [`UniversalError::BudgetExhausted`] after `max_ops` invocations on
+    /// this handle; [`UniversalError::LogFull`] when the log arena runs
+    /// out of undecided positions.
+    pub fn try_invoke(&mut self, op: S::Op) -> Result<S::Resp, UniversalError> {
+        let seq = self.next_seq;
+        if seq >= self.shared.max_ops {
+            return Err(UniversalError::BudgetExhausted {
+                tid: self.tid,
+                max_ops: self.shared.max_ops,
+            });
+        }
+        self.next_seq += 1;
+
+        // 1. Announce.
+        failpoint!("universal::announce");
+        let entry = Entry { tid: self.tid, seq, op };
+        let _ = self.shared.announce[self.tid][seq].set(entry.clone());
+        self.shared.announced[self.tid].store(seq + 1, Ordering::SeqCst);
+        failpoint!("universal::announced");
+
+        // 2. Thread onto the log, helping the preferred thread of each
+        //    position.
+        let mut steps = 0usize;
+        let mut k = self.shared.hint.load(Ordering::SeqCst);
+        while self.shared.done[self.tid].load(Ordering::SeqCst) <= seq {
+            if k >= self.shared.positions.len() {
+                return Err(UniversalError::LogFull {
+                    position: k,
+                    capacity: self.shared.positions.len(),
+                });
+            }
+            let preferred = k % self.shared.n;
+            let candidate = self.pending(preferred).unwrap_or_else(|| entry.clone());
+            failpoint!("universal::cas");
+            let winner = self.shared.positions[k].decide(self.tid, candidate);
+            self.shared.done[winner.tid].fetch_max(winner.seq + 1, Ordering::SeqCst);
+            failpoint!("universal::decided");
+            steps += 1;
+            k += 1;
+            self.shared.hint.fetch_max(k, Ordering::SeqCst);
+        }
+        self.last_threading_steps = steps;
+        self.max_threading_steps = self.max_threading_steps.max(steps);
+
+        // 3. Replay until our own entry is applied.
+        loop {
+            let Some(e) = self.shared.positions[self.cursor].value() else {
+                unreachable!("own entry is threaded at or before the first undecided position")
+            };
+            let e = e.clone();
+            self.cursor += 1;
+            if e.seq != self.applied[e.tid] {
+                continue; // duplicate from helping
+            }
+            failpoint!("universal::replay");
+            let resp = self.state.apply(Pid(e.tid), &e.op);
+            self.applied[e.tid] += 1;
+            if e.tid == self.tid && e.seq == seq {
+                return Ok(resp);
+            }
+        }
+    }
+
+    /// Replay any outstanding log entries and return a copy of the
+    /// current abstract state (a linearizable read of the whole object).
+    pub fn refresh(&mut self) -> S {
+        while let Some(e) = self.shared.positions[self.cursor].value() {
+            let e = e.clone();
+            self.cursor += 1;
+            if e.seq != self.applied[e.tid] {
+                continue;
+            }
+            self.state.apply(Pid(e.tid), &e.op);
+            self.applied[e.tid] += 1;
+        }
+        self.state.clone()
+    }
+
+    /// Total log entries this handle has replayed (diagnostics).
+    #[must_use]
+    pub fn replayed(&self) -> usize {
+        self.cursor
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+    use waitfree_objects::counter::{Counter, CounterOp, CounterResp};
+    use waitfree_objects::queue::{FifoQueue, QueueOp, QueueResp};
+
+    #[test]
+    fn single_thread_matches_spec() {
+        let mut handles = CellUniversal::new(FifoQueue::new(), 1, 16);
+        let mut h = handles.remove(0);
+        assert_eq!(h.invoke(QueueOp::Enq(1)), QueueResp::Ack);
+        assert_eq!(h.invoke(QueueOp::Enq(2)), QueueResp::Ack);
+        assert_eq!(h.invoke(QueueOp::Deq), QueueResp::Item(1));
+        assert_eq!(h.invoke(QueueOp::Deq), QueueResp::Item(2));
+        assert_eq!(h.invoke(QueueOp::Deq), QueueResp::Empty);
+    }
+
+    #[test]
+    fn counter_is_exact_under_contention() {
+        let threads = 4;
+        let per = 300;
+        let handles = CellUniversal::new(Counter::new(0), threads, per + 1);
+        let joins: Vec<_> = handles
+            .into_iter()
+            .map(|mut h| {
+                thread::spawn(move || {
+                    for _ in 0..per {
+                        h.invoke(CounterOp::Add(1));
+                    }
+                    h
+                })
+            })
+            .collect();
+        let mut finished: Vec<_> = joins.into_iter().map(|j| j.join().unwrap()).collect();
+        let mut last = finished.pop().unwrap();
+        match last.invoke(CounterOp::Get) {
+            CounterResp::Value(v) => assert_eq!(v, (threads * per) as i64),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn log_full_is_a_typed_error_not_a_panic() {
+        let mut handles = CellUniversal::with_capacity(Counter::new(0), 1, 8, 2);
+        let mut h = handles.remove(0);
+        assert!(h.try_invoke(CounterOp::Add(1)).is_ok());
+        assert!(h.try_invoke(CounterOp::Add(1)).is_ok());
+        match h.try_invoke(CounterOp::Add(1)) {
+            Err(UniversalError::LogFull { position, capacity }) => {
+                assert_eq!(position, 2);
+                assert_eq!(capacity, 2);
+            }
+            other => panic!("expected LogFull, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn refresh_converges_across_handles() {
+        let mut handles = CellUniversal::new(Counter::new(0), 2, 8);
+        let mut h1 = handles.pop().unwrap();
+        let mut h0 = handles.pop().unwrap();
+        h0.invoke(CounterOp::Add(3));
+        h0.invoke(CounterOp::Add(4));
+        assert_eq!(h1.refresh(), h0.refresh(), "replicas converge");
+    }
+
+    #[test]
+    fn matches_the_pointer_path_on_a_shared_script() {
+        // Cross-implementation witness: the baseline and the optimised
+        // path compute identical responses for the same single-threaded
+        // script.
+        use crate::universal::WfUniversal;
+        let script: Vec<QueueOp> = (0..40)
+            .flat_map(|i| [QueueOp::Enq(i), QueueOp::Deq])
+            .collect();
+        let mut cell = CellUniversal::new(FifoQueue::new(), 1, script.len()).remove(0);
+        let mut ptr = WfUniversal::new(FifoQueue::new(), 1, script.len()).remove(0);
+        for op in script {
+            assert_eq!(cell.invoke(op.clone()), ptr.invoke(op));
+        }
+    }
+}

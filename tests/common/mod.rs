@@ -1,0 +1,101 @@
+//! Shared test plumbing: one abstraction over the two universal-object
+//! implementations, so every fault-injection and helping-bound scenario
+//! runs against both the optimised pointer-CAS path
+//! (`waitfree::sync::universal`) and the `ConsensusCell` baseline
+//! (`waitfree::sync::universal_cell`).
+#![allow(dead_code)] // each test binary uses a different subset
+
+use waitfree::objects::counter::{Counter, CounterOp, CounterResp};
+use waitfree::sync::universal::{UniversalError, WfHandle, WfUniversal};
+use waitfree::sync::universal_cell::{CellHandle, CellUniversal};
+
+/// A wait-free counter built on one of the two universal-object paths.
+/// Both implementations place the same `universal::*` failpoint sites at
+/// the same algorithmic steps, so a single adversary plan stresses
+/// either.
+pub trait CounterPath: Sized + Send + 'static {
+    /// Short label for assertion messages.
+    const NAME: &'static str;
+
+    /// One handle per thread, unbounded (or seed-formula) log.
+    fn create(n: usize, max_ops: usize) -> Vec<Self>;
+    /// One handle per thread with an explicit log-position cap, so
+    /// `UniversalError::LogFull` is observable.
+    fn create_capped(n: usize, max_ops: usize, capacity: usize) -> Vec<Self>;
+    /// `invoke` on the underlying handle.
+    fn invoke(&mut self, op: CounterOp) -> CounterResp;
+    /// `try_invoke` on the underlying handle.
+    fn try_invoke(&mut self, op: CounterOp) -> Result<CounterResp, UniversalError>;
+    /// The handle's thread index.
+    fn tid(&self) -> usize;
+    /// Worst-case threading-loop iterations over the handle's life.
+    fn max_threading_steps(&self) -> usize;
+}
+
+/// The optimised pointer-CAS / segmented-log path.
+pub struct PtrPath(pub WfHandle<Counter>);
+
+impl CounterPath for PtrPath {
+    const NAME: &'static str = "pointer";
+
+    fn create(n: usize, max_ops: usize) -> Vec<Self> {
+        WfUniversal::new(Counter::new(0), n, max_ops).into_iter().map(PtrPath).collect()
+    }
+
+    fn create_capped(n: usize, max_ops: usize, capacity: usize) -> Vec<Self> {
+        WfUniversal::with_capacity(Counter::new(0), n, max_ops, capacity)
+            .into_iter()
+            .map(PtrPath)
+            .collect()
+    }
+
+    fn invoke(&mut self, op: CounterOp) -> CounterResp {
+        self.0.invoke(op)
+    }
+
+    fn try_invoke(&mut self, op: CounterOp) -> Result<CounterResp, UniversalError> {
+        self.0.try_invoke(op)
+    }
+
+    fn tid(&self) -> usize {
+        self.0.tid()
+    }
+
+    fn max_threading_steps(&self) -> usize {
+        self.0.max_threading_steps()
+    }
+}
+
+/// The seed `ConsensusCell` baseline path.
+pub struct CellPath(pub CellHandle<Counter>);
+
+impl CounterPath for CellPath {
+    const NAME: &'static str = "cell";
+
+    fn create(n: usize, max_ops: usize) -> Vec<Self> {
+        CellUniversal::new(Counter::new(0), n, max_ops).into_iter().map(CellPath).collect()
+    }
+
+    fn create_capped(n: usize, max_ops: usize, capacity: usize) -> Vec<Self> {
+        CellUniversal::with_capacity(Counter::new(0), n, max_ops, capacity)
+            .into_iter()
+            .map(CellPath)
+            .collect()
+    }
+
+    fn invoke(&mut self, op: CounterOp) -> CounterResp {
+        self.0.invoke(op)
+    }
+
+    fn try_invoke(&mut self, op: CounterOp) -> Result<CounterResp, UniversalError> {
+        self.0.try_invoke(op)
+    }
+
+    fn tid(&self) -> usize {
+        self.0.tid()
+    }
+
+    fn max_threading_steps(&self) -> usize {
+        self.0.max_threading_steps()
+    }
+}

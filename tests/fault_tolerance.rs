@@ -17,19 +17,27 @@
 //!    operations included as pending invocations — is accepted by
 //!    [`waitfree::model::linearize`] under `PendingPolicy::MayTakeEffect`.
 //!
+//! Every scenario runs against **both** universal-object paths: the
+//! optimised pointer-CAS/segmented-log implementation and the seed
+//! `ConsensusCell` baseline (see `common::CounterPath`) — the
+//! optimisation must not cost any fault-tolerance property.
+//!
 //! Run with `cargo test --features failpoints --test fault_tolerance`.
 #![cfg(feature = "failpoints")]
+
+mod common;
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread;
 use std::time::Duration;
 
+use common::{CellPath, CounterPath, PtrPath};
 use waitfree::faults::failpoints::{self, FailpointConfig, FaultAction, Fire};
 use waitfree::faults::harness::{install_adversary, plan_adversary, spawn_workers, Outcome};
 use waitfree::model::{linearize, History, PendingPolicy, Pid};
 use waitfree::objects::counter::{Counter, CounterOp, CounterResp};
-use waitfree::sync::universal::{UniversalError, WfUniversal};
+use waitfree::sync::universal::UniversalError;
 
 /// Sites the adversary may target: announce published, pre-CAS, post-CAS.
 const SITES: &[&str] = &["universal::announced", "universal::cas", "universal::decided"];
@@ -59,9 +67,10 @@ fn build_history(mut events: Vec<(u64, Ev)>) -> History<CounterOp, CounterResp> 
     h
 }
 
-/// The full adversarial scenario, per seed: 6 threads hammer one
-/// wait-free counter; 2 of them are crashed/stalled mid-operation.
-fn adversarial_round(seed: u64) {
+/// The full adversarial scenario, per seed and per implementation path:
+/// 6 threads hammer one wait-free counter; 2 of them are crashed/stalled
+/// mid-operation.
+fn adversarial_round<P: CounterPath>(seed: u64) {
     const N: usize = 6;
     const VICTIMS: usize = 2;
     const OPS: usize = 8;
@@ -80,11 +89,8 @@ fn adversarial_round(seed: u64) {
     failpoints::set_seed(seed);
     install_adversary(&plan);
 
-    let handles: Arc<Vec<Mutex<Option<_>>>> = Arc::new(
-        WfUniversal::new(Counter::new(0), N, OPS)
-            .into_iter()
-            .map(|h| Mutex::new(Some(h)))
-            .collect(),
+    let handles: Arc<Vec<Mutex<Option<P>>>> = Arc::new(
+        P::create(N, OPS).into_iter().map(|h| Mutex::new(Some(h))).collect(),
     );
     let clock = Arc::new(AtomicU64::new(0));
     let events: Arc<Mutex<Vec<(u64, Ev)>>> = Arc::new(Mutex::new(Vec::new()));
@@ -112,7 +118,8 @@ fn adversarial_round(seed: u64) {
     // still parked: wait-freedom does not wait for the slow.
     assert!(
         group.await_finished(N - stalled.len(), Duration::from_secs(60)),
-        "seed {seed}: survivors did not complete while victims were down"
+        "[{}] seed {seed}: survivors did not complete while victims were down",
+        P::NAME
     );
 
     let outcomes = group.finish();
@@ -121,24 +128,31 @@ fn adversarial_round(seed: u64) {
             Outcome::Completed((responses, max_steps)) => {
                 assert!(
                     !crashed.contains(&tid),
-                    "seed {seed}: crash victim {tid} completed all ops"
+                    "[{}] seed {seed}: crash victim {tid} completed all ops",
+                    P::NAME
                 );
                 assert_eq!(responses.len(), OPS);
                 // (2) The helping bound: O(n) own consensus steps per op.
                 assert!(
                     *max_steps <= 2 * N + 8,
-                    "seed {seed}: thread {tid} took {max_steps} threading steps (n = {N})"
+                    "[{}] seed {seed}: thread {tid} took {max_steps} threading steps (n = {N})",
+                    P::NAME
                 );
             }
             Outcome::Crashed { site } => {
                 assert!(
                     crashed.contains(&tid),
-                    "seed {seed}: unplanned crash of thread {tid} at {site}"
+                    "[{}] seed {seed}: unplanned crash of thread {tid} at {site}",
+                    P::NAME
                 );
-                assert!(SITES.contains(&site.as_str()), "seed {seed}: foreign site {site}");
+                assert!(
+                    SITES.contains(&site.as_str()),
+                    "[{}] seed {seed}: foreign site {site}",
+                    P::NAME
+                );
             }
             Outcome::Panicked { message } => {
-                panic!("seed {seed}: thread {tid} genuinely panicked: {message}")
+                panic!("[{}] seed {seed}: thread {tid} genuinely panicked: {message}", P::NAME)
             }
         }
     }
@@ -148,11 +162,16 @@ fn adversarial_round(seed: u64) {
     let events = Arc::try_unwrap(events).expect("all workers joined").into_inner().unwrap();
     let history = build_history(events);
     let pending = history.ops().iter().filter(|op| op.resp.is_none()).count();
-    assert!(pending <= VICTIMS, "seed {seed}: at most one pending op per victim");
+    assert!(
+        pending <= VICTIMS,
+        "[{}] seed {seed}: at most one pending op per victim",
+        P::NAME
+    );
     let report = linearize(&history, &Counter::new(0), PendingPolicy::MayTakeEffect);
     assert!(
         report.outcome.is_ok(),
-        "seed {seed}: non-linearizable history with {pending} pending ops: {history:?}"
+        "[{}] seed {seed}: non-linearizable history with {pending} pending ops: {history:?}",
+        P::NAME
     );
 }
 
@@ -161,14 +180,14 @@ fn survivors_complete_and_history_linearizes_under_adversary() {
     let _guard = failpoints::exclusive();
     for seed in [1, 2, 3, 4, 5] {
         failpoints::clear();
-        adversarial_round(seed);
+        adversarial_round::<PtrPath>(seed);
+        failpoints::clear();
+        adversarial_round::<CellPath>(seed);
     }
     failpoints::clear();
 }
 
-#[test]
-fn stalled_thread_is_observable_parked_then_resumes() {
-    let _guard = failpoints::exclusive();
+fn stalled_thread_scenario<P: CounterPath>() {
     failpoints::clear();
 
     const N: usize = 3;
@@ -183,11 +202,8 @@ fn stalled_thread_is_observable_parked_then_resumes() {
         },
     );
 
-    let handles: Arc<Vec<Mutex<Option<_>>>> = Arc::new(
-        WfUniversal::new(Counter::new(0), N, OPS)
-            .into_iter()
-            .map(|h| Mutex::new(Some(h)))
-            .collect(),
+    let handles: Arc<Vec<Mutex<Option<P>>>> = Arc::new(
+        P::create(N, OPS).into_iter().map(|h| Mutex::new(Some(h))).collect(),
     );
     let group = {
         let handles = Arc::clone(&handles);
@@ -204,13 +220,18 @@ fn stalled_thread_is_observable_parked_then_resumes() {
     // The two unstalled threads finish; thread 0 ends up parked at the
     // site (it may still be on its way there when the survivors finish,
     // hence the bounded wait rather than an instant assert).
-    assert!(group.await_finished(N - 1, Duration::from_secs(60)));
+    assert!(group.await_finished(N - 1, Duration::from_secs(60)), "[{}]", P::NAME);
     let deadline = std::time::Instant::now() + Duration::from_secs(60);
     while failpoints::stalled_count() != 1 {
-        assert!(std::time::Instant::now() < deadline, "victim never parked");
+        assert!(std::time::Instant::now() < deadline, "[{}] victim never parked", P::NAME);
         thread::yield_now();
     }
-    assert_eq!(group.finished_count(), N - 1, "the parked victim never counts as finished");
+    assert_eq!(
+        group.finished_count(),
+        N - 1,
+        "[{}] the parked victim never counts as finished",
+        P::NAME
+    );
 
     // finish() releases the stall; the victim completes its remaining ops.
     let outcomes = group.finish();
@@ -224,17 +245,22 @@ fn stalled_thread_is_observable_parked_then_resumes() {
         .collect();
     all.sort_unstable();
     let expect: Vec<i64> = (0..(N * OPS) as i64).collect();
-    assert_eq!(all, expect, "every fetch-and-add ticket taken exactly once");
+    assert_eq!(all, expect, "[{}] every fetch-and-add ticket taken exactly once", P::NAME);
     failpoints::clear();
 }
 
 #[test]
-fn log_exhaustion_is_a_typed_error_even_with_a_crashed_peer() {
+fn stalled_thread_is_observable_parked_then_resumes() {
     let _guard = failpoints::exclusive();
+    stalled_thread_scenario::<PtrPath>();
+    stalled_thread_scenario::<CellPath>();
+}
+
+fn log_exhaustion_scenario<P: CounterPath>() {
     failpoints::clear();
 
     const N: usize = 3;
-    // Arena far smaller than the op budget: exhaustion is guaranteed.
+    // Log cap far smaller than the op budget: exhaustion is guaranteed.
     const CAPACITY: usize = 24;
     failpoints::configure(
         "universal::decided",
@@ -246,11 +272,8 @@ fn log_exhaustion_is_a_typed_error_even_with_a_crashed_peer() {
         },
     );
 
-    let handles: Arc<Vec<Mutex<Option<_>>>> = Arc::new(
-        WfUniversal::with_capacity(Counter::new(0), N, 1000, CAPACITY)
-            .into_iter()
-            .map(|h| Mutex::new(Some(h)))
-            .collect(),
+    let handles: Arc<Vec<Mutex<Option<P>>>> = Arc::new(
+        P::create_capped(N, 1000, CAPACITY).into_iter().map(|h| Mutex::new(Some(h))).collect(),
     );
     let group = {
         let handles = Arc::clone(&handles);
@@ -269,24 +292,35 @@ fn log_exhaustion_is_a_typed_error_even_with_a_crashed_peer() {
 
     // Everyone terminates: the exhausted log surfaces as an error value,
     // not a deadlock or abort, even though thread 2 died mid-operation.
-    assert!(group.await_finished(N - 1, Duration::from_secs(60)));
+    assert!(group.await_finished(N - 1, Duration::from_secs(60)), "[{}]", P::NAME);
     let outcomes = group.finish();
     let mut total_ok = 0usize;
     for (tid, outcome) in outcomes.into_iter().enumerate() {
         match outcome {
             Outcome::Completed((ok, UniversalError::LogFull { capacity, .. })) => {
-                assert_eq!(capacity, CAPACITY);
+                assert_eq!(capacity, CAPACITY, "[{}]", P::NAME);
                 total_ok += ok;
             }
             Outcome::Crashed { site } => {
-                assert_eq!(tid, 2, "only the planned victim crashes");
-                assert_eq!(site, "universal::decided");
+                assert_eq!(tid, 2, "[{}] only the planned victim crashes", P::NAME);
+                assert_eq!(site, "universal::decided", "[{}]", P::NAME);
             }
-            other => panic!("thread {tid}: unexpected outcome {other:?}"),
+            other => panic!("[{}] thread {tid}: unexpected outcome {other:?}", P::NAME),
         }
     }
     // Each completed op consumed at least one log position.
-    assert!(total_ok <= CAPACITY, "{total_ok} ops cannot fit in {CAPACITY} positions");
-    assert!(total_ok > 0, "some ops completed before exhaustion");
+    assert!(
+        total_ok <= CAPACITY,
+        "[{}] {total_ok} ops cannot fit in {CAPACITY} positions",
+        P::NAME
+    );
+    assert!(total_ok > 0, "[{}] some ops completed before exhaustion", P::NAME);
     failpoints::clear();
+}
+
+#[test]
+fn log_exhaustion_is_a_typed_error_even_with_a_crashed_peer() {
+    let _guard = failpoints::exclusive();
+    log_exhaustion_scenario::<PtrPath>();
+    log_exhaustion_scenario::<CellPath>();
 }

@@ -7,20 +7,27 @@
 //! sits at some position F; within the next n positions one position's
 //! preferred thread is the announcer, and whoever decides that position
 //! proposes the announced entry. The announcer's own loop starts at most
-//! n positions behind F (the shared hint lags each running thread by at
-//! most one position), so it iterates at most ~2n times. We assert
+//! n positions behind F (the shared hint lags each running thread by less
+//! than n positions — the seed path republished it every iteration, the
+//! pointer path every n-th iteration and once after the loop), so it
+//! iterates at most ~2n times. We assert
 //! `max_threading_steps <= 2n + 8`, slack for the startup positions.
+//!
+//! Both universal-object paths are measured (see `common::CounterPath`):
+//! the hoisted hint publication on the optimised path must not loosen
+//! the bound.
+
+mod common;
 
 use std::thread;
 
-use waitfree::objects::counter::{Counter, CounterOp};
-use waitfree::sync::universal::WfUniversal;
+use common::{CellPath, CounterPath, PtrPath};
+use waitfree::objects::counter::CounterOp;
 
-#[test]
-fn helping_bounds_threading_steps_under_contention() {
+fn contention_round<P: CounterPath>() {
     let n = 4;
     let per = 400;
-    let handles = WfUniversal::new(Counter::new(0), n, per);
+    let handles = P::create(n, per);
     let joins: Vec<_> = handles
         .into_iter()
         .map(|mut h| {
@@ -36,62 +43,75 @@ fn helping_bounds_threading_steps_under_contention() {
         let (tid, max_steps) = j.join().unwrap();
         assert!(
             max_steps <= 2 * n + 8,
-            "thread {tid}: {max_steps} threading steps exceeds the O(n) bound (n = {n})"
+            "[{}] thread {tid}: {max_steps} threading steps exceeds the O(n) bound (n = {n})",
+            P::NAME
         );
     }
+}
+
+#[test]
+fn helping_bounds_threading_steps_under_contention() {
+    contention_round::<PtrPath>();
+    contention_round::<CellPath>();
 }
 
 /// The same bound with an adversarially stalled thread: helping means a
 /// parked peer costs the survivors *nothing* in their own step count —
 /// that is exactly what separates wait-free from lock-free.
 #[cfg(feature = "failpoints")]
-#[test]
-fn helping_bound_survives_an_injected_stall() {
+mod stall {
+    use super::*;
     use std::sync::{Arc, Mutex};
     use std::time::Duration;
     use waitfree::faults::failpoints::{self, FailpointConfig, FaultAction, Fire};
     use waitfree::faults::harness::spawn_workers;
 
-    let _guard = failpoints::exclusive();
-    failpoints::clear();
+    fn stall_round<P: CounterPath>() {
+        failpoints::clear();
 
-    const N: usize = 4;
-    const PER: usize = 100;
-    failpoints::configure(
-        "universal::announced",
-        FailpointConfig {
-            action: FaultAction::Stall,
-            fire: Fire::Nth(5),
-            tid: Some(1),
-            budget: Some(1),
-        },
-    );
-
-    let handles: Arc<Vec<Mutex<Option<_>>>> = Arc::new(
-        WfUniversal::new(Counter::new(0), N, PER)
-            .into_iter()
-            .map(|h| Mutex::new(Some(h)))
-            .collect(),
-    );
-    let group = {
-        let handles = Arc::clone(&handles);
-        spawn_workers(N, move |tid| {
-            let mut h = handles[tid].lock().unwrap().take().unwrap();
-            for _ in 0..PER {
-                h.invoke(CounterOp::Add(1));
-            }
-            h.max_threading_steps()
-        })
-    };
-
-    // Survivors finish with the victim still parked mid-operation.
-    assert!(group.await_finished(N - 1, Duration::from_secs(60)));
-    for (tid, outcome) in group.finish().into_iter().enumerate() {
-        let max_steps = outcome.completed().expect("all threads complete after release");
-        assert!(
-            max_steps <= 2 * N + 8,
-            "thread {tid}: {max_steps} threading steps exceeds the O(n) bound (n = {N})"
+        const N: usize = 4;
+        const PER: usize = 100;
+        failpoints::configure(
+            "universal::announced",
+            FailpointConfig {
+                action: FaultAction::Stall,
+                fire: Fire::Nth(5),
+                tid: Some(1),
+                budget: Some(1),
+            },
         );
+
+        let handles: Arc<Vec<Mutex<Option<P>>>> = Arc::new(
+            P::create(N, PER).into_iter().map(|h| Mutex::new(Some(h))).collect(),
+        );
+        let group = {
+            let handles = Arc::clone(&handles);
+            spawn_workers(N, move |tid| {
+                let mut h = handles[tid].lock().unwrap().take().unwrap();
+                for _ in 0..PER {
+                    h.invoke(CounterOp::Add(1));
+                }
+                h.max_threading_steps()
+            })
+        };
+
+        // Survivors finish with the victim still parked mid-operation.
+        assert!(group.await_finished(N - 1, Duration::from_secs(60)), "[{}]", P::NAME);
+        for (tid, outcome) in group.finish().into_iter().enumerate() {
+            let max_steps = outcome.completed().expect("all threads complete after release");
+            assert!(
+                max_steps <= 2 * N + 8,
+                "[{}] thread {tid}: {max_steps} threading steps exceeds the O(n) bound (n = {N})",
+                P::NAME
+            );
+        }
+        failpoints::clear();
     }
-    failpoints::clear();
+
+    #[test]
+    fn helping_bound_survives_an_injected_stall() {
+        let _guard = failpoints::exclusive();
+        stall_round::<PtrPath>();
+        stall_round::<CellPath>();
+    }
 }

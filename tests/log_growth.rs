@@ -1,0 +1,106 @@
+//! Growth tests for the segmented universal-object log: the pointer-CAS
+//! path allocates [`SEGMENT_SIZE`]-position segments lazily and installs
+//! them by CAS, so an object built with `WfUniversal::new` never runs
+//! out of positions. These tests push well past one segment under
+//! contention and assert
+//!
+//! 1. segment count grew (and stayed within the 2·n·ops duplication
+//!    bound, so helping never leaks whole segments),
+//! 2. no entry was lost or duplicated across a boundary (the
+//!    fetch-and-add ticket-uniqueness witness), and
+//! 3. `refresh()` replays correctly across segment boundaries, so a
+//!    handle that sat idle through several segments of history still
+//!    converges.
+//!
+//! A capped configuration (`with_capacity`) must still surface
+//! `UniversalError::LogFull` — including a cap that lands beyond the
+//! first segment, so the cap check and the growth path compose.
+
+use std::thread;
+
+use waitfree::objects::counter::{Counter, CounterOp, CounterResp};
+use waitfree::sync::universal::{UniversalError, WfUniversal, SEGMENT_SIZE};
+
+#[test]
+fn contended_log_grows_across_segments_without_losing_tickets() {
+    let threads = 4;
+    // 4 threads × per ops ≥ 10 segments even before helping duplicates.
+    let per = (10 * SEGMENT_SIZE) / 4 + 8;
+    let handles = WfUniversal::new(Counter::new(0), threads, per);
+    let joins: Vec<_> = handles
+        .into_iter()
+        .map(|mut h| {
+            thread::spawn(move || {
+                let tickets: Vec<i64> = (0..per)
+                    .map(|_| match h.invoke(CounterOp::FetchAndAdd(1)) {
+                        CounterResp::Value(v) => v,
+                        other => panic!("unexpected {other:?}"),
+                    })
+                    .collect();
+                (tickets, h.segments())
+            })
+        })
+        .collect();
+
+    let mut all = Vec::new();
+    let mut segments = 0;
+    for j in joins {
+        let (tickets, segs) = j.join().unwrap();
+        all.extend(tickets);
+        segments = segments.max(segs);
+    }
+
+    // (2) FAA ticket uniqueness: every old value observed exactly once —
+    // entries crossing segment boundaries were neither lost nor replayed
+    // twice.
+    all.sort_unstable();
+    let expect: Vec<i64> = (0..(threads * per) as i64).collect();
+    assert_eq!(all, expect, "each ticket taken exactly once across segments");
+
+    // (1) The log actually grew, and within the duplication bound: at
+    // most 2·n·ops positions are ever decided (each entry appears at
+    // most twice), so the installed segments must fit that many
+    // positions plus one partial segment.
+    let max_positions = 2 * threads * per;
+    assert!(segments > 1, "workload must span multiple segments");
+    assert!(
+        (segments - 1) * SEGMENT_SIZE <= max_positions,
+        "{segments} segments exceeds the 2·n·ops position bound"
+    );
+}
+
+#[test]
+fn refresh_replays_across_segment_boundaries() {
+    let ops = 3 * SEGMENT_SIZE + 7;
+    let mut handles = WfUniversal::new(Counter::new(0), 2, ops);
+    let mut idle = handles.pop().unwrap();
+    let mut busy = handles.pop().unwrap();
+    for i in 0..ops {
+        busy.invoke(CounterOp::Add(i as i64));
+    }
+    // The idle handle has replayed nothing; refresh must walk the whole
+    // chain, crossing every boundary, and converge on the busy replica.
+    assert_eq!(idle.replayed(), 0);
+    assert_eq!(idle.refresh(), busy.refresh(), "replicas converge across segments");
+    assert!(idle.replayed() >= ops, "idle handle replayed the full log");
+    assert!(busy.segments() >= 3, "history spanned segments: {}", busy.segments());
+}
+
+#[test]
+fn log_full_cap_is_enforced_beyond_the_first_segment() {
+    // A cap past one segment: growth happens, then the cap bites.
+    let cap = SEGMENT_SIZE + 6;
+    let mut handles = WfUniversal::with_capacity(Counter::new(0), 1, 2 * cap, cap);
+    let mut h = handles.remove(0);
+    for _ in 0..cap {
+        assert!(h.try_invoke(CounterOp::Add(1)).is_ok());
+    }
+    match h.try_invoke(CounterOp::Add(1)) {
+        Err(UniversalError::LogFull { position, capacity }) => {
+            assert_eq!(position, cap);
+            assert_eq!(capacity, cap);
+        }
+        other => panic!("expected LogFull, got {other:?}"),
+    }
+    assert_eq!(h.segments(), 2, "the capped log still grew past segment one");
+}
