@@ -141,16 +141,22 @@ fn queue_workload<P: UniPath>(n: usize, ops: usize) -> usize {
     joins.into_iter().map(|j| j.join().unwrap()).max().unwrap_or(0)
 }
 
-/// ns/op and worst threading steps for one (path, workload, n) cell.
+/// ns/op and the worst threading-step count across all samples for one
+/// (path, workload, n) cell. ns/op divides by the operations actually
+/// executed: the queue workload issues enq/deq pairs, so an odd `ops`
+/// rounds down to `2 * (ops / 2)` per thread.
 fn run_one<P: UniPath>(workload: &str, n: usize, ops: usize, samples: usize) -> (f64, usize) {
     let mut steps = 0usize;
-    let median = match workload {
-        "counter" => measure(samples, || steps = counter_workload::<P>(n, ops)),
-        "queue" => measure(samples, || steps = queue_workload::<P>(n, ops)),
+    let (median, executed) = match workload {
+        "counter" => {
+            (measure(samples, || steps = steps.max(counter_workload::<P>(n, ops))), n * ops)
+        }
+        "queue" => {
+            (measure(samples, || steps = steps.max(queue_workload::<P>(n, ops))), n * 2 * (ops / 2))
+        }
         other => unreachable!("unknown workload {other}"),
     };
-    let total_ops = (n * ops) as f64;
-    (median.as_nanos() as f64 / total_ops, steps)
+    (median.as_nanos() as f64 / executed.max(1) as f64, steps)
 }
 
 fn env_usize(key: &str, default: usize) -> usize {

@@ -63,10 +63,14 @@
 //! * slot loads (replay, frontier scan): `Acquire`, pairing with the
 //!   release half of the winner's `SeqCst` CAS, so the `Entry` pointed to
 //!   is fully visible;
-//! * the `hint` word: `Relaxed` — it is a heuristic lower bound on the
-//!   first undecided position, and every structural read it leads to is
-//!   re-validated by a CAS or an acquire load (staleness costs
-//!   iterations, never correctness);
+//! * the `hint` word: `Release` publish / `Acquire` read — it is a
+//!   heuristic lower bound on the first undecided position, but a
+//!   thread that starts threading at the hint skips the prefix below it
+//!   without ever touching those slots, so the replay loop's
+//!   decided-prefix invariant must be inherited from the publisher: the
+//!   acquire load carries the publisher's happens-before edge to every
+//!   decide below the published value. Staleness still only costs
+//!   extra (already-decided) iterations;
 //! * `announced`/`done`: `SeqCst` — they form the announce/help
 //!   handshake the O(n) bound is proved against, and they are off the
 //!   per-iteration fast path.
@@ -575,11 +579,15 @@ impl<S: ObjectSpec> WfHandle<S> {
         //    step bound, while the common case pays zero RMWs on the
         //    contended word inside the loop.
         let mut steps = 0usize;
-        // Relaxed: `hint` is a heuristic starting point. A stale value
-        // only costs extra (cheap, already-decided) iterations; segment
-        // reachability is re-established by the acquire walk in
-        // `seg_for`, never assumed from `hint`.
-        let mut k = self.shared.hint.load(Ordering::Relaxed);
+        // Acquire: pairs with the Release `fetch_max` in `publish_hint`.
+        // Starting at `k` skips the prefix [0, k) without ever touching
+        // those slots, so the decided-prefix invariant that the replay
+        // loop asserts (and `refresh` relies on) is inherited here: the
+        // acquire carries the publisher's happens-before edge to every
+        // decide below `k`. A stale value only costs extra (cheap,
+        // already-decided) iterations; segment reachability is
+        // re-established by the acquire walk in `seg_for`.
+        let mut k = self.shared.hint.load(Ordering::Acquire);
         while self.shared.done[self.tid].load(Ordering::SeqCst) <= seq {
             if let Some(cap) = self.shared.cap {
                 if k >= cap {
@@ -635,9 +643,17 @@ impl<S: ObjectSpec> WfHandle<S> {
 
     /// Advance the shared frontier hint to at least `k`.
     fn publish_hint(&self, k: usize) {
-        // Relaxed: the hint is advisory (see the load in `try_invoke`);
-        // no reader derives a happens-before edge from it.
-        self.shared.hint.fetch_max(k, Ordering::Relaxed);
+        // Release: a reader that acquire-loads this value starts
+        // threading at it and skips the decided prefix below without
+        // observing those decides itself; the release store hands over
+        // this thread's happens-before edge to every decide below `k`
+        // (observed directly via its own SeqCst decide RMWs, or
+        // inherited from the hint it started from). When the `fetch_max`
+        // is a no-op the current value was itself Release-published by a
+        // thread with the same property, so the edge readers need still
+        // exists. Off the per-decide fast path, so the cost is
+        // negligible.
+        self.shared.hint.fetch_max(k, Ordering::Release);
     }
 
     /// Replay any outstanding log entries and return a copy of the
