@@ -11,15 +11,22 @@
 //! per-operation threading-step count, which must stay within the O(n)
 //! helping bound on both paths.
 //!
-//! Writes `BENCH_universal.json` in the working directory (the repo root
-//! when run via `cargo run -p waitfree-bench --bin bench_universal`) —
-//! the recorded perf trajectory the README quotes — plus the usual
-//! `results/bench_universal.json` copy. Environment knobs for the CI
+//! Maintains `BENCH_universal.json` in the working directory (the repo
+//! root when run via `cargo run -p waitfree-bench --bin bench_universal`)
+//! — the recorded perf *trajectory* the README quotes. The file is
+//! merged into, not overwritten: schema 2 is `{"schema": 2, "runs":
+//! [...]}` where each run carries a timestamp (pass `--timestamp <tag>`
+//! for reproducible records; defaults to wall-clock epoch seconds), the
+//! run's configuration, and the full report. A pre-schema-2 file (a bare
+//! report object) is wrapped as the first run with timestamp
+//! `"pre-merge"`. The usual single-report `results/bench_universal.json`
+//! copy is still written by `finish()`. Environment knobs for the CI
 //! smoke job: `BENCH_UNIVERSAL_OPS` (ops per thread, default 2000) and
 //! `BENCH_UNIVERSAL_SAMPLES` (median-of samples, default 5).
 
 use std::thread;
 
+use waitfree_bench::json::Json;
 use waitfree_bench::timing::measure;
 use waitfree_bench::Report;
 use waitfree_objects::counter::{Counter, CounterOp, CounterResp};
@@ -163,9 +170,65 @@ fn env_usize(key: &str, default: usize) -> usize {
     std::env::var(key).ok().and_then(|s| s.parse().ok()).unwrap_or(default)
 }
 
+/// `--timestamp <tag>` / `--timestamp=<tag>`, else epoch seconds.
+fn cli_timestamp() -> String {
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == "--timestamp" {
+            if let Some(v) = args.next() {
+                return v;
+            }
+        } else if let Some(v) = a.strip_prefix("--timestamp=") {
+            return v.to_string();
+        }
+    }
+    let secs = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    format!("unix:{secs}")
+}
+
+/// Merge this run into the recorded trajectory: read the existing
+/// `BENCH_universal.json` (wrapping a pre-schema-2 bare report as the
+/// first run), append `{timestamp, config, report}`, and render the
+/// schema-2 document.
+fn merged_trajectory(prior: Option<&str>, report_json: &str, timestamp: &str, config: Json) -> String {
+    let mut runs: Vec<Json> = match prior.map(Json::parse) {
+        Some(Ok(doc)) => match doc.get("runs").and_then(Json::as_array) {
+            Some(existing) => existing.to_vec(),
+            // A bare report from before the merge schema: keep it as
+            // the trajectory's first entry.
+            None if doc.get("id").is_some() => vec![Json::Obj(vec![
+                ("timestamp".into(), Json::Str("pre-merge".into())),
+                ("config".into(), Json::Obj(Vec::new())),
+                ("report".into(), doc),
+            ])],
+            None => Vec::new(),
+        },
+        Some(Err(e)) => {
+            eprintln!("ignoring unparseable BENCH_universal.json: {e}");
+            Vec::new()
+        }
+        None => Vec::new(),
+    };
+    let report = Json::parse(report_json).expect("Report::to_json emits valid JSON");
+    runs.push(Json::Obj(vec![
+        ("timestamp".into(), Json::Str(timestamp.into())),
+        ("config".into(), config),
+        ("report".into(), report),
+    ]));
+    Json::Obj(vec![
+        ("schema".into(), Json::num(2)),
+        ("runs".into(), Json::Arr(runs)),
+    ])
+    .pretty()
+}
+
 fn main() {
     let ops = env_usize("BENCH_UNIVERSAL_OPS", 2_000);
     let samples = env_usize("BENCH_UNIVERSAL_SAMPLES", 5).max(1);
+    let timestamp = cli_timestamp();
 
     let mut report = Report::new(
         "bench_universal",
@@ -214,12 +277,63 @@ fn main() {
         }
     }
 
-    // The recorded perf-trajectory file at the repo root, alongside the
-    // standard results/ copy written by finish().
-    if let Err(e) = std::fs::write("BENCH_universal.json", report.to_json()) {
+    // The recorded perf-trajectory file at the repo root: merge this run
+    // into the prior runs (never overwrite the history), alongside the
+    // standard single-report results/ copy written by finish().
+    let config = Json::Obj(vec![
+        ("ops_per_thread".into(), Json::num(ops as u64)),
+        ("samples".into(), Json::num(samples as u64)),
+        (
+            "thread_counts".into(),
+            Json::Arr(THREAD_COUNTS.iter().map(|n| Json::num(*n as u64)).collect()),
+        ),
+    ]);
+    let prior = std::fs::read_to_string("BENCH_universal.json").ok();
+    let merged = merged_trajectory(prior.as_deref(), &report.to_json(), &timestamp, config);
+    if let Err(e) = std::fs::write("BENCH_universal.json", merged) {
         eprintln!("could not write BENCH_universal.json: {e}");
         std::process::exit(1);
     }
-    println!("  wrote BENCH_universal.json");
+    println!("  merged into BENCH_universal.json (run timestamp: {timestamp})");
     report.finish();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report_json() -> String {
+        let mut r = Report::new("bench_universal", "t", &["workload", "impl", "n"]);
+        r.row(&["counter".into(), "cell".into(), "1".into()]);
+        r.to_json()
+    }
+
+    #[test]
+    fn legacy_file_is_wrapped_then_appended() {
+        // First merge over a pre-schema-2 bare report.
+        let merged = merged_trajectory(Some(&report_json()), &report_json(), "t1", Json::Obj(vec![]));
+        let doc = Json::parse(&merged).unwrap();
+        assert_eq!(doc.get("schema"), Some(&Json::num(2)));
+        let runs = doc.get("runs").and_then(Json::as_array).unwrap();
+        assert_eq!(runs.len(), 2);
+        assert_eq!(runs[0].get("timestamp").and_then(Json::as_str), Some("pre-merge"));
+        assert_eq!(runs[1].get("timestamp").and_then(Json::as_str), Some("t1"));
+
+        // Second merge over the schema-2 file appends.
+        let merged2 = merged_trajectory(Some(&merged), &report_json(), "t2", Json::Obj(vec![]));
+        let doc2 = Json::parse(&merged2).unwrap();
+        let runs2 = doc2.get("runs").and_then(Json::as_array).unwrap();
+        assert_eq!(runs2.len(), 3);
+        assert_eq!(runs2[2].get("timestamp").and_then(Json::as_str), Some("t2"));
+        assert!(runs2[2].get("report").unwrap().get("rows").is_some());
+    }
+
+    #[test]
+    fn missing_or_garbage_prior_starts_fresh() {
+        for prior in [None, Some("not json at all")] {
+            let merged = merged_trajectory(prior, &report_json(), "t", Json::Obj(vec![]));
+            let doc = Json::parse(&merged).unwrap();
+            assert_eq!(doc.get("runs").and_then(Json::as_array).unwrap().len(), 1);
+        }
+    }
 }

@@ -25,6 +25,7 @@
 use std::fs;
 use std::path::Path;
 
+pub mod json;
 pub mod timing;
 
 /// A machine- and human-readable experiment report.

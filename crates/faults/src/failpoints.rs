@@ -293,10 +293,27 @@ pub fn hit(site: &str) {
     perform(site, action);
 }
 
+/// Hook called in place of `std::thread::yield_now` when a
+/// [`FaultAction::Yield`] fires. The deterministic scheduler
+/// (`waitfree-sched`) installs one so an injected yield becomes a real
+/// scheduling point instead of an OS-level hint; set-once, process-wide.
+#[cfg(feature = "failpoints")]
+static YIELD_HOOK: OnceLock<fn()> = OnceLock::new();
+
+/// Install the yield hook (first caller wins). Available in both feature
+/// modes so callers compile unchanged.
+#[cfg(feature = "failpoints")]
+pub fn set_yield_hook(hook: fn()) {
+    let _ = YIELD_HOOK.set(hook);
+}
+
 #[cfg(feature = "failpoints")]
 fn perform(site: &str, action: FaultAction) {
     match action {
-        FaultAction::Yield => std::thread::yield_now(),
+        FaultAction::Yield => match YIELD_HOOK.get() {
+            Some(hook) => hook(),
+            None => std::thread::yield_now(),
+        },
         FaultAction::SpinDelay(n) => {
             for _ in 0..n {
                 std::hint::spin_loop();
@@ -364,6 +381,10 @@ pub fn hits(_site: &str) -> u64 {
 pub fn fires(_site: &str) -> u64 {
     0
 }
+
+/// No-op without the `failpoints` feature.
+#[cfg(not(feature = "failpoints"))]
+pub fn set_yield_hook(_hook: fn()) {}
 
 #[cfg(all(test, feature = "failpoints"))]
 mod tests {

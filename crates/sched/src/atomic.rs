@@ -1,0 +1,275 @@
+//! Atomics facade: `std::sync::atomic` by default, instrumented shims
+//! under the `sched` feature.
+//!
+//! With the feature off this module is nothing but `pub use` re-exports —
+//! the types *are* the std types, so code written against the facade
+//! compiles to exactly what it compiled to before the facade existed.
+//!
+//! With the feature on, each type wraps its std counterpart and calls
+//! [`crate::runtime`]'s schedule point before performing the real
+//! hardware operation. Outside a scheduled run the shims skip straight
+//! to the hardware op, so ordinary `std::thread` tests keep working even
+//! when the feature is enabled.
+//!
+//! The shims are sequentially-consistent at *schedule granularity*: the
+//! scheduler explores interleavings of whole atomic operations, not weak
+//! memory reorderings. The `Ordering` argument is recorded in the run
+//! trace (so tests can assert on the ordering discipline of a code path)
+//! and passed through to the underlying std op unchanged.
+
+#[cfg(not(feature = "sched"))]
+pub use std::sync::atomic::{AtomicBool, AtomicI64, AtomicPtr, AtomicU64, AtomicUsize, Ordering};
+
+#[cfg(feature = "sched")]
+pub use instrumented::{AtomicBool, AtomicI64, AtomicPtr, AtomicU64, AtomicUsize};
+#[cfg(feature = "sched")]
+pub use std::sync::atomic::Ordering;
+
+#[cfg(feature = "sched")]
+mod instrumented {
+    use std::fmt;
+    use std::sync::atomic::Ordering;
+
+    use crate::runtime::{trace_point, AtomicOp};
+
+    macro_rules! int_atomic {
+        ($(#[$meta:meta])* $name:ident, $std:ty, $prim:ty, $tag:literal) => {
+        $(#[$meta])*
+        #[derive(Default)]
+        pub struct $name {
+            inner: $std,
+        }
+
+        impl $name {
+            /// Creates a new atomic holding `v`.
+            pub const fn new(v: $prim) -> Self {
+                Self { inner: <$std>::new(v) }
+            }
+
+            /// Atomic load; a schedule point inside a scheduled run.
+            pub fn load(&self, order: Ordering) -> $prim {
+                trace_point($tag, AtomicOp::Load, order);
+                self.inner.load(order)
+            }
+
+            /// Atomic store; a schedule point inside a scheduled run.
+            pub fn store(&self, val: $prim, order: Ordering) {
+                trace_point($tag, AtomicOp::Store, order);
+                self.inner.store(val, order);
+            }
+
+            /// Atomic swap; a schedule point inside a scheduled run.
+            pub fn swap(&self, val: $prim, order: Ordering) -> $prim {
+                trace_point($tag, AtomicOp::Swap, order);
+                self.inner.swap(val, order)
+            }
+
+            /// Atomic compare-exchange; a schedule point inside a
+            /// scheduled run.
+            pub fn compare_exchange(
+                &self,
+                current: $prim,
+                new: $prim,
+                success: Ordering,
+                failure: Ordering,
+            ) -> Result<$prim, $prim> {
+                trace_point($tag, AtomicOp::CompareExchange, success);
+                self.inner.compare_exchange(current, new, success, failure)
+            }
+
+            /// Atomic fetch-and-add; a schedule point inside a scheduled
+            /// run.
+            pub fn fetch_add(&self, val: $prim, order: Ordering) -> $prim {
+                trace_point($tag, AtomicOp::FetchAdd, order);
+                self.inner.fetch_add(val, order)
+            }
+
+            /// Atomic fetch-and-sub; a schedule point inside a scheduled
+            /// run.
+            pub fn fetch_sub(&self, val: $prim, order: Ordering) -> $prim {
+                trace_point($tag, AtomicOp::FetchSub, order);
+                self.inner.fetch_sub(val, order)
+            }
+
+            /// Atomic fetch-and-max; a schedule point inside a scheduled
+            /// run.
+            pub fn fetch_max(&self, val: $prim, order: Ordering) -> $prim {
+                trace_point($tag, AtomicOp::FetchMax, order);
+                self.inner.fetch_max(val, order)
+            }
+
+            /// Mutable access; no schedule point (requires `&mut self`,
+            /// so no other thread can observe the access).
+            pub fn get_mut(&mut self) -> &mut $prim {
+                self.inner.get_mut()
+            }
+
+            /// Consumes the atomic, returning the contained value.
+            pub fn into_inner(self) -> $prim {
+                self.inner.into_inner()
+            }
+        }
+
+        impl fmt::Debug for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                // Not a schedule point: Debug formatting is diagnostic,
+                // not part of the algorithm under test.
+                fmt::Debug::fmt(&self.inner, f)
+            }
+        }
+
+        impl From<$prim> for $name {
+            fn from(v: $prim) -> Self {
+                Self::new(v)
+            }
+        }
+        };
+    }
+
+    int_atomic!(
+        /// Instrumented stand-in for [`std::sync::atomic::AtomicUsize`].
+        AtomicUsize,
+        std::sync::atomic::AtomicUsize,
+        usize,
+        "AtomicUsize"
+    );
+    int_atomic!(
+        /// Instrumented stand-in for [`std::sync::atomic::AtomicU64`].
+        AtomicU64,
+        std::sync::atomic::AtomicU64,
+        u64,
+        "AtomicU64"
+    );
+    int_atomic!(
+        /// Instrumented stand-in for [`std::sync::atomic::AtomicI64`].
+        AtomicI64,
+        std::sync::atomic::AtomicI64,
+        i64,
+        "AtomicI64"
+    );
+
+    /// Instrumented stand-in for [`std::sync::atomic::AtomicBool`].
+    #[derive(Default)]
+    pub struct AtomicBool {
+        inner: std::sync::atomic::AtomicBool,
+    }
+
+    impl AtomicBool {
+        /// Creates a new atomic holding `v`.
+        pub const fn new(v: bool) -> Self {
+            Self { inner: std::sync::atomic::AtomicBool::new(v) }
+        }
+
+        /// Atomic load; a schedule point inside a scheduled run.
+        pub fn load(&self, order: Ordering) -> bool {
+            trace_point("AtomicBool", AtomicOp::Load, order);
+            self.inner.load(order)
+        }
+
+        /// Atomic store; a schedule point inside a scheduled run.
+        pub fn store(&self, val: bool, order: Ordering) {
+            trace_point("AtomicBool", AtomicOp::Store, order);
+            self.inner.store(val, order);
+        }
+
+        /// Atomic swap; a schedule point inside a scheduled run.
+        pub fn swap(&self, val: bool, order: Ordering) -> bool {
+            trace_point("AtomicBool", AtomicOp::Swap, order);
+            self.inner.swap(val, order)
+        }
+
+        /// Atomic compare-exchange; a schedule point inside a scheduled
+        /// run.
+        pub fn compare_exchange(
+            &self,
+            current: bool,
+            new: bool,
+            success: Ordering,
+            failure: Ordering,
+        ) -> Result<bool, bool> {
+            trace_point("AtomicBool", AtomicOp::CompareExchange, success);
+            self.inner.compare_exchange(current, new, success, failure)
+        }
+
+        /// Mutable access; no schedule point.
+        pub fn get_mut(&mut self) -> &mut bool {
+            self.inner.get_mut()
+        }
+
+        /// Consumes the atomic, returning the contained value.
+        pub fn into_inner(self) -> bool {
+            self.inner.into_inner()
+        }
+    }
+
+    impl fmt::Debug for AtomicBool {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            fmt::Debug::fmt(&self.inner, f)
+        }
+    }
+
+    /// Instrumented stand-in for [`std::sync::atomic::AtomicPtr`].
+    pub struct AtomicPtr<T> {
+        inner: std::sync::atomic::AtomicPtr<T>,
+    }
+
+    impl<T> AtomicPtr<T> {
+        /// Creates a new atomic holding `p`.
+        pub const fn new(p: *mut T) -> Self {
+            Self { inner: std::sync::atomic::AtomicPtr::new(p) }
+        }
+
+        /// Atomic load; a schedule point inside a scheduled run.
+        pub fn load(&self, order: Ordering) -> *mut T {
+            trace_point("AtomicPtr", AtomicOp::Load, order);
+            self.inner.load(order)
+        }
+
+        /// Atomic store; a schedule point inside a scheduled run.
+        pub fn store(&self, ptr: *mut T, order: Ordering) {
+            trace_point("AtomicPtr", AtomicOp::Store, order);
+            self.inner.store(ptr, order);
+        }
+
+        /// Atomic swap; a schedule point inside a scheduled run.
+        pub fn swap(&self, ptr: *mut T, order: Ordering) -> *mut T {
+            trace_point("AtomicPtr", AtomicOp::Swap, order);
+            self.inner.swap(ptr, order)
+        }
+
+        /// Atomic compare-exchange; a schedule point inside a scheduled
+        /// run.
+        pub fn compare_exchange(
+            &self,
+            current: *mut T,
+            new: *mut T,
+            success: Ordering,
+            failure: Ordering,
+        ) -> Result<*mut T, *mut T> {
+            trace_point("AtomicPtr", AtomicOp::CompareExchange, success);
+            self.inner.compare_exchange(current, new, success, failure)
+        }
+
+        /// Mutable access; no schedule point.
+        pub fn get_mut(&mut self) -> &mut *mut T {
+            self.inner.get_mut()
+        }
+
+        /// Consumes the atomic, returning the contained pointer.
+        pub fn into_inner(self) -> *mut T {
+            self.inner.into_inner()
+        }
+    }
+
+    impl<T> Default for AtomicPtr<T> {
+        fn default() -> Self {
+            Self::new(std::ptr::null_mut())
+        }
+    }
+
+    impl<T> fmt::Debug for AtomicPtr<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            fmt::Debug::fmt(&self.inner, f)
+        }
+    }
+}

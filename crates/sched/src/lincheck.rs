@@ -1,0 +1,178 @@
+//! Scheduled runs with machine-checked linearizability verdicts:
+//! the glue between the deterministic scheduler, the history recorder
+//! and `waitfree-model`'s Wing&Gong-style checker.
+//!
+//! [`run_and_check`] drives one scheduled run and checks its history;
+//! [`campaign`] sweeps a seed range with a [`RandomWalk`] or [`Pct`]
+//! strategy, printing every failing schedule (seed + decision trace) so
+//! a violation can be replayed bit-for-bit with [`replay`].
+
+use std::fmt;
+use std::ops::Range;
+
+use waitfree_model::{linearize, History, LinearizeReport, ObjectSpec, PendingPolicy};
+
+use crate::recorder::HistoryRecorder;
+use crate::runtime::{run, RunOptions, RunResult};
+use crate::strategy::{Pct, RandomWalk, Strategy};
+
+/// One scheduled run plus its linearizability verdict.
+#[derive(Debug)]
+pub struct CheckedRun<S: ObjectSpec> {
+    /// The scheduler's record of the run (decisions, trace, crashes).
+    pub run: RunResult,
+    /// The recorded concurrent history.
+    pub history: History<S::Op, S::Resp>,
+    /// The checker's verdict on that history.
+    pub report: LinearizeReport,
+}
+
+impl<S: ObjectSpec> CheckedRun<S> {
+    /// Whether the run completed cleanly and its history linearized.
+    pub fn is_ok(&self) -> bool {
+        self.run.error.is_none() && self.report.outcome.is_ok()
+    }
+}
+
+/// Run `body` under `strategy` (virtual thread 0), snapshot the history
+/// recorded through the provided [`HistoryRecorder`], and check it
+/// against the sequential specification `initial` with
+/// [`PendingPolicy::MayTakeEffect`] — so operations left pending by an
+/// injected crash are allowed to either have taken effect or not.
+pub fn run_and_check<S, St, F>(initial: &S, strategy: St, opts: RunOptions, body: F) -> CheckedRun<S>
+where
+    S: ObjectSpec,
+    St: Strategy + 'static,
+    F: FnOnce(HistoryRecorder<S>),
+{
+    let recorder = HistoryRecorder::<S>::new();
+    let handed_out = recorder.clone();
+    let run = run(strategy, opts, move || body(handed_out));
+    let history = recorder.snapshot();
+    let report = linearize(&history, initial, PendingPolicy::MayTakeEffect);
+    CheckedRun { run, history, report }
+}
+
+/// Which strategy family a [`campaign`] sweeps.
+#[derive(Clone, Debug)]
+pub enum Explore {
+    /// Uniform [`RandomWalk`], one seed per run.
+    RandomWalk,
+    /// [`Pct`] with the given bug depth and estimated schedule-point
+    /// count, one seed per run.
+    Pct {
+        /// PCT bug depth (number of ordering constraints; ≥ 1).
+        depth: usize,
+        /// Over-approximation of schedule points per run.
+        est_steps: usize,
+    },
+}
+
+impl Explore {
+    fn strategy(&self, seed: u64) -> Box<dyn Strategy> {
+        match *self {
+            Explore::RandomWalk => Box::new(RandomWalk::new(seed)),
+            Explore::Pct { depth, est_steps } => Box::new(Pct::new(seed, depth, est_steps)),
+        }
+    }
+}
+
+/// A schedule on which the checked property failed: everything needed to
+/// reproduce it.
+#[derive(Clone, Debug)]
+pub struct FailingSchedule {
+    /// The seed that produced the schedule.
+    pub seed: u64,
+    /// The strategy (with parameters) that consumed the seed.
+    pub strategy: String,
+    /// The vtid chosen at each schedule point.
+    pub decisions: Vec<usize>,
+    /// What went wrong (checker verdict or scheduler error).
+    pub detail: String,
+}
+
+impl fmt::Display for FailingSchedule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "FAILING SCHEDULE")?;
+        writeln!(f, "  strategy:  {}", self.strategy)?;
+        writeln!(f, "  seed:      {}", self.seed)?;
+        writeln!(f, "  decisions: {:?}", self.decisions)?;
+        write!(f, "  detail:    {}", self.detail)
+    }
+}
+
+/// Outcome of a seed sweep.
+#[derive(Debug)]
+pub struct CampaignReport {
+    /// Number of runs performed.
+    pub runs: usize,
+    /// Every run whose history failed to linearize (or whose scheduler
+    /// aborted), with its replayable schedule.
+    pub failures: Vec<FailingSchedule>,
+}
+
+impl CampaignReport {
+    /// Whether every run yielded a `Linearizable` verdict.
+    pub fn all_linearizable(&self) -> bool {
+        self.failures.is_empty()
+    }
+}
+
+/// Sweep `seeds`, one scheduled run per seed, re-creating the object and
+/// workload through `body` each time; every failing schedule is printed
+/// to stderr and returned. `body` receives the recorder and must record
+/// each concurrent operation under the invoking virtual thread's pid.
+pub fn campaign<S, F>(
+    initial: &S,
+    explore: &Explore,
+    seeds: Range<u64>,
+    opts: &RunOptions,
+    mut body: F,
+) -> CampaignReport
+where
+    S: ObjectSpec,
+    F: FnMut(HistoryRecorder<S>),
+{
+    let mut failures = Vec::new();
+    let mut runs = 0;
+    for seed in seeds {
+        let strategy = explore.strategy(seed);
+        let strategy_desc = strategy.describe();
+        let checked = run_and_check(initial, strategy, opts.clone(), &mut body);
+        runs += 1;
+        let detail = if let Some(e) = &checked.run.error {
+            Some(format!("scheduler aborted: {e}"))
+        } else if !checked.report.outcome.is_ok() {
+            Some(format!("history not linearizable: {:?}", checked.history))
+        } else {
+            None
+        };
+        if let Some(detail) = detail {
+            let failure = FailingSchedule {
+                seed,
+                strategy: strategy_desc,
+                decisions: checked.run.decisions.clone(),
+                detail,
+            };
+            eprintln!("{failure}");
+            failures.push(failure);
+        }
+    }
+    CampaignReport { runs, failures }
+}
+
+/// Replay a single seed of a campaign: same strategy family, same seed,
+/// same body ⇒ the same decisions, trace and history, bit for bit.
+pub fn replay<S, F>(
+    initial: &S,
+    explore: &Explore,
+    seed: u64,
+    opts: RunOptions,
+    body: F,
+) -> CheckedRun<S>
+where
+    S: ObjectSpec,
+    F: FnOnce(HistoryRecorder<S>),
+{
+    run_and_check(initial, explore.strategy(seed), opts, body)
+}

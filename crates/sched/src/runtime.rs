@@ -1,0 +1,523 @@
+//! Cooperative deterministic scheduler: virtual threads, one runnable at
+//! a time, a strategy decision before every atomic operation.
+//!
+//! Each virtual thread is backed by a real OS thread, but a baton
+//! (mutex + condvar) guarantees exactly one of them executes between
+//! schedule points. Every facade atomic op, `yield_now`, `spawn`, join
+//! and thread exit is a schedule point: the [`Strategy`] picks which
+//! runnable virtual thread holds the baton next. Given the same strategy
+//! state (e.g. the same seed) the whole run — every decision, every
+//! traced atomic op, every response — is bit-for-bit reproducible,
+//! because the scheduled code's only source of nondeterminism *was* the
+//! interleaving.
+//!
+//! Granularity: interleavings of whole atomic operations under
+//! sequential consistency. Weak-memory reorderings are out of scope (the
+//! `Ordering` of each op is still recorded in the trace so tests can
+//! assert on the discipline).
+//!
+//! Panics in scheduled code are sorted into three bins:
+//! * [`waitfree_faults::failpoints::CrashSignal`] — an injected crash;
+//!   the virtual thread is marked crashed, the run continues (this is
+//!   how fault injection composes with deterministic schedules),
+//! * the internal abort signal — the scheduler tearing down parked
+//!   threads after a deadlock/step-bound/panic abort,
+//! * anything else — a genuine bug (e.g. a failed assertion); the run is
+//!   aborted and the payload is re-thrown from [`run`].
+
+use std::cell::RefCell;
+use std::fmt;
+use std::mem;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::Ordering;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+use std::thread;
+
+use waitfree_faults::failpoints::CrashSignal;
+
+use crate::strategy::{Choice, PointKind, Strategy};
+use crate::thread::JoinHandle;
+
+/// One traced atomic operation from a scheduled run.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct OpEvent {
+    /// Virtual thread that performed the op.
+    pub vtid: usize,
+    /// Facade type name, e.g. `"AtomicUsize"`.
+    pub atomic: &'static str,
+    /// Which operation.
+    pub op: AtomicOp,
+    /// The memory ordering the caller requested (success ordering for
+    /// compare-exchange).
+    pub ordering: Ordering,
+}
+
+/// Kinds of traced atomic operations.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AtomicOp {
+    /// `load`
+    Load,
+    /// `store`
+    Store,
+    /// `swap`
+    Swap,
+    /// `compare_exchange`
+    CompareExchange,
+    /// `fetch_add`
+    FetchAdd,
+    /// `fetch_sub`
+    FetchSub,
+    /// `fetch_max`
+    FetchMax,
+}
+
+/// Why a scheduled run was aborted.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RunError {
+    /// No virtual thread was runnable but not all had exited. Can only
+    /// happen through blocking joins (e.g. joining a thread that is
+    /// itself blocked forever) or a failpoint action that parks the OS
+    /// thread outside the scheduler's knowledge (`FaultAction::Stall` —
+    /// see the crate docs; use `Crash`/`Yield` under the scheduler).
+    Deadlock {
+        /// Virtual threads blocked in a join at the time.
+        blocked: Vec<usize>,
+    },
+    /// The run exceeded [`RunOptions::max_steps`] schedule points —
+    /// either the bound is too small for the workload or the scheduled
+    /// code spins without bound (not wait-free).
+    StepBound {
+        /// The configured bound that was exceeded.
+        max_steps: usize,
+    },
+}
+
+impl fmt::Display for RunError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RunError::Deadlock { blocked } => {
+                write!(f, "deadlock: no runnable virtual thread (blocked: {blocked:?})")
+            }
+            RunError::StepBound { max_steps } => {
+                write!(f, "step bound exceeded: more than {max_steps} schedule points")
+            }
+        }
+    }
+}
+
+/// Knobs for a scheduled run.
+#[derive(Clone, Debug)]
+pub struct RunOptions {
+    /// Abort the run (with [`RunError::StepBound`]) after this many
+    /// schedule points. A wait-free workload has a static bound; hitting
+    /// this is itself evidence of a liveness bug.
+    pub max_steps: usize,
+}
+
+impl Default for RunOptions {
+    fn default() -> Self {
+        Self { max_steps: 200_000 }
+    }
+}
+
+/// Everything observable about one scheduled run.
+#[derive(Debug)]
+pub struct RunResult {
+    /// The vtid chosen at each schedule point, in order. Together with
+    /// the strategy seed this is the replayable failing schedule.
+    pub decisions: Vec<usize>,
+    /// Number of schedule points taken.
+    pub steps: usize,
+    /// Every atomic op performed, in execution order.
+    pub trace: Vec<OpEvent>,
+    /// Virtual threads that unwound with an injected
+    /// [`CrashSignal`] (in vtid order).
+    pub crashed: Vec<usize>,
+    /// `Some` if the scheduler aborted the run.
+    pub error: Option<RunError>,
+}
+
+/// Internal panic payload used to unwind parked virtual threads when the
+/// run aborts. Never escapes [`run`].
+struct SchedAbort;
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Status {
+    Runnable,
+    /// Blocked joining the given vtid.
+    Blocked(usize),
+    Done,
+}
+
+struct VThread {
+    status: Status,
+    /// Unwound with a `CrashSignal`.
+    crashed: bool,
+    /// Unwound with a genuine (non-crash, non-abort) panic.
+    panicked: bool,
+}
+
+struct RtState {
+    threads: Vec<VThread>,
+    /// The vtid currently holding the baton.
+    current: usize,
+    strategy: Box<dyn Strategy>,
+    decisions: Vec<usize>,
+    trace: Vec<OpEvent>,
+    steps: usize,
+    max_steps: usize,
+    error: Option<RunError>,
+    /// Once set, every parked virtual thread unwinds with `SchedAbort`
+    /// the next time it wakes, and no new schedule points are taken.
+    aborted: bool,
+}
+
+/// Shared scheduler state for one run.
+pub struct RtInner {
+    state: Mutex<RtState>,
+    cv: Condvar,
+    os_handles: Mutex<Vec<thread::JoinHandle<()>>>,
+}
+
+thread_local! {
+    static CURRENT: RefCell<Option<(Arc<RtInner>, usize)>> = const { RefCell::new(None) };
+}
+
+/// The (runtime, vtid) of the calling OS thread, if it is a virtual
+/// thread of an active scheduled run.
+pub(crate) fn current() -> Option<(Arc<RtInner>, usize)> {
+    CURRENT.with(|c| c.borrow().clone())
+}
+
+fn lock(rt: &RtInner) -> MutexGuard<'_, RtState> {
+    rt.state.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+fn runnable_vtids(st: &RtState) -> Vec<usize> {
+    st.threads
+        .iter()
+        .enumerate()
+        .filter(|(_, t)| t.status == Status::Runnable)
+        .map(|(i, _)| i)
+        .collect()
+}
+
+fn abort(rt: &RtInner, st: &mut RtState, error: Option<RunError>) {
+    if st.error.is_none() {
+        st.error = error;
+    }
+    st.aborted = true;
+    rt.cv.notify_all();
+}
+
+/// Asks the strategy who runs next and records the decision.
+fn choose(st: &mut RtState, from: usize, kind: PointKind, runnable: &[usize]) -> usize {
+    debug_assert!(!runnable.is_empty());
+    let choice = Choice { runnable, current: from, kind };
+    let next = st.strategy.choose(&choice);
+    debug_assert!(runnable.contains(&next), "strategy chose non-runnable vtid {next}");
+    st.decisions.push(next);
+    next
+}
+
+/// Parks the calling virtual thread until it holds the baton again (or
+/// the run aborts, in which case it unwinds).
+fn wait_for_baton(rt: &RtInner, mut st: MutexGuard<'_, RtState>, vtid: usize) {
+    loop {
+        if st.aborted {
+            drop(st);
+            std::panic::panic_any(SchedAbort);
+        }
+        if st.current == vtid {
+            return;
+        }
+        st = rt.cv.wait(st).unwrap_or_else(PoisonError::into_inner);
+    }
+}
+
+/// The schedule point: trace, pick the next thread, hand over the baton
+/// if it is someone else. Called with the baton held (i.e. from the
+/// currently-running virtual thread).
+fn schedule(rt: &RtInner, vtid: usize, kind: PointKind, ev: Option<OpEvent>) {
+    let mut st = lock(rt);
+    if st.aborted {
+        drop(st);
+        std::panic::panic_any(SchedAbort);
+    }
+    debug_assert_eq!(st.current, vtid, "schedule point from a thread without the baton");
+    if let Some(e) = ev {
+        st.trace.push(e);
+    }
+    st.steps += 1;
+    if st.steps > st.max_steps {
+        let max_steps = st.max_steps;
+        abort(rt, &mut st, Some(RunError::StepBound { max_steps }));
+        drop(st);
+        std::panic::panic_any(SchedAbort);
+    }
+    let runnable = runnable_vtids(&st);
+    let next = choose(&mut st, vtid, kind, &runnable);
+    if next != vtid {
+        st.current = next;
+        rt.cv.notify_all();
+        wait_for_baton(rt, st, vtid);
+    }
+}
+
+/// Schedule point for a facade atomic op (called by `crate::atomic`
+/// shims). A no-op outside a scheduled run.
+pub(crate) fn trace_point(atomic: &'static str, op: AtomicOp, ordering: Ordering) {
+    if let Some((rt, vtid)) = current() {
+        schedule(&rt, vtid, PointKind::Atomic, Some(OpEvent { vtid, atomic, op, ordering }));
+    }
+}
+
+/// Voluntary yield point (facade `yield_now`, and the failpoint
+/// `Yield` action via the hook installed in [`run`]).
+pub(crate) fn yield_point() {
+    if let Some((rt, vtid)) = current() {
+        schedule(&rt, vtid, PointKind::Yield, None);
+    }
+}
+
+/// Yield hook handed to `waitfree_faults`: makes an injected
+/// `FaultAction::Yield` a real schedule point under the scheduler and a
+/// plain OS yield outside one.
+fn fault_yield_hook() {
+    if current().is_some() {
+        yield_point();
+    } else {
+        thread::yield_now();
+    }
+}
+
+/// Registers a new virtual thread and spawns its backing OS thread. The
+/// child does not execute a single instruction of `f` until the strategy
+/// first hands it the baton. Called by the facade `spawn` from inside a
+/// run; the spawn itself is a schedule point (the strategy may switch to
+/// the child immediately).
+pub(crate) fn spawn_virtual<F, T>(rt: &Arc<RtInner>, parent: usize, f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    let result: Arc<Mutex<Option<thread::Result<T>>>> = Arc::new(Mutex::new(None));
+    let vtid = {
+        let mut st = lock(rt);
+        if st.aborted {
+            drop(st);
+            std::panic::panic_any(SchedAbort);
+        }
+        st.threads.push(VThread { status: Status::Runnable, crashed: false, panicked: false });
+        st.threads.len() - 1
+    };
+    let os = {
+        let rt = Arc::clone(rt);
+        let result = Arc::clone(&result);
+        thread::spawn(move || {
+            let outcome = catch_unwind(AssertUnwindSafe(|| {
+                // Wait for our first baton before touching `f`.
+                wait_for_baton(&rt, lock(&rt), vtid);
+                CURRENT.with(|c| *c.borrow_mut() = Some((Arc::clone(&rt), vtid)));
+                f()
+            }));
+            CURRENT.with(|c| *c.borrow_mut() = None);
+            let crashed = matches!(&outcome, Err(p) if p.is::<CrashSignal>());
+            let aborted = matches!(&outcome, Err(p) if p.is::<SchedAbort>());
+            let panicked = outcome.is_err() && !crashed && !aborted;
+            *result.lock().unwrap_or_else(PoisonError::into_inner) = Some(outcome);
+            vthread_exit(&rt, vtid, crashed, panicked);
+        })
+    };
+    rt.os_handles.lock().unwrap_or_else(PoisonError::into_inner).push(os);
+    schedule(rt, parent, PointKind::Spawn, None);
+    JoinHandle::virtual_handle(Arc::clone(rt), vtid, result)
+}
+
+/// Exit protocol: mark the thread terminal, wake its joiners, and hand
+/// the baton onward (or finish/deadlock the run).
+fn vthread_exit(rt: &RtInner, vtid: usize, crashed: bool, panicked: bool) {
+    let mut st = lock(rt);
+    st.threads[vtid].status = Status::Done;
+    st.threads[vtid].crashed = crashed;
+    st.threads[vtid].panicked = panicked;
+    for t in st.threads.iter_mut() {
+        if t.status == Status::Blocked(vtid) {
+            t.status = Status::Runnable;
+        }
+    }
+    if panicked {
+        // A genuine panic anywhere poisons the whole run: abort so the
+        // driver can surface it instead of running the remainder of the
+        // schedule against broken state.
+        abort(rt, &mut st, None);
+        return;
+    }
+    if st.aborted {
+        rt.cv.notify_all();
+        return;
+    }
+    let runnable = runnable_vtids(&st);
+    if runnable.is_empty() {
+        if st.threads.iter().any(|t| t.status != Status::Done) {
+            let blocked = st
+                .threads
+                .iter()
+                .enumerate()
+                .filter(|(_, t)| matches!(t.status, Status::Blocked(_)))
+                .map(|(i, _)| i)
+                .collect();
+            abort(rt, &mut st, Some(RunError::Deadlock { blocked }));
+        } else {
+            // All threads exited: the run is complete; wake the driver.
+            rt.cv.notify_all();
+        }
+        return;
+    }
+    let next = choose(&mut st, vtid, PointKind::Exit, &runnable);
+    st.current = next;
+    rt.cv.notify_all();
+}
+
+/// Join on a virtual thread. From inside the same run this is a blocking
+/// schedule point; from outside (e.g. after `run` returned) it just
+/// waits for the target to be terminal and takes the result.
+pub(crate) fn join_virtual<T>(
+    rt: &Arc<RtInner>,
+    target: usize,
+    result: &Mutex<Option<thread::Result<T>>>,
+) -> thread::Result<T> {
+    let me = match current() {
+        Some((cur_rt, me)) if Arc::ptr_eq(&cur_rt, rt) => Some(me),
+        _ => None,
+    };
+    match me {
+        Some(me) => {
+            let mut st = lock(rt);
+            if st.aborted {
+                drop(st);
+                std::panic::panic_any(SchedAbort);
+            }
+            if st.threads[target].status != Status::Done {
+                st.threads[me].status = Status::Blocked(target);
+                let runnable = runnable_vtids(&st);
+                if runnable.is_empty() {
+                    let blocked = st
+                        .threads
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, t)| matches!(t.status, Status::Blocked(_)))
+                        .map(|(i, _)| i)
+                        .collect();
+                    abort(rt, &mut st, Some(RunError::Deadlock { blocked }));
+                    drop(st);
+                    std::panic::panic_any(SchedAbort);
+                }
+                let next = choose(&mut st, me, PointKind::Block, &runnable);
+                st.current = next;
+                rt.cv.notify_all();
+                wait_for_baton(rt, st, me);
+            }
+        }
+        None => {
+            let mut st = lock(rt);
+            while st.threads[target].status != Status::Done {
+                st = rt.cv.wait(st).unwrap_or_else(PoisonError::into_inner);
+            }
+        }
+    }
+    result
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+        .take()
+        .expect("virtual thread result stored before exit")
+}
+
+/// Runs `f` as virtual thread 0 under `strategy`, returning the full
+/// decision/trace record once every virtual thread has exited.
+///
+/// `f` executes on the calling OS thread; facade `spawn` calls inside it
+/// create further virtual threads. A genuine panic in any virtual thread
+/// (assertion failure etc. — not an injected `CrashSignal`) aborts the
+/// run and is re-thrown here.
+pub fn run<S, F>(strategy: S, opts: RunOptions, f: F) -> RunResult
+where
+    S: Strategy + 'static,
+    F: FnOnce(),
+{
+    assert!(current().is_none(), "nested scheduled runs are not supported");
+    waitfree_faults::failpoints::set_yield_hook(fault_yield_hook);
+    let rt = Arc::new(RtInner {
+        state: Mutex::new(RtState {
+            threads: vec![VThread { status: Status::Runnable, crashed: false, panicked: false }],
+            current: 0,
+            strategy: Box::new(strategy),
+            decisions: Vec::new(),
+            trace: Vec::new(),
+            steps: 0,
+            max_steps: opts.max_steps,
+            error: None,
+            aborted: false,
+        }),
+        cv: Condvar::new(),
+        os_handles: Mutex::new(Vec::new()),
+    });
+
+    CURRENT.with(|c| *c.borrow_mut() = Some((Arc::clone(&rt), 0)));
+    let outcome = catch_unwind(AssertUnwindSafe(f));
+    CURRENT.with(|c| *c.borrow_mut() = None);
+
+    let crashed = matches!(&outcome, Err(p) if p.is::<CrashSignal>());
+    let aborted = matches!(&outcome, Err(p) if p.is::<SchedAbort>());
+    let panicked = outcome.is_err() && !crashed && !aborted;
+    vthread_exit(&rt, 0, crashed, panicked);
+
+    // Wait for every virtual thread to reach its exit protocol, then
+    // reap the backing OS threads.
+    {
+        let mut st = lock(&rt);
+        while st.threads.iter().any(|t| t.status != Status::Done) {
+            st = rt.cv.wait(st).unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+    let handles: Vec<_> =
+        rt.os_handles.lock().unwrap_or_else(PoisonError::into_inner).drain(..).collect();
+    for h in handles {
+        // The wrapper catches every unwind, so the OS thread itself
+        // never dies panicking.
+        let _ = h.join();
+    }
+
+    if let Err(payload) = outcome {
+        if panicked {
+            resume_unwind(payload);
+        }
+    }
+
+    let mut st = lock(&rt);
+    if st.threads.iter().any(|t| t.panicked) {
+        // A child panicked but nobody joined it: surface the bug rather
+        // than return a result that looks clean.
+        let vtids: Vec<usize> = st
+            .threads
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.panicked)
+            .map(|(i, _)| i)
+            .collect();
+        panic!("virtual thread(s) {vtids:?} panicked during the scheduled run");
+    }
+    RunResult {
+        decisions: mem::take(&mut st.decisions),
+        steps: st.steps,
+        trace: mem::take(&mut st.trace),
+        crashed: st
+            .threads
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.crashed)
+            .map(|(i, _)| i)
+            .collect(),
+        error: st.error.take(),
+    }
+}

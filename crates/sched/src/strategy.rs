@@ -1,0 +1,373 @@
+//! Scheduling strategies: who runs next at each schedule point.
+//!
+//! All strategies are deterministic functions of their construction
+//! parameters (seed, script, DFS prefix), so a failing run is replayed
+//! by constructing the same strategy again — the seed plus the recorded
+//! decision trace *is* the failing schedule.
+//!
+//! * [`RandomWalk`] — uniform choice among runnable threads at every
+//!   point. Good breadth, no guarantees.
+//! * [`Pct`] — PCT priority scheduling (Burckhardt et al.): random
+//!   per-thread priorities, `depth - 1` random change points; finds any
+//!   bug of depth `d` with probability ≥ 1/(n·k^(d-1)) per run.
+//! * [`Dfs`] — bounded exhaustive enumeration of schedules for tiny
+//!   configs, with an optional preemption bound.
+//! * [`Script`] — a fixed decision list, for pinning one exact
+//!   interleaving as a regression test.
+//! * [`OpRandom`] — random at voluntary points only (spawn/yield/
+//!   block/exit), never preempting at atomic ops. Decisions then happen
+//!   at *operation* granularity, which is implementation-independent —
+//!   the basis of the cross-implementation equivalence tests.
+
+use std::sync::{Arc, Mutex, PoisonError};
+
+use waitfree_faults::rng::DetRng;
+
+/// Why the scheduler is asking for a decision.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PointKind {
+    /// Before a facade atomic operation.
+    Atomic,
+    /// A voluntary `yield_now` (including injected `Yield` faults).
+    Yield,
+    /// After registering a newly spawned virtual thread.
+    Spawn,
+    /// The current thread is blocking on a join.
+    Block,
+    /// The current thread has exited.
+    Exit,
+}
+
+/// One scheduling decision to make.
+#[derive(Clone, Copy, Debug)]
+pub struct Choice<'a> {
+    /// Runnable virtual threads, ascending vtid. Never empty.
+    pub runnable: &'a [usize],
+    /// The thread that reached the schedule point (it may not be in
+    /// `runnable` for [`PointKind::Block`]/[`PointKind::Exit`] points).
+    pub current: usize,
+    /// What kind of point this is.
+    pub kind: PointKind,
+}
+
+/// A scheduling strategy. `Send` because the scheduler state (and thus
+/// the strategy) is consulted from whichever OS thread holds the baton.
+pub trait Strategy: Send {
+    /// Picks the next thread to run; must return a member of
+    /// `c.runnable`.
+    fn choose(&mut self, c: &Choice<'_>) -> usize;
+    /// Human-readable identity for failure reports (e.g.
+    /// `"random-walk(seed=7)"`).
+    fn describe(&self) -> String;
+}
+
+impl Strategy for Box<dyn Strategy> {
+    fn choose(&mut self, c: &Choice<'_>) -> usize {
+        (**self).choose(c)
+    }
+    fn describe(&self) -> String {
+        (**self).describe()
+    }
+}
+
+/// Uniform random choice among runnable threads at every schedule point.
+pub struct RandomWalk {
+    seed: u64,
+    rng: DetRng,
+}
+
+impl RandomWalk {
+    /// A random walk driven by `seed`.
+    pub fn new(seed: u64) -> Self {
+        Self { seed, rng: DetRng::new(seed) }
+    }
+}
+
+impl Strategy for RandomWalk {
+    fn choose(&mut self, c: &Choice<'_>) -> usize {
+        c.runnable[self.rng.below(c.runnable.len())]
+    }
+    fn describe(&self) -> String {
+        format!("random-walk(seed={})", self.seed)
+    }
+}
+
+/// PCT priority scheduling: each virtual thread gets a random priority
+/// on first sight; the highest-priority runnable thread always runs; at
+/// `depth - 1` pre-drawn change points the running thread's priority
+/// drops below everyone's. `est_steps` should over-approximate the run's
+/// schedule-point count (change points are drawn uniformly from it).
+pub struct Pct {
+    seed: u64,
+    depth: usize,
+    est_steps: usize,
+    rng: DetRng,
+    /// Lazily assigned per-vtid priorities (higher runs first).
+    priorities: Vec<u64>,
+    change_points: Vec<usize>,
+    step: usize,
+    /// Next "below everyone" priority to hand out at a change point,
+    /// descending so later drops go below earlier ones.
+    next_low: u64,
+}
+
+impl Pct {
+    /// PCT with the given seed, bug depth `depth` (≥ 1) and estimated
+    /// schedule-point count.
+    pub fn new(seed: u64, depth: usize, est_steps: usize) -> Self {
+        let depth = depth.max(1);
+        let mut rng = DetRng::new(seed);
+        let change_points: Vec<usize> =
+            (1..depth).map(|_| rng.below(est_steps.max(1))).collect();
+        Self {
+            seed,
+            depth,
+            est_steps,
+            rng,
+            priorities: Vec::new(),
+            change_points,
+            step: 0,
+            next_low: depth as u64,
+        }
+    }
+
+    fn ensure_priorities(&mut self, up_to: usize) {
+        while self.priorities.len() <= up_to {
+            // Initial priorities all sit above the change-point band
+            // [1, depth]; collisions are broken by vtid (max_by_key
+            // keeps the last maximum, but any fixed rule keeps the run
+            // deterministic).
+            let p = self.depth as u64 + 1 + self.rng.next_u64() % 1_000_000_007;
+            self.priorities.push(p);
+        }
+    }
+}
+
+impl Strategy for Pct {
+    fn choose(&mut self, c: &Choice<'_>) -> usize {
+        let max_vtid = *c.runnable.last().expect("runnable never empty");
+        self.ensure_priorities(max_vtid);
+        let chosen = *c
+            .runnable
+            .iter()
+            .max_by_key(|&&v| self.priorities[v])
+            .expect("runnable never empty");
+        self.step += 1;
+        if self.change_points.contains(&self.step) && self.next_low > 0 {
+            self.priorities[chosen] = self.next_low;
+            self.next_low -= 1;
+        }
+        chosen
+    }
+    fn describe(&self) -> String {
+        format!(
+            "pct(seed={}, depth={}, est_steps={})",
+            self.seed, self.depth, self.est_steps
+        )
+    }
+}
+
+/// Random at voluntary points (spawn/yield/block/exit), but *never*
+/// preempts at an atomic op: the running thread continues until it
+/// yields, blocks or exits, and crucially no randomness is consumed at
+/// atomic points. Two implementations of the same interface that issue
+/// the same operation sequence therefore see the *same* operation-level
+/// schedule under the same seed, regardless of how many atomic
+/// instructions each implementation uses internally — the property the
+/// cross-implementation equivalence tests rely on.
+pub struct OpRandom {
+    seed: u64,
+    rng: DetRng,
+}
+
+impl OpRandom {
+    /// An operation-level random schedule driven by `seed`.
+    pub fn new(seed: u64) -> Self {
+        Self { seed, rng: DetRng::new(seed) }
+    }
+}
+
+impl Strategy for OpRandom {
+    fn choose(&mut self, c: &Choice<'_>) -> usize {
+        if c.kind == PointKind::Atomic && c.runnable.contains(&c.current) {
+            return c.current;
+        }
+        c.runnable[self.rng.below(c.runnable.len())]
+    }
+    fn describe(&self) -> String {
+        format!("op-random(seed={})", self.seed)
+    }
+}
+
+/// A fixed decision list: at point `i` run `steps[i]` if runnable, else
+/// the current thread if runnable, else the lowest runnable vtid. Past
+/// the end of the list the fallback rule alone applies (continue the
+/// current thread; on exit/block, lowest runnable first). Used to pin
+/// one exact interleaving as a regression test.
+pub struct Script {
+    steps: Vec<usize>,
+    pos: usize,
+}
+
+impl Script {
+    /// A scripted schedule following `steps`.
+    pub fn new(steps: Vec<usize>) -> Self {
+        Self { steps, pos: 0 }
+    }
+}
+
+impl Strategy for Script {
+    fn choose(&mut self, c: &Choice<'_>) -> usize {
+        let want = self.steps.get(self.pos).copied();
+        self.pos += 1;
+        if let Some(w) = want {
+            if c.runnable.contains(&w) {
+                return w;
+            }
+        }
+        if c.runnable.contains(&c.current) {
+            return c.current;
+        }
+        c.runnable[0]
+    }
+    fn describe(&self) -> String {
+        format!("script({:?})", self.steps)
+    }
+}
+
+/// Per-point record of one DFS run: (index chosen, number of
+/// alternatives) over the *ordered* candidate list.
+type DfsRecord = Arc<Mutex<Vec<(usize, usize)>>>;
+
+/// Bounded exhaustive DFS over schedules. Enumerates decision prefixes
+/// lexicographically: each run follows the current prefix, then takes
+/// candidate 0 ("continue the current thread") everywhere after it; the
+/// next prefix is the recorded run's longest branch point with an
+/// untried alternative.
+///
+/// With `preemption_bound = Some(b)`, runs that already switched away
+/// from a runnable current thread at `b` atomic points stop branching at
+/// further atomic points (loom-style bounded search: most bugs need few
+/// preemptions, and the schedule count drops from exponential in run
+/// length to polynomial).
+///
+/// State-space caps are the caller's job: keep configs tiny (2–3
+/// threads, 1–2 ops) and/or set a bound; `schedules()` reports how many
+/// runs were handed out.
+pub struct Dfs {
+    prefix: Vec<usize>,
+    last: DfsRecord,
+    preemption_bound: Option<usize>,
+    started: bool,
+    exhausted: bool,
+    schedules: usize,
+}
+
+impl Dfs {
+    /// A DFS cursor; `preemption_bound` of `None` means a full
+    /// exhaustive search.
+    pub fn new(preemption_bound: Option<usize>) -> Self {
+        Self {
+            prefix: Vec::new(),
+            last: Arc::new(Mutex::new(Vec::new())),
+            preemption_bound,
+            started: false,
+            exhausted: false,
+            schedules: 0,
+        }
+    }
+
+    /// The strategy for the next unexplored schedule, or `None` once the
+    /// (bounded) space is exhausted. Each returned strategy must drive
+    /// one complete run before the next call.
+    pub fn next_schedule(&mut self) -> Option<DfsStrategy> {
+        if self.started {
+            let rec = self.last.lock().unwrap_or_else(PoisonError::into_inner).clone();
+            // Longest prefix ending in a branch point with an untried
+            // alternative; bump it, drop everything after.
+            let mut cut = rec.len();
+            loop {
+                if cut == 0 {
+                    self.exhausted = true;
+                    return None;
+                }
+                cut -= 1;
+                if rec[cut].0 + 1 < rec[cut].1 {
+                    break;
+                }
+            }
+            self.prefix = rec[..cut].iter().map(|r| r.0).collect();
+            self.prefix.push(rec[cut].0 + 1);
+        }
+        self.started = true;
+        self.schedules += 1;
+        self.last = Arc::new(Mutex::new(Vec::new()));
+        Some(DfsStrategy {
+            prefix: self.prefix.clone(),
+            pos: 0,
+            record: Arc::clone(&self.last),
+            preemption_bound: self.preemption_bound,
+            preemptions: 0,
+        })
+    }
+
+    /// Whether the whole (bounded) schedule space has been explored.
+    pub fn exhausted(&self) -> bool {
+        self.exhausted
+    }
+
+    /// Number of schedules handed out so far.
+    pub fn schedules(&self) -> usize {
+        self.schedules
+    }
+}
+
+/// The per-run strategy handed out by [`Dfs::next_schedule`].
+pub struct DfsStrategy {
+    prefix: Vec<usize>,
+    pos: usize,
+    record: DfsRecord,
+    preemption_bound: Option<usize>,
+    preemptions: usize,
+}
+
+impl Strategy for DfsStrategy {
+    fn choose(&mut self, c: &Choice<'_>) -> usize {
+        let current_runnable = c.runnable.contains(&c.current);
+        // Candidate order: continue the current thread first (index 0 =
+        // "no preemption"), then the others by ascending vtid. Under an
+        // exhausted preemption bound, atomic points stop branching.
+        let bound_hit = self
+            .preemption_bound
+            .is_some_and(|b| self.preemptions >= b && current_runnable && c.kind == PointKind::Atomic);
+        let mut cands: Vec<usize> = Vec::with_capacity(c.runnable.len());
+        if bound_hit {
+            cands.push(c.current);
+        } else {
+            if current_runnable {
+                cands.push(c.current);
+            }
+            cands.extend(c.runnable.iter().copied().filter(|&v| v != c.current));
+        }
+        let idx = match self.prefix.get(self.pos) {
+            Some(&i) => i.min(cands.len() - 1),
+            None => 0,
+        };
+        let chosen = cands[idx];
+        if c.kind == PointKind::Atomic && current_runnable && chosen != c.current {
+            self.preemptions += 1;
+        }
+        self.record
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .push((idx, cands.len()));
+        self.pos += 1;
+        chosen
+    }
+    fn describe(&self) -> String {
+        format!(
+            "dfs(prefix={:?}, preemption_bound={:?})",
+            self.prefix, self.preemption_bound
+        )
+    }
+}

@@ -1,0 +1,87 @@
+//! Threading facade: `std::thread` by default, virtual threads under the
+//! `sched` feature.
+//!
+//! With the feature off, `spawn`/`yield_now`/`JoinHandle` *are* the std
+//! items. With the feature on, `spawn` called inside a scheduled run
+//! registers a virtual thread with the scheduler (still backed by a real
+//! OS thread, but gated so only one virtual thread runs at a time);
+//! called outside a run it falls back to a plain `std::thread::spawn`,
+//! so ordinary tests keep working with the feature enabled.
+
+#[cfg(not(feature = "sched"))]
+pub use std::thread::{spawn, yield_now, JoinHandle};
+
+#[cfg(feature = "sched")]
+pub use virt::{spawn, yield_now, JoinHandle};
+
+#[cfg(feature = "sched")]
+mod virt {
+    use std::sync::{Arc, Mutex};
+    use std::thread;
+
+    use crate::runtime::{self, RtInner};
+
+    /// Join handle over either a plain OS thread (spawned outside any
+    /// scheduled run) or a virtual thread registered with the scheduler.
+    pub struct JoinHandle<T> {
+        imp: Imp<T>,
+    }
+
+    enum Imp<T> {
+        Os(thread::JoinHandle<T>),
+        Virtual {
+            rt: Arc<RtInner>,
+            vtid: usize,
+            result: Arc<Mutex<Option<thread::Result<T>>>>,
+        },
+    }
+
+    impl<T> JoinHandle<T> {
+        pub(crate) fn virtual_handle(
+            rt: Arc<RtInner>,
+            vtid: usize,
+            result: Arc<Mutex<Option<thread::Result<T>>>>,
+        ) -> Self {
+            Self { imp: Imp::Virtual { rt, vtid, result } }
+        }
+
+        /// Waits for the thread to finish, returning `Err` with the
+        /// panic payload if it panicked (including injected
+        /// [`waitfree_faults::failpoints::CrashSignal`] crashes).
+        ///
+        /// Joining a virtual thread from inside its run is a scheduling
+        /// point: the joiner blocks until the target exits and the
+        /// strategy picks who runs in between.
+        pub fn join(self) -> thread::Result<T> {
+            match self.imp {
+                Imp::Os(h) => h.join(),
+                Imp::Virtual { rt, vtid, result } => runtime::join_virtual(&rt, vtid, &result),
+            }
+        }
+    }
+
+    /// Spawns a thread. Inside a scheduled run this registers a virtual
+    /// thread (the strategy decides when it first runs); outside it is
+    /// `std::thread::spawn`.
+    pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+    where
+        F: FnOnce() -> T + Send + 'static,
+        T: Send + 'static,
+    {
+        match runtime::current() {
+            Some((rt, parent)) => runtime::spawn_virtual(&rt, parent, f),
+            None => JoinHandle { imp: Imp::Os(thread::spawn(f)) },
+        }
+    }
+
+    /// Yields. Inside a scheduled run this is a voluntary schedule point
+    /// (strategies that keep the running thread at atomic points still
+    /// reschedule here); outside it is `std::thread::yield_now`.
+    pub fn yield_now() {
+        if runtime::current().is_some() {
+            runtime::yield_point();
+        } else {
+            thread::yield_now();
+        }
+    }
+}

@@ -12,7 +12,7 @@
 //! never blocks the other proposers: consensus here is decided by a
 //! single hardware primitive, not by waiting.
 
-use std::sync::atomic::{AtomicBool, AtomicI64, AtomicUsize, Ordering};
+use waitfree_sched::atomic::{AtomicBool, AtomicI64, AtomicUsize, Ordering};
 use std::sync::OnceLock;
 
 use waitfree_faults::failpoint;

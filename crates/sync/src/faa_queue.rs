@@ -21,7 +21,7 @@
 //! slot — the visible wound of a halt failure in this construction), and
 //! `faa_queue::deq_sweep` before each sweep's swap.
 
-use std::sync::atomic::{AtomicI64, AtomicUsize, Ordering};
+use waitfree_sched::atomic::{AtomicI64, AtomicUsize, Ordering};
 
 use waitfree_faults::failpoint;
 

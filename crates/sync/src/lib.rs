@@ -36,6 +36,18 @@
 //! (the default) every site compiles to an empty inline function; enabled,
 //! tests can inject crashes, stalls and delays per site and per thread —
 //! see `waitfree-faults` and the workspace's `tests/fault_tolerance.rs`.
+//!
+//! # Deterministic schedules (feature `sched`)
+//!
+//! Every atomic in this crate goes through the `waitfree_sched::atomic`
+//! facade. With the `sched` feature disabled (the default) the facade is
+//! a pure re-export of `std::sync::atomic` — this crate compiles to the
+//! same code it did before the facade existed. Enabled, each atomic op
+//! becomes a scheduling point of `waitfree-sched`'s cooperative
+//! deterministic scheduler, so the *same* source that runs on hardware
+//! can be driven through chosen interleavings and its histories checked
+//! for linearizability — see the workspace's
+//! `tests/sched_linearizability.rs`.
 
 #![warn(missing_docs)]
 

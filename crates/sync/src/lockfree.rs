@@ -26,7 +26,7 @@
 //! leaked until drop.
 
 use std::ptr;
-use std::sync::atomic::{AtomicPtr, Ordering};
+use waitfree_sched::atomic::{AtomicPtr, Ordering};
 
 use waitfree_faults::failpoint;
 

@@ -95,7 +95,7 @@
 use std::fmt;
 use std::marker::PhantomData;
 use std::ptr;
-use std::sync::atomic::{AtomicPtr, AtomicUsize, Ordering};
+use waitfree_sched::atomic::{AtomicPtr, AtomicUsize, Ordering};
 use std::sync::{Arc, OnceLock};
 
 use waitfree_faults::failpoint;
@@ -683,6 +683,38 @@ impl<S: ObjectSpec> WfHandle<S> {
     #[must_use]
     pub fn replayed(&self) -> usize {
         self.cursor
+    }
+
+    /// The decided prefix of the log as `(tid, seq)` pairs, from
+    /// position 0 to the first undecided slot. Read-only diagnostic —
+    /// the cross-implementation equivalence tests compare it against the
+    /// cell path's log. Quiescently consistent: call it only when no
+    /// invoke is in flight (or under the deterministic scheduler).
+    #[must_use]
+    pub fn decided_log(&self) -> Vec<(usize, usize)> {
+        let mut out = Vec::new();
+        let mut seg: *const Segment<S::Op> = &*self.shared.head;
+        loop {
+            // SAFETY: segment pointers come from `head` or Acquire-read
+            // `next` links and live as long as `shared` (see `seg_for`).
+            let s = unsafe { &*seg };
+            for slot in s.slots.iter() {
+                // Acquire: same slot-publication edge as the replay loop.
+                let raw = slot.load(Ordering::Acquire);
+                if raw.is_null() {
+                    return out;
+                }
+                // SAFETY: a non-null slot holds a strong reference that
+                // outlives this borrow (as in `try_invoke`'s replay).
+                let e = unsafe { &*raw };
+                out.push((e.tid, e.seq));
+            }
+            let next = s.next.load(Ordering::Acquire);
+            if next.is_null() {
+                return out;
+            }
+            seg = next;
+        }
     }
 }
 

@@ -22,7 +22,7 @@
 //! optimised path so the fault-injection harness can stress either
 //! implementation with one adversary plan.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use waitfree_sched::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, OnceLock};
 
 use waitfree_faults::failpoint;
@@ -272,6 +272,20 @@ impl<S: ObjectSpec> CellHandle<S> {
     #[must_use]
     pub fn replayed(&self) -> usize {
         self.cursor
+    }
+
+    /// The decided prefix of the log as `(tid, seq)` pairs, from
+    /// position 0 to the first undecided cell — the counterpart of
+    /// [`WfHandle::decided_log`](crate::universal::WfHandle::decided_log)
+    /// for the cross-implementation equivalence tests. Quiescently
+    /// consistent, like the pointer path's.
+    #[must_use]
+    pub fn decided_log(&self) -> Vec<(usize, usize)> {
+        self.shared
+            .positions
+            .iter()
+            .map_while(|cell| cell.value().map(|e| (e.tid, e.seq)))
+            .collect()
     }
 }
 

@@ -116,6 +116,113 @@ fn log_front_end_and_consensus_cons_both_linearize_concurrently() {
     }
 }
 
+/// Satellite of the `sched` tier: under *identical* operation-level
+/// schedules, the pointer-CAS universal object and the consensus-cell
+/// rendering must decide the same log and return the same responses,
+/// seed for seed. [`OpRandom`](waitfree::sched::OpRandom) never preempts
+/// at an atomic point and consumes no randomness there, so its decision
+/// sequence depends only on the operation structure (spawn/yield/block/
+/// exit), which both implementations share — the schedules are
+/// comparable even though the two hot paths execute different numbers
+/// of atomic instructions.
+#[cfg(feature = "sched")]
+mod sched_equivalence {
+    use std::sync::{Arc, Mutex};
+
+    use waitfree::objects::counter::{Counter, CounterOp, CounterResp};
+    use waitfree::sched::thread as vthread;
+    use waitfree::sched::{run, OpRandom, RunOptions};
+    use waitfree::sync::universal::{WfHandle, WfUniversal};
+    use waitfree::sync::universal_cell::{CellHandle, CellUniversal};
+
+    const THREADS: usize = 2;
+    const OPS: usize = 3;
+
+    /// The common surface of the two universal-object handles.
+    trait Handle: Send + 'static {
+        fn tid(&self) -> usize;
+        fn invoke(&mut self, op: CounterOp) -> CounterResp;
+        fn decided_log(&self) -> Vec<(usize, usize)>;
+    }
+
+    impl Handle for WfHandle<Counter> {
+        fn tid(&self) -> usize {
+            WfHandle::tid(self)
+        }
+        fn invoke(&mut self, op: CounterOp) -> CounterResp {
+            WfHandle::invoke(self, op)
+        }
+        fn decided_log(&self) -> Vec<(usize, usize)> {
+            WfHandle::decided_log(self)
+        }
+    }
+
+    impl Handle for CellHandle<Counter> {
+        fn tid(&self) -> usize {
+            CellHandle::tid(self)
+        }
+        fn invoke(&mut self, op: CounterOp) -> CounterResp {
+            CellHandle::invoke(self, op)
+        }
+        fn decided_log(&self) -> Vec<(usize, usize)> {
+            CellHandle::decided_log(self)
+        }
+    }
+
+    /// Per-tid responses plus the decided log of one scheduled run.
+    type Out = (Vec<(usize, Vec<CounterResp>)>, Vec<(usize, usize)>);
+
+    /// One scheduled run: every handle's thread interleaves `OPS`
+    /// fetch-and-adds (with a yield after each, the operation-level
+    /// schedule points). Returns per-tid responses and the decided log.
+    fn drive<H: Handle>(handles: Vec<H>, seed: u64) -> Out {
+        let out: Arc<Mutex<Option<Out>>> = Arc::new(Mutex::new(None));
+        let sink = Arc::clone(&out);
+        let res = run(OpRandom::new(seed), RunOptions::default(), move || {
+            let workers: Vec<_> = handles
+                .into_iter()
+                .map(|mut h| {
+                    vthread::spawn(move || {
+                        let tid = h.tid();
+                        let resps: Vec<CounterResp> = (0..OPS)
+                            .map(|i| {
+                                let op = CounterOp::FetchAndAdd((100 * tid + i + 1) as i64);
+                                let r = h.invoke(op);
+                                vthread::yield_now();
+                                r
+                            })
+                            .collect();
+                        (tid, resps, h)
+                    })
+                })
+                .collect();
+            let mut results = Vec::new();
+            let mut log = None;
+            for w in workers {
+                let (tid, resps, h) = w.join().unwrap();
+                log = Some(h.decided_log());
+                results.push((tid, resps));
+            }
+            results.sort_by_key(|(tid, _)| *tid);
+            *sink.lock().unwrap() = Some((results, log.expect("at least one worker")));
+        });
+        assert!(res.error.is_none(), "{:?}", res.error);
+        let r = out.lock().unwrap().take().unwrap();
+        r
+    }
+
+    #[test]
+    fn cell_and_pointer_universal_agree_under_identical_schedules() {
+        for seed in 0..64 {
+            let wf = drive(WfUniversal::new(Counter::new(0), THREADS, 16), seed);
+            let cell = drive(CellUniversal::new(Counter::new(0), THREADS, 16), seed);
+            assert_eq!(wf.0, cell.0, "responses diverged at seed {seed}");
+            assert_eq!(wf.1, cell.1, "decided logs diverged at seed {seed}");
+            assert_eq!(wf.1.len(), THREADS * OPS, "all ops decided at seed {seed}");
+        }
+    }
+}
+
 #[test]
 fn hardware_universal_object_survives_thread_churn() {
     // Handles dropped early (threads "crash" after a few ops): the
