@@ -1,0 +1,398 @@
+//! Regression gate over the recorded benchmark trajectory: compare the
+//! latest `BENCH_universal.json` run against the best prior run *with
+//! the same configuration* and fail (exit 1) if any row's median ns/op
+//! regressed by more than the threshold (default 25%, override with
+//! `BENCH_TREND_THRESHOLD_PCT` or `--threshold-pct <n>`).
+//!
+//! Rows are keyed by (workload, impl, n) and the `ns/op` column is
+//! located by name, so column additions don't break old trajectories.
+//! Runs whose `config` object renders differently (different ops per
+//! thread, sample count, or construction-hoisting marker) are never
+//! compared against each other — a CI smoke run at 64 ops can't
+//! invalidate a full 2000-op record, and pre-hoisting figures (which
+//! billed object construction to ns/op) can't masquerade as
+//! regressions.
+//!
+//! While a configuration group holds fewer than three runs the gate is
+//! a no-op: it prints a warning and exits 0, because a single prior
+//! sample is as likely to be the outlier as the new one. Usage:
+//!
+//! ```text
+//! cargo run -p waitfree-bench --bin bench_trend [--] [path] [--threshold-pct <n>]
+//! ```
+
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+use waitfree_bench::json::Json;
+
+/// Minimum same-config runs (including the latest) before the gate arms.
+const MIN_RUNS: usize = 3;
+/// Default allowed regression, percent.
+const DEFAULT_THRESHOLD_PCT: f64 = 25.0;
+
+/// One row-level comparison: latest vs the best (minimum) prior median.
+#[derive(Debug, Clone, PartialEq)]
+struct Check {
+    key: (String, String, String),
+    latest: f64,
+    best_prior: f64,
+}
+
+impl Check {
+    fn ratio(&self) -> f64 {
+        if self.best_prior > 0.0 { self.latest / self.best_prior } else { 1.0 }
+    }
+}
+
+/// The gate's verdict for one trajectory document.
+#[derive(Debug, PartialEq)]
+enum Trend {
+    /// Fewer than [`MIN_RUNS`] runs share the latest run's config.
+    TooFewRuns { have: usize },
+    /// Every comparable row, with the ones past the threshold split out.
+    Compared { checks: Vec<Check>, regressions: Vec<Check> },
+}
+
+/// Extract `(key -> ns/op)` for every row of one run's report. Rows
+/// without a parseable ns/op cell are skipped (a "-" placeholder row is
+/// not a measurement).
+fn row_medians(run: &Json) -> Result<HashMap<(String, String, String), f64>, String> {
+    let report = run.get("report").ok_or("run without a report")?;
+    let columns: Vec<&str> = report
+        .get("columns")
+        .and_then(Json::as_array)
+        .ok_or("report without columns")?
+        .iter()
+        .map(|c| c.as_str().unwrap_or(""))
+        .collect();
+    let idx = |name: &str| {
+        columns
+            .iter()
+            .position(|c| *c == name)
+            .ok_or_else(|| format!("report has no {name:?} column"))
+    };
+    let (wi, ii, ni, vi) = (idx("workload")?, idx("impl")?, idx("n")?, idx("ns/op")?);
+    let mut out = HashMap::new();
+    for row in report.get("rows").and_then(Json::as_array).unwrap_or(&[]) {
+        let cells = row.as_array().ok_or("row is not an array")?;
+        let cell = |i: usize| cells.get(i).and_then(Json::as_str).unwrap_or("").to_string();
+        if let Ok(v) = cell(vi).parse::<f64>() {
+            out.insert((cell(wi), cell(ii), cell(ni)), v);
+        }
+    }
+    Ok(out)
+}
+
+/// The stable identity of a run's configuration: its rendered JSON.
+fn config_key(run: &Json) -> String {
+    run.get("config").cloned().unwrap_or(Json::Obj(Vec::new())).pretty()
+}
+
+/// Gate the latest run in `doc` against the best prior same-config run.
+fn evaluate(doc: &Json, threshold_pct: f64) -> Result<Trend, String> {
+    let runs = doc
+        .get("runs")
+        .and_then(Json::as_array)
+        .ok_or("not a schema-2 trajectory (no \"runs\" array)")?;
+    let latest = runs.last().ok_or("trajectory has no runs")?;
+    let cfg = config_key(latest);
+    let group: Vec<&Json> = runs.iter().filter(|r| config_key(r) == cfg).collect();
+    if group.len() < MIN_RUNS {
+        return Ok(Trend::TooFewRuns { have: group.len() });
+    }
+
+    // Best prior median per row key, across every same-config run
+    // except the latest (the last group member *is* the latest run).
+    let mut best: HashMap<(String, String, String), f64> = HashMap::new();
+    for run in &group[..group.len() - 1] {
+        for (key, v) in row_medians(run)? {
+            best.entry(key).and_modify(|b| *b = b.min(v)).or_insert(v);
+        }
+    }
+
+    let mut checks: Vec<Check> = row_medians(latest)?
+        .into_iter()
+        .filter_map(|(key, latest)| {
+            // Rows with no prior same-config measurement (new impl, new
+            // workload) have nothing to regress against.
+            best.get(&key).map(|b| Check { key, latest, best_prior: *b })
+        })
+        .collect();
+    checks.sort_by(|a, b| a.key.cmp(&b.key));
+    let limit = 1.0 + threshold_pct / 100.0;
+    let regressions: Vec<Check> = checks.iter().filter(|c| c.ratio() > limit).cloned().collect();
+    Ok(Trend::Compared { checks, regressions })
+}
+
+fn threshold_pct() -> f64 {
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == "--threshold-pct" {
+            if let Some(v) = args.next().and_then(|v| v.parse().ok()) {
+                return v;
+            }
+        } else if let Some(v) = a.strip_prefix("--threshold-pct=").and_then(|v| v.parse().ok()) {
+            return v;
+        }
+    }
+    std::env::var("BENCH_TREND_THRESHOLD_PCT")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(DEFAULT_THRESHOLD_PCT)
+}
+
+fn trajectory_path() -> String {
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == "--threshold-pct" {
+            let _ = args.next();
+        } else if !a.starts_with("--") {
+            return a;
+        }
+    }
+    "BENCH_universal.json".to_string()
+}
+
+fn main() -> ExitCode {
+    let path = trajectory_path();
+    let pct = threshold_pct();
+
+    let src = match std::fs::read_to_string(&path) {
+        Ok(s) => s,
+        Err(e) => {
+            // No trajectory yet: nothing to gate on. Same no-op contract
+            // as the too-few-runs case so fresh clones pass CI.
+            println!("bench_trend: no trajectory at {path} ({e}); nothing to gate");
+            return ExitCode::SUCCESS;
+        }
+    };
+    let doc = match Json::parse(&src) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("bench_trend: {path} is not valid JSON: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    match evaluate(&doc, pct) {
+        Err(e) => {
+            eprintln!("bench_trend: {path}: {e}");
+            ExitCode::from(2)
+        }
+        Ok(Trend::TooFewRuns { have }) => {
+            println!(
+                "bench_trend: WARNING: only {have} run(s) share the latest config \
+                 (need {MIN_RUNS}); not gating"
+            );
+            ExitCode::SUCCESS
+        }
+        Ok(Trend::Compared { checks, regressions }) => {
+            println!(
+                "bench_trend: latest vs best prior same-config median (threshold +{pct:.0}%)"
+            );
+            for c in &checks {
+                let (w, i, n) = &c.key;
+                println!(
+                    "  {w}/{i}/n={n}: {:.1} ns/op vs best {:.1} ({:+.1}%)",
+                    c.latest,
+                    c.best_prior,
+                    (c.ratio() - 1.0) * 100.0
+                );
+            }
+            if checks.is_empty() {
+                println!("  (no comparable rows)");
+            }
+            if regressions.is_empty() {
+                println!("bench_trend: ok");
+                ExitCode::SUCCESS
+            } else {
+                for c in &regressions {
+                    let (w, i, n) = &c.key;
+                    eprintln!(
+                        "bench_trend: REGRESSION {w}/{i}/n={n}: {:.1} ns/op is {:.1}% over \
+                         the best recorded {:.1}",
+                        c.latest,
+                        (c.ratio() - 1.0) * 100.0,
+                        c.best_prior
+                    );
+                }
+                ExitCode::FAILURE
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A schema-2 trajectory with one run per `(config_tag, ns)` pair;
+    /// each run holds a single counter/pointer/n=4 row at `ns` ns/op.
+    fn doc(runs: &[(&str, f64)]) -> Json {
+        let runs: Vec<Json> = runs
+            .iter()
+            .map(|(tag, ns)| {
+                Json::Obj(vec![
+                    ("timestamp".into(), Json::Str("t".into())),
+                    (
+                        "config".into(),
+                        Json::Obj(vec![("ops".into(), Json::Str((*tag).into()))]),
+                    ),
+                    (
+                        "report".into(),
+                        Json::Obj(vec![
+                            (
+                                "columns".into(),
+                                Json::Arr(
+                                    // ns/op deliberately not at a fixed
+                                    // index: located by name.
+                                    ["workload", "impl", "n", "extra", "ns/op"]
+                                        .iter()
+                                        .map(|c| Json::Str((*c).into()))
+                                        .collect(),
+                                ),
+                            ),
+                            (
+                                "rows".into(),
+                                Json::Arr(vec![Json::Arr(
+                                    ["counter", "pointer", "4", "x", &format!("{ns}")]
+                                        .iter()
+                                        .map(|c| Json::Str((*c).into()))
+                                        .collect(),
+                                )]),
+                            ),
+                        ]),
+                    ),
+                ])
+            })
+            .collect();
+        Json::Obj(vec![
+            ("schema".into(), Json::num(2)),
+            ("runs".into(), Json::Arr(runs)),
+        ])
+    }
+
+    fn key() -> (String, String, String) {
+        ("counter".into(), "pointer".into(), "4".into())
+    }
+
+    #[test]
+    fn under_three_runs_is_a_warning_not_a_gate() {
+        for n in 1..MIN_RUNS {
+            let runs: Vec<(&str, f64)> = (0..n).map(|_| ("a", 100.0)).collect();
+            assert_eq!(
+                evaluate(&doc(&runs), 25.0).unwrap(),
+                Trend::TooFewRuns { have: n },
+            );
+        }
+    }
+
+    #[test]
+    fn regression_past_threshold_is_flagged() {
+        let d = doc(&[("a", 100.0), ("a", 110.0), ("a", 126.0)]);
+        match evaluate(&d, 25.0).unwrap() {
+            Trend::Compared { regressions, .. } => {
+                assert_eq!(regressions.len(), 1);
+                assert_eq!(regressions[0].key, key());
+                // Best prior is the min (100.0), not the previous run.
+                assert_eq!(regressions[0].best_prior, 100.0);
+            }
+            other => panic!("expected a comparison, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn within_threshold_passes_including_improvements() {
+        for latest in [60.0, 100.0, 124.9] {
+            let d = doc(&[("a", 100.0), ("a", 180.0), ("a", latest)]);
+            match evaluate(&d, 25.0).unwrap() {
+                Trend::Compared { checks, regressions } => {
+                    assert_eq!(checks.len(), 1);
+                    assert!(regressions.is_empty(), "latest={latest}");
+                }
+                other => panic!("expected a comparison, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn different_configs_never_compare() {
+        // Two slow full runs on record; the latest is a fast smoke
+        // config — its group has one member, so no gate.
+        let d = doc(&[("full", 100.0), ("full", 100.0), ("smoke", 900.0)]);
+        assert_eq!(evaluate(&d, 25.0).unwrap(), Trend::TooFewRuns { have: 1 });
+    }
+
+    #[test]
+    fn rows_without_priors_are_skipped() {
+        // The latest run also carries a row key the priors lack: only
+        // the shared key is compared. (Build by hand: two runs with the
+        // shared row, latest with an extra impl row.)
+        let mut d = doc(&[("a", 100.0), ("a", 100.0), ("a", 101.0)]);
+        if let Json::Obj(members) = &mut d {
+            let runs = members.iter_mut().find(|(k, _)| k == "runs").unwrap();
+            if let Json::Arr(runs) = &mut runs.1 {
+                let last = runs.last_mut().unwrap();
+                let report = match last {
+                    Json::Obj(m) => &mut m.iter_mut().find(|(k, _)| k == "report").unwrap().1,
+                    _ => unreachable!(),
+                };
+                if let Json::Obj(m) = report {
+                    let rows = &mut m.iter_mut().find(|(k, _)| k == "rows").unwrap().1;
+                    if let Json::Arr(rows) = rows {
+                        rows.push(Json::Arr(
+                            ["counter", "batched", "4", "x", "55.0"]
+                                .iter()
+                                .map(|c| Json::Str((*c).into()))
+                                .collect(),
+                        ));
+                    }
+                }
+            }
+        }
+        match evaluate(&d, 25.0).unwrap() {
+            Trend::Compared { checks, regressions } => {
+                assert_eq!(checks.len(), 1, "only the shared key compares");
+                assert!(regressions.is_empty());
+            }
+            other => panic!("expected a comparison, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unparseable_medians_are_not_measurements() {
+        // A "-" ns/op cell (the cell baseline's counter columns use the
+        // same convention) is skipped rather than treated as zero.
+        let mut d = doc(&[("a", 100.0), ("a", 100.0), ("a", 100.0)]);
+        if let Json::Obj(members) = &mut d {
+            let runs = &mut members.iter_mut().find(|(k, _)| k == "runs").unwrap().1;
+            if let Json::Arr(runs) = runs {
+                for run in runs.iter_mut().take(2) {
+                    if let Json::Obj(m) = run {
+                        let report = &mut m.iter_mut().find(|(k, _)| k == "report").unwrap().1;
+                        if let Json::Obj(m) = report {
+                            let rows = &mut m.iter_mut().find(|(k, _)| k == "rows").unwrap().1;
+                            *rows = Json::Arr(vec![Json::Arr(
+                                ["counter", "pointer", "4", "x", "-"]
+                                    .iter()
+                                    .map(|c| Json::Str((*c).into()))
+                                    .collect(),
+                            )]);
+                        }
+                    }
+                }
+            }
+        }
+        match evaluate(&d, 25.0).unwrap() {
+            Trend::Compared { checks, .. } => assert!(checks.is_empty()),
+            other => panic!("expected a comparison, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn malformed_documents_are_errors() {
+        assert!(evaluate(&Json::Obj(vec![]), 25.0).is_err());
+        let no_runs = Json::Obj(vec![("runs".into(), Json::Arr(vec![]))]);
+        assert!(evaluate(&no_runs, 25.0).is_err());
+    }
+}

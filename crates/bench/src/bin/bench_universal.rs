@@ -1,40 +1,100 @@
-//! P2 — before/after benchmark for the universal-object hot-path
-//! optimisation: the pointer-CAS segmented-log path
-//! (`waitfree_sync::universal`) against the seed `ConsensusCell` arena
-//! path (`waitfree_sync::universal_cell`), on a contended counter and a
-//! FIFO queue at n ∈ {1, 2, 4, 8} threads.
+//! P2/P4 — benchmark for the universal-object hot path: the seed
+//! `ConsensusCell` arena path (`waitfree_sync::universal_cell`) against
+//! the pointer-CAS segmented-log path (`waitfree_sync::universal`) in
+//! both decide modes — per-op (`new_per_op`) and batch combining
+//! (`new`, the default) — on a contended counter and a FIFO queue at
+//! n ∈ {1, 2, 4, 8} threads.
 //!
-//! Each row records the median wall-clock ns per operation of the whole
-//! workload (object creation + n threads × ops + join — the seed's
-//! O(n²·max_ops) eager arena is part of what the optimisation removes,
-//! so it is deliberately inside the timed region) and the worst
-//! per-operation threading-step count, which must stay within the O(n)
-//! helping bound on both paths.
+//! Each row records the median wall-clock ns per operation of the
+//! workload body (n threads × ops + join). Object construction is
+//! *hoisted out of the timed region* (`timing::measure_with_setup`): the
+//! seed path's eager O(n²·max_ops) arena is billed to setup, so ns/op
+//! compares the hot paths alone. Rows also carry the worst per-op
+//! threading-step count (must stay within the O(n) helping bound on
+//! every path) and, for the pointer paths, the consensus-decide and
+//! CAS-failure counters per completed invoke — the step-complexity
+//! numbers the combining layer exists to shrink.
 //!
 //! Maintains `BENCH_universal.json` in the working directory (the repo
 //! root when run via `cargo run -p waitfree-bench --bin bench_universal`)
-//! — the recorded perf *trajectory* the README quotes. The file is
-//! merged into, not overwritten: schema 2 is `{"schema": 2, "runs":
-//! [...]}` where each run carries a timestamp (pass `--timestamp <tag>`
-//! for reproducible records; defaults to wall-clock epoch seconds), the
-//! run's configuration, and the full report. A pre-schema-2 file (a bare
-//! report object) is wrapped as the first run with timestamp
-//! `"pre-merge"`. The usual single-report `results/bench_universal.json`
-//! copy is still written by `finish()`. Environment knobs for the CI
-//! smoke job: `BENCH_UNIVERSAL_OPS` (ops per thread, default 2000) and
-//! `BENCH_UNIVERSAL_SAMPLES` (median-of samples, default 5).
+//! — the recorded perf *trajectory* the README quotes and
+//! `bench_trend` gates on. The file is merged into, not overwritten:
+//! schema 2 is `{"schema": 2, "runs": [...]}` where each run carries a
+//! timestamp (pass `--timestamp <tag>` for reproducible records;
+//! defaults to wall-clock epoch seconds), the run's configuration
+//! (including a `"construction": "hoisted"` marker so trend comparisons
+//! never mix pre- and post-hoisting runs), and the full report. A
+//! pre-schema-2 file (a bare report object) is wrapped as the first run
+//! with timestamp `"pre-merge"`. The usual single-report
+//! `results/bench_universal.json` copy is still written by `finish()`.
+//! Environment knobs for the CI smoke job: `BENCH_UNIVERSAL_OPS` (ops
+//! per thread, default 2000) and `BENCH_UNIVERSAL_SAMPLES` (median-of
+//! samples, default 5).
 
 use std::thread;
 
 use waitfree_bench::json::Json;
-use waitfree_bench::timing::measure;
+use waitfree_bench::timing::measure_with_setup;
 use waitfree_bench::Report;
 use waitfree_objects::counter::{Counter, CounterOp, CounterResp};
 use waitfree_objects::queue::{FifoQueue, QueueOp};
-use waitfree_sync::universal::WfUniversal;
+use waitfree_sync::universal::{WfHandle, WfUniversal};
 use waitfree_sync::universal_cell::CellUniversal;
 
 const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+/// Per-thread hot-path counters (pointer paths only; the cell baseline
+/// does not instrument its decide loop).
+#[derive(Clone, Copy, Default)]
+struct HotCounters {
+    decides: usize,
+    cas_failures: usize,
+    invokes: usize,
+}
+
+/// Aggregated stats for one workload run (or several merged runs):
+/// worst per-op threading steps, plus summed hot-path counters when the
+/// path exposes them.
+#[derive(Clone, Copy, Default)]
+struct WorkStats {
+    max_steps: usize,
+    hot: Option<HotCounters>,
+}
+
+impl WorkStats {
+    fn merge(&mut self, other: WorkStats) {
+        self.max_steps = self.max_steps.max(other.max_steps);
+        match (self.hot.as_mut(), other.hot) {
+            (Some(a), Some(b)) => {
+                a.decides += b.decides;
+                a.cas_failures += b.cas_failures;
+                a.invokes += b.invokes;
+            }
+            (None, Some(b)) => self.hot = Some(b),
+            _ => {}
+        }
+    }
+
+    /// `"x.xxx"` per-invoke rendering of one hot counter, `"-"` when
+    /// the path doesn't expose it.
+    fn per_invoke(&self, pick: impl Fn(&HotCounters) -> usize) -> String {
+        match &self.hot {
+            Some(h) => format!("{:.3}", pick(h) as f64 / h.invokes.max(1) as f64),
+            None => "-".to_string(),
+        }
+    }
+}
+
+fn wf_stats<S: waitfree_model::ObjectSpec>(h: &WfHandle<S>) -> WorkStats {
+    WorkStats {
+        max_steps: h.max_threading_steps(),
+        hot: Some(HotCounters {
+            decides: h.decides(),
+            cas_failures: h.cas_failures(),
+            invokes: h.invokes(),
+        }),
+    }
+}
 
 /// One universal-object implementation under measurement.
 trait UniPath {
@@ -46,23 +106,23 @@ trait UniPath {
     fn queue(n: usize, max_ops: usize) -> Vec<Self::QueueH>;
     fn faa(h: &mut Self::CounterH) -> i64;
     fn enq_deq(h: &mut Self::QueueH, v: i64);
-    fn counter_steps(h: &Self::CounterH) -> usize;
-    fn queue_steps(h: &Self::QueueH) -> usize;
+    fn counter_stats(h: &Self::CounterH) -> WorkStats;
+    fn queue_stats(h: &Self::QueueH) -> WorkStats;
 }
 
-/// The optimised pointer-CAS segmented-log path (the *after* leg).
+/// The pointer-CAS segmented-log path, one decide per op.
 struct PtrPath;
 
 impl UniPath for PtrPath {
     const NAME: &'static str = "pointer";
-    type CounterH = waitfree_sync::universal::WfHandle<Counter>;
-    type QueueH = waitfree_sync::universal::WfHandle<FifoQueue>;
+    type CounterH = WfHandle<Counter>;
+    type QueueH = WfHandle<FifoQueue>;
 
     fn counter(n: usize, max_ops: usize) -> Vec<Self::CounterH> {
-        WfUniversal::new(Counter::new(0), n, max_ops)
+        WfUniversal::new_per_op(Counter::new(0), n, max_ops)
     }
     fn queue(n: usize, max_ops: usize) -> Vec<Self::QueueH> {
-        WfUniversal::new(FifoQueue::new(), n, max_ops)
+        WfUniversal::new_per_op(FifoQueue::new(), n, max_ops)
     }
     fn faa(h: &mut Self::CounterH) -> i64 {
         match h.invoke(CounterOp::FetchAndAdd(1)) {
@@ -74,11 +134,40 @@ impl UniPath for PtrPath {
         let _ = h.invoke(QueueOp::Enq(v));
         let _ = h.invoke(QueueOp::Deq);
     }
-    fn counter_steps(h: &Self::CounterH) -> usize {
-        h.max_threading_steps()
+    fn counter_stats(h: &Self::CounterH) -> WorkStats {
+        wf_stats(h)
     }
-    fn queue_steps(h: &Self::QueueH) -> usize {
-        h.max_threading_steps()
+    fn queue_stats(h: &Self::QueueH) -> WorkStats {
+        wf_stats(h)
+    }
+}
+
+/// The pointer-CAS path with batch combining (the `WfUniversal::new`
+/// default): one winning decide threads every pending announced op.
+struct BatchedPath;
+
+impl UniPath for BatchedPath {
+    const NAME: &'static str = "batched";
+    type CounterH = WfHandle<Counter>;
+    type QueueH = WfHandle<FifoQueue>;
+
+    fn counter(n: usize, max_ops: usize) -> Vec<Self::CounterH> {
+        WfUniversal::new(Counter::new(0), n, max_ops)
+    }
+    fn queue(n: usize, max_ops: usize) -> Vec<Self::QueueH> {
+        WfUniversal::new(FifoQueue::new(), n, max_ops)
+    }
+    fn faa(h: &mut Self::CounterH) -> i64 {
+        PtrPath::faa(h)
+    }
+    fn enq_deq(h: &mut Self::QueueH, v: i64) {
+        PtrPath::enq_deq(h, v);
+    }
+    fn counter_stats(h: &Self::CounterH) -> WorkStats {
+        wf_stats(h)
+    }
+    fn queue_stats(h: &Self::QueueH) -> WorkStats {
+        wf_stats(h)
     }
 }
 
@@ -106,64 +195,83 @@ impl UniPath for CellPath {
         let _ = h.invoke(QueueOp::Enq(v));
         let _ = h.invoke(QueueOp::Deq);
     }
-    fn counter_steps(h: &Self::CounterH) -> usize {
-        h.max_threading_steps()
+    fn counter_stats(h: &Self::CounterH) -> WorkStats {
+        WorkStats { max_steps: h.max_threading_steps(), hot: None }
     }
-    fn queue_steps(h: &Self::QueueH) -> usize {
-        h.max_threading_steps()
+    fn queue_stats(h: &Self::QueueH) -> WorkStats {
+        WorkStats { max_steps: h.max_threading_steps(), hot: None }
     }
 }
 
-/// n threads each perform `ops` fetch-and-adds on one shared counter;
-/// returns the worst per-op threading-step count observed.
-fn counter_workload<P: UniPath>(n: usize, ops: usize) -> usize {
-    let joins: Vec<_> = P::counter(n, ops + 1)
+/// n threads each perform `ops` fetch-and-adds on one shared counter
+/// (handles pre-built by the caller, outside the timed region).
+fn counter_workload<P: UniPath>(handles: Vec<P::CounterH>, ops: usize) -> WorkStats {
+    let joins: Vec<_> = handles
         .into_iter()
         .map(|mut h| {
             thread::spawn(move || {
                 for _ in 0..ops {
                     P::faa(&mut h);
                 }
-                P::counter_steps(&h)
+                P::counter_stats(&h)
             })
         })
         .collect();
-    joins.into_iter().map(|j| j.join().unwrap()).max().unwrap_or(0)
+    let mut agg = WorkStats::default();
+    for j in joins {
+        agg.merge(j.join().unwrap());
+    }
+    agg
 }
 
 /// n threads each perform `ops` operations (enq/deq pairs) on one shared
-/// FIFO queue; returns the worst per-op threading-step count observed.
-fn queue_workload<P: UniPath>(n: usize, ops: usize) -> usize {
-    let joins: Vec<_> = P::queue(n, ops + 1)
+/// FIFO queue (handles pre-built by the caller).
+fn queue_workload<P: UniPath>(handles: Vec<P::QueueH>, ops: usize) -> WorkStats {
+    let joins: Vec<_> = handles
         .into_iter()
         .map(|mut h| {
             thread::spawn(move || {
                 for i in 0..ops / 2 {
                     P::enq_deq(&mut h, i as i64);
                 }
-                P::queue_steps(&h)
+                P::queue_stats(&h)
             })
         })
         .collect();
-    joins.into_iter().map(|j| j.join().unwrap()).max().unwrap_or(0)
+    let mut agg = WorkStats::default();
+    for j in joins {
+        agg.merge(j.join().unwrap());
+    }
+    agg
 }
 
-/// ns/op and the worst threading-step count across all samples for one
-/// (path, workload, n) cell. ns/op divides by the operations actually
-/// executed: the queue workload issues enq/deq pairs, so an odd `ops`
-/// rounds down to `2 * (ops / 2)` per thread.
-fn run_one<P: UniPath>(workload: &str, n: usize, ops: usize, samples: usize) -> (f64, usize) {
-    let mut steps = 0usize;
+/// ns/op plus merged stats across all samples for one (path, workload,
+/// n) cell. Construction runs in `measure_with_setup`'s untimed setup;
+/// ns/op divides by the operations actually executed (the queue
+/// workload issues enq/deq pairs, so an odd `ops` rounds down to
+/// `2 * (ops / 2)` per thread).
+fn run_one<P: UniPath>(workload: &str, n: usize, ops: usize, samples: usize) -> (f64, WorkStats) {
+    let mut agg = WorkStats::default();
     let (median, executed) = match workload {
-        "counter" => {
-            (measure(samples, || steps = steps.max(counter_workload::<P>(n, ops))), n * ops)
-        }
-        "queue" => {
-            (measure(samples, || steps = steps.max(queue_workload::<P>(n, ops))), n * 2 * (ops / 2))
-        }
+        "counter" => (
+            measure_with_setup(
+                samples,
+                || P::counter(n, ops + 1),
+                |hs| agg.merge(counter_workload::<P>(hs, ops)),
+            ),
+            n * ops,
+        ),
+        "queue" => (
+            measure_with_setup(
+                samples,
+                || P::queue(n, ops + 1),
+                |hs| agg.merge(queue_workload::<P>(hs, ops)),
+            ),
+            n * 2 * (ops / 2),
+        ),
         other => unreachable!("unknown workload {other}"),
     };
-    (median.as_nanos() as f64 / executed.max(1) as f64, steps)
+    (median.as_nanos() as f64 / executed.max(1) as f64, agg)
 }
 
 fn env_usize(key: &str, default: usize) -> usize {
@@ -232,47 +340,69 @@ fn main() {
 
     let mut report = Report::new(
         "bench_universal",
-        "Universal object: pointer-CAS segmented log vs ConsensusCell arena",
-        &["workload", "impl", "n", "ops/thread", "ns/op", "max_steps"],
+        "Universal object: ConsensusCell arena vs pointer-CAS log (per-op and batched decides)",
+        &["workload", "impl", "n", "ops/thread", "ns/op", "max_steps", "decides/op", "cas_fail/op"],
     );
     report.note(format!("ops_per_thread={ops} samples={samples} (median of whole-workload runs)"));
     report.note(
-        "timed region includes object creation: the seed path's eager \
-         O(n^2*max_ops) arena allocation is part of what the segmented log removes",
+        "object construction is hoisted out of the timed region (measure_with_setup): \
+         the seed path's eager O(n^2*max_ops) arena is billed to setup, not ns/op; \
+         trajectory entries without the \"construction\" config marker predate this \
+         and include construction in their figures",
+    );
+    report.note(
+        "decides/op and cas_fail/op are the pointer paths' hot-path counters per \
+         completed invoke (the cell baseline is uninstrumented); batch combining \
+         exists to shrink exactly these",
     );
 
     for workload in ["counter", "queue"] {
         for n in THREAD_COUNTS {
-            let (cell_ns, cell_steps) = run_one::<CellPath>(workload, n, ops, samples);
-            let (ptr_ns, ptr_steps) = run_one::<PtrPath>(workload, n, ops, samples);
-            for (name, ns, steps) in
-                [(CellPath::NAME, cell_ns, cell_steps), (PtrPath::NAME, ptr_ns, ptr_steps)]
-            {
+            let (cell_ns, cell_stats) = run_one::<CellPath>(workload, n, ops, samples);
+            let (ptr_ns, ptr_stats) = run_one::<PtrPath>(workload, n, ops, samples);
+            let (bat_ns, bat_stats) = run_one::<BatchedPath>(workload, n, ops, samples);
+            let legs = [
+                (CellPath::NAME, cell_ns, &cell_stats),
+                (PtrPath::NAME, ptr_ns, &ptr_stats),
+                (BatchedPath::NAME, bat_ns, &bat_stats),
+            ];
+            for (name, ns, stats) in legs {
                 report.row(&[
                     workload.to_string(),
                     name.to_string(),
                     n.to_string(),
                     ops.to_string(),
                     format!("{ns:.1}"),
-                    steps.to_string(),
+                    stats.max_steps.to_string(),
+                    stats.per_invoke(|h| h.decides),
+                    stats.per_invoke(|h| h.cas_failures),
                 ]);
             }
-            let speedup = cell_ns / ptr_ns;
-            report.note(format!("speedup {workload} n={n}: {speedup:.2}x (cell -> pointer)"));
-            // The helping bound must hold on both paths even while racing
+            report.note(format!(
+                "speedup {workload} n={n}: {:.2}x (cell -> pointer), {:.2}x (pointer -> batched)",
+                cell_ns / ptr_ns,
+                ptr_ns / bat_ns,
+            ));
+            // The helping bound must hold on every path even while racing
             // at full speed; 2n + 8 matches the stress tests' slack.
-            for (name, steps) in [(CellPath::NAME, cell_steps), (PtrPath::NAME, ptr_steps)] {
-                if steps > 2 * n + 8 {
+            for (name, _, stats) in legs {
+                if stats.max_steps > 2 * n + 8 {
                     report.fail(format!(
-                        "{workload} n={n} {name}: {steps} threading steps exceeds the O(n) bound"
+                        "{workload} n={n} {name}: {} threading steps exceeds the O(n) bound",
+                        stats.max_steps
                     ));
                 }
             }
-            if workload == "counter" && n == 4 && speedup < 1.5 {
-                report.note(format!(
-                    "WARNING: contended-counter speedup at n=4 is {speedup:.2}x, \
-                     below the 1.5x target"
-                ));
+            if workload == "counter" && n == 4 {
+                let speedup = ptr_ns / bat_ns;
+                if speedup < 1.3 {
+                    report.note(format!(
+                        "WARNING: contended-counter batched speedup at n=4 is {speedup:.2}x, \
+                         below the 1.3x target (expected on single-core hosts, where threads \
+                         serialize and announce-time backlogs rarely form; the combining win \
+                         shows up in decides/op and the failpoint-driven step-count tests)"
+                    ));
+                }
             }
         }
     }
@@ -287,6 +417,7 @@ fn main() {
             "thread_counts".into(),
             Json::Arr(THREAD_COUNTS.iter().map(|n| Json::num(*n as u64)).collect()),
         ),
+        ("construction".into(), Json::Str("hoisted".into())),
     ]);
     let prior = std::fs::read_to_string("BENCH_universal.json").ok();
     let merged = merged_trajectory(prior.as_deref(), &report.to_json(), &timestamp, config);
@@ -335,5 +466,24 @@ mod tests {
             let doc = Json::parse(&merged).unwrap();
             assert_eq!(doc.get("runs").and_then(Json::as_array).unwrap().len(), 1);
         }
+    }
+
+    #[test]
+    fn stats_merge_maxes_steps_and_sums_counters() {
+        let mut a = WorkStats { max_steps: 3, hot: None };
+        a.merge(WorkStats {
+            max_steps: 7,
+            hot: Some(HotCounters { decides: 2, cas_failures: 1, invokes: 4 }),
+        });
+        a.merge(WorkStats {
+            max_steps: 5,
+            hot: Some(HotCounters { decides: 4, cas_failures: 0, invokes: 6 }),
+        });
+        assert_eq!(a.max_steps, 7);
+        let h = a.hot.unwrap();
+        assert_eq!((h.decides, h.cas_failures, h.invokes), (6, 1, 10));
+        assert_eq!(a.per_invoke(|h| h.decides), "0.600");
+        assert_eq!(a.per_invoke(|h| h.cas_failures), "0.100");
+        assert_eq!(WorkStats::default().per_invoke(|h| h.decides), "-");
     }
 }

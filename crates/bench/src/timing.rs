@@ -60,6 +60,34 @@ pub fn measure<F: FnMut()>(samples: usize, mut f: F) -> Duration {
     timings[samples / 2]
 }
 
+/// Like [`measure`], but each sample (and the warm-up) first runs
+/// `setup` *outside* the timed region and hands its product to `run`.
+///
+/// For workloads whose construction cost must not pollute the per-op
+/// figure — e.g. the universal objects, where the seed path's eager
+/// O(n²·max_ops) arena allocation would otherwise dominate short runs —
+/// while still building a fresh object for every sample so no state
+/// leaks between timings.
+#[must_use]
+pub fn measure_with_setup<T, S, R>(samples: usize, mut setup: S, mut run: R) -> Duration
+where
+    S: FnMut() -> T,
+    R: FnMut(T),
+{
+    assert!(samples > 0, "need at least one sample");
+    run(setup()); // warm-up
+    let mut timings: Vec<Duration> = (0..samples)
+        .map(|_| {
+            let input = setup();
+            let start = Instant::now();
+            run(input);
+            start.elapsed()
+        })
+        .collect();
+    timings.sort_unstable();
+    timings[samples / 2]
+}
+
 /// Human formatting: pick ns/µs/ms/s by magnitude.
 fn fmt(d: Duration) -> String {
     let ns = d.as_nanos();
@@ -99,5 +127,30 @@ mod tests {
         let d = measure(3, || count += 1);
         assert_eq!(count, 4, "one warm-up + three samples");
         assert!(d < Duration::from_secs(1));
+    }
+
+    #[test]
+    fn measure_with_setup_excludes_setup_from_the_timed_region() {
+        let mut setups = 0u64;
+        let mut runs = 0u64;
+        let d = measure_with_setup(
+            3,
+            || {
+                setups += 1;
+                // Costly "construction": visibly slower than the run.
+                std::thread::sleep(Duration::from_millis(20));
+                7u64
+            },
+            |v| {
+                assert_eq!(v, 7);
+                runs += 1;
+            },
+        );
+        assert_eq!(setups, 4, "one warm-up + three samples");
+        assert_eq!(runs, 4);
+        assert!(
+            d < Duration::from_millis(20),
+            "median {d:?} includes the 20ms setup sleep"
+        );
     }
 }

@@ -17,6 +17,25 @@
 //! The registry is global (failpoints are process-wide switchboards, as
 //! in `libfail`/`fail-rs`); tests that configure sites must serialize on
 //! [`exclusive`].
+//!
+//! # Known sites
+//!
+//! Sites are declared at their hot paths (the registry accepts any
+//! name); the universal-object family, shared by the pointer and cell
+//! paths so one adversary plan stresses either:
+//!
+//! * `universal::announce` / `universal::announced` — around the
+//!   announce-slot publication;
+//! * `universal::collect` — before the combining scan that gathers all
+//!   pending announced ops into one batch candidate (pointer path with
+//!   combining enabled only; a crash here proves collected entries stay
+//!   helpable, since the scan writes nothing shared);
+//! * `universal::cas` / `universal::decided` — around each consensus
+//!   decide;
+//! * `universal::replay` — per applied operation during replay.
+//!
+//! `consensus::*`, `faa_queue::*` and `lockfree::*` follow the same
+//! convention at their respective hot paths.
 
 #[cfg(feature = "failpoints")]
 use std::collections::HashMap;

@@ -1,27 +1,27 @@
 //! A wait-free universal object on hardware atomics — the optimised
-//! pointer-CAS rendering.
+//! pointer-CAS rendering, with batch combining.
 //!
 //! The practical rendering of §4's universality result: a shared log in
 //! which each position is decided by a *single* `AtomicPtr`
-//! compare-exchange on an `Arc<Entry>` (Theorem 7 compiled to one
-//! hardware primitive), plus an announce array with a helping discipline
-//! that bounds every operation — the difference between *lock-free*
-//! (someone wins) and *wait-free* (everyone finishes) is exactly the
-//! helping.
+//! compare-exchange (Theorem 7 compiled to one hardware primitive), plus
+//! an announce array with a helping discipline that bounds every
+//! operation — the difference between *lock-free* (someone wins) and
+//! *wait-free* (everyone finishes) is exactly the helping.
 //!
 //! This module replaces the original 3-atomic-op
 //! [`ConsensusCell`](crate::consensus::ConsensusCell) hot path, which is
 //! preserved verbatim in [`crate::universal_cell`] as the fidelity
 //! baseline for the explorer/model crates and for the before/after
-//! benchmark (`bench_universal`). Two structural changes make this path
-//! fast:
+//! benchmark (`bench_universal`). Three structural changes make this
+//! path fast:
 //!
-//! * **Pointer consensus.** A log position is one `AtomicPtr<Entry>`:
-//!   null means undecided, and the first successful CAS from null wins.
-//!   Proposals are `Arc<Entry>`, so announcing, candidate construction
-//!   and replay never clone the operation payload — every hand-off is a
-//!   refcount bump. The cell path did slot-write + usize-CAS + slot-read
-//!   per decide and cloned the `Entry` on every iteration.
+//! * **Pointer consensus.** A log position is one
+//!   `AtomicPtr<LogEntry>`: null means undecided, and the first
+//!   successful CAS from null wins. Proposals are `Arc`s, so announcing,
+//!   candidate construction and replay never clone the operation
+//!   payload — every hand-off is a refcount bump. The cell path did
+//!   slot-write + usize-CAS + slot-read per decide and cloned the
+//!   `Entry` on every iteration.
 //! * **Segmented, lazily grown log.** Instead of an eagerly allocated
 //!   `2·n·max_ops + 16` arena of n-slot cells (O(n²·max_ops) memory
 //!   before the first op), the log is a linked list of fixed-size
@@ -32,23 +32,40 @@
 //!   builds an *unbounded* log; [`UniversalError::LogFull`] remains as
 //!   an explicit opt-in cap via [`WfUniversal::with_capacity`] for the
 //!   fault tests.
+//! * **Batch combining** (default; see DESIGN.md §9). Before deciding
+//!   position `k`, a thread scans the announce array and collects
+//!   *every* currently-pending announced operation into one
+//!   [`LogEntry::Batch`], so a single winning CAS threads up to `n`
+//!   operations and the losers find their op already decided instead of
+//!   retrying. Under contention this drops decides per completed
+//!   operation from ~1 toward 1/n (amortized O(1) RMWs on the contended
+//!   slot), while the worst case keeps the per-op helping bound — the
+//!   scan starts at position `k`'s preferred thread, so the batch is
+//!   always a superset of the per-op candidate. [`WfUniversal::new_per_op`]
+//!   preserves the PR-2 one-op-per-decide candidate selection for
+//!   benchmarks and differential tests.
 //!
 //! How an operation executes (unchanged from Figure 4-5's algorithm):
 //!
 //! 1. **Announce** the operation in the caller's announce slot.
 //! 2. **Thread** it onto the log: repeatedly take the first undecided
-//!    position `k` and run consensus on a candidate entry — the *preferred
-//!    thread* of position `k` is `k mod n`, and if that thread has a
-//!    pending announced operation, helpers propose *its* entry rather than
-//!    their own. Once every position periodically prefers each thread, an
-//!    announced operation is threaded within `n` positions: the wait-free
-//!    bound.
+//!    position `k` and run consensus on a candidate — in combining mode
+//!    the batch of all pending announced ops (scanned starting from
+//!    position `k`'s *preferred thread* `k mod n`), in per-op mode the
+//!    preferred thread's pending entry or the caller's own. Once every
+//!    position periodically prefers each thread, an announced operation
+//!    is threaded within `n` positions: the wait-free bound.
 //! 3. **Replay** the log from the handle's cached state up to the caller's
 //!    entry to compute the response (§4.1's `eval`/`apply`).
 //!
-//! Helping can thread the same entry into two positions (a helper and the
-//! owner may both win with it); replay deduplicates by per-thread sequence
-//! number, the standard fix.
+//! Helping can thread the same entry into several positions (helpers and
+//! the owner may each win with a batch containing it); replay
+//! deduplicates by per-thread sequence number, the standard fix. The
+//! first occurrence of `(t, s)` in log order is always in per-thread
+//! sequence order: a batch can only contain `(t, s)` if its collect scan
+//! observed `done[t] == s`, which happens-after the decide that threaded
+//! `(t, s-1)` — and the decided prefix is contiguous, so that decide
+//! sits at a lower position.
 //!
 //! # Memory orderings
 //!
@@ -61,8 +78,8 @@
 //!   segment's initialized header and null slots are visible before the
 //!   segment is reachable;
 //! * slot loads (replay, frontier scan): `Acquire`, pairing with the
-//!   release half of the winner's `SeqCst` CAS, so the `Entry` pointed to
-//!   is fully visible;
+//!   release half of the winner's `SeqCst` CAS, so the `LogEntry`
+//!   pointed to is fully visible;
 //! * the `hint` word: `Release` publish / `Acquire` read — it is a
 //!   heuristic lower bound on the first undecided position, but a
 //!   thread that starts threading at the hint skips the prefix below it
@@ -73,7 +90,14 @@
 //!   extra (already-decided) iterations;
 //! * `announced`/`done`: `SeqCst` — they form the announce/help
 //!   handshake the O(n) bound is proved against, and they are off the
-//!   per-iteration fast path.
+//!   per-iteration fast path. The combining collect scan reads both
+//!   through [`pending`](WfHandle::pending)'s `SeqCst` loads, one pair
+//!   per thread: seeing `announced[t] > done[t]` must imply the
+//!   announce slot is populated (the announcer's slot write is
+//!   sequenced before its `SeqCst` store to `announced`), and a batch
+//!   member `(t, s)` must imply `(t, s-1)` was already threaded (the
+//!   `SeqCst` load of `done[t]` sits after the decider's `SeqCst`
+//!   `fetch_max` in the single total order).
 //!
 //! # Failpoint sites (feature `failpoints`)
 //!
@@ -81,16 +105,20 @@
 //! |------|--------|
 //! | `universal::announce`  | before the announce-slot write |
 //! | `universal::announced` | after the announce is published, before threading |
+//! | `universal::collect`   | before the announce-array scan that builds a combined batch (combining mode only) |
 //! | `universal::cas`       | in the threading loop, before each consensus decide |
 //! | `universal::decided`   | after a decide, before the position advances |
-//! | `universal::replay`    | in the replay loop, per applied entry |
+//! | `universal::replay`    | in the replay loop, per applied operation |
 //!
 //! The sites carry the same names as the baseline's
 //! ([`crate::universal_cell`]), so one adversary plan stresses either
-//! path. A thread crashed at `universal::announce` has published nothing;
-//! one crashed at any later site has an announced operation that helpers
-//! may still thread — verify such histories with
-//! `PendingPolicy::MayTakeEffect`.
+//! path (`universal::collect` fires only on the combining path). A
+//! thread crashed at `universal::announce` has published nothing; one
+//! crashed at any later site — including mid-collect, holding refcount
+//! bumps on other threads' pending entries — has an announced operation
+//! that helpers may still thread, and the entries it collected stay
+//! announced and helpable because a collect scan mutates nothing
+//! shared. Verify such histories with `PendingPolicy::MayTakeEffect`.
 
 use std::fmt;
 use std::marker::PhantomData;
@@ -147,9 +175,9 @@ impl fmt::Display for UniversalError {
 
 impl std::error::Error for UniversalError {}
 
-/// A log entry: one announced operation. Threaded through the log as
-/// `Arc<Entry<Op>>`, so it is constructed once per operation and only
-/// ever refcount-bumped afterwards.
+/// One announced operation. Constructed once per operation and only
+/// ever refcount-bumped afterwards (through announce slots and
+/// [`LogEntry`] batch membership).
 #[derive(Clone, Debug)]
 pub struct Entry<Op> {
     /// The invoking thread.
@@ -160,6 +188,39 @@ pub struct Entry<Op> {
     pub op: Op,
 }
 
+/// One decided log position: a single operation, or a batch of
+/// operations threaded together by one winning consensus decide.
+///
+/// Batch members are in announce-scan order (starting at the position's
+/// preferred thread), which is their linearization order; replay applies
+/// them in member order and response lookup keys on `(tid, seq)`.
+/// [`WfHandle::decided_log`] flattens batches so the Wing–Gong checker
+/// and the cross-implementation equivalence tests keep per-op
+/// granularity.
+#[derive(Debug)]
+pub enum LogEntry<Op> {
+    /// One operation. The per-op path always produces this; the
+    /// combining path produces it when the collect scan finds a single
+    /// pending operation.
+    Solo(Arc<Entry<Op>>),
+    /// Two or more operations combined by one collect scan, in
+    /// announce-scan order. At most one member per thread (the scan
+    /// reads each thread's oldest pending op once).
+    Batch(Box<[Arc<Entry<Op>>]>),
+}
+
+impl<Op> LogEntry<Op> {
+    /// The decided operations in linearization order (a `Solo` is a
+    /// one-member batch).
+    #[must_use]
+    pub fn members(&self) -> &[Arc<Entry<Op>>] {
+        match self {
+            LogEntry::Solo(e) => std::slice::from_ref(e),
+            LogEntry::Batch(m) => m,
+        }
+    }
+}
+
 /// One announce-array slot: set exactly once by the owner, read (and
 /// refcount-bumped) by helpers.
 type AnnounceSlot<S> = OnceLock<Arc<Entry<<S as ObjectSpec>::Op>>>;
@@ -168,14 +229,15 @@ type AnnounceSlot<S> = OnceLock<Arc<Entry<<S as ObjectSpec>::Op>>>;
 /// of `slots[0]`; a null slot is an undecided position. Segments are
 /// reachable only through `next` links installed by CAS and are freed
 /// when the owning [`Shared`] drops (a decided slot owns one strong
-/// `Arc<Entry>` reference).
+/// `Arc<LogEntry>` reference).
 struct Segment<Op> {
     base: usize,
-    slots: Box<[AtomicPtr<Entry<Op>>]>,
+    slots: Box<[AtomicPtr<LogEntry<Op>>]>,
     next: AtomicPtr<Segment<Op>>,
-    /// Segments logically own the `Arc<Entry<Op>>` behind each decided
-    /// slot (dropped in `Drop`); the marker keeps auto-traits honest.
-    _own: PhantomData<Arc<Entry<Op>>>,
+    /// Segments logically own the `Arc<LogEntry<Op>>` behind each
+    /// decided slot (dropped in `Drop`); the marker keeps auto-traits
+    /// honest.
+    _own: PhantomData<Arc<LogEntry<Op>>>,
 }
 
 impl<Op> Segment<Op> {
@@ -219,6 +281,10 @@ struct Shared<S: ObjectSpec> {
     max_ops: usize,
     /// Opt-in position cap; `None` lets the log grow without bound.
     cap: Option<usize>,
+    /// Combining mode: scan the announce array and propose all pending
+    /// ops as one batch per decide (the default hot path). `false`
+    /// keeps the PR-2 one-op-per-decide candidate selection.
+    combine: bool,
     /// `announce[tid][seq]`. `Arc`'d so helpers take a refcount bump,
     /// not a payload clone.
     announce: Vec<Vec<AnnounceSlot<S>>>,
@@ -242,6 +308,7 @@ impl<S: ObjectSpec> fmt::Debug for Shared<S> {
             .field("n", &self.n)
             .field("max_ops", &self.max_ops)
             .field("cap", &self.cap)
+            .field("combine", &self.combine)
             .field("segments", &self.segments.load(Ordering::Relaxed))
             .field("hint", &self.hint.load(Ordering::Relaxed))
             .finish_non_exhaustive()
@@ -301,7 +368,7 @@ impl<S: ObjectSpec> Shared<S> {
 
     /// The slot of global position `k` inside `seg` (which must contain
     /// `k`).
-    fn slot(&self, seg: *const Segment<S::Op>, k: usize) -> &AtomicPtr<Entry<S::Op>> {
+    fn slot(&self, seg: *const Segment<S::Op>, k: usize) -> &AtomicPtr<LogEntry<S::Op>> {
         // SAFETY: see `seg_for` — the chain outlives `&self`.
         let s = unsafe { &*seg };
         debug_assert!(s.base <= k && k < s.base + SEGMENT_SIZE);
@@ -309,18 +376,19 @@ impl<S: ObjectSpec> Shared<S> {
     }
 
     /// Run pointer consensus on `slot`: propose `candidate`, return the
-    /// winner. The single CAS is the decide of Theorem 7; on success the
-    /// slot takes over `candidate`'s strong reference.
+    /// winner plus whether our proposal won. The single CAS is the
+    /// decide of Theorem 7; on success the slot takes over `candidate`'s
+    /// strong reference.
     fn decide(
         &self,
-        slot: &AtomicPtr<Entry<S::Op>>,
-        candidate: Arc<Entry<S::Op>>,
-    ) -> Arc<Entry<S::Op>> {
+        slot: &AtomicPtr<LogEntry<S::Op>>,
+        candidate: Arc<LogEntry<S::Op>>,
+    ) -> (Arc<LogEntry<S::Op>>, bool) {
         let proposed = Arc::into_raw(candidate).cast_mut();
         // SeqCst success: the linearization point — kept at the strongest
         // ordering exactly as the cell path's winner CAS was. Acquire
         // failure: pairs with the winner's (SeqCst ⊇ Release) store so
-        // the winning Entry's fields are visible before we read them.
+        // the winning LogEntry's members are visible before we read them.
         match slot.compare_exchange(
             ptr::null_mut(),
             proposed,
@@ -333,7 +401,7 @@ impl<S: ObjectSpec> Shared<S> {
                 // another.
                 unsafe {
                     Arc::increment_strong_count(proposed);
-                    Arc::from_raw(proposed)
+                    (Arc::from_raw(proposed), true)
                 }
             }
             Err(winner) => {
@@ -343,7 +411,7 @@ impl<S: ObjectSpec> Shared<S> {
                 unsafe {
                     drop(Arc::from_raw(proposed));
                     Arc::increment_strong_count(winner);
-                    Arc::from_raw(winner)
+                    (Arc::from_raw(winner), false)
                 }
             }
         }
@@ -353,15 +421,17 @@ impl<S: ObjectSpec> Shared<S> {
 // SAFETY: `Shared` is a bag of atomics plus `OnceLock<Arc<Entry<Op>>>`
 // announce slots; the raw segment pointers it owns are only mutated via
 // atomic CAS and freed once, in `Drop`. Thread-safety therefore reduces
-// to the payload's: `Op: Send + Sync` makes the shared `Arc<Entry<Op>>`s
-// safe to hand across threads.
+// to the payload's: `Op: Send + Sync` makes the shared `Arc`s safe to
+// hand across threads.
 unsafe impl<S: ObjectSpec + Send> Send for Shared<S> where S::Op: Send + Sync {}
 unsafe impl<S: ObjectSpec + Sync> Sync for Shared<S> where S::Op: Send + Sync {}
 
 /// A wait-free universal object wrapping a sequential specification `S`.
 ///
-/// Create with [`WfUniversal::new`], then hand one [`WfHandle`] to each
-/// thread. See [`crate::wrappers`] for typed instantiations, and
+/// Create with [`WfUniversal::new`] (batch combining, the default hot
+/// path) or [`WfUniversal::new_per_op`] (one decide per operation, the
+/// PR-2 baseline), then hand one [`WfHandle`] to each thread. See
+/// [`crate::wrappers`] for typed instantiations, and
 /// [`crate::universal_cell`] for the unoptimised reference rendering.
 ///
 /// # Example
@@ -380,7 +450,8 @@ pub struct WfUniversal<S: ObjectSpec>(std::marker::PhantomData<S>);
 
 impl<S: ObjectSpec> WfUniversal<S> {
     /// Build the object for `n` threads, each performing at most
-    /// `max_ops` operations, returning one handle per thread.
+    /// `max_ops` operations, returning one handle per thread. Decides
+    /// use batch combining (see the module docs and DESIGN.md §9).
     ///
     /// The log starts as a single [`SEGMENT_SIZE`] segment and grows
     /// lazily: memory is O(positions actually decided), not
@@ -391,7 +462,16 @@ impl<S: ObjectSpec> WfUniversal<S> {
     #[allow(clippy::new_ret_no_self)]
     #[must_use]
     pub fn new(initial: S, n: usize, max_ops: usize) -> Vec<WfHandle<S>> {
-        Self::build(initial, n, max_ops, None)
+        Self::build(initial, n, max_ops, None, true)
+    }
+
+    /// [`WfUniversal::new`] with the combining layer disabled: every
+    /// decide threads exactly one operation (the preferred thread's
+    /// pending entry, else the caller's own). The before/after leg for
+    /// `bench_universal` and the differential tests.
+    #[must_use]
+    pub fn new_per_op(initial: S, n: usize, max_ops: usize) -> Vec<WfHandle<S>> {
+        Self::build(initial, n, max_ops, None, false)
     }
 
     /// [`WfUniversal::new`] with an explicit position cap, for tests
@@ -404,14 +484,33 @@ impl<S: ObjectSpec> WfUniversal<S> {
         max_ops: usize,
         capacity: usize,
     ) -> Vec<WfHandle<S>> {
-        Self::build(initial, n, max_ops, Some(capacity))
+        Self::build(initial, n, max_ops, Some(capacity), true)
     }
 
-    fn build(initial: S, n: usize, max_ops: usize, cap: Option<usize>) -> Vec<WfHandle<S>> {
+    /// [`WfUniversal::with_capacity`] with combining disabled — a
+    /// position cap over the per-op decide path.
+    #[must_use]
+    pub fn with_capacity_per_op(
+        initial: S,
+        n: usize,
+        max_ops: usize,
+        capacity: usize,
+    ) -> Vec<WfHandle<S>> {
+        Self::build(initial, n, max_ops, Some(capacity), false)
+    }
+
+    fn build(
+        initial: S,
+        n: usize,
+        max_ops: usize,
+        cap: Option<usize>,
+        combine: bool,
+    ) -> Vec<WfHandle<S>> {
         let shared = Arc::new(Shared {
             n,
             max_ops,
             cap,
+            combine,
             announce: (0..n)
                 .map(|_| (0..max_ops).map(|_| OnceLock::new()).collect())
                 .collect(),
@@ -435,6 +534,9 @@ impl<S: ObjectSpec> WfUniversal<S> {
                     next_seq: 0,
                     last_threading_steps: 0,
                     max_threading_steps: 0,
+                    decides: 0,
+                    cas_failures: 0,
+                    invokes: 0,
                 }
             })
             .collect()
@@ -464,6 +566,12 @@ pub struct WfHandle<S: ObjectSpec> {
     last_threading_steps: usize,
     /// Maximum threading-loop iterations over any single invoke.
     max_threading_steps: usize,
+    /// Total consensus decides (CAS attempts) across this handle's life.
+    decides: usize,
+    /// Decides whose CAS lost to a concurrent winner.
+    cas_failures: usize,
+    /// Completed `invoke`/`try_invoke` calls (Ok only).
+    invokes: usize,
 }
 
 // SAFETY: the raw segment pointers cached here always point into the
@@ -487,6 +595,14 @@ impl<S: ObjectSpec> WfHandle<S> {
         self.shared.n
     }
 
+    /// Whether decides combine all pending announced ops into one batch
+    /// ([`WfUniversal::new`]) or thread one op each
+    /// ([`WfUniversal::new_per_op`]).
+    #[must_use]
+    pub fn combining(&self) -> bool {
+        self.shared.combine
+    }
+
     /// Consensus decides the last completed `invoke` spent threading its
     /// operation. Wait-freedom (§4.1) bounds this by O(n) *regardless of
     /// other threads' speed or crashes* — the fault-tolerance tests
@@ -500,6 +616,31 @@ impl<S: ObjectSpec> WfHandle<S> {
     #[must_use]
     pub fn max_threading_steps(&self) -> usize {
         self.max_threading_steps
+    }
+
+    /// Total consensus decides (CAS attempts) across this handle's life
+    /// — the numerator of the amortized decides-per-op metric the
+    /// combining layer lowers. With batching, `decides() / invokes()`
+    /// drops toward 1/n under contention; per-op it is ≥ 1.
+    #[must_use]
+    pub fn decides(&self) -> usize {
+        self.decides
+    }
+
+    /// How many of [`Self::decides`] lost their CAS to a concurrent
+    /// winner. Losing is cheap (the loser adopts the winner), but every
+    /// loss is a wasted RMW on the contended slot; the benchmark reports
+    /// this per completed op for the per-op vs batched comparison.
+    #[must_use]
+    pub fn cas_failures(&self) -> usize {
+        self.cas_failures
+    }
+
+    /// Completed (`Ok`) invocations through this handle — the
+    /// denominator of the per-op counter metrics.
+    #[must_use]
+    pub fn invokes(&self) -> usize {
+        self.invokes
     }
 
     /// Number of log segments installed so far (each [`SEGMENT_SIZE`]
@@ -522,6 +663,46 @@ impl<S: ObjectSpec> WfHandle<S> {
             self.shared.announce[t][d].get().cloned()
         } else {
             None
+        }
+    }
+
+    /// Combining mode's candidate for position `k`: scan the announce
+    /// array once, starting at `k`'s preferred thread, and gather every
+    /// pending announced operation into one batch. The scan is `n`
+    /// `pending` reads (SeqCst loads, no RMWs, nothing written), so a
+    /// thread that crashes mid-collect has perturbed nothing: every
+    /// entry it gathered stays announced and helpable.
+    ///
+    /// Starting at the preferred thread makes the batch a superset of
+    /// the per-op candidate, so the per-position helping guarantee the
+    /// O(n) bound is proved against carries over unchanged.
+    fn collect_candidate(
+        &self,
+        k: usize,
+        own: &Arc<Entry<S::Op>>,
+        own_solo: &Arc<LogEntry<S::Op>>,
+    ) -> Arc<LogEntry<S::Op>> {
+        failpoint!("universal::collect");
+        let n = self.shared.n;
+        let preferred = k % n;
+        let mut members: Vec<Arc<Entry<S::Op>>> = Vec::new();
+        for i in 0..n {
+            let t = (preferred + i) % n;
+            if let Some(e) = self.pending(t) {
+                members.push(e);
+            }
+        }
+        match members.len() {
+            // Our own op got helped between the loop's `done` check and
+            // the scan; propose our (possibly stale) entry anyway, as
+            // the per-op path does — replay deduplicates.
+            0 => Arc::clone(own_solo),
+            // The common uncontended case: only our own op is pending.
+            // Reuse the pre-built Solo so a solo run allocates nothing
+            // per decide beyond the announce itself.
+            1 if Arc::ptr_eq(&members[0], own) => Arc::clone(own_solo),
+            1 => Arc::new(LogEntry::Solo(members.pop().expect("len checked"))),
+            _ => Arc::new(LogEntry::Batch(members.into_boxed_slice())),
         }
     }
 
@@ -564,20 +745,23 @@ impl<S: ObjectSpec> WfHandle<S> {
         }
         self.next_seq += 1;
 
-        // 1. Announce. One allocation per operation; everything after
-        //    this line moves the Arc, not the payload.
+        // 1. Announce. One allocation per operation (plus its Solo log
+        //    wrapper); everything after this line moves Arcs, not the
+        //    payload.
         failpoint!("universal::announce");
         let entry = Arc::new(Entry { tid: self.tid, seq, op });
         let _ = self.shared.announce[self.tid][seq].set(Arc::clone(&entry));
         self.shared.announced[self.tid].store(seq + 1, Ordering::SeqCst);
         failpoint!("universal::announced");
+        let own_solo = Arc::new(LogEntry::Solo(Arc::clone(&entry)));
 
-        // 2. Thread onto the log, helping the preferred thread of each
-        //    position. The shared hint is republished every n-th
-        //    iteration and once after the loop (not per decide): its lag
-        //    behind the true frontier stays < n, preserving the ≤ 2n
-        //    step bound, while the common case pays zero RMWs on the
-        //    contended word inside the loop.
+        // 2. Thread onto the log. In combining mode each decide proposes
+        //    the batch of *all* pending announced ops; per-op mode helps
+        //    the preferred thread of each position. The shared hint is
+        //    republished every n-th iteration and once after the loop
+        //    (not per decide): its lag behind the true frontier stays
+        //    < n, preserving the ≤ 2n step bound, while the common case
+        //    pays zero RMWs on the contended word inside the loop.
         let mut steps = 0usize;
         // Acquire: pairs with the Release `fetch_max` in `publish_hint`.
         // Starting at `k` skips the prefix [0, k) without ever touching
@@ -597,11 +781,30 @@ impl<S: ObjectSpec> WfHandle<S> {
             }
             self.thread_seg = self.shared.seg_for(self.thread_seg, k);
             let slot = self.shared.slot(self.thread_seg, k);
-            let preferred = k % self.shared.n;
-            let candidate = self.pending(preferred).unwrap_or_else(|| Arc::clone(&entry));
+            let candidate = if self.shared.combine {
+                self.collect_candidate(k, &entry, &own_solo)
+            } else {
+                match self.pending(k % self.shared.n) {
+                    // Reuse the cached solo wrapper for the own entry
+                    // (the common case) instead of re-allocating one
+                    // per iteration.
+                    Some(e) if Arc::ptr_eq(&e, &entry) => Arc::clone(&own_solo),
+                    Some(e) => Arc::new(LogEntry::Solo(e)),
+                    None => Arc::clone(&own_solo),
+                }
+            };
             failpoint!("universal::cas");
-            let winner = self.shared.decide(slot, candidate);
-            self.shared.done[winner.tid].fetch_max(winner.seq + 1, Ordering::SeqCst);
+            let (winner, won) = self.shared.decide(slot, candidate);
+            self.decides += 1;
+            if !won {
+                self.cas_failures += 1;
+            }
+            // Advance every member's `done` watermark, not just one
+            // winner's: losers adopt the whole winning batch, so all its
+            // members become visible as threaded before anyone rescans.
+            for m in winner.members() {
+                self.shared.done[m.tid].fetch_max(m.seq + 1, Ordering::SeqCst);
+            }
             failpoint!("universal::decided");
             steps += 1;
             k += 1;
@@ -613,11 +816,15 @@ impl<S: ObjectSpec> WfHandle<S> {
         self.last_threading_steps = steps;
         self.max_threading_steps = self.max_threading_steps.max(steps);
 
-        // 3. Replay until our own entry is applied.
+        // 3. Replay until our own entry is applied. A batch is applied
+        //    member by member in decide order; we finish the position
+        //    containing our op before returning (its later members were
+        //    linearized by the same decide, so applying them is plain
+        //    local catch-up), keeping `cursor` a whole-position index.
         loop {
             self.replay_seg = self.shared.seg_for(self.replay_seg, self.cursor);
             // Acquire: pairs with the winning decide CAS (SeqCst ⊇
-            // Release), so the Entry behind a non-null slot is fully
+            // Release), so the LogEntry behind a non-null slot is fully
             // initialized before we dereference it.
             let raw = self.shared.slot(self.replay_seg, self.cursor).load(Ordering::Acquire);
             assert!(
@@ -627,16 +834,23 @@ impl<S: ObjectSpec> WfHandle<S> {
             // SAFETY: a non-null slot holds a strong reference that is
             // never released while `shared` lives; borrow it without
             // taking a count — the borrow ends inside this iteration.
-            let e = unsafe { &*raw };
+            let le = unsafe { &*raw };
             self.cursor += 1;
-            if e.seq != self.applied[e.tid] {
-                continue; // duplicate from helping
+            let mut resp = None;
+            for m in le.members() {
+                if m.seq != self.applied[m.tid] {
+                    continue; // duplicate from helping
+                }
+                failpoint!("universal::replay");
+                let r = self.state.apply(Pid(m.tid), &m.op);
+                self.applied[m.tid] += 1;
+                if m.tid == self.tid && m.seq == seq {
+                    resp = Some(r);
+                }
             }
-            failpoint!("universal::replay");
-            let resp = self.state.apply(Pid(e.tid), &e.op);
-            self.applied[e.tid] += 1;
-            if e.tid == self.tid && e.seq == seq {
-                return Ok(resp);
+            if let Some(r) = resp {
+                self.invokes += 1;
+                return Ok(r);
             }
         }
     }
@@ -668,30 +882,58 @@ impl<S: ObjectSpec> WfHandle<S> {
             }
             // SAFETY: as in `try_invoke`'s replay — the slot's strong
             // reference outlives this borrow.
-            let e = unsafe { &*raw };
+            let le = unsafe { &*raw };
             self.cursor += 1;
-            if e.seq != self.applied[e.tid] {
-                continue;
+            for m in le.members() {
+                if m.seq != self.applied[m.tid] {
+                    continue;
+                }
+                self.state.apply(Pid(m.tid), &m.op);
+                self.applied[m.tid] += 1;
             }
-            self.state.apply(Pid(e.tid), &e.op);
-            self.applied[e.tid] += 1;
         }
         self.state.clone()
     }
 
-    /// Total log entries this handle has replayed (diagnostics).
+    /// Total log positions this handle has replayed (diagnostics). A
+    /// combined batch counts as one position however many ops it
+    /// carries.
     #[must_use]
     pub fn replayed(&self) -> usize {
         self.cursor
     }
 
     /// The decided prefix of the log as `(tid, seq)` pairs, from
-    /// position 0 to the first undecided slot. Read-only diagnostic —
-    /// the cross-implementation equivalence tests compare it against the
-    /// cell path's log. Quiescently consistent: call it only when no
-    /// invoke is in flight (or under the deterministic scheduler).
+    /// position 0 to the first undecided slot, with batches flattened
+    /// in decide order — so the Wing–Gong checker and the
+    /// cross-implementation equivalence tests keep per-op granularity
+    /// regardless of how ops were grouped into positions (the cell path
+    /// emits the same shape). Read-only diagnostic; quiescently
+    /// consistent: call it only when no invoke is in flight (or under
+    /// the deterministic scheduler).
     #[must_use]
     pub fn decided_log(&self) -> Vec<(usize, usize)> {
+        self.walk_decided(|out, le| {
+            for m in le.members() {
+                out.push((m.tid, m.seq));
+            }
+        })
+    }
+
+    /// The decided prefix grouped by log position: one inner vector of
+    /// `(tid, seq)` pairs per decide. Per-op and cell logs have only
+    /// singleton groups; `decided_batches().len()` vs
+    /// `decided_log().len()` measures how much combining happened.
+    #[must_use]
+    pub fn decided_batches(&self) -> Vec<Vec<(usize, usize)>> {
+        self.walk_decided(|out, le| {
+            out.push(le.members().iter().map(|m| (m.tid, m.seq)).collect());
+        })
+    }
+
+    /// Walk decided slots from position 0 to the first null, feeding
+    /// each `LogEntry` to `push`.
+    fn walk_decided<T>(&self, mut push: impl FnMut(&mut Vec<T>, &LogEntry<S::Op>)) -> Vec<T> {
         let mut out = Vec::new();
         let mut seg: *const Segment<S::Op> = &*self.shared.head;
         loop {
@@ -706,8 +948,7 @@ impl<S: ObjectSpec> WfHandle<S> {
                 }
                 // SAFETY: a non-null slot holds a strong reference that
                 // outlives this borrow (as in `try_invoke`'s replay).
-                let e = unsafe { &*raw };
-                out.push((e.tid, e.seq));
+                push(&mut out, unsafe { &*raw });
             }
             let next = s.next.load(Ordering::Acquire);
             if next.is_null() {
@@ -905,13 +1146,87 @@ mod tests {
         assert_eq!(h.last_threading_steps(), 1);
         assert_eq!(h.max_threading_steps(), 1);
         assert_eq!(h.n(), 1);
+        assert!(h.combining());
+    }
+
+    #[test]
+    fn counters_track_decides_solo() {
+        let mut handles = WfUniversal::new(Counter::new(0), 1, 8);
+        let mut h = handles.remove(0);
+        for _ in 0..5 {
+            h.invoke(CounterOp::Add(1));
+        }
+        // Alone: one decide per op, none lost, batches all singletons.
+        assert_eq!(h.invokes(), 5);
+        assert_eq!(h.decides(), 5);
+        assert_eq!(h.cas_failures(), 0);
+        assert_eq!(h.decided_batches().len(), 5);
+        assert!(h.decided_batches().iter().all(|b| b.len() == 1));
+    }
+
+    #[test]
+    fn per_op_and_combining_agree_when_uncontended() {
+        // Without contention the combining path degenerates to exactly
+        // the per-op behaviour: same responses, same (flat) decided log.
+        let script = [
+            QueueOp::Enq(4),
+            QueueOp::Enq(5),
+            QueueOp::Deq,
+            QueueOp::Deq,
+            QueueOp::Deq,
+            QueueOp::Enq(6),
+            QueueOp::Deq,
+        ];
+        let mut batched = WfUniversal::new(FifoQueue::new(), 1, script.len()).remove(0);
+        let mut per_op = WfUniversal::new_per_op(FifoQueue::new(), 1, script.len()).remove(0);
+        assert!(!per_op.combining());
+        for op in &script {
+            assert_eq!(batched.invoke(op.clone()), per_op.invoke(op.clone()), "{op:?}");
+        }
+        assert_eq!(batched.decided_log(), per_op.decided_log());
+    }
+
+    #[test]
+    fn decided_batches_flatten_to_decided_log() {
+        // Under contention positions may hold multi-op batches; the
+        // flattened view must match `decided_log` exactly and account
+        // for every completed op once.
+        let threads = 4;
+        let per = 300;
+        let handles = WfUniversal::new(Counter::new(0), threads, per);
+        let joins: Vec<_> = handles
+            .into_iter()
+            .map(|mut h| {
+                thread::spawn(move || {
+                    for _ in 0..per {
+                        h.invoke(CounterOp::Add(1));
+                    }
+                    h
+                })
+            })
+            .collect();
+        let finished: Vec<_> = joins.into_iter().map(|j| j.join().unwrap()).collect();
+        let h = &finished[0];
+        let flat = h.decided_log();
+        let grouped: Vec<(usize, usize)> =
+            h.decided_batches().into_iter().flatten().collect();
+        assert_eq!(flat, grouped, "flattened batches are the decided log");
+        // Dedup to first occurrences: every op appears.
+        let mut firsts = std::collections::HashSet::new();
+        for pair in &flat {
+            firsts.insert(*pair);
+        }
+        assert_eq!(firsts.len(), threads * per, "every op threaded");
+        // Positions never exceed ops (combining only packs tighter).
+        assert!(h.decided_batches().len() <= flat.len());
     }
 
     #[test]
     fn per_op_position_consumption_is_bounded() {
         // Wait-freedom evidence: with helping, total positions consumed
         // stay within 2·n·ops even under contention (each entry appears
-        // at most twice).
+        // at most twice per mode's duplication bound; combining only
+        // packs positions tighter).
         let threads = 3;
         let per = 400;
         let handles = WfUniversal::new(Counter::new(0), threads, per);
@@ -939,7 +1254,8 @@ mod tests {
     #[test]
     fn entries_are_freed_with_the_object() {
         // Leak check by refcount: after all handles drop, the Arc<Entry>
-        // count behind a probe operation must fall back to 1.
+        // count behind a probe operation must fall back to 1 — including
+        // the references held through LogEntry batches.
         let probe = Arc::new(());
         #[derive(Clone, Debug, PartialEq, Eq, Hash)]
         struct Probe;

@@ -20,7 +20,9 @@
 //! orderings (uniformly `SeqCst`) and failpoint sites are unchanged from
 //! the seed. The sites carry the same `universal::*` names as the
 //! optimised path so the fault-injection harness can stress either
-//! implementation with one adversary plan.
+//! implementation with one adversary plan (`universal::collect` exists
+//! only on the optimised path's combining scan and never fires here —
+//! this path decides one op per position, always).
 
 use waitfree_sched::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, OnceLock};
@@ -277,8 +279,11 @@ impl<S: ObjectSpec> CellHandle<S> {
     /// The decided prefix of the log as `(tid, seq)` pairs, from
     /// position 0 to the first undecided cell — the counterpart of
     /// [`WfHandle::decided_log`](crate::universal::WfHandle::decided_log)
-    /// for the cross-implementation equivalence tests. Quiescently
-    /// consistent, like the pointer path's.
+    /// for the cross-implementation equivalence tests. The shapes stay
+    /// comparable because the pointer path *flattens* its combined
+    /// batches into the same per-op `(tid, seq)` granularity this path
+    /// produces natively. Quiescently consistent, like the pointer
+    /// path's.
     #[must_use]
     pub fn decided_log(&self) -> Vec<(usize, usize)> {
         self.shared

@@ -9,6 +9,13 @@
 //! about: none of these objects can be built wait-free from reads and
 //! writes alone (Corollaries 5 and 10), but all of them fall out of *one*
 //! construction given a consensus primitive.
+//!
+//! `create` builds [`WfUniversal::new`], so every wrapper rides the
+//! batch-combining decide path by default: under contention one winning
+//! consensus decide threads every currently-pending announced operation
+//! (see `universal`'s module docs). The `sched`-tier campaigns in
+//! `tests/sched_linearizability.rs` explore ≥ 1000 random-walk and
+//! ≥ 1000 PCT schedules over each wrapper on exactly this path.
 
 use waitfree_model::Val;
 use waitfree_objects::counter::{Counter, CounterOp, CounterResp};

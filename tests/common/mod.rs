@@ -1,21 +1,27 @@
-//! Shared test plumbing: one abstraction over the two universal-object
+//! Shared test plumbing: one abstraction over the universal-object
 //! implementations, so every fault-injection and helping-bound scenario
-//! runs against both the optimised pointer-CAS path
-//! (`waitfree::sync::universal`) and the `ConsensusCell` baseline
-//! (`waitfree::sync::universal_cell`).
+//! runs against the optimised pointer-CAS path in both decide modes
+//! (per-op and batch-combining, `waitfree::sync::universal`) and the
+//! `ConsensusCell` baseline (`waitfree::sync::universal_cell`).
 #![allow(dead_code)] // each test binary uses a different subset
 
 use waitfree::objects::counter::{Counter, CounterOp, CounterResp};
 use waitfree::sync::universal::{UniversalError, WfHandle, WfUniversal};
 use waitfree::sync::universal_cell::{CellHandle, CellUniversal};
 
-/// A wait-free counter built on one of the two universal-object paths.
-/// Both implementations place the same `universal::*` failpoint sites at
+/// A wait-free counter built on one of the universal-object paths.
+/// All implementations place the same `universal::*` failpoint sites at
 /// the same algorithmic steps, so a single adversary plan stresses
-/// either.
+/// any of them (`universal::collect` additionally fires on the
+/// combining path).
 pub trait CounterPath: Sized + Send + 'static {
     /// Short label for assertion messages.
     const NAME: &'static str;
+
+    /// Whether one decided log position can carry up to `n` operations
+    /// (batch combining) or exactly one. Scenarios that count positions
+    /// against completed ops scale their bounds by this.
+    const COMBINES: bool = false;
 
     /// One handle per thread, unbounded (or seed-formula) log.
     fn create(n: usize, max_ops: usize) -> Vec<Self>;
@@ -32,20 +38,59 @@ pub trait CounterPath: Sized + Send + 'static {
     fn max_threading_steps(&self) -> usize;
 }
 
-/// The optimised pointer-CAS / segmented-log path.
+/// The optimised pointer-CAS / segmented-log path, one decide per op
+/// (the PR-2 shape, kept as the combining layer's differential
+/// baseline).
 pub struct PtrPath(pub WfHandle<Counter>);
 
 impl CounterPath for PtrPath {
     const NAME: &'static str = "pointer";
 
     fn create(n: usize, max_ops: usize) -> Vec<Self> {
-        WfUniversal::new(Counter::new(0), n, max_ops).into_iter().map(PtrPath).collect()
+        WfUniversal::new_per_op(Counter::new(0), n, max_ops).into_iter().map(PtrPath).collect()
+    }
+
+    fn create_capped(n: usize, max_ops: usize, capacity: usize) -> Vec<Self> {
+        WfUniversal::with_capacity_per_op(Counter::new(0), n, max_ops, capacity)
+            .into_iter()
+            .map(PtrPath)
+            .collect()
+    }
+
+    fn invoke(&mut self, op: CounterOp) -> CounterResp {
+        self.0.invoke(op)
+    }
+
+    fn try_invoke(&mut self, op: CounterOp) -> Result<CounterResp, UniversalError> {
+        self.0.try_invoke(op)
+    }
+
+    fn tid(&self) -> usize {
+        self.0.tid()
+    }
+
+    fn max_threading_steps(&self) -> usize {
+        self.0.max_threading_steps()
+    }
+}
+
+/// The pointer path with batch combining (the `WfUniversal::new`
+/// default): one winning decide threads every currently-pending
+/// announced op.
+pub struct BatchedPath(pub WfHandle<Counter>);
+
+impl CounterPath for BatchedPath {
+    const NAME: &'static str = "batched";
+    const COMBINES: bool = true;
+
+    fn create(n: usize, max_ops: usize) -> Vec<Self> {
+        WfUniversal::new(Counter::new(0), n, max_ops).into_iter().map(BatchedPath).collect()
     }
 
     fn create_capped(n: usize, max_ops: usize, capacity: usize) -> Vec<Self> {
         WfUniversal::with_capacity(Counter::new(0), n, max_ops, capacity)
             .into_iter()
-            .map(PtrPath)
+            .map(BatchedPath)
             .collect()
     }
 

@@ -17,10 +17,15 @@
 //!    operations included as pending invocations — is accepted by
 //!    [`waitfree::model::linearize`] under `PendingPolicy::MayTakeEffect`.
 //!
-//! Every scenario runs against **both** universal-object paths: the
-//! optimised pointer-CAS/segmented-log implementation and the seed
-//! `ConsensusCell` baseline (see `common::CounterPath`) — the
-//! optimisation must not cost any fault-tolerance property.
+//! Every scenario runs against **all** universal-object paths: the
+//! optimised pointer-CAS/segmented-log implementation in both decide
+//! modes (per-op and batch-combining) and the seed `ConsensusCell`
+//! baseline (see `common::CounterPath`) — neither optimisation may cost
+//! any fault-tolerance property. The combining path additionally gets a
+//! crash-during-combine scenario: a thread killed at
+//! `universal::collect`, mid-scan with other threads' pending entries
+//! already gathered, must leave every collected op still helpable
+//! (`MayTakeEffect` per batch member).
 //!
 //! Run with `cargo test --features failpoints --test fault_tolerance`.
 #![cfg(feature = "failpoints")]
@@ -32,7 +37,7 @@ use std::sync::{Arc, Mutex};
 use std::thread;
 use std::time::Duration;
 
-use common::{CellPath, CounterPath, PtrPath};
+use common::{BatchedPath, CellPath, CounterPath, PtrPath};
 use waitfree::faults::failpoints::{self, FailpointConfig, FaultAction, Fire};
 use waitfree::faults::harness::{install_adversary, plan_adversary, spawn_workers, Outcome};
 use waitfree::model::{linearize, History, PendingPolicy, Pid};
@@ -40,7 +45,15 @@ use waitfree::objects::counter::{Counter, CounterOp, CounterResp};
 use waitfree::sync::universal::UniversalError;
 
 /// Sites the adversary may target: announce published, pre-CAS, post-CAS.
+/// Shared by every path.
 const SITES: &[&str] = &["universal::announced", "universal::cas", "universal::decided"];
+
+/// The combining path also exposes the collect scan; a victim planned
+/// there crashes while building a batch. (Not in `SITES`: the site never
+/// fires on the per-op or cell paths, so a crash planned at it would
+/// silently not happen.)
+const BATCH_SITES: &[&str] =
+    &["universal::announced", "universal::collect", "universal::cas", "universal::decided"];
 
 /// One timeline event: an operation's invocation or its response.
 #[derive(Clone, Debug)]
@@ -70,12 +83,12 @@ fn build_history(mut events: Vec<(u64, Ev)>) -> History<CounterOp, CounterResp> 
 /// The full adversarial scenario, per seed and per implementation path:
 /// 6 threads hammer one wait-free counter; 2 of them are crashed/stalled
 /// mid-operation.
-fn adversarial_round<P: CounterPath>(seed: u64) {
+fn adversarial_round<P: CounterPath>(seed: u64, sites: &[&str]) {
     const N: usize = 6;
     const VICTIMS: usize = 2;
     const OPS: usize = 8;
 
-    let plan = plan_adversary(seed, N, SITES, VICTIMS);
+    let plan = plan_adversary(seed, N, sites, VICTIMS);
     let stalled: Vec<usize> = plan
         .iter()
         .filter(|v| matches!(v.kind, FaultAction::Stall))
@@ -146,7 +159,7 @@ fn adversarial_round<P: CounterPath>(seed: u64) {
                     P::NAME
                 );
                 assert!(
-                    SITES.contains(&site.as_str()),
+                    sites.contains(&site.as_str()),
                     "[{}] seed {seed}: foreign site {site}",
                     P::NAME
                 );
@@ -180,9 +193,11 @@ fn survivors_complete_and_history_linearizes_under_adversary() {
     let _guard = failpoints::exclusive();
     for seed in [1, 2, 3, 4, 5] {
         failpoints::clear();
-        adversarial_round::<PtrPath>(seed);
+        adversarial_round::<PtrPath>(seed, SITES);
         failpoints::clear();
-        adversarial_round::<CellPath>(seed);
+        adversarial_round::<BatchedPath>(seed, BATCH_SITES);
+        failpoints::clear();
+        adversarial_round::<CellPath>(seed, SITES);
     }
     failpoints::clear();
 }
@@ -253,6 +268,7 @@ fn stalled_thread_scenario<P: CounterPath>() {
 fn stalled_thread_is_observable_parked_then_resumes() {
     let _guard = failpoints::exclusive();
     stalled_thread_scenario::<PtrPath>();
+    stalled_thread_scenario::<BatchedPath>();
     stalled_thread_scenario::<CellPath>();
 }
 
@@ -308,10 +324,12 @@ fn log_exhaustion_scenario<P: CounterPath>() {
             other => panic!("[{}] thread {tid}: unexpected outcome {other:?}", P::NAME),
         }
     }
-    // Each completed op consumed at least one log position.
+    // Each log position carries at most one op per thread (exactly one
+    // without combining), so completed ops are bounded by positions.
+    let per_position = if P::COMBINES { N } else { 1 };
     assert!(
-        total_ok <= CAPACITY,
-        "[{}] {total_ok} ops cannot fit in {CAPACITY} positions",
+        total_ok <= CAPACITY * per_position,
+        "[{}] {total_ok} ops cannot fit in {CAPACITY} positions of ≤ {per_position} ops",
         P::NAME
     );
     assert!(total_ok > 0, "[{}] some ops completed before exhaustion", P::NAME);
@@ -322,5 +340,130 @@ fn log_exhaustion_scenario<P: CounterPath>() {
 fn log_exhaustion_is_a_typed_error_even_with_a_crashed_peer() {
     let _guard = failpoints::exclusive();
     log_exhaustion_scenario::<PtrPath>();
+    log_exhaustion_scenario::<BatchedPath>();
     log_exhaustion_scenario::<CellPath>();
+}
+
+/// Crash-during-combine: a thread killed at `universal::collect` dies
+/// *while building a batch* — after announcing its own op, holding
+/// refcount bumps on whatever pending entries its scan already
+/// gathered. The scan writes nothing shared, so the crash must leave
+/// every one of those ops announced and helpable: the survivors (kept
+/// mid-invoke often enough by a yield storm that real multi-op batches
+/// form) complete everything, and the history with the victim's
+/// announced-but-unfinished op linearizes under `MayTakeEffect`.
+#[test]
+fn crash_during_combine_leaves_collected_ops_helpable() {
+    let _guard = failpoints::exclusive();
+    failpoints::clear();
+
+    const N: usize = 4;
+    const OPS: usize = 6;
+    const VICTIM: usize = 1;
+
+    // Every thread yields between collecting and deciding: threads sit
+    // mid-decide with announced ops, so pending backlogs build up and
+    // collect scans genuinely gather other threads' entries.
+    failpoints::configure(
+        "universal::cas",
+        FailpointConfig { action: FaultAction::Yield, fire: Fire::Always, tid: None, budget: None },
+    );
+    // The victim dies at its first collect — mid-combine, with its
+    // current op already announced. (First, not a later one: every
+    // threading-loop iteration starts with a collect, so the victim
+    // cannot complete an op without passing the site, making the crash
+    // deterministic.)
+    failpoints::configure(
+        "universal::collect",
+        FailpointConfig {
+            action: FaultAction::Crash,
+            fire: Fire::Nth(1),
+            tid: Some(VICTIM),
+            budget: Some(1),
+        },
+    );
+
+    // A large budget so the victim cannot run out of announce slots in
+    // the (theoretical) window where helpers complete its ops before it
+    // ever reaches a collect.
+    let handles: Arc<Vec<Mutex<Option<BatchedPath>>>> = Arc::new(
+        BatchedPath::create(N, 1000).into_iter().map(|h| Mutex::new(Some(h))).collect(),
+    );
+    let clock = Arc::new(AtomicU64::new(0));
+    let events: Arc<Mutex<Vec<(u64, Ev)>>> = Arc::new(Mutex::new(Vec::new()));
+
+    let group = {
+        let handles = Arc::clone(&handles);
+        let clock = Arc::clone(&clock);
+        let events = Arc::clone(&events);
+        spawn_workers(N, move |tid| {
+            let mut h = handles[tid].lock().unwrap().take().expect("one handle per tid");
+            for _ in 0..OPS {
+                let stamp = clock.fetch_add(1, Ordering::SeqCst);
+                events.lock().unwrap().push((stamp, Ev::Inv(tid)));
+                let resp = h.invoke(CounterOp::FetchAndAdd(1));
+                let stamp = clock.fetch_add(1, Ordering::SeqCst);
+                events.lock().unwrap().push((stamp, Ev::Resp(tid, resp)));
+            }
+            h
+        })
+    };
+
+    assert!(
+        group.await_finished(N - 1, Duration::from_secs(60)),
+        "survivors did not complete past the mid-combine crash"
+    );
+    let outcomes = group.finish();
+    let mut survivor_handle = None;
+    for (tid, outcome) in outcomes.into_iter().enumerate() {
+        match outcome {
+            Outcome::Completed(h) => {
+                assert_ne!(tid, VICTIM, "the victim cannot have completed all ops");
+                assert!(
+                    h.max_threading_steps() <= 2 * N + 8,
+                    "thread {tid} exceeded the helping bound mid-crash"
+                );
+                survivor_handle = Some(h);
+            }
+            Outcome::Crashed { site } => {
+                assert_eq!(tid, VICTIM, "only the planned victim crashes");
+                assert_eq!(site, "universal::collect", "crash site is the combine scan");
+            }
+            Outcome::Panicked { message } => panic!("thread {tid} panicked: {message}"),
+        }
+    }
+
+    // Per-batch-member accounting. The victim completed some ops
+    // (responses recorded), then crashed with exactly one more
+    // announced: that one is MayTakeEffect — helpers may have threaded
+    // it into a batch or not — so the final counter value is the
+    // completed count plus at most one.
+    let events = Arc::try_unwrap(events).expect("all workers joined").into_inner().unwrap();
+    let victim_completed = events
+        .iter()
+        .filter(|(_, ev)| matches!(ev, Ev::Resp(tid, _) if *tid == VICTIM))
+        .count();
+    let completed_total = (N - 1) * OPS + victim_completed;
+    let mut survivor = survivor_handle.expect("N-1 survivors").0;
+    let final_value = match survivor.invoke(CounterOp::Get) {
+        CounterResp::Value(v) => v as usize,
+        other => panic!("unexpected {other:?}"),
+    };
+    assert!(
+        final_value == completed_total || final_value == completed_total + 1,
+        "final counter {final_value} vs {completed_total} completed ops \
+         (+ at most one pending victim op)"
+    );
+
+    // And the stamped history — the victim's announced-but-unfinished
+    // op as a pending invocation — linearizes with MayTakeEffect.
+    let history = build_history(events);
+    let pending = history.ops().iter().filter(|op| op.resp.is_none()).count();
+    assert_eq!(pending, 1, "exactly the victim's mid-combine op is pending");
+    let report = linearize(&history, &Counter::new(0), PendingPolicy::MayTakeEffect);
+    assert!(
+        report.outcome.is_ok(),
+        "non-linearizable history after mid-combine crash: {history:?}"
+    );
+    failpoints::clear();
 }

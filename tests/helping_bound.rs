@@ -13,15 +13,19 @@
 //! iterates at most ~2n times. We assert
 //! `max_threading_steps <= 2n + 8`, slack for the startup positions.
 //!
-//! Both universal-object paths are measured (see `common::CounterPath`):
-//! the hoisted hint publication on the optimised path must not loosen
-//! the bound.
+//! Every universal-object path is measured (see `common::CounterPath`):
+//! neither the hoisted hint publication nor the batch-combining layer
+//! may loosen the bound. Combining must also *tighten* the amortized
+//! picture: one winning decide threads every pending announced op, so
+//! under full contention total decides per completed op drop from ~1
+//! toward 1/n — the `combining` module below asserts that drop against
+//! the per-op path under an injected yield storm.
 
 mod common;
 
 use std::thread;
 
-use common::{CellPath, CounterPath, PtrPath};
+use common::{BatchedPath, CellPath, CounterPath, PtrPath};
 use waitfree::objects::counter::CounterOp;
 
 fn contention_round<P: CounterPath>() {
@@ -52,6 +56,7 @@ fn contention_round<P: CounterPath>() {
 #[test]
 fn helping_bounds_threading_steps_under_contention() {
     contention_round::<PtrPath>();
+    contention_round::<BatchedPath>();
     contention_round::<CellPath>();
 }
 
@@ -112,6 +117,208 @@ mod stall {
     fn helping_bound_survives_an_injected_stall() {
         let _guard = failpoints::exclusive();
         stall_round::<PtrPath>();
+        stall_round::<BatchedPath>();
         stall_round::<CellPath>();
+    }
+}
+
+/// The combining layer's amortized claim, measured: under full
+/// contention (every thread parked mid-invoke by a yield storm right
+/// after announcing, so pending backlogs always exist), batch decides
+/// drop the total consensus-decide count per completed op from ~1
+/// toward 1/n, while the per-op path pays at least one decided position
+/// per op. The worst case stays within the same 2n + 8 bound as ever —
+/// the combining scan starts at each position's preferred thread, so
+/// per-position helping is a superset of the per-op discipline.
+#[cfg(feature = "failpoints")]
+mod combining {
+    use std::sync::{Arc, Mutex};
+    use std::time::Duration;
+    use waitfree::faults::failpoints::{self, FailpointConfig, FaultAction, Fire};
+    use waitfree::faults::harness::spawn_workers;
+    use waitfree::objects::counter::{Counter, CounterOp};
+    use waitfree::sync::universal::{WfHandle, WfUniversal};
+
+    const N: usize = 4;
+    const PER: usize = 200;
+
+    /// Aggregated hot-path measurements of one storm round.
+    struct StormStats {
+        decides: usize,
+        cas_failures: usize,
+        invokes: usize,
+        positions: usize,
+        ops: usize,
+        worst: usize,
+    }
+
+    /// Run `N × PER` fetch-and-adds under an every-announce yield storm
+    /// (plus, when `race_cas`, a yield between candidate collection and
+    /// the decide CAS, so lost decide races happen even on one core).
+    fn yield_storm_round(handles: Vec<WfHandle<Counter>>, race_cas: bool) -> StormStats {
+        failpoints::clear();
+        // Parking each thread right after it announces maximizes the
+        // window in which its op is pending: the scheduler runs someone
+        // else, whose next decide sees a backlog.
+        failpoints::configure(
+            "universal::announced",
+            FailpointConfig {
+                action: FaultAction::Yield,
+                fire: Fire::Always,
+                tid: None,
+                budget: None,
+            },
+        );
+        if race_cas {
+            failpoints::configure(
+                "universal::cas",
+                FailpointConfig {
+                    action: FaultAction::Yield,
+                    fire: Fire::Always,
+                    tid: None,
+                    budget: None,
+                },
+            );
+        }
+
+        let handles: Arc<Vec<Mutex<Option<WfHandle<Counter>>>>> =
+            Arc::new(handles.into_iter().map(|h| Mutex::new(Some(h))).collect());
+        let group = {
+            let handles = Arc::clone(&handles);
+            spawn_workers(N, move |tid| {
+                let mut h = handles[tid].lock().unwrap().take().unwrap();
+                for _ in 0..PER {
+                    h.invoke(CounterOp::FetchAndAdd(1));
+                }
+                h
+            })
+        };
+        assert!(group.await_finished(N, Duration::from_secs(120)), "storm round hung");
+        let finished: Vec<WfHandle<Counter>> = group
+            .finish()
+            .into_iter()
+            .map(|o| o.completed().expect("no faults injected beyond yields"))
+            .collect();
+        failpoints::clear();
+
+        StormStats {
+            decides: finished.iter().map(|h| h.decides()).sum(),
+            cas_failures: finished.iter().map(|h| h.cas_failures()).sum(),
+            invokes: finished.iter().map(|h| h.invokes()).sum(),
+            positions: finished[0].decided_batches().len(),
+            ops: finished[0].decided_log().len(),
+            worst: finished.iter().map(|h| h.max_threading_steps()).max().unwrap(),
+        }
+    }
+
+    #[test]
+    fn combining_amortizes_decides_under_full_contention() {
+        let _guard = failpoints::exclusive();
+
+        let b = yield_storm_round(WfUniversal::new(Counter::new(0), N, PER), false);
+        let p = yield_storm_round(WfUniversal::new_per_op(Counter::new(0), N, PER), false);
+
+        assert_eq!(b.invokes, N * PER);
+        assert_eq!(p.invokes, N * PER);
+
+        // The measured numbers EXPERIMENTS.md quotes (run with
+        // `--nocapture` to see them).
+        let b_rate = b.decides as f64 / b.invokes as f64;
+        let p_rate = p.decides as f64 / p.invokes as f64;
+        println!(
+            "storm n={N} per={PER}: batched decides/op {b_rate:.3} ({} positions, \
+             {} CAS failures) vs per-op {p_rate:.3} ({} positions, {} CAS failures)",
+            b.positions, b.cas_failures, p.positions, p.cas_failures,
+        );
+
+        // The worst case must not loosen: same O(n) bound either mode.
+        assert!(b.worst <= 2 * N + 8, "batched worst case {} exceeds 2n+8", b.worst);
+        assert!(p.worst <= 2 * N + 8, "per-op worst case {} exceeds 2n+8", p.worst);
+
+        // Per-op: one decided position per completed op, at minimum
+        // (duplicates from helping can only add positions).
+        assert!(
+            p.positions >= N * PER,
+            "per-op consumed {} positions for {} ops",
+            p.positions,
+            N * PER
+        );
+
+        // Batched: combining genuinely happened — strictly fewer
+        // positions than ops — and the amortized decide count per
+        // completed op is O(1) with a constant under 1, not the per-op
+        // path's ≥ 1. The storm keeps backlogs non-empty, so in
+        // practice positions land well below half the op count; the
+        // asserted bounds are loose enough to be scheduler-proof.
+        assert!(
+            b.positions < b.ops,
+            "yield storm produced no multi-op batch ({} positions, {} ops)",
+            b.positions,
+            b.ops
+        );
+        assert!(
+            b.positions < p.positions,
+            "batched did not consume fewer positions ({} vs {})",
+            b.positions,
+            p.positions
+        );
+        assert!(
+            b_rate < 1.0,
+            "batched decides/invoke {b_rate:.3} not amortized below one decide per op"
+        );
+        assert!(
+            b_rate < p_rate,
+            "batched decides/invoke {b_rate:.3} not below per-op {p_rate:.3}"
+        );
+        // Fewer decides also means fewer lost races: combining must not
+        // *increase* the CAS-failure count under the same storm.
+        assert!(
+            b.cas_failures <= p.cas_failures,
+            "batched CAS failures {} exceed per-op {}",
+            b.cas_failures,
+            p.cas_failures
+        );
+    }
+
+    /// The announce-only storm never loses a CAS on a single core (each
+    /// decide runs to completion between yields), so this round also
+    /// parks every thread *between* collecting its candidate and the
+    /// decide CAS: whoever yields there can resume to find the position
+    /// already taken. Lost decide races become observable, and
+    /// combining — deciding once per batch instead of once per op —
+    /// must lose no more of them than the per-op discipline under the
+    /// identical storm.
+    #[test]
+    fn combining_loses_no_more_cas_races_under_a_decide_race_storm() {
+        let _guard = failpoints::exclusive();
+
+        let b = yield_storm_round(WfUniversal::new(Counter::new(0), N, PER), true);
+        let p = yield_storm_round(WfUniversal::new_per_op(Counter::new(0), N, PER), true);
+
+        assert_eq!(b.invokes, N * PER);
+        assert_eq!(p.invokes, N * PER);
+        println!(
+            "race storm n={N} per={PER}: batched {} CAS failures over {} decides \
+             ({} positions) vs per-op {} CAS failures over {} decides ({} positions)",
+            b.cas_failures, b.decides, b.positions, p.cas_failures, p.decides, p.positions,
+        );
+
+        // The O(n) bound holds with adversarial yields at both sites.
+        assert!(b.worst <= 2 * N + 8, "batched worst case {} exceeds 2n+8", b.worst);
+        assert!(p.worst <= 2 * N + 8, "per-op worst case {} exceeds 2n+8", p.worst);
+
+        // Combining still collapses positions under this storm too.
+        assert!(
+            b.positions < p.positions,
+            "batched did not consume fewer positions ({} vs {})",
+            b.positions,
+            p.positions
+        );
+        assert!(
+            b.cas_failures <= p.cas_failures,
+            "batched lost more CAS races than per-op ({} vs {})",
+            b.cas_failures,
+            p.cas_failures
+        );
     }
 }

@@ -4,9 +4,10 @@
 //! (DESIGN.md, "Three validation tiers").
 //!
 //! * Seed campaigns: ≥ 1000 random-walk and ≥ 1000 PCT schedules per
-//!   object over the universal constructions, the Herlihy–Wing FAA
-//!   queue and the lock-free baselines, every history checked against
-//!   its sequential specification.
+//!   object over the universal constructions (both decide modes: batch
+//!   combining and per-op), the typed wrappers riding the combining
+//!   path, the Herlihy–Wing FAA queue and the lock-free baselines,
+//!   every history checked against its sequential specification.
 //! * A deliberately broken consensus object (the decide CAS downgraded
 //!   to a load followed by a store) whose agreement violation must be
 //!   caught, printed as a replayable failing schedule, and reproduced
@@ -26,6 +27,7 @@ use waitfree::model::{ObjectSpec, Pid};
 use waitfree::objects::consensus_obj::{ConsensusObj, DecideOp};
 use waitfree::objects::counter::{Counter, CounterOp, CounterResp};
 use waitfree::objects::queue::{FifoQueue, QueueOp, QueueResp};
+use waitfree::objects::register::{RegOp, RegResp, RwRegister};
 use waitfree::objects::stack::{Stack, StackOp, StackResp};
 use waitfree::sched::atomic::{AtomicI64, Ordering};
 use waitfree::sched::thread as vthread;
@@ -38,6 +40,9 @@ use waitfree::sync::faa_queue::FaaQueue;
 use waitfree::sync::lockfree::{MsQueue, TreiberStack};
 use waitfree::sync::universal::WfUniversal;
 use waitfree::sync::universal_cell::CellUniversal;
+use waitfree::sync::wrappers::{
+    WfCounterHandle, WfQueueHandle, WfRegisterHandle, WfStackHandle,
+};
 
 /// Seeds per strategy family in the campaign tests (acceptance floor:
 /// ≥ 1000 random-walk and ≥ 1000 PCT schedules per object).
@@ -105,6 +110,147 @@ fn cell_universal_counter_body(rec: HistoryRecorder<Counter>) {
                 for i in 0..2 {
                     let op = CounterOp::FetchAndAdd((10 * h.tid() + i + 1) as i64);
                     rec.record(pid, op.clone(), || h.invoke(op.clone()));
+                }
+            })
+        })
+        .collect();
+    for w in workers {
+        w.join().unwrap();
+    }
+}
+
+fn per_op_universal_counter_body(rec: HistoryRecorder<Counter>) {
+    let handles = WfUniversal::new_per_op(Counter::new(0), 2, 8);
+    let workers: Vec<_> = handles
+        .into_iter()
+        .map(|mut h| {
+            let rec = rec.clone();
+            vthread::spawn(move || {
+                let pid = Pid(h.tid());
+                for i in 0..2 {
+                    let op = CounterOp::FetchAndAdd((10 * h.tid() + i + 1) as i64);
+                    rec.record(pid, op.clone(), || h.invoke(op.clone()));
+                }
+            })
+        })
+        .collect();
+    for w in workers {
+        w.join().unwrap();
+    }
+}
+
+// The typed wrappers (`waitfree::sync::wrappers`) ride the combining
+// path — `create` builds `WfUniversal::new`, the batched default — so
+// these campaigns double as batched-path coverage for every object
+// class the paper's universality theorem promises.
+
+fn wf_queue_body(rec: HistoryRecorder<FifoQueue>) {
+    let handles = WfQueueHandle::create(2, 8);
+    let workers: Vec<_> = handles
+        .into_iter()
+        .enumerate()
+        .map(|(t, mut h)| {
+            let rec = rec.clone();
+            vthread::spawn(move || {
+                let pid = Pid(t);
+                if t == 0 {
+                    for v in [1i64, 2] {
+                        rec.record(pid, QueueOp::Enq(v), || {
+                            h.enq(v);
+                            QueueResp::Ack
+                        });
+                    }
+                } else {
+                    for _ in 0..3 {
+                        rec.record(pid, QueueOp::Deq, || match h.deq() {
+                            Some(v) => QueueResp::Item(v),
+                            None => QueueResp::Empty,
+                        });
+                    }
+                }
+            })
+        })
+        .collect();
+    for w in workers {
+        w.join().unwrap();
+    }
+}
+
+fn wf_stack_body(rec: HistoryRecorder<Stack>) {
+    let handles = WfStackHandle::create(2, 8);
+    let workers: Vec<_> = handles
+        .into_iter()
+        .enumerate()
+        .map(|(t, mut h)| {
+            let rec = rec.clone();
+            vthread::spawn(move || {
+                let pid = Pid(t);
+                if t == 0 {
+                    for v in [1i64, 2] {
+                        rec.record(pid, StackOp::Push(v), || {
+                            h.push(v);
+                            StackResp::Ack
+                        });
+                    }
+                } else {
+                    for _ in 0..3 {
+                        rec.record(pid, StackOp::Pop, || match h.pop() {
+                            Some(v) => StackResp::Item(v),
+                            None => StackResp::Empty,
+                        });
+                    }
+                }
+            })
+        })
+        .collect();
+    for w in workers {
+        w.join().unwrap();
+    }
+}
+
+fn wf_counter_body(rec: HistoryRecorder<Counter>) {
+    let handles = WfCounterHandle::create(2, 8);
+    let workers: Vec<_> = handles
+        .into_iter()
+        .enumerate()
+        .map(|(t, mut h)| {
+            let rec = rec.clone();
+            vthread::spawn(move || {
+                let pid = Pid(t);
+                for i in 0..2 {
+                    let delta = (10 * t + i + 1) as i64;
+                    rec.record(pid, CounterOp::FetchAndAdd(delta), || {
+                        CounterResp::Value(h.fetch_add(delta))
+                    });
+                }
+            })
+        })
+        .collect();
+    for w in workers {
+        w.join().unwrap();
+    }
+}
+
+fn wf_register_body(rec: HistoryRecorder<RwRegister>) {
+    let handles = WfRegisterHandle::create(2, 8, 0);
+    let workers: Vec<_> = handles
+        .into_iter()
+        .enumerate()
+        .map(|(t, mut h)| {
+            let rec = rec.clone();
+            vthread::spawn(move || {
+                let pid = Pid(t);
+                if t == 0 {
+                    for v in [7i64, 8] {
+                        rec.record(pid, RegOp::Write(v), || {
+                            h.write(v);
+                            RegResp::Written
+                        });
+                    }
+                } else {
+                    for _ in 0..2 {
+                        rec.record(pid, RegOp::Read, || RegResp::Read(h.read()));
+                    }
                 }
             })
         })
@@ -209,6 +355,83 @@ fn cell_universal_counter_campaigns_linearize() {
         "CellUniversal<Counter>",
         &Counter::new(0),
         cell_universal_counter_body,
+    );
+}
+
+#[test]
+fn per_op_universal_counter_campaigns_linearize() {
+    sweep(
+        "WfUniversal<Counter> (per-op)",
+        &Counter::new(0),
+        per_op_universal_counter_body,
+    );
+}
+
+#[test]
+fn wf_queue_wrapper_campaigns_linearize() {
+    sweep("WfQueueHandle", &FifoQueue::new(), wf_queue_body);
+}
+
+#[test]
+fn wf_stack_wrapper_campaigns_linearize() {
+    sweep("WfStackHandle", &Stack::new(), wf_stack_body);
+}
+
+#[test]
+fn wf_counter_wrapper_campaigns_linearize() {
+    sweep("WfCounterHandle", &Counter::new(0), wf_counter_body);
+}
+
+#[test]
+fn wf_register_wrapper_campaigns_linearize() {
+    sweep("WfRegisterHandle", &RwRegister::new(0), wf_register_body);
+}
+
+/// The combining layer is not dead code under the schedule explorer:
+/// some random-walk interleaving parks one thread between announce and
+/// decide long enough for the other's collect scan to pick both ops up,
+/// and the decided log then shows strictly fewer positions than
+/// operations. (Every schedule must also flatten to a log that carries
+/// all four operations exactly once here — no contention, no crashes.)
+#[test]
+fn some_schedule_forms_a_multi_op_batch() {
+    let mut witnessed = false;
+    for seed in 0..SEEDS {
+        let out: Arc<Mutex<Option<(usize, usize)>>> = Arc::new(Mutex::new(None));
+        let sink = Arc::clone(&out);
+        let res = run(
+            waitfree::sched::RandomWalk::new(seed),
+            RunOptions::default(),
+            move || {
+                let handles = WfUniversal::new(Counter::new(0), 2, 8);
+                let workers: Vec<_> = handles
+                    .into_iter()
+                    .map(|mut h| {
+                        vthread::spawn(move || {
+                            for i in 0..2 {
+                                h.invoke(CounterOp::FetchAndAdd((10 * h.tid() + i + 1) as i64));
+                            }
+                            h
+                        })
+                    })
+                    .collect();
+                let hs: Vec<_> = workers.into_iter().map(|w| w.join().unwrap()).collect();
+                *sink.lock().unwrap() =
+                    Some((hs[0].decided_batches().len(), hs[0].decided_log().len()));
+            },
+        );
+        assert!(res.error.is_none(), "seed {seed}: {:?}", res.error);
+        let (positions, ops) = out.lock().unwrap().take().unwrap();
+        assert_eq!(ops, 4, "seed {seed}: flattened log carries every op once");
+        assert!(positions <= ops);
+        if positions < ops {
+            witnessed = true;
+            break;
+        }
+    }
+    assert!(
+        witnessed,
+        "no random-walk schedule in {SEEDS} seeds ever combined two ops into one decide"
     );
 }
 

@@ -117,14 +117,17 @@ fn log_front_end_and_consensus_cons_both_linearize_concurrently() {
 }
 
 /// Satellite of the `sched` tier: under *identical* operation-level
-/// schedules, the pointer-CAS universal object and the consensus-cell
-/// rendering must decide the same log and return the same responses,
-/// seed for seed. [`OpRandom`](waitfree::sched::OpRandom) never preempts
-/// at an atomic point and consumes no randomness there, so its decision
+/// schedules, the pointer-CAS universal object (in both decide modes —
+/// batch combining and per-op) and the consensus-cell rendering must
+/// decide the same flattened log and return the same responses, seed
+/// for seed. [`OpRandom`](waitfree::sched::OpRandom) never preempts at
+/// an atomic point and consumes no randomness there, so its decision
 /// sequence depends only on the operation structure (spawn/yield/block/
-/// exit), which both implementations share — the schedules are
-/// comparable even though the two hot paths execute different numbers
-/// of atomic instructions.
+/// exit), which all three implementations share — the schedules are
+/// comparable even though the hot paths execute different numbers of
+/// atomic instructions. (`decided_log` flattens batch entries, so the
+/// comparison is shape-independent by construction; see
+/// DESIGN.md, "Batch combining".)
 #[cfg(feature = "sched")]
 mod sched_equivalence {
     use std::sync::{Arc, Mutex};
@@ -214,11 +217,14 @@ mod sched_equivalence {
     #[test]
     fn cell_and_pointer_universal_agree_under_identical_schedules() {
         for seed in 0..64 {
-            let wf = drive(WfUniversal::new(Counter::new(0), THREADS, 16), seed);
+            let batched = drive(WfUniversal::new(Counter::new(0), THREADS, 16), seed);
+            let per_op = drive(WfUniversal::new_per_op(Counter::new(0), THREADS, 16), seed);
             let cell = drive(CellUniversal::new(Counter::new(0), THREADS, 16), seed);
-            assert_eq!(wf.0, cell.0, "responses diverged at seed {seed}");
-            assert_eq!(wf.1, cell.1, "decided logs diverged at seed {seed}");
-            assert_eq!(wf.1.len(), THREADS * OPS, "all ops decided at seed {seed}");
+            assert_eq!(batched.0, cell.0, "batched responses diverged at seed {seed}");
+            assert_eq!(per_op.0, cell.0, "per-op responses diverged at seed {seed}");
+            assert_eq!(batched.1, cell.1, "batched decided log diverged at seed {seed}");
+            assert_eq!(per_op.1, cell.1, "per-op decided log diverged at seed {seed}");
+            assert_eq!(cell.1.len(), THREADS * OPS, "all ops decided at seed {seed}");
         }
     }
 }
