@@ -1,0 +1,103 @@
+//! `wf-lint` — run the three workspace lint rules (ordering audit,
+//! facade bypass, bench timing; see the crate docs) over every `.rs`
+//! file in the workspace and exit non-zero on any finding.
+//!
+//! Usage: `cargo run -p waitfree-analyze --bin wf-lint [root]`
+//!
+//! With no argument the workspace root is found by walking up from the
+//! current directory to the first `Cargo.toml` containing
+//! `[workspace]`.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use waitfree_analyze::lint_source;
+
+fn main() -> ExitCode {
+    let root = match std::env::args().nth(1) {
+        Some(p) => PathBuf::from(p),
+        None => match find_workspace_root() {
+            Some(p) => p,
+            None => {
+                eprintln!("wf-lint: no workspace root found above the current directory");
+                return ExitCode::FAILURE;
+            }
+        },
+    };
+
+    let mut files = Vec::new();
+    collect_rs_files(&root, &root, &mut files);
+    files.sort();
+
+    let mut total = 0usize;
+    for rel in &files {
+        let src = match fs::read_to_string(root.join(rel)) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("wf-lint: {}: {e}", rel.display());
+                total += 1;
+                continue;
+            }
+        };
+        // Rule scoping keys on `/`-separated components.
+        let rel_str = rel
+            .components()
+            .map(|c| c.as_os_str().to_string_lossy())
+            .collect::<Vec<_>>()
+            .join("/");
+        for f in lint_source(&rel_str, &src) {
+            println!("{rel_str}:{}: {f}", f.line);
+            total += 1;
+        }
+    }
+
+    if total == 0 {
+        println!("wf-lint: {} files clean", files.len());
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("wf-lint: {total} finding(s)");
+        ExitCode::FAILURE
+    }
+}
+
+/// Walk up from the current directory to the first `Cargo.toml` that
+/// declares a `[workspace]`.
+fn find_workspace_root() -> Option<PathBuf> {
+    let mut dir = std::env::current_dir().ok()?;
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(text) = fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(dir);
+            }
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
+/// Recursively collect `.rs` files under `dir` (paths relative to
+/// `root`), skipping build output, VCS metadata and hidden directories.
+fn collect_rs_files(root: &Path, dir: &Path, out: &mut Vec<PathBuf>) {
+    let entries = match fs::read_dir(dir) {
+        Ok(e) => e,
+        Err(_) => return,
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if name == "target" || name.starts_with('.') {
+                continue;
+            }
+            collect_rs_files(root, &path, out);
+        } else if name.ends_with(".rs") {
+            if let Ok(rel) = path.strip_prefix(root) {
+                out.push(rel.to_path_buf());
+            }
+        }
+    }
+}

@@ -1,0 +1,667 @@
+//! Static ordering-audit lint over the workspace's Rust sources — the
+//! `wf-lint` binary and the line scanner behind it.
+//!
+//! Three rules, each encoding an invariant the rest of the workspace
+//! relies on but the compiler cannot check:
+//!
+//! 1. **Ordering audit** — every atomic operation that names a
+//!    non-`SeqCst` ordering (`Relaxed`, `Acquire`, `Release`, `AcqRel`)
+//!    must carry an adjacent `// ordering:` comment justifying the
+//!    happens-before edge it provides (or deliberately gives up). The
+//!    dynamic complement is `waitfree_sched::hb`, which replays recorded
+//!    schedules and checks that the *declared* orderings really do
+//!    justify every observed value; this rule makes sure each declared
+//!    ordering also has a written-down argument a reviewer can audit.
+//! 2. **Facade bypass** — no `std::sync::atomic` or `std::thread` in
+//!    code outside `crates/sched/src/`. All atomics and threads must go
+//!    through the `waitfree_sched` facade (including its `atomic::diag`
+//!    module for instrumentation-plane state), or the deterministic
+//!    scheduler silently loses schedule points and the recorded traces
+//!    lie.
+//! 3. **Bench timing** — inside `crates/bench/`, `Instant::now` is
+//!    allowed only in `src/timing.rs`. Timed regions must flow through
+//!    the timing harness so warm-up, batching and medians stay uniform;
+//!    a stray `Instant::now` in a bench body is usually an accounting
+//!    bug (it was, once — see the PR that rebuilt the bench accounting).
+//!
+//! The scanner is hand-rolled (no `syn`, no regex crate) because the
+//! workspace is deliberately dependency-free. It splits each physical
+//! line into a *code* part — with string-literal contents blanked — and
+//! a *comment* part, which is exact enough for the three rules above:
+//! rule patterns match only real code, and audit comments are read from
+//! the comment channel.
+//!
+//! # What counts as "adjacent" for rule 1
+//!
+//! The `ordering:` comment may sit on any line of the statement that
+//! names the ordering (trailing comments included), or in the
+//! comment block immediately above the statement (attributes such as
+//! `#[cfg(...)]` may intervene). A statement's first line is found by
+//! walking upward while the previous line is code that does not end in
+//! `;`, `{` or `}` — so a multi-line `compare_exchange(...)` call is
+//! covered by one comment above the call, and a CAS's success and
+//! failure orderings share that comment.
+//!
+//! # Scope
+//!
+//! Rule 1 skips test code (`tests/`, `benches/`, `examples/`
+//! directories and `#[cfg(test)]` modules): tests pin orderings for
+//! scenarios, they do not promise edges. Rules 1 and 2 skip
+//! `crates/sched/src/` wholesale — the facade and the happens-before
+//! checker manipulate `Ordering` values as *data* and own the one
+//! sanctioned `std` boundary. Rule 2 applies everywhere else,
+//! including tests: a test on raw `std::thread` cannot be replayed
+//! under the scheduler.
+
+use std::fmt;
+
+// ---------------------------------------------------------------------
+// Findings
+// ---------------------------------------------------------------------
+
+/// Which lint rule produced a finding.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Rule {
+    /// Non-`SeqCst` ordering without an adjacent `// ordering:` comment.
+    OrderingAudit,
+    /// Raw `std::sync::atomic` / `std::thread` outside the facade.
+    FacadeBypass,
+    /// `Instant::now` inside `crates/bench/` outside `src/timing.rs`.
+    BenchTiming,
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Rule::OrderingAudit => "ordering-audit",
+            Rule::FacadeBypass => "facade-bypass",
+            Rule::BenchTiming => "bench-timing",
+        })
+    }
+}
+
+/// One lint finding: a rule violated at a line of a file.
+#[derive(Clone, Debug)]
+pub struct Finding {
+    /// 1-based line number.
+    pub line: usize,
+    /// The violated rule.
+    pub rule: Rule,
+    /// Human-readable explanation.
+    pub msg: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}] {}", self.rule, self.msg)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Source splitting: code vs comment, strings blanked
+// ---------------------------------------------------------------------
+
+/// One physical line, split into its code part (string-literal contents
+/// replaced by spaces) and its comment part (text of `//` and `/* */`
+/// comments on that line, delimiters stripped).
+#[derive(Clone, Debug, Default)]
+pub struct Line {
+    /// Code on this line with string contents blanked.
+    pub code: String,
+    /// Comment text on this line.
+    pub comment: String,
+}
+
+/// Split `src` into [`Line`]s, classifying every character as code,
+/// comment or string content. Handles nested block comments, string
+/// escapes, raw strings (`r"…"`, `r#"…"#`), byte strings and char
+/// literals vs lifetimes.
+#[must_use]
+pub fn split_lines(src: &str) -> Vec<Line> {
+    let b: Vec<char> = src.chars().collect();
+    let mut lines = Vec::new();
+    let mut cur = Line::default();
+    let mut i = 0;
+    // Nesting depth of `/* */` (Rust block comments nest).
+    let mut block = 0usize;
+
+    macro_rules! newline {
+        () => {
+            lines.push(std::mem::take(&mut cur))
+        };
+    }
+
+    while i < b.len() {
+        let c = b[i];
+        if c == '\n' {
+            newline!();
+            i += 1;
+            continue;
+        }
+        if block > 0 {
+            if c == '/' && b.get(i + 1) == Some(&'*') {
+                block += 1;
+                i += 2;
+            } else if c == '*' && b.get(i + 1) == Some(&'/') {
+                block -= 1;
+                i += 2;
+            } else {
+                cur.comment.push(c);
+                i += 1;
+            }
+            continue;
+        }
+        match c {
+            '/' if b.get(i + 1) == Some(&'/') => {
+                i += 2;
+                while i < b.len() && b[i] != '\n' {
+                    cur.comment.push(b[i]);
+                    i += 1;
+                }
+            }
+            '/' if b.get(i + 1) == Some(&'*') => {
+                block = 1;
+                i += 2;
+            }
+            '"' => {
+                cur.code.push('"');
+                i += 1;
+                while i < b.len() {
+                    match b[i] {
+                        '\\' => {
+                            // Escape: consume the next char too, unless it
+                            // is a line-continuation newline.
+                            if b.get(i + 1) == Some(&'\n') {
+                                i += 1;
+                            } else {
+                                cur.code.push(' ');
+                                i += 2;
+                            }
+                        }
+                        '"' => {
+                            cur.code.push('"');
+                            i += 1;
+                            break;
+                        }
+                        '\n' => {
+                            newline!();
+                            i += 1;
+                        }
+                        _ => {
+                            cur.code.push(' ');
+                            i += 1;
+                        }
+                    }
+                }
+            }
+            'r' if !prev_is_ident(&b, i)
+                && raw_string_hashes(&b, i).is_some() =>
+            {
+                let hashes = raw_string_hashes(&b, i).unwrap();
+                cur.code.push('r');
+                i += 1 + hashes + 1; // r, #*, opening quote
+                cur.code.push('"');
+                // Scan for `"` followed by `hashes` `#`s.
+                loop {
+                    if i >= b.len() {
+                        break;
+                    }
+                    if b[i] == '\n' {
+                        newline!();
+                        i += 1;
+                        continue;
+                    }
+                    if b[i] == '"' && (0..hashes).all(|k| b.get(i + 1 + k) == Some(&'#')) {
+                        cur.code.push('"');
+                        i += 1 + hashes;
+                        break;
+                    }
+                    cur.code.push(' ');
+                    i += 1;
+                }
+            }
+            '\'' => {
+                // Char literal or lifetime. A lifetime is `'ident` not
+                // closed by a quote; a char literal closes within a few
+                // chars (or starts with an escape).
+                if b.get(i + 1) == Some(&'\\') {
+                    cur.code.push('\'');
+                    i += 2;
+                    while i < b.len() && b[i] != '\'' {
+                        cur.code.push(' ');
+                        i += 1;
+                    }
+                    cur.code.push('\'');
+                    i += 1;
+                } else if b.get(i + 2) == Some(&'\'') && b.get(i + 1) != Some(&'\'') {
+                    cur.code.push_str("' '");
+                    i += 3;
+                } else {
+                    // Lifetime (or stray quote): keep as code.
+                    cur.code.push('\'');
+                    i += 1;
+                }
+            }
+            _ => {
+                cur.code.push(c);
+                i += 1;
+            }
+        }
+    }
+    if !cur.code.is_empty() || !cur.comment.is_empty() {
+        lines.push(cur);
+    }
+    lines
+}
+
+/// Whether the char before `i` continues an identifier (so `b[i] == 'r'`
+/// is the tail of a name like `var`, not a raw-string prefix).
+fn prev_is_ident(b: &[char], i: usize) -> bool {
+    i > 0 && (b[i - 1].is_alphanumeric() || b[i - 1] == '_')
+}
+
+/// If `b[i..]` starts a raw string `r#*"`, the number of `#`s.
+fn raw_string_hashes(b: &[char], i: usize) -> Option<usize> {
+    debug_assert_eq!(b[i], 'r');
+    let mut k = i + 1;
+    let mut hashes = 0;
+    while b.get(k) == Some(&'#') {
+        hashes += 1;
+        k += 1;
+    }
+    (b.get(k) == Some(&'"')).then_some(hashes)
+}
+
+// ---------------------------------------------------------------------
+// cfg(test) block detection
+// ---------------------------------------------------------------------
+
+/// Mark the lines covered by `#[cfg(test)]` (or `#[cfg(all(test, …))]`)
+/// items, by brace-matching from the attribute's first `{`.
+#[must_use]
+pub fn cfg_test_lines(lines: &[Line]) -> Vec<bool> {
+    let mut excluded = vec![false; lines.len()];
+    let mut l = 0;
+    while l < lines.len() {
+        let code = &lines[l].code;
+        if code.contains("#[cfg(test)]") || code.contains("#[cfg(all(test") {
+            // Find the first `{` at or after the attribute and match it.
+            let mut depth = 0i32;
+            let mut opened = false;
+            let mut m = l;
+            'outer: while m < lines.len() {
+                excluded[m] = true;
+                for ch in lines[m].code.chars() {
+                    match ch {
+                        '{' => {
+                            depth += 1;
+                            opened = true;
+                        }
+                        '}' => {
+                            depth -= 1;
+                            if opened && depth == 0 {
+                                break 'outer;
+                            }
+                        }
+                        _ => {}
+                    }
+                }
+                m += 1;
+            }
+            l = m + 1;
+        } else {
+            l += 1;
+        }
+    }
+    excluded
+}
+
+// ---------------------------------------------------------------------
+// The rules
+// ---------------------------------------------------------------------
+
+/// Where a file sits in the workspace, for rule scoping. Derived from
+/// the `/`-separated path relative to the workspace root.
+#[derive(Clone, Copy, Debug)]
+struct Scope<'a> {
+    rel: &'a str,
+    /// Inside the facade implementation (`crates/sched/src/`).
+    sched_src: bool,
+    /// In a `tests/`, `benches/` or `examples/` directory.
+    test_dir: bool,
+    /// Inside `crates/bench/`.
+    bench_crate: bool,
+}
+
+impl<'a> Scope<'a> {
+    fn of(rel: &'a str) -> Scope<'a> {
+        let in_dir = |d: &str| {
+            rel.starts_with(&format!("{d}/")) || rel.contains(&format!("/{d}/"))
+        };
+        Scope {
+            rel,
+            sched_src: rel.starts_with("crates/sched/src/"),
+            test_dir: in_dir("tests") || in_dir("benches") || in_dir("examples"),
+            bench_crate: rel.starts_with("crates/bench/"),
+        }
+    }
+}
+
+const WEAK_ORDERINGS: [&str; 4] = [
+    "Ordering::Relaxed",
+    "Ordering::Acquire",
+    "Ordering::Release",
+    "Ordering::AcqRel",
+];
+
+/// Lint one file's source. `rel_path` is `/`-separated and relative to
+/// the workspace root (e.g. `crates/sync/src/universal.rs`).
+#[must_use]
+pub fn lint_source(rel_path: &str, src: &str) -> Vec<Finding> {
+    let scope = Scope::of(rel_path);
+    let lines = split_lines(src);
+    let mut findings = Vec::new();
+
+    facade_bypass(&scope, &lines, &mut findings);
+    bench_timing(&scope, &lines, &mut findings);
+    ordering_audit(&scope, &lines, &mut findings);
+
+    findings.sort_by_key(|f| f.line);
+    findings
+}
+
+fn facade_bypass(scope: &Scope<'_>, lines: &[Line], out: &mut Vec<Finding>) {
+    if scope.sched_src {
+        return;
+    }
+    for (l, line) in lines.iter().enumerate() {
+        for pat in ["std::sync::atomic", "std::thread"] {
+            if line.code.contains(pat) {
+                out.push(Finding {
+                    line: l + 1,
+                    rule: Rule::FacadeBypass,
+                    msg: format!(
+                        "raw `{pat}` bypasses the waitfree_sched facade; use \
+                         `waitfree_sched::atomic` / `waitfree_sched::thread` \
+                         (or `atomic::diag` for instrumentation-plane state)"
+                    ),
+                });
+            }
+        }
+    }
+}
+
+fn bench_timing(scope: &Scope<'_>, lines: &[Line], out: &mut Vec<Finding>) {
+    if !scope.bench_crate || scope.rel == "crates/bench/src/timing.rs" {
+        return;
+    }
+    for (l, line) in lines.iter().enumerate() {
+        if line.code.contains("Instant::now") {
+            out.push(Finding {
+                line: l + 1,
+                rule: Rule::BenchTiming,
+                msg: "`Instant::now` outside src/timing.rs: route timed regions \
+                      through waitfree_bench::timing so warm-up, batching and \
+                      medians stay uniform"
+                    .into(),
+            });
+        }
+    }
+}
+
+fn ordering_audit(scope: &Scope<'_>, lines: &[Line], out: &mut Vec<Finding>) {
+    if scope.sched_src || scope.test_dir {
+        return;
+    }
+    let excluded = cfg_test_lines(lines);
+    for (l, line) in lines.iter().enumerate() {
+        if excluded[l] {
+            continue;
+        }
+        let weak: Vec<&str> = WEAK_ORDERINGS
+            .iter()
+            .copied()
+            .filter(|o| line.code.contains(o))
+            .collect();
+        if weak.is_empty() {
+            continue;
+        }
+        if !statement_has_audit(lines, l) {
+            out.push(Finding {
+                line: l + 1,
+                rule: Rule::OrderingAudit,
+                msg: format!(
+                    "{} without an adjacent `// ordering:` comment justifying \
+                     the happens-before edge",
+                    weak.join(" / ")
+                ),
+            });
+        }
+    }
+}
+
+/// Whether the statement containing line `l` carries an `ordering:`
+/// audit comment — on any of its own lines, or in the comment block
+/// immediately above its first line.
+fn statement_has_audit(lines: &[Line], l: usize) -> bool {
+    let ends_stmt = |code: &str| {
+        matches!(code.trim_end().chars().last(), Some(';' | '{' | '}'))
+    };
+    // First line of the statement: walk up while the previous line is
+    // code that does not close a statement. A trailing `{` does *not*
+    // close one here — `if x.compare_exchange(… {` spreads a single
+    // condition over an opener line, and the audit comment sits above
+    // the whole construct.
+    let closes_above = |code: &str| {
+        matches!(code.trim_end().chars().last(), Some(';' | '}'))
+    };
+    let mut s = l;
+    while s > 0 {
+        let prev = &lines[s - 1];
+        if prev.code.trim().is_empty() || closes_above(&prev.code) {
+            break;
+        }
+        s -= 1;
+    }
+    // Last line: walk down to the first closing line.
+    let mut e = l;
+    while e + 1 < lines.len() && !ends_stmt(&lines[e].code) {
+        e += 1;
+    }
+    if lines[s..=e].iter().any(|ln| ln.comment.contains("ordering:")) {
+        return true;
+    }
+    // Comment block immediately above the statement.
+    let mut a = s;
+    while a > 0 {
+        let above = &lines[a - 1];
+        if above.code.trim().is_empty() && !above.comment.trim().is_empty() {
+            if above.comment.contains("ordering:") {
+                return true;
+            }
+            a -= 1;
+        } else {
+            break;
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn find(rel: &str, src: &str) -> Vec<Finding> {
+        lint_source(rel, src)
+    }
+
+    // -- scanner ------------------------------------------------------
+
+    #[test]
+    fn strings_and_comments_are_separated() {
+        let lines = split_lines(
+            "let x = \"std::thread\"; // std::thread in a comment\nload(Ordering::Relaxed);\n",
+        );
+        assert_eq!(lines.len(), 2);
+        assert!(!lines[0].code.contains("std::thread"), "{:?}", lines[0]);
+        assert!(lines[0].comment.contains("std::thread"));
+        assert!(lines[1].code.contains("Ordering::Relaxed"));
+    }
+
+    #[test]
+    fn nested_block_comments_and_raw_strings() {
+        let lines = split_lines(
+            "/* outer /* inner */ still comment */ code();\nlet r = r#\"Ordering::Relaxed\"#;\n",
+        );
+        assert!(lines[0].code.contains("code()"));
+        assert!(lines[0].comment.contains("still comment"));
+        assert!(!lines[1].code.contains("Ordering::Relaxed"));
+    }
+
+    #[test]
+    fn char_literals_and_lifetimes_do_not_derail_the_scanner() {
+        let lines = split_lines(
+            "fn f<'a>(x: &'a str) -> char { let q = '\"'; let n = '\\n'; q }\nOrdering::Relaxed\n",
+        );
+        assert!(lines[0].code.contains("fn f<'a>"));
+        // The quote char literal must not open a string that swallows
+        // the next line.
+        assert!(lines[1].code.contains("Ordering::Relaxed"));
+    }
+
+    #[test]
+    fn multiline_strings_keep_line_numbers() {
+        let lines = split_lines("let s = \"a\nstd::thread\nb\";\nafter();\n");
+        assert_eq!(lines.len(), 4);
+        assert!(!lines[1].code.contains("std::thread"));
+        assert!(lines[3].code.contains("after()"));
+    }
+
+    // -- rule 1: ordering audit --------------------------------------
+
+    #[test]
+    fn uncommented_weak_ordering_is_flagged() {
+        let f = find(
+            "crates/sync/src/x.rs",
+            "fn f(a: &AtomicUsize) {\n    a.load(Ordering::Acquire);\n}\n",
+        );
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, Rule::OrderingAudit);
+        assert_eq!(f[0].line, 2);
+    }
+
+    #[test]
+    fn trailing_and_preceding_audit_comments_cover_the_op() {
+        let src = "fn f(a: &AtomicUsize) {\n\
+                   \x20   a.load(Ordering::Acquire); // ordering: Acquire — pairs with X\n\
+                   \x20   // ordering: Release — publishes Y\n\
+                   \x20   a.store(1, Ordering::Release);\n\
+                   }\n";
+        assert!(find("crates/sync/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn one_comment_covers_a_multiline_cas_and_its_failure_ordering() {
+        let src = "fn f(a: &AtomicUsize) {\n\
+                   \x20   // ordering: Release on success, Relaxed on failure — publish Z\n\
+                   \x20   let _ = a.compare_exchange(\n\
+                   \x20       0,\n\
+                   \x20       1,\n\
+                   \x20       Ordering::Release,\n\
+                   \x20       Ordering::Relaxed,\n\
+                   \x20   );\n\
+                   }\n";
+        assert!(find("crates/sync/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn a_comment_above_an_if_unsafe_opener_covers_the_cas_inside() {
+        let src = "fn f(t: *mut Node) {\n\
+                   \x20   // ordering: Release on success — publishes the link\n\
+                   \x20   if unsafe {\n\
+                   \x20       (*t).next.compare_exchange(\n\
+                   \x20           ptr::null_mut(),\n\
+                   \x20           node,\n\
+                   \x20           Ordering::Release,\n\
+                   \x20           Ordering::Relaxed,\n\
+                   \x20       )\n\
+                   \x20   }\n\
+                   \x20   .is_ok()\n\
+                   \x20   {}\n\
+                   }\n";
+        assert!(find("crates/sync/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn an_attribute_between_comment_and_op_is_fine() {
+        let src = "fn f(a: &AtomicUsize) {\n\
+                   \x20   // ordering: Relaxed — deliberately wrong, mutant only\n\
+                   \x20   #[cfg(feature = \"mutant\")]\n\
+                   \x20   a.fetch_max(1, Ordering::Relaxed);\n\
+                   }\n";
+        assert!(find("crates/sync/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn seqcst_needs_no_comment_and_comment_mentions_in_strings_do_not_count() {
+        let src = "fn f(a: &AtomicUsize) {\n\
+                   \x20   a.load(Ordering::SeqCst);\n\
+                   \x20   let s = \"ordering: fake\";\n\
+                   \x20   a.load(Ordering::Relaxed);\n\
+                   }\n";
+        let f = find("crates/sync/src/x.rs", src);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].line, 4);
+    }
+
+    #[test]
+    fn cfg_test_modules_and_test_dirs_are_exempt_from_the_audit() {
+        let src = "#[cfg(test)]\nmod tests {\n    fn f(a: &AtomicUsize) {\n        a.load(Ordering::Relaxed);\n    }\n}\n";
+        assert!(find("crates/sync/src/x.rs", src).is_empty());
+        let plain = "fn f(a: &AtomicUsize) { a.load(Ordering::Relaxed); }\n";
+        assert!(find("tests/x.rs", plain).is_empty());
+        assert!(find("crates/bench/benches/x.rs", plain).is_empty());
+        assert!(find("examples/x.rs", plain).is_empty());
+        // …but the facade rule still applies in test code.
+        let bypass = "use std::thread;\n";
+        assert_eq!(find("tests/x.rs", bypass).len(), 1);
+    }
+
+    #[test]
+    fn a_blank_line_breaks_audit_adjacency() {
+        let src = "fn f(a: &AtomicUsize) {\n\
+                   \x20   // ordering: Acquire — too far away\n\
+                   \n\
+                   \x20   a.load(Ordering::Acquire);\n\
+                   }\n";
+        assert_eq!(find("crates/sync/src/x.rs", src).len(), 1);
+    }
+
+    // -- rule 2: facade bypass ---------------------------------------
+
+    #[test]
+    fn facade_bypass_is_flagged_outside_sched_only() {
+        let src = "use std::sync::atomic::{AtomicUsize, Ordering};\nuse std::thread;\n";
+        let f = find("crates/sync/src/x.rs", src);
+        assert_eq!(f.len(), 2);
+        assert!(f.iter().all(|x| x.rule == Rule::FacadeBypass));
+        assert!(find("crates/sched/src/atomic.rs", src).is_empty());
+    }
+
+    #[test]
+    fn facade_mentions_in_comments_are_ignored() {
+        let src = "// falls back to std::thread::yield_now outside a run\nfn f() {}\n";
+        assert!(find("crates/faults/src/x.rs", src).is_empty());
+    }
+
+    // -- rule 3: bench timing ----------------------------------------
+
+    #[test]
+    fn instant_now_in_bench_is_flagged_outside_timing_rs() {
+        let src = "fn f() { let t = Instant::now(); }\n";
+        assert_eq!(find("crates/bench/src/bin/b.rs", src).len(), 1);
+        assert_eq!(find("crates/bench/benches/b.rs", src).len(), 1);
+        assert!(find("crates/bench/src/timing.rs", src).is_empty());
+        assert!(find("crates/faults/src/harness.rs", src).is_empty());
+    }
+}

@@ -2,7 +2,8 @@
 //! creation + decision), uncontended and contended.
 
 use std::sync::Arc;
-use std::thread;
+
+use waitfree_sched::thread;
 
 use waitfree_bench::timing::bench;
 use waitfree_sync::consensus::{ConsensusCell, FaaConsensus2, TasConsensus2, UsizeConsensus};

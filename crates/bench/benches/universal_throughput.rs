@@ -7,9 +7,10 @@
 //! the three with a per-operation *bound* that survives adversarial
 //! scheduling and crashes.
 
-use std::sync::atomic::{AtomicI64, Ordering};
 use std::sync::Arc;
-use std::thread;
+
+use waitfree_sched::atomic::{AtomicI64, Ordering};
+use waitfree_sched::thread;
 
 use waitfree_bench::timing::bench;
 use waitfree_sync::locked::{LockedCounter, LockedQueue};

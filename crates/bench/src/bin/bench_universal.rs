@@ -31,9 +31,8 @@
 //! per thread, default 2000) and `BENCH_UNIVERSAL_SAMPLES` (median-of
 //! samples, default 5).
 
-use std::thread;
-
 use waitfree_bench::json::Json;
+use waitfree_sched::thread;
 use waitfree_bench::timing::measure_with_setup;
 use waitfree_bench::Report;
 use waitfree_objects::counter::{Counter, CounterOp, CounterResp};

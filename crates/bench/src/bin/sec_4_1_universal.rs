@@ -94,7 +94,7 @@ fn main() {
         let joins: Vec<_> = handles
             .into_iter()
             .map(|mut h| {
-                std::thread::spawn(move || {
+                waitfree_sched::thread::spawn(move || {
                     for _ in 0..per {
                         h.fetch_add(1);
                     }

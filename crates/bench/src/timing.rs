@@ -138,7 +138,7 @@ mod tests {
             || {
                 setups += 1;
                 // Costly "construction": visibly slower than the run.
-                std::thread::sleep(Duration::from_millis(20));
+                waitfree_sched::thread::sleep(Duration::from_millis(20));
                 7u64
             },
             |v| {

@@ -40,9 +40,13 @@
 #[cfg(feature = "failpoints")]
 use std::collections::HashMap;
 #[cfg(feature = "failpoints")]
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-#[cfg(feature = "failpoints")]
 use std::sync::{Mutex, OnceLock};
+
+// Registry state is instrumentation-plane: `diag` atomics are raw std
+// atomics in both scheduler modes, so arming a site never perturbs the
+// schedules being explored.
+#[cfg(feature = "failpoints")]
+use waitfree_sched::atomic::diag::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 
 #[cfg(feature = "failpoints")]
 use crate::rng::DetRng;
@@ -50,7 +54,9 @@ use crate::rng::DetRng;
 /// What happens when a configured site fires.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum FaultAction {
-    /// Yield the OS scheduler slot (`std::thread::yield_now`).
+    /// Yield via the thread facade (`waitfree_sched::thread::yield_now`):
+    /// a real schedule point inside a scheduled run, an OS-level hint
+    /// outside one.
     Yield,
     /// Busy-spin for this many `spin_loop` hints — models a stalled cache
     /// line or a preempted time slice without giving up determinism.
@@ -111,13 +117,12 @@ impl FailpointConfig {
 /// The panic payload of a [`FaultAction::Crash`]. Harnesses downcast the
 /// `catch_unwind` payload to this type to distinguish an injected
 /// halt-failure from a genuine assertion failure.
-#[derive(Clone, Debug)]
-pub struct CrashSignal {
-    /// The site that crashed the thread.
-    pub site: String,
-    /// The harness thread id, if one was set.
-    pub tid: Option<usize>,
-}
+///
+/// The type itself lives in `waitfree-sched` (the scheduler must
+/// recognise injected crashes without depending on this crate); this
+/// re-export keeps `waitfree_faults::failpoints::CrashSignal` the
+/// canonical path for harness code.
+pub use waitfree_sched::crash::CrashSignal;
 
 thread_local! {
     static CURRENT_TID: std::cell::Cell<Option<usize>> = const { std::cell::Cell::new(None) };
@@ -273,6 +278,9 @@ pub fn fires(site: &str) -> u64 {
 /// Prefer the macro in instrumented code.
 #[cfg(feature = "failpoints")]
 pub fn hit(site: &str) {
+    // ordering: Relaxed — a pure fast-path counter check; a stale zero
+    // only skips a site that was armed concurrently with the hit, which
+    // the registry lock below would serialize anyway.
     if ACTIVE_SITES.load(Ordering::Relaxed) == 0 {
         return;
     }
@@ -312,27 +320,14 @@ pub fn hit(site: &str) {
     perform(site, action);
 }
 
-/// Hook called in place of `std::thread::yield_now` when a
-/// [`FaultAction::Yield`] fires. The deterministic scheduler
-/// (`waitfree-sched`) installs one so an injected yield becomes a real
-/// scheduling point instead of an OS-level hint; set-once, process-wide.
-#[cfg(feature = "failpoints")]
-static YIELD_HOOK: OnceLock<fn()> = OnceLock::new();
-
-/// Install the yield hook (first caller wins). Available in both feature
-/// modes so callers compile unchanged.
-#[cfg(feature = "failpoints")]
-pub fn set_yield_hook(hook: fn()) {
-    let _ = YIELD_HOOK.set(hook);
-}
-
 #[cfg(feature = "failpoints")]
 fn perform(site: &str, action: FaultAction) {
     match action {
-        FaultAction::Yield => match YIELD_HOOK.get() {
-            Some(hook) => hook(),
-            None => std::thread::yield_now(),
-        },
+        // The facade's yield_now is a real schedule point inside a
+        // scheduled run and `std::thread::yield_now` outside one — no
+        // hook indirection needed now that this crate sits above the
+        // scheduler.
+        FaultAction::Yield => waitfree_sched::thread::yield_now(),
         FaultAction::SpinDelay(n) => {
             for _ in 0..n {
                 std::hint::spin_loop();
@@ -341,7 +336,7 @@ fn perform(site: &str, action: FaultAction) {
         FaultAction::Stall => {
             STALLED_NOW.fetch_add(1, Ordering::SeqCst);
             while !STALLS_RELEASED.load(Ordering::SeqCst) {
-                std::thread::park_timeout(std::time::Duration::from_micros(50));
+                waitfree_sched::thread::park_timeout(std::time::Duration::from_micros(50));
             }
             STALLED_NOW.fetch_sub(1, Ordering::SeqCst);
         }
@@ -400,10 +395,6 @@ pub fn hits(_site: &str) -> u64 {
 pub fn fires(_site: &str) -> u64 {
     0
 }
-
-/// No-op without the `failpoints` feature.
-#[cfg(not(feature = "failpoints"))]
-pub fn set_yield_hook(_hook: fn()) {}
 
 #[cfg(all(test, feature = "failpoints"))]
 mod tests {
@@ -500,10 +491,10 @@ mod tests {
         let _guard = exclusive();
         clear();
         configure("t::stall", FailpointConfig::always(FaultAction::Stall));
-        let worker = std::thread::spawn(|| hit("t::stall"));
+        let worker = waitfree_sched::thread::spawn(|| hit("t::stall"));
         let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
         while stalled_count() == 0 && std::time::Instant::now() < deadline {
-            std::thread::yield_now();
+            waitfree_sched::thread::yield_now();
         }
         assert_eq!(stalled_count(), 1, "worker parked at the site");
         release_stalls();

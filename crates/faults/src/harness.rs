@@ -13,10 +13,14 @@
 //! never deadlock on a parked victim).
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, OnceLock};
-use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
+
+// Harness bookkeeping (the finished counter) is instrumentation-plane:
+// `diag` atomics never become schedule points, so polling for a quorum
+// does not perturb a scheduled run.
+use waitfree_sched::atomic::diag::{AtomicUsize, Ordering};
+use waitfree_sched::thread::JoinHandle;
 
 use crate::failpoints::{self, CrashSignal};
 use crate::rng::DetRng;
@@ -94,7 +98,7 @@ where
         .map(|tid| {
             let work = Arc::clone(&work);
             let finished = Arc::clone(&finished);
-            std::thread::spawn(move || {
+            waitfree_sched::thread::spawn(move || {
                 failpoints::set_tid(tid);
                 let result = catch_unwind(AssertUnwindSafe(|| work(tid)));
                 finished.fetch_add(1, Ordering::SeqCst);
@@ -129,7 +133,7 @@ impl<T> StressGroup<T> {
             if Instant::now() >= deadline {
                 return false;
             }
-            std::thread::yield_now();
+            waitfree_sched::thread::yield_now();
         }
         true
     }

@@ -18,7 +18,10 @@
 //!   and plans deterministic adversaries ("crash thread 3 at its 2nd CAS").
 //! * [`rng`] — the workspace's seeded PRNG ([`rng::DetRng`]), also used
 //!   by the explorer's randomized schedules and the property tests (the
-//!   repository builds fully offline, with no external crates).
+//!   repository builds fully offline, with no external crates). The
+//!   implementation lives in `waitfree_sched::rng` — this crate sits
+//!   above the scheduler so injected yields and stalls route through the
+//!   thread facade — and is re-exported here under its original path.
 //!
 //! [`FaultAction`]: failpoints::FaultAction
 

@@ -13,24 +13,57 @@
 //!
 //! The shims are sequentially-consistent at *schedule granularity*: the
 //! scheduler explores interleavings of whole atomic operations, not weak
-//! memory reorderings. The `Ordering` argument is recorded in the run
-//! trace (so tests can assert on the ordering discipline of a code path)
-//! and passed through to the underlying std op unchanged.
+//! memory reorderings. Each operation's `Ordering` (and, for
+//! compare-exchange, the failure ordering and the outcome) is recorded
+//! in the run trace and passed through to the underlying std op
+//! unchanged; the happens-before pass ([`crate::hb`]) replays the trace
+//! and checks that every observed value is justified by those declared
+//! orderings alone.
+//!
+//! [`diag`] is the deliberate escape hatch for instrumentation-plane
+//! atomics (fault registries, harness counters): plain std atomics in
+//! both feature modes, never schedule points — see its docs.
 
 #[cfg(not(feature = "sched"))]
-pub use std::sync::atomic::{AtomicBool, AtomicI64, AtomicPtr, AtomicU64, AtomicUsize, Ordering};
+pub use std::sync::atomic::{
+    fence, AtomicBool, AtomicI64, AtomicPtr, AtomicU64, AtomicUsize, Ordering,
+};
 
 #[cfg(feature = "sched")]
-pub use instrumented::{AtomicBool, AtomicI64, AtomicPtr, AtomicU64, AtomicUsize};
+pub use instrumented::{fence, AtomicBool, AtomicI64, AtomicPtr, AtomicU64, AtomicUsize};
 #[cfg(feature = "sched")]
 pub use std::sync::atomic::Ordering;
+
+/// Instrumentation-plane atomics: always the raw std types, never
+/// schedule points.
+///
+/// The failpoint registry, stress-harness counters and similar
+/// diagnostics must not perturb the schedules being explored — a
+/// registry check that were itself a schedule point would change every
+/// interleaving whenever a test arms a site (the same principle that
+/// keeps the history recorder's lock off the schedule-point graph).
+/// Algorithm state never belongs here: the lint in `waitfree-analyze`
+/// treats `diag` as part of the facade, so imports of it are allowed
+/// workspace-wide, but anything whose interleavings should be *explored*
+/// must use the instrumented types above.
+pub mod diag {
+    pub use std::sync::atomic::{AtomicBool, AtomicI64, AtomicPtr, AtomicU64, AtomicUsize, Ordering};
+}
 
 #[cfg(feature = "sched")]
 mod instrumented {
     use std::fmt;
     use std::sync::atomic::Ordering;
 
-    use crate::runtime::{trace_point, AtomicOp};
+    use crate::runtime::{cas_outcome, fence_point, trace_point, AtomicOp};
+
+    /// An atomic fence; a schedule point inside a scheduled run (traced
+    /// as [`crate::runtime::TraceEvent::Fence`]), the std fence either
+    /// way.
+    pub fn fence(order: Ordering) {
+        fence_point(order);
+        std::sync::atomic::fence(order);
+    }
 
     macro_rules! int_atomic {
         ($(#[$meta:meta])* $name:ident, $std:ty, $prim:ty, $tag:literal) => {
@@ -46,26 +79,31 @@ mod instrumented {
                 Self { inner: <$std>::new(v) }
             }
 
+            fn addr(&self) -> usize {
+                self as *const Self as usize
+            }
+
             /// Atomic load; a schedule point inside a scheduled run.
             pub fn load(&self, order: Ordering) -> $prim {
-                trace_point($tag, AtomicOp::Load, order);
+                trace_point($tag, AtomicOp::Load, order, None, self.addr());
                 self.inner.load(order)
             }
 
             /// Atomic store; a schedule point inside a scheduled run.
             pub fn store(&self, val: $prim, order: Ordering) {
-                trace_point($tag, AtomicOp::Store, order);
+                trace_point($tag, AtomicOp::Store, order, None, self.addr());
                 self.inner.store(val, order);
             }
 
             /// Atomic swap; a schedule point inside a scheduled run.
             pub fn swap(&self, val: $prim, order: Ordering) -> $prim {
-                trace_point($tag, AtomicOp::Swap, order);
+                trace_point($tag, AtomicOp::Swap, order, None, self.addr());
                 self.inner.swap(val, order)
             }
 
             /// Atomic compare-exchange; a schedule point inside a
-            /// scheduled run.
+            /// scheduled run (the trace records both orderings and the
+            /// outcome).
             pub fn compare_exchange(
                 &self,
                 current: $prim,
@@ -73,28 +111,30 @@ mod instrumented {
                 success: Ordering,
                 failure: Ordering,
             ) -> Result<$prim, $prim> {
-                trace_point($tag, AtomicOp::CompareExchange, success);
-                self.inner.compare_exchange(current, new, success, failure)
+                trace_point($tag, AtomicOp::CompareExchange, success, Some(failure), self.addr());
+                let r = self.inner.compare_exchange(current, new, success, failure);
+                cas_outcome(r.is_ok());
+                r
             }
 
             /// Atomic fetch-and-add; a schedule point inside a scheduled
             /// run.
             pub fn fetch_add(&self, val: $prim, order: Ordering) -> $prim {
-                trace_point($tag, AtomicOp::FetchAdd, order);
+                trace_point($tag, AtomicOp::FetchAdd, order, None, self.addr());
                 self.inner.fetch_add(val, order)
             }
 
             /// Atomic fetch-and-sub; a schedule point inside a scheduled
             /// run.
             pub fn fetch_sub(&self, val: $prim, order: Ordering) -> $prim {
-                trace_point($tag, AtomicOp::FetchSub, order);
+                trace_point($tag, AtomicOp::FetchSub, order, None, self.addr());
                 self.inner.fetch_sub(val, order)
             }
 
             /// Atomic fetch-and-max; a schedule point inside a scheduled
             /// run.
             pub fn fetch_max(&self, val: $prim, order: Ordering) -> $prim {
-                trace_point($tag, AtomicOp::FetchMax, order);
+                trace_point($tag, AtomicOp::FetchMax, order, None, self.addr());
                 self.inner.fetch_max(val, order)
             }
 
@@ -160,26 +200,30 @@ mod instrumented {
             Self { inner: std::sync::atomic::AtomicBool::new(v) }
         }
 
+        fn addr(&self) -> usize {
+            self as *const Self as usize
+        }
+
         /// Atomic load; a schedule point inside a scheduled run.
         pub fn load(&self, order: Ordering) -> bool {
-            trace_point("AtomicBool", AtomicOp::Load, order);
+            trace_point("AtomicBool", AtomicOp::Load, order, None, self.addr());
             self.inner.load(order)
         }
 
         /// Atomic store; a schedule point inside a scheduled run.
         pub fn store(&self, val: bool, order: Ordering) {
-            trace_point("AtomicBool", AtomicOp::Store, order);
+            trace_point("AtomicBool", AtomicOp::Store, order, None, self.addr());
             self.inner.store(val, order);
         }
 
         /// Atomic swap; a schedule point inside a scheduled run.
         pub fn swap(&self, val: bool, order: Ordering) -> bool {
-            trace_point("AtomicBool", AtomicOp::Swap, order);
+            trace_point("AtomicBool", AtomicOp::Swap, order, None, self.addr());
             self.inner.swap(val, order)
         }
 
         /// Atomic compare-exchange; a schedule point inside a scheduled
-        /// run.
+        /// run (the trace records both orderings and the outcome).
         pub fn compare_exchange(
             &self,
             current: bool,
@@ -187,8 +231,10 @@ mod instrumented {
             success: Ordering,
             failure: Ordering,
         ) -> Result<bool, bool> {
-            trace_point("AtomicBool", AtomicOp::CompareExchange, success);
-            self.inner.compare_exchange(current, new, success, failure)
+            trace_point("AtomicBool", AtomicOp::CompareExchange, success, Some(failure), self.addr());
+            let r = self.inner.compare_exchange(current, new, success, failure);
+            cas_outcome(r.is_ok());
+            r
         }
 
         /// Mutable access; no schedule point.
@@ -219,26 +265,30 @@ mod instrumented {
             Self { inner: std::sync::atomic::AtomicPtr::new(p) }
         }
 
+        fn addr(&self) -> usize {
+            self as *const Self as usize
+        }
+
         /// Atomic load; a schedule point inside a scheduled run.
         pub fn load(&self, order: Ordering) -> *mut T {
-            trace_point("AtomicPtr", AtomicOp::Load, order);
+            trace_point("AtomicPtr", AtomicOp::Load, order, None, self.addr());
             self.inner.load(order)
         }
 
         /// Atomic store; a schedule point inside a scheduled run.
         pub fn store(&self, ptr: *mut T, order: Ordering) {
-            trace_point("AtomicPtr", AtomicOp::Store, order);
+            trace_point("AtomicPtr", AtomicOp::Store, order, None, self.addr());
             self.inner.store(ptr, order);
         }
 
         /// Atomic swap; a schedule point inside a scheduled run.
         pub fn swap(&self, ptr: *mut T, order: Ordering) -> *mut T {
-            trace_point("AtomicPtr", AtomicOp::Swap, order);
+            trace_point("AtomicPtr", AtomicOp::Swap, order, None, self.addr());
             self.inner.swap(ptr, order)
         }
 
         /// Atomic compare-exchange; a schedule point inside a scheduled
-        /// run.
+        /// run (the trace records both orderings and the outcome).
         pub fn compare_exchange(
             &self,
             current: *mut T,
@@ -246,8 +296,10 @@ mod instrumented {
             success: Ordering,
             failure: Ordering,
         ) -> Result<*mut T, *mut T> {
-            trace_point("AtomicPtr", AtomicOp::CompareExchange, success);
-            self.inner.compare_exchange(current, new, success, failure)
+            trace_point("AtomicPtr", AtomicOp::CompareExchange, success, Some(failure), self.addr());
+            let r = self.inner.compare_exchange(current, new, success, failure);
+            cas_outcome(r.is_ok());
+            r
         }
 
         /// Mutable access; no schedule point.

@@ -1,0 +1,22 @@
+//! The injected-crash panic payload, shared by the fault layer and the
+//! scheduler.
+//!
+//! `waitfree-faults` unwinds a thread with a [`CrashSignal`] when a
+//! `FaultAction::Crash` fires; the deterministic scheduler downcasts the
+//! panic payload to this type to tell an injected halt-failure apart
+//! from a genuine assertion failure. The type lives here (the bottom of
+//! the instrumentation stack) so `waitfree-faults` can depend on the
+//! atomics/thread facade without a crate cycle; `waitfree_faults::
+//! failpoints::CrashSignal` re-exports it, so existing callers compile
+//! unchanged.
+
+/// The panic payload of a `FaultAction::Crash`. Harnesses downcast the
+/// `catch_unwind` payload to this type to distinguish an injected
+/// halt-failure from a genuine test failure.
+#[derive(Clone, Debug)]
+pub struct CrashSignal {
+    /// The site that crashed the thread.
+    pub site: String,
+    /// The harness thread id, if one was set.
+    pub tid: Option<usize>,
+}

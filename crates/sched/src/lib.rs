@@ -44,24 +44,34 @@
 //!
 //! `waitfree-faults` failpoints compose with deterministic schedules:
 //! an injected `Crash` unwinds the virtual thread (the run continues and
-//! the crashed op is checked as pending), and an injected `Yield`
-//! becomes a real schedule point via the yield hook. `Stall` parks the
-//! backing OS thread outside the scheduler's knowledge and would
-//! deadlock a one-runnable-at-a-time run — use `Crash`/`Yield`/
-//! `SpinDelay` in scheduled scenarios.
+//! the crashed op is checked as pending), and an injected `Yield` calls
+//! the facade's `yield_now`, which is a real schedule point inside a
+//! run. `Stall` parks the backing OS thread outside the scheduler's
+//! knowledge and would deadlock a one-runnable-at-a-time run — use
+//! `Crash`/`Yield`/`SpinDelay` in scheduled scenarios. ([`crash`] and
+//! [`rng`] live here, below the faults crate, so the faults machinery
+//! can itself be built on the facade without a crate cycle.)
 //!
 //! ## Scope
 //!
-//! Interleavings of whole atomic operations under sequential
-//! consistency. Weak-memory reorderings are not modeled (that is loom's
-//! territory); the `Ordering` of every operation is recorded in the run
-//! trace so tests can still assert on a path's ordering discipline.
+//! The scheduler *executes* interleavings of whole atomic operations
+//! under sequential consistency — it does not generate weak-memory
+//! reorderings (that is loom's territory). The gap is checked rather
+//! than ignored: every operation's `Ordering` (and CAS failure
+//! ordering/outcome) lands in the run trace in execution order, and the
+//! happens-before pass in [`hb`] replays that trace to verify each
+//! observed value is justified by the declared orderings alone, flagging
+//! reads that only the SC serialization made safe.
 
 #![warn(missing_docs)]
 
 pub mod atomic;
+pub mod crash;
+pub mod rng;
 pub mod thread;
 
+#[cfg(feature = "sched")]
+pub mod hb;
 #[cfg(feature = "sched")]
 pub mod lincheck;
 #[cfg(feature = "sched")]
@@ -72,11 +82,13 @@ pub mod runtime;
 pub mod strategy;
 
 #[cfg(feature = "sched")]
+pub use hb::{check as hb_check, HbReport, Violation};
+#[cfg(feature = "sched")]
 pub use lincheck::{campaign, replay, run_and_check, CampaignReport, CheckedRun, Explore, FailingSchedule};
 #[cfg(feature = "sched")]
 pub use recorder::HistoryRecorder;
 #[cfg(feature = "sched")]
-pub use runtime::{run, AtomicOp, OpEvent, RunError, RunOptions, RunResult};
+pub use runtime::{run, AtomicOp, OpEvent, RunError, RunOptions, RunResult, TraceEvent};
 #[cfg(feature = "sched")]
 pub use strategy::{Choice, Dfs, DfsStrategy, OpRandom, Pct, PointKind, RandomWalk, Script, Strategy};
 
@@ -220,7 +232,7 @@ mod tests {
 
     #[test]
     fn injected_crash_is_contained_and_reported() {
-        use waitfree_faults::failpoints::CrashSignal;
+        use crate::crash::CrashSignal;
         let result = run(RandomWalk::new(3), RunOptions::default(), || {
             let j = thread::spawn(|| {
                 std::panic::panic_any(CrashSignal { site: "test::crash".into(), tid: Some(1) });

@@ -6,12 +6,19 @@
 //! [`campaign`] sweeps a seed range with a [`RandomWalk`] or [`Pct`]
 //! strategy, printing every failing schedule (seed + decision trace) so
 //! a violation can be replayed bit-for-bit with [`replay`].
+//!
+//! Every checked run also gets a happens-before verdict ([`crate::hb`])
+//! over its trace: a run whose history linearizes but whose orderings
+//! are too weak to justify an observed value is still a failure —
+//! linearizability under the SC scheduler does not transfer to
+//! weakly-ordered hardware unless the declared edges carry the proof.
 
 use std::fmt;
 use std::ops::Range;
 
 use waitfree_model::{linearize, History, LinearizeReport, ObjectSpec, PendingPolicy};
 
+use crate::hb::{self, HbReport};
 use crate::recorder::HistoryRecorder;
 use crate::runtime::{run, RunOptions, RunResult};
 use crate::strategy::{Pct, RandomWalk, Strategy};
@@ -25,12 +32,15 @@ pub struct CheckedRun<S: ObjectSpec> {
     pub history: History<S::Op, S::Resp>,
     /// The checker's verdict on that history.
     pub report: LinearizeReport,
+    /// The happens-before pass's verdict on the run's trace.
+    pub hb: HbReport,
 }
 
 impl<S: ObjectSpec> CheckedRun<S> {
-    /// Whether the run completed cleanly and its history linearized.
+    /// Whether the run completed cleanly, its history linearized, and
+    /// every observed value was justified by declared ordering edges.
     pub fn is_ok(&self) -> bool {
-        self.run.error.is_none() && self.report.outcome.is_ok()
+        self.run.error.is_none() && self.report.outcome.is_ok() && self.hb.is_clean()
     }
 }
 
@@ -50,7 +60,8 @@ where
     let run = run(strategy, opts, move || body(handed_out));
     let history = recorder.snapshot();
     let report = linearize(&history, initial, PendingPolicy::MayTakeEffect);
-    CheckedRun { run, history, report }
+    let hb = hb::check(&run.trace);
+    CheckedRun { run, history, report, hb }
 }
 
 /// Which strategy family a [`campaign`] sweeps.
@@ -106,13 +117,15 @@ impl fmt::Display for FailingSchedule {
 pub struct CampaignReport {
     /// Number of runs performed.
     pub runs: usize,
-    /// Every run whose history failed to linearize (or whose scheduler
-    /// aborted), with its replayable schedule.
+    /// Every run whose history failed to linearize, whose scheduler
+    /// aborted, or whose trace failed the happens-before pass, with its
+    /// replayable schedule.
     pub failures: Vec<FailingSchedule>,
 }
 
 impl CampaignReport {
-    /// Whether every run yielded a `Linearizable` verdict.
+    /// Whether every run yielded a `Linearizable` verdict and a clean
+    /// happens-before report.
     pub fn all_linearizable(&self) -> bool {
         self.failures.is_empty()
     }
@@ -144,6 +157,13 @@ where
             Some(format!("scheduler aborted: {e}"))
         } else if !checked.report.outcome.is_ok() {
             Some(format!("history not linearizable: {:?}", checked.history))
+        } else if !checked.hb.is_clean() {
+            Some(format!(
+                "declared orderings too weak ({} of {} reads unjustified): {}",
+                checked.hb.violations.len(),
+                checked.hb.reads_checked,
+                checked.hb.violations[0]
+            ))
         } else {
             None
         };

@@ -12,20 +12,29 @@
 //! interleaving.
 //!
 //! Granularity: interleavings of whole atomic operations under
-//! sequential consistency. Weak-memory reorderings are out of scope (the
-//! `Ordering` of each op is still recorded in the trace so tests can
-//! assert on the discipline).
+//! sequential consistency. Weak-memory reorderings are out of scope, but
+//! the trace records enough of each operation — location, kind,
+//! `Ordering`, compare-exchange outcome, thread lifecycle edges — for
+//! the happens-before pass in [`crate::hb`] to decide whether every
+//! observed value is justified by a *declared* edge rather than by the
+//! scheduler's accidental serialization.
+//!
+//! Trace order is **execution order**: an operation's event is appended
+//! when the thread is about to perform the hardware op (baton in hand),
+//! not when it announced the schedule point. The two differ whenever the
+//! strategy parks the announcing thread and runs others first.
 //!
 //! Panics in scheduled code are sorted into three bins:
-//! * [`waitfree_faults::failpoints::CrashSignal`] — an injected crash;
-//!   the virtual thread is marked crashed, the run continues (this is
-//!   how fault injection composes with deterministic schedules),
+//! * [`crate::crash::CrashSignal`] — an injected crash; the virtual
+//!   thread is marked crashed, the run continues (this is how fault
+//!   injection composes with deterministic schedules),
 //! * the internal abort signal — the scheduler tearing down parked
 //!   threads after a deadlock/step-bound/panic abort,
 //! * anything else — a genuine bug (e.g. a failed assertion); the run is
 //!   aborted and the payload is re-thrown from [`run`].
 
 use std::cell::RefCell;
+use std::collections::HashMap;
 use std::fmt;
 use std::mem;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
@@ -33,8 +42,7 @@ use std::sync::atomic::Ordering;
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::thread;
 
-use waitfree_faults::failpoints::CrashSignal;
-
+use crate::crash::CrashSignal;
 use crate::strategy::{Choice, PointKind, Strategy};
 use crate::thread::JoinHandle;
 
@@ -50,6 +58,18 @@ pub struct OpEvent {
     /// The memory ordering the caller requested (success ordering for
     /// compare-exchange).
     pub ordering: Ordering,
+    /// Dense id of the atomic variable the op touched, assigned in order
+    /// of first appearance in the trace — so two runs of the same
+    /// schedule get identical ids even though heap addresses differ.
+    /// (Caveat: an id is keyed on the variable's address, so an atomic
+    /// dropped mid-run and another allocated at the same address would
+    /// alias; the workloads under test keep their atomics alive for the
+    /// whole run.)
+    pub loc: usize,
+    /// Failure ordering (compare-exchange only).
+    pub failure_ordering: Option<Ordering>,
+    /// Whether a compare-exchange succeeded (`None` for other ops).
+    pub cas_success: Option<bool>,
 }
 
 /// Kinds of traced atomic operations.
@@ -69,6 +89,57 @@ pub enum AtomicOp {
     FetchSub,
     /// `fetch_max`
     FetchMax,
+}
+
+/// One entry of a scheduled run's event log, in execution order.
+///
+/// Atomic operations are the schedule points; spawn/exit/join entries
+/// record the thread-lifecycle happens-before edges the [`crate::hb`]
+/// checker needs (a child starts after its spawn; a joiner resumes after
+/// the target's exit).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// An atomic operation.
+    Op(OpEvent),
+    /// An atomic fence (facade [`crate::atomic::fence`]).
+    Fence {
+        /// Thread that issued the fence.
+        vtid: usize,
+        /// The fence's ordering.
+        ordering: Ordering,
+    },
+    /// `parent` registered virtual thread `child` (the child executes
+    /// nothing before this point).
+    Spawn {
+        /// The spawning thread.
+        parent: usize,
+        /// The new thread.
+        child: usize,
+    },
+    /// `vtid` finished (completed, crashed, or unwound); it takes no
+    /// further steps.
+    Exit {
+        /// The exiting thread.
+        vtid: usize,
+    },
+    /// `joiner` observed `target`'s termination via `join`.
+    Join {
+        /// The joining thread.
+        joiner: usize,
+        /// The joined (terminated) thread.
+        target: usize,
+    },
+}
+
+impl TraceEvent {
+    /// The contained atomic op, if this entry is one.
+    #[must_use]
+    pub fn as_op(&self) -> Option<&OpEvent> {
+        match self {
+            TraceEvent::Op(e) => Some(e),
+            _ => None,
+        }
+    }
 }
 
 /// Why a scheduled run was aborted.
@@ -128,13 +199,21 @@ pub struct RunResult {
     pub decisions: Vec<usize>,
     /// Number of schedule points taken.
     pub steps: usize,
-    /// Every atomic op performed, in execution order.
-    pub trace: Vec<OpEvent>,
+    /// The event log — every atomic op plus thread-lifecycle edges, in
+    /// execution order (see the module docs).
+    pub trace: Vec<TraceEvent>,
     /// Virtual threads that unwound with an injected
     /// [`CrashSignal`] (in vtid order).
     pub crashed: Vec<usize>,
     /// `Some` if the scheduler aborted the run.
     pub error: Option<RunError>,
+}
+
+impl RunResult {
+    /// The atomic operations of the trace, in execution order.
+    pub fn ops(&self) -> impl Iterator<Item = &OpEvent> {
+        self.trace.iter().filter_map(TraceEvent::as_op)
+    }
 }
 
 /// Internal panic payload used to unwind parked virtual threads when the
@@ -163,7 +242,9 @@ struct RtState {
     current: usize,
     strategy: Box<dyn Strategy>,
     decisions: Vec<usize>,
-    trace: Vec<OpEvent>,
+    trace: Vec<TraceEvent>,
+    /// Atomic-variable address → dense trace id (see [`OpEvent::loc`]).
+    locs: HashMap<usize, usize>,
     steps: usize,
     max_steps: usize,
     error: Option<RunError>,
@@ -221,33 +302,45 @@ fn choose(st: &mut RtState, from: usize, kind: PointKind, runnable: &[usize]) ->
 }
 
 /// Parks the calling virtual thread until it holds the baton again (or
-/// the run aborts, in which case it unwinds).
-fn wait_for_baton(rt: &RtInner, mut st: MutexGuard<'_, RtState>, vtid: usize) {
+/// the run aborts, in which case it unwinds). Returns the state guard so
+/// the caller can finish its bookkeeping while still serialized.
+fn wait_for_baton<'rt>(
+    rt: &'rt RtInner,
+    mut st: MutexGuard<'rt, RtState>,
+    vtid: usize,
+) -> MutexGuard<'rt, RtState> {
     loop {
         if st.aborted {
             drop(st);
             std::panic::panic_any(SchedAbort);
         }
         if st.current == vtid {
-            return;
+            return st;
         }
         st = rt.cv.wait(st).unwrap_or_else(PoisonError::into_inner);
     }
 }
 
-/// The schedule point: trace, pick the next thread, hand over the baton
-/// if it is someone else. Called with the baton held (i.e. from the
-/// currently-running virtual thread).
-fn schedule(rt: &RtInner, vtid: usize, kind: PointKind, ev: Option<OpEvent>) {
+/// Dense id for the atomic variable at `addr` (see [`OpEvent::loc`]).
+fn intern_loc(st: &mut RtState, addr: usize) -> usize {
+    let next = st.locs.len();
+    *st.locs.entry(addr).or_insert(next)
+}
+
+/// The schedule point: pick the next thread, hand over the baton if it
+/// is someone else, and — once the baton is back — append the event.
+/// Appending *after* the handoff is what makes the trace execution
+/// order: the caller performs its hardware operation immediately after
+/// this returns, with no intervening schedule point, while threads that
+/// ran in between already appended theirs. Called with the baton held
+/// (i.e. from the currently-running virtual thread).
+fn schedule(rt: &RtInner, vtid: usize, kind: PointKind, ev: Option<TraceEvent>) {
     let mut st = lock(rt);
     if st.aborted {
         drop(st);
         std::panic::panic_any(SchedAbort);
     }
     debug_assert_eq!(st.current, vtid, "schedule point from a thread without the baton");
-    if let Some(e) = ev {
-        st.trace.push(e);
-    }
     st.steps += 1;
     if st.steps > st.max_steps {
         let max_steps = st.max_steps;
@@ -260,34 +353,71 @@ fn schedule(rt: &RtInner, vtid: usize, kind: PointKind, ev: Option<OpEvent>) {
     if next != vtid {
         st.current = next;
         rt.cv.notify_all();
-        wait_for_baton(rt, st, vtid);
+        st = wait_for_baton(rt, st, vtid);
+    }
+    if let Some(mut e) = ev {
+        if let TraceEvent::Op(op) = &mut e {
+            // `loc` arrives as the raw address; intern it at append time
+            // so ids follow first appearance in the (execution-order)
+            // trace.
+            op.loc = intern_loc(&mut st, op.loc);
+        }
+        st.trace.push(e);
     }
 }
 
 /// Schedule point for a facade atomic op (called by `crate::atomic`
-/// shims). A no-op outside a scheduled run.
-pub(crate) fn trace_point(atomic: &'static str, op: AtomicOp, ordering: Ordering) {
+/// shims). `addr` is the address of the atomic variable (interned to a
+/// dense id), `failure` the failure ordering of a compare-exchange. A
+/// no-op outside a scheduled run.
+pub(crate) fn trace_point(
+    atomic: &'static str,
+    op: AtomicOp,
+    ordering: Ordering,
+    failure: Option<Ordering>,
+    addr: usize,
+) {
     if let Some((rt, vtid)) = current() {
-        schedule(&rt, vtid, PointKind::Atomic, Some(OpEvent { vtid, atomic, op, ordering }));
+        let ev = OpEvent {
+            vtid,
+            atomic,
+            op,
+            ordering,
+            loc: addr,
+            failure_ordering: failure,
+            cas_success: None,
+        };
+        schedule(&rt, vtid, PointKind::Atomic, Some(TraceEvent::Op(ev)));
     }
 }
 
-/// Voluntary yield point (facade `yield_now`, and the failpoint
-/// `Yield` action via the hook installed in [`run`]).
+/// Records the outcome of the compare-exchange the calling thread just
+/// performed. The caller still holds the baton (no schedule point has
+/// intervened since its `trace_point`), so the last trace entry is its
+/// own CAS event.
+pub(crate) fn cas_outcome(success: bool) {
+    if let Some((rt, vtid)) = current() {
+        let mut st = lock(&rt);
+        if let Some(TraceEvent::Op(e)) = st.trace.last_mut() {
+            debug_assert_eq!(e.vtid, vtid, "CAS outcome for another thread's event");
+            debug_assert_eq!(e.op, AtomicOp::CompareExchange);
+            e.cas_success = Some(success);
+        }
+    }
+}
+
+/// Schedule point for a facade fence. A no-op outside a scheduled run.
+pub(crate) fn fence_point(ordering: Ordering) {
+    if let Some((rt, vtid)) = current() {
+        schedule(&rt, vtid, PointKind::Atomic, Some(TraceEvent::Fence { vtid, ordering }));
+    }
+}
+
+/// Voluntary yield point (facade `yield_now`, and the failpoint `Yield`
+/// action, whose `waitfree-faults` implementation calls the facade).
 pub(crate) fn yield_point() {
     if let Some((rt, vtid)) = current() {
         schedule(&rt, vtid, PointKind::Yield, None);
-    }
-}
-
-/// Yield hook handed to `waitfree_faults`: makes an injected
-/// `FaultAction::Yield` a real schedule point under the scheduler and a
-/// plain OS yield outside one.
-fn fault_yield_hook() {
-    if current().is_some() {
-        yield_point();
-    } else {
-        thread::yield_now();
     }
 }
 
@@ -309,7 +439,13 @@ where
             std::panic::panic_any(SchedAbort);
         }
         st.threads.push(VThread { status: Status::Runnable, crashed: false, panicked: false });
-        st.threads.len() - 1
+        let vtid = st.threads.len() - 1;
+        // Registration is when the spawn edge exists (the child cannot
+        // have executed anything yet), so the event goes in here, not at
+        // the schedule point below — the strategy may run the child
+        // first.
+        st.trace.push(TraceEvent::Spawn { parent, child: vtid });
+        vtid
     };
     let os = {
         let rt = Arc::clone(rt);
@@ -317,7 +453,7 @@ where
         thread::spawn(move || {
             let outcome = catch_unwind(AssertUnwindSafe(|| {
                 // Wait for our first baton before touching `f`.
-                wait_for_baton(&rt, lock(&rt), vtid);
+                drop(wait_for_baton(&rt, lock(&rt), vtid));
                 CURRENT.with(|c| *c.borrow_mut() = Some((Arc::clone(&rt), vtid)));
                 f()
             }));
@@ -338,6 +474,7 @@ where
 /// the baton onward (or finish/deadlock the run).
 fn vthread_exit(rt: &RtInner, vtid: usize, crashed: bool, panicked: bool) {
     let mut st = lock(rt);
+    st.trace.push(TraceEvent::Exit { vtid });
     st.threads[vtid].status = Status::Done;
     st.threads[vtid].crashed = crashed;
     st.threads[vtid].panicked = panicked;
@@ -416,8 +553,9 @@ pub(crate) fn join_virtual<T>(
                 let next = choose(&mut st, me, PointKind::Block, &runnable);
                 st.current = next;
                 rt.cv.notify_all();
-                wait_for_baton(rt, st, me);
+                st = wait_for_baton(rt, st, me);
             }
+            st.trace.push(TraceEvent::Join { joiner: me, target });
         }
         None => {
             let mut st = lock(rt);
@@ -446,7 +584,6 @@ where
     F: FnOnce(),
 {
     assert!(current().is_none(), "nested scheduled runs are not supported");
-    waitfree_faults::failpoints::set_yield_hook(fault_yield_hook);
     let rt = Arc::new(RtInner {
         state: Mutex::new(RtState {
             threads: vec![VThread { status: Status::Runnable, crashed: false, panicked: false }],
@@ -454,6 +591,7 @@ where
             strategy: Box::new(strategy),
             decisions: Vec::new(),
             trace: Vec::new(),
+            locs: HashMap::new(),
             steps: 0,
             max_steps: opts.max_steps,
             error: None,

@@ -21,7 +21,7 @@
 
 use std::sync::{Arc, Mutex, PoisonError};
 
-use waitfree_faults::rng::DetRng;
+use crate::rng::DetRng;
 
 /// Why the scheduler is asking for a decision.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]

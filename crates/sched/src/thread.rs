@@ -9,10 +9,10 @@
 //! so ordinary tests keep working with the feature enabled.
 
 #[cfg(not(feature = "sched"))]
-pub use std::thread::{spawn, yield_now, JoinHandle};
+pub use std::thread::{park_timeout, sleep, spawn, yield_now, JoinHandle};
 
 #[cfg(feature = "sched")]
-pub use virt::{spawn, yield_now, JoinHandle};
+pub use virt::{park_timeout, sleep, spawn, yield_now, JoinHandle};
 
 #[cfg(feature = "sched")]
 mod virt {
@@ -36,6 +36,17 @@ mod virt {
         },
     }
 
+    impl<T> std::fmt::Debug for JoinHandle<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            match &self.imp {
+                Imp::Os(h) => f.debug_tuple("JoinHandle").field(h).finish(),
+                Imp::Virtual { vtid, .. } => {
+                    f.debug_struct("JoinHandle").field("vtid", vtid).finish_non_exhaustive()
+                }
+            }
+        }
+    }
+
     impl<T> JoinHandle<T> {
         pub(crate) fn virtual_handle(
             rt: Arc<RtInner>,
@@ -47,7 +58,7 @@ mod virt {
 
         /// Waits for the thread to finish, returning `Err` with the
         /// panic payload if it panicked (including injected
-        /// [`waitfree_faults::failpoints::CrashSignal`] crashes).
+        /// [`crate::crash::CrashSignal`] crashes).
         ///
         /// Joining a virtual thread from inside its run is a scheduling
         /// point: the joiner blocks until the target exits and the
@@ -83,5 +94,20 @@ mod virt {
         } else {
             thread::yield_now();
         }
+    }
+
+    /// Real-time sleep, in both modes. Never a schedule point: wall-time
+    /// waits have no place inside a deterministic run (a scheduled
+    /// virtual thread that sleeps holds the baton for the duration —
+    /// like `FaultAction::Stall`, keep timed waits out of scheduled
+    /// scenarios).
+    pub fn sleep(dur: std::time::Duration) {
+        thread::sleep(dur);
+    }
+
+    /// Real-time `park_timeout`, in both modes. Never a schedule point
+    /// (see [`sleep`]).
+    pub fn park_timeout(dur: std::time::Duration) {
+        thread::park_timeout(dur);
     }
 }

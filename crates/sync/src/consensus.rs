@@ -215,7 +215,7 @@ impl TasConsensus2 {
 mod tests {
     use super::*;
     use std::sync::Arc;
-    use std::thread;
+    use waitfree_sched::thread;
 
     #[test]
     fn usize_consensus_agreement_under_threads() {

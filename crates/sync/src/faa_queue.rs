@@ -99,7 +99,7 @@ impl FaaQueue {
 mod tests {
     use super::*;
     use std::sync::Arc;
-    use std::thread;
+    use waitfree_sched::thread;
 
     #[test]
     fn fifo_single_thread() {

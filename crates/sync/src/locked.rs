@@ -111,7 +111,7 @@ impl LockedCounter {
 mod tests {
     use super::*;
     use std::sync::Arc;
-    use std::thread;
+    use waitfree_sched::thread;
 
     #[test]
     fn queue_fifo() {

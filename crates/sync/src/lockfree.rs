@@ -52,10 +52,18 @@ impl<T> Node<T> {
 /// Push `node` onto the free-list rooted at `retired`, via `free_next`.
 fn retire<T>(retired: &AtomicPtr<Node<T>>, node: *mut Node<T>) {
     loop {
+        // ordering: Acquire — pairs with the Release CAS below, so the
+        // free-list nodes behind `old` are fully linked before we chain
+        // onto them.
         let old = retired.load(Ordering::Acquire);
         // Safety: `node` was just removed by this thread (the unique CAS
         // winner) and is not yet on the free-list, so `free_next` is ours.
+        // ordering: Relaxed — `free_next` is unpublished until the
+        // Release CAS below, which carries the edge.
         unsafe { (*node).free_next.store(old, Ordering::Relaxed) };
+        // ordering: Release on success — publishes the node's
+        // `free_next` link with the list head; Relaxed on failure — the
+        // observed value is discarded, the retry re-loads with Acquire.
         if retired
             .compare_exchange(old, node, Ordering::Release, Ordering::Relaxed)
             .is_ok()
@@ -67,22 +75,32 @@ fn retire<T>(retired: &AtomicPtr<Node<T>>, node: *mut Node<T>) {
 
 /// Free every node on the `free_next`-linked list rooted at `head`.
 fn drain_free_list<T>(head: &AtomicPtr<Node<T>>) {
+    // ordering: Acquire — pairs with the Release retire CAS; by drop
+    // time the caller's `&mut` access already orders all retirers
+    // before us, the acquire just keeps the pairing uniform.
     let mut cur = head.swap(ptr::null_mut(), Ordering::Acquire);
     while !cur.is_null() {
         // Safety: drop has exclusive access; each retired node is on the
         // free-list exactly once.
         let node = unsafe { Box::from_raw(cur) };
+        // ordering: Relaxed — exclusive access at drop; every link was
+        // published by a Release CAS that happens-before the caller's
+        // `&mut`.
         cur = node.free_next.load(Ordering::Relaxed);
     }
 }
 
 /// Free every node on the `next`-linked live chain rooted at `head`.
 fn drain_live_chain<T>(head: &AtomicPtr<Node<T>>) {
+    // ordering: Acquire — as in `drain_free_list`: uniform pairing with
+    // the Release publishes, though drop's `&mut` already orders them.
     let mut cur = head.swap(ptr::null_mut(), Ordering::Acquire);
     while !cur.is_null() {
         // Safety: drop has exclusive access; live nodes are reachable
         // only through the chain.
         let node = unsafe { Box::from_raw(cur) };
+        // ordering: Relaxed — exclusive access at drop (see
+        // `drain_free_list`).
         cur = node.next.load(Ordering::Relaxed);
     }
 }
@@ -136,10 +154,18 @@ impl<T> TreiberStack<T> {
     pub fn push(&self, value: T) {
         let node = Node::alloc(value);
         loop {
+            // ordering: Acquire — pairs with the Release publish CAS, so
+            // the node behind `head` (and everything below it) is fully
+            // linked before we point at it.
             let head = self.head.load(Ordering::Acquire);
             // Safety: `node` is ours until the CAS below publishes it.
+            // ordering: Relaxed — `next` is unpublished until the
+            // Release CAS below, which carries the edge.
             unsafe { (*node).next.store(head, Ordering::Relaxed) };
             failpoint!("lockfree::stack::push_cas");
+            // ordering: Release on success — publishes the new node's
+            // value and `next` link; Relaxed on failure — the observed
+            // value is discarded, the retry re-loads with Acquire.
             if self
                 .head
                 .compare_exchange(head, node, Ordering::Release, Ordering::Relaxed)
@@ -156,6 +182,9 @@ impl<T> TreiberStack<T> {
         T: Clone,
     {
         loop {
+            // ordering: Acquire — pairs with the pusher's Release CAS,
+            // so the node's value and `next` are visible before we read
+            // them below.
             let head = self.head.load(Ordering::Acquire);
             if head.is_null() {
                 return None;
@@ -163,8 +192,14 @@ impl<T> TreiberStack<T> {
             // Safety: nodes are never freed while the stack is alive, so
             // a loaded head pointer always dereferences to a live node
             // (possibly already removed — then the CAS below fails).
+            // ordering: Acquire — the successor was Release-published by
+            // its own pusher; acquiring here keeps its contents visible
+            // if the CAS succeeds and `next` becomes the head.
             let next = unsafe { (*head).next.load(Ordering::Acquire) };
             failpoint!("lockfree::stack::pop_cas");
+            // ordering: Release on success — hands later poppers the
+            // edge to everything this thread saw; Relaxed on failure —
+            // the observed value is discarded, the retry re-loads.
             if self
                 .head
                 .compare_exchange(head, next, Ordering::Release, Ordering::Relaxed)
@@ -181,6 +216,8 @@ impl<T> TreiberStack<T> {
     /// Whether the stack is currently empty (a racy snapshot).
     #[must_use]
     pub fn is_empty(&self) -> bool {
+        // ordering: Acquire — a racy snapshot; acquire keeps a non-null
+        // answer consistent with the node it implies exists.
         self.head.load(Ordering::Acquire).is_null()
     }
 }
@@ -243,14 +280,22 @@ impl<T> MsQueue<T> {
     pub fn enq(&self, value: T) {
         let node = Node::alloc(Some(value));
         loop {
+            // ordering: Acquire — pairs with the Release tail swings, so
+            // the node behind `tail` is fully linked before we touch its
+            // `next`.
             let tail = self.tail.load(Ordering::Acquire);
             // Safety: tail always points at a node that has not been
             // reclaimed (only ex-heads are retired, and the tail never
             // trails the head past the dummy); its `next` is the
             // algorithmic successor even for a lagging tail.
+            // ordering: Acquire — pairs with the Release link CAS, so a
+            // non-null successor is a fully initialized node.
             let next = unsafe { (*tail).next.load(Ordering::Acquire) };
             if !next.is_null() {
                 // Tail lagging: help swing it.
+                // ordering: Release on success — republishes the node
+                // behind the new tail for the next enqueuer's Acquire;
+                // Relaxed on failure — someone else swung it, retry.
                 let _ = self.tail.compare_exchange(
                     tail,
                     next,
@@ -261,6 +306,10 @@ impl<T> MsQueue<T> {
             }
             failpoint!("lockfree::queue::enq_cas");
             // Safety: as above; linking is the linearization point.
+            // ordering: Release on success — publishes the new node's
+            // value with the link (the linearization point); Relaxed on
+            // failure — the observed value is discarded, the retry
+            // re-loads with Acquire.
             if unsafe {
                 (*tail).next.compare_exchange(
                     ptr::null_mut(),
@@ -271,6 +320,9 @@ impl<T> MsQueue<T> {
             }
             .is_ok()
             {
+                // ordering: Release on success — as in the lagging-tail
+                // swing above; Relaxed on failure — a helper already
+                // swung the tail past us.
                 let _ = self.tail.compare_exchange(
                     tail,
                     node,
@@ -288,16 +340,24 @@ impl<T> MsQueue<T> {
         T: Clone,
     {
         loop {
+            // ordering: Acquire — pairs with the Release head CAS of the
+            // previous dequeuer, so the dummy behind `head` is visible.
             let head = self.head.load(Ordering::Acquire);
             // Safety: nodes live until drop; stale heads dereference
             // safely and fail the CAS below.
+            // ordering: Acquire — pairs with the enqueuer's Release link
+            // CAS, so the successor's value is visible before we clone
+            // it below.
             let next = unsafe { (*head).next.load(Ordering::Acquire) };
             if next.is_null() {
                 return None;
             }
+            // ordering: Acquire — uniform with the enqueuer's tail read.
             let tail = self.tail.load(Ordering::Acquire);
             if head == tail {
                 // Tail lagging behind a non-empty queue: help.
+                // ordering: Release on success / Relaxed on failure — as
+                // in `enq`'s lagging-tail swing.
                 let _ = self.tail.compare_exchange(
                     tail,
                     next,
@@ -307,6 +367,9 @@ impl<T> MsQueue<T> {
                 continue;
             }
             failpoint!("lockfree::queue::deq_cas");
+            // ordering: Release on success — hands later dequeuers the
+            // edge to everything this thread saw; Relaxed on failure —
+            // the observed value is discarded, the retry re-loads.
             if self
                 .head
                 .compare_exchange(head, next, Ordering::Release, Ordering::Relaxed)
@@ -333,7 +396,7 @@ impl<T> Drop for MsQueue<T> {
 mod tests {
     use super::*;
     use std::sync::Arc;
-    use std::thread;
+    use waitfree_sched::thread;
 
     #[test]
     fn stack_lifo_single_thread() {
@@ -391,7 +454,7 @@ mod tests {
 
     #[test]
     fn queue_concurrent_producers_consumers() {
-        use std::sync::atomic::{AtomicUsize, Ordering};
+        use waitfree_sched::atomic::{AtomicUsize, Ordering};
         let q = Arc::new(MsQueue::new());
         let producers = 3;
         let per = 1000;
@@ -466,6 +529,45 @@ mod tests {
         };
         producer.join().unwrap();
         consumer.join().unwrap();
+    }
+
+    /// Small enough for `cargo miri test`: exercises push/pop/enq/deq
+    /// churn plus the free-list reclamation under the real memory model
+    /// (miri's Tree Borrows catches pointer-provenance slips the type
+    /// system cannot). CI's analyze job runs every `miri_smoke_*` test.
+    #[test]
+    fn miri_smoke_stack_and_queue_churn() {
+        let s = Arc::new(TreiberStack::new());
+        let s2 = Arc::clone(&s);
+        let j = thread::spawn(move || {
+            for v in 0..8 {
+                s2.push(v);
+            }
+        });
+        let mut popped = 0;
+        while popped < 4 {
+            if s.pop().is_some() {
+                popped += 1;
+            }
+        }
+        j.join().unwrap();
+        drop(s);
+
+        let q = Arc::new(MsQueue::new());
+        let q2 = Arc::clone(&q);
+        let j = thread::spawn(move || {
+            for v in 0..8 {
+                q2.enq(v);
+            }
+        });
+        let mut got = 0;
+        while got < 4 {
+            if q.deq().is_some() {
+                got += 1;
+            }
+        }
+        j.join().unwrap();
+        drop(q);
     }
 
     #[test]

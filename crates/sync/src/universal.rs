@@ -71,8 +71,11 @@
 //!
 //! The decide CAS stays `SeqCst` on success — it is the linearization
 //! point and the paper's consensus primitive. Every relaxation off that
-//! spine carries a comment naming the happens-before edge it relies on;
-//! the summary:
+//! spine carries an adjacent `// ordering:` audit comment naming the
+//! happens-before edge it relies on (the `wf-lint` binary in
+//! `waitfree-analyze` enforces the comment; the happens-before pass in
+//! `waitfree_sched::hb` checks the claimed edges against recorded
+//! schedules); the summary:
 //!
 //! * segment `next` links: `Release` install / `Acquire` follow, so a
 //!   segment's initialized header and null slots are visible before the
@@ -88,6 +91,9 @@
 //!   acquire load carries the publisher's happens-before edge to every
 //!   decide below the published value. Staleness still only costs
 //!   extra (already-decided) iterations;
+//! * the `segments` diagnostic counter: `AcqRel` bump / `Acquire` read,
+//!   so a reported count of `n` implies the `n` installs it counts are
+//!   visible to the reader;
 //! * `announced`/`done`: `SeqCst` — they form the announce/help
 //!   handshake the O(n) bound is proved against, and they are off the
 //!   per-iteration fast path. The combining collect scan reads both
@@ -309,8 +315,11 @@ impl<S: ObjectSpec> fmt::Debug for Shared<S> {
             .field("max_ops", &self.max_ops)
             .field("cap", &self.cap)
             .field("combine", &self.combine)
-            .field("segments", &self.segments.load(Ordering::Relaxed))
-            .field("hint", &self.hint.load(Ordering::Relaxed))
+            // ordering: Acquire — diagnostics read cross-thread state;
+            // Acquire keeps the printed values consistent with the
+            // structures they describe (uniform rule for observers).
+            .field("segments", &self.segments.load(Ordering::Acquire))
+            .field("hint", &self.hint.load(Ordering::Acquire))
             .finish_non_exhaustive()
     }
 }
@@ -334,9 +343,9 @@ impl<S: ObjectSpec> Shared<S> {
             if k < s.base + SEGMENT_SIZE {
                 return seg;
             }
-            // Acquire: pairs with the Release install below, so the new
-            // segment's header and nulled slots are initialized before we
-            // can observe the link.
+            // ordering: Acquire — pairs with the Release install below,
+            // so the new segment's header and nulled slots are
+            // initialized before we can observe the link.
             let next = s.next.load(Ordering::Acquire);
             if !next.is_null() {
                 seg = next;
@@ -346,14 +355,18 @@ impl<S: ObjectSpec> Shared<S> {
             match s.next.compare_exchange(
                 ptr::null_mut(),
                 fresh,
-                // Release: publishes the fully built segment together
-                // with the link; Acquire on failure to safely follow the
-                // winner's segment.
+                // ordering: Release on success — publishes the fully
+                // built segment together with the link; Acquire on
+                // failure to safely follow the winner's segment.
                 Ordering::Release,
                 Ordering::Acquire,
             ) {
                 Ok(_) => {
-                    self.segments.fetch_add(1, Ordering::Relaxed);
+                    // ordering: AcqRel — the diagnostic counter chains
+                    // installer clocks, so an Acquire reader of the count
+                    // also inherits every earlier install (keeps the
+                    // counter meaningful off-thread; off the hot path).
+                    self.segments.fetch_add(1, Ordering::AcqRel);
                     seg = fresh;
                 }
                 Err(winner) => {
@@ -385,10 +398,11 @@ impl<S: ObjectSpec> Shared<S> {
         candidate: Arc<LogEntry<S::Op>>,
     ) -> (Arc<LogEntry<S::Op>>, bool) {
         let proposed = Arc::into_raw(candidate).cast_mut();
-        // SeqCst success: the linearization point — kept at the strongest
-        // ordering exactly as the cell path's winner CAS was. Acquire
-        // failure: pairs with the winner's (SeqCst ⊇ Release) store so
-        // the winning LogEntry's members are visible before we read them.
+        // ordering: SeqCst success — the linearization point, kept at
+        // the strongest ordering exactly as the cell path's winner CAS
+        // was; Acquire failure — pairs with the winner's (SeqCst ⊇
+        // Release) store so the winning LogEntry's members are visible
+        // before we read them.
         match slot.compare_exchange(
             ptr::null_mut(),
             proposed,
@@ -647,7 +661,10 @@ impl<S: ObjectSpec> WfHandle<S> {
     /// positions). Starts at 1; diagnostics for the growth tests.
     #[must_use]
     pub fn segments(&self) -> usize {
-        self.shared.segments.load(Ordering::Relaxed)
+        // ordering: Acquire — pairs with the AcqRel fetch_add in
+        // `seg_for`, so a count of `n` implies the `n`th install (and
+        // everything before it) is visible to this reader.
+        self.shared.segments.load(Ordering::Acquire)
     }
 
     /// The oldest announced-but-unthreaded entry of thread `t`, if any —
@@ -763,7 +780,7 @@ impl<S: ObjectSpec> WfHandle<S> {
         //    < n, preserving the ≤ 2n step bound, while the common case
         //    pays zero RMWs on the contended word inside the loop.
         let mut steps = 0usize;
-        // Acquire: pairs with the Release `fetch_max` in `publish_hint`.
+        // ordering: Acquire — pairs with the Release `fetch_max` in `publish_hint`.
         // Starting at `k` skips the prefix [0, k) without ever touching
         // those slots, so the decided-prefix invariant that the replay
         // loop asserts (and `refresh` relies on) is inherited here: the
@@ -823,9 +840,9 @@ impl<S: ObjectSpec> WfHandle<S> {
         //    local catch-up), keeping `cursor` a whole-position index.
         loop {
             self.replay_seg = self.shared.seg_for(self.replay_seg, self.cursor);
-            // Acquire: pairs with the winning decide CAS (SeqCst ⊇
-            // Release), so the LogEntry behind a non-null slot is fully
-            // initialized before we dereference it.
+            // ordering: Acquire — pairs with the winning decide CAS
+            // (SeqCst ⊇ Release), so the LogEntry behind a non-null slot
+            // is fully initialized before we dereference it.
             let raw = self.shared.slot(self.replay_seg, self.cursor).load(Ordering::Acquire);
             assert!(
                 !raw.is_null(),
@@ -857,17 +874,25 @@ impl<S: ObjectSpec> WfHandle<S> {
 
     /// Advance the shared frontier hint to at least `k`.
     fn publish_hint(&self, k: usize) {
-        // Release: a reader that acquire-loads this value starts
-        // threading at it and skips the decided prefix below without
-        // observing those decides itself; the release store hands over
-        // this thread's happens-before edge to every decide below `k`
-        // (observed directly via its own SeqCst decide RMWs, or
-        // inherited from the hint it started from). When the `fetch_max`
-        // is a no-op the current value was itself Release-published by a
-        // thread with the same property, so the edge readers need still
-        // exists. Off the per-decide fast path, so the cost is
-        // negligible.
+        // ordering: Release — a reader that acquire-loads this value
+        // starts threading at it and skips the decided prefix below
+        // without observing those decides itself; the release store
+        // hands over this thread's happens-before edge to every decide
+        // below `k` (observed directly via its own SeqCst decide RMWs,
+        // or inherited from the hint it started from). When the
+        // `fetch_max` is a no-op the current value was itself
+        // Release-published by a thread with the same property, so the
+        // edge readers need still exists. Off the per-decide fast path,
+        // so the cost is negligible.
+        #[cfg(not(feature = "mutant-relaxed-hint"))]
         self.shared.hint.fetch_max(k, Ordering::Release);
+        // ordering: Relaxed — DELIBERATELY WRONG. The `mutant-relaxed-hint`
+        // feature reintroduces the PR-2 bug (hint published without a
+        // release edge) so the happens-before checker's regression test
+        // can prove it flags this class mechanically. Never enable
+        // outside that test.
+        #[cfg(feature = "mutant-relaxed-hint")]
+        self.shared.hint.fetch_max(k, Ordering::Relaxed);
     }
 
     /// Replay any outstanding log entries and return a copy of the
@@ -875,7 +900,7 @@ impl<S: ObjectSpec> WfHandle<S> {
     pub fn refresh(&mut self) -> S {
         loop {
             self.replay_seg = self.shared.seg_for(self.replay_seg, self.cursor);
-            // Acquire: same slot-publication edge as the replay loop.
+            // ordering: Acquire — same slot-publication edge as the replay loop.
             let raw = self.shared.slot(self.replay_seg, self.cursor).load(Ordering::Acquire);
             if raw.is_null() {
                 break;
@@ -941,7 +966,8 @@ impl<S: ObjectSpec> WfHandle<S> {
             // `next` links and live as long as `shared` (see `seg_for`).
             let s = unsafe { &*seg };
             for slot in s.slots.iter() {
-                // Acquire: same slot-publication edge as the replay loop.
+                // ordering: Acquire — same slot-publication edge as the
+                // replay loop.
                 let raw = slot.load(Ordering::Acquire);
                 if raw.is_null() {
                     return out;
@@ -950,6 +976,8 @@ impl<S: ObjectSpec> WfHandle<S> {
                 // outlives this borrow (as in `try_invoke`'s replay).
                 push(&mut out, unsafe { &*raw });
             }
+            // ordering: Acquire — pairs with the Release segment install
+            // in `seg_for` before we walk into the next segment.
             let next = s.next.load(Ordering::Acquire);
             if next.is_null() {
                 return out;
@@ -962,8 +990,8 @@ impl<S: ObjectSpec> WfHandle<S> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::thread;
     use waitfree_objects::counter::{Counter, CounterOp, CounterResp};
+    use waitfree_sched::thread;
     use waitfree_objects::queue::{FifoQueue, QueueOp, QueueResp};
 
     #[test]
@@ -975,6 +1003,31 @@ mod tests {
         assert_eq!(h.invoke(QueueOp::Deq), QueueResp::Item(1));
         assert_eq!(h.invoke(QueueOp::Deq), QueueResp::Item(2));
         assert_eq!(h.invoke(QueueOp::Deq), QueueResp::Empty);
+    }
+
+    /// Small enough for `cargo miri test`: two threads, a handful of
+    /// ops, crossing the announce/help path and one log segment. CI's
+    /// analyze job runs every `miri_smoke_*` test under miri to check
+    /// the unsafe log/segment code against the real memory model.
+    #[test]
+    fn miri_smoke_two_thread_counter() {
+        let mut handles = WfUniversal::new(Counter::new(0), 2, 8);
+        let mut b = handles.pop().unwrap();
+        let mut a = handles.pop().unwrap();
+        let jb = thread::spawn(move || {
+            for _ in 0..3 {
+                b.invoke(CounterOp::Add(1));
+            }
+            b
+        });
+        for _ in 0..3 {
+            a.invoke(CounterOp::Add(1));
+        }
+        let _b = jb.join().unwrap();
+        match a.invoke(CounterOp::Get) {
+            CounterResp::Value(v) => assert_eq!(v, 6),
+            other => panic!("unexpected {other:?}"),
+        }
     }
 
     #[test]

@@ -297,7 +297,7 @@ impl<S: ObjectSpec> CellHandle<S> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::thread;
+    use waitfree_sched::thread;
     use waitfree_objects::counter::{Counter, CounterOp, CounterResp};
     use waitfree_objects::queue::{FifoQueue, QueueOp, QueueResp};
 

@@ -149,7 +149,7 @@ impl WfRegisterHandle {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::thread;
+    use waitfree_sched::thread;
 
     #[test]
     fn wf_queue_conserves_items_across_threads() {

@@ -75,7 +75,7 @@ fn main() {
     let joins: Vec<_> = handles
         .into_iter()
         .map(|mut h| {
-            std::thread::spawn(move || {
+            waitfree::sched::thread::spawn(move || {
                 // A deterministic pseudo-random walk of transfers, plus
                 // periodic audits *while transfers are in flight*.
                 let mut x: u64 = 0x9E37_79B9 ^ (h.tid() as u64);

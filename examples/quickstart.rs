@@ -21,7 +21,7 @@ fn main() {
     let joins: Vec<_> = handles
         .into_iter()
         .map(|mut h| {
-            std::thread::spawn(move || {
+            waitfree::sched::thread::spawn(move || {
                 let mut first_ticket = None;
                 for _ in 0..per {
                     let old = h.fetch_add(1);
@@ -41,7 +41,7 @@ fn main() {
     let mut it = handles.into_iter();
     let mut producer = it.next().expect("two handles");
     let mut consumer = it.next().expect("two handles");
-    let p = std::thread::spawn(move || {
+    let p = waitfree::sched::thread::spawn(move || {
         for item in [10, 20, 30, 40, 50] {
             producer.enq(item);
         }

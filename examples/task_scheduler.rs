@@ -38,12 +38,12 @@ fn main() {
         .zip(c_handles)
         .enumerate()
         .map(|(w, (mut q, mut c))| {
-            std::thread::spawn(move || {
+            waitfree::sched::thread::spawn(move || {
                 let slow = w == 0; // worker 0 keeps getting "preempted"
                 let mut processed = 0u32;
                 while let Some(task) = q.deq() {
                     if slow {
-                        std::thread::sleep(Duration::from_micros(300));
+                        waitfree::sched::thread::sleep(Duration::from_micros(300));
                     }
                     c.fetch_add(task * task);
                     processed += 1;

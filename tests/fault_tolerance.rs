@@ -32,9 +32,9 @@
 
 mod common;
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use waitfree::sched::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
-use std::thread;
+use waitfree::sched::thread;
 use std::time::Duration;
 
 use common::{BatchedPath, CellPath, CounterPath, PtrPath};

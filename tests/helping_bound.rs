@@ -23,7 +23,7 @@
 
 mod common;
 
-use std::thread;
+use waitfree::sched::thread;
 
 use common::{BatchedPath, CellPath, CounterPath, PtrPath};
 use waitfree::objects::counter::CounterOp;

@@ -16,7 +16,7 @@
 //! `UniversalError::LogFull` — including a cap that lands beyond the
 //! first segment, so the cap check and the growth path compose.
 
-use std::thread;
+use waitfree::sched::thread;
 
 use waitfree::objects::counter::{Counter, CounterOp, CounterResp};
 use waitfree::sync::universal::{UniversalError, WfUniversal, SEGMENT_SIZE};

@@ -666,8 +666,16 @@ fn bounded_dfs_universal_single_ops_linearize() {
 /// matching entries. The scripted schedule pins the interleaving; the
 /// assertions pin both the behavior (responses, decided log) and the
 /// orderings in the recorded instruction trace.
-#[test]
-fn hint_publication_regression_schedule() {
+/// Run the pinned publisher/jumper script and return the raw run plus
+/// the observed responses and decided log. Shared by the shipped-path
+/// test and the `mutant-relaxed-hint` regression below, so both judge
+/// the *same* interleaving.
+fn run_hint_schedule() -> (
+    waitfree::sched::RunResult,
+    Vec<CounterResp>,
+    CounterResp,
+    Vec<(usize, usize)>,
+) {
     type Out = (Vec<CounterResp>, CounterResp, Vec<(usize, usize)>);
     let out: Arc<Mutex<Option<Out>>> = Arc::new(Mutex::new(None));
     let sink = Arc::clone(&out);
@@ -693,8 +701,14 @@ fn hint_publication_regression_schedule() {
         *sink.lock().unwrap() = Some((pub_resps, jump_resp, pub_h.decided_log()));
     });
     assert!(result.error.is_none(), "{:?}", result.error);
-
     let (pub_resps, jump_resp, log) = out.lock().unwrap().take().unwrap();
+    (result, pub_resps, jump_resp, log)
+}
+
+#[test]
+#[cfg(not(feature = "mutant-relaxed-hint"))]
+fn hint_publication_regression_schedule() {
+    let (result, pub_resps, jump_resp, log) = run_hint_schedule();
     assert_eq!(
         pub_resps,
         vec![
@@ -713,26 +727,72 @@ fn hint_publication_regression_schedule() {
 
     // The orderings PR 2 installed, pinned in the instruction trace: the
     // hint is published with fetch_max(Release) and read with Acquire,
-    // and no usize-word load/store/fetch_max in this schedule is Relaxed
-    // (the log-growth counter's fetch_add is the one sanctioned Relaxed).
-    let trace = &result.trace;
+    // and no usize-word atomic in this schedule is Relaxed (the segment
+    // counter's fetch_add is AcqRel since the ordering audit).
     assert!(
-        trace
-            .iter()
+        result
+            .ops()
             .any(|e| e.op == AtomicOp::FetchMax && e.ordering == Ordering::Release),
         "hint publication (fetch_max Release) missing from trace"
     );
     assert!(
-        trace.iter().any(|e| e.atomic == "AtomicUsize"
+        result.ops().any(|e| e.atomic == "AtomicUsize"
             && e.op == AtomicOp::Load
             && e.ordering == Ordering::Acquire),
         "hint read (Acquire load) missing from trace"
     );
     assert!(
-        !trace.iter().any(|e| e.atomic == "AtomicUsize"
-            && matches!(e.op, AtomicOp::Load | AtomicOp::Store | AtomicOp::FetchMax)
+        !result.ops().any(|e| e.atomic == "AtomicUsize"
+            && matches!(
+                e.op,
+                AtomicOp::Load | AtomicOp::Store | AtomicOp::FetchMax | AtomicOp::FetchAdd
+            )
             && e.ordering == Ordering::Relaxed),
-        "a Relaxed usize load/store/fetch_max crept back into the hot path"
+        "a Relaxed usize atomic crept back into the hot path"
+    );
+
+    // Happens-before verdict: with the shipped orderings, every plain
+    // load in this schedule is justified by declared release/acquire
+    // edges alone — the SC serialization is not doing hidden work.
+    let hb = waitfree::sched::hb_check(&result.trace);
+    assert!(
+        hb.is_clean(),
+        "declared orderings too weak ({} of {} reads unjustified): {}",
+        hb.violations.len(),
+        hb.reads_checked,
+        hb.violations[0]
+    );
+    assert!(hb.reads_checked > 0, "the schedule judged no loads at all");
+}
+
+/// The PR 2 bug, resurrected behind `--features mutant-relaxed-hint`
+/// (`publish_hint` downgraded to `fetch_max(Relaxed)`), must be flagged
+/// by the happens-before checker under the very same scripted schedule
+/// that passes clean on the shipped code. This proves the checker
+/// catches the bug *class* mechanically, not just that the current
+/// orderings happen to look right.
+#[test]
+#[cfg(feature = "mutant-relaxed-hint")]
+fn mutant_relaxed_hint_is_flagged_by_the_hb_checker() {
+    let (result, _pub_resps, _jump_resp, _log) = run_hint_schedule();
+
+    // The mutant really is in play: the hint publish lost its Release.
+    assert!(
+        result
+            .ops()
+            .any(|e| e.op == AtomicOp::FetchMax && e.ordering == Ordering::Relaxed),
+        "mutant not active — fetch_max(Relaxed) missing from trace"
+    );
+
+    // Under the scheduler's SC interleaving the run still *behaves*
+    // (responses and the decided log are checked by the shipped test);
+    // only the happens-before pass can see the missing edge.
+    let hb = waitfree::sched::hb_check(&result.trace);
+    assert!(
+        !hb.is_clean(),
+        "HB checker failed to flag the Relaxed hint publication \
+         ({} reads judged, none unjustified)",
+        hb.reads_checked
     );
 }
 

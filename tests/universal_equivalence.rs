@@ -239,7 +239,7 @@ fn hardware_universal_object_survives_thread_churn() {
     let joins: Vec<_> = handles
         .into_iter()
         .map(|mut h| {
-            std::thread::spawn(move || {
+            waitfree::sched::thread::spawn(move || {
                 let quit_early = h.tid() % 2 == 0;
                 let ops = if quit_early { 3 } else { per };
                 for i in 0..ops {
