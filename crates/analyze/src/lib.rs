@@ -1,7 +1,7 @@
 //! Static ordering-audit lint over the workspace's Rust sources — the
 //! `wf-lint` binary and the line scanner behind it.
 //!
-//! Three rules, each encoding an invariant the rest of the workspace
+//! Four rules, each encoding an invariant the rest of the workspace
 //! relies on but the compiler cannot check:
 //!
 //! 1. **Ordering audit** — every atomic operation that names a
@@ -12,13 +12,20 @@
 //!    schedules and checks that the *declared* orderings really do
 //!    justify every observed value; this rule makes sure each declared
 //!    ordering also has a written-down argument a reviewer can audit.
-//! 2. **Facade bypass** — no `std::sync::atomic` or `std::thread` in
+//! 2. **Orphaned audit** — the converse: a comment *formatted as* an
+//!    audit (its text starts with `ordering:`) must sit adjacent to a
+//!    statement that actually names an `Ordering::`. When a refactor
+//!    deletes or moves an atomic and leaves its justification behind,
+//!    the stale prose would otherwise keep "covering" whatever code
+//!    drifts into its place — a reviewer trusts audit comments precisely
+//!    because this rule makes them fail CI when they dangle.
+//! 3. **Facade bypass** — no `std::sync::atomic` or `std::thread` in
 //!    code outside `crates/sched/src/`. All atomics and threads must go
 //!    through the `waitfree_sched` facade (including its `atomic::diag`
 //!    module for instrumentation-plane state), or the deterministic
 //!    scheduler silently loses schedule points and the recorded traces
 //!    lie.
-//! 3. **Bench timing** — inside `crates/bench/`, `Instant::now` is
+//! 4. **Bench timing** — inside `crates/bench/`, `Instant::now` is
 //!    allowed only in `src/timing.rs`. Timed regions must flow through
 //!    the timing harness so warm-up, batching and medians stay uniform;
 //!    a stray `Instant::now` in a bench body is usually an accounting
@@ -44,14 +51,17 @@
 //!
 //! # Scope
 //!
-//! Rule 1 skips test code (`tests/`, `benches/`, `examples/`
+//! Rules 1 and 2 skip test code (`tests/`, `benches/`, `examples/`
 //! directories and `#[cfg(test)]` modules): tests pin orderings for
-//! scenarios, they do not promise edges. Rules 1 and 2 skip
+//! scenarios, they do not promise edges. Rules 1–3 skip
 //! `crates/sched/src/` wholesale — the facade and the happens-before
 //! checker manipulate `Ordering` values as *data* and own the one
-//! sanctioned `std` boundary. Rule 2 applies everywhere else,
+//! sanctioned `std` boundary. Rule 3 applies everywhere else,
 //! including tests: a test on raw `std::thread` cannot be replayed
-//! under the scheduler.
+//! under the scheduler. Rule 2 recognizes an audit comment only when
+//! its text *starts with* `ordering:` — doc comments that merely
+//! mention the `// ordering:` convention (their comment text starts
+//! with `!` or `/`) are prose, not dangling audits.
 
 use std::fmt;
 
@@ -64,6 +74,8 @@ use std::fmt;
 pub enum Rule {
     /// Non-`SeqCst` ordering without an adjacent `// ordering:` comment.
     OrderingAudit,
+    /// An `// ordering:` audit comment adjacent to no atomic operation.
+    OrphanedAudit,
     /// Raw `std::sync::atomic` / `std::thread` outside the facade.
     FacadeBypass,
     /// `Instant::now` inside `crates/bench/` outside `src/timing.rs`.
@@ -74,6 +86,7 @@ impl fmt::Display for Rule {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.write_str(match self {
             Rule::OrderingAudit => "ordering-audit",
+            Rule::OrphanedAudit => "orphaned-audit",
             Rule::FacadeBypass => "facade-bypass",
             Rule::BenchTiming => "bench-timing",
         })
@@ -365,6 +378,7 @@ pub fn lint_source(rel_path: &str, src: &str) -> Vec<Finding> {
     facade_bypass(&scope, &lines, &mut findings);
     bench_timing(&scope, &lines, &mut findings);
     ordering_audit(&scope, &lines, &mut findings);
+    orphaned_audit(&scope, &lines, &mut findings);
 
     findings.sort_by_key(|f| f.line);
     findings
@@ -440,18 +454,17 @@ fn ordering_audit(scope: &Scope<'_>, lines: &[Line], out: &mut Vec<Finding>) {
     }
 }
 
-/// Whether the statement containing line `l` carries an `ordering:`
-/// audit comment — on any of its own lines, or in the comment block
-/// immediately above its first line.
-fn statement_has_audit(lines: &[Line], l: usize) -> bool {
+/// The `[start, end]` line range of the statement containing line `l`.
+///
+/// First line: walk up while the previous line is code that does not
+/// close a statement. A trailing `{` does *not* close one here —
+/// `if x.compare_exchange(… {` spreads a single condition over an
+/// opener line, and an audit comment sits above the whole construct.
+/// Last line: walk down to the first line ending in `;`, `{` or `}`.
+fn statement_range(lines: &[Line], l: usize) -> (usize, usize) {
     let ends_stmt = |code: &str| {
         matches!(code.trim_end().chars().last(), Some(';' | '{' | '}'))
     };
-    // First line of the statement: walk up while the previous line is
-    // code that does not close a statement. A trailing `{` does *not*
-    // close one here — `if x.compare_exchange(… {` spreads a single
-    // condition over an opener line, and the audit comment sits above
-    // the whole construct.
     let closes_above = |code: &str| {
         matches!(code.trim_end().chars().last(), Some(';' | '}'))
     };
@@ -463,11 +476,18 @@ fn statement_has_audit(lines: &[Line], l: usize) -> bool {
         }
         s -= 1;
     }
-    // Last line: walk down to the first closing line.
     let mut e = l;
     while e + 1 < lines.len() && !ends_stmt(&lines[e].code) {
         e += 1;
     }
+    (s, e)
+}
+
+/// Whether the statement containing line `l` carries an `ordering:`
+/// audit comment — on any of its own lines, or in the comment block
+/// immediately above its first line.
+fn statement_has_audit(lines: &[Line], l: usize) -> bool {
+    let (s, e) = statement_range(lines, l);
     if lines[s..=e].iter().any(|ln| ln.comment.contains("ordering:")) {
         return true;
     }
@@ -485,6 +505,62 @@ fn statement_has_audit(lines: &[Line], l: usize) -> bool {
         }
     }
     false
+}
+
+fn orphaned_audit(scope: &Scope<'_>, lines: &[Line], out: &mut Vec<Finding>) {
+    if scope.sched_src || scope.test_dir {
+        return;
+    }
+    let excluded = cfg_test_lines(lines);
+    for (l, line) in lines.iter().enumerate() {
+        // Only comments *formatted as* audits: text starting with
+        // `ordering:`. Doc comments (`//!`, `///`) quoting the
+        // convention yield comment text starting with `!` or `/`.
+        if excluded[l] || !line.comment.trim_start().starts_with("ordering:") {
+            continue;
+        }
+        let covered = if !line.code.trim().is_empty() {
+            // Trailing audit: its own statement must name an ordering.
+            let (s, e) = statement_range(lines, l);
+            lines[s..=e].iter().any(|ln| ln.code.contains("Ordering::"))
+        } else {
+            // Standalone audit (possibly a multi-line comment block,
+            // possibly with attributes between it and the code): the
+            // statement starting at the next code line must name one. A
+            // blank line below breaks adjacency, exactly as it does for
+            // the ordering-audit rule above.
+            let mut n = l + 1;
+            while n < lines.len()
+                && ((lines[n].code.trim().is_empty() && !lines[n].comment.trim().is_empty())
+                    || lines[n].code.trim_start().starts_with("#["))
+            {
+                n += 1;
+            }
+            n < lines.len() && !lines[n].code.trim().is_empty() && {
+                // Extend downward through `{` openers, mirroring the
+                // upward walk in `statement_range`: an audit above
+                // `if unsafe {` covers the CAS inside the braces.
+                let continues = |code: &str| {
+                    !matches!(code.trim_end().chars().last(), Some(';' | '}'))
+                };
+                let mut e = n;
+                while e + 1 < lines.len() && continues(&lines[e].code) {
+                    e += 1;
+                }
+                lines[n..=e].iter().any(|ln| ln.code.contains("Ordering::"))
+            }
+        };
+        if !covered {
+            out.push(Finding {
+                line: l + 1,
+                rule: Rule::OrphanedAudit,
+                msg: "`// ordering:` audit comment adjacent to no atomic operation — \
+                      the op it justified was moved or deleted; move or delete the \
+                      audit with it"
+                    .into(),
+            });
+        }
+    }
 }
 
 #[cfg(test)]
@@ -634,10 +710,84 @@ mod tests {
                    \n\
                    \x20   a.load(Ordering::Acquire);\n\
                    }\n";
-        assert_eq!(find("crates/sync/src/x.rs", src).len(), 1);
+        // Both directions fail: the load is unaudited (rule 1) and the
+        // far-away comment is orphaned (rule 2).
+        let f = find("crates/sync/src/x.rs", src);
+        assert_eq!(f.len(), 2);
+        assert!(f.iter().any(|x| x.rule == Rule::OrderingAudit && x.line == 4));
+        assert!(f.iter().any(|x| x.rule == Rule::OrphanedAudit && x.line == 2));
     }
 
-    // -- rule 2: facade bypass ---------------------------------------
+    // -- rule 2: orphaned audit --------------------------------------
+
+    #[test]
+    fn orphaned_standalone_audit_is_flagged() {
+        let src = "fn f() {\n\
+                   \x20   // ordering: Acquire — pairs with a store that was deleted\n\
+                   \x20   let x = 1;\n\
+                   }\n";
+        let f = find("crates/sync/src/x.rs", src);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, Rule::OrphanedAudit);
+        assert_eq!(f[0].line, 2);
+    }
+
+    #[test]
+    fn orphaned_trailing_audit_is_flagged() {
+        let src = "fn f() {\n    let x = 1; // ordering: stale justification\n}\n";
+        let f = find("crates/sync/src/x.rs", src);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, Rule::OrphanedAudit);
+    }
+
+    #[test]
+    fn audit_followed_by_a_blank_line_is_orphaned() {
+        let src = "fn f(a: &AtomicUsize) {\n\
+                   \x20   // ordering: Acquire — adjacency broken below\n\
+                   \n\
+                   \x20   a.load(Ordering::SeqCst);\n\
+                   }\n";
+        let f = find("crates/sync/src/x.rs", src);
+        assert!(f.iter().any(|x| x.rule == Rule::OrphanedAudit), "{f:?}");
+    }
+
+    #[test]
+    fn audits_adjacent_to_atomics_are_not_orphaned() {
+        // Trailing, above, above-with-attribute, and multi-line-CAS
+        // placements — every form the ordering-audit rule accepts.
+        let src = "fn f(a: &AtomicUsize) {\n\
+                   \x20   a.load(Ordering::Acquire); // ordering: pairs with X\n\
+                   \x20   // ordering: Release — publishes Y\n\
+                   \x20   a.store(1, Ordering::Release);\n\
+                   \x20   // ordering: Release on success, Relaxed on failure\n\
+                   \x20   let _ = a.compare_exchange(\n\
+                   \x20       0,\n\
+                   \x20       1,\n\
+                   \x20       Ordering::Release,\n\
+                   \x20       Ordering::Relaxed,\n\
+                   \x20   );\n\
+                   }\n";
+        assert!(find("crates/sync/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn doc_comments_quoting_the_convention_are_not_orphans() {
+        let src = "//! every new atomic carries an `// ordering:` audit comment.\n\
+                   /// ordering: documented on the struct, not an audit.\n\
+                   fn f() {}\n";
+        assert!(find("crates/sync/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn orphan_rule_skips_test_code_like_the_audit_rule() {
+        let orphan = "fn f() {\n    // ordering: stale\n    let x = 1;\n}\n";
+        assert!(find("tests/x.rs", orphan).is_empty());
+        let in_cfg_test =
+            "#[cfg(test)]\nmod tests {\n    fn f() {\n        // ordering: stale\n        let x = 1;\n    }\n}\n";
+        assert!(find("crates/sync/src/x.rs", in_cfg_test).is_empty());
+    }
+
+    // -- rule 3: facade bypass ---------------------------------------
 
     #[test]
     fn facade_bypass_is_flagged_outside_sched_only() {
@@ -654,7 +804,7 @@ mod tests {
         assert!(find("crates/faults/src/x.rs", src).is_empty());
     }
 
-    // -- rule 3: bench timing ----------------------------------------
+    // -- rule 4: bench timing ----------------------------------------
 
     #[test]
     fn instant_now_in_bench_is_flagged_outside_timing_rs() {

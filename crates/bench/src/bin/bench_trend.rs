@@ -15,7 +15,10 @@
 //!
 //! While a configuration group holds fewer than three runs the gate is
 //! a no-op: it prints a warning and exits 0, because a single prior
-//! sample is as likely to be the outlier as the new one. Usage:
+//! sample is as likely to be the outlier as the new one. A *missing or
+//! unparseable* trajectory file is a hard failure (exit 2, message
+//! naming the file): the history is committed, so not finding it means
+//! the gate is misconfigured, not that there is nothing to gate. Usage:
 //!
 //! ```text
 //! cargo run -p waitfree-bench --bin bench_trend [--] [path] [--threshold-pct <n>]
@@ -161,10 +164,14 @@ fn main() -> ExitCode {
     let src = match std::fs::read_to_string(&path) {
         Ok(s) => s,
         Err(e) => {
-            // No trajectory yet: nothing to gate on. Same no-op contract
-            // as the too-few-runs case so fresh clones pass CI.
-            println!("bench_trend: no trajectory at {path} ({e}); nothing to gate");
-            return ExitCode::SUCCESS;
+            // The trajectory is committed at the repo root; a missing
+            // file means the gate is running somewhere it can't see the
+            // history, and silently passing would disable the gate.
+            eprintln!(
+                "bench_trend: cannot read trajectory {path}: {e} \
+                 (run from the repo root, or pass the trajectory path)"
+            );
+            return ExitCode::from(2);
         }
     };
     let doc = match Json::parse(&src) {

@@ -273,6 +273,61 @@ fn run_one<P: UniPath>(workload: &str, n: usize, ops: usize, samples: usize) -> 
     (median.as_nanos() as f64 / executed.max(1) as f64, agg)
 }
 
+/// Operations per registration in the churn workload: each generation
+/// registers, performs this many fetch-and-adds, and retires.
+const CHURN_OPS_PER_GEN: usize = 8;
+
+/// n threads each cycle register → operate → retire on one shared
+/// *dynamic* universal object until they have executed `ops` operations:
+/// the membership hot path (slot claim, announce-chunk reuse, retirement
+/// reclaim) measured alongside the decide hot path. Only the pointer
+/// paths appear — the cell baseline has no registry.
+fn churn_workload(obj: &WfUniversal<Counter>, n: usize, ops: usize) -> WorkStats {
+    let joins: Vec<_> = (0..n)
+        .map(|_| {
+            let obj = obj.clone();
+            thread::spawn(move || {
+                let mut agg = WorkStats::default();
+                for _ in 0..ops / CHURN_OPS_PER_GEN {
+                    let mut h = obj.register();
+                    for _ in 0..CHURN_OPS_PER_GEN {
+                        let _ = h.invoke(CounterOp::FetchAndAdd(1));
+                    }
+                    agg.merge(wf_stats(&h));
+                    h.retire();
+                }
+                agg
+            })
+        })
+        .collect();
+    let mut agg = WorkStats::default();
+    for j in joins {
+        agg.merge(j.join().unwrap());
+    }
+    agg
+}
+
+/// ns/op plus merged stats for one churn row (`batched` picks the
+/// decide mode). Object construction is hoisted like the static rows;
+/// registration/retirement is deliberately *inside* the timed region —
+/// membership churn is the workload.
+fn run_churn(batched: bool, n: usize, ops: usize, samples: usize) -> (f64, WorkStats) {
+    let mut agg = WorkStats::default();
+    let median = measure_with_setup(
+        samples,
+        || {
+            if batched {
+                WfUniversal::new_dynamic(Counter::new(0), CHURN_OPS_PER_GEN)
+            } else {
+                WfUniversal::new_dynamic_per_op(Counter::new(0), CHURN_OPS_PER_GEN)
+            }
+        },
+        |obj| agg.merge(churn_workload(&obj, n, ops)),
+    );
+    let executed = n * (ops / CHURN_OPS_PER_GEN) * CHURN_OPS_PER_GEN;
+    (median.as_nanos() as f64 / executed.max(1) as f64, agg)
+}
+
 fn env_usize(key: &str, default: usize) -> usize {
     std::env::var(key).ok().and_then(|s| s.parse().ok()).unwrap_or(default)
 }
@@ -300,7 +355,16 @@ fn cli_timestamp() -> String {
 /// `BENCH_universal.json` (wrapping a pre-schema-2 bare report as the
 /// first run), append `{timestamp, config, report}`, and render the
 /// schema-2 document.
-fn merged_trajectory(prior: Option<&str>, report_json: &str, timestamp: &str, config: Json) -> String {
+///
+/// A *missing* prior is a fresh start (new clone, new trajectory). An
+/// *unparseable* prior is an error: overwriting it would silently
+/// discard the recorded history, so the caller must fail instead.
+fn merged_trajectory(
+    prior: Option<&str>,
+    report_json: &str,
+    timestamp: &str,
+    config: Json,
+) -> Result<String, String> {
     let mut runs: Vec<Json> = match prior.map(Json::parse) {
         Some(Ok(doc)) => match doc.get("runs").and_then(Json::as_array) {
             Some(existing) => existing.to_vec(),
@@ -314,8 +378,10 @@ fn merged_trajectory(prior: Option<&str>, report_json: &str, timestamp: &str, co
             None => Vec::new(),
         },
         Some(Err(e)) => {
-            eprintln!("ignoring unparseable BENCH_universal.json: {e}");
-            Vec::new()
+            return Err(format!(
+                "existing trajectory is not valid JSON ({e}); refusing to \
+                 overwrite the recorded history — fix or remove the file"
+            ))
         }
         None => Vec::new(),
     };
@@ -325,11 +391,11 @@ fn merged_trajectory(prior: Option<&str>, report_json: &str, timestamp: &str, co
         ("config".into(), config),
         ("report".into(), report),
     ]));
-    Json::Obj(vec![
+    Ok(Json::Obj(vec![
         ("schema".into(), Json::num(2)),
         ("runs".into(), Json::Arr(runs)),
     ])
-    .pretty()
+    .pretty())
 }
 
 fn main() {
@@ -406,6 +472,43 @@ fn main() {
         }
     }
 
+    // The churn workload: dynamic membership (register → operate →
+    // retire per generation) on the pointer paths. The helping bound
+    // here is over the registry high-water, which concurrent claim races
+    // can push transiently past n, so the gate uses 4n + 8 slack.
+    report.note(format!(
+        "churn workload: every {CHURN_OPS_PER_GEN} ops the thread retires its handle and \
+         re-registers (slot claim + announce reuse timed in); cell has no registry, \
+         so only the pointer paths have churn rows"
+    ));
+    for n in THREAD_COUNTS {
+        let (ptr_ns, ptr_stats) = run_churn(false, n, ops, samples);
+        let (bat_ns, bat_stats) = run_churn(true, n, ops, samples);
+        let legs = [
+            (PtrPath::NAME, ptr_ns, &ptr_stats),
+            (BatchedPath::NAME, bat_ns, &bat_stats),
+        ];
+        for (name, ns, stats) in legs {
+            report.row(&[
+                "churn".to_string(),
+                name.to_string(),
+                n.to_string(),
+                ops.to_string(),
+                format!("{ns:.1}"),
+                stats.max_steps.to_string(),
+                stats.per_invoke(|h| h.decides),
+                stats.per_invoke(|h| h.cas_failures),
+            ]);
+            if stats.max_steps > 4 * n + 8 {
+                report.fail(format!(
+                    "churn n={n} {name}: {} threading steps exceeds the O(active) bound \
+                     (registry high-water ≤ 2n under churn)",
+                    stats.max_steps
+                ));
+            }
+        }
+    }
+
     // The recorded perf-trajectory file at the repo root: merge this run
     // into the prior runs (never overwrite the history), alongside the
     // standard single-report results/ copy written by finish().
@@ -417,9 +520,21 @@ fn main() {
             Json::Arr(THREAD_COUNTS.iter().map(|n| Json::num(*n as u64)).collect()),
         ),
         ("construction".into(), Json::Str("hoisted".into())),
+        // The dynamic-membership registry replaced the static announce
+        // array (slot indirection on the helping scan, churn workload
+        // rows): like the "construction" marker above, this keys a new
+        // config group so pre-membership figures never gate post-
+        // membership runs.
+        ("membership".into(), Json::Str("dynamic".into())),
     ]);
     let prior = std::fs::read_to_string("BENCH_universal.json").ok();
-    let merged = merged_trajectory(prior.as_deref(), &report.to_json(), &timestamp, config);
+    let merged = match merged_trajectory(prior.as_deref(), &report.to_json(), &timestamp, config) {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("bench_universal: BENCH_universal.json: {e}");
+            std::process::exit(2);
+        }
+    };
     if let Err(e) = std::fs::write("BENCH_universal.json", merged) {
         eprintln!("could not write BENCH_universal.json: {e}");
         std::process::exit(1);
@@ -441,7 +556,9 @@ mod tests {
     #[test]
     fn legacy_file_is_wrapped_then_appended() {
         // First merge over a pre-schema-2 bare report.
-        let merged = merged_trajectory(Some(&report_json()), &report_json(), "t1", Json::Obj(vec![]));
+        let merged =
+            merged_trajectory(Some(&report_json()), &report_json(), "t1", Json::Obj(vec![]))
+                .unwrap();
         let doc = Json::parse(&merged).unwrap();
         assert_eq!(doc.get("schema"), Some(&Json::num(2)));
         let runs = doc.get("runs").and_then(Json::as_array).unwrap();
@@ -450,7 +567,8 @@ mod tests {
         assert_eq!(runs[1].get("timestamp").and_then(Json::as_str), Some("t1"));
 
         // Second merge over the schema-2 file appends.
-        let merged2 = merged_trajectory(Some(&merged), &report_json(), "t2", Json::Obj(vec![]));
+        let merged2 =
+            merged_trajectory(Some(&merged), &report_json(), "t2", Json::Obj(vec![])).unwrap();
         let doc2 = Json::parse(&merged2).unwrap();
         let runs2 = doc2.get("runs").and_then(Json::as_array).unwrap();
         assert_eq!(runs2.len(), 3);
@@ -459,12 +577,20 @@ mod tests {
     }
 
     #[test]
-    fn missing_or_garbage_prior_starts_fresh() {
-        for prior in [None, Some("not json at all")] {
-            let merged = merged_trajectory(prior, &report_json(), "t", Json::Obj(vec![]));
-            let doc = Json::parse(&merged).unwrap();
-            assert_eq!(doc.get("runs").and_then(Json::as_array).unwrap().len(), 1);
-        }
+    fn missing_prior_starts_fresh() {
+        let merged = merged_trajectory(None, &report_json(), "t", Json::Obj(vec![])).unwrap();
+        let doc = Json::parse(&merged).unwrap();
+        assert_eq!(doc.get("runs").and_then(Json::as_array).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn garbage_prior_is_an_error_not_a_silent_restart() {
+        let err = merged_trajectory(Some("not json at all"), &report_json(), "t", Json::Obj(vec![]))
+            .unwrap_err();
+        assert!(
+            err.contains("refusing to overwrite"),
+            "error must explain the refusal: {err}"
+        );
     }
 
     #[test]

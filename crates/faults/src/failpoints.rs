@@ -24,6 +24,12 @@
 //! name); the universal-object family, shared by the pointer and cell
 //! paths so one adversary plan stresses either:
 //!
+//! * `universal::register` — on entry to the pointer path's dynamic
+//!   `register`, before any registry slot is claimed (a crash here has
+//!   published nothing);
+//! * `universal::retire` — after `retire` marks the slot departed,
+//!   before reclamation (a crash here leaves a retired, quiescent slot
+//!   for the next registrant to recycle);
 //! * `universal::announce` / `universal::announced` — around the
 //!   announce-slot publication;
 //! * `universal::collect` — before the combining scan that gathers all

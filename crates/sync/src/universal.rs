@@ -45,16 +45,36 @@
 //!   preserves the PR-2 one-op-per-decide candidate selection for
 //!   benchmarks and differential tests.
 //!
+//! * **Dynamic membership** (this PR's layer). The paper fixes the
+//!   process set `n` at creation time; a production service does not.
+//!   Following the infinite-arrival construction of
+//!   Bonin–Mostéfaoui–Perrin (PAPERS.md), the static announce array is
+//!   replaced by a *registry*: a segmented, lazily grown array of
+//!   handle slots, each claimed by one CAS. [`WfUniversal::register`]
+//!   is wait-free — every failed claim CAS implies a *different*
+//!   concurrent registrant's success, so the scan's step count is
+//!   bounded by the number of concurrently arriving clients.
+//!   [`WfHandle::retire`] marks a slot departed; a quiesced retired
+//!   slot is reclaimed (lazily, by the next registrant to scan past
+//!   it), so registry memory is bounded by the *peak number of
+//!   concurrently active handles*, never by total arrivals. A client
+//!   that crashes without retiring degrades gracefully: its at-most-one
+//!   pending op stays announced and helpable forever, and it costs
+//!   exactly one registry slot — never a wedged helping loop, because
+//!   helpers skip a slot with nothing pending in two loads.
+//!
 //! How an operation executes (unchanged from Figure 4-5's algorithm):
 //!
 //! 1. **Announce** the operation in the caller's announce slot.
 //! 2. **Thread** it onto the log: repeatedly take the first undecided
 //!    position `k` and run consensus on a candidate — in combining mode
 //!    the batch of all pending announced ops (scanned starting from
-//!    position `k`'s *preferred thread* `k mod n`), in per-op mode the
-//!    preferred thread's pending entry or the caller's own. Once every
-//!    position periodically prefers each thread, an announced operation
-//!    is threaded within `n` positions: the wait-free bound.
+//!    position `k`'s *preferred slot* `k mod hi`, where `hi` is the
+//!    registered-slot high-water), in per-op mode the preferred slot's
+//!    pending entry or the caller's own. Once every position
+//!    periodically prefers each slot, an announced operation is
+//!    threaded within `hi` positions: the wait-free bound, restated
+//!    over peak active handles instead of a static `n`.
 //! 3. **Replay** the log from the handle's cached state up to the caller's
 //!    entry to compute the response (§4.1's `eval`/`apply`).
 //!
@@ -94,21 +114,39 @@
 //! * the `segments` diagnostic counter: `AcqRel` bump / `Acquire` read,
 //!   so a reported count of `n` implies the `n` installs it counts are
 //!   visible to the reader;
-//! * `announced`/`done`: `SeqCst` — they form the announce/help
-//!   handshake the O(n) bound is proved against, and they are off the
-//!   per-iteration fast path. The combining collect scan reads both
-//!   through [`pending`](WfHandle::pending)'s `SeqCst` loads, one pair
-//!   per thread: seeing `announced[t] > done[t]` must imply the
-//!   announce slot is populated (the announcer's slot write is
-//!   sequenced before its `SeqCst` store to `announced`), and a batch
-//!   member `(t, s)` must imply `(t, s-1)` was already threaded (the
-//!   `SeqCst` load of `done[t]` sits after the decider's `SeqCst`
-//!   `fetch_max` in the single total order).
+//! * registry segment `next` links and per-slot announce-chunk `next`
+//!   links: `Release` install / `Acquire` follow, the same idiom (and
+//!   the same audit obligations) as the log's segment chain;
+//! * `slots_hi`, the registered-slot high-water: `AcqRel` `fetch_max`
+//!   on claim / `Acquire` read, so a scanner that reads `hi` can reach
+//!   every slot below it through the registry chain;
+//! * a slot's `announce_latest` chunk hint: `Release` store by the
+//!   owner on chunk install / `Acquire` read by helpers — purely a
+//!   walk-shortening hint; a stale value costs a walk from an earlier
+//!   chunk, never a missed cell;
+//! * slot `state` (free / active / retired): `SeqCst` — claim and
+//!   retirement are rare membership events, kept on the strongest
+//!   ordering so slot hand-over inherits the departing owner's
+//!   announce writes;
+//! * `announced`/`done` (now per registry slot): `SeqCst` — they form
+//!   the announce/help handshake the helping bound is proved against,
+//!   and they are off the per-iteration fast path. The combining
+//!   collect scan reads both through `pending`'s `SeqCst` loads, one
+//!   pair per slot: seeing `announced > done` must imply the announce
+//!   cell is populated (the announcer's cell write is sequenced before
+//!   its `SeqCst` store to `announced`), and a batch member `(t, s)`
+//!   must imply `(t, s-1)` was already threaded (the `SeqCst` load of
+//!   `done` sits after the decider's `SeqCst` `fetch_max` in the
+//!   single total order). Sequence numbers continue across slot reuse
+//!   — a re-registered slot's first op takes `seq = announced` — so
+//!   the `(tid, seq)` replay dedup stays sound over churn.
 //!
 //! # Failpoint sites (feature `failpoints`)
 //!
 //! | site | placed |
 //! |------|--------|
+//! | `universal::register`  | on entry to `register`, before any slot is claimed |
+//! | `universal::retire`    | after the slot is marked retired, before reclamation |
 //! | `universal::announce`  | before the announce-slot write |
 //! | `universal::announced` | after the announce is published, before threading |
 //! | `universal::collect`   | before the announce-array scan that builds a combined batch (combining mode only) |
@@ -116,15 +154,19 @@
 //! | `universal::decided`   | after a decide, before the position advances |
 //! | `universal::replay`    | in the replay loop, per applied operation |
 //!
-//! The sites carry the same names as the baseline's
+//! The shared sites carry the same names as the baseline's
 //! ([`crate::universal_cell`]), so one adversary plan stresses either
-//! path (`universal::collect` fires only on the combining path). A
+//! path (`universal::collect` fires only on the combining path;
+//! `universal::register`/`universal::retire` only on this one). A
 //! thread crashed at `universal::announce` has published nothing; one
 //! crashed at any later site — including mid-collect, holding refcount
 //! bumps on other threads' pending entries — has an announced operation
 //! that helpers may still thread, and the entries it collected stay
 //! announced and helpable because a collect scan mutates nothing
 //! shared. Verify such histories with `PendingPolicy::MayTakeEffect`.
+//! A client crashed at `universal::register` has claimed nothing; one
+//! crashed at `universal::retire` leaves its slot marked retired and
+//! quiescent, which the next registrant to scan past reclaims.
 
 use std::fmt;
 use std::marker::PhantomData;
@@ -138,6 +180,24 @@ use waitfree_model::{ObjectSpec, Pid};
 /// Log positions per segment. 64 keeps a segment at one or two cache
 /// pages of pointers and makes the growth tests cheap to trigger.
 pub const SEGMENT_SIZE: usize = 64;
+
+/// Handle slots per registry segment. Small, so the bounded-by-peak
+/// tests can observe reuse without thousands of arrivals.
+pub const REGISTRY_SEGMENT: usize = 8;
+
+/// Announce cells per per-slot chunk. A slot's announce log grows one
+/// chunk at a time as its owners invoke.
+pub const ANNOUNCE_CHUNK: usize = 8;
+
+/// Registry-slot states. A slot is claimed FREE → ACTIVE by one
+/// `register` CAS, marked ACTIVE → RETIRED by `retire`, and recycled
+/// RETIRED → FREE (by the retiring owner, or lazily by a later
+/// registrant) once nothing is pending on it. A crashed client's slot
+/// simply stays ACTIVE (or RETIRED with a pending op): helpers skip it
+/// in two loads, and it costs one slot, never a wedged loop.
+const SLOT_FREE: usize = 0;
+const SLOT_ACTIVE: usize = 1;
+const SLOT_RETIRED: usize = 2;
 
 /// Why a universal-object operation could not complete. These are the
 /// resource-exhaustion edges of the bounded renderings of §4 — not
@@ -164,6 +224,13 @@ pub enum UniversalError {
         /// Its per-thread operation budget.
         max_ops: usize,
     },
+    /// This handle was retired ([`WfHandle::retire`]); the operation
+    /// was not announced and has no effect. Register a fresh handle to
+    /// keep operating on the object.
+    Retired {
+        /// The registry slot the handle occupied.
+        tid: usize,
+    },
 }
 
 impl fmt::Display for UniversalError {
@@ -174,6 +241,9 @@ impl fmt::Display for UniversalError {
             }
             UniversalError::BudgetExhausted { tid, max_ops } => {
                 write!(f, "thread {tid} exceeded its budget of {max_ops} operations")
+            }
+            UniversalError::Retired { tid } => {
+                write!(f, "handle on registry slot {tid} is retired")
             }
         }
     }
@@ -227,9 +297,200 @@ impl<Op> LogEntry<Op> {
     }
 }
 
-/// One announce-array slot: set exactly once by the owner, read (and
-/// refcount-bumped) by helpers.
-type AnnounceSlot<S> = OnceLock<Arc<Entry<<S as ObjectSpec>::Op>>>;
+/// One announce cell: set exactly once by the slot owner that announced
+/// the sequence number it covers, read (and refcount-bumped) by
+/// helpers. Write-once is what makes a cell safely readable by
+/// arbitrarily stalled helpers — cells are never reset, only appended,
+/// so slot reuse continues the cell index where the previous owner
+/// stopped.
+type AnnounceCell<Op> = OnceLock<Arc<Entry<Op>>>;
+
+/// One fixed-size block of a registry slot's announce log, covering
+/// sequence numbers `base .. base + ANNOUNCE_CHUNK`. Grown by the slot
+/// owner exactly like the shared log's segments: allocate, one CAS on
+/// the `next` link, loser frees and follows.
+struct AnnounceChunk<Op> {
+    base: usize,
+    cells: Box<[AnnounceCell<Op>]>,
+    next: AtomicPtr<AnnounceChunk<Op>>,
+}
+
+impl<Op> AnnounceChunk<Op> {
+    fn new(base: usize) -> Box<Self> {
+        Box::new(AnnounceChunk {
+            base,
+            cells: (0..ANNOUNCE_CHUNK).map(|_| OnceLock::new()).collect(),
+            next: AtomicPtr::new(ptr::null_mut()),
+        })
+    }
+}
+
+impl<Op> Drop for AnnounceChunk<Op> {
+    fn drop(&mut self) {
+        // Free the rest of the chain iteratively, as `Segment` does.
+        let mut next = std::mem::replace(self.next.get_mut(), ptr::null_mut());
+        while !next.is_null() {
+            // SAFETY: `next` came from `Box::into_raw` in `HandleSlot::cell`
+            // and is detached before the Box drops, so each chunk is
+            // freed exactly once.
+            let mut chunk = unsafe { Box::from_raw(next) };
+            next = std::mem::replace(chunk.next.get_mut(), ptr::null_mut());
+        }
+    }
+}
+
+/// One registry slot: the dynamic-membership replacement for a fixed
+/// thread index. A slot carries the announce/help handshake counters
+/// and a chunked write-once announce log; its `state` word tracks
+/// claim/retirement. Slots are recycled across registrations — the
+/// sequence counter continues, the state machine resets.
+struct HandleSlot<Op> {
+    /// `SLOT_FREE` / `SLOT_ACTIVE` / `SLOT_RETIRED`.
+    state: AtomicUsize,
+    /// Operations announced on this slot across all of its owners.
+    announced: AtomicUsize,
+    /// Operations of this slot threaded onto the log.
+    done: AtomicUsize,
+    /// First announce chunk (base 0); later chunks hang off its `next`
+    /// chain and are owned by it.
+    announce_head: Box<AnnounceChunk<Op>>,
+    /// Hint to the highest-base installed chunk, so helpers reach the
+    /// frontier cell without walking the chain from its head.
+    announce_latest: AtomicPtr<AnnounceChunk<Op>>,
+}
+
+impl<Op> HandleSlot<Op> {
+    fn new() -> Self {
+        let announce_head = AnnounceChunk::new(0);
+        let latest: *mut AnnounceChunk<Op> =
+            (&*announce_head as *const AnnounceChunk<Op>).cast_mut();
+        HandleSlot {
+            state: AtomicUsize::new(SLOT_FREE),
+            announced: AtomicUsize::new(0),
+            done: AtomicUsize::new(0),
+            announce_head,
+            announce_latest: AtomicPtr::new(latest),
+        }
+    }
+
+    /// The announce cell for sequence number `seq`, growing the chunk
+    /// chain as needed. Owner-side: only the slot's current owner calls
+    /// this, with its cached chunk pointer in `cache` (invariant:
+    /// `(*cache).base <= seq` once clamped below).
+    fn cell(&self, cache: &mut *const AnnounceChunk<Op>, seq: usize) -> &AnnounceCell<Op> {
+        // SAFETY (all derefs below): chunk pointers originate from
+        // `announce_head` or from `next` links installed with Release
+        // and read with Acquire; chunks are never freed while the
+        // owning `Shared` is alive.
+        let mut c = *cache;
+        if unsafe { &*c }.base > seq {
+            c = &*self.announce_head;
+        }
+        loop {
+            let cr = unsafe { &*c };
+            if seq < cr.base + ANNOUNCE_CHUNK {
+                *cache = c;
+                return &cr.cells[seq - cr.base];
+            }
+            // ordering: Acquire — pairs with the Release install below
+            // (possibly by a previous owner of this slot), so the
+            // chunk's cells are initialized before it is reachable.
+            let next = cr.next.load(Ordering::Acquire);
+            if !next.is_null() {
+                c = next;
+                continue;
+            }
+            let fresh = Box::into_raw(AnnounceChunk::new(cr.base + ANNOUNCE_CHUNK));
+            match cr.next.compare_exchange(
+                ptr::null_mut(),
+                fresh,
+                // ordering: Release on success — publishes the built
+                // chunk with the link; Acquire on failure to follow a
+                // winner (unreachable while slot ownership is exclusive,
+                // kept for symmetry with the log's growth idiom).
+                Ordering::Release,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => {
+                    // ordering: Release — publish the hint only after the
+                    // chunk it points to is reachable; readers Acquire.
+                    self.announce_latest.store(fresh, Ordering::Release);
+                    c = fresh;
+                }
+                Err(winner) => {
+                    // SAFETY: the CAS failed, so `fresh` was never
+                    // published; we still own it exclusively.
+                    drop(unsafe { Box::from_raw(fresh) });
+                    c = winner;
+                }
+            }
+        }
+    }
+
+    /// The announced entry with sequence number `seq`, if its cell is
+    /// populated — helper-side, a refcount bump. Starts at the
+    /// `announce_latest` hint and falls back to a walk from the head
+    /// chunk, so staleness costs steps, never correctness.
+    fn entry_at(&self, seq: usize) -> Option<Arc<Entry<Op>>> {
+        // ordering: Acquire — pairs with the owner's Release store in
+        // `cell`, so the hinted chunk is initialized before we read it.
+        let mut c: *const AnnounceChunk<Op> = self.announce_latest.load(Ordering::Acquire);
+        // SAFETY: see `cell` — the chunk chain outlives `&self`.
+        if unsafe { &*c }.base > seq {
+            c = &*self.announce_head;
+        }
+        loop {
+            let cr = unsafe { &*c };
+            if seq < cr.base + ANNOUNCE_CHUNK {
+                return cr.cells[seq - cr.base].get().cloned();
+            }
+            // ordering: Acquire — pairs with the Release chunk install
+            // in `cell`.
+            let next = cr.next.load(Ordering::Acquire);
+            if next.is_null() {
+                // The caller's announced/done reads were stale; there
+                // is nothing (left) to help here.
+                return None;
+            }
+            c = next;
+        }
+    }
+}
+
+/// One fixed-size block of the handle registry, covering slot indices
+/// `base .. base + REGISTRY_SEGMENT`. Grown with the same one-CAS
+/// wait-free idiom as the log's segments.
+struct RegSegment<Op> {
+    base: usize,
+    slots: Box<[HandleSlot<Op>]>,
+    next: AtomicPtr<RegSegment<Op>>,
+}
+
+impl<Op> RegSegment<Op> {
+    fn new(base: usize) -> Box<Self> {
+        Box::new(RegSegment {
+            base,
+            slots: (0..REGISTRY_SEGMENT).map(|_| HandleSlot::new()).collect(),
+            next: AtomicPtr::new(ptr::null_mut()),
+        })
+    }
+}
+
+impl<Op> Drop for RegSegment<Op> {
+    fn drop(&mut self) {
+        // Free the rest of the chain iteratively, as `Segment` does;
+        // each segment's slots (and their announce chunks) drop with
+        // their Boxes.
+        let mut next = std::mem::replace(self.next.get_mut(), ptr::null_mut());
+        while !next.is_null() {
+            // SAFETY: `next` came from `Box::into_raw` in `reg_slot_grow`
+            // and is detached before the Box drops, so each segment is
+            // freed exactly once.
+            let mut seg = unsafe { Box::from_raw(next) };
+            next = std::mem::replace(seg.next.get_mut(), ptr::null_mut());
+        }
+    }
+}
 
 /// One fixed-size block of the segmented log. `base` is the global index
 /// of `slots[0]`; a null slot is an undecided position. Segments are
@@ -283,21 +544,30 @@ impl<Op> Drop for Segment<Op> {
 }
 
 struct Shared<S: ObjectSpec> {
-    n: usize,
+    /// Per-*registration* operation budget: each `register` grants a
+    /// fresh `max_ops` announce cells on the claimed slot.
     max_ops: usize,
     /// Opt-in position cap; `None` lets the log grow without bound.
     cap: Option<usize>,
-    /// Combining mode: scan the announce array and propose all pending
-    /// ops as one batch per decide (the default hot path). `false`
-    /// keeps the PR-2 one-op-per-decide candidate selection.
+    /// Combining mode: scan the announce registry and propose all
+    /// pending ops as one batch per decide (the default hot path).
+    /// `false` keeps the PR-2 one-op-per-decide candidate selection.
     combine: bool,
-    /// `announce[tid][seq]`. `Arc`'d so helpers take a refcount bump,
-    /// not a payload clone.
-    announce: Vec<Vec<AnnounceSlot<S>>>,
-    /// Number of operations thread `tid` has announced.
-    announced: Vec<AtomicUsize>,
-    /// Number of operations of thread `tid` threaded onto the log.
-    done: Vec<AtomicUsize>,
+    /// First registry segment (slot indices 0..REGISTRY_SEGMENT). Later
+    /// segments hang off its `next` chain and are owned by it.
+    reg_head: Box<RegSegment<S::Op>>,
+    /// One past the highest slot index ever claimed — the `hi` that
+    /// bounds the helping scan and the restated O(peak active) bound.
+    /// Slot reuse keeps this at peak concurrent registrations, not
+    /// total arrivals.
+    slots_hi: AtomicUsize,
+    /// Currently registered handles (diagnostics; a crash mid-retirement
+    /// or a dropped-without-retire handle stays counted).
+    active: AtomicUsize,
+    /// High-water mark of `active` (diagnostics).
+    peak_active: AtomicUsize,
+    /// Total `register` calls ever (diagnostics).
+    arrivals: AtomicUsize,
     /// First segment of the log (base 0). Later segments hang off its
     /// `next` chain and are owned by it (freed in `Segment::drop`).
     head: Box<Segment<S::Op>>,
@@ -311,13 +581,15 @@ struct Shared<S: ObjectSpec> {
 impl<S: ObjectSpec> fmt::Debug for Shared<S> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("Shared")
-            .field("n", &self.n)
             .field("max_ops", &self.max_ops)
             .field("cap", &self.cap)
             .field("combine", &self.combine)
             // ordering: Acquire — diagnostics read cross-thread state;
             // Acquire keeps the printed values consistent with the
             // structures they describe (uniform rule for observers).
+            .field("slots_hi", &self.slots_hi.load(Ordering::Acquire))
+            .field("active", &self.active.load(Ordering::SeqCst))
+            // ordering: Acquire — same observer rule as `slots_hi`.
             .field("segments", &self.segments.load(Ordering::Acquire))
             .field("hint", &self.hint.load(Ordering::Acquire))
             .finish_non_exhaustive()
@@ -325,6 +597,127 @@ impl<S: ObjectSpec> fmt::Debug for Shared<S> {
 }
 
 impl<S: ObjectSpec> Shared<S> {
+    /// One past the highest slot index ever claimed.
+    fn registered(&self) -> usize {
+        // ordering: Acquire — pairs with the AcqRel fetch_max in
+        // `register`'s claim, so a reader of `hi` can reach every slot
+        // below `hi` through the registry chain (the claimant walked it
+        // with Acquire before bumping).
+        self.slots_hi.load(Ordering::Acquire)
+    }
+
+    /// The registry slot at index `t`, which must already be reachable
+    /// (`t` below a value read from `slots_hi`, or below a claim this
+    /// thread performed).
+    fn reg_slot(&self, t: usize) -> &HandleSlot<S::Op> {
+        // SAFETY (all derefs below): registry segment pointers originate
+        // from `self.reg_head` or from `next` links installed with
+        // Release and read with Acquire; segments are never freed while
+        // `self` is alive.
+        let mut seg: *const RegSegment<S::Op> = &*self.reg_head;
+        loop {
+            let s = unsafe { &*seg };
+            if t < s.base + REGISTRY_SEGMENT {
+                return &s.slots[t - s.base];
+            }
+            // ordering: Acquire — pairs with the Release install in
+            // `reg_slot_grow`, so the segment's slots are initialized
+            // before the link is observable.
+            let next = s.next.load(Ordering::Acquire);
+            assert!(!next.is_null(), "slot {t} beyond the installed registry");
+            seg = next;
+        }
+    }
+
+    /// The registry slot at index `t`, growing the registry as needed
+    /// (the `register` path). Growth is wait-free: allocate the missing
+    /// segment, one install CAS, losers free their copy and follow.
+    fn reg_slot_grow(&self, t: usize) -> &HandleSlot<S::Op> {
+        // SAFETY: see `reg_slot`.
+        let mut seg: *const RegSegment<S::Op> = &*self.reg_head;
+        loop {
+            let s = unsafe { &*seg };
+            if t < s.base + REGISTRY_SEGMENT {
+                return &s.slots[t - s.base];
+            }
+            // ordering: Acquire — pairs with the Release install below.
+            let next = s.next.load(Ordering::Acquire);
+            if !next.is_null() {
+                seg = next;
+                continue;
+            }
+            let fresh = Box::into_raw(RegSegment::new(s.base + REGISTRY_SEGMENT));
+            match s.next.compare_exchange(
+                ptr::null_mut(),
+                fresh,
+                // ordering: Release on success — publishes the fully
+                // built segment (slots, announce chunks) with the link;
+                // Acquire on failure to safely follow the winner.
+                Ordering::Release,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => seg = fresh,
+                Err(winner) => {
+                    // SAFETY: the CAS failed, so `fresh` was never
+                    // published; we still own it exclusively.
+                    drop(unsafe { Box::from_raw(fresh) });
+                    seg = winner;
+                }
+            }
+        }
+    }
+
+    /// The oldest announced-but-unthreaded entry on `slot`, if any — a
+    /// refcount bump, never a payload clone. A free, retired-quiescent,
+    /// or idle slot costs exactly these two loads: that is how helpers
+    /// "stop scanning" departed handles.
+    fn pending(&self, slot: &HandleSlot<S::Op>) -> Option<Arc<Entry<S::Op>>> {
+        // SeqCst on both counters: the announce/help handshake. Seeing
+        // `announced > done` must imply the announce cell is populated,
+        // which the announcing owner guarantees by writing the cell
+        // before its SeqCst store to `announced`.
+        let d = slot.done.load(Ordering::SeqCst);
+        let a = slot.announced.load(Ordering::SeqCst);
+        if d < a {
+            slot.entry_at(d)
+        } else {
+            None
+        }
+    }
+
+    /// [`Shared::pending`] by slot index (the per-op candidate path).
+    fn pending_at(&self, t: usize) -> Option<Arc<Entry<S::Op>>> {
+        self.pending(self.reg_slot(t))
+    }
+
+    /// Gather the pending entries of slots `from..to` (one linear walk
+    /// of the registry chain) into `members`.
+    fn pending_range(&self, from: usize, to: usize, members: &mut Vec<Arc<Entry<S::Op>>>) {
+        if from >= to {
+            return;
+        }
+        // SAFETY: see `reg_slot`.
+        let mut seg: *const RegSegment<S::Op> = &*self.reg_head;
+        let mut t = from;
+        while t < to {
+            let s = unsafe { &*seg };
+            if t >= s.base + REGISTRY_SEGMENT {
+                // ordering: Acquire — pairs with the Release segment
+                // install in `reg_slot_grow`.
+                let next = s.next.load(Ordering::Acquire);
+                if next.is_null() {
+                    return; // `to` outran this thread's view; nothing there to help
+                }
+                seg = next;
+                continue;
+            }
+            if let Some(e) = self.pending(&s.slots[t - s.base]) {
+                members.push(e);
+            }
+            t += 1;
+        }
+    }
+
     /// The segment containing position `k`, walking forward from `seg`
     /// (which must satisfy `seg.base <= k`) and growing the log as
     /// needed. Returns a pointer into the chain owned by `self.head`.
@@ -442,9 +835,14 @@ unsafe impl<S: ObjectSpec + Sync> Sync for Shared<S> where S::Op: Send + Sync {}
 
 /// A wait-free universal object wrapping a sequential specification `S`.
 ///
-/// Create with [`WfUniversal::new`] (batch combining, the default hot
-/// path) or [`WfUniversal::new_per_op`] (one decide per operation, the
-/// PR-2 baseline), then hand one [`WfHandle`] to each thread. See
+/// The object is a cloneable front-end over the shared state; clients
+/// join and leave dynamically. Create with [`WfUniversal::new_dynamic`]
+/// (batch combining, the default hot path) or
+/// [`WfUniversal::new_dynamic_per_op`], then call
+/// [`WfUniversal::register`] to obtain a [`WfHandle`] per client and
+/// [`WfHandle::retire`] when a client departs. The fixed-membership
+/// constructors ([`WfUniversal::new`] and friends) remain as one-shot
+/// conveniences that register `n` handles up front. See
 /// [`crate::wrappers`] for typed instantiations, and
 /// [`crate::universal_cell`] for the unoptimised reference rendering.
 ///
@@ -455,12 +853,39 @@ unsafe impl<S: ObjectSpec + Sync> Sync for Shared<S> where S::Op: Send + Sync {}
 /// use waitfree_objects::counter::{Counter, CounterOp, CounterResp};
 /// use waitfree_sync::universal::WfUniversal;
 ///
+/// // Fixed membership: n handles up front.
 /// let mut handles = WfUniversal::new(Counter::new(0), 2, 16);
 /// let mut h0 = handles.remove(0);
 /// assert_eq!(h0.invoke(CounterOp::FetchAndAdd(5)), CounterResp::Value(0));
 /// assert_eq!(h0.invoke(CounterOp::Get), CounterResp::Value(5));
+///
+/// // Dynamic membership: clients arrive, operate, and depart.
+/// let obj = WfUniversal::new_dynamic(Counter::new(0), 16);
+/// let mut a = obj.register();
+/// assert_eq!(a.invoke(CounterOp::FetchAndAdd(1)), CounterResp::Value(0));
+/// a.retire();
+/// let mut b = obj.register(); // reuses a's registry slot
+/// assert_eq!(b.invoke(CounterOp::Get), CounterResp::Value(1));
+/// assert_eq!(obj.registry_slots(), 1);
 /// ```
-pub struct WfUniversal<S: ObjectSpec>(std::marker::PhantomData<S>);
+pub struct WfUniversal<S: ObjectSpec> {
+    shared: Arc<Shared<S>>,
+    /// The initial abstract state, cloned into each registered handle's
+    /// local replica (every replica replays the same log from it).
+    initial: S,
+}
+
+impl<S: ObjectSpec> Clone for WfUniversal<S> {
+    fn clone(&self) -> Self {
+        WfUniversal { shared: Arc::clone(&self.shared), initial: self.initial.clone() }
+    }
+}
+
+impl<S: ObjectSpec> fmt::Debug for WfUniversal<S> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("WfUniversal").field("shared", &self.shared).finish_non_exhaustive()
+    }
+}
 
 impl<S: ObjectSpec> WfUniversal<S> {
     /// Build the object for `n` threads, each performing at most
@@ -471,8 +896,8 @@ impl<S: ObjectSpec> WfUniversal<S> {
     /// lazily: memory is O(positions actually decided), not
     /// O(n²·max_ops) up front, and [`UniversalError::LogFull`] is never
     /// returned.
-    // `WfUniversal` is a factory: the object only exists as the shared
-    // state behind the per-thread handles it hands out.
+    // The fixed-membership constructors are factories: they drop the
+    // front-end and hand out only the per-thread handles.
     #[allow(clippy::new_ret_no_self)]
     #[must_use]
     pub fn new(initial: S, n: usize, max_ops: usize) -> Vec<WfHandle<S>> {
@@ -513,6 +938,47 @@ impl<S: ObjectSpec> WfUniversal<S> {
         Self::build(initial, n, max_ops, Some(capacity), false)
     }
 
+    /// Build a dynamic-membership object: no fixed process set. Each
+    /// [`WfUniversal::register`] call claims (or recycles) a registry
+    /// slot and grants a fresh `max_ops` operation budget. Decides use
+    /// batch combining.
+    #[must_use]
+    pub fn new_dynamic(initial: S, max_ops: usize) -> Self {
+        Self::make(initial, max_ops, None, true)
+    }
+
+    /// [`WfUniversal::new_dynamic`] with the combining layer disabled.
+    #[must_use]
+    pub fn new_dynamic_per_op(initial: S, max_ops: usize) -> Self {
+        Self::make(initial, max_ops, None, false)
+    }
+
+    /// [`WfUniversal::new_dynamic`] with an explicit log-position cap,
+    /// for tests that need [`UniversalError::LogFull`] under churn.
+    #[must_use]
+    pub fn with_capacity_dynamic(initial: S, max_ops: usize, capacity: usize) -> Self {
+        Self::make(initial, max_ops, Some(capacity), true)
+    }
+
+    fn make(initial: S, max_ops: usize, cap: Option<usize>, combine: bool) -> Self {
+        WfUniversal {
+            shared: Arc::new(Shared {
+                max_ops,
+                cap,
+                combine,
+                reg_head: RegSegment::new(0),
+                slots_hi: AtomicUsize::new(0),
+                active: AtomicUsize::new(0),
+                peak_active: AtomicUsize::new(0),
+                arrivals: AtomicUsize::new(0),
+                head: Segment::new(0),
+                segments: AtomicUsize::new(1),
+                hint: AtomicUsize::new(0),
+            }),
+            initial,
+        }
+    }
+
     fn build(
         initial: S,
         n: usize,
@@ -520,52 +986,154 @@ impl<S: ObjectSpec> WfUniversal<S> {
         cap: Option<usize>,
         combine: bool,
     ) -> Vec<WfHandle<S>> {
-        let shared = Arc::new(Shared {
-            n,
-            max_ops,
-            cap,
-            combine,
-            announce: (0..n)
-                .map(|_| (0..max_ops).map(|_| OnceLock::new()).collect())
-                .collect(),
-            announced: (0..n).map(|_| AtomicUsize::new(0)).collect(),
-            done: (0..n).map(|_| AtomicUsize::new(0)).collect(),
-            head: Segment::new(0),
-            segments: AtomicUsize::new(1),
-            hint: AtomicUsize::new(0),
-        });
-        (0..n)
-            .map(|tid| {
-                let head: *const Segment<S::Op> = &*shared.head;
-                WfHandle {
-                    shared: Arc::clone(&shared),
-                    tid,
-                    state: initial.clone(),
-                    applied: vec![0; n],
-                    cursor: 0,
-                    replay_seg: head,
-                    thread_seg: head,
-                    next_seq: 0,
-                    last_threading_steps: 0,
-                    max_threading_steps: 0,
-                    decides: 0,
-                    cas_failures: 0,
-                    invokes: 0,
+        let obj = Self::make(initial, max_ops, cap, combine);
+        // Sequential registration claims slots 0..n in order, so the
+        // fixed-membership API keeps its tid == index contract.
+        (0..n).map(|_| obj.register()).collect()
+    }
+
+    /// Join the object: claim a registry slot and return a fresh handle
+    /// with a full `max_ops` budget.
+    ///
+    /// Wait-free in the infinite-arrival sense: the claim scan loses a
+    /// CAS (or skips a just-taken slot) only when a *different*
+    /// concurrent `register` succeeded, so its step count is bounded by
+    /// the number of concurrently arriving clients plus the registry
+    /// high-water — never by total arrivals. Retired-and-quiesced slots
+    /// encountered on the way are reclaimed and reused (that is what
+    /// keeps registry memory bounded by peak active handles).
+    #[must_use]
+    pub fn register(&self) -> WfHandle<S> {
+        failpoint!("universal::register");
+        let shared = &self.shared;
+        let mut t = 0usize;
+        let slot: &HandleSlot<S::Op> = loop {
+            let slot = shared.reg_slot_grow(t);
+            let claimable = match slot.state.load(Ordering::SeqCst) {
+                SLOT_FREE => true,
+                SLOT_RETIRED => {
+                    // Lazy reclamation: a departed slot with nothing
+                    // pending goes back in the free pool. (A retired
+                    // slot with a pending op — its owner crashed
+                    // mid-operation or hit LogFull — stays helpable and
+                    // unclaimed until the op is threaded.)
+                    let d = slot.done.load(Ordering::SeqCst);
+                    let a = slot.announced.load(Ordering::SeqCst);
+                    d >= a
+                        && slot
+                            .state
+                            .compare_exchange(
+                                SLOT_RETIRED,
+                                SLOT_FREE,
+                                Ordering::SeqCst,
+                                Ordering::SeqCst,
+                            )
+                            .is_ok()
                 }
-            })
-            .collect()
+                _ => false,
+            };
+            if claimable
+                && slot
+                    .state
+                    .compare_exchange(SLOT_FREE, SLOT_ACTIVE, Ordering::SeqCst, Ordering::SeqCst)
+                    .is_ok()
+            {
+                break slot;
+            }
+            // Every miss above means some concurrent register() claimed
+            // this slot (or a racer reclaimed-and-claimed it): distinct
+            // progress elsewhere, the wait-free accounting.
+            t += 1;
+        };
+        // ordering: AcqRel — publishes the claim's slot index so any
+        // reader of `slots_hi` can reach slot `t` through the registry
+        // chain this thread just walked with Acquire.
+        shared.slots_hi.fetch_max(t + 1, Ordering::AcqRel);
+        let now = shared.active.fetch_add(1, Ordering::SeqCst) + 1;
+        shared.peak_active.fetch_max(now, Ordering::SeqCst);
+        shared.arrivals.fetch_add(1, Ordering::SeqCst);
+        // Sequence numbers continue where the previous owner stopped
+        // (FREE implies announced == done), keeping per-slot seqs
+        // monotone across reuse for the replay dedup.
+        let base = slot.announced.load(Ordering::SeqCst);
+        // ordering: Acquire — the chunk hint left by the previous owner;
+        // pairs with its Release store in `cell` (the claim CAS already
+        // ordered us after the owner's retirement).
+        let own_chunk: *const AnnounceChunk<S::Op> =
+            slot.announce_latest.load(Ordering::Acquire);
+        let head: *const Segment<S::Op> = &*shared.head;
+        WfHandle {
+            shared: Arc::clone(shared),
+            tid: t,
+            slot: slot as *const HandleSlot<S::Op>,
+            own_chunk,
+            state: self.initial.clone(),
+            applied: Vec::new(),
+            cursor: 0,
+            replay_seg: head,
+            thread_seg: head,
+            next_seq: base,
+            budget_end: base + shared.max_ops,
+            retired: false,
+            last_threading_steps: 0,
+            max_threading_steps: 0,
+            decides: 0,
+            cas_failures: 0,
+            invokes: 0,
+        }
+    }
+
+    /// Currently registered handles. A handle dropped without
+    /// [`WfHandle::retire`] (a crashed client) stays counted — it still
+    /// occupies its slot.
+    #[must_use]
+    pub fn active_handles(&self) -> usize {
+        self.shared.active.load(Ordering::SeqCst)
+    }
+
+    /// High-water mark of [`Self::active_handles`].
+    #[must_use]
+    pub fn peak_active(&self) -> usize {
+        self.shared.peak_active.load(Ordering::SeqCst)
+    }
+
+    /// Total [`Self::register`] calls over the object's life.
+    #[must_use]
+    pub fn total_arrivals(&self) -> usize {
+        self.shared.arrivals.load(Ordering::SeqCst)
+    }
+
+    /// One past the highest registry slot index ever claimed — the
+    /// registry's memory footprint witness (allocated registry segments
+    /// are `ceil(registry_slots / REGISTRY_SEGMENT)`). Slot reuse keeps
+    /// this bounded by peak *concurrently active* handles (plus
+    /// transient claim races), never by [`Self::total_arrivals`].
+    #[must_use]
+    pub fn registry_slots(&self) -> usize {
+        self.shared.registered()
     }
 }
 
-/// One thread's handle onto a [`WfUniversal`] object. Not `Clone`: the
-/// thread identity is baked in.
+/// One client's handle onto a [`WfUniversal`] object. Not `Clone`: the
+/// registry-slot identity is baked in. Obtained from
+/// [`WfUniversal::register`] (or the fixed-membership constructors);
+/// returned to the pool with [`WfHandle::retire`]. Dropping a handle
+/// *without* retiring models a crashed client: its slot stays claimed
+/// (one slot leaked, nothing else) and any pending op stays helpable.
 #[derive(Debug)]
 pub struct WfHandle<S: ObjectSpec> {
     shared: Arc<Shared<S>>,
     tid: usize,
+    /// The claimed registry slot (cached; always `shared.reg_slot(tid)`).
+    slot: *const HandleSlot<S::Op>,
+    /// Owner-side cache of the announce chunk containing `next_seq`'s
+    /// neighborhood (invariant: `own_chunk.base <= next_seq` after the
+    /// first clamp in `HandleSlot::cell`).
+    own_chunk: *const AnnounceChunk<S::Op>,
     /// Cached replica, replayed up to `cursor`.
     state: S,
-    /// Per-thread watermark of applied sequence numbers (deduplication).
+    /// Per-slot watermark of applied sequence numbers (deduplication),
+    /// grown on demand as higher slot indices appear in the log.
     applied: Vec<usize>,
     /// First log position not yet replayed.
     cursor: usize,
@@ -576,6 +1144,13 @@ pub struct WfHandle<S: ObjectSpec> {
     /// monotone (it starts at the only-growing `hint`).
     thread_seg: *const Segment<S::Op>,
     next_seq: usize,
+    /// One past the last sequence number this registration's `max_ops`
+    /// budget covers (`base + max_ops`, where `base` was the slot's
+    /// `announced` at claim time).
+    budget_end: usize,
+    /// Set by [`WfHandle::retire`]; all later invokes return
+    /// [`UniversalError::Retired`].
+    retired: bool,
     /// Threading-loop iterations (consensus decides) of the last invoke.
     last_threading_steps: usize,
     /// Maximum threading-loop iterations over any single invoke.
@@ -588,25 +1163,64 @@ pub struct WfHandle<S: ObjectSpec> {
     invokes: usize,
 }
 
-// SAFETY: the raw segment pointers cached here always point into the
-// chain owned by `shared`, which the handle keeps alive via its
+// SAFETY: the raw segment/slot/chunk pointers cached here always point
+// into chains owned by `shared`, which the handle keeps alive via its
 // `Arc<Shared<S>>`; they are plain caches, carrying no ownership. The
 // handle is therefore exactly as thread-safe as its owned state (`S`)
 // plus the shared structure (see `Shared`'s impls).
 unsafe impl<S: ObjectSpec + Send + Sync> Send for WfHandle<S> where S::Op: Send + Sync {}
 
 impl<S: ObjectSpec> WfHandle<S> {
-    /// This handle's thread index.
+    /// This handle's registry slot index (its thread identity in log
+    /// entries and `Pid`s).
     #[must_use]
     pub fn tid(&self) -> usize {
         self.tid
     }
 
-    /// Number of threads sharing the object (the `n` of the O(n)
-    /// helping bound).
+    /// The registered-slot high-water: one past the highest slot index
+    /// ever claimed — the `n` of the restated O(peak active handles)
+    /// helping bound. Fixed-membership objects report their `n`.
     #[must_use]
     pub fn n(&self) -> usize {
-        self.shared.n
+        self.shared.registered()
+    }
+
+    /// Leave the object: all later invokes on this handle return
+    /// [`UniversalError::Retired`], and the registry slot becomes
+    /// reclaimable — immediately if nothing is pending on it, otherwise
+    /// lazily once helpers thread the pending op (the slot is freed by
+    /// the next `register` scan that finds it quiesced). Idempotent.
+    pub fn retire(&mut self) {
+        if self.retired {
+            return;
+        }
+        self.retired = true;
+        // SAFETY: `slot` points into the registry chain owned by
+        // `shared`, alive for the life of this handle.
+        let slot = unsafe { &*self.slot };
+        slot.state.store(SLOT_RETIRED, Ordering::SeqCst);
+        self.shared.active.fetch_sub(1, Ordering::SeqCst);
+        failpoint!("universal::retire");
+        // Quiesced already? Free the slot ourselves; otherwise leave it
+        // RETIRED for lazy reclamation. A crash right above (at the
+        // failpoint) skips this and costs nothing but the laziness.
+        let d = slot.done.load(Ordering::SeqCst);
+        let a = slot.announced.load(Ordering::SeqCst);
+        if d >= a {
+            let _ = slot.state.compare_exchange(
+                SLOT_RETIRED,
+                SLOT_FREE,
+                Ordering::SeqCst,
+                Ordering::SeqCst,
+            );
+        }
+    }
+
+    /// Whether [`Self::retire`] was called on this handle.
+    #[must_use]
+    pub fn is_retired(&self) -> bool {
+        self.retired
     }
 
     /// Whether decides combine all pending announced ops into one batch
@@ -667,48 +1281,28 @@ impl<S: ObjectSpec> WfHandle<S> {
         self.shared.segments.load(Ordering::Acquire)
     }
 
-    /// The oldest announced-but-unthreaded entry of thread `t`, if any —
-    /// a refcount bump, never a payload clone.
-    fn pending(&self, t: usize) -> Option<Arc<Entry<S::Op>>> {
-        // SeqCst on both counters: the announce/help handshake. Seeing
-        // `announced > done` must imply the announce slot is populated,
-        // which the announcing thread guarantees by writing the slot
-        // before its SeqCst store to `announced`.
-        let d = self.shared.done[t].load(Ordering::SeqCst);
-        let a = self.shared.announced[t].load(Ordering::SeqCst);
-        if d < a {
-            self.shared.announce[t][d].get().cloned()
-        } else {
-            None
-        }
-    }
-
     /// Combining mode's candidate for position `k`: scan the announce
-    /// array once, starting at `k`'s preferred thread, and gather every
-    /// pending announced operation into one batch. The scan is `n`
-    /// `pending` reads (SeqCst loads, no RMWs, nothing written), so a
-    /// thread that crashes mid-collect has perturbed nothing: every
-    /// entry it gathered stays announced and helpable.
+    /// registry once, starting at `k`'s preferred slot, and gather
+    /// every pending announced operation into one batch. The scan is
+    /// `hi` `pending` reads (SeqCst loads, no RMWs, nothing written),
+    /// so a thread that crashes mid-collect has perturbed nothing:
+    /// every entry it gathered stays announced and helpable.
     ///
-    /// Starting at the preferred thread makes the batch a superset of
+    /// Starting at the preferred slot makes the batch a superset of
     /// the per-op candidate, so the per-position helping guarantee the
-    /// O(n) bound is proved against carries over unchanged.
+    /// O(peak active) bound is proved against carries over unchanged.
     fn collect_candidate(
         &self,
         k: usize,
+        hi: usize,
         own: &Arc<Entry<S::Op>>,
         own_solo: &Arc<LogEntry<S::Op>>,
     ) -> Arc<LogEntry<S::Op>> {
         failpoint!("universal::collect");
-        let n = self.shared.n;
-        let preferred = k % n;
+        let preferred = k % hi;
         let mut members: Vec<Arc<Entry<S::Op>>> = Vec::new();
-        for i in 0..n {
-            let t = (preferred + i) % n;
-            if let Some(e) = self.pending(t) {
-                members.push(e);
-            }
-        }
+        self.shared.pending_range(preferred, hi, &mut members);
+        self.shared.pending_range(0, preferred, &mut members);
         match members.len() {
             // Our own op got helped between the loop's `done` check and
             // the scan; propose our (possibly stale) entry anyway, as
@@ -727,9 +1321,9 @@ impl<S: ObjectSpec> WfHandle<S> {
     ///
     /// # Panics
     ///
-    /// Panics if the handle exceeds its `max_ops` budget or a
-    /// [`WfUniversal::with_capacity`] log cap is hit — the message is
-    /// the [`UniversalError`] display. Use [`Self::try_invoke`] to
+    /// Panics if the handle is retired, exceeds its `max_ops` budget,
+    /// or a [`WfUniversal::with_capacity`] log cap is hit — the message
+    /// is the [`UniversalError`] display. Use [`Self::try_invoke`] to
     /// handle exhaustion as a value.
     pub fn invoke(&mut self, op: S::Op) -> S::Resp {
         match self.try_invoke(op) {
@@ -738,23 +1332,28 @@ impl<S: ObjectSpec> WfHandle<S> {
         }
     }
 
-    /// Execute `op` wait-free, or report resource exhaustion as a typed
-    /// error instead of panicking.
+    /// Execute `op` wait-free, or report resource exhaustion (or a
+    /// departed handle) as a typed error instead of panicking.
     ///
-    /// On [`UniversalError::BudgetExhausted`] nothing was announced and
+    /// On [`UniversalError::Retired`] and
+    /// [`UniversalError::BudgetExhausted`] nothing was announced and
     /// the call had no effect (repeat calls keep failing the same way).
     /// On [`UniversalError::LogFull`] the operation *was* announced and
     /// may still be threaded by a helper; treat the object as done.
     ///
     /// # Errors
     ///
+    /// [`UniversalError::Retired`] after [`WfHandle::retire`];
     /// [`UniversalError::BudgetExhausted`] after `max_ops` invocations on
     /// this handle; [`UniversalError::LogFull`] when a
     /// [`WfUniversal::with_capacity`] cap leaves no undecided position
     /// (never for [`WfUniversal::new`] objects).
     pub fn try_invoke(&mut self, op: S::Op) -> Result<S::Resp, UniversalError> {
+        if self.retired {
+            return Err(UniversalError::Retired { tid: self.tid });
+        }
         let seq = self.next_seq;
-        if seq >= self.shared.max_ops {
+        if seq >= self.budget_end {
             return Err(UniversalError::BudgetExhausted {
                 tid: self.tid,
                 max_ops: self.shared.max_ops,
@@ -767,18 +1366,21 @@ impl<S: ObjectSpec> WfHandle<S> {
         //    payload.
         failpoint!("universal::announce");
         let entry = Arc::new(Entry { tid: self.tid, seq, op });
-        let _ = self.shared.announce[self.tid][seq].set(Arc::clone(&entry));
-        self.shared.announced[self.tid].store(seq + 1, Ordering::SeqCst);
+        // SAFETY: `slot` points into the registry chain owned by
+        // `shared`, which this handle keeps alive.
+        let slot = unsafe { &*self.slot };
+        let _ = slot.cell(&mut self.own_chunk, seq).set(Arc::clone(&entry));
+        slot.announced.store(seq + 1, Ordering::SeqCst);
         failpoint!("universal::announced");
         let own_solo = Arc::new(LogEntry::Solo(Arc::clone(&entry)));
 
         // 2. Thread onto the log. In combining mode each decide proposes
         //    the batch of *all* pending announced ops; per-op mode helps
-        //    the preferred thread of each position. The shared hint is
-        //    republished every n-th iteration and once after the loop
+        //    the preferred slot of each position. The shared hint is
+        //    republished every hi-th iteration and once after the loop
         //    (not per decide): its lag behind the true frontier stays
-        //    < n, preserving the ≤ 2n step bound, while the common case
-        //    pays zero RMWs on the contended word inside the loop.
+        //    < hi, preserving the ≤ 2·hi step bound, while the common
+        //    case pays zero RMWs on the contended word inside the loop.
         let mut steps = 0usize;
         // ordering: Acquire — pairs with the Release `fetch_max` in `publish_hint`.
         // Starting at `k` skips the prefix [0, k) without ever touching
@@ -789,19 +1391,23 @@ impl<S: ObjectSpec> WfHandle<S> {
         // already-decided) iterations; segment reachability is
         // re-established by the acquire walk in `seg_for`.
         let mut k = self.shared.hint.load(Ordering::Acquire);
-        while self.shared.done[self.tid].load(Ordering::SeqCst) <= seq {
+        while slot.done.load(Ordering::SeqCst) <= seq {
             if let Some(cap) = self.shared.cap {
                 if k >= cap {
                     self.publish_hint(k);
                     return Err(UniversalError::LogFull { position: k, capacity: cap });
                 }
             }
+            // The slot high-water is re-read each iteration so freshly
+            // registered slots join the preferred-rotation (and the
+            // collect scan) as soon as their claim is visible.
+            let hi = self.shared.registered();
             self.thread_seg = self.shared.seg_for(self.thread_seg, k);
-            let slot = self.shared.slot(self.thread_seg, k);
+            let log_slot = self.shared.slot(self.thread_seg, k);
             let candidate = if self.shared.combine {
-                self.collect_candidate(k, &entry, &own_solo)
+                self.collect_candidate(k, hi, &entry, &own_solo)
             } else {
-                match self.pending(k % self.shared.n) {
+                match self.shared.pending_at(k % hi) {
                     // Reuse the cached solo wrapper for the own entry
                     // (the common case) instead of re-allocating one
                     // per iteration.
@@ -811,7 +1417,7 @@ impl<S: ObjectSpec> WfHandle<S> {
                 }
             };
             failpoint!("universal::cas");
-            let (winner, won) = self.shared.decide(slot, candidate);
+            let (winner, won) = self.shared.decide(log_slot, candidate);
             self.decides += 1;
             if !won {
                 self.cas_failures += 1;
@@ -820,12 +1426,12 @@ impl<S: ObjectSpec> WfHandle<S> {
             // winner's: losers adopt the whole winning batch, so all its
             // members become visible as threaded before anyone rescans.
             for m in winner.members() {
-                self.shared.done[m.tid].fetch_max(m.seq + 1, Ordering::SeqCst);
+                self.shared.reg_slot(m.tid).done.fetch_max(m.seq + 1, Ordering::SeqCst);
             }
             failpoint!("universal::decided");
             steps += 1;
             k += 1;
-            if steps.is_multiple_of(self.shared.n) {
+            if steps.is_multiple_of(hi) {
                 self.publish_hint(k);
             }
         }
@@ -855,6 +1461,9 @@ impl<S: ObjectSpec> WfHandle<S> {
             self.cursor += 1;
             let mut resp = None;
             for m in le.members() {
+                if m.tid >= self.applied.len() {
+                    self.applied.resize(m.tid + 1, 0);
+                }
                 if m.seq != self.applied[m.tid] {
                     continue; // duplicate from helping
                 }
@@ -910,6 +1519,9 @@ impl<S: ObjectSpec> WfHandle<S> {
             let le = unsafe { &*raw };
             self.cursor += 1;
             for m in le.members() {
+                if m.tid >= self.applied.len() {
+                    self.applied.resize(m.tid + 1, 0);
+                }
                 if m.seq != self.applied[m.tid] {
                     continue;
                 }
@@ -1302,6 +1914,162 @@ mod tests {
                 "{segments} segments exceeds the 2·n·ops position bound"
             );
         }
+    }
+
+    #[test]
+    fn retired_handle_returns_typed_error_not_a_panic() {
+        let obj = WfUniversal::new_dynamic(Counter::new(0), 8);
+        let mut h = obj.register();
+        assert_eq!(h.invoke(CounterOp::FetchAndAdd(1)), CounterResp::Value(0));
+        assert!(!h.is_retired());
+        h.retire();
+        h.retire(); // idempotent
+        assert!(h.is_retired());
+        for _ in 0..3 {
+            assert_eq!(
+                h.try_invoke(CounterOp::Add(1)),
+                Err(UniversalError::Retired { tid: 0 })
+            );
+        }
+        // The failed attempts announced nothing; the object still works
+        // through a fresh registration.
+        let mut h2 = obj.register();
+        assert_eq!(h2.invoke(CounterOp::Get), CounterResp::Value(1));
+    }
+
+    #[test]
+    fn retired_error_display_names_the_slot() {
+        let e = UniversalError::Retired { tid: 5 };
+        assert!(e.to_string().contains("retired"));
+        assert!(e.to_string().contains('5'));
+    }
+
+    #[test]
+    fn registry_is_bounded_by_peak_active_not_total_arrivals() {
+        // 100 arrivals, never more than one active at a time: the whole
+        // churn runs on a single recycled slot.
+        let obj = WfUniversal::new_dynamic(Counter::new(0), 4);
+        for i in 0..100 {
+            let mut h = obj.register();
+            assert_eq!(h.tid(), 0, "sequential churn reuses slot 0");
+            h.invoke(CounterOp::Add(1));
+            h.retire();
+            assert_eq!(obj.total_arrivals(), i + 1);
+        }
+        assert_eq!(obj.registry_slots(), 1);
+        assert_eq!(obj.peak_active(), 1);
+        assert_eq!(obj.active_handles(), 0);
+        let mut probe = obj.register();
+        assert_eq!(probe.invoke(CounterOp::Get), CounterResp::Value(100));
+    }
+
+    #[test]
+    fn register_grows_past_a_registry_segment() {
+        let obj = WfUniversal::new_dynamic(Counter::new(0), 4);
+        let mut handles: Vec<_> = (0..2 * REGISTRY_SEGMENT).map(|_| obj.register()).collect();
+        assert_eq!(obj.registry_slots(), 2 * REGISTRY_SEGMENT);
+        assert_eq!(obj.peak_active(), 2 * REGISTRY_SEGMENT);
+        for (i, h) in handles.iter_mut().enumerate() {
+            assert_eq!(h.tid(), i);
+            h.invoke(CounterOp::Add(1));
+        }
+        let total = handles[0].refresh();
+        assert_eq!(total, {
+            let mut c = Counter::new(0);
+            for t in 0..2 * REGISTRY_SEGMENT {
+                c.apply(Pid(t), &CounterOp::Add(1));
+            }
+            c
+        });
+    }
+
+    #[test]
+    fn budget_renews_per_registration_and_seqs_continue() {
+        let obj = WfUniversal::new_dynamic(Counter::new(0), 2);
+        let mut h = obj.register();
+        h.invoke(CounterOp::Add(1));
+        h.invoke(CounterOp::Add(1));
+        assert_eq!(
+            h.try_invoke(CounterOp::Add(1)),
+            Err(UniversalError::BudgetExhausted { tid: 0, max_ops: 2 })
+        );
+        h.retire();
+        // Re-registering the same slot grants a fresh budget; sequence
+        // numbers continue (announce cells are append-only), so the
+        // replay dedup stays sound across reuse.
+        let mut h = obj.register();
+        assert_eq!(h.tid(), 0);
+        h.invoke(CounterOp::Add(1));
+        h.invoke(CounterOp::Add(1));
+        assert_eq!(
+            h.try_invoke(CounterOp::Add(1)),
+            Err(UniversalError::BudgetExhausted { tid: 0, max_ops: 2 })
+        );
+        assert_eq!(h.refresh(), {
+            let mut c = Counter::new(0);
+            for _ in 0..4 {
+                c.apply(Pid(0), &CounterOp::Add(1));
+            }
+            c
+        });
+    }
+
+    #[test]
+    fn dropped_without_retire_costs_one_slot_and_stays_consistent() {
+        // A crashed client: handle dropped, never retired. Its slot is
+        // not reclaimable, so the next arrival claims a fresh one — and
+        // the object keeps linearizing.
+        let obj = WfUniversal::new_dynamic(Counter::new(0), 8);
+        let mut crashed = obj.register();
+        crashed.invoke(CounterOp::Add(10));
+        drop(crashed);
+        assert_eq!(obj.active_handles(), 1, "crashed client stays counted");
+        let mut h = obj.register();
+        assert_eq!(h.tid(), 1, "leaked slot is skipped, not reused");
+        assert_eq!(h.invoke(CounterOp::Get), CounterResp::Value(10));
+        assert_eq!(obj.registry_slots(), 2);
+    }
+
+    #[test]
+    fn announce_log_outgrows_one_chunk() {
+        let per = 3 * ANNOUNCE_CHUNK + 2;
+        let obj = WfUniversal::new_dynamic(Counter::new(0), per + 1);
+        let mut h = obj.register();
+        for _ in 0..per {
+            h.invoke(CounterOp::Add(1));
+        }
+        assert_eq!(h.invoke(CounterOp::Get), CounterResp::Value(per as i64));
+    }
+
+    /// Churn across the announce/help path under real threads, small
+    /// enough for `cargo miri test` (CI's analyze job runs every
+    /// `miri_smoke_*` test under miri): register/invoke/retire cycles
+    /// exercising slot claim, reuse, and the chunked announce log
+    /// against the real memory model.
+    #[test]
+    fn miri_smoke_churn_register_retire_respawn() {
+        let obj = WfUniversal::new_dynamic(Counter::new(0), 4);
+        let other = obj.clone();
+        let jb = thread::spawn(move || {
+            for _ in 0..3 {
+                let mut h = other.register();
+                h.invoke(CounterOp::Add(1));
+                h.retire();
+            }
+        });
+        for _ in 0..3 {
+            let mut h = obj.register();
+            h.invoke(CounterOp::Add(1));
+            h.retire();
+        }
+        jb.join().unwrap();
+        let mut probe = obj.register();
+        match probe.invoke(CounterOp::Get) {
+            CounterResp::Value(v) => assert_eq!(v, 6),
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(obj.registry_slots() <= 2, "churn of 2 threads needs at most 2 slots");
+        assert_eq!(obj.total_arrivals(), 7);
     }
 
     #[test]

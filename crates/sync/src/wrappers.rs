@@ -16,6 +16,11 @@
 //! (see `universal`'s module docs). The `sched`-tier campaigns in
 //! `tests/sched_linearizability.rs` explore ≥ 1000 random-walk and
 //! ≥ 1000 PCT schedules over each wrapper on exactly this path.
+//!
+//! Each wrapper also has a dynamic-membership front-end (`WfQueue`,
+//! `WfStack`, `WfCounter`, `WfRegister`): a cloneable object whose
+//! `register()` hands out handles to arriving clients and whose handles
+//! `retire()` on departure, riding `universal`'s slot registry.
 
 use waitfree_model::Val;
 use waitfree_objects::counter::{Counter, CounterOp, CounterResp};
@@ -24,6 +29,126 @@ use waitfree_objects::register::{RegOp, RegResp, RwRegister};
 use waitfree_objects::stack::{Stack, StackOp, StackResp};
 
 use crate::universal::{WfHandle, WfUniversal};
+
+/// Define a dynamic-membership front-end over one typed wrapper: a
+/// cloneable object with `register()` → handle, plus `retire()` /
+/// `is_retired()` / `tid()` on the handle itself.
+macro_rules! dynamic_front_end {
+    ($(#[$doc:meta])* $front:ident, $handle:ident, $spec:ty) => {
+        $(#[$doc])*
+        #[derive(Clone, Debug)]
+        pub struct $front(WfUniversal<$spec>);
+
+        impl $front {
+            /// Register an arriving client: claim (or recycle) a
+            /// registry slot and return its handle with a fresh
+            /// `max_ops` budget.
+            #[must_use]
+            pub fn register(&self) -> $handle {
+                $handle(self.0.register())
+            }
+
+            /// Currently registered handles.
+            #[must_use]
+            pub fn active_handles(&self) -> usize {
+                self.0.active_handles()
+            }
+
+            /// One past the highest registry slot ever claimed —
+            /// bounded by peak active handles, not total arrivals.
+            #[must_use]
+            pub fn registry_slots(&self) -> usize {
+                self.0.registry_slots()
+            }
+        }
+
+        impl $handle {
+            /// Depart: mark this handle retired so its registry slot
+            /// can be recycled. Idempotent.
+            pub fn retire(&mut self) {
+                self.0.retire();
+            }
+
+            /// Whether [`Self::retire`] was called.
+            #[must_use]
+            pub fn is_retired(&self) -> bool {
+                self.0.is_retired()
+            }
+
+            /// This handle's registry slot index.
+            #[must_use]
+            pub fn tid(&self) -> usize {
+                self.0.tid()
+            }
+        }
+    };
+}
+
+dynamic_front_end!(
+    /// A wait-free FIFO queue with dynamic membership: clients
+    /// [`register`](WfQueue::register) to obtain a [`WfQueueHandle`]
+    /// and retire it on departure.
+    WfQueue,
+    WfQueueHandle,
+    FifoQueue
+);
+
+impl WfQueue {
+    /// Create a dynamic wait-free queue; each registration may perform
+    /// up to `max_ops` operations.
+    #[must_use]
+    pub fn new_dynamic(max_ops: usize) -> Self {
+        WfQueue(WfUniversal::new_dynamic(FifoQueue::new(), max_ops))
+    }
+}
+
+dynamic_front_end!(
+    /// A wait-free LIFO stack with dynamic membership.
+    WfStack,
+    WfStackHandle,
+    Stack
+);
+
+impl WfStack {
+    /// Create a dynamic wait-free stack; each registration may perform
+    /// up to `max_ops` operations.
+    #[must_use]
+    pub fn new_dynamic(max_ops: usize) -> Self {
+        WfStack(WfUniversal::new_dynamic(Stack::new(), max_ops))
+    }
+}
+
+dynamic_front_end!(
+    /// A wait-free counter with dynamic membership.
+    WfCounter,
+    WfCounterHandle,
+    Counter
+);
+
+impl WfCounter {
+    /// Create a dynamic wait-free counter starting at 0; each
+    /// registration may perform up to `max_ops` operations.
+    #[must_use]
+    pub fn new_dynamic(max_ops: usize) -> Self {
+        WfCounter(WfUniversal::new_dynamic(Counter::new(0), max_ops))
+    }
+}
+
+dynamic_front_end!(
+    /// A wait-free multi-writer register with dynamic membership.
+    WfRegister,
+    WfRegisterHandle,
+    RwRegister
+);
+
+impl WfRegister {
+    /// Create a dynamic wait-free register initialized to `initial`;
+    /// each registration may perform up to `max_ops` operations.
+    #[must_use]
+    pub fn new_dynamic(max_ops: usize, initial: Val) -> Self {
+        WfRegister(WfUniversal::new_dynamic(RwRegister::new(initial), max_ops))
+    }
+}
 
 /// One thread's handle to a wait-free FIFO queue of [`Val`]s.
 #[derive(Debug)]
@@ -198,6 +323,34 @@ mod tests {
         let mut all: Vec<Val> = joins.into_iter().flat_map(|j| j.join().unwrap()).collect();
         all.sort_unstable();
         assert_eq!(all, (0..300).collect::<Vec<Val>>());
+    }
+
+    #[test]
+    fn wf_counter_churn_recycles_slots() {
+        let counter = WfCounter::new_dynamic(8);
+        for _ in 0..20 {
+            let mut h = counter.register();
+            h.fetch_add(1);
+            h.retire();
+            assert!(h.is_retired());
+        }
+        assert_eq!(counter.registry_slots(), 1, "sequential churn reuses one slot");
+        assert_eq!(counter.active_handles(), 0);
+        let mut probe = counter.register();
+        assert_eq!(probe.get(), 20);
+    }
+
+    #[test]
+    fn wf_queue_survives_client_turnover() {
+        let queue = WfQueue::new_dynamic(8);
+        let mut producer = queue.register();
+        producer.enq(1);
+        producer.enq(2);
+        producer.retire();
+        let mut consumer = queue.register();
+        assert_eq!(consumer.deq(), Some(1));
+        assert_eq!(consumer.deq(), Some(2));
+        assert_eq!(consumer.deq(), None);
     }
 
     #[test]

@@ -1,0 +1,96 @@
+//! Dynamic membership under churn: clients arrive, operate, retire, and
+//! sometimes die — the universal object keeps serving whoever is left.
+//!
+//! ```text
+//! cargo run --example churn
+//! ```
+//!
+//! The paper fixes the set of n processes for life; `new_dynamic` lifts
+//! that restriction (DESIGN.md §11). Three things are on display:
+//!
+//! 1. **Arrival is wait-free.** `register()` claims a registry slot in a
+//!    bounded number of the caller's own steps — no coordination with
+//!    the clients already running.
+//! 2. **Memory tracks concurrency, not history.** Wave after wave of
+//!    short-lived clients reuse the same few slots: the registry's
+//!    high-water mark stays near the *peak concurrently active* count
+//!    while total arrivals keep growing.
+//! 3. **A dead client costs one slot, nothing more.** A handle dropped
+//!    without `retire()` (our stand-in for a crashed client) leaves one
+//!    claimed slot behind; every other client — past, present, and
+//!    future — proceeds at full speed and the counter stays exact.
+
+use waitfree::objects::counter::{Counter, CounterOp, CounterResp};
+use waitfree::sched::thread;
+use waitfree::sync::universal::WfUniversal;
+
+fn main() {
+    const WAVES: usize = 10;
+    const CLIENTS_PER_WAVE: usize = 4;
+    const OPS_PER_CLIENT: i64 = 25;
+
+    // Second arg is the per-registration op budget (the survivor below
+    // does OPS_PER_CLIENT adds plus one Get on a single handle).
+    let obj = WfUniversal::new_dynamic(Counter::new(0), OPS_PER_CLIENT as usize + 1);
+
+    // Wave after wave of short-lived clients: each registers, does its
+    // work, and retires. Arrivals accumulate; the registry must not.
+    for wave in 0..WAVES {
+        let joins: Vec<_> = (0..CLIENTS_PER_WAVE)
+            .map(|_| {
+                let obj = obj.clone();
+                thread::spawn(move || {
+                    let mut h = obj.register();
+                    for _ in 0..OPS_PER_CLIENT {
+                        h.invoke(CounterOp::Add(1));
+                    }
+                    h.retire();
+                })
+            })
+            .collect();
+        for j in joins {
+            j.join().unwrap();
+        }
+        println!(
+            "wave {:2}: {:3} arrivals so far, registry holds {} slots (peak active {})",
+            wave + 1,
+            obj.total_arrivals(),
+            obj.registry_slots(),
+            obj.peak_active()
+        );
+    }
+
+    let expected = (WAVES * CLIENTS_PER_WAVE) as i64 * OPS_PER_CLIENT;
+    assert!(
+        obj.registry_slots() <= 2 * CLIENTS_PER_WAVE,
+        "registry grew with arrivals, not concurrency"
+    );
+
+    // One client "crashes": it registers, adds once, and vanishes
+    // without retiring. The paper's fault model is exactly this — a
+    // process that simply stops taking steps.
+    let mut doomed = obj.register();
+    doomed.invoke(CounterOp::Add(1));
+    drop(doomed); // no retire(): the slot stays claimed
+    println!(
+        "a client died mid-session: {} active handle(s) linger, object unharmed",
+        obj.active_handles()
+    );
+
+    // Life goes on for everyone else.
+    let mut survivor = obj.register();
+    for _ in 0..OPS_PER_CLIENT {
+        survivor.invoke(CounterOp::Add(1));
+    }
+    let total = match survivor.invoke(CounterOp::Get) {
+        CounterResp::Value(v) => v,
+        other => panic!("unexpected response {other:?}"),
+    };
+    survivor.retire();
+
+    assert_eq!(total, expected + 1 + OPS_PER_CLIENT, "an add was lost");
+    println!(
+        "final count {total}: every add from {} arrivals (one of them dead) accounted for",
+        obj.total_arrivals()
+    );
+}

@@ -60,6 +60,50 @@ fn helping_bounds_threading_steps_under_contention() {
     contention_round::<CellPath>();
 }
 
+/// The bound restated for dynamic membership: the `n` in `2n + 8` is the
+/// registry high-water — peak *active* handles — not total arrivals.
+/// After 64 generations of sequential churn the registry still holds one
+/// slot, so a 4-way contention round that follows must obey the bound
+/// with `hi = 4`, as if the 64 departed clients never existed.
+#[test]
+fn helping_bound_is_over_active_handles_not_arrivals() {
+    use waitfree::objects::counter::Counter;
+    use waitfree::sync::universal::WfUniversal;
+
+    let obj = WfUniversal::new_dynamic(Counter::new(0), 500);
+    for _ in 0..64 {
+        let mut h = obj.register();
+        h.invoke(CounterOp::Add(1));
+        h.retire();
+    }
+    assert_eq!(obj.registry_slots(), 1, "sequential churn reuses one slot");
+
+    let n = 4;
+    let per = 200;
+    let joins: Vec<_> = (0..n)
+        .map(|_| obj.register())
+        .map(|mut h| {
+            thread::spawn(move || {
+                for _ in 0..per {
+                    h.invoke(CounterOp::Add(1));
+                }
+                (h.tid(), h.max_threading_steps())
+            })
+        })
+        .collect();
+    let hi = obj.registry_slots();
+    assert_eq!(hi, n, "four concurrent registrants need four slots");
+    for j in joins {
+        let (tid, max_steps) = j.join().unwrap();
+        assert!(
+            max_steps <= 2 * hi + 8,
+            "slot {tid}: {max_steps} threading steps exceeds the restated \
+             O(active) bound (hi = {hi}, arrivals = {})",
+            obj.total_arrivals()
+        );
+    }
+}
+
 /// The same bound with an adversarially stalled thread: helping means a
 /// parked peer costs the survivors *nothing* in their own step count —
 /// that is exactly what separates wait-free from lock-free.

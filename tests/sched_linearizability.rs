@@ -24,8 +24,10 @@
 use std::sync::{Arc, Mutex};
 
 use waitfree::model::{ObjectSpec, Pid};
+use waitfree::objects::assignment::{AssignBank, AssignOp};
 use waitfree::objects::consensus_obj::{ConsensusObj, DecideOp};
 use waitfree::objects::counter::{Counter, CounterOp, CounterResp};
+use waitfree::objects::memory::{MemOp, MemoryBank};
 use waitfree::objects::queue::{FifoQueue, QueueOp, QueueResp};
 use waitfree::objects::register::{RegOp, RegResp, RwRegister};
 use waitfree::objects::stack::{Stack, StackOp, StackResp};
@@ -260,6 +262,87 @@ fn wf_register_body(rec: HistoryRecorder<RwRegister>) {
     }
 }
 
+// The §3.5/§3.6 hierarchy objects, universalized: `Move`/`Swap` and
+// atomic n-register assignment return nothing, so linearizability of
+// their histories leans entirely on the *reads* observing a state
+// consistent with some atomic ordering of the silent mutations — the
+// ROADMAP carry-over gap this file closes.
+
+fn memory_bank_body(rec: HistoryRecorder<MemoryBank>) {
+    let handles = WfUniversal::new(MemoryBank::from_values(vec![1, 2, 3]), 2, 8);
+    let workers: Vec<_> = handles
+        .into_iter()
+        .map(|mut h| {
+            let rec = rec.clone();
+            vthread::spawn(move || {
+                let pid = Pid(h.tid());
+                let script: Vec<MemOp> = if h.tid() == 0 {
+                    vec![MemOp::Move { src: 0, dst: 1 }, MemOp::Read(1)]
+                } else {
+                    vec![MemOp::Swap { a: 1, b: 2 }, MemOp::Read(2)]
+                };
+                for op in script {
+                    rec.record(pid, op.clone(), || h.invoke(op.clone()));
+                }
+            })
+        })
+        .collect();
+    for w in workers {
+        w.join().unwrap();
+    }
+}
+
+fn assign_bank_body(rec: HistoryRecorder<AssignBank>) {
+    let handles = WfUniversal::new(AssignBank::new(3, 2, -1), 2, 8);
+    let workers: Vec<_> = handles
+        .into_iter()
+        .map(|mut h| {
+            let rec = rec.clone();
+            vthread::spawn(move || {
+                let pid = Pid(h.tid());
+                let script: Vec<AssignOp> = if h.tid() == 0 {
+                    vec![AssignOp::Assign(vec![(0, 5), (2, 7)]), AssignOp::Read(2)]
+                } else {
+                    vec![AssignOp::Assign(vec![(1, 6), (2, 9)]), AssignOp::Read(0)]
+                };
+                for op in script {
+                    rec.record(pid, op.clone(), || h.invoke(op.clone()));
+                }
+            })
+        })
+        .collect();
+    for w in workers {
+        w.join().unwrap();
+    }
+}
+
+// Dynamic membership under the scheduler: each virtual thread is a
+// *sequence* of clients — register, operate, retire, respawn — so the
+// explored interleavings cover slot claim races, recycled-slot replay,
+// and helpers scanning mid-retirement slots. The recording Pid is the
+// worker index, not the (reused) registry slot.
+
+fn universal_churn_body(rec: HistoryRecorder<Counter>) {
+    let obj = WfUniversal::new_dynamic(Counter::new(0), 4);
+    let workers: Vec<_> = (0..2)
+        .map(|t| {
+            let (obj, rec) = (obj.clone(), rec.clone());
+            vthread::spawn(move || {
+                let pid = Pid(t);
+                for gen in 0..2 {
+                    let mut h = obj.register();
+                    let op = CounterOp::FetchAndAdd((100 * t + 10 * gen + 1) as i64);
+                    rec.record(pid, op.clone(), || h.invoke(op.clone()));
+                    h.retire();
+                }
+            })
+        })
+        .collect();
+    for w in workers {
+        w.join().unwrap();
+    }
+}
+
 fn faa_queue_body(rec: HistoryRecorder<FifoQueue>) {
     let q = Arc::new(FaaQueue::new(8));
     let producer = {
@@ -385,6 +468,78 @@ fn wf_counter_wrapper_campaigns_linearize() {
 #[test]
 fn wf_register_wrapper_campaigns_linearize() {
     sweep("WfRegisterHandle", &RwRegister::new(0), wf_register_body);
+}
+
+#[test]
+fn memory_bank_campaigns_linearize() {
+    sweep(
+        "WfUniversal<MemoryBank>",
+        &MemoryBank::from_values(vec![1, 2, 3]),
+        memory_bank_body,
+    );
+}
+
+#[test]
+fn assign_bank_campaigns_linearize() {
+    sweep(
+        "WfUniversal<AssignBank>",
+        &AssignBank::new(3, 2, -1),
+        assign_bank_body,
+    );
+}
+
+#[test]
+fn universal_churn_campaigns_linearize() {
+    sweep(
+        "WfUniversal<Counter> (churn)",
+        &Counter::new(0),
+        universal_churn_body,
+    );
+}
+
+/// The happens-before verdict over churn schedules: every plain load in
+/// every explored interleaving of register → invoke → retire → respawn
+/// must be justified by declared release/acquire (or SeqCst) edges —
+/// the registry's claim CAS, slot state, announce chunk links, and
+/// `slots_hi` high-water carry enough ordering on their own, with no
+/// hidden help from the scheduler's SC serialization.
+#[test]
+fn universal_churn_schedules_satisfy_happens_before() {
+    for seed in 0..SEEDS {
+        let res = run(
+            waitfree::sched::RandomWalk::new(seed),
+            RunOptions::default(),
+            || {
+                let obj = WfUniversal::new_dynamic(Counter::new(0), 4);
+                let workers: Vec<_> = (0..2)
+                    .map(|t| {
+                        let obj = obj.clone();
+                        vthread::spawn(move || {
+                            for gen in 0..2 {
+                                let mut h = obj.register();
+                                h.invoke(CounterOp::FetchAndAdd((100 * t + 10 * gen + 1) as i64));
+                                h.retire();
+                            }
+                        })
+                    })
+                    .collect();
+                for w in workers {
+                    w.join().unwrap();
+                }
+            },
+        );
+        assert!(res.error.is_none(), "seed {seed}: {:?}", res.error);
+        let hb = waitfree::sched::hb_check(&res.trace);
+        assert!(
+            hb.is_clean(),
+            "seed {seed}: membership orderings too weak \
+             ({} of {} reads unjustified): {}",
+            hb.violations.len(),
+            hb.reads_checked,
+            hb.violations[0]
+        );
+        assert!(hb.reads_checked > 0, "seed {seed}: no loads judged");
+    }
 }
 
 /// The combining layer is not dead code under the schedule explorer:
@@ -858,6 +1013,67 @@ mod with_failpoints {
         assert!(
             checked.report.outcome.is_ok(),
             "a pending crashed op linearizes under MayTakeEffect"
+        );
+    }
+
+    fn churn_crash_body(rec: HistoryRecorder<Counter>) {
+        let obj = WfUniversal::new_dynamic(Counter::new(0), 4);
+        let workers: Vec<_> = (0..2)
+            .map(|t| {
+                let (obj, rec) = (obj.clone(), rec.clone());
+                vthread::spawn(move || {
+                    failpoints::set_tid(t);
+                    let pid = Pid(t);
+                    for gen in 0..2 {
+                        let mut h = obj.register();
+                        let op = CounterOp::FetchAndAdd((100 * t + 10 * gen + 1) as i64);
+                        rec.record(pid, op.clone(), || h.invoke(op.clone()));
+                        h.retire();
+                    }
+                })
+            })
+            .collect();
+        for w in workers {
+            // The crashed vthread's join returns the crash signal.
+            let _ = w.join();
+        }
+    }
+
+    /// Crash-mid-retirement under a deterministic schedule: the victim
+    /// dies inside `retire()` — after its generation's operation
+    /// completed, after the slot went `RETIRED`, before reclamation.
+    /// Nothing is left pending, so the history must linearize outright,
+    /// and the survivor's remaining generations complete wait-free.
+    #[test]
+    fn injected_crash_mid_retirement_composes_with_deterministic_schedule() {
+        let _guard = failpoints::exclusive();
+        failpoints::clear();
+        failpoints::configure(
+            "universal::retire",
+            FailpointConfig::once_for(FaultAction::Crash, 1, 1),
+        );
+        let checked = run_and_check(
+            &Counter::new(0),
+            RandomWalk::new(7),
+            RunOptions::default(),
+            churn_crash_body,
+        );
+        failpoints::clear();
+
+        assert!(checked.run.error.is_none(), "{:?}", checked.run.error);
+        assert_eq!(
+            checked.run.crashed.len(),
+            1,
+            "exactly one vthread crashed mid-retirement: {:?}",
+            checked.run.crashed
+        );
+        assert!(
+            !checked.history.has_pending(Pid(1)),
+            "a retire-site crash interrupts no operation"
+        );
+        assert!(
+            checked.report.outcome.is_ok(),
+            "survivor + crashed-mid-retirement history must linearize"
         );
     }
 

@@ -230,6 +230,35 @@ mod sched_equivalence {
 }
 
 #[test]
+fn dynamic_registration_is_equivalent_to_static_creation() {
+    // The same script through a statically-built object and through a
+    // churn of dynamically registered handles (a fresh registration every
+    // two operations, each retiring behind itself): responses must agree
+    // op for op, so slot reuse is invisible to the sequential semantics.
+    let script = [
+        QueueOp::Enq(4),
+        QueueOp::Enq(5),
+        QueueOp::Deq,
+        QueueOp::Deq,
+        QueueOp::Deq,
+        QueueOp::Enq(6),
+        QueueOp::Enq(7),
+        QueueOp::Deq,
+    ];
+    let mut stat = WfUniversal::new(FifoQueue::new(), 1, script.len()).remove(0);
+    let dynamic = WfUniversal::new_dynamic(FifoQueue::new(), 2);
+    for chunk in script.chunks(2) {
+        let mut h = dynamic.register();
+        for op in chunk {
+            assert_eq!(h.invoke(op.clone()), stat.invoke(op.clone()), "{op:?}");
+        }
+        h.retire();
+    }
+    assert_eq!(dynamic.registry_slots(), 1);
+    assert_eq!(dynamic.total_arrivals(), script.len() / 2);
+}
+
+#[test]
 fn hardware_universal_object_survives_thread_churn() {
     // Handles dropped early (threads "crash" after a few ops): the
     // remaining threads keep completing operations.
