@@ -30,6 +30,22 @@
 //! Environment knobs for the CI smoke job: `BENCH_UNIVERSAL_OPS` (ops
 //! per thread, default 2000) and `BENCH_UNIVERSAL_SAMPLES` (median-of
 //! samples, default 5).
+//!
+//! The steady-state rows (`workload == "steady"`) are the checkpointed-
+//! truncation before/after: a long fixed op count (default ten million,
+//! `BENCH_UNIVERSAL_STEADY_OPS`; `BENCH_UNIVERSAL_STEADY_SAMPLES`
+//! medians the checkpointed leg, default 3) on one dynamic object,
+//! unbounded log vs checkpointed truncation, with the process RSS
+//! *delta* across the timed region recorded in the `rss_mib` column.
+//! The unbounded leg retains every decided entry, so its delta grows
+//! with total ops; the checkpointed leg must stay flat at the frontier
+//! spread. The unbounded leg's ns/op is recorded as `-`: its wall-clock
+//! is dominated by page-faulting the whole retained log into existence
+//! — the pathology the row's `rss_mib` cell exists to demonstrate — so
+//! a ns/op gate on it would gate kernel fault behavior, not this code.
+//! Non-steady rows carry `-` in `rss_mib` — one process runs every leg,
+//! so only the first allocation surge per sample is attributable, and
+//! attributing it per-row would be noise.
 
 use waitfree_bench::json::Json;
 use waitfree_sched::thread;
@@ -37,10 +53,27 @@ use waitfree_bench::timing::measure_with_setup;
 use waitfree_bench::Report;
 use waitfree_objects::counter::{Counter, CounterOp, CounterResp};
 use waitfree_objects::queue::{FifoQueue, QueueOp};
-use waitfree_sync::universal::{WfHandle, WfUniversal};
+use waitfree_sync::universal::{WfHandle, WfUniversal, SEGMENT_SIZE};
 use waitfree_sync::universal_cell::CellUniversal;
 
 const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+/// Checkpoint cadence for the steady-state leg: one checkpoint per
+/// segment keeps the truncation overhead at a 1/SEGMENT_SIZE factor
+/// while still reclaiming every segment behind the frontier.
+const STEADY_EVERY: usize = SEGMENT_SIZE;
+/// Thread count for the steady-state rows (one contended object).
+const STEADY_THREADS: usize = 4;
+
+/// Resident-set size in MiB read from `/proc/self/status` (`VmRSS:` is
+/// reported in kB). `None` off Linux or when the field is absent; the
+/// report renders that as `-`.
+fn rss_mib() -> Option<f64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmRSS:"))?;
+    let kb: f64 = line.split_whitespace().nth(1)?.parse().ok()?;
+    Some(kb / 1024.0)
+}
 
 /// Per-thread hot-path counters (pointer paths only; the cell baseline
 /// does not instrument its decide loop).
@@ -328,6 +361,65 @@ fn run_churn(batched: bool, n: usize, ops: usize, samples: usize) -> (f64, WorkS
     (median.as_nanos() as f64 / executed.max(1) as f64, agg)
 }
 
+/// n threads hammer one shared *dynamic* counter for `per` ops each —
+/// long enough for the checkpointed configuration to cycle through many
+/// truncations. Handles retire at the end so the final reclamation pass
+/// runs, but the object itself stays alive until after the RSS sample.
+fn steady_workload(obj: &WfUniversal<Counter>, n: usize, per: usize) -> WorkStats {
+    let joins: Vec<_> = (0..n)
+        .map(|_| {
+            let obj = obj.clone();
+            thread::spawn(move || {
+                let mut h = obj.register();
+                for _ in 0..per {
+                    let _ = h.invoke(CounterOp::FetchAndAdd(1));
+                }
+                let stats = wf_stats(&h);
+                h.retire();
+                stats
+            })
+        })
+        .collect();
+    let mut agg = WorkStats::default();
+    for j in joins {
+        agg.merge(j.join().unwrap());
+    }
+    agg
+}
+
+/// One steady-state row: median ns/op plus the first sample's RSS delta
+/// across the timed region (later samples reuse allocator pages freed
+/// by the first, so only the first delta attributes cleanly). The
+/// checkpointed leg runs before the unbounded leg in `main` for the
+/// same reason: a fresh heap is the only honest baseline.
+fn run_steady(
+    checkpointed: bool,
+    n: usize,
+    per: usize,
+    samples: usize,
+) -> (f64, Option<f64>, WorkStats) {
+    let mut agg = WorkStats::default();
+    let mut delta = None;
+    let median = measure_with_setup(
+        samples,
+        || {
+            if checkpointed {
+                WfUniversal::new_dynamic_checkpointed(Counter::new(0), per + 2, STEADY_EVERY)
+            } else {
+                WfUniversal::new_dynamic(Counter::new(0), per + 2)
+            }
+        },
+        |obj| {
+            let before = rss_mib();
+            agg.merge(steady_workload(&obj, n, per));
+            if delta.is_none() {
+                delta = before.zip(rss_mib()).map(|(b, a)| (a - b).max(0.0));
+            }
+        },
+    );
+    (median.as_nanos() as f64 / (n * per).max(1) as f64, delta, agg)
+}
+
 fn env_usize(key: &str, default: usize) -> usize {
     std::env::var(key).ok().and_then(|s| s.parse().ok()).unwrap_or(default)
 }
@@ -399,14 +491,33 @@ fn merged_trajectory(
 }
 
 fn main() {
+    // Nine samples, not five: the recorded medians feed a ±25% trend
+    // gate, and on a single-core host the scheduling-noise spread of a
+    // 5-sample median is wider than that.
     let ops = env_usize("BENCH_UNIVERSAL_OPS", 2_000);
-    let samples = env_usize("BENCH_UNIVERSAL_SAMPLES", 5).max(1);
+    let samples = env_usize("BENCH_UNIVERSAL_SAMPLES", 9).max(1);
+    // Churn medians are the noisiest figure of all (the register/retire
+    // storms are scheduling-sensitive, with an observed 2x spread at 5
+    // samples), so that workload takes 3x the samples.
+    let churn_samples = env_usize("BENCH_UNIVERSAL_CHURN_SAMPLES", 3 * samples).max(1);
+    let steady_ops = env_usize("BENCH_UNIVERSAL_STEADY_OPS", 10_000_000);
+    let steady_samples = env_usize("BENCH_UNIVERSAL_STEADY_SAMPLES", 3).max(1);
     let timestamp = cli_timestamp();
 
     let mut report = Report::new(
         "bench_universal",
         "Universal object: ConsensusCell arena vs pointer-CAS log (per-op and batched decides)",
-        &["workload", "impl", "n", "ops/thread", "ns/op", "max_steps", "decides/op", "cas_fail/op"],
+        &[
+            "workload",
+            "impl",
+            "n",
+            "ops/thread",
+            "ns/op",
+            "max_steps",
+            "decides/op",
+            "cas_fail/op",
+            "rss_mib",
+        ],
     );
     report.note(format!("ops_per_thread={ops} samples={samples} (median of whole-workload runs)"));
     report.note(
@@ -441,6 +552,7 @@ fn main() {
                     stats.max_steps.to_string(),
                     stats.per_invoke(|h| h.decides),
                     stats.per_invoke(|h| h.cas_failures),
+                    "-".to_string(),
                 ]);
             }
             report.note(format!(
@@ -482,8 +594,8 @@ fn main() {
          so only the pointer paths have churn rows"
     ));
     for n in THREAD_COUNTS {
-        let (ptr_ns, ptr_stats) = run_churn(false, n, ops, samples);
-        let (bat_ns, bat_stats) = run_churn(true, n, ops, samples);
+        let (ptr_ns, ptr_stats) = run_churn(false, n, ops, churn_samples);
+        let (bat_ns, bat_stats) = run_churn(true, n, ops, churn_samples);
         let legs = [
             (PtrPath::NAME, ptr_ns, &ptr_stats),
             (BatchedPath::NAME, bat_ns, &bat_stats),
@@ -498,6 +610,7 @@ fn main() {
                 stats.max_steps.to_string(),
                 stats.per_invoke(|h| h.decides),
                 stats.per_invoke(|h| h.cas_failures),
+                "-".to_string(),
             ]);
             if stats.max_steps > 4 * n + 8 {
                 report.fail(format!(
@@ -509,12 +622,68 @@ fn main() {
         }
     }
 
+    // The steady-state leg: checkpointed truncation vs the unbounded
+    // log over a long fixed op count, ns/op and RSS delta per row. The
+    // checkpointed leg runs first — its RSS reading needs a heap the
+    // unbounded leg hasn't already grown (freed pages stay resident and
+    // would mask the comparison).
+    let steady_per = steady_ops / STEADY_THREADS;
+    report.note(format!(
+        "steady workload: {STEADY_THREADS} threads x {steady_per} ops on one dynamic object \
+         ({steady_samples} sample(s)); checkpointed cadence every {STEADY_EVERY} decided ops; \
+         rss_mib is the first sample's VmRSS delta across the timed region (checkpointed leg \
+         measured first, on the unexpanded heap)"
+    ));
+    {
+        let n = STEADY_THREADS;
+        let (cp_ns, cp_rss, cp_stats) = run_steady(true, n, steady_per, steady_samples);
+        // One sample for the reference leg: it exists for its RSS
+        // figure, and its timing (see the module doc) isn't recorded.
+        let (un_ns, un_rss, un_stats) = run_steady(false, n, steady_per, 1);
+        let legs = [
+            ("checkpointed", Some(cp_ns), cp_rss, &cp_stats),
+            ("unbounded", None, un_rss, &un_stats),
+        ];
+        for (name, ns, rss, stats) in legs {
+            report.row(&[
+                "steady".to_string(),
+                name.to_string(),
+                n.to_string(),
+                steady_per.to_string(),
+                ns.map_or_else(|| "-".to_string(), |v| format!("{v:.1}")),
+                stats.max_steps.to_string(),
+                stats.per_invoke(|h| h.decides),
+                stats.per_invoke(|h| h.cas_failures),
+                rss.map_or_else(|| "-".to_string(), |r| format!("{r:.1}")),
+            ]);
+            // Checkpoint positions are extra helping-scan iterations:
+            // the O(n) bound gains a 1/cadence factor, nothing more.
+            let base = 2 * n + 8;
+            if stats.max_steps > base + base / STEADY_EVERY + 2 {
+                report.fail(format!(
+                    "steady {name}: {} threading steps exceeds the O(n) bound \
+                     (cadence slack included)",
+                    stats.max_steps
+                ));
+            }
+        }
+        if let (Some(cp), Some(un)) = (cp_rss, un_rss) {
+            report.note(format!(
+                "steady RSS delta: checkpointed {cp:.1} MiB vs unbounded {un:.1} MiB \
+                 ({:.0}x) over {steady_ops} total ops; unbounded wall-clock was \
+                 {un_ns:.1} ns/op sampled once (not recorded as a measurement)",
+                un / cp.max(0.1)
+            ));
+        }
+    }
+
     // The recorded perf-trajectory file at the repo root: merge this run
     // into the prior runs (never overwrite the history), alongside the
     // standard single-report results/ copy written by finish().
     let config = Json::Obj(vec![
         ("ops_per_thread".into(), Json::num(ops as u64)),
         ("samples".into(), Json::num(samples as u64)),
+        ("churn_samples".into(), Json::num(churn_samples as u64)),
         (
             "thread_counts".into(),
             Json::Arr(THREAD_COUNTS.iter().map(|n| Json::num(*n as u64)).collect()),
@@ -526,6 +695,12 @@ fn main() {
         // config group so pre-membership figures never gate post-
         // membership runs.
         ("membership".into(), Json::Str("dynamic".into())),
+        // Checkpointed truncation replaced the Arc-per-entry log (Box
+        // arena + segment reclamation, steady-state rows with an RSS
+        // column): a new config group, so Arc-era figures and the new
+        // hot path never gate each other.
+        ("reclaim".into(), Json::Str("checkpoint".into())),
+        ("steady_ops".into(), Json::num(steady_ops as u64)),
     ]);
     let prior = std::fs::read_to_string("BENCH_universal.json").ok();
     let merged = match merged_trajectory(prior.as_deref(), &report.to_json(), &timestamp, config) {

@@ -38,7 +38,15 @@
 //!   helpable, since the scan writes nothing shared);
 //! * `universal::cas` / `universal::decided` — around each consensus
 //!   decide;
-//! * `universal::replay` — per applied operation during replay.
+//! * `universal::replay` — per applied operation during replay;
+//! * `universal::checkpoint` — before a checkpoint image is built and
+//!   proposed (pointer path with a checkpoint cadence only; a crash
+//!   here has published nothing — the cadence simply re-fires on a
+//!   later op, by any handle);
+//! * `universal::reclaim` — inside the segment reclaimer, after the
+//!   try-lock is won but before any segment is detached (a crash here
+//!   unwinds through the lock's RAII guard, so reclamation stays
+//!   available — the next invoke retries it).
 //!
 //! `consensus::*`, `faa_queue::*` and `lockfree::*` follow the same
 //! convention at their respective hot paths.

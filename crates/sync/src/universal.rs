@@ -1,10 +1,11 @@
 //! A wait-free universal object on hardware atomics — the optimised
-//! pointer-CAS rendering, with batch combining.
+//! pointer-CAS rendering, with batch combining, dynamic membership, and
+//! checkpointed log truncation.
 //!
 //! The practical rendering of §4's universality result: a shared log in
 //! which each position is decided by a *single* `AtomicPtr`
 //! compare-exchange (Theorem 7 compiled to one hardware primitive), plus
-//! an announce array with a helping discipline that bounds every
+//! an announce registry with a helping discipline that bounds every
 //! operation — the difference between *lock-free* (someone wins) and
 //! *wait-free* (everyone finishes) is exactly the helping.
 //!
@@ -12,16 +13,21 @@
 //! [`ConsensusCell`](crate::consensus::ConsensusCell) hot path, which is
 //! preserved verbatim in [`crate::universal_cell`] as the fidelity
 //! baseline for the explorer/model crates and for the before/after
-//! benchmark (`bench_universal`). Three structural changes make this
+//! benchmark (`bench_universal`). The structural changes that make this
 //! path fast:
 //!
-//! * **Pointer consensus.** A log position is one
+//! * **Pointer consensus over arena segments.** A log position is one
 //!   `AtomicPtr<LogEntry>`: null means undecided, and the first
-//!   successful CAS from null wins. Proposals are `Arc`s, so announcing,
-//!   candidate construction and replay never clone the operation
-//!   payload — every hand-off is a refcount bump. The cell path did
-//!   slot-write + usize-CAS + slot-read per decide and cloned the
-//!   `Entry` on every iteration.
+//!   successful CAS from null wins. Proposals are plain heap `Box`es
+//!   owned by the winning slot — there is *no per-entry reference
+//!   count*. Entry lifetime is governed wholesale, per segment, by the
+//!   checkpoint/frontier scheme below, so the decide/replay/collect hot
+//!   path never touches reclamation bookkeeping. (Earlier revisions
+//!   used `Arc<Entry>` and paid two atomic refcount ops per hand-off.)
+//!   Helpers read another slot's announced entry through a per-handle
+//!   *hazard pointer* with a single validating re-load — wait-free: a
+//!   failed validation means the owner moved on, so there is nothing
+//!   left to help there.
 //! * **Segmented, lazily grown log.** Instead of an eagerly allocated
 //!   `2·n·max_ops + 16` arena of n-slot cells (O(n²·max_ops) memory
 //!   before the first op), the log is a linked list of fixed-size
@@ -32,8 +38,26 @@
 //!   builds an *unbounded* log; [`UniversalError::LogFull`] remains as
 //!   an explicit opt-in cap via [`WfUniversal::with_capacity`] for the
 //!   fault tests.
+//! * **Checkpointed truncation** (this PR's layer; the paper's
+//!   strongly-wait-free variant, §4.1 end — see the abstract model in
+//!   `waitfree-core`'s `universal::log`). With
+//!   [`WfUniversal::new_checkpointed`] (or the dynamic variant), a
+//!   handle whose replay frontier has advanced `every` positions past
+//!   the latest checkpoint proposes a [`LogEntry::Checkpoint`] carrying
+//!   its replica state: one ordinary consensus decide, wait-free — the
+//!   loser of the checkpoint CAS just frees its image and moves on,
+//!   and replayers treat a checkpoint as an empty batch (their replica
+//!   already equals the image when they reach it). Each handle
+//!   publishes a *replay frontier* in its registry slot; whole segments
+//!   strictly behind `min(latest checkpoint, min over active handles'
+//!   frontiers)` are detached from the chain and freed once no
+//!   walker's segment hazard covers them. Retired, dropped, and
+//!   crashed handles publish `usize::MAX` (never pinning memory), and
+//!   a late registrant bootstraps its replica from the newest
+//!   checkpoint — which the reclaim bound keeps alive by construction.
+//!   Steady-state memory is O(frontier spread), not O(total ops).
 //! * **Batch combining** (default; see DESIGN.md §9). Before deciding
-//!   position `k`, a thread scans the announce array and collects
+//!   position `k`, a thread scans the announce registry and collects
 //!   *every* currently-pending announced operation into one
 //!   [`LogEntry::Batch`], so a single winning CAS threads up to `n`
 //!   operations and the losers find their op already decided instead of
@@ -44,8 +68,7 @@
 //!   always a superset of the per-op candidate. [`WfUniversal::new_per_op`]
 //!   preserves the PR-2 one-op-per-decide candidate selection for
 //!   benchmarks and differential tests.
-//!
-//! * **Dynamic membership** (this PR's layer). The paper fixes the
+//! * **Dynamic membership** (PR 6's layer). The paper fixes the
 //!   process set `n` at creation time; a production service does not.
 //!   Following the infinite-arrival construction of
 //!   Bonin–Mostéfaoui–Perrin (PAPERS.md), the static announce array is
@@ -65,7 +88,10 @@
 //!
 //! How an operation executes (unchanged from Figure 4-5's algorithm):
 //!
-//! 1. **Announce** the operation in the caller's announce slot.
+//! 1. **Announce** the operation in the caller's announce cell (one
+//!    `AtomicPtr` per slot holding the latest entry; the displaced
+//!    predecessor goes to an owner-local limbo list, freed once no
+//!    helper hazard covers it).
 //! 2. **Thread** it onto the log: repeatedly take the first undecided
 //!    position `k` and run consensus on a candidate — in combining mode
 //!    the batch of all pending announced ops (scanned starting from
@@ -110,69 +136,89 @@
 //!   decided-prefix invariant must be inherited from the publisher: the
 //!   acquire load carries the publisher's happens-before edge to every
 //!   decide below the published value. Staleness still only costs
-//!   extra (already-decided) iterations;
+//!   extra (already-decided) iterations. The threading start is
+//!   additionally clamped to the handle's own replay cursor — a safety
+//!   requirement, not a heuristic: positions at or above the cursor are
+//!   at or above the handle's published frontier, which the reclaim
+//!   bound never passes, so a threading walk can never enter a freed
+//!   segment;
 //! * the `segments` diagnostic counter: `AcqRel` bump / `Acquire` read,
 //!   so a reported count of `n` implies the `n` installs it counts are
 //!   visible to the reader;
-//! * registry segment `next` links and per-slot announce-chunk `next`
-//!   links: `Release` install / `Acquire` follow, the same idiom (and
-//!   the same audit obligations) as the log's segment chain;
+//! * registry segment `next` links: `Release` install / `Acquire`
+//!   follow, the same idiom (and the same audit obligations) as the
+//!   log's segment chain;
 //! * `slots_hi`, the registered-slot high-water: `AcqRel` `fetch_max`
 //!   on claim / `Acquire` read, so a scanner that reads `hi` can reach
 //!   every slot below it through the registry chain;
-//! * a slot's `announce_latest` chunk hint: `Release` store by the
-//!   owner on chunk install / `Acquire` read by helpers — purely a
-//!   walk-shortening hint; a stale value costs a walk from an earlier
-//!   chunk, never a missed cell;
 //! * slot `state` (free / active / retired): `SeqCst` — claim and
 //!   retirement are rare membership events, kept on the strongest
 //!   ordering so slot hand-over inherits the departing owner's
 //!   announce writes;
-//! * `announced`/`done` (now per registry slot): `SeqCst` — they form
+//! * `announced`/`done` (per registry slot): `SeqCst` — they form
 //!   the announce/help handshake the helping bound is proved against,
 //!   and they are off the per-iteration fast path. The combining
 //!   collect scan reads both through `pending`'s `SeqCst` loads, one
 //!   pair per slot: seeing `announced > done` must imply the announce
-//!   cell is populated (the announcer's cell write is sequenced before
-//!   its `SeqCst` store to `announced`), and a batch member `(t, s)`
-//!   must imply `(t, s-1)` was already threaded (the `SeqCst` load of
-//!   `done` sits after the decider's `SeqCst` `fetch_max` in the
-//!   single total order). Sequence numbers continue across slot reuse
-//!   — a re-registered slot's first op takes `seq = announced` — so
-//!   the `(tid, seq)` replay dedup stays sound over churn.
+//!   cell is populated (the announcer's cell store is a `SeqCst` store
+//!   sequenced before its `SeqCst` store to `announced`), and a batch
+//!   member `(t, s)` must imply `(t, s-1)` was already threaded (the
+//!   `SeqCst` load of `done` sits after the decider's `SeqCst`
+//!   `fetch_max` in the single total order). Sequence numbers continue
+//!   across slot reuse — a re-registered slot's first op takes
+//!   `seq = announced` — so the `(tid, seq)` replay dedup stays sound
+//!   over churn;
+//! * **every word of the checkpoint/reclaim protocol is `SeqCst`**, by
+//!   design: the announce cell and the per-slot `entry_hazard`, the
+//!   per-slot `frontier` and `seg_hazard`, and the shared `oldest`,
+//!   `cp_pos`, `reclaimed_upto`, and `reclaim_lock`. Reclamation
+//!   correctness is proved as chains through the single `SeqCst` total
+//!   order (hazard-publish-then-revalidate vs. replace-then-scan;
+//!   frontier-publish-then-hazard-clear vs. hazard-check-then-fresh
+//!   -bound; detach high-water before unlink vs. hop-then-validate —
+//!   see DESIGN.md §12 for the audit), and none of these words is on
+//!   the per-decide fast path, so there is nothing to relax.
 //!
 //! # Failpoint sites (feature `failpoints`)
 //!
 //! | site | placed |
 //! |------|--------|
-//! | `universal::register`  | on entry to `register`, before any slot is claimed |
-//! | `universal::retire`    | after the slot is marked retired, before reclamation |
-//! | `universal::announce`  | before the announce-slot write |
-//! | `universal::announced` | after the announce is published, before threading |
-//! | `universal::collect`   | before the announce-array scan that builds a combined batch (combining mode only) |
-//! | `universal::cas`       | in the threading loop, before each consensus decide |
-//! | `universal::decided`   | after a decide, before the position advances |
-//! | `universal::replay`    | in the replay loop, per applied operation |
+//! | `universal::register`   | on entry to `register`, before any slot is claimed |
+//! | `universal::retire`     | after the slot is marked retired (frontier already unpinned), before reclamation |
+//! | `universal::announce`   | before the announce-cell write |
+//! | `universal::announced`  | after the announce is published, before threading |
+//! | `universal::collect`    | before the announce-registry scan that builds a combined batch (combining mode only) |
+//! | `universal::cas`        | in the threading loop, before each consensus decide |
+//! | `universal::decided`    | after a decide, before the position advances |
+//! | `universal::replay`     | in the replay loop, per applied operation |
+//! | `universal::checkpoint` | after the checkpoint cadence check, before the image is built and proposed |
+//! | `universal::reclaim`    | inside `try_reclaim`, after the reclaim lock is taken, before anything is detached |
 //!
 //! The shared sites carry the same names as the baseline's
 //! ([`crate::universal_cell`]), so one adversary plan stresses either
 //! path (`universal::collect` fires only on the combining path;
-//! `universal::register`/`universal::retire` only on this one). A
-//! thread crashed at `universal::announce` has published nothing; one
-//! crashed at any later site — including mid-collect, holding refcount
-//! bumps on other threads' pending entries — has an announced operation
-//! that helpers may still thread, and the entries it collected stay
-//! announced and helpable because a collect scan mutates nothing
-//! shared. Verify such histories with `PendingPolicy::MayTakeEffect`.
-//! A client crashed at `universal::register` has claimed nothing; one
-//! crashed at `universal::retire` leaves its slot marked retired and
-//! quiescent, which the next registrant to scan past reclaims.
+//! `universal::register`/`universal::retire`/`universal::checkpoint`/
+//! `universal::reclaim` only on this one). A thread crashed at
+//! `universal::announce` has published nothing; one crashed at any
+//! later site has an announced operation that helpers may still
+//! thread, and a collect scan mutates nothing shared (its hazard
+//! pointer is cleared by the next owner action or handle drop). Verify
+//! such histories with `PendingPolicy::MayTakeEffect`. A client
+//! crashed at `universal::register` has claimed nothing; one crashed
+//! at `universal::retire` leaves its slot marked retired, quiescent,
+//! and — because the frontier is unpinned *before* the failpoint —
+//! never pinning a segment. A crash at `universal::checkpoint` loses
+//! at most one checkpoint proposal (the cadence check re-fires on the
+//! next invoke); a crash at `universal::reclaim` unwinds through the
+//! RAII lock guard with nothing detached, so the next reclaimer
+//! proceeds unhindered.
 
+use std::cell::UnsafeCell;
 use std::fmt;
 use std::marker::PhantomData;
 use std::ptr;
+use std::sync::Arc;
 use waitfree_sched::atomic::{AtomicPtr, AtomicUsize, Ordering};
-use std::sync::{Arc, OnceLock};
 
 use waitfree_faults::failpoint;
 use waitfree_model::{ObjectSpec, Pid};
@@ -185,9 +231,11 @@ pub const SEGMENT_SIZE: usize = 64;
 /// tests can observe reuse without thousands of arrivals.
 pub const REGISTRY_SEGMENT: usize = 8;
 
-/// Announce cells per per-slot chunk. A slot's announce log grows one
-/// chunk at a time as its owners invoke.
-pub const ANNOUNCE_CHUNK: usize = 8;
+/// Displaced announce entries an owner accumulates before sweeping its
+/// limbo list (freeing every entry no helper hazard covers). Small: the
+/// list holds at most this many plus the per-sweep survivors, and a
+/// survivor is pinned by at most one helper's hazard at a time.
+const ENTRY_LIMBO_SWEEP: usize = 8;
 
 /// Registry-slot states. A slot is claimed FREE → ACTIVE by one
 /// `register` CAS, marked ACTIVE → RETIRED by `retire`, and recycled
@@ -251,9 +299,9 @@ impl fmt::Display for UniversalError {
 
 impl std::error::Error for UniversalError {}
 
-/// One announced operation. Constructed once per operation and only
-/// ever refcount-bumped afterwards (through announce slots and
-/// [`LogEntry`] batch membership).
+/// One announced operation. Constructed once per operation; helpers and
+/// batch membership copy it by `Clone` (a plain payload clone — there
+/// is no shared-ownership bookkeeping on the hot path).
 #[derive(Clone, Debug)]
 pub struct Entry<Op> {
     /// The invoking thread.
@@ -264,86 +312,66 @@ pub struct Entry<Op> {
     pub op: Op,
 }
 
-/// One decided log position: a single operation, or a batch of
-/// operations threaded together by one winning consensus decide.
+/// A checkpointed replica image: the abstract state with every decided
+/// position below the checkpoint applied, plus the per-slot applied
+/// watermarks a bootstrapping replica needs to keep the `(tid, seq)`
+/// replay dedup sound across the truncated prefix.
+#[derive(Clone, Debug)]
+pub struct CpImage<S: ObjectSpec> {
+    /// The replica state with the whole log prefix applied.
+    pub state: S,
+    /// Per-slot next-sequence watermarks at the checkpoint position.
+    pub applied: Vec<usize>,
+}
+
+/// One decided log position: a single operation, a batch of operations
+/// threaded together by one winning consensus decide, or a checkpointed
+/// replica image (the truncation variant's "snapshot as an op").
 ///
 /// Batch members are in announce-scan order (starting at the position's
 /// preferred thread), which is their linearization order; replay applies
 /// them in member order and response lookup keys on `(tid, seq)`.
 /// [`WfHandle::decided_log`] flattens batches so the Wing–Gong checker
 /// and the cross-implementation equivalence tests keep per-op
-/// granularity.
+/// granularity. A checkpoint contributes no members: replayers that
+/// reach it already hold a replica equal to its image, so they skip it,
+/// while a bootstrapping registrant *starts* from it.
 #[derive(Debug)]
-pub enum LogEntry<Op> {
+pub enum LogEntry<S: ObjectSpec> {
     /// One operation. The per-op path always produces this; the
     /// combining path produces it when the collect scan finds a single
     /// pending operation.
-    Solo(Arc<Entry<Op>>),
+    Solo(Entry<S::Op>),
     /// Two or more operations combined by one collect scan, in
     /// announce-scan order. At most one member per thread (the scan
     /// reads each thread's oldest pending op once).
-    Batch(Box<[Arc<Entry<Op>>]>),
+    Batch(Box<[Entry<S::Op>]>),
+    /// A checkpointed replica image decided into the log by a handle
+    /// whose replay frontier reached the checkpoint cadence. Boxed:
+    /// the common Solo/Batch arms must not pay for the image's size.
+    Checkpoint(Box<CpImage<S>>),
 }
 
-impl<Op> LogEntry<Op> {
+impl<S: ObjectSpec> LogEntry<S> {
     /// The decided operations in linearization order (a `Solo` is a
-    /// one-member batch).
+    /// one-member batch; a `Checkpoint` carries none).
     #[must_use]
-    pub fn members(&self) -> &[Arc<Entry<Op>>] {
+    pub fn members(&self) -> &[Entry<S::Op>] {
         match self {
             LogEntry::Solo(e) => std::slice::from_ref(e),
             LogEntry::Batch(m) => m,
-        }
-    }
-}
-
-/// One announce cell: set exactly once by the slot owner that announced
-/// the sequence number it covers, read (and refcount-bumped) by
-/// helpers. Write-once is what makes a cell safely readable by
-/// arbitrarily stalled helpers — cells are never reset, only appended,
-/// so slot reuse continues the cell index where the previous owner
-/// stopped.
-type AnnounceCell<Op> = OnceLock<Arc<Entry<Op>>>;
-
-/// One fixed-size block of a registry slot's announce log, covering
-/// sequence numbers `base .. base + ANNOUNCE_CHUNK`. Grown by the slot
-/// owner exactly like the shared log's segments: allocate, one CAS on
-/// the `next` link, loser frees and follows.
-struct AnnounceChunk<Op> {
-    base: usize,
-    cells: Box<[AnnounceCell<Op>]>,
-    next: AtomicPtr<AnnounceChunk<Op>>,
-}
-
-impl<Op> AnnounceChunk<Op> {
-    fn new(base: usize) -> Box<Self> {
-        Box::new(AnnounceChunk {
-            base,
-            cells: (0..ANNOUNCE_CHUNK).map(|_| OnceLock::new()).collect(),
-            next: AtomicPtr::new(ptr::null_mut()),
-        })
-    }
-}
-
-impl<Op> Drop for AnnounceChunk<Op> {
-    fn drop(&mut self) {
-        // Free the rest of the chain iteratively, as `Segment` does.
-        let mut next = std::mem::replace(self.next.get_mut(), ptr::null_mut());
-        while !next.is_null() {
-            // SAFETY: `next` came from `Box::into_raw` in `HandleSlot::cell`
-            // and is detached before the Box drops, so each chunk is
-            // freed exactly once.
-            let mut chunk = unsafe { Box::from_raw(next) };
-            next = std::mem::replace(chunk.next.get_mut(), ptr::null_mut());
+            LogEntry::Checkpoint(_) => &[],
         }
     }
 }
 
 /// One registry slot: the dynamic-membership replacement for a fixed
-/// thread index. A slot carries the announce/help handshake counters
-/// and a chunked write-once announce log; its `state` word tracks
-/// claim/retirement. Slots are recycled across registrations — the
-/// sequence counter continues, the state machine resets.
+/// thread index. A slot carries the announce/help handshake counters,
+/// a single announce cell (latest entry wins; the displaced entry is
+/// owned and eventually freed by the displacing owner), the helper-side
+/// hazard pointers, and the replay frontier that governs segment
+/// reclamation. Slots are recycled across registrations — the sequence
+/// counter continues, the state machine resets.
 struct HandleSlot<Op> {
     /// `SLOT_FREE` / `SLOT_ACTIVE` / `SLOT_RETIRED`.
     state: AtomicUsize,
@@ -351,108 +379,49 @@ struct HandleSlot<Op> {
     announced: AtomicUsize,
     /// Operations of this slot threaded onto the log.
     done: AtomicUsize,
-    /// First announce chunk (base 0); later chunks hang off its `next`
-    /// chain and are owned by it.
-    announce_head: Box<AnnounceChunk<Op>>,
-    /// Hint to the highest-base installed chunk, so helpers reach the
-    /// frontier cell without walking the chain from its head.
-    announce_latest: AtomicPtr<AnnounceChunk<Op>>,
+    /// The latest announced entry (owned by the slot; replaced by the
+    /// owner on each announce, with the predecessor handed to the
+    /// owner's limbo list). Null until the slot's first announce.
+    cell: AtomicPtr<Entry<Op>>,
+    /// Hazard pointer published by this slot's *owner* while it reads
+    /// another slot's announce cell (`pending`): the displacing owner's
+    /// limbo sweep keeps any entry a hazard covers alive.
+    entry_hazard: AtomicPtr<Entry<Op>>,
+    /// Hazard on a log segment (stored as an address so the slot stays
+    /// generic over `Op` alone), published while this slot's owner
+    /// walks the chain from `oldest` (registration bootstrap and the
+    /// decided-log diagnostics): the limbo sweep keeps a hazarded
+    /// segment alive. Zero when unpinned.
+    seg_hazard: AtomicUsize,
+    /// This handle's replay frontier: every position below it has been
+    /// replayed into the handle's replica, so the handle will never
+    /// read a log slot below it again. `usize::MAX` while unpublished,
+    /// retired, or dropped — an inactive handle never pins a segment.
+    frontier: AtomicUsize,
 }
 
 impl<Op> HandleSlot<Op> {
     fn new() -> Self {
-        let announce_head = AnnounceChunk::new(0);
-        let latest: *mut AnnounceChunk<Op> =
-            (&*announce_head as *const AnnounceChunk<Op>).cast_mut();
         HandleSlot {
             state: AtomicUsize::new(SLOT_FREE),
             announced: AtomicUsize::new(0),
             done: AtomicUsize::new(0),
-            announce_head,
-            announce_latest: AtomicPtr::new(latest),
+            cell: AtomicPtr::new(ptr::null_mut()),
+            entry_hazard: AtomicPtr::new(ptr::null_mut()),
+            seg_hazard: AtomicUsize::new(0),
+            frontier: AtomicUsize::new(usize::MAX),
         }
     }
+}
 
-    /// The announce cell for sequence number `seq`, growing the chunk
-    /// chain as needed. Owner-side: only the slot's current owner calls
-    /// this, with its cached chunk pointer in `cache` (invariant:
-    /// `(*cache).base <= seq` once clamped below).
-    fn cell(&self, cache: &mut *const AnnounceChunk<Op>, seq: usize) -> &AnnounceCell<Op> {
-        // SAFETY (all derefs below): chunk pointers originate from
-        // `announce_head` or from `next` links installed with Release
-        // and read with Acquire; chunks are never freed while the
-        // owning `Shared` is alive.
-        let mut c = *cache;
-        if unsafe { &*c }.base > seq {
-            c = &*self.announce_head;
-        }
-        loop {
-            let cr = unsafe { &*c };
-            if seq < cr.base + ANNOUNCE_CHUNK {
-                *cache = c;
-                return &cr.cells[seq - cr.base];
-            }
-            // ordering: Acquire — pairs with the Release install below
-            // (possibly by a previous owner of this slot), so the
-            // chunk's cells are initialized before it is reachable.
-            let next = cr.next.load(Ordering::Acquire);
-            if !next.is_null() {
-                c = next;
-                continue;
-            }
-            let fresh = Box::into_raw(AnnounceChunk::new(cr.base + ANNOUNCE_CHUNK));
-            match cr.next.compare_exchange(
-                ptr::null_mut(),
-                fresh,
-                // ordering: Release on success — publishes the built
-                // chunk with the link; Acquire on failure to follow a
-                // winner (unreachable while slot ownership is exclusive,
-                // kept for symmetry with the log's growth idiom).
-                Ordering::Release,
-                Ordering::Acquire,
-            ) {
-                Ok(_) => {
-                    // ordering: Release — publish the hint only after the
-                    // chunk it points to is reachable; readers Acquire.
-                    self.announce_latest.store(fresh, Ordering::Release);
-                    c = fresh;
-                }
-                Err(winner) => {
-                    // SAFETY: the CAS failed, so `fresh` was never
-                    // published; we still own it exclusively.
-                    drop(unsafe { Box::from_raw(fresh) });
-                    c = winner;
-                }
-            }
-        }
-    }
-
-    /// The announced entry with sequence number `seq`, if its cell is
-    /// populated — helper-side, a refcount bump. Starts at the
-    /// `announce_latest` hint and falls back to a walk from the head
-    /// chunk, so staleness costs steps, never correctness.
-    fn entry_at(&self, seq: usize) -> Option<Arc<Entry<Op>>> {
-        // ordering: Acquire — pairs with the owner's Release store in
-        // `cell`, so the hinted chunk is initialized before we read it.
-        let mut c: *const AnnounceChunk<Op> = self.announce_latest.load(Ordering::Acquire);
-        // SAFETY: see `cell` — the chunk chain outlives `&self`.
-        if unsafe { &*c }.base > seq {
-            c = &*self.announce_head;
-        }
-        loop {
-            let cr = unsafe { &*c };
-            if seq < cr.base + ANNOUNCE_CHUNK {
-                return cr.cells[seq - cr.base].get().cloned();
-            }
-            // ordering: Acquire — pairs with the Release chunk install
-            // in `cell`.
-            let next = cr.next.load(Ordering::Acquire);
-            if next.is_null() {
-                // The caller's announced/done reads were stale; there
-                // is nothing (left) to help here.
-                return None;
-            }
-            c = next;
+impl<Op> Drop for HandleSlot<Op> {
+    fn drop(&mut self) {
+        let p = *self.cell.get_mut();
+        if !p.is_null() {
+            // SAFETY: the cell owns its current entry (displaced
+            // predecessors were handed to their displacer); slots drop
+            // exactly once, with the registry, so this frees it once.
+            drop(unsafe { Box::from_raw(p) });
         }
     }
 }
@@ -478,9 +447,8 @@ impl<Op> RegSegment<Op> {
 
 impl<Op> Drop for RegSegment<Op> {
     fn drop(&mut self) {
-        // Free the rest of the chain iteratively, as `Segment` does;
-        // each segment's slots (and their announce chunks) drop with
-        // their Boxes.
+        // Free the rest of the chain iteratively; each segment's slots
+        // (and their announce cells) drop with their Boxes.
         let mut next = std::mem::replace(self.next.get_mut(), ptr::null_mut());
         while !next.is_null() {
             // SAFETY: `next` came from `Box::into_raw` in `reg_slot_grow`
@@ -494,20 +462,20 @@ impl<Op> Drop for RegSegment<Op> {
 
 /// One fixed-size block of the segmented log. `base` is the global index
 /// of `slots[0]`; a null slot is an undecided position. Segments are
-/// reachable only through `next` links installed by CAS and are freed
-/// when the owning [`Shared`] drops (a decided slot owns one strong
-/// `Arc<LogEntry>` reference).
-struct Segment<Op> {
+/// reachable only through the `oldest` root and `next` links installed
+/// by CAS; they are freed by checkpointed reclamation
+/// (`Shared::try_reclaim`) or, for whatever remains, when the owning
+/// [`Shared`] drops. A decided slot owns the `Box<LogEntry>` behind it.
+struct Segment<S: ObjectSpec> {
     base: usize,
-    slots: Box<[AtomicPtr<LogEntry<Op>>]>,
-    next: AtomicPtr<Segment<Op>>,
-    /// Segments logically own the `Arc<LogEntry<Op>>` behind each
-    /// decided slot (dropped in `Drop`); the marker keeps auto-traits
-    /// honest.
-    _own: PhantomData<Arc<LogEntry<Op>>>,
+    slots: Box<[AtomicPtr<LogEntry<S>>]>,
+    next: AtomicPtr<Segment<S>>,
+    /// Segments logically own the boxed `LogEntry` behind each decided
+    /// slot (dropped in `Drop`); the marker keeps auto-traits honest.
+    _own: PhantomData<Box<LogEntry<S>>>,
 }
 
-impl<Op> Segment<Op> {
+impl<S: ObjectSpec> Segment<S> {
     fn new(base: usize) -> Box<Self> {
         Box::new(Segment {
             base,
@@ -516,36 +484,47 @@ impl<Op> Segment<Op> {
             _own: PhantomData,
         })
     }
+
+    /// One past the last position this segment covers.
+    fn end(&self) -> usize {
+        self.base + SEGMENT_SIZE
+    }
 }
 
-impl<Op> Drop for Segment<Op> {
+impl<S: ObjectSpec> Drop for Segment<S> {
     fn drop(&mut self) {
         for slot in self.slots.iter_mut() {
             let p = *slot.get_mut();
             if !p.is_null() {
-                // SAFETY: a non-null slot holds the strong reference
-                // transferred by the winning decide CAS; each segment is
-                // dropped exactly once (the head by its owning Box, the
-                // rest detached below before their Boxes drop), so the
-                // reference is released exactly once.
-                unsafe { drop(Arc::from_raw(p)) };
+                // SAFETY: a non-null slot owns the Box transferred by
+                // the winning decide CAS; each segment is dropped
+                // exactly once (by reclamation or by `Shared::drop`),
+                // so the entry is freed exactly once.
+                drop(unsafe { Box::from_raw(p) });
             }
         }
-        // Free the rest of the chain iteratively: a long log must not
-        // recurse once per segment.
-        let mut next = std::mem::replace(self.next.get_mut(), ptr::null_mut());
-        while !next.is_null() {
-            // SAFETY: `next` came from `Box::into_raw` in `grow` and is
-            // detached before the Box drops, so each segment is freed once.
-            let mut seg = unsafe { Box::from_raw(next) };
-            next = std::mem::replace(seg.next.get_mut(), ptr::null_mut());
-        }
+        // Deliberately NOT freeing the `next` chain here: a reclaimed
+        // (limbo) segment's link still points into the *live* chain, so
+        // chain-freeing would double-free. `Shared::drop` walks and
+        // frees the live chain and the limbo list iteratively.
+    }
+}
+
+/// RAII release of `Shared::reclaim_lock`: storing 0 in `Drop` keeps
+/// the try-lock crash-safe — a `failpoint!` crash unwinding out of
+/// `try_reclaim` releases the lock on the way out, so a crashed
+/// reclaimer never wedges reclamation for everyone else.
+struct ReclaimGuard<'a>(&'a AtomicUsize);
+
+impl Drop for ReclaimGuard<'_> {
+    fn drop(&mut self) {
+        self.0.store(0, Ordering::SeqCst);
     }
 }
 
 struct Shared<S: ObjectSpec> {
     /// Per-*registration* operation budget: each `register` grants a
-    /// fresh `max_ops` announce cells on the claimed slot.
+    /// fresh `max_ops` announce sequence numbers on the claimed slot.
     max_ops: usize,
     /// Opt-in position cap; `None` lets the log grow without bound.
     cap: Option<usize>,
@@ -553,6 +532,12 @@ struct Shared<S: ObjectSpec> {
     /// pending ops as one batch per decide (the default hot path).
     /// `false` keeps the PR-2 one-op-per-decide candidate selection.
     combine: bool,
+    /// Checkpoint cadence: decide a [`LogEntry::Checkpoint`] once a
+    /// handle's replay frontier is `every` positions past the latest
+    /// one. `None` disables truncation entirely (the reclaim bound
+    /// stays 0 and `oldest` never moves — exactly the pre-checkpoint
+    /// behaviour).
+    checkpoint_every: Option<usize>,
     /// First registry segment (slot indices 0..REGISTRY_SEGMENT). Later
     /// segments hang off its `next` chain and are owned by it.
     reg_head: Box<RegSegment<S::Op>>,
@@ -568,12 +553,36 @@ struct Shared<S: ObjectSpec> {
     peak_active: AtomicUsize,
     /// Total `register` calls ever (diagnostics).
     arrivals: AtomicUsize,
-    /// First segment of the log (base 0). Later segments hang off its
-    /// `next` chain and are owned by it (freed in `Segment::drop`).
-    head: Box<Segment<S::Op>>,
+    /// Root of the live log chain: the oldest segment not yet detached
+    /// by reclamation. With checkpointing off this never moves and is
+    /// always the base-0 segment.
+    oldest: AtomicPtr<Segment<S>>,
     /// Number of segments ever installed (diagnostics; duplicates that
-    /// lose the install race are freed and not counted).
+    /// lose the install race are freed and not counted; reclaimed
+    /// segments stay counted — see `reclaimed`).
     segments: AtomicUsize,
+    /// Number of segments detached *and freed* by reclamation.
+    reclaimed: AtomicUsize,
+    /// Number of checkpoint entries decided into the log.
+    checkpoints: AtomicUsize,
+    /// Position of the latest decided checkpoint; 0 means "none yet"
+    /// (checkpoints are only ever proposed at positions ≥ 1, so the
+    /// sentinel is unambiguous).
+    cp_pos: AtomicUsize,
+    /// High-water of detached positions: the maximum `end()` of any
+    /// segment ever unlinked from the chain, bumped *before* the
+    /// unlink is observable. A walker that hopped a `next` link
+    /// validates against this to detect that its target may already be
+    /// detached (and possibly freed) — without dereferencing it.
+    reclaimed_upto: AtomicUsize,
+    /// Try-lock (0 free / 1 held) serializing `try_reclaim`. Taken
+    /// with one CAS and never waited on: reclamation is a side duty,
+    /// and a loser knows the winner is doing the work.
+    reclaim_lock: AtomicUsize,
+    /// Detached segments awaiting hazard clearance before they can be
+    /// freed. Touched only under `reclaim_lock` (and in `Drop`, with
+    /// exclusive access).
+    limbo: UnsafeCell<Vec<*mut Segment<S>>>,
     /// Heuristic lower bound on the first undecided position.
     hint: AtomicUsize,
 }
@@ -584,6 +593,7 @@ impl<S: ObjectSpec> fmt::Debug for Shared<S> {
             .field("max_ops", &self.max_ops)
             .field("cap", &self.cap)
             .field("combine", &self.combine)
+            .field("checkpoint_every", &self.checkpoint_every)
             // ordering: Acquire — diagnostics read cross-thread state;
             // Acquire keeps the printed values consistent with the
             // structures they describe (uniform rule for observers).
@@ -591,8 +601,33 @@ impl<S: ObjectSpec> fmt::Debug for Shared<S> {
             .field("active", &self.active.load(Ordering::SeqCst))
             // ordering: Acquire — same observer rule as `slots_hi`.
             .field("segments", &self.segments.load(Ordering::Acquire))
+            .field("reclaimed", &self.reclaimed.load(Ordering::SeqCst))
+            .field("checkpoints", &self.checkpoints.load(Ordering::SeqCst))
+            .field("cp_pos", &self.cp_pos.load(Ordering::SeqCst))
             .field("hint", &self.hint.load(Ordering::Acquire))
             .finish_non_exhaustive()
+    }
+}
+
+impl<S: ObjectSpec> Drop for Shared<S> {
+    fn drop(&mut self) {
+        // Free the live chain iteratively (a long log must not recurse
+        // once per segment), then whatever reclamation had detached but
+        // not yet freed.
+        let mut seg = *self.oldest.get_mut();
+        while !seg.is_null() {
+            // SAFETY: `Drop` has exclusive access; every live segment
+            // came from `Box::into_raw` and is freed exactly once here
+            // (limbo segments are unreachable from `oldest`).
+            let mut b = unsafe { Box::from_raw(seg) };
+            seg = *b.next.get_mut();
+        }
+        for &p in self.limbo.get_mut().iter() {
+            // SAFETY: limbo holds segments already detached from the
+            // chain (never reachable from `oldest` again), each pushed
+            // exactly once; with exclusive access they are freed here.
+            drop(unsafe { Box::from_raw(p) });
+        }
     }
 }
 
@@ -651,7 +686,7 @@ impl<S: ObjectSpec> Shared<S> {
                 ptr::null_mut(),
                 fresh,
                 // ordering: Release on success — publishes the fully
-                // built segment (slots, announce chunks) with the link;
+                // built segment (slots, announce cells) with the link;
                 // Acquire on failure to safely follow the winner.
                 Ordering::Release,
                 Ordering::Acquire,
@@ -667,32 +702,101 @@ impl<S: ObjectSpec> Shared<S> {
         }
     }
 
-    /// The oldest announced-but-unthreaded entry on `slot`, if any — a
-    /// refcount bump, never a payload clone. A free, retired-quiescent,
-    /// or idle slot costs exactly these two loads: that is how helpers
-    /// "stop scanning" departed handles.
-    fn pending(&self, slot: &HandleSlot<S::Op>) -> Option<Arc<Entry<S::Op>>> {
-        // SeqCst on both counters: the announce/help handshake. Seeing
-        // `announced > done` must imply the announce cell is populated,
-        // which the announcing owner guarantees by writing the cell
-        // before its SeqCst store to `announced`.
-        let d = slot.done.load(Ordering::SeqCst);
-        let a = slot.announced.load(Ordering::SeqCst);
-        if d < a {
-            slot.entry_at(d)
-        } else {
-            None
+    /// Visit slots `0..hi` in index order, one linear walk of the
+    /// registry chain (the reclaim bound, hazard scans, and limbo
+    /// sweeps all use this).
+    fn for_each_slot(&self, hi: usize, mut f: impl FnMut(usize, &HandleSlot<S::Op>)) {
+        // SAFETY: see `reg_slot`.
+        let mut seg: *const RegSegment<S::Op> = &*self.reg_head;
+        let mut t = 0usize;
+        while t < hi {
+            let s = unsafe { &*seg };
+            if t >= s.base + REGISTRY_SEGMENT {
+                // ordering: Acquire — pairs with the Release segment
+                // install in `reg_slot_grow`.
+                let next = s.next.load(Ordering::Acquire);
+                if next.is_null() {
+                    return; // `hi` outran this thread's view of the chain
+                }
+                seg = next;
+                continue;
+            }
+            f(t, &s.slots[t - s.base]);
+            t += 1;
         }
     }
 
+    /// The oldest announced-but-unthreaded entry on `slot`, if any,
+    /// cloned out under `hazard` (the *caller's* entry-hazard slot). A
+    /// free, retired-quiescent, or idle slot costs exactly the first
+    /// two loads: that is how helpers "stop scanning" departed handles.
+    ///
+    /// Wait-free hazard protocol, no retry loop: publish the pointer,
+    /// re-load the cell once, and *skip* on mismatch — a mismatch means
+    /// the owner replaced its announce (its previous op was threaded),
+    /// so there is nothing left to help here. ABA on a recycled
+    /// allocation address is benign: validation succeeding means the
+    /// pointer is the cell's *current* entry (alive, owned by the
+    /// slot), and the `seq == done` check rejects any entry that is not
+    /// the oldest pending one.
+    fn pending(
+        &self,
+        slot: &HandleSlot<S::Op>,
+        hazard: &AtomicPtr<Entry<S::Op>>,
+    ) -> Option<Entry<S::Op>> {
+        // SeqCst on both counters: the announce/help handshake. Seeing
+        // `announced > done` must imply the announce cell is populated,
+        // which the announcing owner guarantees by storing the cell
+        // before its SeqCst store to `announced`.
+        let d = slot.done.load(Ordering::SeqCst);
+        let a = slot.announced.load(Ordering::SeqCst);
+        if d >= a {
+            return None;
+        }
+        let p = slot.cell.load(Ordering::SeqCst);
+        if p.is_null() {
+            return None;
+        }
+        hazard.store(p, Ordering::SeqCst);
+        if slot.cell.load(Ordering::SeqCst) != p {
+            // The owner displaced the entry between our load and the
+            // hazard publish; its limbo sweep may not have seen our
+            // hazard, so `p` may already be freed. Do not touch it.
+            hazard.store(ptr::null_mut(), Ordering::SeqCst);
+            return None;
+        }
+        // SAFETY: the validating re-load makes the deref sound in the
+        // SeqCst total order: if the owner's displacing store preceded
+        // our re-load we would have seen the new pointer, so the store
+        // follows our hazard publish — and the owner's limbo sweep
+        // (which follows its store) then sees our hazard and keeps `p`
+        // alive until we clear it below.
+        let e = unsafe { &*p };
+        let out = if e.seq == d { Some(e.clone()) } else { None };
+        hazard.store(ptr::null_mut(), Ordering::SeqCst);
+        out
+    }
+
     /// [`Shared::pending`] by slot index (the per-op candidate path).
-    fn pending_at(&self, t: usize) -> Option<Arc<Entry<S::Op>>> {
-        self.pending(self.reg_slot(t))
+    fn pending_at(
+        &self,
+        t: usize,
+        hazard: &AtomicPtr<Entry<S::Op>>,
+    ) -> Option<Entry<S::Op>> {
+        self.pending(self.reg_slot(t), hazard)
     }
 
     /// Gather the pending entries of slots `from..to` (one linear walk
-    /// of the registry chain) into `members`.
-    fn pending_range(&self, from: usize, to: usize, members: &mut Vec<Arc<Entry<S::Op>>>) {
+    /// of the registry chain) into `members`. The caller's own slot is
+    /// read without the hazard dance — the caller owns its cell.
+    fn pending_range(
+        &self,
+        from: usize,
+        to: usize,
+        own: &Entry<S::Op>,
+        hazard: &AtomicPtr<Entry<S::Op>>,
+        members: &mut Vec<Entry<S::Op>>,
+    ) {
         if from >= to {
             return;
         }
@@ -711,25 +815,175 @@ impl<S: ObjectSpec> Shared<S> {
                 seg = next;
                 continue;
             }
-            if let Some(e) = self.pending(&s.slots[t - s.base]) {
+            let slot = &s.slots[t - s.base];
+            if t == own.tid {
+                // Own slot: the caller owns the cell, no hazard needed;
+                // and the entry is by definition `own` while undone.
+                if slot.done.load(Ordering::SeqCst) <= own.seq {
+                    members.push(own.clone());
+                }
+            } else if let Some(e) = self.pending(slot, hazard) {
                 members.push(e);
             }
             t += 1;
         }
     }
 
+    /// Whether any registered slot's entry hazard currently covers `p`
+    /// (a displaced announce entry may only be freed when none does).
+    fn entry_pinned(&self, p: *mut Entry<S::Op>) -> bool {
+        let mut pinned = false;
+        self.for_each_slot(self.registered(), |_, slot| {
+            if slot.entry_hazard.load(Ordering::SeqCst) == p {
+                pinned = true;
+            }
+        });
+        pinned
+    }
+
+    /// Whether any registered slot's segment hazard currently covers
+    /// `x` (a detached segment may only be freed when none does).
+    fn seg_pinned(&self, x: *mut Segment<S>) -> bool {
+        let mut pinned = false;
+        self.for_each_slot(self.registered(), |_, slot| {
+            if slot.seg_hazard.load(Ordering::SeqCst) == x as usize {
+                pinned = true;
+            }
+        });
+        pinned
+    }
+
+    /// The position below which no live reader will ever look again:
+    /// the minimum of the latest checkpoint position and every
+    /// registered slot's published replay frontier. Inactive slots
+    /// publish `usize::MAX`, which the min ignores; starting at
+    /// `cp_pos` both bounds the result by the newest checkpoint (so a
+    /// bootstrapping registrant always finds one in the retained
+    /// chain) and makes "no checkpoint yet" reclaim nothing.
+    fn reclaim_bound(&self) -> usize {
+        let mut b = self.cp_pos.load(Ordering::SeqCst);
+        self.for_each_slot(self.registered(), |_, slot| {
+            b = b.min(slot.frontier.load(Ordering::SeqCst));
+        });
+        b
+    }
+
+    /// Pin the current chain root in `slot`'s segment hazard and return
+    /// it. The store-then-revalidate loop retries only when a
+    /// concurrent reclaimer detached the root between our load and the
+    /// hazard publish — distinct progress elsewhere, the same
+    /// accounting as the registry claim scan. On return, the root
+    /// cannot be freed until the hazard is cleared: any detach of it
+    /// follows our revalidating load in the SeqCst total order, so the
+    /// detacher's sweep sees our hazard.
+    fn pin_oldest(&self, slot: &HandleSlot<S::Op>) -> *const Segment<S> {
+        loop {
+            let o = self.oldest.load(Ordering::SeqCst);
+            slot.seg_hazard.store(o as usize, Ordering::SeqCst);
+            if self.oldest.load(Ordering::SeqCst) == o {
+                return o;
+            }
+        }
+    }
+
+    /// Detach and free every log segment wholly behind the reclaim
+    /// bound. One CAS try-lock attempt — a loser returns immediately
+    /// (the winner is doing the work), keeping this wait-free. Runs
+    /// after each decided checkpoint, on retire, and on handle drop;
+    /// also directly via [`WfUniversal::reclaim`].
+    ///
+    /// Two phases under the lock:
+    ///
+    /// 1. **Detach**: unlink chain-root segments with `end() ≤ bound`,
+    ///    recording `reclaimed_upto` *before* each unlink so walkers
+    ///    that hopped past can detect it, and never unlinking the last
+    ///    installed segment.
+    /// 2. **Sweep**: free limbo segments no segment hazard covers —
+    ///    checking the hazard *first* and recomputing the bound fresh
+    ///    *second*. The order is load-bearing: a bootstrapping
+    ///    registrant publishes its frontier before clearing its
+    ///    hazard, so passing the hazard check guarantees the fresh
+    ///    bound already reflects that registrant's frontier.
+    fn try_reclaim(&self) {
+        if self.checkpoint_every.is_none() {
+            return;
+        }
+        if self
+            .reclaim_lock
+            .compare_exchange(0, 1, Ordering::SeqCst, Ordering::SeqCst)
+            .is_err()
+        {
+            return;
+        }
+        let _guard = ReclaimGuard(&self.reclaim_lock);
+        failpoint!("universal::reclaim");
+        // SAFETY: `limbo` is only touched under `reclaim_lock` (held
+        // here, released by the guard even on unwind) or with exclusive
+        // access in `Drop`, so this is the only live reference.
+        let limbo = unsafe { &mut *self.limbo.get() };
+        loop {
+            let b = self.reclaim_bound();
+            let x = self.oldest.load(Ordering::SeqCst);
+            // SAFETY: the chain root is only detached under this lock,
+            // and detached segments are freed only by the sweep below /
+            // `Drop`; `x` is therefore alive here.
+            let xr = unsafe { &*x };
+            if xr.end() > b {
+                break;
+            }
+            let next = xr.next.load(Ordering::SeqCst);
+            if next.is_null() {
+                break; // never detach the last installed segment
+            }
+            // Record the detach high-water BEFORE the unlink is
+            // observable: a walker that follows `x`'s link and then
+            // sees `reclaimed_upto ≤ x.end()` knows its hop target was
+            // still chained when it validated.
+            self.reclaimed_upto.fetch_max(xr.end(), Ordering::SeqCst);
+            self.oldest.store(next, Ordering::SeqCst);
+            limbo.push(x);
+        }
+        let mut i = 0;
+        while i < limbo.len() {
+            let x = limbo[i];
+            if self.seg_pinned(x) {
+                i += 1;
+                continue;
+            }
+            // Hazard check passed — NOW recompute the bound, so any
+            // walker that just finished bootstrapping (frontier stored,
+            // hazard cleared, in that order) is accounted for.
+            let b = self.reclaim_bound();
+            // SAFETY: `x` is detached and only this (locked) sweep or
+            // `Drop` frees limbo entries; alive here.
+            if unsafe { &*x }.end() > b {
+                i += 1;
+                continue;
+            }
+            limbo.swap_remove(i);
+            // SAFETY: `x` is unreachable from `oldest` (detached), no
+            // hazard covered it after the detach, and every published
+            // frontier is at or past its end — no reader can reach it
+            // again, so this free is the only and final one.
+            drop(unsafe { Box::from_raw(x) });
+            self.reclaimed.fetch_add(1, Ordering::SeqCst);
+        }
+    }
+
     /// The segment containing position `k`, walking forward from `seg`
-    /// (which must satisfy `seg.base <= k`) and growing the log as
-    /// needed. Returns a pointer into the chain owned by `self.head`.
+    /// (which must satisfy `seg.base <= k` and be protected from
+    /// reclamation — every caller passes a cached pointer whose
+    /// segment's `end()` exceeds the handle's published frontier, which
+    /// the reclaim bound never passes) and growing the log as needed.
     ///
     /// Growth is wait-free: a thread allocates the missing segment and
     /// makes exactly one install attempt; on failure it frees its copy
     /// and follows the winner.
-    fn seg_for(&self, mut seg: *const Segment<S::Op>, k: usize) -> *const Segment<S::Op> {
-        // SAFETY (all derefs below): segment pointers originate from
-        // `self.head` or from `next` links installed with Release and
-        // read with Acquire; segments are never freed while `self` is
-        // alive, and callers hold the `Arc<Shared>` keeping it alive.
+    fn seg_for(&self, mut seg: *const Segment<S>, k: usize) -> *const Segment<S> {
+        // SAFETY (all derefs below): the starting segment is alive (see
+        // above), and everything reached through `next` links covers
+        // higher positions — also above the caller's frontier, so also
+        // outside the reclaim bound while the caller holds its cache.
         loop {
             let s = unsafe { &*seg };
             debug_assert!(s.base <= k);
@@ -774,8 +1028,9 @@ impl<S: ObjectSpec> Shared<S> {
 
     /// The slot of global position `k` inside `seg` (which must contain
     /// `k`).
-    fn slot(&self, seg: *const Segment<S::Op>, k: usize) -> &AtomicPtr<LogEntry<S::Op>> {
-        // SAFETY: see `seg_for` — the chain outlives `&self`.
+    fn slot(&self, seg: *const Segment<S>, k: usize) -> &AtomicPtr<LogEntry<S>> {
+        // SAFETY: see `seg_for` — the caller's cached segment is
+        // protected by its published frontier.
         let s = unsafe { &*seg };
         debug_assert!(s.base <= k && k < s.base + SEGMENT_SIZE);
         &s.slots[k - s.base]
@@ -783,14 +1038,16 @@ impl<S: ObjectSpec> Shared<S> {
 
     /// Run pointer consensus on `slot`: propose `candidate`, return the
     /// winner plus whether our proposal won. The single CAS is the
-    /// decide of Theorem 7; on success the slot takes over `candidate`'s
-    /// strong reference.
+    /// decide of Theorem 7; on success the slot takes ownership of the
+    /// candidate box. On failure the candidate comes back to the caller
+    /// (so an own-op Solo box is re-proposed, not re-allocated, at the
+    /// next position).
     fn decide(
         &self,
-        slot: &AtomicPtr<LogEntry<S::Op>>,
-        candidate: Arc<LogEntry<S::Op>>,
-    ) -> (Arc<LogEntry<S::Op>>, bool) {
-        let proposed = Arc::into_raw(candidate).cast_mut();
+        slot: &AtomicPtr<LogEntry<S>>,
+        candidate: Box<LogEntry<S>>,
+    ) -> (*const LogEntry<S>, bool, Option<Box<LogEntry<S>>>) {
+        let proposed = Box::into_raw(candidate);
         // ordering: SeqCst success — the linearization point, kept at
         // the strongest ordering exactly as the cell path's winner CAS
         // was; Acquire failure — pairs with the winner's (SeqCst ⊇
@@ -802,45 +1059,37 @@ impl<S: ObjectSpec> Shared<S> {
             Ordering::SeqCst,
             Ordering::Acquire,
         ) {
-            Ok(_) => {
-                // SAFETY: `proposed` is a live Arc we just installed; the
-                // slot holds one strong count, this hands the caller
-                // another.
-                unsafe {
-                    Arc::increment_strong_count(proposed);
-                    (Arc::from_raw(proposed), true)
-                }
-            }
+            Ok(_) => (proposed.cast_const(), true, None),
             Err(winner) => {
-                // SAFETY: reclaim the candidate reference the slot did
-                // not take, then borrow the winner with a fresh count
-                // (the slot's own reference stays untouched).
-                unsafe {
-                    drop(Arc::from_raw(proposed));
-                    Arc::increment_strong_count(winner);
-                    (Arc::from_raw(winner), false)
-                }
+                // SAFETY: the CAS failed, so `proposed` was never
+                // published; we still own it exclusively.
+                let back = unsafe { Box::from_raw(proposed) };
+                (winner.cast_const(), false, Some(back))
             }
         }
     }
 }
 
-// SAFETY: `Shared` is a bag of atomics plus `OnceLock<Arc<Entry<Op>>>`
-// announce slots; the raw segment pointers it owns are only mutated via
-// atomic CAS and freed once, in `Drop`. Thread-safety therefore reduces
-// to the payload's: `Op: Send + Sync` makes the shared `Arc`s safe to
-// hand across threads.
-unsafe impl<S: ObjectSpec + Send> Send for Shared<S> where S::Op: Send + Sync {}
-unsafe impl<S: ObjectSpec + Sync> Sync for Shared<S> where S::Op: Send + Sync {}
+// SAFETY: `Shared` is a bag of atomics plus raw segment/entry pointers
+// that are only mutated via atomic CAS/store protocols and freed exactly
+// once (reclaim sweep under `reclaim_lock`, or `Drop`); the `limbo`
+// `UnsafeCell` is only touched while holding `reclaim_lock` (one holder
+// by CAS) or with `&mut self` in `Drop`. Thread-safety therefore reduces
+// to the payload's: `S: Send + Sync` (checkpoint images live in the log)
+// and `Op: Send + Sync` make the shared structure safe to hand across
+// threads.
+unsafe impl<S: ObjectSpec + Send + Sync> Send for Shared<S> where S::Op: Send + Sync {}
+unsafe impl<S: ObjectSpec + Send + Sync> Sync for Shared<S> where S::Op: Send + Sync {}
 
 /// A wait-free universal object wrapping a sequential specification `S`.
 ///
 /// The object is a cloneable front-end over the shared state; clients
 /// join and leave dynamically. Create with [`WfUniversal::new_dynamic`]
-/// (batch combining, the default hot path) or
-/// [`WfUniversal::new_dynamic_per_op`], then call
-/// [`WfUniversal::register`] to obtain a [`WfHandle`] per client and
-/// [`WfHandle::retire`] when a client departs. The fixed-membership
+/// (batch combining, the default hot path),
+/// [`WfUniversal::new_dynamic_per_op`], or
+/// [`WfUniversal::new_dynamic_checkpointed`] (bounded memory), then
+/// call [`WfUniversal::register`] to obtain a [`WfHandle`] per client
+/// and [`WfHandle::retire`] when a client departs. The fixed-membership
 /// constructors ([`WfUniversal::new`] and friends) remain as one-shot
 /// conveniences that register `n` handles up front. See
 /// [`crate::wrappers`] for typed instantiations, and
@@ -871,7 +1120,8 @@ unsafe impl<S: ObjectSpec + Sync> Sync for Shared<S> where S::Op: Send + Sync {}
 pub struct WfUniversal<S: ObjectSpec> {
     shared: Arc<Shared<S>>,
     /// The initial abstract state, cloned into each registered handle's
-    /// local replica (every replica replays the same log from it).
+    /// local replica (every replica replays the same log from it — or,
+    /// on the checkpointed path, from the newest checkpoint image).
     initial: S,
 }
 
@@ -895,13 +1145,15 @@ impl<S: ObjectSpec> WfUniversal<S> {
     /// The log starts as a single [`SEGMENT_SIZE`] segment and grows
     /// lazily: memory is O(positions actually decided), not
     /// O(n²·max_ops) up front, and [`UniversalError::LogFull`] is never
-    /// returned.
+    /// returned. Without checkpointing the log is never truncated; use
+    /// [`WfUniversal::new_checkpointed`] for bounded steady-state
+    /// memory.
     // The fixed-membership constructors are factories: they drop the
     // front-end and hand out only the per-thread handles.
     #[allow(clippy::new_ret_no_self)]
     #[must_use]
     pub fn new(initial: S, n: usize, max_ops: usize) -> Vec<WfHandle<S>> {
-        Self::build(initial, n, max_ops, None, true)
+        Self::build(initial, n, max_ops, None, true, None)
     }
 
     /// [`WfUniversal::new`] with the combining layer disabled: every
@@ -910,7 +1162,34 @@ impl<S: ObjectSpec> WfUniversal<S> {
     /// `bench_universal` and the differential tests.
     #[must_use]
     pub fn new_per_op(initial: S, n: usize, max_ops: usize) -> Vec<WfHandle<S>> {
-        Self::build(initial, n, max_ops, None, false)
+        Self::build(initial, n, max_ops, None, false, None)
+    }
+
+    /// [`WfUniversal::new`] with checkpointed log truncation: every
+    /// `every` replayed positions a handle decides a
+    /// [`LogEntry::Checkpoint`] into the log, and segments wholly
+    /// behind `min(latest checkpoint, active handles' replay
+    /// frontiers)` are detached and freed. Steady-state memory is
+    /// O(frontier spread); see the module docs.
+    #[must_use]
+    pub fn new_checkpointed(
+        initial: S,
+        n: usize,
+        max_ops: usize,
+        every: usize,
+    ) -> Vec<WfHandle<S>> {
+        Self::build(initial, n, max_ops, None, true, Some(every))
+    }
+
+    /// [`WfUniversal::new_checkpointed`] with combining disabled.
+    #[must_use]
+    pub fn new_checkpointed_per_op(
+        initial: S,
+        n: usize,
+        max_ops: usize,
+        every: usize,
+    ) -> Vec<WfHandle<S>> {
+        Self::build(initial, n, max_ops, None, false, Some(every))
     }
 
     /// [`WfUniversal::new`] with an explicit position cap, for tests
@@ -923,7 +1202,7 @@ impl<S: ObjectSpec> WfUniversal<S> {
         max_ops: usize,
         capacity: usize,
     ) -> Vec<WfHandle<S>> {
-        Self::build(initial, n, max_ops, Some(capacity), true)
+        Self::build(initial, n, max_ops, Some(capacity), true, None)
     }
 
     /// [`WfUniversal::with_capacity`] with combining disabled — a
@@ -935,7 +1214,7 @@ impl<S: ObjectSpec> WfUniversal<S> {
         max_ops: usize,
         capacity: usize,
     ) -> Vec<WfHandle<S>> {
-        Self::build(initial, n, max_ops, Some(capacity), false)
+        Self::build(initial, n, max_ops, Some(capacity), false, None)
     }
 
     /// Build a dynamic-membership object: no fixed process set. Each
@@ -944,35 +1223,59 @@ impl<S: ObjectSpec> WfUniversal<S> {
     /// batch combining.
     #[must_use]
     pub fn new_dynamic(initial: S, max_ops: usize) -> Self {
-        Self::make(initial, max_ops, None, true)
+        Self::make(initial, max_ops, None, true, None)
     }
 
     /// [`WfUniversal::new_dynamic`] with the combining layer disabled.
     #[must_use]
     pub fn new_dynamic_per_op(initial: S, max_ops: usize) -> Self {
-        Self::make(initial, max_ops, None, false)
+        Self::make(initial, max_ops, None, false, None)
+    }
+
+    /// [`WfUniversal::new_dynamic`] with checkpointed log truncation
+    /// (see [`WfUniversal::new_checkpointed`]): the long-running-service
+    /// configuration — unbounded arrivals, bounded memory.
+    #[must_use]
+    pub fn new_dynamic_checkpointed(initial: S, max_ops: usize, every: usize) -> Self {
+        Self::make(initial, max_ops, None, true, Some(every))
     }
 
     /// [`WfUniversal::new_dynamic`] with an explicit log-position cap,
     /// for tests that need [`UniversalError::LogFull`] under churn.
     #[must_use]
     pub fn with_capacity_dynamic(initial: S, max_ops: usize, capacity: usize) -> Self {
-        Self::make(initial, max_ops, Some(capacity), true)
+        Self::make(initial, max_ops, Some(capacity), true, None)
     }
 
-    fn make(initial: S, max_ops: usize, cap: Option<usize>, combine: bool) -> Self {
+    fn make(
+        initial: S,
+        max_ops: usize,
+        cap: Option<usize>,
+        combine: bool,
+        checkpoint_every: Option<usize>,
+    ) -> Self {
+        if let Some(every) = checkpoint_every {
+            assert!(every >= 1, "checkpoint cadence must be at least 1");
+        }
         WfUniversal {
             shared: Arc::new(Shared {
                 max_ops,
                 cap,
                 combine,
+                checkpoint_every,
                 reg_head: RegSegment::new(0),
                 slots_hi: AtomicUsize::new(0),
                 active: AtomicUsize::new(0),
                 peak_active: AtomicUsize::new(0),
                 arrivals: AtomicUsize::new(0),
-                head: Segment::new(0),
+                oldest: AtomicPtr::new(Box::into_raw(Segment::new(0))),
                 segments: AtomicUsize::new(1),
+                reclaimed: AtomicUsize::new(0),
+                checkpoints: AtomicUsize::new(0),
+                cp_pos: AtomicUsize::new(0),
+                reclaimed_upto: AtomicUsize::new(0),
+                reclaim_lock: AtomicUsize::new(0),
+                limbo: UnsafeCell::new(Vec::new()),
                 hint: AtomicUsize::new(0),
             }),
             initial,
@@ -985,8 +1288,9 @@ impl<S: ObjectSpec> WfUniversal<S> {
         max_ops: usize,
         cap: Option<usize>,
         combine: bool,
+        checkpoint_every: Option<usize>,
     ) -> Vec<WfHandle<S>> {
-        let obj = Self::make(initial, max_ops, cap, combine);
+        let obj = Self::make(initial, max_ops, cap, combine, checkpoint_every);
         // Sequential registration claims slots 0..n in order, so the
         // fixed-membership API keeps its tid == index contract.
         (0..n).map(|_| obj.register()).collect()
@@ -1002,6 +1306,13 @@ impl<S: ObjectSpec> WfUniversal<S> {
     /// high-water — never by total arrivals. Retired-and-quiesced slots
     /// encountered on the way are reclaimed and reused (that is what
     /// keeps registry memory bounded by peak active handles).
+    ///
+    /// On a checkpointed object the new handle bootstraps its replica
+    /// from the newest checkpoint in the retained log instead of
+    /// replaying from position 0 (which may be truncated away); the
+    /// walk pins segments with the slot's hazard and publishes the
+    /// adopted frontier before unpinning, so reclamation can never
+    /// free a segment out from under it.
     #[must_use]
     pub fn register(&self) -> WfHandle<S> {
         failpoint!("universal::register");
@@ -1056,22 +1367,121 @@ impl<S: ObjectSpec> WfUniversal<S> {
         // (FREE implies announced == done), keeping per-slot seqs
         // monotone across reuse for the replay dedup.
         let base = slot.announced.load(Ordering::SeqCst);
-        // ordering: Acquire — the chunk hint left by the previous owner;
-        // pairs with its Release store in `cell` (the claim CAS already
-        // ordered us after the owner's retirement).
-        let own_chunk: *const AnnounceChunk<S::Op> =
-            slot.announce_latest.load(Ordering::Acquire);
-        let head: *const Segment<S::Op> = &*shared.head;
+        // Belt and braces: a previous owner's crash could have left a
+        // stale hazard published; we own the slot now.
+        slot.entry_hazard.store(ptr::null_mut(), Ordering::SeqCst);
+
+        // Bootstrap the replica. Without checkpointing, reclamation
+        // never runs: replay starts at position 0 in the immortal
+        // base-0 segment, exactly the pre-checkpoint behaviour.
+        let anchor: *const Segment<S>;
+        let mut state = self.initial.clone();
+        let mut applied: Vec<usize> = Vec::new();
+        let mut cursor = 0usize;
+        if shared.checkpoint_every.is_none() {
+            slot.frontier.store(0, Ordering::SeqCst);
+            anchor = shared.oldest.load(Ordering::SeqCst);
+        } else {
+            // Checkpointed: walk the retained log from the pinned root
+            // and adopt the first checkpoint found (a valid image of
+            // the whole truncated prefix). If the walk hits the
+            // undecided frontier (or the chain end) without one, the
+            // log was never truncated — provided no checkpoint exists
+            // at all, which the cp_pos re-check certifies *after* our
+            // frontier-0 store: in the SeqCst total order our store
+            // precedes our cp_pos read, which (reading 0) precedes any
+            // checkpoint decide's fetch_max, which precedes any
+            // reclaimer's cp_pos read, which precedes its frontier
+            // scan — so every reclaimer that could detach the root
+            // sees our 0 frontier first and keeps it.
+            anchor = 'adopt: loop {
+                let root = shared.pin_oldest(slot);
+                let mut seg = root;
+                loop {
+                    // SAFETY: `root` is hazard-pinned; every later
+                    // segment reached below is hop-validated against
+                    // `reclaimed_upto` before being dereferenced.
+                    let s = unsafe { &*seg };
+                    let mut undecided = false;
+                    for (i, ls) in s.slots.iter().enumerate() {
+                        let raw = ls.load(Ordering::SeqCst);
+                        if raw.is_null() {
+                            undecided = true;
+                            break;
+                        }
+                        // SAFETY: a non-null slot owns its decided
+                        // entry; the segment holding it is pinned (or
+                        // hop-validated) so the entry is alive.
+                        if let LogEntry::Checkpoint(img) = unsafe { &*raw } {
+                            let q = s.base + i;
+                            state = img.state.clone();
+                            applied = img.applied.clone();
+                            cursor = q + 1;
+                            slot.frontier.store(q, Ordering::SeqCst);
+                            break 'adopt seg;
+                        }
+                    }
+                    if undecided {
+                        slot.frontier.store(0, Ordering::SeqCst);
+                        if shared.cp_pos.load(Ordering::SeqCst) == 0 {
+                            // No checkpoint has ever been decided, so
+                            // nothing was ever truncated: the root is
+                            // the base-0 segment and replay-from-0 is
+                            // sound (and now pinned by our frontier).
+                            break 'adopt root;
+                        }
+                        // A checkpoint appeared mid-walk (we scanned
+                        // its position while still null). Rewalk: the
+                        // decided prefix is contiguous and the newest
+                        // checkpoint's segment is retained, so the
+                        // next pass finds one. Each rewalk implies a
+                        // concurrent checkpoint decide — progress
+                        // elsewhere, the usual accounting.
+                        slot.frontier.store(usize::MAX, Ordering::SeqCst);
+                        continue 'adopt;
+                    }
+                    let next = s.next.load(Ordering::SeqCst);
+                    if next.is_null() {
+                        // Chain end without a checkpoint: same
+                        // certification as the undecided case.
+                        slot.frontier.store(0, Ordering::SeqCst);
+                        if shared.cp_pos.load(Ordering::SeqCst) == 0 {
+                            break 'adopt root;
+                        }
+                        slot.frontier.store(usize::MAX, Ordering::SeqCst);
+                        continue 'adopt;
+                    }
+                    // Hop: move the hazard to the next segment, then
+                    // prove it was still chained (not detached) when we
+                    // look — without dereferencing it. The chain
+                    // invariant gives next.base == s.end(); if any
+                    // segment with end() > s.end()'s predecessor — i.e.
+                    // reclaimed_upto > s.end() — was detached, `next`
+                    // itself may be gone: restart. Otherwise any later
+                    // detach of `next` follows our hazard publish in
+                    // the SeqCst order and its sweep sees the hazard.
+                    slot.seg_hazard.store(next as usize, Ordering::SeqCst);
+                    if shared.reclaimed_upto.load(Ordering::SeqCst) > s.end() {
+                        continue 'adopt;
+                    }
+                    seg = next;
+                }
+            };
+            // Unpin only after the adopted frontier is published: the
+            // sweep checks hazards before recomputing the bound, so
+            // clearing here can never let the anchor be freed.
+            slot.seg_hazard.store(0, Ordering::SeqCst);
+        }
         WfHandle {
             shared: Arc::clone(shared),
             tid: t,
             slot: slot as *const HandleSlot<S::Op>,
-            own_chunk,
-            state: self.initial.clone(),
-            applied: Vec::new(),
-            cursor: 0,
-            replay_seg: head,
-            thread_seg: head,
+            state,
+            applied,
+            cursor,
+            replay_seg: anchor,
+            thread_seg: anchor,
+            entry_limbo: Vec::new(),
             next_seq: base,
             budget_end: base + shared.max_ops,
             retired: false,
@@ -1112,6 +1522,47 @@ impl<S: ObjectSpec> WfUniversal<S> {
     pub fn registry_slots(&self) -> usize {
         self.shared.registered()
     }
+
+    /// Log segments ever installed (each [`SEGMENT_SIZE`] positions),
+    /// including ones since reclaimed. Starts at 1.
+    #[must_use]
+    pub fn installed_segments(&self) -> usize {
+        // ordering: Acquire — pairs with the AcqRel fetch_add in
+        // `seg_for`, so a count of `n` implies the `n`th install is
+        // visible to this reader.
+        self.shared.segments.load(Ordering::Acquire)
+    }
+
+    /// Log segments detached and freed by checkpointed reclamation.
+    /// Always 0 without checkpointing.
+    #[must_use]
+    pub fn reclaimed_segments(&self) -> usize {
+        self.shared.reclaimed.load(Ordering::SeqCst)
+    }
+
+    /// Log segments currently allocated: installed minus reclaimed
+    /// (detached-but-hazard-pinned limbo segments count as live — they
+    /// still hold memory). The bounded-memory witness: under sustained
+    /// checkpointed traffic this flattens out at O(frontier spread /
+    /// [`SEGMENT_SIZE`]) while `installed_segments` keeps climbing.
+    #[must_use]
+    pub fn live_segments(&self) -> usize {
+        self.installed_segments() - self.reclaimed_segments()
+    }
+
+    /// Checkpoint entries decided into the log so far.
+    #[must_use]
+    pub fn checkpoints(&self) -> usize {
+        self.shared.checkpoints.load(Ordering::SeqCst)
+    }
+
+    /// Run a reclamation pass now (detach + sweep), as invokes do after
+    /// deciding a checkpoint. Useful for tests and for forcing the
+    /// final sweep after handles retire; a no-op without checkpointing
+    /// or when another thread holds the reclaim lock.
+    pub fn reclaim(&self) {
+        self.shared.try_reclaim();
+    }
 }
 
 /// One client's handle onto a [`WfUniversal`] object. Not `Clone`: the
@@ -1119,17 +1570,15 @@ impl<S: ObjectSpec> WfUniversal<S> {
 /// [`WfUniversal::register`] (or the fixed-membership constructors);
 /// returned to the pool with [`WfHandle::retire`]. Dropping a handle
 /// *without* retiring models a crashed client: its slot stays claimed
-/// (one slot leaked, nothing else) and any pending op stays helpable.
+/// (one slot leaked, nothing else) and any pending op stays helpable —
+/// but the drop still unpins the handle's frontier and hazards, so a
+/// crashed client never holds back segment reclamation.
 #[derive(Debug)]
 pub struct WfHandle<S: ObjectSpec> {
     shared: Arc<Shared<S>>,
     tid: usize,
     /// The claimed registry slot (cached; always `shared.reg_slot(tid)`).
     slot: *const HandleSlot<S::Op>,
-    /// Owner-side cache of the announce chunk containing `next_seq`'s
-    /// neighborhood (invariant: `own_chunk.base <= next_seq` after the
-    /// first clamp in `HandleSlot::cell`).
-    own_chunk: *const AnnounceChunk<S::Op>,
     /// Cached replica, replayed up to `cursor`.
     state: S,
     /// Per-slot watermark of applied sequence numbers (deduplication),
@@ -1138,11 +1587,20 @@ pub struct WfHandle<S: ObjectSpec> {
     /// First log position not yet replayed.
     cursor: usize,
     /// Segment containing `cursor` (invariant: `base <= cursor`); both
-    /// only move forward, so the cache never has to back up.
-    replay_seg: *const Segment<S::Op>,
+    /// only move forward, so the cache never has to back up. Never
+    /// reclaimed while cached: its `end()` exceeds the published
+    /// frontier, which the reclaim bound cannot pass.
+    replay_seg: *const Segment<S>,
     /// Segment cache for the threading loop, whose position is likewise
-    /// monotone (it starts at the only-growing `hint`).
-    thread_seg: *const Segment<S::Op>,
+    /// monotone (it starts at `max(hint, cursor)` — the clamp keeps it
+    /// at or above the published frontier, hence unreclaimable).
+    thread_seg: *const Segment<S>,
+    /// Announce entries this handle displaced from its cell and not yet
+    /// freed (a helper's hazard may still cover the latest few). Swept
+    /// opportunistically every [`ENTRY_LIMBO_SWEEP`] displacements and
+    /// on drop; bounded by the sweep cadence plus one survivor per
+    /// concurrently stalled helper.
+    entry_limbo: Vec<*mut Entry<S::Op>>,
     next_seq: usize,
     /// One past the last sequence number this registration's `max_ops`
     /// budget covers (`base + max_ops`, where `base` was the slot's
@@ -1163,11 +1621,13 @@ pub struct WfHandle<S: ObjectSpec> {
     invokes: usize,
 }
 
-// SAFETY: the raw segment/slot/chunk pointers cached here always point
-// into chains owned by `shared`, which the handle keeps alive via its
-// `Arc<Shared<S>>`; they are plain caches, carrying no ownership. The
-// handle is therefore exactly as thread-safe as its owned state (`S`)
-// plus the shared structure (see `Shared`'s impls).
+// SAFETY: the raw segment/slot pointers cached here always point into
+// chains owned by `shared`, which the handle keeps alive via its
+// `Arc<Shared<S>>` (and, for log segments, pins against reclamation via
+// its published frontier); `entry_limbo` holds entries this handle
+// exclusively owns. The handle is therefore exactly as thread-safe as
+// its owned state (`S`) plus the shared structure (see `Shared`'s
+// impls).
 unsafe impl<S: ObjectSpec + Send + Sync> Send for WfHandle<S> where S::Op: Send + Sync {}
 
 impl<S: ObjectSpec> WfHandle<S> {
@@ -1190,7 +1650,10 @@ impl<S: ObjectSpec> WfHandle<S> {
     /// [`UniversalError::Retired`], and the registry slot becomes
     /// reclaimable — immediately if nothing is pending on it, otherwise
     /// lazily once helpers thread the pending op (the slot is freed by
-    /// the next `register` scan that finds it quiesced). Idempotent.
+    /// the next `register` scan that finds it quiesced). The handle's
+    /// replay frontier is unpinned *first*, so a retiring (or crashing-
+    /// mid-retire) client never holds back segment reclamation.
+    /// Idempotent.
     pub fn retire(&mut self) {
         if self.retired {
             return;
@@ -1199,6 +1662,16 @@ impl<S: ObjectSpec> WfHandle<S> {
         // SAFETY: `slot` points into the registry chain owned by
         // `shared`, alive for the life of this handle.
         let slot = unsafe { &*self.slot };
+        // Unpin before anything else — including before the failpoint —
+        // so even a crash mid-retire stops pinning segments. Hazards
+        // are already clear in normal operation (pending/walks clear
+        // them on every exit path); clearing again covers a handle
+        // reused after a caught crash. Must precede the RETIRED store:
+        // once the slot is reclaimable a new owner may claim it, and
+        // these words are then the new owner's.
+        slot.frontier.store(usize::MAX, Ordering::SeqCst);
+        slot.seg_hazard.store(0, Ordering::SeqCst);
+        slot.entry_hazard.store(ptr::null_mut(), Ordering::SeqCst);
         slot.state.store(SLOT_RETIRED, Ordering::SeqCst);
         self.shared.active.fetch_sub(1, Ordering::SeqCst);
         failpoint!("universal::retire");
@@ -1215,6 +1688,9 @@ impl<S: ObjectSpec> WfHandle<S> {
                 Ordering::SeqCst,
             );
         }
+        // Our frontier may have been the reclaim bound; collect what it
+        // was pinning.
+        self.shared.try_reclaim();
     }
 
     /// Whether [`Self::retire`] was called on this handle.
@@ -1272,7 +1748,10 @@ impl<S: ObjectSpec> WfHandle<S> {
     }
 
     /// Number of log segments installed so far (each [`SEGMENT_SIZE`]
-    /// positions). Starts at 1; diagnostics for the growth tests.
+    /// positions), including any since reclaimed. Starts at 1;
+    /// diagnostics for the growth tests. See
+    /// [`WfUniversal::live_segments`] for the currently-allocated
+    /// count.
     #[must_use]
     pub fn segments(&self) -> usize {
         // ordering: Acquire — pairs with the AcqRel fetch_add in
@@ -1281,40 +1760,190 @@ impl<S: ObjectSpec> WfHandle<S> {
         self.shared.segments.load(Ordering::Acquire)
     }
 
+    /// Log segments currently allocated (see
+    /// [`WfUniversal::live_segments`]).
+    #[must_use]
+    pub fn live_segments(&self) -> usize {
+        self.segments() - self.shared.reclaimed.load(Ordering::SeqCst)
+    }
+
+    /// Log segments detached and freed by checkpointed reclamation.
+    #[must_use]
+    pub fn reclaimed_segments(&self) -> usize {
+        self.shared.reclaimed.load(Ordering::SeqCst)
+    }
+
+    /// Checkpoint entries decided into the log so far.
+    #[must_use]
+    pub fn checkpoints(&self) -> usize {
+        self.shared.checkpoints.load(Ordering::SeqCst)
+    }
+
+    /// Free displaced announce entries no helper hazard covers. The
+    /// hazard scan is sound against stalled helpers: a helper publishes
+    /// its hazard and then re-validates the cell — if the re-validation
+    /// preceded this scan it already gave up on the entry; if not, the
+    /// scan sees the hazard and keeps it.
+    fn sweep_entry_limbo(&mut self) {
+        let shared = &self.shared;
+        self.entry_limbo.retain(|&p| {
+            if shared.entry_pinned(p) {
+                true
+            } else {
+                // SAFETY: this handle exclusively owns its displaced
+                // entries; no hazard covers `p` (checked after the
+                // displacement was published), so no helper can still
+                // acquire it — see the method docs.
+                drop(unsafe { Box::from_raw(p) });
+                false
+            }
+        });
+    }
+
     /// Combining mode's candidate for position `k`: scan the announce
     /// registry once, starting at `k`'s preferred slot, and gather
     /// every pending announced operation into one batch. The scan is
-    /// `hi` `pending` reads (SeqCst loads, no RMWs, nothing written),
-    /// so a thread that crashes mid-collect has perturbed nothing:
-    /// every entry it gathered stays announced and helpable.
+    /// `hi` `pending` reads (SeqCst loads plus the hazard protocol,
+    /// no RMWs, nothing left published), so a thread that crashes
+    /// mid-collect has perturbed nothing: every entry it gathered
+    /// stays announced and helpable.
     ///
     /// Starting at the preferred slot makes the batch a superset of
     /// the per-op candidate, so the per-position helping guarantee the
     /// O(peak active) bound is proved against carries over unchanged.
+    ///
+    /// Returns the candidate and whether it is the caller's own
+    /// pre-built Solo (which `thread_entry` recovers on a lost CAS and
+    /// re-proposes instead of re-allocating).
     fn collect_candidate(
         &self,
         k: usize,
         hi: usize,
-        own: &Arc<Entry<S::Op>>,
-        own_solo: &Arc<LogEntry<S::Op>>,
-    ) -> Arc<LogEntry<S::Op>> {
+        own: &Entry<S::Op>,
+        own_solo: &mut Option<Box<LogEntry<S>>>,
+    ) -> (Box<LogEntry<S>>, bool) {
         failpoint!("universal::collect");
+        // SAFETY: `slot` points into the registry chain owned by
+        // `shared`, alive for the life of this handle.
+        let slot = unsafe { &*self.slot };
         let preferred = k % hi;
-        let mut members: Vec<Arc<Entry<S::Op>>> = Vec::new();
-        self.shared.pending_range(preferred, hi, &mut members);
-        self.shared.pending_range(0, preferred, &mut members);
+        let mut members: Vec<Entry<S::Op>> = Vec::new();
+        self.shared.pending_range(preferred, hi, own, &slot.entry_hazard, &mut members);
+        self.shared.pending_range(0, preferred, own, &slot.entry_hazard, &mut members);
         match members.len() {
             // Our own op got helped between the loop's `done` check and
             // the scan; propose our (possibly stale) entry anyway, as
             // the per-op path does — replay deduplicates.
-            0 => Arc::clone(own_solo),
+            0 => {
+                let solo = own_solo
+                    .take()
+                    .unwrap_or_else(|| Box::new(LogEntry::Solo(own.clone())));
+                (solo, true)
+            }
             // The common uncontended case: only our own op is pending.
-            // Reuse the pre-built Solo so a solo run allocates nothing
-            // per decide beyond the announce itself.
-            1 if Arc::ptr_eq(&members[0], own) => Arc::clone(own_solo),
-            1 => Arc::new(LogEntry::Solo(members.pop().expect("len checked"))),
-            _ => Arc::new(LogEntry::Batch(members.into_boxed_slice())),
+            // Reuse the pre-built Solo so a solo run allocates one box
+            // per decide attempt at most, never per scan.
+            1 if members[0].tid == own.tid && members[0].seq == own.seq => {
+                let solo = own_solo
+                    .take()
+                    .unwrap_or_else(|| Box::new(LogEntry::Solo(own.clone())));
+                (solo, true)
+            }
+            1 => (
+                Box::new(LogEntry::Solo(members.pop().expect("len checked"))),
+                false,
+            ),
+            _ => (Box::new(LogEntry::Batch(members.into_boxed_slice())), false),
         }
+    }
+
+    /// Thread `own` onto the log: the consensus loop of `try_invoke`,
+    /// factored out so a handle recovering from a caught crash (its
+    /// previous op announced but not yet threaded) can finish that op
+    /// before announcing a new one.
+    fn thread_entry(&mut self, own: &Entry<S::Op>) -> Result<(), UniversalError> {
+        // SAFETY: `slot` points into the registry chain owned by
+        // `shared`, alive for the life of this handle.
+        let slot = unsafe { &*self.slot };
+        let mut own_solo: Option<Box<LogEntry<S>>> = None;
+        let mut steps = 0usize;
+        // ordering: Acquire — pairs with the Release `fetch_max` in `publish_hint`.
+        // Starting at `k` skips the prefix [0, k) without ever touching
+        // those slots, so the decided-prefix invariant that the replay
+        // loop asserts (and `refresh` relies on) is inherited here: the
+        // acquire carries the publisher's happens-before edge to every
+        // decide below `k`. A stale value only costs extra (cheap,
+        // already-decided) iterations; segment reachability is
+        // re-established by the acquire walk in `seg_for`. The clamp to
+        // `cursor` is a *safety* requirement on the checkpointed path:
+        // positions ≥ cursor are ≥ this handle's published frontier,
+        // which the reclaim bound never passes, so `thread_seg` can
+        // never be (or walk into) a reclaimed segment.
+        let mut k = self.shared.hint.load(Ordering::Acquire).max(self.cursor);
+        while slot.done.load(Ordering::SeqCst) <= own.seq {
+            if let Some(cap) = self.shared.cap {
+                if k >= cap {
+                    self.publish_hint(k);
+                    return Err(UniversalError::LogFull { position: k, capacity: cap });
+                }
+            }
+            // The slot high-water is re-read each iteration so freshly
+            // registered slots join the preferred-rotation (and the
+            // collect scan) as soon as their claim is visible.
+            let hi = self.shared.registered();
+            self.thread_seg = self.shared.seg_for(self.thread_seg, k);
+            let log_slot = self.shared.slot(self.thread_seg, k);
+            let (candidate, is_own) = if self.shared.combine {
+                self.collect_candidate(k, hi, own, &mut own_solo)
+            } else if k % hi == own.tid {
+                // Preferred slot is our own: propose our entry (the
+                // pending read would only hand back a clone of it).
+                let solo = own_solo
+                    .take()
+                    .unwrap_or_else(|| Box::new(LogEntry::Solo(own.clone())));
+                (solo, true)
+            } else {
+                match self.shared.pending_at(k % hi, &slot.entry_hazard) {
+                    Some(e) => (Box::new(LogEntry::Solo(e)), false),
+                    None => {
+                        let solo = own_solo
+                            .take()
+                            .unwrap_or_else(|| Box::new(LogEntry::Solo(own.clone())));
+                        (solo, true)
+                    }
+                }
+            };
+            failpoint!("universal::cas");
+            let (winner, won, returned) = self.shared.decide(log_slot, candidate);
+            self.decides += 1;
+            if !won {
+                self.cas_failures += 1;
+                if is_own {
+                    // Reuse our Solo box at the next position instead
+                    // of re-allocating it.
+                    own_solo = returned;
+                }
+            }
+            // Advance every member's `done` watermark, not just one
+            // winner's: losers adopt the whole winning batch, so all its
+            // members become visible as threaded before anyone rescans.
+            // SAFETY: `winner` is the decided entry the slot owns; the
+            // slot's segment is at position ≥ cursor ≥ our published
+            // frontier, hence alive.
+            for m in unsafe { &*winner }.members() {
+                self.shared.reg_slot(m.tid).done.fetch_max(m.seq + 1, Ordering::SeqCst);
+            }
+            failpoint!("universal::decided");
+            steps += 1;
+            k += 1;
+            if steps.is_multiple_of(hi) {
+                self.publish_hint(k);
+            }
+        }
+        self.publish_hint(k);
+        self.last_threading_steps = steps;
+        self.max_threading_steps = self.max_threading_steps.max(steps);
+        Ok(())
     }
 
     /// Execute `op` wait-free, returning its response.
@@ -1339,7 +1968,9 @@ impl<S: ObjectSpec> WfHandle<S> {
     /// [`UniversalError::BudgetExhausted`] nothing was announced and
     /// the call had no effect (repeat calls keep failing the same way).
     /// On [`UniversalError::LogFull`] the operation *was* announced and
-    /// may still be threaded by a helper; treat the object as done.
+    /// may still be threaded by a helper; treat the object as done —
+    /// further calls on this handle keep returning
+    /// [`UniversalError::LogFull`] without announcing anything more.
     ///
     /// # Errors
     ///
@@ -1359,91 +1990,59 @@ impl<S: ObjectSpec> WfHandle<S> {
                 max_ops: self.shared.max_ops,
             });
         }
-        self.next_seq += 1;
-
-        // 1. Announce. One allocation per operation (plus its Solo log
-        //    wrapper); everything after this line moves Arcs, not the
-        //    payload.
-        failpoint!("universal::announce");
-        let entry = Arc::new(Entry { tid: self.tid, seq, op });
         // SAFETY: `slot` points into the registry chain owned by
         // `shared`, which this handle keeps alive.
         let slot = unsafe { &*self.slot };
-        let _ = slot.cell(&mut self.own_chunk, seq).set(Arc::clone(&entry));
-        slot.announced.store(seq + 1, Ordering::SeqCst);
-        failpoint!("universal::announced");
-        let own_solo = Arc::new(LogEntry::Solo(Arc::clone(&entry)));
+        // At-most-one-pending invariant: the announce cell holds only
+        // the *latest* entry, so a new announce must not overwrite a
+        // predecessor helpers could still need. Normally the previous
+        // op completed (done caught up) before we get here; the gap
+        // cases are a capped log (the LogFull op stays pending — stick
+        // to the error without announcing more, preserving the old
+        // at-position-cap observables) and a handle reused after a
+        // *caught* crash mid-invoke (finish the orphaned op first; with
+        // no cap, threading cannot fail).
+        let d = slot.done.load(Ordering::SeqCst);
+        let a = slot.announced.load(Ordering::SeqCst);
+        if a > d {
+            if let Some(c) = self.shared.cap {
+                return Err(UniversalError::LogFull { position: c, capacity: c });
+            }
+            let p = slot.cell.load(Ordering::SeqCst);
+            // SAFETY: owner-side read — only this handle replaces its
+            // cell's entry, so the current content is alive.
+            let orphan = unsafe { (*p).clone() };
+            self.thread_entry(&orphan)?;
+        }
+        self.next_seq += 1;
 
-        // 2. Thread onto the log. In combining mode each decide proposes
-        //    the batch of *all* pending announced ops; per-op mode helps
-        //    the preferred slot of each position. The shared hint is
-        //    republished every hi-th iteration and once after the loop
-        //    (not per decide): its lag behind the true frontier stays
-        //    < hi, preserving the ≤ 2·hi step bound, while the common
-        //    case pays zero RMWs on the contended word inside the loop.
-        let mut steps = 0usize;
-        // ordering: Acquire — pairs with the Release `fetch_max` in `publish_hint`.
-        // Starting at `k` skips the prefix [0, k) without ever touching
-        // those slots, so the decided-prefix invariant that the replay
-        // loop asserts (and `refresh` relies on) is inherited here: the
-        // acquire carries the publisher's happens-before edge to every
-        // decide below `k`. A stale value only costs extra (cheap,
-        // already-decided) iterations; segment reachability is
-        // re-established by the acquire walk in `seg_for`.
-        let mut k = self.shared.hint.load(Ordering::Acquire);
-        while slot.done.load(Ordering::SeqCst) <= seq {
-            if let Some(cap) = self.shared.cap {
-                if k >= cap {
-                    self.publish_hint(k);
-                    return Err(UniversalError::LogFull { position: k, capacity: cap });
-                }
-            }
-            // The slot high-water is re-read each iteration so freshly
-            // registered slots join the preferred-rotation (and the
-            // collect scan) as soon as their claim is visible.
-            let hi = self.shared.registered();
-            self.thread_seg = self.shared.seg_for(self.thread_seg, k);
-            let log_slot = self.shared.slot(self.thread_seg, k);
-            let candidate = if self.shared.combine {
-                self.collect_candidate(k, hi, &entry, &own_solo)
-            } else {
-                match self.shared.pending_at(k % hi) {
-                    // Reuse the cached solo wrapper for the own entry
-                    // (the common case) instead of re-allocating one
-                    // per iteration.
-                    Some(e) if Arc::ptr_eq(&e, &entry) => Arc::clone(&own_solo),
-                    Some(e) => Arc::new(LogEntry::Solo(e)),
-                    None => Arc::clone(&own_solo),
-                }
-            };
-            failpoint!("universal::cas");
-            let (winner, won) = self.shared.decide(log_slot, candidate);
-            self.decides += 1;
-            if !won {
-                self.cas_failures += 1;
-            }
-            // Advance every member's `done` watermark, not just one
-            // winner's: losers adopt the whole winning batch, so all its
-            // members become visible as threaded before anyone rescans.
-            for m in winner.members() {
-                self.shared.reg_slot(m.tid).done.fetch_max(m.seq + 1, Ordering::SeqCst);
-            }
-            failpoint!("universal::decided");
-            steps += 1;
-            k += 1;
-            if steps.is_multiple_of(hi) {
-                self.publish_hint(k);
+        // 1. Announce. One allocation per operation; the displaced
+        //    predecessor goes to the owner's limbo list (a helper's
+        //    hazard may still cover it), swept opportunistically.
+        failpoint!("universal::announce");
+        let own = Entry { tid: self.tid, seq, op };
+        let fresh = Box::into_raw(Box::new(own.clone()));
+        let prev = slot.cell.load(Ordering::SeqCst);
+        slot.cell.store(fresh, Ordering::SeqCst);
+        if !prev.is_null() {
+            self.entry_limbo.push(prev);
+            if self.entry_limbo.len() >= ENTRY_LIMBO_SWEEP {
+                self.sweep_entry_limbo();
             }
         }
-        self.publish_hint(k);
-        self.last_threading_steps = steps;
-        self.max_threading_steps = self.max_threading_steps.max(steps);
+        slot.announced.store(seq + 1, Ordering::SeqCst);
+        failpoint!("universal::announced");
+
+        // 2. Thread onto the log.
+        self.thread_entry(&own)?;
 
         // 3. Replay until our own entry is applied. A batch is applied
         //    member by member in decide order; we finish the position
         //    containing our op before returning (its later members were
         //    linearized by the same decide, so applying them is plain
         //    local catch-up), keeping `cursor` a whole-position index.
+        //    Checkpoint entries contribute no members: our replica
+        //    already equals their image when we reach them.
         loop {
             self.replay_seg = self.shared.seg_for(self.replay_seg, self.cursor);
             // ordering: Acquire — pairs with the winning decide CAS
@@ -1454,9 +2053,10 @@ impl<S: ObjectSpec> WfHandle<S> {
                 !raw.is_null(),
                 "own entry is threaded at or before the first undecided position"
             );
-            // SAFETY: a non-null slot holds a strong reference that is
-            // never released while `shared` lives; borrow it without
-            // taking a count — the borrow ends inside this iteration.
+            // SAFETY: a non-null slot owns its decided entry, and this
+            // segment cannot be reclaimed (its end() exceeds our
+            // published frontier); the borrow ends inside this
+            // iteration.
             let le = unsafe { &*raw };
             self.cursor += 1;
             let mut resp = None;
@@ -1476,9 +2076,77 @@ impl<S: ObjectSpec> WfHandle<S> {
             }
             if let Some(r) = resp {
                 self.invokes += 1;
+                // 4. Checkpoint duty + frontier publication: decide a
+                //    checkpoint if the cadence came due, advertise how
+                //    far our replica has replayed, and let reclamation
+                //    collect what fell behind every frontier.
+                self.maybe_checkpoint();
+                self.publish_frontier();
                 return Ok(r);
             }
         }
+    }
+
+    /// Decide a [`LogEntry::Checkpoint`] at the handle's replay cursor
+    /// if the configured cadence came due. Wait-free: one CAS attempt —
+    /// on loss the position was decided by a concurrent op (or another
+    /// checkpoint) and the image is simply freed; the cadence check
+    /// re-fires on a later invoke. The proposer is fully replayed up to
+    /// `cursor`, so its replica *is* the prefix image, and the image
+    /// carries the `applied` watermarks so adopters dedup correctly.
+    fn maybe_checkpoint(&mut self) {
+        let Some(every) = self.shared.checkpoint_every else {
+            return;
+        };
+        let k = self.cursor;
+        if k < self.shared.cp_pos.load(Ordering::SeqCst) + every {
+            return;
+        }
+        if self.shared.cap.is_some_and(|c| k >= c) {
+            return; // a capped log never truncates past its LogFull edge
+        }
+        failpoint!("universal::checkpoint");
+        let image: Box<LogEntry<S>> = Box::new(LogEntry::Checkpoint(Box::new(CpImage {
+            state: self.state.clone(),
+            applied: self.applied.clone(),
+        })));
+        self.replay_seg = self.shared.seg_for(self.replay_seg, k);
+        let log_slot = self.shared.slot(self.replay_seg, k);
+        let raw = Box::into_raw(image);
+        match log_slot.compare_exchange(ptr::null_mut(), raw, Ordering::SeqCst, Ordering::SeqCst) {
+            Ok(_) => {
+                // Our own checkpoint applies nothing: skip it.
+                self.cursor = k + 1;
+                self.shared.cp_pos.fetch_max(k, Ordering::SeqCst);
+                self.shared.checkpoints.fetch_add(1, Ordering::SeqCst);
+                self.publish_hint(k + 1);
+                self.shared.try_reclaim();
+            }
+            Err(_) => {
+                // Lost to a concurrent decide at this position; replay
+                // will adopt it and a later invoke retries the cadence.
+                // SAFETY: the CAS failed, so `raw` was never published;
+                // we still own it exclusively.
+                drop(unsafe { Box::from_raw(raw) });
+            }
+        }
+    }
+
+    /// Publish the handle's replay frontier and re-anchor the cached
+    /// segment pointers at it, restoring the invariant every cached
+    /// segment depends on: `end() > published frontier`, so the reclaim
+    /// bound (≤ every published frontier) can never free a segment a
+    /// handle still points at.
+    fn publish_frontier(&mut self) {
+        if self.retired {
+            return;
+        }
+        self.replay_seg = self.shared.seg_for(self.replay_seg, self.cursor);
+        self.thread_seg = self.replay_seg;
+        // SAFETY: `slot` points into the registry chain owned by
+        // `shared`, alive for the life of this handle.
+        let slot = unsafe { &*self.slot };
+        slot.frontier.store(self.cursor, Ordering::SeqCst);
     }
 
     /// Advance the shared frontier hint to at least `k`.
@@ -1505,7 +2173,12 @@ impl<S: ObjectSpec> WfHandle<S> {
     }
 
     /// Replay any outstanding log entries and return a copy of the
-    /// current abstract state (a linearizable read of the whole object).
+    /// current abstract state (a linearizable read of the whole
+    /// object). On the checkpointed path this also performs the same
+    /// checkpoint/frontier duty as an invoke. On a *retired* handle the
+    /// replay is unpinned (the frontier stays `usize::MAX`), so it is a
+    /// quiescent diagnostic there — as the decided-log walks already
+    /// are.
     pub fn refresh(&mut self) -> S {
         loop {
             self.replay_seg = self.shared.seg_for(self.replay_seg, self.cursor);
@@ -1514,8 +2187,9 @@ impl<S: ObjectSpec> WfHandle<S> {
             if raw.is_null() {
                 break;
             }
-            // SAFETY: as in `try_invoke`'s replay — the slot's strong
-            // reference outlives this borrow.
+            // SAFETY: as in `try_invoke`'s replay — the slot owns the
+            // entry and the segment is pinned by our frontier (or by
+            // quiescence on a retired handle).
             let le = unsafe { &*raw };
             self.cursor += 1;
             for m in le.members() {
@@ -1529,25 +2203,32 @@ impl<S: ObjectSpec> WfHandle<S> {
                 self.applied[m.tid] += 1;
             }
         }
+        if !self.retired {
+            self.maybe_checkpoint();
+            self.publish_frontier();
+        }
         self.state.clone()
     }
 
     /// Total log positions this handle has replayed (diagnostics). A
     /// combined batch counts as one position however many ops it
-    /// carries.
+    /// carries; on the checkpointed path an adopting registrant starts
+    /// already past the checkpoint position.
     #[must_use]
     pub fn replayed(&self) -> usize {
         self.cursor
     }
 
-    /// The decided prefix of the log as `(tid, seq)` pairs, from
-    /// position 0 to the first undecided slot, with batches flattened
-    /// in decide order — so the Wing–Gong checker and the
-    /// cross-implementation equivalence tests keep per-op granularity
-    /// regardless of how ops were grouped into positions (the cell path
-    /// emits the same shape). Read-only diagnostic; quiescently
-    /// consistent: call it only when no invoke is in flight (or under
-    /// the deterministic scheduler).
+    /// The decided *retained* prefix of the log as `(tid, seq)` pairs,
+    /// from the oldest retained segment to the first undecided slot,
+    /// with batches flattened in decide order — so the Wing–Gong
+    /// checker and the cross-implementation equivalence tests keep
+    /// per-op granularity regardless of how ops were grouped into
+    /// positions (the cell path emits the same shape). Checkpoint
+    /// entries contribute nothing. Without checkpointing "retained"
+    /// is the whole log, exactly as before. Read-only diagnostic;
+    /// quiescently consistent: call it only when no invoke is in
+    /// flight (or under the deterministic scheduler).
     #[must_use]
     pub fn decided_log(&self) -> Vec<(usize, usize)> {
         self.walk_decided(|out, le| {
@@ -1557,45 +2238,112 @@ impl<S: ObjectSpec> WfHandle<S> {
         })
     }
 
-    /// The decided prefix grouped by log position: one inner vector of
-    /// `(tid, seq)` pairs per decide. Per-op and cell logs have only
-    /// singleton groups; `decided_batches().len()` vs
-    /// `decided_log().len()` measures how much combining happened.
+    /// The decided retained prefix grouped by log position: one inner
+    /// vector of `(tid, seq)` pairs per decide, checkpoint positions
+    /// skipped. Per-op and cell logs have only singleton groups;
+    /// `decided_batches().len()` vs `decided_log().len()` measures how
+    /// much combining happened.
     #[must_use]
     pub fn decided_batches(&self) -> Vec<Vec<(usize, usize)>> {
         self.walk_decided(|out, le| {
-            out.push(le.members().iter().map(|m| (m.tid, m.seq)).collect());
+            if !matches!(le, LogEntry::Checkpoint(_)) {
+                out.push(le.members().iter().map(|m| (m.tid, m.seq)).collect());
+            }
         })
     }
 
-    /// Walk decided slots from position 0 to the first null, feeding
-    /// each `LogEntry` to `push`.
-    fn walk_decided<T>(&self, mut push: impl FnMut(&mut Vec<T>, &LogEntry<S::Op>)) -> Vec<T> {
+    /// Walk decided slots from the oldest retained segment to the first
+    /// null, feeding each `LogEntry` to `push`. The walk pins segments
+    /// with this slot's hazard (restarting from scratch if a hop races
+    /// a detach), except on a retired handle — whose slot may already
+    /// belong to a new owner — where it relies on the documented
+    /// quiescence contract instead.
+    fn walk_decided<T>(&self, mut push: impl FnMut(&mut Vec<T>, &LogEntry<S>)) -> Vec<T> {
+        // SAFETY: `slot` points into the registry chain owned by
+        // `shared`, alive for the life of this handle.
+        let slot = unsafe { &*self.slot };
+        let pin = !self.retired;
         let mut out = Vec::new();
-        let mut seg: *const Segment<S::Op> = &*self.shared.head;
-        loop {
-            // SAFETY: segment pointers come from `head` or Acquire-read
-            // `next` links and live as long as `shared` (see `seg_for`).
-            let s = unsafe { &*seg };
-            for slot in s.slots.iter() {
-                // ordering: Acquire — same slot-publication edge as the
-                // replay loop.
-                let raw = slot.load(Ordering::Acquire);
-                if raw.is_null() {
+        'walk: loop {
+            out.clear();
+            let mut seg = if pin {
+                shared_pin(&self.shared, slot)
+            } else {
+                self.shared.oldest.load(Ordering::SeqCst).cast_const()
+            };
+            loop {
+                // SAFETY: pinned by the slot's segment hazard (hops are
+                // validated against `reclaimed_upto` before the target
+                // is dereferenced), or covered by the quiescence
+                // contract on a retired handle.
+                let s = unsafe { &*seg };
+                for ls in s.slots.iter() {
+                    // ordering: Acquire — same slot-publication edge as
+                    // the replay loop.
+                    let raw = ls.load(Ordering::Acquire);
+                    if raw.is_null() {
+                        if pin {
+                            slot.seg_hazard.store(0, Ordering::SeqCst);
+                        }
+                        return out;
+                    }
+                    // SAFETY: the slot owns its decided entry; segment
+                    // alive as above.
+                    push(&mut out, unsafe { &*raw });
+                }
+                // ordering: Acquire — pairs with the Release segment
+                // install in `seg_for` before we walk into the next
+                // segment.
+                let next = s.next.load(Ordering::Acquire);
+                if next.is_null() {
+                    if pin {
+                        slot.seg_hazard.store(0, Ordering::SeqCst);
+                    }
                     return out;
                 }
-                // SAFETY: a non-null slot holds a strong reference that
-                // outlives this borrow (as in `try_invoke`'s replay).
-                push(&mut out, unsafe { &*raw });
+                if pin {
+                    // Hop: same publish-then-validate protocol as the
+                    // registration bootstrap walk.
+                    slot.seg_hazard.store(next as usize, Ordering::SeqCst);
+                    if self.shared.reclaimed_upto.load(Ordering::SeqCst) > s.end() {
+                        continue 'walk;
+                    }
+                }
+                seg = next;
             }
-            // ordering: Acquire — pairs with the Release segment install
-            // in `seg_for` before we walk into the next segment.
-            let next = s.next.load(Ordering::Acquire);
-            if next.is_null() {
-                return out;
-            }
-            seg = next;
         }
+    }
+}
+
+/// Free function so `walk_decided` can pin without borrowing `self`
+/// mutably (it takes `&self`): identical to `Shared::pin_oldest`.
+fn shared_pin<S: ObjectSpec>(
+    shared: &Shared<S>,
+    slot: &HandleSlot<S::Op>,
+) -> *const Segment<S> {
+    shared.pin_oldest(slot)
+}
+
+impl<S: ObjectSpec> Drop for WfHandle<S> {
+    fn drop(&mut self) {
+        // A dropped-without-retire handle models a crashed client: its
+        // slot stays claimed (ACTIVE) and its pending op stays
+        // helpable. It must still stop pinning memory. After `retire`
+        // the slot may already belong to a new owner, and retire
+        // already unpinned everything — leave the slot alone then.
+        if !self.retired {
+            // SAFETY: `slot` points into the registry chain owned by
+            // `shared`, still alive (we hold the Arc).
+            let slot = unsafe { &*self.slot };
+            slot.frontier.store(usize::MAX, Ordering::SeqCst);
+            slot.seg_hazard.store(0, Ordering::SeqCst);
+            slot.entry_hazard.store(ptr::null_mut(), Ordering::SeqCst);
+        }
+        // Free displaced announce entries; one still pinned by a
+        // concurrently stalled helper's hazard is leaked (bounded: at
+        // most one per such helper) rather than freed under it.
+        self.sweep_entry_limbo();
+        self.shared.try_reclaim();
     }
 }
 
@@ -1754,6 +2502,23 @@ mod tests {
                 assert_eq!(capacity, 2);
             }
             other => panic!("expected LogFull, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn log_full_stays_logfull_without_reannouncing() {
+        // Once an op hits LogFull it stays announced; repeat attempts
+        // must keep failing the same way *without* announcing more (the
+        // at-most-one-pending invariant would otherwise break).
+        let mut handles = WfUniversal::with_capacity(Counter::new(0), 1, 8, 2);
+        let mut h = handles.remove(0);
+        assert!(h.try_invoke(CounterOp::Add(1)).is_ok());
+        assert!(h.try_invoke(CounterOp::Add(1)).is_ok());
+        for _ in 0..3 {
+            assert_eq!(
+                h.try_invoke(CounterOp::Add(1)),
+                Err(UniversalError::LogFull { position: 2, capacity: 2 })
+            );
         }
     }
 
@@ -1995,8 +2760,9 @@ mod tests {
         );
         h.retire();
         // Re-registering the same slot grants a fresh budget; sequence
-        // numbers continue (announce cells are append-only), so the
-        // replay dedup stays sound across reuse.
+        // numbers continue (the `announced` watermark is per-slot, not
+        // per-registration), so the replay dedup stays sound across
+        // reuse.
         let mut h = obj.register();
         assert_eq!(h.tid(), 0);
         h.invoke(CounterOp::Add(1));
@@ -2031,8 +2797,12 @@ mod tests {
     }
 
     #[test]
-    fn announce_log_outgrows_one_chunk() {
-        let per = 3 * ANNOUNCE_CHUNK + 2;
+    fn announce_cell_is_reused_across_many_ops() {
+        // The announce path is a single recycled cell per slot (the old
+        // chunked append-only announce log is gone): any number of ops
+        // runs in O(1) announce storage, with displaced entries freed
+        // through the owner's limbo sweep along the way.
+        let per = 4 * ENTRY_LIMBO_SWEEP + 2;
         let obj = WfUniversal::new_dynamic(Counter::new(0), per + 1);
         let mut h = obj.register();
         for _ in 0..per {
@@ -2044,7 +2814,7 @@ mod tests {
     /// Churn across the announce/help path under real threads, small
     /// enough for `cargo miri test` (CI's analyze job runs every
     /// `miri_smoke_*` test under miri): register/invoke/retire cycles
-    /// exercising slot claim, reuse, and the chunked announce log
+    /// exercising slot claim, reuse, and announce-cell recycling
     /// against the real memory model.
     #[test]
     fn miri_smoke_churn_register_retire_respawn() {
@@ -2073,10 +2843,118 @@ mod tests {
     }
 
     #[test]
+    fn checkpointed_log_truncates_and_preserves_state() {
+        // Sequential sanity for the tentpole: run far past several
+        // checkpoint cadences, then check (a) checkpoints were decided,
+        // (b) whole segments were reclaimed, (c) the live-segment count
+        // is bounded by the frontier spread — constant — rather than by
+        // total ops, and (d) the state is still exact.
+        let every = SEGMENT_SIZE / 2;
+        let obj = WfUniversal::new_dynamic_checkpointed(Counter::new(0), 600, every);
+        let mut h = obj.register();
+        let per = 8 * SEGMENT_SIZE;
+        for _ in 0..per {
+            h.invoke(CounterOp::Add(1));
+        }
+        assert!(h.checkpoints() >= 2, "cadence fired: {}", h.checkpoints());
+        assert!(
+            obj.reclaimed_segments() >= 4,
+            "old segments reclaimed: {}",
+            obj.reclaimed_segments()
+        );
+        assert!(
+            obj.live_segments() <= 3,
+            "live segments bounded by frontier spread, got {}",
+            obj.live_segments()
+        );
+        assert_eq!(h.invoke(CounterOp::Get), CounterResp::Value(per as i64 + 0));
+        // The retained decided prefix starts past the truncation point:
+        // far fewer pairs than total ops.
+        assert!(h.decided_log().len() < per / 2);
+    }
+
+    #[test]
+    fn late_registrant_adopts_checkpoint() {
+        // A handle that arrives after truncation cannot replay from
+        // position 0 (those segments are gone): it must bootstrap from
+        // the newest checkpoint image and still observe the full state.
+        let every = SEGMENT_SIZE / 2;
+        let obj = WfUniversal::new_dynamic_checkpointed(Counter::new(0), 600, every);
+        let mut h = obj.register();
+        let per = 6 * SEGMENT_SIZE;
+        for _ in 0..per {
+            h.invoke(CounterOp::Add(1));
+        }
+        assert!(obj.reclaimed_segments() >= 1, "truncation happened");
+        let mut late = obj.register();
+        assert!(
+            late.replayed() > 0,
+            "late registrant started from a checkpoint, not position 0"
+        );
+        assert_eq!(late.invoke(CounterOp::Get), CounterResp::Value(per as i64));
+        // And it participates normally from there.
+        late.invoke(CounterOp::Add(5));
+        assert_eq!(h.invoke(CounterOp::Get), CounterResp::Value(per as i64 + 5));
+    }
+
+    #[test]
+    fn checkpointed_matches_unbounded_sequential() {
+        // Same op script through a checkpointed and an unbounded object:
+        // responses and final states must agree exactly (truncation is
+        // invisible to the abstract object).
+        let script: Vec<QueueOp> = (0..3 * SEGMENT_SIZE as i64)
+            .map(|i| if i % 3 == 2 { QueueOp::Deq } else { QueueOp::Enq(i) })
+            .collect();
+        let obj_cp =
+            WfUniversal::new_dynamic_checkpointed(FifoQueue::new(), script.len() + 1, 8);
+        let obj_un = WfUniversal::new_dynamic(FifoQueue::new(), script.len() + 1);
+        let mut cp = obj_cp.register();
+        let mut un = obj_un.register();
+        for op in &script {
+            assert_eq!(cp.invoke(op.clone()), un.invoke(op.clone()), "{op:?}");
+        }
+        assert_eq!(cp.refresh(), un.refresh());
+        assert!(cp.checkpoints() >= 1);
+        assert!(obj_cp.live_segments() < obj_un.live_segments());
+    }
+
+    /// Checkpoint truncation under real threads, small enough for
+    /// `cargo miri test`: two handles race invokes across several
+    /// checkpoint cadences and at least one segment reclaim, exercising
+    /// the hazard/frontier protocol against the real memory model.
+    #[test]
+    fn miri_smoke_checkpoint_truncation() {
+        let obj = WfUniversal::new_dynamic_checkpointed(Counter::new(0), 200, 16);
+        let other = obj.clone();
+        let jb = thread::spawn(move || {
+            let mut h = other.register();
+            for _ in 0..70 {
+                h.invoke(CounterOp::Add(1));
+            }
+            h.retire();
+        });
+        let mut h = obj.register();
+        for _ in 0..70 {
+            h.invoke(CounterOp::Add(1));
+        }
+        jb.join().unwrap();
+        match h.invoke(CounterOp::Get) {
+            CounterResp::Value(v) => assert_eq!(v, 140),
+            other => panic!("unexpected {other:?}"),
+        }
+        h.retire();
+        obj.reclaim();
+        assert!(obj.checkpoints() >= 1, "cadence fired under contention");
+        assert!(obj.reclaimed_segments() >= 1, "reclaim ran under contention");
+    }
+
+    #[test]
     fn entries_are_freed_with_the_object() {
-        // Leak check by refcount: after all handles drop, the Arc<Entry>
-        // count behind a probe operation must fall back to 1 — including
-        // the references held through LogEntry batches.
+        // Leak check: segments behind the reclaim bound are actually
+        // freed while the object is still alive (live-segment count
+        // drops back), op payloads inside them are dropped (observed by
+        // refcount on a probe Arc inside the op), and object drop frees
+        // everything that remains.
         let probe = Arc::new(());
         #[derive(Clone, Debug, PartialEq, Eq, Hash)]
         struct Probe;
@@ -2099,13 +2977,30 @@ mod tests {
             fn hash<H: std::hash::Hasher>(&self, _: &mut H) {}
         }
 
-        let mut handles = WfUniversal::new(Probe, 2, 8);
-        let mut h = handles.remove(0);
-        h.invoke(ProbeOp(Arc::clone(&probe)));
-        h.invoke(ProbeOp(Arc::clone(&probe)));
-        assert!(Arc::strong_count(&probe) > 1, "log holds the payload");
+        let obj = WfUniversal::new_dynamic_checkpointed(Probe, 300, SEGMENT_SIZE / 2);
+        let mut h = obj.register();
+        for _ in 0..4 * SEGMENT_SIZE {
+            h.invoke(ProbeOp(Arc::clone(&probe)));
+        }
+        assert!(h.segments() >= 4, "log spanned segments: {}", h.segments());
+        assert!(Arc::strong_count(&probe) > 1, "log holds payloads");
+        h.retire();
         drop(h);
-        drop(handles);
+        obj.reclaim();
+        // Mid-life reclamation really freed memory: only the frontier
+        // neighbourhood survives, and with it only a bounded number of
+        // payload clones (announce cell + retained tail).
+        assert!(
+            obj.live_segments() <= 2,
+            "retired segments freed while object lives: {} live",
+            obj.live_segments()
+        );
+        assert!(
+            Arc::strong_count(&probe) <= 2 * SEGMENT_SIZE + 2,
+            "payload refs bounded by retained tail, got {}",
+            Arc::strong_count(&probe)
+        );
+        drop(obj);
         assert_eq!(Arc::strong_count(&probe), 1, "all log references freed");
     }
 }

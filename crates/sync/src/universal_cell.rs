@@ -22,7 +22,11 @@
 //! optimised path so the fault-injection harness can stress either
 //! implementation with one adversary plan (`universal::collect` exists
 //! only on the optimised path's combining scan and never fires here —
-//! this path decides one op per position, always).
+//! this path decides one op per position, always; likewise
+//! `universal::checkpoint`/`universal::reclaim` — this path never
+//! truncates, which is exactly what makes it the unbounded reference
+//! leg of the checkpointed-equivalence tests in
+//! `tests/universal_equivalence.rs`).
 
 use waitfree_sched::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, OnceLock};

@@ -100,6 +100,16 @@ impl WfQueue {
     pub fn new_dynamic(max_ops: usize) -> Self {
         WfQueue(WfUniversal::new_dynamic(FifoQueue::new(), max_ops))
     }
+
+    /// Like [`Self::new_dynamic`], with checkpointed log truncation: a
+    /// checkpoint is decided roughly every `every` log positions and
+    /// segments behind every active handle's replay frontier are freed,
+    /// so a long-running queue holds memory proportional to the
+    /// frontier spread, not its whole history.
+    #[must_use]
+    pub fn new_checkpointed(max_ops: usize, every: usize) -> Self {
+        WfQueue(WfUniversal::new_dynamic_checkpointed(FifoQueue::new(), max_ops, every))
+    }
 }
 
 dynamic_front_end!(
@@ -115,6 +125,13 @@ impl WfStack {
     #[must_use]
     pub fn new_dynamic(max_ops: usize) -> Self {
         WfStack(WfUniversal::new_dynamic(Stack::new(), max_ops))
+    }
+
+    /// Like [`Self::new_dynamic`], with checkpointed log truncation
+    /// (see [`WfQueue::new_checkpointed`]).
+    #[must_use]
+    pub fn new_checkpointed(max_ops: usize, every: usize) -> Self {
+        WfStack(WfUniversal::new_dynamic_checkpointed(Stack::new(), max_ops, every))
     }
 }
 
@@ -132,6 +149,13 @@ impl WfCounter {
     pub fn new_dynamic(max_ops: usize) -> Self {
         WfCounter(WfUniversal::new_dynamic(Counter::new(0), max_ops))
     }
+
+    /// Like [`Self::new_dynamic`], with checkpointed log truncation
+    /// (see [`WfQueue::new_checkpointed`]).
+    #[must_use]
+    pub fn new_checkpointed(max_ops: usize, every: usize) -> Self {
+        WfCounter(WfUniversal::new_dynamic_checkpointed(Counter::new(0), max_ops, every))
+    }
 }
 
 dynamic_front_end!(
@@ -147,6 +171,13 @@ impl WfRegister {
     #[must_use]
     pub fn new_dynamic(max_ops: usize, initial: Val) -> Self {
         WfRegister(WfUniversal::new_dynamic(RwRegister::new(initial), max_ops))
+    }
+
+    /// Like [`Self::new_dynamic`], with checkpointed log truncation
+    /// (see [`WfQueue::new_checkpointed`]).
+    #[must_use]
+    pub fn new_checkpointed(max_ops: usize, initial: Val, every: usize) -> Self {
+        WfRegister(WfUniversal::new_dynamic_checkpointed(RwRegister::new(initial), max_ops, every))
     }
 }
 
@@ -338,6 +369,20 @@ mod tests {
         assert_eq!(counter.active_handles(), 0);
         let mut probe = counter.register();
         assert_eq!(probe.get(), 20);
+    }
+
+    #[test]
+    fn wf_counter_checkpointed_stays_exact_and_bounded() {
+        let counter = WfCounter::new_checkpointed(600, 16);
+        let mut h = counter.register();
+        for _ in 0..400 {
+            h.fetch_add(1);
+        }
+        assert_eq!(h.get(), 400);
+        // Truncation ran: a fresh registration adopts a checkpoint
+        // instead of replaying 400 positions from the origin.
+        let mut late = counter.register();
+        assert_eq!(late.get(), 400);
     }
 
     #[test]

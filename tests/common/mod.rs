@@ -111,6 +111,54 @@ impl CounterPath for BatchedPath {
     }
 }
 
+/// The combining pointer path with checkpointed log truncation: a
+/// checkpoint is decided every few positions and segments behind every
+/// handle's replay frontier are reclaimed mid-run — no fault-tolerance
+/// property may depend on the truncated history staying allocated.
+pub struct CheckpointedPath(pub WfHandle<Counter>);
+
+/// Aggressive cadence so even short storm scenarios cross several
+/// checkpoints and (usually) at least one segment reclaim.
+pub const CHECKPOINT_EVERY: usize = 8;
+
+impl CounterPath for CheckpointedPath {
+    const NAME: &'static str = "checkpointed";
+    const COMBINES: bool = true;
+
+    fn create(n: usize, max_ops: usize) -> Vec<Self> {
+        WfUniversal::new_checkpointed(Counter::new(0), n, max_ops, CHECKPOINT_EVERY)
+            .into_iter()
+            .map(CheckpointedPath)
+            .collect()
+    }
+
+    fn create_capped(n: usize, max_ops: usize, capacity: usize) -> Vec<Self> {
+        // A capped log never truncates (the cadence guard stops at the
+        // LogFull edge), so the capped leg is the plain combining path —
+        // kept so capped scenarios still run under this label.
+        WfUniversal::with_capacity(Counter::new(0), n, max_ops, capacity)
+            .into_iter()
+            .map(CheckpointedPath)
+            .collect()
+    }
+
+    fn invoke(&mut self, op: CounterOp) -> CounterResp {
+        self.0.invoke(op)
+    }
+
+    fn try_invoke(&mut self, op: CounterOp) -> Result<CounterResp, UniversalError> {
+        self.0.try_invoke(op)
+    }
+
+    fn tid(&self) -> usize {
+        self.0.tid()
+    }
+
+    fn max_threading_steps(&self) -> usize {
+        self.0.max_threading_steps()
+    }
+}
+
 /// The seed `ConsensusCell` baseline path.
 pub struct CellPath(pub CellHandle<Counter>);
 

@@ -19,13 +19,19 @@
 //!
 //! Every scenario runs against **all** universal-object paths: the
 //! optimised pointer-CAS/segmented-log implementation in both decide
-//! modes (per-op and batch-combining) and the seed `ConsensusCell`
-//! baseline (see `common::CounterPath`) — neither optimisation may cost
-//! any fault-tolerance property. The combining path additionally gets a
-//! crash-during-combine scenario: a thread killed at
-//! `universal::collect`, mid-scan with other threads' pending entries
-//! already gathered, must leave every collected op still helpable
-//! (`MayTakeEffect` per batch member).
+//! modes (per-op and batch-combining), the combining path with
+//! checkpointed log truncation live (segments reclaimed mid-storm), and
+//! the seed `ConsensusCell` baseline (see `common::CounterPath`) —
+//! neither optimisation may cost any fault-tolerance property. The
+//! combining path additionally gets a crash-during-combine scenario: a
+//! thread killed at `universal::collect`, mid-scan with other threads'
+//! pending entries already gathered, must leave every collected op
+//! still helpable (`MayTakeEffect` per batch member). The checkpointed
+//! path gets two deterministic storms of its own: a proposer killed at
+//! `universal::checkpoint` (nothing published, cadence retryable) and a
+//! reclaimer killed at `universal::reclaim` (lock released by its RAII
+//! guard, nothing freed or leaked), each with exact-count
+//! postconditions.
 //!
 //! Run with `cargo test --features failpoints --test fault_tolerance`.
 #![cfg(feature = "failpoints")]
@@ -37,12 +43,12 @@ use std::sync::{Arc, Mutex};
 use waitfree::sched::thread;
 use std::time::Duration;
 
-use common::{BatchedPath, CellPath, CounterPath, PtrPath};
+use common::{BatchedPath, CellPath, CheckpointedPath, CounterPath, PtrPath};
 use waitfree::faults::failpoints::{self, FailpointConfig, FaultAction, Fire};
 use waitfree::faults::harness::{install_adversary, plan_adversary, spawn_workers, Outcome};
 use waitfree::model::{linearize, History, PendingPolicy, Pid};
 use waitfree::objects::counter::{Counter, CounterOp, CounterResp};
-use waitfree::sync::universal::UniversalError;
+use waitfree::sync::universal::{UniversalError, WfUniversal, SEGMENT_SIZE};
 
 /// Sites the adversary may target: announce published, pre-CAS, post-CAS.
 /// Shared by every path.
@@ -197,6 +203,8 @@ fn survivors_complete_and_history_linearizes_under_adversary() {
         failpoints::clear();
         adversarial_round::<BatchedPath>(seed, BATCH_SITES);
         failpoints::clear();
+        adversarial_round::<CheckpointedPath>(seed, BATCH_SITES);
+        failpoints::clear();
         adversarial_round::<CellPath>(seed, SITES);
     }
     failpoints::clear();
@@ -269,6 +277,7 @@ fn stalled_thread_is_observable_parked_then_resumes() {
     let _guard = failpoints::exclusive();
     stalled_thread_scenario::<PtrPath>();
     stalled_thread_scenario::<BatchedPath>();
+    stalled_thread_scenario::<CheckpointedPath>();
     stalled_thread_scenario::<CellPath>();
 }
 
@@ -341,6 +350,7 @@ fn log_exhaustion_is_a_typed_error_even_with_a_crashed_peer() {
     let _guard = failpoints::exclusive();
     log_exhaustion_scenario::<PtrPath>();
     log_exhaustion_scenario::<BatchedPath>();
+    log_exhaustion_scenario::<CheckpointedPath>();
     log_exhaustion_scenario::<CellPath>();
 }
 
@@ -465,5 +475,142 @@ fn crash_during_combine_leaves_collected_ops_helpable() {
         report.outcome.is_ok(),
         "non-linearizable history after mid-combine crash: {history:?}"
     );
+    failpoints::clear();
+}
+
+/// Crash-during-checkpoint: the checkpoint proposer dies at
+/// `universal::checkpoint` — after its op was threaded and applied, but
+/// before the checkpoint image was built or proposed. A checkpoint
+/// publishes nothing before its CAS, so the exact-count postconditions
+/// are: the victim's op took effect (it was decided before the cadence
+/// check runs), *zero* checkpoints exist after the crash, and the
+/// cadence simply re-fires on the next surviving handle's op — which
+/// then checkpoints successfully.
+#[test]
+fn crash_during_checkpoint_leaves_cadence_retryable() {
+    let _guard = failpoints::exclusive();
+    failpoints::clear();
+
+    const EVERY: usize = 4;
+    let obj = WfUniversal::new_dynamic_checkpointed(Counter::new(0), 1000, EVERY);
+
+    // Three ops from the main handle: cursor stays below the cadence,
+    // so the site is never hit here and the victim's hit is the first.
+    let mut h0 = obj.register();
+    for _ in 0..EVERY - 1 {
+        h0.invoke(CounterOp::Add(1));
+    }
+    assert_eq!(obj.checkpoints(), 0, "cadence not yet due");
+
+    failpoints::configure(
+        "universal::checkpoint",
+        FailpointConfig {
+            action: FaultAction::Crash,
+            fire: Fire::Nth(1),
+            tid: None,
+            budget: Some(1),
+        },
+    );
+
+    // The victim's single op is position EVERY-1; after applying it the
+    // victim's cursor reaches EVERY, the cadence fires, and the crash
+    // lands deterministically at its first checkpoint attempt.
+    let victim_obj = obj.clone();
+    let group = spawn_workers(1, move |_tid| {
+        let mut h = victim_obj.register();
+        h.invoke(CounterOp::FetchAndAdd(1));
+        unreachable!("the victim dies inside its first invoke");
+    });
+    let outcomes = group.finish();
+    match &outcomes[0] {
+        Outcome::Crashed { site } => assert_eq!(site, "universal::checkpoint"),
+        other => panic!("expected a planned crash, got {other:?}"),
+    }
+
+    // Exact counts: the op itself committed (4 increments total), no
+    // checkpoint was decided, nothing was reclaimed.
+    assert_eq!(obj.checkpoints(), 0, "a pre-CAS crash publishes no checkpoint");
+    assert_eq!(obj.reclaimed_segments(), 0);
+    assert_eq!(obj.active_handles(), 2, "the crashed client stays counted");
+
+    // The cadence is still armed: the next op on a surviving handle
+    // replays past position EVERY and checkpoints (the budgeted
+    // failpoint is spent, so it passes through).
+    match h0.invoke(CounterOp::Get) {
+        CounterResp::Value(v) => assert_eq!(v, EVERY as i64, "victim's op took effect"),
+        other => panic!("unexpected {other:?}"),
+    }
+    assert_eq!(obj.checkpoints(), 1, "a survivor retried the checkpoint");
+    failpoints::clear();
+}
+
+/// Crash-during-reclaim: the reclaimer dies at `universal::reclaim` —
+/// after winning the reclaim try-lock, before detaching anything. The
+/// crash must unwind through the lock's RAII guard (leaving reclamation
+/// available, not wedged) and must not free or leak any segment: the
+/// exact counts are one decided checkpoint, zero reclaimed segments —
+/// and a later handle's reclaim pass truncates normally.
+#[test]
+fn crash_during_reclaim_releases_the_lock_and_frees_nothing() {
+    let _guard = failpoints::exclusive();
+    failpoints::clear();
+
+    const EVERY: usize = 16;
+    let obj = WfUniversal::new_dynamic_checkpointed(Counter::new(0), 1000, EVERY);
+
+    failpoints::configure(
+        "universal::reclaim",
+        FailpointConfig {
+            action: FaultAction::Crash,
+            fire: Fire::Nth(1),
+            tid: None,
+            budget: Some(1),
+        },
+    );
+
+    // The victim runs alone until its own checkpoint wins; the winning
+    // path calls the reclaimer, whose first firing crashes. (Its handle
+    // drop also reaches the site, but the budget is already spent.)
+    let victim_obj = obj.clone();
+    let group = spawn_workers(1, move |_tid| {
+        let mut h = victim_obj.register();
+        for _ in 0..2 * EVERY {
+            h.invoke(CounterOp::Add(1));
+        }
+        unreachable!("the victim dies at its first winning checkpoint");
+    });
+    let outcomes = group.finish();
+    match &outcomes[0] {
+        Outcome::Crashed { site } => assert_eq!(site, "universal::reclaim"),
+        other => panic!("expected a planned crash, got {other:?}"),
+    }
+
+    // Exact counts: the checkpoint that triggered reclamation was
+    // already decided; the reclaimer freed nothing before dying.
+    assert_eq!(obj.checkpoints(), 1, "the triggering checkpoint committed");
+    assert_eq!(obj.reclaimed_segments(), 0, "a pre-detach crash frees nothing");
+
+    // The victim's ops all committed: exactly EVERY increments (the
+    // checkpoint-winning op included) — the rest of its loop never ran.
+    let mut probe = obj.register();
+    match probe.invoke(CounterOp::Get) {
+        CounterResp::Value(v) => assert_eq!(v, EVERY as i64),
+        other => panic!("unexpected {other:?}"),
+    }
+
+    // The lock was released by the guard: drive the probe far enough
+    // that segments fall behind every frontier, and reclamation runs.
+    for _ in 0..4 * SEGMENT_SIZE {
+        probe.invoke(CounterOp::Add(1));
+    }
+    assert!(
+        obj.reclaimed_segments() >= 1,
+        "reclamation still available after the crash: {} reclaimed",
+        obj.reclaimed_segments()
+    );
+    match probe.invoke(CounterOp::Get) {
+        CounterResp::Value(v) => assert_eq!(v, (EVERY + 4 * SEGMENT_SIZE) as i64),
+        other => panic!("unexpected {other:?}"),
+    }
     failpoints::clear();
 }

@@ -25,7 +25,7 @@ mod common;
 
 use waitfree::sched::thread;
 
-use common::{BatchedPath, CellPath, CounterPath, PtrPath};
+use common::{BatchedPath, CellPath, CheckpointedPath, CounterPath, PtrPath, CHECKPOINT_EVERY};
 use waitfree::objects::counter::CounterOp;
 
 fn contention_round<P: CounterPath>() {
@@ -58,6 +58,41 @@ fn helping_bounds_threading_steps_under_contention() {
     contention_round::<PtrPath>();
     contention_round::<BatchedPath>();
     contention_round::<CellPath>();
+}
+
+/// The helping bound survives checkpointed truncation, with explicit
+/// slack for the checkpoint positions themselves: a threading loop that
+/// spans k positions may additionally cross every checkpoint decided in
+/// that window (at most one per cadence, plus one race), and checkpoint
+/// entries carry no one's op — they are pure extra iterations. The
+/// bound stays O(n): the cadence contributes a constant factor
+/// (1 + 1/every), not a new dependence on history length.
+#[test]
+fn helping_bound_survives_checkpointing_with_cadence_slack() {
+    let n = 4;
+    let per = 400;
+    let base = 2 * n + 8;
+    let bound = base + base / CHECKPOINT_EVERY + 2;
+    let handles = CheckpointedPath::create(n, per);
+    let joins: Vec<_> = handles
+        .into_iter()
+        .map(|mut h| {
+            thread::spawn(move || {
+                for _ in 0..per {
+                    h.invoke(CounterOp::Add(1));
+                }
+                (h.tid(), h.max_threading_steps())
+            })
+        })
+        .collect();
+    for j in joins {
+        let (tid, max_steps) = j.join().unwrap();
+        assert!(
+            max_steps <= bound,
+            "[checkpointed] thread {tid}: {max_steps} threading steps exceeds \
+             the cadence-adjusted O(n) bound {bound} (n = {n})"
+        );
+    }
 }
 
 /// The bound restated for dynamic membership: the `n` in `2n + 8` is the

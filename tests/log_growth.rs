@@ -15,6 +15,11 @@
 //! A capped configuration (`with_capacity`) must still surface
 //! `UniversalError::LogFull` — including a cap that lands beyond the
 //! first segment, so the cap check and the growth path compose.
+//!
+//! With checkpointed truncation enabled, growth is no longer monotone:
+//! installed segments keep counting up, but *live* segments (installed −
+//! reclaimed) must drop back behind every checkpoint — bounded by the
+//! frontier spread of the active handles, not by total ops.
 
 use waitfree::sched::thread;
 
@@ -103,4 +108,60 @@ fn log_full_cap_is_enforced_beyond_the_first_segment() {
         other => panic!("expected LogFull, got {other:?}"),
     }
     assert_eq!(h.segments(), 2, "the capped log still grew past segment one");
+}
+
+#[test]
+fn live_segments_drop_back_after_truncation() {
+    // The checkpointed path's memory bound: *live* segments (installed −
+    // reclaimed) are governed by the frontier spread — how far apart the
+    // handles' replay cursors are — not by total ops. Run one handle far
+    // past many segments: installed keeps growing, live drops back.
+    let every = SEGMENT_SIZE / 2;
+    let obj = WfUniversal::new_dynamic_checkpointed(Counter::new(0), 20 * SEGMENT_SIZE, every);
+    let mut h = obj.register();
+    let mut live_high = 0;
+    for _ in 0..8 * SEGMENT_SIZE {
+        h.invoke(CounterOp::Add(1));
+        live_high = live_high.max(obj.live_segments());
+    }
+    assert!(h.segments() >= 8, "history spanned many segments: {}", h.segments());
+    assert!(
+        obj.reclaimed_segments() >= h.segments() - 3,
+        "all but the frontier neighbourhood was reclaimed ({} of {})",
+        obj.reclaimed_segments(),
+        h.segments()
+    );
+    // A single handle's frontier spread is at most one cadence plus the
+    // current partial segment: live never exceeded a small constant.
+    assert!(live_high <= 3, "live segments stayed bounded, peaked at {live_high}");
+    assert!(obj.live_segments() <= 2, "live segments dropped back: {}", obj.live_segments());
+
+    // An idle second handle is a frontier anchor: its spread — not total
+    // ops — is what bounds memory. Registering it pins the current tail
+    // only (it adopts the newest checkpoint), so growth stays bounded by
+    // the *two* handles' spread.
+    let mut idle = obj.register();
+    for _ in 0..4 * SEGMENT_SIZE {
+        h.invoke(CounterOp::Add(1));
+    }
+    assert!(
+        obj.live_segments() <= 2 + 4,
+        "an idle-but-active frontier bounds live segments by its spread: {}",
+        obj.live_segments()
+    );
+    // Once the idle handle catches up, the spread collapses again.
+    // (Reclamation fires on checkpoint decides, not on frontier
+    // publishes, so trigger a pass explicitly after the catch-up.)
+    idle.refresh();
+    obj.reclaim();
+    assert!(
+        obj.live_segments() <= 3,
+        "catch-up collapses the spread: {} live",
+        obj.live_segments()
+    );
+    assert_eq!(
+        h.invoke(CounterOp::Get),
+        CounterResp::Value((12 * SEGMENT_SIZE) as i64),
+        "truncation is invisible to the abstract state"
+    );
 }

@@ -432,6 +432,42 @@ fn universal_counter_campaigns_linearize() {
     sweep("WfUniversal<Counter>", &Counter::new(0), universal_counter_body);
 }
 
+/// Checkpointed truncation under churn: an aggressive cadence (a
+/// checkpoint attempt every 2 positions) runs inside every explored
+/// schedule, interleaving checkpoint CASes, frontier publishes and
+/// reclaim passes among the op decides — and late registrants bootstrap
+/// from whatever checkpoint the schedule happened to decide. Every
+/// schedule must still linearize.
+fn checkpointed_universal_counter_body(rec: HistoryRecorder<Counter>) {
+    let obj = WfUniversal::new_dynamic_checkpointed(Counter::new(0), 4, 2);
+    let workers: Vec<_> = (0..2)
+        .map(|t| {
+            let (obj, rec) = (obj.clone(), rec.clone());
+            vthread::spawn(move || {
+                let pid = Pid(t);
+                for gen in 0..2 {
+                    let mut h = obj.register();
+                    let op = CounterOp::FetchAndAdd((100 * t + 10 * gen + 1) as i64);
+                    rec.record(pid, op.clone(), || h.invoke(op.clone()));
+                    h.retire();
+                }
+            })
+        })
+        .collect();
+    for w in workers {
+        w.join().unwrap();
+    }
+}
+
+#[test]
+fn checkpointed_universal_campaigns_linearize() {
+    sweep(
+        "WfUniversal<Counter> (checkpointed churn)",
+        &Counter::new(0),
+        checkpointed_universal_counter_body,
+    );
+}
+
 #[test]
 fn cell_universal_counter_campaigns_linearize() {
     sweep(
@@ -533,6 +569,52 @@ fn universal_churn_schedules_satisfy_happens_before() {
         assert!(
             hb.is_clean(),
             "seed {seed}: membership orderings too weak \
+             ({} of {} reads unjustified): {}",
+            hb.violations.len(),
+            hb.reads_checked,
+            hb.violations[0]
+        );
+        assert!(hb.reads_checked > 0, "seed {seed}: no loads judged");
+    }
+}
+
+/// The happens-before verdict over checkpointed schedules: the
+/// checkpoint/reclaim protocol (checkpoint CAS, `cp_pos` advance,
+/// frontier publication, hazard publish/validate, segment detach) is
+/// uniformly SeqCst by design — so every explored interleaving must
+/// justify its plain loads from declared edges alone. A relaxation
+/// smuggled into the new protocol words would surface here as an
+/// unjustified read.
+#[test]
+fn checkpointed_schedules_satisfy_happens_before() {
+    for seed in 0..SEEDS {
+        let res = run(
+            waitfree::sched::RandomWalk::new(seed),
+            RunOptions::default(),
+            || {
+                let obj = WfUniversal::new_dynamic_checkpointed(Counter::new(0), 4, 2);
+                let workers: Vec<_> = (0..2)
+                    .map(|t| {
+                        let obj = obj.clone();
+                        vthread::spawn(move || {
+                            for gen in 0..2 {
+                                let mut h = obj.register();
+                                h.invoke(CounterOp::FetchAndAdd((100 * t + 10 * gen + 1) as i64));
+                                h.retire();
+                            }
+                        })
+                    })
+                    .collect();
+                for w in workers {
+                    w.join().unwrap();
+                }
+            },
+        );
+        assert!(res.error.is_none(), "seed {seed}: {:?}", res.error);
+        let hb = waitfree::sched::hb_check(&res.trace);
+        assert!(
+            hb.is_clean(),
+            "seed {seed}: checkpoint/reclaim orderings too weak \
              ({} of {} reads unjustified): {}",
             hb.violations.len(),
             hb.reads_checked,

@@ -1,0 +1,167 @@
+//! Long-haul soak for checkpointed truncation: sustained operations on
+//! one dynamic universal object with a HARD bounded-RSS assertion — the
+//! process footprint after warm-up must stay inside a fixed slack no
+//! matter how many more operations run, because the checkpointed log
+//! reclaims every segment behind the active handles' frontier. An
+//! unbounded log at the CI op count (ten million) would grow by
+//! hundreds of MiB and trip the bound by an order of magnitude; the
+//! slack only absorbs allocator retention (freed pages glibc keeps
+//! resident) and fragmentation creep, both of which plateau.
+//!
+//! The op mix is seeded: add amounts and refresh jitter come from a
+//! printed xorshift seed (`WF_SOAK_SEED` to replay), so a failing run
+//! names the exact workload that broke. `WF_SOAK_OPS` scales the total
+//! op count (default 400k for a quick local pass; CI runs 10M). The
+//! abstract state is checked exactly at the end — truncation must be
+//! invisible to the counter no matter how many segments were dropped.
+
+use std::time::{SystemTime, UNIX_EPOCH};
+
+use waitfree::objects::counter::{Counter, CounterOp, CounterResp};
+use waitfree::sched::thread;
+use waitfree::sync::universal::{WfUniversal, SEGMENT_SIZE};
+
+/// Concurrent workers per round.
+const WORKERS: usize = 4;
+/// Rounds of register → operate → retire; RSS is sampled between them.
+const ROUNDS: usize = 8;
+/// Warm-up rounds excluded from the bound (first-touch allocator and
+/// arena growth land here).
+const WARMUP_ROUNDS: usize = 2;
+/// Hard bound: post-warm-up RSS growth allowed, MiB. Far above the
+/// observed steady-state creep (tens of MiB over 10M ops, from glibc
+/// retention) and far below what an un-truncated log would add
+/// (~500 MiB at the CI op count).
+const SLACK_MIB: f64 = 64.0;
+/// Checkpoint cadence (decided ops between checkpoints).
+const EVERY: usize = SEGMENT_SIZE;
+
+/// VmRSS in MiB from `/proc/self/status`; `None` off Linux.
+fn rss_mib() -> Option<f64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmRSS:"))?;
+    let kb: f64 = line.split_whitespace().nth(1)?.parse().ok()?;
+    Some(kb / 1024.0)
+}
+
+fn env_u64(key: &str) -> Option<u64> {
+    std::env::var(key).ok().and_then(|s| s.parse().ok())
+}
+
+/// xorshift64*: tiny, seedable, good enough to jitter a workload.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    }
+}
+
+#[test]
+fn soak_checkpointed_rss_stays_flat() {
+    let total = env_u64("WF_SOAK_OPS").unwrap_or(400_000) as usize;
+    let seed = env_u64("WF_SOAK_SEED").unwrap_or_else(|| {
+        SystemTime::now().duration_since(UNIX_EPOCH).map(|d| d.as_nanos() as u64).unwrap_or(1)
+    }) | 1;
+    println!("soak: total_ops={total} workers={WORKERS} rounds={ROUNDS} seed={seed} (replay with WF_SOAK_SEED={seed} WF_SOAK_OPS={total})");
+
+    let per_round = total / (ROUNDS * WORKERS);
+    let obj = WfUniversal::new_dynamic_checkpointed(Counter::new(0), per_round + 2, EVERY);
+    let mut expected: i64 = 0;
+    let mut baseline: Option<f64> = None;
+
+    for round in 0..ROUNDS {
+        let joins: Vec<_> = (0..WORKERS)
+            .map(|w| {
+                let obj = obj.clone();
+                let mut rng = Rng(seed ^ ((round * WORKERS + w) as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15));
+                thread::spawn(move || {
+                    let mut h = obj.register();
+                    let mut sum: i64 = 0;
+                    // Seeded jitter: add amounts vary, and the handle
+                    // occasionally replays from its frontier instead of
+                    // deciding — the catch-up path must not pin memory.
+                    let mut until_refresh = 64 + (rng.next() % 512) as usize;
+                    for _ in 0..per_round {
+                        let delta = 1 + (rng.next() % 3) as i64;
+                        match h.invoke(CounterOp::FetchAndAdd(delta)) {
+                            CounterResp::Value(_) => sum += delta,
+                            other => panic!("seed={seed}: unexpected response {other:?}"),
+                        }
+                        until_refresh -= 1;
+                        if until_refresh == 0 {
+                            h.refresh();
+                            until_refresh = 64 + (rng.next() % 512) as usize;
+                        }
+                    }
+                    h.retire();
+                    sum
+                })
+            })
+            .collect();
+        for j in joins {
+            expected += j.join().unwrap();
+        }
+
+        // Every worker retired, so the final reclamation pass has run:
+        // the object-level bound is exact regardless of the allocator.
+        obj.reclaim();
+        assert!(
+            obj.live_segments() <= 8,
+            "seed={seed} round={round}: {} live segments with all workers retired \
+             (installed {}, reclaimed {})",
+            obj.live_segments(),
+            obj.installed_segments(),
+            obj.reclaimed_segments()
+        );
+
+        match rss_mib() {
+            None => {
+                if round == 0 {
+                    println!("soak: /proc/self/status unavailable; RSS bound not checked");
+                }
+            }
+            Some(rss) => {
+                println!(
+                    "soak: round={round} rss={rss:.1} MiB installed={} reclaimed={} checkpoints={}",
+                    obj.installed_segments(),
+                    obj.reclaimed_segments(),
+                    obj.checkpoints()
+                );
+                if round + 1 == WARMUP_ROUNDS {
+                    baseline = Some(rss);
+                } else if let Some(base) = baseline {
+                    // The hard bound: past warm-up, the footprint may
+                    // wobble inside the slack but never trend with the
+                    // op count. An unbounded log fails this by ~10x.
+                    assert!(
+                        rss <= base + SLACK_MIB,
+                        "seed={seed} round={round}: rss {rss:.1} MiB exceeds the \
+                         post-warm-up baseline {base:.1} + {SLACK_MIB} MiB bound \
+                         — memory is growing with the op count"
+                    );
+                }
+            }
+        }
+    }
+
+    // Truncation is invisible to the abstract state: the counter saw
+    // every decided add exactly once, across every dropped segment.
+    let mut probe = obj.register();
+    assert_eq!(
+        probe.invoke(CounterOp::Get),
+        CounterResp::Value(expected),
+        "seed={seed}: final state diverged after {total} ops"
+    );
+    assert!(
+        obj.checkpoints() > 0 && obj.reclaimed_segments() > 0,
+        "seed={seed}: the soak never truncated (checkpoints={}, reclaimed={})",
+        obj.checkpoints(),
+        obj.reclaimed_segments()
+    );
+}

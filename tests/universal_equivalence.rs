@@ -227,6 +227,27 @@ mod sched_equivalence {
             assert_eq!(cell.1.len(), THREADS * OPS, "all ops decided at seed {seed}");
         }
     }
+
+    /// Checkpointed-vs-unbounded equivalence under identical schedules:
+    /// an aggressive cadence (a checkpoint attempt every 2 positions)
+    /// interleaves checkpoint decides among the op decides, but the
+    /// responses must match the unbounded object's seed for seed, and
+    /// the flattened decided log — checkpoints contribute no members —
+    /// must carry the same ops in the same order. (At this scale no
+    /// segment falls behind the reclaim bound, so the retained prefix
+    /// is the whole log and the comparison is exact; truncation of
+    /// *state* is exercised, truncation of *memory* is covered by
+    /// `tests/log_growth.rs` and the soak test.)
+    #[test]
+    fn checkpointed_and_unbounded_agree_under_identical_schedules() {
+        for seed in 0..64 {
+            let unbounded = drive(WfUniversal::new(Counter::new(0), THREADS, 16), seed);
+            let cp =
+                drive(WfUniversal::new_checkpointed(Counter::new(0), THREADS, 16, 2), seed);
+            assert_eq!(cp.0, unbounded.0, "checkpointed responses diverged at seed {seed}");
+            assert_eq!(cp.1, unbounded.1, "checkpointed op order diverged at seed {seed}");
+        }
+    }
 }
 
 #[test]
@@ -256,6 +277,45 @@ fn dynamic_registration_is_equivalent_to_static_creation() {
     }
     assert_eq!(dynamic.registry_slots(), 1);
     assert_eq!(dynamic.total_arrivals(), script.len() / 2);
+}
+
+#[test]
+fn checkpointed_churn_is_equivalent_to_unbounded() {
+    // Registrant churn across *real* truncation: each short-lived handle
+    // adopts the newest checkpoint (the origin segments are gone by
+    // mid-run) and must still observe exactly the state an unbounded
+    // object accumulates from the same script.
+    use waitfree::objects::counter::{Counter, CounterOp};
+    use waitfree::sync::universal::SEGMENT_SIZE;
+
+    let total = 6 * SEGMENT_SIZE;
+    let chunk = SEGMENT_SIZE / 2;
+    let cp = WfUniversal::new_dynamic_checkpointed(Counter::new(0), chunk + 1, SEGMENT_SIZE / 2);
+    let un = WfUniversal::new_dynamic(Counter::new(0), chunk + 1);
+    for start in (0..total).step_by(chunk) {
+        let mut hc = cp.register();
+        let mut hu = un.register();
+        for i in start..start + chunk {
+            assert_eq!(
+                hc.invoke(CounterOp::FetchAndAdd(1)),
+                hu.invoke(CounterOp::FetchAndAdd(1)),
+                "op {i}"
+            );
+        }
+        hc.retire();
+        hu.retire();
+    }
+    assert!(
+        cp.reclaimed_segments() >= 3,
+        "churn script truncated for real: {} segments reclaimed",
+        cp.reclaimed_segments()
+    );
+    assert!(
+        cp.live_segments() < un.live_segments(),
+        "checkpointed object retains less than unbounded ({} vs {})",
+        cp.live_segments(),
+        un.live_segments()
+    );
 }
 
 #[test]
