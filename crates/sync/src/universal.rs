@@ -53,8 +53,9 @@
 //!   frontiers)` are detached from the chain and freed once no
 //!   walker's segment hazard covers them. Retired, dropped, and
 //!   crashed handles publish `usize::MAX` (never pinning memory), and
-//!   a late registrant bootstraps its replica from the newest
-//!   checkpoint — which the reclaim bound keeps alive by construction.
+//!   a late registrant bootstraps its replica from the oldest retained
+//!   checkpoint — at least one is retained by construction, since the
+//!   reclaim bound never passes the newest one.
 //!   Steady-state memory is O(frontier spread), not O(total ops).
 //! * **Batch combining** (default; see DESIGN.md §9). Before deciding
 //!   position `k`, a thread scans the announce registry and collects
@@ -1121,7 +1122,7 @@ pub struct WfUniversal<S: ObjectSpec> {
     shared: Arc<Shared<S>>,
     /// The initial abstract state, cloned into each registered handle's
     /// local replica (every replica replays the same log from it — or,
-    /// on the checkpointed path, from the newest checkpoint image).
+    /// on the checkpointed path, from a retained checkpoint image).
     initial: S,
 }
 
@@ -1308,8 +1309,11 @@ impl<S: ObjectSpec> WfUniversal<S> {
     /// keeps registry memory bounded by peak active handles).
     ///
     /// On a checkpointed object the new handle bootstraps its replica
-    /// from the newest checkpoint in the retained log instead of
-    /// replaying from position 0 (which may be truncated away); the
+    /// from the *oldest* checkpoint in the retained log — the first
+    /// one the walk from the retained root finds — instead of
+    /// replaying from position 0 (which may be truncated away); it
+    /// then replays the remaining retained suffix, so adopting an
+    /// older checkpoint costs extra replay, never correctness. The
     /// walk pins segments with the slot's hazard and publishes the
     /// adopted frontier before unpinning, so reclamation can never
     /// free a segment out from under it.
@@ -1460,8 +1464,12 @@ impl<S: ObjectSpec> WfUniversal<S> {
                     // itself may be gone: restart. Otherwise any later
                     // detach of `next` follows our hazard publish in
                     // the SeqCst order and its sweep sees the hazard.
+                    // `s.end()` is read *before* the hazard moves to
+                    // `next`: the store unpins `s`, and a concurrent
+                    // sweep may free it in the same instant.
+                    let s_end = s.end();
                     slot.seg_hazard.store(next as usize, Ordering::SeqCst);
-                    if shared.reclaimed_upto.load(Ordering::SeqCst) > s.end() {
+                    if shared.reclaimed_upto.load(Ordering::SeqCst) > s_end {
                         continue 'adopt;
                     }
                     seg = next;
@@ -1997,17 +2005,17 @@ impl<S: ObjectSpec> WfHandle<S> {
         // the *latest* entry, so a new announce must not overwrite a
         // predecessor helpers could still need. Normally the previous
         // op completed (done caught up) before we get here; the gap
-        // cases are a capped log (the LogFull op stays pending — stick
-        // to the error without announcing more, preserving the old
-        // at-position-cap observables) and a handle reused after a
-        // *caught* crash mid-invoke (finish the orphaned op first; with
-        // no cap, threading cannot fail).
+        // cases are a capped log that hit LogFull (the op stays
+        // pending) and a handle reused after a *caught* crash
+        // mid-invoke. Both finish the orphaned op first: on a
+        // genuinely full log the threading attempt fails again at the
+        // real stuck position — in O(1), since the prior attempt
+        // published the hint at the cap — without announcing more,
+        // while a caught crash on a capped log with room simply
+        // recovers, as the uncapped path always did.
         let d = slot.done.load(Ordering::SeqCst);
         let a = slot.announced.load(Ordering::SeqCst);
         if a > d {
-            if let Some(c) = self.shared.cap {
-                return Err(UniversalError::LogFull { position: c, capacity: c });
-            }
             let p = slot.cell.load(Ordering::SeqCst);
             // SAFETY: owner-side read — only this handle replaces its
             // cell's entry, so the current content is alive.
@@ -2180,6 +2188,59 @@ impl<S: ObjectSpec> WfHandle<S> {
     /// quiescent diagnostic there — as the decided-log walks already
     /// are.
     pub fn refresh(&mut self) -> S {
+        if self.retired {
+            // `retire()` unpinned our frontier, so any amount of later
+            // activity by other handles may have reclaimed the segment
+            // the cached `replay_seg` points at — never touch it again.
+            // Under the quiescence contract (no invoke in flight) the
+            // chain is stable for the duration of this call: re-anchor
+            // at the retained root, exactly as `walk_decided` does.
+            let root = self.shared.oldest.load(Ordering::SeqCst).cast_const();
+            // SAFETY: quiescence — the chain root is stable and no
+            // segment is freed while this diagnostic runs.
+            let base = unsafe { &*root }.base;
+            self.replay_seg = root;
+            self.thread_seg = root;
+            if self.cursor < base {
+                // Truncation passed our cursor while we were retired.
+                // Truncation implies a decided checkpoint at `cp_pos`
+                // with the whole prefix up to it decided and its
+                // segment retained (the reclaim bound never passes
+                // `cp_pos`), so scanning from the root finds a
+                // checkpoint before any null slot: adopt it, exactly
+                // as a late registrant bootstraps. The image's
+                // `applied` watermarks keep the dedup exact across the
+                // jump.
+                let mut seg = root;
+                'adopt: loop {
+                    // SAFETY: quiescence, as above.
+                    let s = unsafe { &*seg };
+                    for (i, ls) in s.slots.iter().enumerate() {
+                        let raw = ls.load(Ordering::SeqCst);
+                        assert!(
+                            !raw.is_null(),
+                            "truncation implies a retained decided checkpoint"
+                        );
+                        // SAFETY: a non-null slot owns its decided
+                        // entry; segment alive as above.
+                        if let LogEntry::Checkpoint(img) = unsafe { &*raw } {
+                            self.state = img.state.clone();
+                            self.applied = img.applied.clone();
+                            self.cursor = s.base + i + 1;
+                            self.replay_seg = seg;
+                            self.thread_seg = seg;
+                            break 'adopt;
+                        }
+                    }
+                    let next = s.next.load(Ordering::SeqCst);
+                    assert!(
+                        !next.is_null(),
+                        "truncation implies a retained decided checkpoint"
+                    );
+                    seg = next;
+                }
+            }
+        }
         loop {
             self.replay_seg = self.shared.seg_for(self.replay_seg, self.cursor);
             // ordering: Acquire — same slot-publication edge as the replay loop.
@@ -2303,9 +2364,12 @@ impl<S: ObjectSpec> WfHandle<S> {
                 }
                 if pin {
                     // Hop: same publish-then-validate protocol as the
-                    // registration bootstrap walk.
+                    // registration bootstrap walk — including reading
+                    // `s.end()` while the hazard still covers `s` (the
+                    // store unpins it).
+                    let s_end = s.end();
                     slot.seg_hazard.store(next as usize, Ordering::SeqCst);
-                    if self.shared.reclaimed_upto.load(Ordering::SeqCst) > s.end() {
+                    if self.shared.reclaimed_upto.load(Ordering::SeqCst) > s_end {
                         continue 'walk;
                     }
                 }
@@ -2877,7 +2941,7 @@ mod tests {
     fn late_registrant_adopts_checkpoint() {
         // A handle that arrives after truncation cannot replay from
         // position 0 (those segments are gone): it must bootstrap from
-        // the newest checkpoint image and still observe the full state.
+        // a retained checkpoint image and still observe the full state.
         let every = SEGMENT_SIZE / 2;
         let obj = WfUniversal::new_dynamic_checkpointed(Counter::new(0), 600, every);
         let mut h = obj.register();
@@ -2946,6 +3010,34 @@ mod tests {
         obj.reclaim();
         assert!(obj.checkpoints() >= 1, "cadence fired under contention");
         assert!(obj.reclaimed_segments() >= 1, "reclaim ran under contention");
+    }
+
+    /// Regression (and `cargo miri test` coverage for the retired
+    /// replay path): `retire()` unpins the handle's frontier, so later
+    /// activity by other handles reclaims the segment its cached replay
+    /// anchor points into — purely sequentially, no race needed. The
+    /// quiescent `refresh()` diagnostic must re-anchor at the retained
+    /// root (adopting a checkpoint when its cursor was truncated away)
+    /// instead of dereferencing the stale cache.
+    #[test]
+    fn miri_smoke_retired_refresh_after_truncation() {
+        let obj = WfUniversal::new_dynamic_checkpointed(Counter::new(0), 400, 16);
+        let mut early = obj.register();
+        early.invoke(CounterOp::Add(1));
+        early.retire();
+        let mut busy = obj.register();
+        for _ in 0..3 * SEGMENT_SIZE {
+            busy.invoke(CounterOp::Add(1));
+        }
+        assert!(
+            obj.reclaimed_segments() >= 1,
+            "truncation ran behind the retired handle"
+        );
+        // The retired handle's cursor (1) now lies in a freed segment;
+        // its refresh must adopt a retained checkpoint and converge.
+        assert_eq!(early.refresh(), busy.refresh());
+        // Idempotent: a second quiescent refresh replays nothing new.
+        assert_eq!(early.refresh(), busy.refresh());
     }
 
     #[test]

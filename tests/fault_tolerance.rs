@@ -354,6 +354,54 @@ fn log_exhaustion_is_a_typed_error_even_with_a_crashed_peer() {
     log_exhaustion_scenario::<CellPath>();
 }
 
+/// A handle reused after a *caught* crash mid-invoke (its op announced
+/// but not yet threaded) must recover the orphan on a capped object
+/// exactly as on an unbounded one, as long as the log actually has
+/// room: the cap bounds log positions, it is not a one-way recovery
+/// fuse. Regression — this used to return `LogFull { position: cap,
+/// capacity: cap }` with the log half-empty. (The cell path needs no
+/// twin test: its per-`(tid, seq)` announce slots are never
+/// overwritten, so it recovers without a pending-op gate at all.)
+#[test]
+fn caught_crash_on_capped_log_with_room_recovers_the_orphan() {
+    let _guard = failpoints::exclusive();
+    failpoints::clear();
+
+    let mut handles = WfUniversal::with_capacity(Counter::new(0), 1, 8, 4);
+    let mut h = handles.remove(0);
+    assert_eq!(h.invoke(CounterOp::FetchAndAdd(1)), CounterResp::Value(0));
+
+    // Die right after the announce-slot publication: the op (seq 1) is
+    // announced, helpable, and unthreaded.
+    failpoints::configure(
+        "universal::announced",
+        FailpointConfig {
+            action: FaultAction::Crash,
+            fire: Fire::Nth(1),
+            tid: None,
+            budget: Some(1),
+        },
+    );
+    let crashed = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        h.invoke(CounterOp::FetchAndAdd(1))
+    }));
+    assert!(crashed.is_err(), "the planned crash fires inside the invoke");
+    failpoints::clear();
+
+    // The next invoke finishes the orphan first, then its own op: both
+    // increments take effect, in order, inside the cap of 4.
+    assert_eq!(h.invoke(CounterOp::FetchAndAdd(1)), CounterResp::Value(2));
+    assert_eq!(h.invoke(CounterOp::Get), CounterResp::Value(3));
+    // And the cap still binds: position 4 does not exist.
+    match h.try_invoke(CounterOp::FetchAndAdd(1)) {
+        Err(UniversalError::LogFull { position, capacity }) => {
+            assert_eq!(position, 4);
+            assert_eq!(capacity, 4);
+        }
+        other => panic!("expected LogFull at the real cap, got {other:?}"),
+    }
+}
+
 /// Crash-during-combine: a thread killed at `universal::collect` dies
 /// *while building a batch* — after announcing its own op, holding
 /// refcount bumps on whatever pending entries its scan already
