@@ -58,10 +58,13 @@ const RSS_SLACK_MIB: f64 = 8.0;
 /// order-of-magnitude backstop.
 const CHURN_THRESHOLD_PCT: f64 = 150.0;
 
+/// The identity of one report row: `(workload, impl, n)`.
+type RowKey = (String, String, String);
+
 /// One row-level comparison: latest vs the median prior value.
 #[derive(Debug, Clone, PartialEq)]
 struct Check {
-    key: (String, String, String),
+    key: RowKey,
     latest: f64,
     prior: f64,
 }
@@ -102,7 +105,7 @@ enum Trend {
 fn row_values(
     run: &Json,
     value_col: &str,
-) -> Result<Option<HashMap<(String, String, String), f64>>, String> {
+) -> Result<Option<HashMap<RowKey, f64>>, String> {
     let report = run.get("report").ok_or("run without a report")?;
     let columns: Vec<&str> = report
         .get("columns")
@@ -131,13 +134,13 @@ fn row_values(
 }
 
 /// `(key -> ns/op)` for every row; the ns/op column is mandatory.
-fn row_medians(run: &Json) -> Result<HashMap<(String, String, String), f64>, String> {
+fn row_medians(run: &Json) -> Result<HashMap<RowKey, f64>, String> {
     row_values(run, "ns/op")?.ok_or_else(|| "report has no \"ns/op\" column".to_string())
 }
 
 /// `(key -> rss_mib)` for the rows that record one; empty for runs
 /// predating the column.
-fn row_rss(run: &Json) -> Result<HashMap<(String, String, String), f64>, String> {
+fn row_rss(run: &Json) -> Result<HashMap<RowKey, f64>, String> {
     Ok(row_values(run, "rss_mib")?.unwrap_or_default())
 }
 
@@ -161,8 +164,8 @@ fn evaluate(doc: &Json, threshold_pct: f64) -> Result<Trend, String> {
 
     // Every prior value per row key, across every same-config run
     // except the latest (the last group member *is* the latest run).
-    let mut priors: HashMap<(String, String, String), Vec<f64>> = HashMap::new();
-    let mut priors_rss: HashMap<(String, String, String), Vec<f64>> = HashMap::new();
+    let mut priors: HashMap<RowKey, Vec<f64>> = HashMap::new();
+    let mut priors_rss: HashMap<RowKey, Vec<f64>> = HashMap::new();
     for run in &group[..group.len() - 1] {
         for (key, v) in row_medians(run)? {
             priors.entry(key).or_default().push(v);
@@ -174,8 +177,8 @@ fn evaluate(doc: &Json, threshold_pct: f64) -> Result<Trend, String> {
 
     // Rows with no prior same-config measurement (new impl, new
     // workload) have nothing to regress against.
-    let against = |latest: HashMap<(String, String, String), f64>,
-                   priors: &HashMap<(String, String, String), Vec<f64>>| {
+    let against = |latest: HashMap<RowKey, f64>,
+                   priors: &HashMap<RowKey, Vec<f64>>| {
         let mut checks: Vec<Check> = latest
             .into_iter()
             .filter_map(|(key, latest)| {

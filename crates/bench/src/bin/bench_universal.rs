@@ -48,9 +48,10 @@
 //! attributing it per-row would be noise.
 
 use waitfree_bench::json::Json;
-use waitfree_sched::thread;
 use waitfree_bench::timing::measure_with_setup;
+use waitfree_bench::trajectory::{cli_timestamp, merge_into_file};
 use waitfree_bench::Report;
+use waitfree_sched::thread;
 use waitfree_objects::counter::{Counter, CounterOp, CounterResp};
 use waitfree_objects::queue::{FifoQueue, QueueOp};
 use waitfree_sync::universal::{WfHandle, WfUniversal, SEGMENT_SIZE};
@@ -424,72 +425,6 @@ fn env_usize(key: &str, default: usize) -> usize {
     std::env::var(key).ok().and_then(|s| s.parse().ok()).unwrap_or(default)
 }
 
-/// `--timestamp <tag>` / `--timestamp=<tag>`, else epoch seconds.
-fn cli_timestamp() -> String {
-    let mut args = std::env::args().skip(1);
-    while let Some(a) = args.next() {
-        if a == "--timestamp" {
-            if let Some(v) = args.next() {
-                return v;
-            }
-        } else if let Some(v) = a.strip_prefix("--timestamp=") {
-            return v.to_string();
-        }
-    }
-    let secs = std::time::SystemTime::now()
-        .duration_since(std::time::UNIX_EPOCH)
-        .map(|d| d.as_secs())
-        .unwrap_or(0);
-    format!("unix:{secs}")
-}
-
-/// Merge this run into the recorded trajectory: read the existing
-/// `BENCH_universal.json` (wrapping a pre-schema-2 bare report as the
-/// first run), append `{timestamp, config, report}`, and render the
-/// schema-2 document.
-///
-/// A *missing* prior is a fresh start (new clone, new trajectory). An
-/// *unparseable* prior is an error: overwriting it would silently
-/// discard the recorded history, so the caller must fail instead.
-fn merged_trajectory(
-    prior: Option<&str>,
-    report_json: &str,
-    timestamp: &str,
-    config: Json,
-) -> Result<String, String> {
-    let mut runs: Vec<Json> = match prior.map(Json::parse) {
-        Some(Ok(doc)) => match doc.get("runs").and_then(Json::as_array) {
-            Some(existing) => existing.to_vec(),
-            // A bare report from before the merge schema: keep it as
-            // the trajectory's first entry.
-            None if doc.get("id").is_some() => vec![Json::Obj(vec![
-                ("timestamp".into(), Json::Str("pre-merge".into())),
-                ("config".into(), Json::Obj(Vec::new())),
-                ("report".into(), doc),
-            ])],
-            None => Vec::new(),
-        },
-        Some(Err(e)) => {
-            return Err(format!(
-                "existing trajectory is not valid JSON ({e}); refusing to \
-                 overwrite the recorded history — fix or remove the file"
-            ))
-        }
-        None => Vec::new(),
-    };
-    let report = Json::parse(report_json).expect("Report::to_json emits valid JSON");
-    runs.push(Json::Obj(vec![
-        ("timestamp".into(), Json::Str(timestamp.into())),
-        ("config".into(), config),
-        ("report".into(), report),
-    ]));
-    Ok(Json::Obj(vec![
-        ("schema".into(), Json::num(2)),
-        ("runs".into(), Json::Arr(runs)),
-    ])
-    .pretty())
-}
-
 fn main() {
     // Nine samples, not five: the recorded medians feed a ±25% trend
     // gate, and on a single-core host the scheduling-noise spread of a
@@ -702,71 +637,13 @@ fn main() {
         ("reclaim".into(), Json::Str("checkpoint".into())),
         ("steady_ops".into(), Json::num(steady_ops as u64)),
     ]);
-    let prior = std::fs::read_to_string("BENCH_universal.json").ok();
-    let merged = match merged_trajectory(prior.as_deref(), &report.to_json(), &timestamp, config) {
-        Ok(m) => m,
-        Err(e) => {
-            eprintln!("bench_universal: BENCH_universal.json: {e}");
-            std::process::exit(2);
-        }
-    };
-    if let Err(e) = std::fs::write("BENCH_universal.json", merged) {
-        eprintln!("could not write BENCH_universal.json: {e}");
-        std::process::exit(1);
-    }
-    println!("  merged into BENCH_universal.json (run timestamp: {timestamp})");
+    merge_into_file("BENCH_universal.json", &report.to_json(), &timestamp, config);
     report.finish();
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-
-    fn report_json() -> String {
-        let mut r = Report::new("bench_universal", "t", &["workload", "impl", "n"]);
-        r.row(&["counter".into(), "cell".into(), "1".into()]);
-        r.to_json()
-    }
-
-    #[test]
-    fn legacy_file_is_wrapped_then_appended() {
-        // First merge over a pre-schema-2 bare report.
-        let merged =
-            merged_trajectory(Some(&report_json()), &report_json(), "t1", Json::Obj(vec![]))
-                .unwrap();
-        let doc = Json::parse(&merged).unwrap();
-        assert_eq!(doc.get("schema"), Some(&Json::num(2)));
-        let runs = doc.get("runs").and_then(Json::as_array).unwrap();
-        assert_eq!(runs.len(), 2);
-        assert_eq!(runs[0].get("timestamp").and_then(Json::as_str), Some("pre-merge"));
-        assert_eq!(runs[1].get("timestamp").and_then(Json::as_str), Some("t1"));
-
-        // Second merge over the schema-2 file appends.
-        let merged2 =
-            merged_trajectory(Some(&merged), &report_json(), "t2", Json::Obj(vec![])).unwrap();
-        let doc2 = Json::parse(&merged2).unwrap();
-        let runs2 = doc2.get("runs").and_then(Json::as_array).unwrap();
-        assert_eq!(runs2.len(), 3);
-        assert_eq!(runs2[2].get("timestamp").and_then(Json::as_str), Some("t2"));
-        assert!(runs2[2].get("report").unwrap().get("rows").is_some());
-    }
-
-    #[test]
-    fn missing_prior_starts_fresh() {
-        let merged = merged_trajectory(None, &report_json(), "t", Json::Obj(vec![])).unwrap();
-        let doc = Json::parse(&merged).unwrap();
-        assert_eq!(doc.get("runs").and_then(Json::as_array).unwrap().len(), 1);
-    }
-
-    #[test]
-    fn garbage_prior_is_an_error_not_a_silent_restart() {
-        let err = merged_trajectory(Some("not json at all"), &report_json(), "t", Json::Obj(vec![]))
-            .unwrap_err();
-        assert!(
-            err.contains("refusing to overwrite"),
-            "error must explain the refusal: {err}"
-        );
-    }
 
     #[test]
     fn stats_merge_maxes_steps_and_sums_counters() {

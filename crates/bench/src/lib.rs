@@ -27,6 +27,7 @@ use std::path::Path;
 
 pub mod json;
 pub mod timing;
+pub mod trajectory;
 
 /// A machine- and human-readable experiment report.
 #[derive(Clone, Debug)]

@@ -48,6 +48,20 @@
 //!   unwinds through the lock's RAII guard, so reclamation stays
 //!   available — the next invoke retries it).
 //!
+//! The sharded-store front-end (`waitfree-store`) layers three sites
+//! over the universal-object family:
+//!
+//! * `store::route` — before every single-key op routes to its shard
+//!   (a crash here has decided nothing anywhere);
+//! * `store::multi` — before *each per-shard step* of a multi-key op,
+//!   prepares and resolves alike, so `Fire::Nth` lands a crash between
+//!   any two involved shards (mid-prepare or mid-resolve; the crashed
+//!   multi's locks are released by the next conflicting op, which
+//!   helps it to resolution from the replicated descriptor);
+//! * `store::snapshot` — before each per-shard marker decide (a crash
+//!   mid-snapshot leaves at most unclaimed early captures; the store
+//!   keeps serving and later snapshots are unaffected).
+//!
 //! `consensus::*`, `faa_queue::*` and `lockfree::*` follow the same
 //! convention at their respective hot paths.
 

@@ -1,0 +1,783 @@
+//! # waitfree-store — a sharded universal KV store
+//!
+//! One universal object serializes every operation through one
+//! consensus log (Herlihy §4); this crate scales that construction out:
+//! a [`ShardedStore`] composes N **independent** `WfUniversal` logs
+//! behind a seeded key→shard router ([`router::route`]). Three op
+//! classes, three protocols:
+//!
+//! * **Single-key ops** (`get`/`put`/`remove`/`cas`/`fetch_update`)
+//!   decide exactly one op into exactly one shard's log, inheriting
+//!   that log's wait-free helping bound unchanged. Keys on different
+//!   shards no longer contend on a CAS point at all.
+//!
+//! * **Multi-key atomic ops** (`multi_put`/`multi_cas`) run a
+//!   two-phase protocol *through the logs*: a full descriptor is
+//!   decide-ordered (`Prepare`) into every involved shard's log in
+//!   **canonical ascending shard order**, votes are gathered, then the
+//!   unanimous verdict is decided (`Resolve`) into the same logs.
+//!   Locks are acquired whole-shard-atomically and only in ascending
+//!   order, so no hold-and-wait cycle can form (DESIGN §13). Because
+//!   the descriptor is replicated to every involved shard, *any*
+//!   client that runs into its locks can finish it: conflicting ops
+//!   receive the full holder descriptor and **help** the stalled
+//!   multi-op to resolution before retrying, so a client that crashes
+//!   mid-multi-op never wedges a key.
+//!
+//! * **Consistent global snapshots** ([`StoreHandle::snapshot`])
+//!   decide a `Marker{epoch}` entry into every shard's log through the
+//!   ordinary consensus CAS — the same way PR 7's checkpoints enter
+//!   the log — and assemble the per-shard captures. Cross-shard
+//!   consistency comes from an epoch stamp rule (every mutation
+//!   carries the epoch its client read before invoking; a mutation
+//!   stamped at-or-after an open snapshot that reaches a shard before
+//!   that snapshot's marker triggers a pre-mutation *early capture*)
+//!   plus a torn-multi repair pass at assembly. In debug builds the
+//!   assembled cut is verified with a vector-clock consistency check
+//!   (`know[s][t] <= version[t]`, the same invariant
+//!   `waitfree_sched::hb` enforces on memory traces).
+//!
+//! Shards are built on the dynamic-membership registry (PR 6) —
+//! [`ShardedStore::handle`] registers on every shard, handles retire —
+//! and can be individually checkpointed/truncated (PR 7) via
+//! [`StoreConfig::checkpoint_every`], so the store exercises every
+//! prior subsystem at once.
+//!
+//! ## Progress guarantees, stated honestly
+//!
+//! Single-key ops on keys not touched by any in-flight multi-op are
+//! wait-free with the per-shard `O(n)` helping bound. An op that hits
+//! a multi-op's lock helps that multi-op to completion first (itself a
+//! bounded number of decides over its involved shards) and retries;
+//! under a *continuous* adversarial stream of conflicting multi-ops
+//! this degrades to lock-freedom (some multi-op always completes), the
+//! standard trade for multi-object atomicity without a global log.
+//!
+//! ## Failpoints
+//!
+//! With the `failpoints` feature the front-end exposes `store::route`
+//! (before every single-key routing decision), `store::multi` (before
+//! every per-shard step of a multi-op, prepares and resolves), and
+//! `store::snapshot` (before every per-shard marker decide), composing
+//! with the `universal::*` sites underneath.
+
+use std::collections::BTreeMap;
+use std::fmt::Debug;
+use std::hash::Hash;
+use std::sync::Arc;
+
+use waitfree_faults::failpoint;
+use waitfree_sched::atomic::{AtomicU64, Ordering};
+use waitfree_sync::universal::{WfHandle, WfUniversal};
+
+pub mod model;
+pub mod router;
+pub mod spec;
+
+pub use model::{StoreModel, StoreOp, StoreResp};
+pub use router::route;
+pub use spec::{Bump, Ctx, Merge, MultiDesc, MultiId, PendingMulti, ShardOp, ShardResp, ShardState, SnapPart};
+
+/// Construction parameters for a [`ShardedStore`].
+#[derive(Clone, Debug)]
+pub struct StoreConfig {
+    /// Number of independent shard logs. Must be at least 1.
+    pub shards: usize,
+    /// Router seed: determines the key partition (stable across
+    /// processes — see [`router`]).
+    pub seed: u64,
+    /// Per-shard op budget for each registered [`StoreHandle`]
+    /// (multi-key ops and helping consume several per shard).
+    pub ops_per_handle: usize,
+    /// Decide a checkpoint image into each shard's log every this many
+    /// positions (PR 7 truncation machinery). `None` = unbounded logs.
+    pub checkpoint_every: Option<usize>,
+    /// Hard per-shard log capacity (`LogFull` beyond it). `None` =
+    /// grow on demand. Mutually exclusive with `checkpoint_every`.
+    pub capacity: Option<usize>,
+}
+
+impl Default for StoreConfig {
+    fn default() -> Self {
+        StoreConfig {
+            shards: 4,
+            seed: 0x5eed_5709_e5ca_1ab1,
+            ops_per_handle: 1 << 20,
+            checkpoint_every: None,
+            capacity: None,
+        }
+    }
+}
+
+/// The sharded store: N independent consensus logs plus the two shared
+/// counters (snapshot epoch, multi-op ids) the cross-shard protocols
+/// need. Cheap to clone (`Arc`-shared); per-thread access goes through
+/// [`ShardedStore::handle`].
+pub struct ShardedStore<K, V, M = ()>
+where
+    K: Clone + Ord + Hash + Debug,
+    V: Clone + Eq + Hash + Debug,
+    M: Merge<V>,
+{
+    shards: Vec<WfUniversal<ShardState<K, V, M>>>,
+    /// Global snapshot epoch. `snapshot()` opens epoch `e` by
+    /// fetch-add; every mutating op stamps the value it read *before*
+    /// invoking (the stamp rule, see `spec` module docs).
+    epoch: Arc<AtomicU64>,
+    /// Multi-op id allocator.
+    multi_seq: Arc<AtomicU64>,
+    seed: u64,
+}
+
+impl<K, V, M> Clone for ShardedStore<K, V, M>
+where
+    K: Clone + Ord + Hash + Debug,
+    V: Clone + Eq + Hash + Debug,
+    M: Merge<V>,
+{
+    fn clone(&self) -> Self {
+        ShardedStore {
+            shards: self.shards.clone(),
+            epoch: Arc::clone(&self.epoch),
+            multi_seq: Arc::clone(&self.multi_seq),
+            seed: self.seed,
+        }
+    }
+}
+
+impl<K, V, M> ShardedStore<K, V, M>
+where
+    K: Clone + Ord + Hash + Debug + Send + Sync + 'static,
+    V: Clone + Eq + Hash + Debug + Send + Sync + 'static,
+    M: Merge<V> + Send + Sync + 'static,
+{
+    /// Build a store per `cfg`. Every shard is a dynamic-membership
+    /// universal object (PR 6), checkpointed at the configured cadence
+    /// (PR 7) or capacity-capped if requested.
+    ///
+    /// # Panics
+    /// If `cfg.shards == 0`, or both `checkpoint_every` and `capacity`
+    /// are set (a capped log cannot also truncate).
+    #[must_use]
+    pub fn new(cfg: &StoreConfig) -> Self {
+        assert!(cfg.shards > 0, "a store has at least one shard");
+        assert!(
+            cfg.checkpoint_every.is_none() || cfg.capacity.is_none(),
+            "checkpoint_every and capacity are mutually exclusive"
+        );
+        let shards = (0..cfg.shards)
+            .map(|s| {
+                let init = ShardState::new(s, cfg.shards, cfg.seed);
+                match (cfg.checkpoint_every, cfg.capacity) {
+                    (Some(every), None) => {
+                        WfUniversal::new_dynamic_checkpointed(init, cfg.ops_per_handle, every)
+                    }
+                    (None, Some(cap)) => {
+                        WfUniversal::with_capacity_dynamic(init, cfg.ops_per_handle, cap)
+                    }
+                    _ => WfUniversal::new_dynamic(init, cfg.ops_per_handle),
+                }
+            })
+            .collect();
+        ShardedStore {
+            shards,
+            epoch: Arc::new(AtomicU64::new(0)),
+            multi_seq: Arc::new(AtomicU64::new(0)),
+            seed: cfg.seed,
+        }
+    }
+
+    /// Number of shard logs.
+    #[must_use]
+    pub fn shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The router seed (fixed at construction).
+    #[must_use]
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The shard owning `key`.
+    #[must_use]
+    pub fn shard_of(&self, key: &K) -> usize {
+        route(self.seed, self.shards.len(), key)
+    }
+
+    /// Direct access to one shard's universal object (diagnostics,
+    /// tests).
+    #[must_use]
+    pub fn shard(&self, s: usize) -> &WfUniversal<ShardState<K, V, M>> {
+        &self.shards[s]
+    }
+
+    /// Register on every shard and return a per-thread handle.
+    /// Wait-free (N wait-free registrations).
+    #[must_use]
+    pub fn handle(&self) -> StoreHandle<K, V, M> {
+        StoreHandle {
+            shards: self.shards.iter().map(WfUniversal::register).collect(),
+            epoch: Arc::clone(&self.epoch),
+            multi_seq: Arc::clone(&self.multi_seq),
+            seed: self.seed,
+            seen: BTreeMap::new(),
+        }
+    }
+}
+
+/// The result of one consistent global snapshot.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Snapshot<K: Ord, V> {
+    /// The snapshot epoch (unique per snapshot, monotonically
+    /// increasing).
+    pub epoch: u64,
+    /// The assembled, torn-multi-repaired global map.
+    pub map: BTreeMap<K, V>,
+    /// Per-shard log position at which this snapshot's marker was
+    /// decided (via `WfHandle::last_decided_position`).
+    pub marker_positions: Vec<Option<usize>>,
+}
+
+/// Per-thread access to a [`ShardedStore`]: one registered `WfHandle`
+/// per shard plus this client's observed-version vector. Not `Sync` —
+/// one handle per thread, like `WfHandle` itself.
+pub struct StoreHandle<K, V, M = ()>
+where
+    K: Clone + Ord + Hash + Debug,
+    V: Clone + Eq + Hash + Debug,
+    M: Merge<V>,
+{
+    shards: Vec<WfHandle<ShardState<K, V, M>>>,
+    epoch: Arc<AtomicU64>,
+    multi_seq: Arc<AtomicU64>,
+    seed: u64,
+    /// Highest shard versions observed in responses; stamped onto every
+    /// mutating op for the snapshot cut check.
+    seen: BTreeMap<usize, u64>,
+}
+
+impl<K, V, M> StoreHandle<K, V, M>
+where
+    K: Clone + Ord + Hash + Debug,
+    V: Clone + Eq + Hash + Debug,
+    M: Merge<V>,
+{
+    fn nshards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The stamp every mutating op carries: epoch read *now* (before
+    /// the invoke — the ordering the snapshot argument needs) plus the
+    /// observed-version vector.
+    fn ctx(&self) -> Ctx {
+        Ctx { epoch: self.epoch.load(Ordering::SeqCst), know: self.seen.clone() }
+    }
+
+    fn observe(&mut self, shard: usize, version: u64) {
+        let e = self.seen.entry(shard).or_insert(0);
+        if version > *e {
+            *e = version;
+        }
+    }
+
+    /// Decide `op` into `shard`'s log and record the observed version.
+    fn invoke(&mut self, shard: usize, op: ShardOp<K, V, M>) -> ShardResp<K, V> {
+        let resp = self.shards[shard].invoke(op);
+        self.observe(shard, resp_version(&resp));
+        resp
+    }
+
+    /// Read one key. Wait-free; never blocks on multi-op locks (a
+    /// pending multi has written nothing, so the read linearizes
+    /// before its resolve).
+    pub fn get(&mut self, key: &K) -> Option<V> {
+        failpoint!("store::route");
+        let s = route(self.seed, self.nshards(), key);
+        match self.invoke(s, ShardOp::Get { key: key.clone() }) {
+            ShardResp::Value { val, .. } => val,
+            r => unreachable!("get answered {r:?}"),
+        }
+    }
+
+    /// Write one key, returning the previous value. Helps and retries
+    /// past conflicting multi-ops.
+    pub fn put(&mut self, key: K, val: V) -> Option<V> {
+        self.put_opt(key, Some(val))
+    }
+
+    /// Remove one key, returning the previous value.
+    pub fn remove(&mut self, key: &K) -> Option<V> {
+        self.put_opt(key.clone(), None)
+    }
+
+    fn put_opt(&mut self, key: K, val: Option<V>) -> Option<V> {
+        loop {
+            failpoint!("store::route");
+            let s = route(self.seed, self.nshards(), &key);
+            let op = ShardOp::Put { key: key.clone(), val: val.clone(), ctx: self.ctx() };
+            match self.invoke(s, op) {
+                ShardResp::Prev { prev, .. } => return prev,
+                ShardResp::Blocked { holder, .. } => {
+                    self.run_multi(&holder);
+                }
+                r => unreachable!("put answered {r:?}"),
+            }
+        }
+    }
+
+    /// Compare-and-set one key (`None` = absent on either side).
+    /// Returns `(succeeded, previous value)`.
+    pub fn cas(
+        &mut self,
+        key: K,
+        expect: Option<V>,
+        new: Option<V>,
+    ) -> (bool, Option<V>) {
+        loop {
+            failpoint!("store::route");
+            let s = route(self.seed, self.nshards(), &key);
+            let op = ShardOp::Cas {
+                key: key.clone(),
+                expect: expect.clone(),
+                new: new.clone(),
+                ctx: self.ctx(),
+            };
+            match self.invoke(s, op) {
+                ShardResp::CasResult { ok, prev, .. } => return (ok, prev),
+                ShardResp::Blocked { holder, .. } => {
+                    self.run_multi(&holder);
+                }
+                r => unreachable!("cas answered {r:?}"),
+            }
+        }
+    }
+
+    /// Atomically replace one key's value with `merge(current)`,
+    /// returning the previous value.
+    pub fn fetch_update(&mut self, key: K, merge: M) -> Option<V> {
+        loop {
+            failpoint!("store::route");
+            let s = route(self.seed, self.nshards(), &key);
+            let op = ShardOp::Update { key: key.clone(), merge: merge.clone(), ctx: self.ctx() };
+            match self.invoke(s, op) {
+                ShardResp::Prev { prev, .. } => return prev,
+                ShardResp::Blocked { holder, .. } => {
+                    self.run_multi(&holder);
+                }
+                r => unreachable!("fetch_update answered {r:?}"),
+            }
+        }
+    }
+
+    /// Atomically write (`Some`) or remove (`None`) every key in
+    /// `writes`, across any number of shards. Always commits.
+    pub fn multi_put<I>(&mut self, writes: I)
+    where
+        I: IntoIterator<Item = (K, Option<V>)>,
+    {
+        let writes: BTreeMap<K, Option<V>> = writes.into_iter().collect();
+        if writes.is_empty() {
+            return;
+        }
+        let desc = self.describe(BTreeMap::new(), writes);
+        let committed = self.run_multi(&desc);
+        debug_assert!(committed, "an expectation-free multi-op always commits");
+    }
+
+    /// Atomically: if every key in `expects` has the expected value
+    /// (`None` = absent), apply every write in `writes`. Returns
+    /// whether it committed. All-or-nothing across shards.
+    pub fn multi_cas<I, J>(&mut self, expects: I, writes: J) -> bool
+    where
+        I: IntoIterator<Item = (K, Option<V>)>,
+        J: IntoIterator<Item = (K, Option<V>)>,
+    {
+        let expects: BTreeMap<K, Option<V>> = expects.into_iter().collect();
+        let writes: BTreeMap<K, Option<V>> = writes.into_iter().collect();
+        if expects.is_empty() && writes.is_empty() {
+            return true;
+        }
+        let desc = self.describe(expects, writes);
+        self.run_multi(&desc)
+    }
+
+    fn describe(
+        &mut self,
+        expects: BTreeMap<K, Option<V>>,
+        writes: BTreeMap<K, Option<V>>,
+    ) -> MultiDesc<K, V> {
+        let n = self.nshards();
+        let mut shards: Vec<usize> = expects
+            .keys()
+            .chain(writes.keys())
+            .map(|k| route(self.seed, n, k))
+            .collect();
+        shards.sort_unstable();
+        shards.dedup();
+        MultiDesc {
+            id: MultiId(self.multi_seq.fetch_add(1, Ordering::SeqCst)),
+            expects,
+            writes,
+            shards,
+        }
+    }
+
+    /// Drive `desc` to resolution — as initiator or helper; the
+    /// protocol is identical and every step idempotent.
+    ///
+    /// Phase 1 prepares in ascending shard order (the canonical lock
+    /// order — see DESIGN §13 for why no cycle of blocked multi-ops
+    /// can form). `Resolved` short-circuits: someone finished the
+    /// verdict already, but phase 2 still visits every shard because
+    /// the finisher may have crashed mid-resolve. A `Blocked` prepare
+    /// recursively helps the older holder first. Phase 2 decides the
+    /// unanimous verdict everywhere; `Resolve` acks are idempotent.
+    fn run_multi(&mut self, desc: &MultiDesc<K, V>) -> bool {
+        let mut verdict: Option<bool> = None;
+        let mut all = true;
+        for &s in &desc.shards {
+            if verdict.is_some() {
+                break;
+            }
+            loop {
+                failpoint!("store::multi");
+                let op = ShardOp::Prepare { desc: desc.clone(), ctx: self.ctx() };
+                match self.invoke(s, op) {
+                    ShardResp::Vote { ok, .. } => {
+                        all &= ok;
+                        break;
+                    }
+                    ShardResp::Resolved { commit, .. } => {
+                        verdict = Some(commit);
+                        break;
+                    }
+                    ShardResp::Blocked { holder, .. } => {
+                        self.run_multi(&holder);
+                    }
+                    r => unreachable!("prepare answered {r:?}"),
+                }
+            }
+        }
+        let commit = verdict.unwrap_or(all);
+        for &s in &desc.shards {
+            failpoint!("store::multi");
+            let op = ShardOp::Resolve { id: desc.id, commit, ctx: self.ctx() };
+            match self.invoke(s, op) {
+                ShardResp::Ack { .. } => {}
+                r => unreachable!("resolve answered {r:?}"),
+            }
+        }
+        commit
+    }
+
+    /// Take a consistent global snapshot: open a fresh epoch, decide a
+    /// marker into every shard's log (ascending — any fixed order
+    /// works; consistency comes from the stamp rule, not marker
+    /// order), repair torn multi-ops, and assemble the union map.
+    ///
+    /// Wait-free: one epoch fetch-add plus one wait-free decide per
+    /// shard; assembly is local. A client that crashes mid-snapshot
+    /// leaves at most unconsumed early captures behind (reclaimed when
+    /// a later marker for that epoch arrives — never, if it doesn't;
+    /// one map clone per shard is the leak bound per crashed
+    /// snapshot).
+    pub fn snapshot(&mut self) -> Snapshot<K, V> {
+        let epoch = self.epoch.fetch_add(1, Ordering::SeqCst) + 1;
+        let mut parts: Vec<SnapPart<K, V>> = Vec::with_capacity(self.nshards());
+        let mut marker_positions = Vec::with_capacity(self.nshards());
+        for s in 0..self.nshards() {
+            failpoint!("store::snapshot");
+            match self.invoke(s, ShardOp::Marker { epoch }) {
+                ShardResp::Part(p) => {
+                    parts.push(*p);
+                    marker_positions.push(self.shards[s].last_decided_position());
+                }
+                r => unreachable!("marker answered {r:?}"),
+            }
+        }
+        repair_torn(&mut parts, self.seed);
+        #[cfg(debug_assertions)]
+        check_cut(&parts);
+        let mut map = BTreeMap::new();
+        for p in &mut parts {
+            map.append(&mut p.map);
+        }
+        Snapshot { epoch, map, marker_positions }
+    }
+
+    /// Retire every per-shard registration (PR 6 dynamic membership).
+    /// Idempotent; later ops panic with `Retired`.
+    pub fn retire(&mut self) {
+        for h in &mut self.shards {
+            h.retire();
+        }
+    }
+
+    /// Worst single-invoke threading-step count over all shard handles
+    /// (the helping-bound diagnostic, max across shards).
+    #[must_use]
+    pub fn max_threading_steps(&self) -> usize {
+        self.shards.iter().map(WfHandle::max_threading_steps).max().unwrap_or(0)
+    }
+
+    /// Total consensus decides across all shard handles.
+    #[must_use]
+    pub fn decides(&self) -> usize {
+        self.shards.iter().map(WfHandle::decides).sum()
+    }
+
+    /// The underlying per-shard handle (diagnostics, tests).
+    #[must_use]
+    pub fn shard_handle(&self, s: usize) -> &WfHandle<ShardState<K, V, M>> {
+        &self.shards[s]
+    }
+}
+
+fn resp_version<K: Ord, V>(resp: &ShardResp<K, V>) -> u64 {
+    match resp {
+        ShardResp::Value { version, .. }
+        | ShardResp::Prev { version, .. }
+        | ShardResp::CasResult { version, .. }
+        | ShardResp::Vote { version, .. }
+        | ShardResp::Resolved { version, .. }
+        | ShardResp::Blocked { version, .. }
+        | ShardResp::Ack { version } => *version,
+        ShardResp::Part(p) => p.version,
+    }
+}
+
+/// Torn-multi repair: a multi-op committed in one part must be applied
+/// in every involved part of the same cut.
+///
+/// Why the needed data is always there: `Resolve(commit)` is only sent
+/// after `Prepare` decided on *every* involved shard, so if a part
+/// shows the commit, the cut's stamp-rule consistency guarantees every
+/// other involved part contains at least the `Prepare` (pending) if
+/// not the commit itself — a part missing both would mean the cut
+/// included an effect while excluding something that happens-before
+/// it. The repair applies the pending descriptor's local writes, which
+/// is exactly what that shard's `Resolve` will do after the cut.
+/// Multi-ops pending in every part are consistently *excluded*.
+fn repair_torn<K, V>(parts: &mut [SnapPart<K, V>], seed: u64)
+where
+    K: Clone + Ord + Hash + Debug,
+    V: Clone + Eq + Hash + Debug,
+{
+    let nshards = parts.len();
+    // Verdicts visible in the cut: id → involved shards.
+    let mut committed: BTreeMap<MultiId, Vec<usize>> = BTreeMap::new();
+    for p in parts.iter() {
+        for (id, shards) in &p.applied {
+            committed.entry(*id).or_insert_with(|| shards.clone());
+        }
+    }
+    for (id, shards) in &committed {
+        for &t in shards {
+            let part = &mut parts[t];
+            if part.applied.contains_key(id) {
+                continue;
+            }
+            let pm = part.pending.remove(id).unwrap_or_else(|| {
+                panic!(
+                    "torn multi {id:?}: committed in the cut but neither \
+                     applied nor pending on involved shard {t} — the cut \
+                     is inconsistent"
+                )
+            });
+            for (k, w) in &pm.desc.writes {
+                if route(seed, nshards, k) != t {
+                    continue;
+                }
+                match w {
+                    Some(v) => {
+                        part.map.insert(k.clone(), v.clone());
+                    }
+                    None => {
+                        part.map.remove(k);
+                    }
+                }
+            }
+            part.applied.insert(*id, pm.desc.shards.clone());
+        }
+    }
+}
+
+/// Debug-mode vector-clock cut check: for every pair of shards, the
+/// knowledge shard `s` had of shard `t` at its capture must not exceed
+/// what shard `t`'s capture actually contains — `know[s][t] <=
+/// version[t]`, the classic consistent-cut condition (the same
+/// invariant `waitfree_sched::hb`'s vector clocks enforce on memory
+/// traces, applied at shard granularity).
+#[cfg(debug_assertions)]
+fn check_cut<K: Ord, V>(parts: &[SnapPart<K, V>]) {
+    for (s, p) in parts.iter().enumerate() {
+        for (&t, &known) in &p.know {
+            let actual = parts.get(t).map_or(0, |q| q.version);
+            assert!(
+                known <= actual,
+                "inconsistent cut: shard {s} captured knowledge of shard {t} \
+                 at version {known}, but shard {t}'s capture is at version \
+                 {actual}"
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn store(shards: usize) -> ShardedStore<u64, i64, Bump> {
+        ShardedStore::new(&StoreConfig { shards, ..StoreConfig::default() })
+    }
+
+    #[test]
+    fn single_key_ops_roundtrip() {
+        let st = store(4);
+        let mut h = st.handle();
+        assert_eq!(h.get(&1), None);
+        assert_eq!(h.put(1, 10), None);
+        assert_eq!(h.put(1, 11), Some(10));
+        assert_eq!(h.get(&1), Some(11));
+        assert_eq!(h.remove(&1), Some(11));
+        assert_eq!(h.get(&1), None);
+    }
+
+    #[test]
+    fn cas_semantics() {
+        let st = store(4);
+        let mut h = st.handle();
+        assert_eq!(h.cas(7, None, Some(1)), (true, None));
+        assert_eq!(h.cas(7, None, Some(2)), (false, Some(1)));
+        assert_eq!(h.cas(7, Some(1), Some(2)), (true, Some(1)));
+        assert_eq!(h.cas(7, Some(2), None), (true, Some(2)));
+        assert_eq!(h.get(&7), None);
+    }
+
+    #[test]
+    fn fetch_update_bumps() {
+        let st = store(4);
+        let mut h = st.handle();
+        assert_eq!(h.fetch_update(3, Bump(5)), None);
+        assert_eq!(h.fetch_update(3, Bump(-2)), Some(5));
+        assert_eq!(h.get(&3), Some(3));
+    }
+
+    #[test]
+    fn multi_put_spans_shards() {
+        let st = store(4);
+        let mut h = st.handle();
+        // 0..16 covers all 4 shards with high probability under any seed.
+        h.multi_put((0..16u64).map(|k| (k, Some(k as i64 * 100))));
+        for k in 0..16u64 {
+            assert_eq!(h.get(&k), Some(k as i64 * 100));
+        }
+        h.multi_put((0..16u64).map(|k| (k, None)));
+        for k in 0..16u64 {
+            assert_eq!(h.get(&k), None);
+        }
+    }
+
+    #[test]
+    fn multi_cas_commits_and_aborts_atomically() {
+        let st = store(4);
+        let mut h = st.handle();
+        h.multi_put([(1u64, Some(1i64)), (2, Some(2)), (3, Some(3))]);
+        // Abort: one expectation wrong → nothing applied.
+        assert!(!h.multi_cas(
+            [(1, Some(1)), (2, Some(99))],
+            [(1, Some(-1)), (2, Some(-2))],
+        ));
+        assert_eq!(h.get(&1), Some(1));
+        assert_eq!(h.get(&2), Some(2));
+        // Commit: all expectations hold → all writes applied.
+        assert!(h.multi_cas(
+            [(1, Some(1)), (2, Some(2)), (3, Some(3))],
+            [(1, Some(-1)), (2, None), (3, Some(-3))],
+        ));
+        assert_eq!(h.get(&1), Some(-1));
+        assert_eq!(h.get(&2), None);
+        assert_eq!(h.get(&3), Some(-3));
+    }
+
+    #[test]
+    fn snapshot_sees_all_prior_writes() {
+        let st = store(4);
+        let mut h = st.handle();
+        for k in 0..32u64 {
+            h.put(k, k as i64);
+        }
+        let snap = h.snapshot();
+        assert_eq!(snap.epoch, 1);
+        assert_eq!(snap.map.len(), 32);
+        for k in 0..32u64 {
+            assert_eq!(snap.map.get(&k), Some(&(k as i64)));
+        }
+        assert_eq!(snap.marker_positions.len(), 4);
+        assert!(snap.marker_positions.iter().all(Option::is_some));
+        // A later snapshot gets a later epoch and the same data.
+        let snap2 = h.snapshot();
+        assert_eq!(snap2.epoch, 2);
+        assert_eq!(snap2.map, snap.map);
+    }
+
+    #[test]
+    fn snapshot_excludes_later_writes_from_other_handles() {
+        let st = store(4);
+        let mut a = st.handle();
+        let mut b = st.handle();
+        a.put(1, 1);
+        let snap = a.snapshot();
+        b.put(2, 2);
+        assert_eq!(snap.map.get(&1), Some(&1));
+        assert_eq!(snap.map.get(&2), None);
+        let snap2 = b.snapshot();
+        assert_eq!(snap2.map.get(&2), Some(&2));
+    }
+
+    #[test]
+    fn single_shard_store_works() {
+        let st = store(1);
+        let mut h = st.handle();
+        h.multi_put([(1u64, Some(1i64)), (2, Some(2))]);
+        assert!(h.multi_cas([(1, Some(1))], [(1, Some(10)), (2, Some(20))]));
+        let snap = h.snapshot();
+        assert_eq!(snap.map.get(&1), Some(&10));
+        assert_eq!(snap.map.get(&2), Some(&20));
+    }
+
+    #[test]
+    fn handles_retire_cleanly() {
+        let st = store(2);
+        let mut h = st.handle();
+        h.put(1, 1);
+        h.retire();
+        for s in 0..2 {
+            assert!(st.shard(s).active_handles() == 0);
+        }
+    }
+
+    #[test]
+    fn checkpointed_shards_truncate() {
+        let st: ShardedStore<u64, i64, Bump> = ShardedStore::new(&StoreConfig {
+            shards: 2,
+            checkpoint_every: Some(8),
+            ..StoreConfig::default()
+        });
+        let mut h = st.handle();
+        for i in 0..2000u64 {
+            h.put(i % 64, i as i64);
+        }
+        let total_ckpts: usize = (0..2).map(|s| st.shard(s).checkpoints()).sum();
+        assert!(total_ckpts > 0, "checkpoint cadence never fired");
+        h.retire();
+        let mut h2 = st.handle();
+        let reclaimed: usize = (0..2).map(|s| st.shard(s).reclaimed_segments()).sum();
+        assert!(reclaimed > 0, "no shard segment was ever reclaimed");
+        // A late joiner adopting a checkpoint still reads everything.
+        for i in 1936..2000u64 {
+            assert_eq!(h2.get(&(i % 64)), Some(i as i64));
+        }
+    }
+}

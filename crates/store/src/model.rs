@@ -1,0 +1,140 @@
+//! Sequential whole-store reference model.
+//!
+//! [`StoreModel`] is the *specification* a `ShardedStore` must be
+//! linearizable against: one flat map, every op (including multi-key
+//! ops and whole-store snapshots) atomic. The sched campaigns in
+//! `tests/sched_linearizability.rs` record store-API-granularity
+//! histories against the real sharded implementation and hand them to
+//! the Wing–Gong checker with this model — so a torn multi-op or an
+//! inconsistent snapshot shows up directly as a non-linearizable
+//! history, not just as a bespoke assertion.
+
+use std::collections::BTreeMap;
+use std::fmt::Debug;
+use std::hash::Hash;
+use std::marker::PhantomData;
+
+use waitfree_model::{ObjectSpec, Pid};
+
+use crate::spec::Merge;
+
+/// Whole-store operations at the public API granularity.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub enum StoreOp<K: Ord, V, M> {
+    Get(K),
+    Put(K, V),
+    Remove(K),
+    Cas { key: K, expect: Option<V>, new: Option<V> },
+    Update(K, M),
+    /// Unconditional multi-key write (`None` = remove).
+    MultiPut(BTreeMap<K, Option<V>>),
+    /// All-or-nothing conditional multi-key write.
+    MultiCas {
+        expects: BTreeMap<K, Option<V>>,
+        writes: BTreeMap<K, Option<V>>,
+    },
+    Snapshot,
+}
+
+/// Whole-store responses.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub enum StoreResp<K: Ord, V> {
+    Value(Option<V>),
+    Prev(Option<V>),
+    Cas { ok: bool, prev: Option<V> },
+    Done(bool),
+    Snap(BTreeMap<K, V>),
+}
+
+/// The atomic flat-map state. See module docs.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct StoreModel<K: Ord, V, M = ()> {
+    pub map: BTreeMap<K, V>,
+    _merge: PhantomData<M>,
+}
+
+impl<K: Ord, V, M> Default for StoreModel<K, V, M> {
+    fn default() -> Self {
+        StoreModel { map: BTreeMap::new(), _merge: PhantomData }
+    }
+}
+
+impl<K: Ord, V, M> StoreModel<K, V, M> {
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl<K, V, M> StoreModel<K, V, M>
+where
+    K: Clone + Ord,
+    V: Clone,
+{
+    fn write(&mut self, key: &K, val: &Option<V>) {
+        match val {
+            Some(v) => {
+                self.map.insert(key.clone(), v.clone());
+            }
+            None => {
+                self.map.remove(key);
+            }
+        }
+    }
+}
+
+impl<K, V, M> ObjectSpec for StoreModel<K, V, M>
+where
+    K: Clone + Ord + Hash + Debug,
+    V: Clone + Eq + Hash + Debug,
+    M: Merge<V>,
+{
+    type Op = StoreOp<K, V, M>;
+    type Resp = StoreResp<K, V>;
+
+    fn apply(&mut self, _pid: Pid, op: &Self::Op) -> Self::Resp {
+        match op {
+            StoreOp::Get(k) => StoreResp::Value(self.map.get(k).cloned()),
+            StoreOp::Put(k, v) => {
+                StoreResp::Prev(self.map.insert(k.clone(), v.clone()))
+            }
+            StoreOp::Remove(k) => StoreResp::Prev(self.map.remove(k)),
+            StoreOp::Cas { key, expect, new } => {
+                let prev = self.map.get(key).cloned();
+                let ok = prev == *expect;
+                if ok {
+                    self.write(key, new);
+                }
+                StoreResp::Cas { ok, prev }
+            }
+            StoreOp::Update(k, m) => {
+                let prev = self.map.get(k).cloned();
+                match m.merge(prev.as_ref()) {
+                    Some(v) => {
+                        self.map.insert(k.clone(), v);
+                    }
+                    None => {
+                        self.map.remove(k);
+                    }
+                }
+                StoreResp::Prev(prev)
+            }
+            StoreOp::MultiPut(writes) => {
+                for (k, w) in writes {
+                    self.write(k, w);
+                }
+                StoreResp::Done(true)
+            }
+            StoreOp::MultiCas { expects, writes } => {
+                let ok = expects.iter().all(|(k, e)| self.map.get(k) == e.as_ref());
+                if ok {
+                    for (k, w) in writes {
+                        self.write(k, w);
+                    }
+                }
+                StoreResp::Done(ok)
+            }
+            StoreOp::Snapshot => StoreResp::Snap(self.map.clone()),
+        }
+    }
+}

@@ -1,0 +1,101 @@
+//! Seeded key→shard partitioner.
+//!
+//! Routing must be a pure function of `(seed, shard count, key)` — it
+//! runs both in the front-end (to pick a log) and inside the shard
+//! state machine (to filter a multi-op descriptor down to the keys a
+//! given shard owns), and every replica of a shard's state must route
+//! identically or replay diverges. That rules out
+//! `std::collections::hash_map::DefaultHasher`, whose output is
+//! per-process randomized; we hand-roll 64-bit FNV-1a with the seed
+//! folded into the offset basis instead.
+
+use std::hash::{Hash, Hasher};
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Deterministic 64-bit FNV-1a, seeded. Implements [`Hasher`] so any
+/// `Hash` key feeds it through the standard derive.
+#[derive(Debug, Clone)]
+pub struct SeededFnv(u64);
+
+impl SeededFnv {
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        // Fold the seed in as if it were the first 8 bytes of input, so
+        // distinct seeds give unrelated (not merely shifted) functions.
+        let mut h = SeededFnv(FNV_OFFSET);
+        h.write_u64(seed);
+        h
+    }
+}
+
+impl Hasher for SeededFnv {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(FNV_PRIME);
+        }
+    }
+}
+
+/// The shard owning `key` under `seed`, in `0..shards`.
+///
+/// # Panics
+/// If `shards == 0`.
+#[must_use]
+pub fn route<K: Hash + ?Sized>(seed: u64, shards: usize, key: &K) -> usize {
+    assert!(shards > 0, "a store has at least one shard");
+    let mut h = SeededFnv::new(seed);
+    key.hash(&mut h);
+    // Map to the range by multiply-shift rather than modulo: FNV's low
+    // bits are its weakest, and this uses the full word.
+    ((u128::from(h.finish()) * shards as u128) >> 64) as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_across_hasher_instances() {
+        for seed in [0u64, 1, 0xdead_beef] {
+            for key in 0..200u64 {
+                assert_eq!(route(seed, 4, &key), route(seed, 4, &key));
+            }
+        }
+    }
+
+    #[test]
+    fn one_shard_routes_everything_to_zero() {
+        for key in 0..100u64 {
+            assert_eq!(route(7, 1, &key), 0);
+        }
+    }
+
+    #[test]
+    fn spreads_keys_across_shards() {
+        let shards = 4;
+        let mut counts = vec![0usize; shards];
+        for key in 0..4000u64 {
+            counts[route(42, shards, &key)] += 1;
+        }
+        // Loose balance bound: every shard sees at least half its fair
+        // share of a uniform key space.
+        for (s, &c) in counts.iter().enumerate() {
+            assert!(c >= 500, "shard {s} got only {c}/4000 keys");
+        }
+    }
+
+    #[test]
+    fn seed_changes_the_partition() {
+        let moved = (0..1000u64)
+            .filter(|k| route(1, 8, k) != route(2, 8, k))
+            .count();
+        assert!(moved > 500, "seeds 1 and 2 agree on {} of 1000 keys", 1000 - moved);
+    }
+}

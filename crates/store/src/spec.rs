@@ -1,0 +1,476 @@
+//! The per-shard replicated state machine.
+//!
+//! Each shard of a [`ShardedStore`](crate::ShardedStore) is one
+//! `WfUniversal<ShardState<K, V, M>>`: a deterministic sequential
+//! object decided into a consensus log and replayed identically by
+//! every client. Everything the store guarantees — multi-key atomicity
+//! and consistent snapshots included — is therefore expressed as *state
+//! transitions of this machine*; the front-end in `lib.rs` only chooses
+//! which ops to decide where.
+//!
+//! Three op families:
+//!
+//! * **Single-key** ([`ShardOp::Get`]/[`Put`](ShardOp::Put)/
+//!   [`Cas`](ShardOp::Cas)/[`Update`](ShardOp::Update)) read or mutate
+//!   `map` directly. A mutator targeting a key locked by an in-flight
+//!   multi-op returns [`ShardResp::Blocked`] with the full holder
+//!   descriptor — enough for the caller to *help* the multi-op to
+//!   completion and retry. Reads never block: a pending multi has
+//!   written nothing yet, so a `Get` linearizes before its resolve.
+//!
+//! * **Multi-key two-phase** ([`ShardOp::Prepare`]/[`Resolve`](ShardOp::Resolve)).
+//!   `Prepare` atomically locks every locally-owned key of the
+//!   descriptor, evaluates the local expectations, and records an
+//!   immutable vote. `Resolve` applies the writes (on commit), frees
+//!   the locks, and leaves a tombstone. Both are idempotent under
+//!   helping: a duplicate `Prepare` returns the recorded vote, a
+//!   duplicate `Resolve` acks. Votes are recorded exactly once per
+//!   shard, so every resolver — initiator or helper — computes the
+//!   same commit verdict.
+//!
+//! * **Snapshot markers** ([`ShardOp::Marker`]). Deciding `Marker{e}`
+//!   captures this shard's contribution to global snapshot `e`
+//!   ([`SnapPart`]). Consistency across shards is the *stamp rule*:
+//!   every mutating op carries the epoch its client read **before**
+//!   invoking ([`Ctx::epoch`]), and a mutation stamped `>= e` that gets
+//!   decided before shard-local marker `e` triggers a pre-mutation
+//!   *early capture* — the part is photographed before the mutation
+//!   applies, so the straggler is excluded. See DESIGN §13 for the
+//!   argument that this yields a causally consistent cut.
+//!
+//! All maps are `BTreeMap`/`BTreeSet` (not hash maps): the state must
+//! be `Eq + Hash` for the linearizability checker, and iteration order
+//! must be deterministic for replay.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt::Debug;
+use std::hash::Hash;
+use std::marker::PhantomData;
+
+use waitfree_model::{ObjectSpec, Pid};
+
+use crate::router::route;
+
+/// Store-wide unique identity of one multi-key operation, drawn from a
+/// shared counter so helpers and initiators name the same attempt.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct MultiId(pub u64);
+
+/// Causal context stamped on every mutating op by the invoking client.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct Ctx {
+    /// The store epoch counter as read by the client immediately before
+    /// this invoke. Drives snapshot early-capture (see module docs).
+    pub epoch: u64,
+    /// Shard versions this client has observed (from prior responses).
+    /// Merged into [`ShardState::know`] so the debug-mode cut check can
+    /// verify the snapshot against real cross-shard dependencies.
+    pub know: BTreeMap<usize, u64>,
+}
+
+/// Full description of one multi-key atomic op, replicated to every
+/// involved shard so *any* client holding it can finish the op.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct MultiDesc<K: Ord, V> {
+    pub id: MultiId,
+    /// Per-key expectations (`None` = absent) evaluated at prepare
+    /// time; empty for an unconditional `multi_put`.
+    pub expects: BTreeMap<K, Option<V>>,
+    /// Per-key writes applied on commit (`None` = remove).
+    pub writes: BTreeMap<K, Option<V>>,
+    /// Involved shards, ascending — the canonical lock order. Recorded
+    /// here (not recomputed) so snapshot assembly can check
+    /// all-or-nothing application against the intended shard set.
+    pub shards: Vec<usize>,
+}
+
+impl<K: Ord + Hash, V> MultiDesc<K, V> {
+    /// Keys of this descriptor owned by `shard` (expects ∪ writes).
+    fn local_keys(&self, seed: u64, nshards: usize, shard: usize) -> Vec<&K> {
+        let mut keys: Vec<&K> = self
+            .expects
+            .keys()
+            .chain(self.writes.keys())
+            .filter(|k| route(seed, nshards, *k) == shard)
+            .collect();
+        keys.sort();
+        keys.dedup();
+        keys
+    }
+}
+
+/// A prepared-but-unresolved multi-op on one shard.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct PendingMulti<K: Ord, V> {
+    pub desc: MultiDesc<K, V>,
+    /// This shard's vote, fixed at first prepare: local expectations
+    /// held. Immutable thereafter — locks keep the inputs stable.
+    pub vote: bool,
+}
+
+/// One shard's contribution to a global snapshot.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct SnapPart<K: Ord, V> {
+    pub epoch: u64,
+    pub map: BTreeMap<K, V>,
+    /// Multi-ops prepared but not yet resolved at the cut. Snapshot
+    /// assembly patches these against `applied` elsewhere (torn-multi
+    /// repair) — see [`crate::ShardedStore`] docs.
+    pub pending: BTreeMap<MultiId, PendingMulti<K, V>>,
+    /// Committed multi-ops (id → involved shards).
+    pub applied: BTreeMap<MultiId, Vec<usize>>,
+    /// Mutation counter at the cut.
+    pub version: u64,
+    /// Observed-shard-version vector at the cut (debug cut check).
+    pub know: BTreeMap<usize, u64>,
+}
+
+/// How [`ShardedStore::fetch_update`](crate::ShardedStore) transforms a
+/// value. A merge is data, not a closure: it travels inside log
+/// entries, so it must be `Eq + Hash + Debug` like any other op
+/// payload, and `merge` must be deterministic.
+pub trait Merge<V>: Clone + Eq + Hash + Debug {
+    /// New value (`None` = remove) from the current one.
+    fn merge(&self, current: Option<&V>) -> Option<V>;
+}
+
+/// The identity merge: `fetch_update` with `()` is a plain read that
+/// still decides through the log (a linearization witness).
+impl<V: Clone> Merge<V> for () {
+    fn merge(&self, current: Option<&V>) -> Option<V> {
+        current.cloned()
+    }
+}
+
+/// Saturating-free additive merge for `i64` values, treating absent as
+/// zero. The workhorse of the exact-count fault postconditions.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct Bump(pub i64);
+
+impl Merge<i64> for Bump {
+    fn merge(&self, current: Option<&i64>) -> Option<i64> {
+        Some(current.copied().unwrap_or(0) + self.0)
+    }
+}
+
+/// Operations decided into one shard's log.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub enum ShardOp<K: Ord, V, M> {
+    Get { key: K },
+    /// Write (`Some`) or remove (`None`) one key.
+    Put { key: K, val: Option<V>, ctx: Ctx },
+    Cas { key: K, expect: Option<V>, new: Option<V>, ctx: Ctx },
+    Update { key: K, merge: M, ctx: Ctx },
+    Prepare { desc: MultiDesc<K, V>, ctx: Ctx },
+    Resolve { id: MultiId, commit: bool, ctx: Ctx },
+    Marker { epoch: u64 },
+}
+
+/// Responses from one shard. Every variant carries the shard `version`
+/// at response time so clients maintain their observed-version vector.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub enum ShardResp<K: Ord, V> {
+    /// `Get` result.
+    Value { val: Option<V>, version: u64 },
+    /// Previous value from `Put`/`Update`.
+    Prev { prev: Option<V>, version: u64 },
+    /// `Cas` outcome.
+    CasResult { ok: bool, prev: Option<V>, version: u64 },
+    /// `Prepare` accepted; this shard's vote.
+    Vote { ok: bool, version: u64 },
+    /// `Prepare` raced a finished multi: the recorded verdict.
+    Resolved { commit: bool, version: u64 },
+    /// The key (or a descriptor key) is locked by another in-flight
+    /// multi-op; the full holder descriptor enables helping.
+    Blocked { holder: Box<MultiDesc<K, V>>, version: u64 },
+    /// `Resolve` applied (or was already applied).
+    Ack { version: u64 },
+    /// `Marker` capture.
+    Part(Box<SnapPart<K, V>>),
+}
+
+/// The shard state machine. See module docs.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct ShardState<K: Ord, V, M> {
+    /// This replica's shard index and the routing parameters — constants
+    /// after construction, carried in-state so `apply` can route
+    /// descriptor keys without out-of-band context.
+    shard: usize,
+    nshards: usize,
+    seed: u64,
+    /// Mutation counter: bumped by every state-changing transition.
+    version: u64,
+    map: BTreeMap<K, V>,
+    /// Key → holder of in-flight multi-op locks. A key appears here iff
+    /// its holder is in `pending`.
+    locks: BTreeMap<K, MultiId>,
+    pending: BTreeMap<MultiId, PendingMulti<K, V>>,
+    /// Commit tombstones (id → involved shards). Kept for the life of
+    /// the state: an arbitrarily stalled helper may re-send `Prepare`
+    /// or `Resolve` for an ancient multi, and forgetting the verdict
+    /// would re-lock keys or re-apply writes. Checkpoint/truncation of
+    /// the *log* (PR 7) is unaffected — tombstones live in the state
+    /// image, and one id costs a handful of words.
+    applied: BTreeMap<MultiId, Vec<usize>>,
+    /// Abort tombstones, same retention argument.
+    aborted: BTreeSet<MultiId>,
+    /// Max observed version per shard over all ops applied here.
+    know: BTreeMap<usize, u64>,
+    /// Snapshot bookkeeping: every epoch `<= snap_floor` has its marker
+    /// applied here; `snap_done` holds applied epochs above the floor.
+    snap_floor: u64,
+    snap_done: BTreeSet<u64>,
+    /// Pre-mutation captures for epochs whose marker has not reached
+    /// this shard but whose existence a straggling mutation revealed
+    /// (stamp rule, module docs). Claimed and removed by the marker.
+    early: BTreeMap<u64, SnapPart<K, V>>,
+    _merge: PhantomData<M>,
+}
+
+impl<K, V, M> ShardState<K, V, M>
+where
+    K: Clone + Ord + Hash + Debug,
+    V: Clone + Eq + Hash + Debug,
+    M: Merge<V>,
+{
+    #[must_use]
+    pub fn new(shard: usize, nshards: usize, seed: u64) -> Self {
+        ShardState {
+            shard,
+            nshards,
+            seed,
+            version: 0,
+            map: BTreeMap::new(),
+            locks: BTreeMap::new(),
+            pending: BTreeMap::new(),
+            applied: BTreeMap::new(),
+            aborted: BTreeSet::new(),
+            know: BTreeMap::new(),
+            snap_floor: 0,
+            snap_done: BTreeSet::new(),
+            early: BTreeMap::new(),
+            _merge: PhantomData,
+        }
+    }
+
+    /// Photograph the capture-relevant state *now*.
+    fn part_now(&self, epoch: u64) -> SnapPart<K, V> {
+        SnapPart {
+            epoch,
+            map: self.map.clone(),
+            pending: self.pending.clone(),
+            applied: self.applied.clone(),
+            version: self.version,
+            know: self.know.clone(),
+        }
+    }
+
+    /// The stamp rule: a mutation stamped `stamp` proves every epoch in
+    /// `(snap_floor, stamp]` was opened before it ran. Any such epoch
+    /// whose marker has not reached this shard gets an early capture of
+    /// the **pre-mutation** state, excluding the mutation from the cut.
+    fn pre_capture(&mut self, stamp: u64) {
+        let mut e = self.snap_floor + 1;
+        while e <= stamp {
+            if !self.snap_done.contains(&e) && !self.early.contains_key(&e) {
+                let part = self.part_now(e);
+                self.early.insert(e, part);
+            }
+            e += 1;
+        }
+    }
+
+    /// Apply a mutating op's context: early-capture first (so an
+    /// excluded op's effects — including its knowledge — stay out of
+    /// the cut), then merge the client's observed-version vector.
+    fn absorb(&mut self, ctx: &Ctx) {
+        self.pre_capture(ctx.epoch);
+        for (&s, &v) in &ctx.know {
+            let e = self.know.entry(s).or_insert(0);
+            if v > *e {
+                *e = v;
+            }
+        }
+    }
+
+    /// The holder descriptor blocking `key`, if any.
+    fn holder_of(&self, key: &K) -> Option<Box<MultiDesc<K, V>>> {
+        let id = self.locks.get(key)?;
+        let pm = self
+            .pending
+            .get(id)
+            .expect("a locked key's holder is pending (lock/pending invariant)");
+        Some(Box::new(pm.desc.clone()))
+    }
+
+    fn apply_writes_of(&mut self, desc: &MultiDesc<K, V>) {
+        for (k, w) in &desc.writes {
+            if route(self.seed, self.nshards, k) != self.shard {
+                continue;
+            }
+            match w {
+                Some(v) => {
+                    self.map.insert(k.clone(), v.clone());
+                }
+                None => {
+                    self.map.remove(k);
+                }
+            }
+        }
+    }
+
+    fn prepare(&mut self, desc: &MultiDesc<K, V>) -> ShardResp<K, V> {
+        let id = desc.id;
+        if let Some(shards) = self.applied.get(&id) {
+            debug_assert_eq!(shards, &desc.shards);
+            return ShardResp::Resolved { commit: true, version: self.version };
+        }
+        if self.aborted.contains(&id) {
+            return ShardResp::Resolved { commit: false, version: self.version };
+        }
+        if let Some(pm) = self.pending.get(&id) {
+            return ShardResp::Vote { ok: pm.vote, version: self.version };
+        }
+        let local = desc.local_keys(self.seed, self.nshards, self.shard);
+        for k in &local {
+            if let Some(holder) = self.locks.get(*k) {
+                if *holder != id {
+                    let holder = self
+                        .holder_of(*k)
+                        .expect("locked key has a pending holder");
+                    return ShardResp::Blocked { holder, version: self.version };
+                }
+            }
+        }
+        let vote = desc
+            .expects
+            .iter()
+            .filter(|(k, _)| route(self.seed, self.nshards, k) == self.shard)
+            .all(|(k, expect)| self.map.get(k) == expect.as_ref());
+        for k in local {
+            self.locks.insert(k.clone(), id);
+        }
+        self.pending.insert(id, PendingMulti { desc: desc.clone(), vote });
+        self.version += 1;
+        ShardResp::Vote { ok: vote, version: self.version }
+    }
+
+    fn resolve(&mut self, id: MultiId, commit: bool) -> ShardResp<K, V> {
+        if self.applied.contains_key(&id) || self.aborted.contains(&id) {
+            return ShardResp::Ack { version: self.version };
+        }
+        let Some(pm) = self.pending.remove(&id) else {
+            // A resolve is only ever sent after a prepare decided on
+            // this same log, so the id is pending or tombstoned; keep
+            // the machine total anyway (apply never panics the log).
+            return ShardResp::Ack { version: self.version };
+        };
+        for k in pm.desc.local_keys(self.seed, self.nshards, self.shard) {
+            if self.locks.get(k) == Some(&id) {
+                self.locks.remove(k);
+            }
+        }
+        if commit {
+            self.apply_writes_of(&pm.desc);
+            self.applied.insert(id, pm.desc.shards.clone());
+        } else {
+            self.aborted.insert(id);
+        }
+        self.version += 1;
+        ShardResp::Ack { version: self.version }
+    }
+
+    fn marker(&mut self, e: u64) -> ShardResp<K, V> {
+        let part = match self.early.remove(&e) {
+            Some(p) => p,
+            None => self.part_now(e),
+        };
+        if e > self.snap_floor {
+            self.snap_done.insert(e);
+            while self.snap_done.remove(&(self.snap_floor + 1)) {
+                self.snap_floor += 1;
+            }
+            // Captures at or below the floor can no longer be claimed.
+            let floor = self.snap_floor;
+            self.early.retain(|&d, _| d > floor);
+        }
+        ShardResp::Part(Box::new(part))
+    }
+}
+
+impl<K, V, M> ObjectSpec for ShardState<K, V, M>
+where
+    K: Clone + Ord + Hash + Debug,
+    V: Clone + Eq + Hash + Debug,
+    M: Merge<V>,
+{
+    type Op = ShardOp<K, V, M>;
+    type Resp = ShardResp<K, V>;
+
+    fn apply(&mut self, _pid: Pid, op: &Self::Op) -> Self::Resp {
+        match op {
+            ShardOp::Get { key } => ShardResp::Value {
+                val: self.map.get(key).cloned(),
+                version: self.version,
+            },
+            ShardOp::Put { key, val, ctx } => {
+                self.absorb(ctx);
+                if let Some(holder) = self.holder_of(key) {
+                    return ShardResp::Blocked { holder, version: self.version };
+                }
+                let prev = match val {
+                    Some(v) => self.map.insert(key.clone(), v.clone()),
+                    None => self.map.remove(key),
+                };
+                self.version += 1;
+                ShardResp::Prev { prev, version: self.version }
+            }
+            ShardOp::Cas { key, expect, new, ctx } => {
+                self.absorb(ctx);
+                if let Some(holder) = self.holder_of(key) {
+                    return ShardResp::Blocked { holder, version: self.version };
+                }
+                let prev = self.map.get(key).cloned();
+                let ok = prev == *expect;
+                if ok {
+                    match new {
+                        Some(v) => {
+                            self.map.insert(key.clone(), v.clone());
+                        }
+                        None => {
+                            self.map.remove(key);
+                        }
+                    }
+                    self.version += 1;
+                }
+                ShardResp::CasResult { ok, prev, version: self.version }
+            }
+            ShardOp::Update { key, merge, ctx } => {
+                self.absorb(ctx);
+                if let Some(holder) = self.holder_of(key) {
+                    return ShardResp::Blocked { holder, version: self.version };
+                }
+                let prev = self.map.get(key).cloned();
+                match merge.merge(prev.as_ref()) {
+                    Some(v) => {
+                        self.map.insert(key.clone(), v);
+                    }
+                    None => {
+                        self.map.remove(key);
+                    }
+                }
+                self.version += 1;
+                ShardResp::Prev { prev, version: self.version }
+            }
+            ShardOp::Prepare { desc, ctx } => {
+                self.absorb(ctx);
+                self.prepare(desc)
+            }
+            ShardOp::Resolve { id, commit, ctx } => {
+                self.absorb(ctx);
+                self.resolve(*id, *commit)
+            }
+            ShardOp::Marker { epoch } => self.marker(*epoch),
+        }
+    }
+}

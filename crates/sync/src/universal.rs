@@ -1498,6 +1498,7 @@ impl<S: ObjectSpec> WfUniversal<S> {
             decides: 0,
             cas_failures: 0,
             invokes: 0,
+            last_pos: None,
         }
     }
 
@@ -1627,6 +1628,9 @@ pub struct WfHandle<S: ObjectSpec> {
     cas_failures: usize,
     /// Completed `invoke`/`try_invoke` calls (Ok only).
     invokes: usize,
+    /// Log position whose decide applied this handle's most recent op
+    /// (`None` before the first completed invoke).
+    last_pos: Option<usize>,
 }
 
 // SAFETY: the raw segment/slot pointers cached here always point into
@@ -1753,6 +1757,17 @@ impl<S: ObjectSpec> WfHandle<S> {
     #[must_use]
     pub fn invokes(&self) -> usize {
         self.invokes
+    }
+
+    /// Log position whose decide carried this handle's most recent
+    /// completed op (`None` before the first successful invoke). Under
+    /// batch combining this is the position of the *batch* containing
+    /// the op. Layered protocols use it to relate their own entries to
+    /// log order — e.g. `waitfree-store` reports the per-shard
+    /// positions its snapshot markers were decided at.
+    #[must_use]
+    pub fn last_decided_position(&self) -> Option<usize> {
+        self.last_pos
     }
 
     /// Number of log segments installed so far (each [`SEGMENT_SIZE`]
@@ -2083,6 +2098,9 @@ impl<S: ObjectSpec> WfHandle<S> {
                 }
             }
             if let Some(r) = resp {
+                // `cursor` was already advanced past the position whose
+                // decide carried our op.
+                self.last_pos = Some(self.cursor - 1);
                 self.invokes += 1;
                 // 4. Checkpoint duty + frontier publication: decide a
                 //    checkpoint if the cadence came due, advertise how
@@ -2931,7 +2949,7 @@ mod tests {
             "live segments bounded by frontier spread, got {}",
             obj.live_segments()
         );
-        assert_eq!(h.invoke(CounterOp::Get), CounterResp::Value(per as i64 + 0));
+        assert_eq!(h.invoke(CounterOp::Get), CounterResp::Value(per as i64));
         // The retained decided prefix starts past the truncation point:
         // far fewer pairs than total ops.
         assert!(h.decided_log().len() < per / 2);

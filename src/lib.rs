@@ -14,4 +14,5 @@ pub use waitfree_model as model;
 pub use waitfree_objects as objects;
 pub use waitfree_registers as registers;
 pub use waitfree_sched as sched;
+pub use waitfree_store as store;
 pub use waitfree_sync as sync;

@@ -33,6 +33,14 @@
 //! guard, nothing freed or leaked), each with exact-count
 //! postconditions.
 //!
+//! The sharded store (`waitfree-store`) gets its own storms at the
+//! `store::route`/`store::multi`/`store::snapshot` sites: single-key
+//! bump storms with exact final counts (no op lost, none duplicated),
+//! a multi-key op crashed between every pair of per-shard steps and
+//! driven to completion by a conflicting helper (with snapshots taken
+//! mid-stall proving all-or-nothing visibility), and a snapshot
+//! initiator killed mid-marker-sweep (later snapshots unaffected).
+//!
 //! Run with `cargo test --features failpoints --test fault_tolerance`.
 #![cfg(feature = "failpoints")]
 
@@ -661,4 +669,288 @@ fn crash_during_reclaim_releases_the_lock_and_frees_nothing() {
         other => panic!("unexpected {other:?}"),
     }
     failpoints::clear();
+}
+
+// ---------------------------------------------------------------------------
+// Sharded-store storms (`waitfree-store`): the `store::route`,
+// `store::multi` and `store::snapshot` sites, with exact-count
+// postconditions — no lost or duplicated single-key ops, crashed
+// multi-key ops completed by helpers on every involved shard, and
+// snapshots never observing a torn multi-op.
+// ---------------------------------------------------------------------------
+
+use waitfree::store::{Bump, ShardedStore, StoreConfig};
+
+fn store4() -> ShardedStore<u64, i64, Bump> {
+    ShardedStore::new(&StoreConfig { shards: 4, ..StoreConfig::default() })
+}
+
+/// One key per shard, `keys[s]` routed to shard `s`.
+fn keys_per_shard(store: &ShardedStore<u64, i64, Bump>) -> Vec<u64> {
+    let mut keys = vec![u64::MAX; store.shards()];
+    let mut found = 0;
+    for k in 0u64.. {
+        let s = store.shard_of(&k);
+        if keys[s] == u64::MAX {
+            keys[s] = k;
+            found += 1;
+            if found == store.shards() {
+                break;
+            }
+        }
+    }
+    keys
+}
+
+/// N workers each bump a private key OPS times; a seed-chosen victim is
+/// crashed at its `kth` hit of `site`. Because the keys are private,
+/// every key's final value is an exact function of how far its owner
+/// got: `done` completed bumps plus `orphan_effect` for the victim's
+/// in-flight op (0 when the crash lands before the invoke at
+/// `store::route`, 1 when it lands after the announce at
+/// `universal::announced` — helpers then thread the orphan exactly
+/// once; watermark dedup makes a duplicate impossible).
+fn single_key_storm(seed: u64, site: &str, orphan_effect: i64) {
+    const N: usize = 5;
+    const OPS: usize = 12;
+    let victim = (seed as usize) % N;
+    let kth = 1 + (seed as usize * 7) % OPS;
+    failpoints::configure(
+        site,
+        FailpointConfig::once_for(FaultAction::Crash, victim, kth as u64),
+    );
+
+    let store = store4();
+    let done: Arc<Vec<AtomicU64>> = Arc::new((0..N).map(|_| AtomicU64::new(0)).collect());
+    let group = {
+        let store = store.clone();
+        let done = Arc::clone(&done);
+        spawn_workers(N, move |tid| {
+            let mut h = store.handle();
+            for _ in 0..OPS {
+                h.fetch_update(tid as u64, Bump(1));
+                done[tid].fetch_add(1, Ordering::SeqCst);
+            }
+        })
+    };
+    let outcomes = group.finish();
+    for (tid, outcome) in outcomes.iter().enumerate() {
+        match outcome {
+            Outcome::Completed(()) => {
+                assert_ne!(tid, victim, "seed {seed}: the victim completed all ops");
+            }
+            Outcome::Crashed { site: s } => {
+                assert_eq!(tid, victim, "seed {seed}: unplanned crash of {tid} at {s}");
+                assert_eq!(s, site);
+            }
+            Outcome::Panicked { message } => {
+                panic!("seed {seed}: thread {tid} genuinely panicked: {message}")
+            }
+        }
+    }
+    failpoints::clear();
+
+    // Flush: one no-op bump per key threads any announced orphan on its
+    // shard (batch combining collects every pending announced op), so
+    // the final values are deterministic exact counts.
+    let mut h = store.handle();
+    for w in 0..N {
+        h.fetch_update(w as u64, Bump(0));
+    }
+    for w in 0..N {
+        let completed = done[w].load(Ordering::SeqCst) as i64;
+        let expected = completed + if w == victim { orphan_effect } else { 0 };
+        if w != victim {
+            assert_eq!(completed, OPS as i64, "seed {seed}: survivor {w} fell short");
+        } else {
+            assert_eq!(completed, (kth - 1) as i64, "seed {seed}: victim progress");
+        }
+        assert_eq!(
+            h.get(&(w as u64)),
+            Some(expected),
+            "seed {seed}: key {w} lost or duplicated a bump (completed {completed})"
+        );
+    }
+}
+
+#[test]
+fn store_single_key_ops_survive_crash_storms_exactly() {
+    let _guard = failpoints::exclusive();
+    // Crash before routing: the in-flight op never reached any log.
+    for seed in [11, 12, 13, 14] {
+        failpoints::clear();
+        single_key_storm(seed, "store::route", 0);
+    }
+    // Crash after announcing: the in-flight op is an orphan that
+    // helpers must apply exactly once.
+    for seed in [21, 22, 23, 24] {
+        failpoints::clear();
+        single_key_storm(seed, "universal::announced", 1);
+    }
+    failpoints::clear();
+}
+
+/// A 4-shard multi_put crashed at its `nth` hit of `store::multi`
+/// (hits 1..=4 are the ascending prepares, 5..=8 the ascending
+/// resolves). Postconditions, exact in both cases:
+///
+/// * a snapshot taken while the multi is stalled is never torn —
+///   all-or-nothing depending on whether any shard holds the commit;
+/// * a conflicting single-key `put` helps the multi to completion from
+///   the replicated descriptor, then applies itself — every involved
+///   shard ends with the multi's write (the helper's own put layered
+///   on top of its target key).
+fn crashed_multi_round(nth: u64) {
+    let store = store4();
+    let keys = keys_per_shard(&store);
+    let mut h = store.handle();
+    for (s, &k) in keys.iter().enumerate() {
+        h.put(k, s as i64);
+    }
+
+    failpoints::configure(
+        "store::multi",
+        FailpointConfig::once_for(FaultAction::Crash, 0, nth),
+    );
+    let group = {
+        let store = store.clone();
+        let keys = keys.clone();
+        spawn_workers(1, move |_tid| {
+            let mut hv = store.handle();
+            hv.multi_put(keys.iter().map(|&k| (k, Some(100))));
+            unreachable!("nth {nth}: the victim dies mid-multi");
+        })
+    };
+    let outcomes = group.finish();
+    match &outcomes[0] {
+        Outcome::Crashed { site } => assert_eq!(site, "store::multi"),
+        other => panic!("nth {nth}: expected a planned crash, got {other:?}"),
+    }
+    failpoints::clear();
+
+    // Hit `nth` fired *before* its step, so prepares are decided on
+    // shards `0..nth-1` (capped at all 4) and resolves on shards
+    // `0..nth-5`; the multi is commit-visible somewhere iff nth >= 6.
+    // nth == 1 is the degenerate case: nothing decided anywhere, and
+    // the descriptor died with the victim — the multi never happened.
+    let committed_somewhere = nth >= 6;
+
+    // (1) Snapshot atomicity while the multi is stalled: committed on
+    // some shard (a resolve decided) => visible on all involved shards
+    // via torn-multi repair; committed nowhere => visible on none.
+    let snap = h.snapshot();
+    let visible: Vec<bool> =
+        keys.iter().map(|k| snap.map.get(k) == Some(&100)).collect();
+    if committed_somewhere {
+        assert!(
+            visible.iter().all(|&v| v),
+            "nth {nth}: committed multi torn in a snapshot: {visible:?}"
+        );
+    } else {
+        assert!(
+            visible.iter().all(|&v| !v),
+            "nth {nth}: uncommitted multi leaked into a snapshot: {visible:?}"
+        );
+    }
+
+    // (2) Helping: a put on a key that is *still locked* — shard 0's
+    // while resolution hasn't begun there (nth <= 5; its prepare was
+    // hit 1), shard 3's once early resolves have already freed the low
+    // shards (nth >= 6; its own resolve would have been hit 8) —
+    // completes the stalled multi from the replicated descriptor, then
+    // applies. multi_put has no expectations, so the helped verdict is
+    // commit: the observed prev is exactly the multi's write.
+    let c = if committed_somewhere { 3 } else { 0 };
+    let prev = h.put(keys[c], 777);
+    if nth == 1 {
+        assert_eq!(prev, Some(0), "nth 1: no multi state existed to see");
+    } else {
+        assert_eq!(prev, Some(100), "nth {nth}: helper saw a partial multi");
+    }
+    let expected_at = |s: usize| {
+        if s == c {
+            777
+        } else if nth == 1 {
+            s as i64
+        } else {
+            100
+        }
+    };
+    for (s, &k) in keys.iter().enumerate() {
+        assert_eq!(h.get(&k), Some(expected_at(s)), "nth {nth}: shard {s} torn");
+    }
+
+    // (3) All locks were released by the resolution: a fresh multi over
+    // the same keys commits without help.
+    assert!(h.multi_cas(
+        keys.iter().enumerate().map(|(s, &k)| (k, Some(expected_at(s)))),
+        keys.iter().map(|&k| (k, Some(-1))),
+    ));
+    let snap = h.snapshot();
+    assert!(keys.iter().all(|k| snap.map.get(k) == Some(&-1)));
+}
+
+#[test]
+fn store_crashed_multi_op_is_helped_and_never_torn() {
+    let _guard = failpoints::exclusive();
+    for nth in [1, 2, 3, 4, 5, 6, 7, 8] {
+        failpoints::clear();
+        crashed_multi_round(nth);
+    }
+    failpoints::clear();
+}
+
+/// A snapshot initiator crashed at `store::snapshot` mid-marker-sweep
+/// (markers decided on a strict prefix of the shards) must cost
+/// nothing: the store keeps serving, and every later snapshot is
+/// complete and consistent — the abandoned epoch's unclaimed early
+/// captures are inert.
+#[test]
+fn store_crash_mid_snapshot_is_harmless() {
+    let _guard = failpoints::exclusive();
+    failpoints::clear();
+
+    let store = store4();
+    let keys = keys_per_shard(&store);
+    let mut h = store.handle();
+    for (s, &k) in keys.iter().enumerate() {
+        h.put(k, s as i64);
+    }
+
+    // Crash before the third marker: epoch 1 is marked on shards 0 and
+    // 1, open forever on shards 2 and 3.
+    failpoints::configure(
+        "store::snapshot",
+        FailpointConfig::once_for(FaultAction::Crash, 0, 3),
+    );
+    let group = {
+        let store = store.clone();
+        spawn_workers(1, move |_tid| {
+            let mut hv = store.handle();
+            let _ = hv.snapshot();
+            unreachable!("the victim dies mid-snapshot");
+        })
+    };
+    let outcomes = group.finish();
+    match &outcomes[0] {
+        Outcome::Crashed { site } => assert_eq!(site, "store::snapshot"),
+        other => panic!("expected a planned crash, got {other:?}"),
+    }
+    failpoints::clear();
+
+    // The store serves reads and writes on every shard (writes stamped
+    // with the abandoned epoch trigger early captures on shards 2/3 —
+    // bounded leftovers, nothing more).
+    for &k in &keys {
+        h.fetch_update(k, Bump(10));
+    }
+    // Later snapshots complete and are exact.
+    let snap = h.snapshot();
+    assert_eq!(snap.epoch, 2);
+    for (s, &k) in keys.iter().enumerate() {
+        assert_eq!(snap.map.get(&k), Some(&(s as i64 + 10)), "shard {s}");
+    }
+    let snap2 = h.snapshot();
+    assert_eq!(snap2.epoch, 3);
+    assert_eq!(snap2.map, snap.map);
 }

@@ -21,6 +21,7 @@
 
 #![cfg(feature = "sched")]
 
+use std::collections::BTreeMap;
 use std::sync::{Arc, Mutex};
 
 use waitfree::model::{ObjectSpec, Pid};
@@ -37,6 +38,7 @@ use waitfree::sched::{
     campaign, replay, run, run_and_check, AtomicOp, Dfs, Explore, HistoryRecorder, RunOptions,
     Script,
 };
+use waitfree::store::{Bump, ShardedStore, StoreConfig, StoreModel, StoreOp, StoreResp};
 use waitfree::sync::consensus::UsizeConsensus;
 use waitfree::sync::faa_queue::FaaQueue;
 use waitfree::sync::lockfree::{MsQueue, TreiberStack};
@@ -1194,4 +1196,160 @@ mod with_failpoints {
             "and the same recorded history"
         );
     }
+}
+
+// ---------------------------------------------------------------------
+// Sharded store campaigns (`waitfree-store`): histories recorded at the
+// *store API* granularity against the flat-map [`StoreModel`]. Each
+// multi-key op internally spans several shard logs (prepare/resolve in
+// canonical order) and each snapshot decides a marker per shard, so a
+// torn multi-op or an inconsistent cut shows up as a non-linearizable
+// whole-store history — not just as a bespoke assertion.
+// ---------------------------------------------------------------------
+
+fn store_mixed_body(rec: HistoryRecorder<StoreModel<u64, i64, Bump>>) {
+    let store: ShardedStore<u64, i64, Bump> = ShardedStore::new(&StoreConfig {
+        shards: 4,
+        ops_per_handle: 64,
+        ..StoreConfig::default()
+    });
+    let workers: Vec<_> = (0..2usize)
+        .map(|t| {
+            let rec = rec.clone();
+            let store = store.clone();
+            vthread::spawn(move || {
+                let mut h = store.handle();
+                let pid = Pid(t);
+                if t == 0 {
+                    rec.record(pid, StoreOp::Put(1, 10), || {
+                        StoreResp::Prev(h.put(1, 10))
+                    });
+                    let writes: BTreeMap<u64, Option<i64>> =
+                        [(1, Some(11)), (2, Some(22))].into_iter().collect();
+                    rec.record(pid, StoreOp::MultiPut(writes.clone()), || {
+                        h.multi_put(writes.clone());
+                        StoreResp::Done(true)
+                    });
+                    rec.record(pid, StoreOp::Snapshot, || {
+                        StoreResp::Snap(h.snapshot().map)
+                    });
+                    rec.record(pid, StoreOp::Get(2), || StoreResp::Value(h.get(&2)));
+                } else {
+                    rec.record(
+                        pid,
+                        StoreOp::Cas { key: 2, expect: None, new: Some(20) },
+                        || {
+                            let (ok, prev) = h.cas(2, None, Some(20));
+                            StoreResp::Cas { ok, prev }
+                        },
+                    );
+                    let expects: BTreeMap<u64, Option<i64>> =
+                        [(1, Some(10))].into_iter().collect();
+                    let writes: BTreeMap<u64, Option<i64>> =
+                        [(2, Some(-2)), (3, Some(33))].into_iter().collect();
+                    rec.record(
+                        pid,
+                        StoreOp::MultiCas { expects: expects.clone(), writes: writes.clone() },
+                        || {
+                            StoreResp::Done(
+                                h.multi_cas(expects.clone(), writes.clone()),
+                            )
+                        },
+                    );
+                    rec.record(pid, StoreOp::Update(3, Bump(5)), || {
+                        StoreResp::Prev(h.fetch_update(3, Bump(5)))
+                    });
+                    rec.record(pid, StoreOp::Snapshot, || {
+                        StoreResp::Snap(h.snapshot().map)
+                    });
+                }
+            })
+        })
+        .collect();
+    for w in workers {
+        w.join().unwrap();
+    }
+}
+
+/// Acceptance: mixed single-key, multi-key, and snapshot traffic over a
+/// 4-shard store linearizes against the atomic flat-map model under
+/// both strategy families (1000 seeds each). The two threads' multi-ops
+/// overlap on keys 1–3, so helping (one thread completing the other's
+/// prepared multi) is on the explored paths.
+#[test]
+fn sharded_store_mixed_ops_linearize() {
+    sweep("4-shard store", &StoreModel::new(), store_mixed_body);
+}
+
+/// Acceptance: under 1000 random-walk schedules with a writer
+/// multi-putting the *same* round number to keys 1, 2 and 3 (routed to
+/// different shards), every concurrently-taken snapshot sees the three
+/// keys equal — zero torn multi-ops in any cut — and every schedule's
+/// trace passes the happens-before audit (the snapshot protocol's
+/// orderings justify all plain loads on their own).
+#[test]
+fn store_snapshots_are_never_torn_and_hb_clean() {
+    let mut snaps_total = 0usize;
+    for seed in 0..SEEDS {
+        let snaps: Arc<Mutex<Vec<BTreeMap<u64, i64>>>> = Arc::new(Mutex::new(Vec::new()));
+        let sink = Arc::clone(&snaps);
+        let res = run(
+            waitfree::sched::RandomWalk::new(seed),
+            RunOptions::default(),
+            move || {
+                let store: ShardedStore<u64, i64> = ShardedStore::new(&StoreConfig {
+                    shards: 4,
+                    ops_per_handle: 64,
+                    ..StoreConfig::default()
+                });
+                let writer = {
+                    let store = store.clone();
+                    vthread::spawn(move || {
+                        let mut h = store.handle();
+                        for round in 1..=2i64 {
+                            h.multi_put([
+                                (1, Some(round)),
+                                (2, Some(round)),
+                                (3, Some(round)),
+                            ]);
+                        }
+                        h.retire();
+                    })
+                };
+                let snapper = {
+                    let store = store.clone();
+                    vthread::spawn(move || {
+                        let mut h = store.handle();
+                        for _ in 0..2 {
+                            sink.lock().unwrap().push(h.snapshot().map);
+                        }
+                        h.retire();
+                    })
+                };
+                writer.join().unwrap();
+                snapper.join().unwrap();
+            },
+        );
+        assert!(res.error.is_none(), "seed {seed}: {:?}", res.error);
+        let hb = waitfree::sched::hb_check(&res.trace);
+        assert!(
+            hb.is_clean(),
+            "seed {seed}: snapshot orderings too weak \
+             ({} of {} reads unjustified): {}",
+            hb.violations.len(),
+            hb.reads_checked,
+            hb.violations[0]
+        );
+        assert!(hb.reads_checked > 0, "seed {seed}: no loads judged");
+        for snap in snaps.lock().unwrap().iter() {
+            let vals: Vec<Option<i64>> =
+                [1u64, 2, 3].iter().map(|k| snap.get(k).copied()).collect();
+            assert!(
+                vals.windows(2).all(|w| w[0] == w[1]),
+                "seed {seed}: torn snapshot — keys 1..3 diverge: {snap:?}"
+            );
+            snaps_total += 1;
+        }
+    }
+    assert!(snaps_total >= SEEDS as usize, "campaign took too few snapshots");
 }

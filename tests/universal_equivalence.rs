@@ -347,3 +347,161 @@ fn hardware_universal_object_survives_thread_churn() {
     check.invoke(QueueOp::Enq(1));
     assert_eq!(check.invoke(QueueOp::Deq), waitfree::objects::queue::QueueResp::Item(1));
 }
+
+// ---------------------------------------------------------------------------
+// Sharded-store equivalence (`waitfree-store`): partitioning the key
+// space over N consensus logs must be invisible to sequential
+// semantics — a 4-shard store, a 1-shard store ("single log"), and the
+// flat-map reference model must agree response for response.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn sharded_store_matches_flat_map_reference_sequentially() {
+    use waitfree::model::{ObjectSpec, Pid};
+    use waitfree::store::{
+        Bump, ShardedStore, StoreConfig, StoreModel, StoreOp, StoreResp,
+    };
+
+    let mut model: StoreModel<u64, i64, Bump> = StoreModel::new();
+    let mut stores: Vec<_> = [1usize, 2, 4, 8]
+        .iter()
+        .map(|&shards| {
+            let st: ShardedStore<u64, i64, Bump> =
+                ShardedStore::new(&StoreConfig { shards, ..StoreConfig::default() });
+            let h = st.handle();
+            (shards, st, h)
+        })
+        .collect();
+
+    let script: Vec<StoreOp<u64, i64, Bump>> = vec![
+        StoreOp::Put(1, 10),
+        StoreOp::Put(2, 20),
+        StoreOp::Get(1),
+        StoreOp::Cas { key: 2, expect: Some(20), new: Some(21) },
+        StoreOp::Cas { key: 2, expect: Some(20), new: Some(99) },
+        StoreOp::Update(3, Bump(7)),
+        StoreOp::MultiPut([(4, Some(40)), (5, Some(50)), (1, None)].into_iter().collect()),
+        StoreOp::Snapshot,
+        StoreOp::MultiCas {
+            expects: [(4, Some(40)), (5, Some(50))].into_iter().collect(),
+            writes: [(4, Some(41)), (6, Some(60))].into_iter().collect(),
+        },
+        StoreOp::MultiCas {
+            expects: [(4, Some(40))].into_iter().collect(),
+            writes: [(4, Some(-1))].into_iter().collect(),
+        },
+        StoreOp::Remove(2),
+        StoreOp::Update(3, Bump(-7)),
+        StoreOp::Snapshot,
+    ];
+
+    for (i, op) in script.iter().enumerate() {
+        let expected = model.apply(Pid(0), op);
+        for (shards, _st, h) in &mut stores {
+            let got = match op.clone() {
+                StoreOp::Get(k) => StoreResp::Value(h.get(&k)),
+                StoreOp::Put(k, v) => StoreResp::Prev(h.put(k, v)),
+                StoreOp::Remove(k) => StoreResp::Prev(h.remove(&k)),
+                StoreOp::Cas { key, expect, new } => {
+                    let (ok, prev) = h.cas(key, expect, new);
+                    StoreResp::Cas { ok, prev }
+                }
+                StoreOp::Update(k, m) => StoreResp::Prev(h.fetch_update(k, m)),
+                StoreOp::MultiPut(writes) => {
+                    h.multi_put(writes);
+                    StoreResp::Done(true)
+                }
+                StoreOp::MultiCas { expects, writes } => {
+                    StoreResp::Done(h.multi_cas(expects, writes))
+                }
+                StoreOp::Snapshot => StoreResp::Snap(h.snapshot().map),
+            };
+            assert_eq!(got, expected, "step {i} ({op:?}) diverged at {shards} shard(s)");
+        }
+    }
+}
+
+/// Sharded(4) vs single-log(1) under *identical op-granularity
+/// schedules* (`OpRandom` preempts at explicit schedule points, never
+/// inside an op): the partition must not change any logical response
+/// or any snapshot, seed for seed.
+#[cfg(feature = "sched")]
+mod store_equivalence {
+    use std::collections::BTreeMap;
+    use std::sync::{Arc, Mutex};
+
+    use waitfree::sched::thread as vthread;
+    use waitfree::sched::{run, OpRandom, RunOptions};
+    use waitfree::store::{Bump, ShardedStore, StoreConfig};
+
+    /// Version-free logical outcome of one store op.
+    #[derive(Clone, PartialEq, Eq, Debug)]
+    enum R {
+        Prev(Option<i64>),
+        Cas(bool, Option<i64>),
+        Done(bool),
+        Snap(BTreeMap<u64, i64>),
+    }
+
+    type Out = Vec<(usize, Vec<R>)>;
+
+    fn drive(shards: usize, seed: u64) -> Out {
+        let out: Arc<Mutex<Option<Out>>> = Arc::new(Mutex::new(None));
+        let sink = Arc::clone(&out);
+        let res = run(OpRandom::new(seed), RunOptions::default(), move || {
+            let store: ShardedStore<u64, i64, Bump> = ShardedStore::new(&StoreConfig {
+                shards,
+                ops_per_handle: 64,
+                ..StoreConfig::default()
+            });
+            let workers: Vec<_> = (0..2usize)
+                .map(|t| {
+                    let store = store.clone();
+                    vthread::spawn(move || {
+                        let mut h = store.handle();
+                        let mut resps = Vec::new();
+                        let step = |r: R| {
+                            vthread::yield_now();
+                            r
+                        };
+                        if t == 0 {
+                            resps.push(step(R::Prev(h.put(1, 10))));
+                            resps.push(step(R::Done({
+                                h.multi_put([(1, Some(11)), (4, Some(44))]);
+                                true
+                            })));
+                            resps.push(step(R::Prev(h.fetch_update(2, Bump(5)))));
+                            resps.push(step(R::Snap(h.snapshot().map)));
+                            resps.push(step(R::Prev(h.get(&4))));
+                        } else {
+                            let (ok, prev) = h.cas(2, None, Some(20));
+                            resps.push(step(R::Cas(ok, prev)));
+                            resps.push(step(R::Done(h.multi_cas(
+                                [(1, Some(10))],
+                                [(2, Some(22)), (5, Some(55))],
+                            ))));
+                            resps.push(step(R::Prev(h.remove(&4))));
+                            resps.push(step(R::Snap(h.snapshot().map)));
+                        }
+                        (t, resps)
+                    })
+                })
+                .collect();
+            let mut results: Out = workers.into_iter().map(|w| w.join().unwrap()).collect();
+            results.sort_by_key(|(t, _)| *t);
+            *sink.lock().unwrap() = Some(results);
+        });
+        assert!(res.error.is_none(), "shards {shards} seed {seed}: {:?}", res.error);
+        let r = out.lock().unwrap().take().unwrap();
+        r
+    }
+
+    #[test]
+    fn sharded_and_single_log_agree_under_identical_schedules() {
+        for seed in 0..64 {
+            let sharded = drive(4, seed);
+            let single = drive(1, seed);
+            assert_eq!(sharded, single, "logical outcomes diverged at seed {seed}");
+        }
+    }
+}
