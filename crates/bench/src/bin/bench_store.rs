@@ -9,8 +9,9 @@
 //! * `zipf` — 50/50 get/put with Zipf(θ)-skewed keys: the contended
 //!   head of the distribution lands on one shard, the tail spreads —
 //!   the standard KV sharding story.
-//! * `read_heavy` — 90/10 get/put, uniform keys (gets never block on
-//!   multi-op locks, so this is the wait-free fast path).
+//! * `read_heavy` — 90/10 get/put, uniform keys, no multi-key traffic
+//!   (no multi-op locks to help past, so this is the wait-free fast
+//!   path).
 //! * `write_heavy` — 10/90 get/put, uniform keys (every put is one
 //!   decide on one shard log).
 //! * `snap_load` — 90% put, 8% two-key `multi_put`, 2% `snapshot()`:

@@ -7,9 +7,10 @@
 //! classes, three protocols:
 //!
 //! * **Single-key ops** (`get`/`put`/`remove`/`cas`/`fetch_update`)
-//!   decide exactly one op into exactly one shard's log, inheriting
-//!   that log's wait-free helping bound unchanged. Keys on different
-//!   shards no longer contend on a CAS point at all.
+//!   decide into exactly one shard's log — one decided op in the
+//!   uncontended case — inheriting that log's wait-free helping bound
+//!   unchanged. Keys on different shards no longer contend on a CAS
+//!   point at all.
 //!
 //! * **Multi-key atomic ops** (`multi_put`/`multi_cas`) run a
 //!   two-phase protocol *through the logs*: a full descriptor is
@@ -46,12 +47,17 @@
 //! ## Progress guarantees, stated honestly
 //!
 //! Single-key ops on keys not touched by any in-flight multi-op are
-//! wait-free with the per-shard `O(n)` helping bound. An op that hits
-//! a multi-op's lock helps that multi-op to completion first (itself a
-//! bounded number of decides over its involved shards) and retries;
-//! under a *continuous* adversarial stream of conflicting multi-ops
-//! this degrades to lock-freedom (some multi-op always completes), the
-//! standard trade for multi-object atomicity without a global log.
+//! wait-free with the per-shard `O(n)` helping bound. Any op — reads
+//! included — that hits a multi-op's lock helps that multi-op to
+//! completion first (itself a bounded number of decides over its
+//! involved shards) and retries; under a *continuous* adversarial
+//! stream of conflicting multi-ops this degrades to lock-freedom (some
+//! multi-op always completes), the standard trade for multi-object
+//! atomicity without a global log. `get` cannot be exempted from this:
+//! a committed multi-op's writes land on its shards at different log
+//! positions, so a reader that ignored the locks could see one shard
+//! after the resolve and another before it — a half-applied multi-op
+//! no linearization of the flat-map spec allows.
 //!
 //! ## Failpoints
 //!
@@ -288,15 +294,21 @@ where
         resp
     }
 
-    /// Read one key. Wait-free; never blocks on multi-op locks (a
-    /// pending multi has written nothing, so the read linearizes
-    /// before its resolve).
+    /// Read one key. Wait-free when the key is not under a multi-op
+    /// lock; otherwise helps the locking multi-op to completion and
+    /// retries, like every mutator — a read that skipped the lock
+    /// could observe a cross-shard multi-op half-applied.
     pub fn get(&mut self, key: &K) -> Option<V> {
-        failpoint!("store::route");
-        let s = route(self.seed, self.nshards(), key);
-        match self.invoke(s, ShardOp::Get { key: key.clone() }) {
-            ShardResp::Value { val, .. } => val,
-            r => unreachable!("get answered {r:?}"),
+        loop {
+            failpoint!("store::route");
+            let s = route(self.seed, self.nshards(), key);
+            match self.invoke(s, ShardOp::Get { key: key.clone() }) {
+                ShardResp::Value { val, .. } => return val,
+                ShardResp::Blocked { holder, .. } => {
+                    self.run_multi(&holder);
+                }
+                r => unreachable!("get answered {r:?}"),
+            }
         }
     }
 
@@ -433,6 +445,11 @@ where
     /// the finisher may have crashed mid-resolve. A `Blocked` prepare
     /// recursively helps the older holder first. Phase 2 decides the
     /// unanimous verdict everywhere; `Resolve` acks are idempotent.
+    /// After a commit's resolves are all acknowledged, a settle sweep
+    /// retires the id from every shard's possibly-torn capture window
+    /// (snapshot-cost bookkeeping, not correctness: a crash anywhere in
+    /// the sweep just leaves the id in some windows until the next
+    /// helper of the same multi re-settles).
     fn run_multi(&mut self, desc: &MultiDesc<K, V>) -> bool {
         let mut verdict: Option<bool> = None;
         let mut all = true;
@@ -468,6 +485,21 @@ where
                 r => unreachable!("resolve answered {r:?}"),
             }
         }
+        if commit {
+            // Every involved shard has acknowledged the resolve (the
+            // loop above returned), so this commit can no longer be
+            // torn: tell each shard to drop it from its capture window.
+            // The ctx makes the settle obey the stamp rule, which is
+            // what licenses the drop (see `ShardState::unsettled`).
+            for &s in &desc.shards {
+                failpoint!("store::multi");
+                let op = ShardOp::Settle { id: desc.id, ctx: self.ctx() };
+                match self.invoke(s, op) {
+                    ShardResp::Ack { .. } => {}
+                    r => unreachable!("settle answered {r:?}"),
+                }
+            }
+        }
         commit
     }
 
@@ -478,10 +510,13 @@ where
     ///
     /// Wait-free: one epoch fetch-add plus one wait-free decide per
     /// shard; assembly is local. A client that crashes mid-snapshot
-    /// leaves at most unconsumed early captures behind (reclaimed when
-    /// a later marker for that epoch arrives — never, if it doesn't;
-    /// one map clone per shard is the leak bound per crashed
-    /// snapshot).
+    /// costs a bounded, one-time amount per shard it never reached:
+    /// one retained early capture (claimable if the straggler is
+    /// merely stalled and its marker eventually lands) and one range
+    /// split in the shard's interval-compressed epoch bookkeeping.
+    /// Later mutations and snapshots are unaffected — each epoch is
+    /// swept into a capture at most once (a per-shard stamp watermark),
+    /// so a permanently open epoch does not tax subsequent writes.
     pub fn snapshot(&mut self) -> Snapshot<K, V> {
         let epoch = self.epoch.fetch_add(1, Ordering::SeqCst) + 1;
         let mut parts: Vec<SnapPart<K, V>> = Vec::with_capacity(self.nshards());
@@ -554,37 +589,40 @@ fn resp_version<K: Ord, V>(resp: &ShardResp<K, V>) -> u64 {
 /// after `Prepare` decided on *every* involved shard, so if a part
 /// shows the commit, the cut's stamp-rule consistency guarantees every
 /// other involved part contains at least the `Prepare` (pending) if
-/// not the commit itself — a part missing both would mean the cut
-/// included an effect while excluding something that happens-before
-/// it. The repair applies the pending descriptor's local writes, which
-/// is exactly what that shard's `Resolve` will do after the cut.
-/// Multi-ops pending in every part are consistently *excluded*.
+/// not the commit itself. The repair applies the pending descriptor's
+/// local writes, which is exactly what that shard's `Resolve` will do
+/// after the cut. Multi-ops pending in every part are consistently
+/// *excluded*.
+///
+/// Captures carry only the *unsettled* commit window, so the scan here
+/// is over in-flight multi-ops, not all commits ever. A part that has
+/// an id in neither `pending` nor `unsettled` already settled it —
+/// its writes are in the part's map — and is skipped; a settle cannot
+/// reach a part whose cut-mates still show the multi pending, because
+/// settles obey the stamp rule and are decided only after every
+/// involved resolve (see `ShardState::unsettled`).
 fn repair_torn<K, V>(parts: &mut [SnapPart<K, V>], seed: u64)
 where
     K: Clone + Ord + Hash + Debug,
     V: Clone + Eq + Hash + Debug,
 {
     let nshards = parts.len();
-    // Verdicts visible in the cut: id → involved shards.
+    // Commit verdicts still repair-relevant in the cut: id → involved
+    // shards.
     let mut committed: BTreeMap<MultiId, Vec<usize>> = BTreeMap::new();
     for p in parts.iter() {
-        for (id, shards) in &p.applied {
+        for (id, shards) in &p.unsettled {
             committed.entry(*id).or_insert_with(|| shards.clone());
         }
     }
     for (id, shards) in &committed {
         for &t in shards {
             let part = &mut parts[t];
-            if part.applied.contains_key(id) {
+            let Some(pm) = part.pending.remove(id) else {
+                // Already resolved here (settled or not): the writes
+                // are in `part.map`.
                 continue;
-            }
-            let pm = part.pending.remove(id).unwrap_or_else(|| {
-                panic!(
-                    "torn multi {id:?}: committed in the cut but neither \
-                     applied nor pending on involved shard {t} — the cut \
-                     is inconsistent"
-                )
-            });
+            };
             for (k, w) in &pm.desc.writes {
                 if route(seed, nshards, k) != t {
                     continue;
@@ -598,7 +636,7 @@ where
                     }
                 }
             }
-            part.applied.insert(*id, pm.desc.shards.clone());
+            part.unsettled.insert(*id, pm.desc.shards.clone());
         }
     }
 }

@@ -8,6 +8,17 @@
 //! `std::collections::hash_map::DefaultHasher`, whose output is
 //! per-process randomized; we hand-roll 64-bit FNV-1a with the seed
 //! folded into the offset basis instead.
+//!
+//! **Stability scope.** The partition is stable across processes of
+//! the same build on the same platform — all this crate needs, since
+//! shard state never crosses machines. The seed and every fixed-width
+//! integer write are fed in as explicit little-endian bytes (the
+//! `Hasher` defaults use `to_ne_bytes`, which would partition
+//! differently on big-endian hosts), so primitive keys also route
+//! identically across architectures; full cross-platform/cross-version
+//! stability would additionally require key `Hash` impls that emit
+//! platform-independent bytes and a frozen std `Hash` layout (e.g.
+//! `str`'s), which Rust does not promise.
 
 use std::hash::{Hash, Hasher};
 
@@ -25,7 +36,7 @@ impl SeededFnv {
         // Fold the seed in as if it were the first 8 bytes of input, so
         // distinct seeds give unrelated (not merely shifted) functions.
         let mut h = SeededFnv(FNV_OFFSET);
-        h.write_u64(seed);
+        h.write(&seed.to_le_bytes());
         h
     }
 }
@@ -40,6 +51,35 @@ impl Hasher for SeededFnv {
             self.0 ^= u64::from(b);
             self.0 = self.0.wrapping_mul(FNV_PRIME);
         }
+    }
+
+    // Fixed-width integers hash as little-endian bytes regardless of
+    // host endianness (the trait defaults use `to_ne_bytes`). The
+    // signed and `isize` defaults forward to these; `usize` widens to
+    // u64 so 32- and 64-bit hosts agree too.
+
+    fn write_u8(&mut self, i: u8) {
+        self.write(&[i]);
+    }
+
+    fn write_u16(&mut self, i: u16) {
+        self.write(&i.to_le_bytes());
+    }
+
+    fn write_u32(&mut self, i: u32) {
+        self.write(&i.to_le_bytes());
+    }
+
+    fn write_u64(&mut self, i: u64) {
+        self.write(&i.to_le_bytes());
+    }
+
+    fn write_u128(&mut self, i: u128) {
+        self.write(&i.to_le_bytes());
+    }
+
+    fn write_usize(&mut self, i: usize) {
+        self.write(&(i as u64).to_le_bytes());
     }
 }
 
@@ -89,6 +129,20 @@ mod tests {
         for (s, &c) in counts.iter().enumerate() {
             assert!(c >= 500, "shard {s} got only {c}/4000 keys");
         }
+    }
+
+    /// Golden values pinning the hash function: any change to the byte
+    /// feeding (endianness, seed folding, width handling) moves keys
+    /// between shards and must be a conscious, flagged decision.
+    #[test]
+    fn route_is_pinned() {
+        let got: Vec<usize> = (0..8u64).map(|k| route(0, 4, &k)).collect();
+        assert_eq!(got, [2, 1, 3, 2, 0, 3, 1, 0]);
+        assert_eq!(route(7, 16, "hello"), 11);
+        assert_eq!(route(7, 16, &5u32), 9);
+        // `usize` widens to u64, so word size doesn't repartition.
+        assert_eq!(route(7, 16, &5usize), route(7, 16, &5u64));
+        assert_eq!(route(7, 16, &5usize), 3);
     }
 
     #[test]

@@ -12,20 +12,27 @@
 //!
 //! * **Single-key** ([`ShardOp::Get`]/[`Put`](ShardOp::Put)/
 //!   [`Cas`](ShardOp::Cas)/[`Update`](ShardOp::Update)) read or mutate
-//!   `map` directly. A mutator targeting a key locked by an in-flight
-//!   multi-op returns [`ShardResp::Blocked`] with the full holder
-//!   descriptor — enough for the caller to *help* the multi-op to
-//!   completion and retry. Reads never block: a pending multi has
-//!   written nothing yet, so a `Get` linearizes before its resolve.
+//!   `map` directly. *Any* op targeting a key locked by an in-flight
+//!   multi-op — reads included — returns [`ShardResp::Blocked`] with
+//!   the full holder descriptor — enough for the caller to *help* the
+//!   multi-op to completion and retry. `Get` must block too: the
+//!   multi's resolve lands on its shards at different log positions,
+//!   so a reader free-riding past the locks could observe shard A
+//!   after its resolve and shard B before it — a half-applied
+//!   multi-op with no valid linearization.
 //!
-//! * **Multi-key two-phase** ([`ShardOp::Prepare`]/[`Resolve`](ShardOp::Resolve)).
+//! * **Multi-key two-phase** ([`ShardOp::Prepare`]/[`Resolve`](ShardOp::Resolve)/
+//!   [`Settle`](ShardOp::Settle)).
 //!   `Prepare` atomically locks every locally-owned key of the
 //!   descriptor, evaluates the local expectations, and records an
 //!   immutable vote. `Resolve` applies the writes (on commit), frees
-//!   the locks, and leaves a tombstone. Both are idempotent under
-//!   helping: a duplicate `Prepare` returns the recorded vote, a
-//!   duplicate `Resolve` acks. Votes are recorded exactly once per
-//!   shard, so every resolver — initiator or helper — computes the
+//!   the locks, and leaves a tombstone. `Settle` — decided only after
+//!   its sender saw `Resolve` acknowledged on *every* involved shard —
+//!   retires the commit from the possibly-torn window that snapshot
+//!   captures carry (see below). All three are idempotent under
+//!   helping: a duplicate `Prepare` returns the recorded vote,
+//!   duplicate `Resolve`/`Settle` ack. Votes are recorded exactly once
+//!   per shard, so every resolver — initiator or helper — computes the
 //!   same commit verdict.
 //!
 //! * **Snapshot markers** ([`ShardOp::Marker`]). Deciding `Marker{e}`
@@ -114,11 +121,15 @@ pub struct SnapPart<K: Ord, V> {
     pub epoch: u64,
     pub map: BTreeMap<K, V>,
     /// Multi-ops prepared but not yet resolved at the cut. Snapshot
-    /// assembly patches these against `applied` elsewhere (torn-multi
+    /// assembly patches these against `unsettled` elsewhere (torn-multi
     /// repair) — see [`crate::ShardedStore`] docs.
     pub pending: BTreeMap<MultiId, PendingMulti<K, V>>,
-    /// Committed multi-ops (id → involved shards).
-    pub applied: BTreeMap<MultiId, Vec<usize>>,
+    /// Committed multi-ops not yet settled here (id → involved
+    /// shards): the only commits that can be torn in this cut, so the
+    /// only ones a capture needs to carry. Bounded by in-flight
+    /// multi-ops (plus crashed resolvers), **not** by all commits ever
+    /// — see [`ShardState::unsettled`].
+    pub unsettled: BTreeMap<MultiId, Vec<usize>>,
     /// Mutation counter at the cut.
     pub version: u64,
     /// Observed-shard-version vector at the cut (debug cut check).
@@ -163,6 +174,13 @@ pub enum ShardOp<K: Ord, V, M> {
     Update { key: K, merge: M, ctx: Ctx },
     Prepare { desc: MultiDesc<K, V>, ctx: Ctx },
     Resolve { id: MultiId, commit: bool, ctx: Ctx },
+    /// Sent by a resolver *after* it observed `Resolve` acknowledged on
+    /// every involved shard: this commit can no longer be torn in any
+    /// consistent cut, so drop it from the capture window. Carries a
+    /// `Ctx` so the stamp rule and the knowledge vector order it
+    /// against open snapshots like any other mutation — that ordering
+    /// is what makes dropping it sound (see [`ShardState::unsettled`]).
+    Settle { id: MultiId, ctx: Ctx },
     Marker { epoch: u64 },
 }
 
@@ -205,26 +223,99 @@ pub struct ShardState<K: Ord, V, M> {
     /// its holder is in `pending`.
     locks: BTreeMap<K, MultiId>,
     pending: BTreeMap<MultiId, PendingMulti<K, V>>,
-    /// Commit tombstones (id → involved shards). Kept for the life of
-    /// the state: an arbitrarily stalled helper may re-send `Prepare`
-    /// or `Resolve` for an ancient multi, and forgetting the verdict
-    /// would re-lock keys or re-apply writes. Checkpoint/truncation of
-    /// the *log* (PR 7) is unaffected — tombstones live in the state
-    /// image, and one id costs a handful of words.
-    applied: BTreeMap<MultiId, Vec<usize>>,
+    /// Commit tombstones. Kept for the life of the state: an
+    /// arbitrarily stalled helper may re-send `Prepare` or `Resolve`
+    /// for an ancient multi, and forgetting the verdict would re-lock
+    /// keys or re-apply writes. Checkpoint/truncation of the *log*
+    /// (PR 7) is unaffected — tombstones live in the state image, and
+    /// one id costs one word.
+    applied: BTreeSet<MultiId>,
     /// Abort tombstones, same retention argument.
     aborted: BTreeSet<MultiId>,
+    /// Commits not yet settled here (id → involved shards): the window
+    /// of multi-ops a snapshot capture could still observe torn, and
+    /// the only commit bookkeeping captures carry. Why removal on
+    /// [`ShardOp::Settle`] is sound: a settle is decided only after its
+    /// sender saw `Resolve` acknowledged on every involved shard, and
+    /// it carries a `Ctx`. If a cut includes the settle, the stamp rule
+    /// plus the settle's knowledge vector force the cut to include
+    /// every involved shard's resolve too (a settle stamped at-or-after
+    /// an open epoch early-captures the *pre-settle* state; one stamped
+    /// before the epoch opened implies every resolve finished before
+    /// the epoch opened) — so the commit is whole in that cut and needs
+    /// no repair. Bounded by in-flight multi-ops plus resolvers that
+    /// crashed between their last resolve and their settles (any later
+    /// helper of the same multi re-settles).
+    unsettled: BTreeMap<MultiId, Vec<usize>>,
     /// Max observed version per shard over all ops applied here.
     know: BTreeMap<usize, u64>,
     /// Snapshot bookkeeping: every epoch `<= snap_floor` has its marker
-    /// applied here; `snap_done` holds applied epochs above the floor.
+    /// applied here; `snap_done` holds marker-applied epochs above the
+    /// floor, compressed to ranges so a crashed snapshot (a permanent
+    /// hole below later epochs) costs O(holes) memory, not one entry
+    /// per later snapshot forever.
     snap_floor: u64,
-    snap_done: BTreeSet<u64>,
+    snap_done: EpochSet,
+    /// Highest mutation stamp already swept by [`pre_capture`]
+    /// (ShardState::pre_capture): epochs at or below it have their
+    /// capture ensured (early, done, or ≤ floor), so each mutation only
+    /// walks epochs *newly revealed* by its stamp — amortized O(1) per
+    /// epoch, even when a crashed snapshot pins `snap_floor` forever.
+    stamp_hi: u64,
     /// Pre-mutation captures for epochs whose marker has not reached
     /// this shard but whose existence a straggling mutation revealed
-    /// (stamp rule, module docs). Claimed and removed by the marker.
+    /// (stamp rule, module docs). Claimed and removed by the marker;
+    /// an entry whose snapshotter crashed before its marker stays
+    /// claimable (the snapshotter may only be stalled) — one retained
+    /// capture per crashed snapshot per shard is the leak bound.
     early: BTreeMap<u64, SnapPart<K, V>>,
     _merge: PhantomData<M>,
+}
+
+/// A set of `u64` epochs stored as disjoint, non-adjacent inclusive
+/// ranges. All ops are `O(log |ranges|)`; memory is bounded by the
+/// number of gaps between stored runs (crashed snapshots), not the
+/// number of epochs ever inserted.
+#[derive(Clone, PartialEq, Eq, Hash, Debug, Default)]
+pub struct EpochSet(BTreeMap<u64, u64>);
+
+impl EpochSet {
+    fn contains(&self, e: u64) -> bool {
+        self.0.range(..=e).next_back().is_some_and(|(_, &end)| end >= e)
+    }
+
+    fn insert(&mut self, e: u64) {
+        if self.contains(e) {
+            return;
+        }
+        let mut start = e;
+        let mut end = e;
+        // !contains(e) means any predecessor range ends strictly below
+        // e, so `pe + 1` cannot overflow.
+        if let Some((&ps, &pe)) = self.0.range(..e).next_back() {
+            if pe + 1 == e {
+                start = ps;
+            }
+        }
+        if e < u64::MAX {
+            if let Some(&se) = self.0.get(&(e + 1)) {
+                end = se;
+                self.0.remove(&(e + 1));
+            }
+        }
+        self.0.insert(start, end);
+    }
+
+    /// If a stored range starts exactly at `e`, remove it and return
+    /// its (inclusive) end.
+    fn take_run(&mut self, e: u64) -> Option<u64> {
+        self.0.remove(&e)
+    }
+
+    #[cfg(test)]
+    fn ranges(&self) -> usize {
+        self.0.len()
+    }
 }
 
 impl<K, V, M> ShardState<K, V, M>
@@ -243,23 +334,28 @@ where
             map: BTreeMap::new(),
             locks: BTreeMap::new(),
             pending: BTreeMap::new(),
-            applied: BTreeMap::new(),
+            applied: BTreeSet::new(),
             aborted: BTreeSet::new(),
+            unsettled: BTreeMap::new(),
             know: BTreeMap::new(),
             snap_floor: 0,
-            snap_done: BTreeSet::new(),
+            snap_done: EpochSet::default(),
+            stamp_hi: 0,
             early: BTreeMap::new(),
             _merge: PhantomData,
         }
     }
 
-    /// Photograph the capture-relevant state *now*.
+    /// Photograph the capture-relevant state *now*. Only the unsettled
+    /// commit window rides along — settled commits cannot be torn in
+    /// any cut that could contain this capture (see `unsettled`), so
+    /// captures stay proportional to in-flight work, not history.
     fn part_now(&self, epoch: u64) -> SnapPart<K, V> {
         SnapPart {
             epoch,
             map: self.map.clone(),
             pending: self.pending.clone(),
-            applied: self.applied.clone(),
+            unsettled: self.unsettled.clone(),
             version: self.version,
             know: self.know.clone(),
         }
@@ -269,14 +365,22 @@ where
     /// `(snap_floor, stamp]` was opened before it ran. Any such epoch
     /// whose marker has not reached this shard gets an early capture of
     /// the **pre-mutation** state, excluding the mutation from the cut.
+    ///
+    /// Each epoch is swept at most once (`stamp_hi` remembers how far
+    /// previous mutations got), so the per-mutation cost is the number
+    /// of epochs opened since the last mutation here — amortized O(1)
+    /// per epoch even when a crashed snapshot wedges `snap_floor`.
     fn pre_capture(&mut self, stamp: u64) {
-        let mut e = self.snap_floor + 1;
+        let mut e = self.snap_floor.max(self.stamp_hi) + 1;
         while e <= stamp {
-            if !self.snap_done.contains(&e) && !self.early.contains_key(&e) {
+            if !self.snap_done.contains(e) {
                 let part = self.part_now(e);
                 self.early.insert(e, part);
             }
             e += 1;
+        }
+        if stamp > self.stamp_hi {
+            self.stamp_hi = stamp;
         }
     }
 
@@ -321,8 +425,7 @@ where
 
     fn prepare(&mut self, desc: &MultiDesc<K, V>) -> ShardResp<K, V> {
         let id = desc.id;
-        if let Some(shards) = self.applied.get(&id) {
-            debug_assert_eq!(shards, &desc.shards);
+        if self.applied.contains(&id) {
             return ShardResp::Resolved { commit: true, version: self.version };
         }
         if self.aborted.contains(&id) {
@@ -356,7 +459,7 @@ where
     }
 
     fn resolve(&mut self, id: MultiId, commit: bool) -> ShardResp<K, V> {
-        if self.applied.contains_key(&id) || self.aborted.contains(&id) {
+        if self.applied.contains(&id) || self.aborted.contains(&id) {
             return ShardResp::Ack { version: self.version };
         }
         let Some(pm) = self.pending.remove(&id) else {
@@ -372,11 +475,19 @@ where
         }
         if commit {
             self.apply_writes_of(&pm.desc);
-            self.applied.insert(id, pm.desc.shards.clone());
+            self.applied.insert(id);
+            self.unsettled.insert(id, pm.desc.shards.clone());
         } else {
             self.aborted.insert(id);
         }
         self.version += 1;
+        ShardResp::Ack { version: self.version }
+    }
+
+    fn settle(&mut self, id: MultiId) -> ShardResp<K, V> {
+        if self.unsettled.remove(&id).is_some() {
+            self.version += 1;
+        }
         ShardResp::Ack { version: self.version }
     }
 
@@ -385,14 +496,16 @@ where
             Some(p) => p,
             None => self.part_now(e),
         };
-        if e > self.snap_floor {
+        if e > self.snap_floor && !self.snap_done.contains(e) {
             self.snap_done.insert(e);
-            while self.snap_done.remove(&(self.snap_floor + 1)) {
-                self.snap_floor += 1;
+            if let Some(end) = self.snap_done.take_run(self.snap_floor + 1) {
+                self.snap_floor = end;
             }
-            // Captures at or below the floor can no longer be claimed.
-            let floor = self.snap_floor;
-            self.early.retain(|&d, _| d > floor);
+            // No `early` cleanup is needed at the floor: an early
+            // capture exists only for an epoch whose marker has not
+            // been applied here, and the floor only ever advances over
+            // marker-applied epochs — so every `early` key is already
+            // strictly above the floor.
         }
         ShardResp::Part(Box::new(part))
     }
@@ -409,10 +522,20 @@ where
 
     fn apply(&mut self, _pid: Pid, op: &Self::Op) -> Self::Resp {
         match op {
-            ShardOp::Get { key } => ShardResp::Value {
-                val: self.map.get(key).cloned(),
-                version: self.version,
-            },
+            ShardOp::Get { key } => {
+                // Reads must respect multi-op locks: the holder's
+                // resolve lands shard by shard, so a read slipping past
+                // the lock here could combine with a read on another
+                // shard to observe the multi half-applied. Hand the
+                // reader the descriptor to help instead.
+                if let Some(holder) = self.holder_of(key) {
+                    return ShardResp::Blocked { holder, version: self.version };
+                }
+                ShardResp::Value {
+                    val: self.map.get(key).cloned(),
+                    version: self.version,
+                }
+            }
             ShardOp::Put { key, val, ctx } => {
                 self.absorb(ctx);
                 if let Some(holder) = self.holder_of(key) {
@@ -470,7 +593,133 @@ where
                 self.absorb(ctx);
                 self.resolve(*id, *commit)
             }
+            ShardOp::Settle { id, ctx } => {
+                self.absorb(ctx);
+                self.settle(*id)
+            }
             ShardOp::Marker { epoch } => self.marker(*epoch),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn epoch_set_compresses_adjacent_runs() {
+        let mut s = EpochSet::default();
+        for e in [1u64, 2, 3, 5, 6, 10] {
+            s.insert(e);
+        }
+        assert_eq!(s.ranges(), 3, "{s:?}");
+        s.insert(4); // bridges [1,3] and [5,6]
+        assert_eq!(s.ranges(), 2, "{s:?}");
+        for e in 1..=6 {
+            assert!(s.contains(e));
+        }
+        assert!(!s.contains(7));
+        assert!(s.contains(10));
+        s.insert(10); // idempotent
+        assert_eq!(s.ranges(), 2);
+        assert_eq!(s.take_run(1), Some(6));
+        assert!(!s.contains(3));
+        assert_eq!(s.take_run(7), None);
+    }
+
+    type St = ShardState<u64, i64, ()>;
+
+    fn ctx(epoch: u64) -> Ctx {
+        Ctx { epoch, know: BTreeMap::new() }
+    }
+
+    fn desc(id: u64, writes: &[(u64, i64)]) -> MultiDesc<u64, i64> {
+        MultiDesc {
+            id: MultiId(id),
+            expects: BTreeMap::new(),
+            writes: writes.iter().map(|&(k, v)| (k, Some(v))).collect(),
+            shards: vec![0],
+        }
+    }
+
+    fn part(resp: ShardResp<u64, i64>) -> SnapPart<u64, i64> {
+        match resp {
+            ShardResp::Part(p) => *p,
+            r => panic!("marker answered {r:?}"),
+        }
+    }
+
+    /// A settled commit leaves the capture window (so snapshot size
+    /// tracks in-flight multis, not history) while its tombstone keeps
+    /// answering stragglers.
+    #[test]
+    fn settle_retires_commits_from_captures_but_not_tombstones() {
+        let mut st = St::new(0, 1, 0);
+        let d = desc(9, &[(1, 10), (2, 20)]);
+        st.apply(Pid(0), &ShardOp::Prepare { desc: d.clone(), ctx: ctx(0) });
+        st.apply(Pid(0), &ShardOp::Resolve { id: d.id, commit: true, ctx: ctx(0) });
+        let p = part(st.apply(Pid(0), &ShardOp::Marker { epoch: 1 }));
+        assert!(p.unsettled.contains_key(&d.id), "unsettled commit rides the capture");
+        st.apply(Pid(0), &ShardOp::Settle { id: d.id, ctx: ctx(0) });
+        let p = part(st.apply(Pid(0), &ShardOp::Marker { epoch: 2 }));
+        assert!(p.unsettled.is_empty(), "settled commit dropped from the capture");
+        assert_eq!(p.map.get(&1), Some(&10));
+        // The tombstone survives settling: a straggling helper's
+        // prepare still gets the verdict, not a fresh lock.
+        match st.apply(Pid(0), &ShardOp::Prepare { desc: d, ctx: ctx(0) }) {
+            ShardResp::Resolved { commit: true, .. } => {}
+            r => panic!("straggler prepare answered {r:?}"),
+        }
+    }
+
+    /// A permanently open epoch (crashed snapshotter) must not make
+    /// later mutations re-walk the epoch range, must keep later marker
+    /// bookkeeping compressed, and must keep its own early capture
+    /// claimable forever.
+    #[test]
+    fn stuck_epoch_costs_are_bounded() {
+        let mut st = St::new(0, 1, 0);
+        st.apply(Pid(0), &ShardOp::Put { key: 1, val: Some(1), ctx: ctx(0) });
+        // Epochs 1..=4 open; markers for 2..=4 arrive (epoch 1 crashed
+        // before reaching this shard). A mutation stamped 4 reveals all
+        // four and early-captures them once.
+        st.apply(Pid(0), &ShardOp::Put { key: 1, val: Some(2), ctx: ctx(4) });
+        assert_eq!(st.early.len(), 4);
+        assert_eq!(st.stamp_hi, 4);
+        for e in 2..=4 {
+            part(st.apply(Pid(0), &ShardOp::Marker { epoch: e }));
+        }
+        assert_eq!(st.early.len(), 1, "markers claimed their captures");
+        assert_eq!(st.snap_floor, 0, "epoch 1's hole pins the floor");
+        assert_eq!(st.snap_done.ranges(), 1, "done epochs stay one range");
+        // Later mutations at the same stamp do no epoch work at all.
+        st.apply(Pid(0), &ShardOp::Put { key: 1, val: Some(3), ctx: ctx(4) });
+        assert_eq!(st.early.len(), 1);
+        // The stalled snapshotter finally lands its marker: it claims
+        // the early capture (pre-mutation state, excluding every write
+        // stamped >= 1) and the floor snaps forward over the whole run.
+        let p = part(st.apply(Pid(0), &ShardOp::Marker { epoch: 1 }));
+        assert_eq!(p.map.get(&1), Some(&1), "early capture excluded stamped writes");
+        assert_eq!(st.early.len(), 0);
+        assert_eq!(st.snap_floor, 4);
+        assert_eq!(st.snap_done.ranges(), 0);
+    }
+
+    /// Reads on a locked key hand back the holder instead of a value —
+    /// the spec-level half of the no-torn-reads guarantee.
+    #[test]
+    fn get_blocks_on_a_locked_key() {
+        let mut st = St::new(0, 1, 0);
+        let d = desc(3, &[(1, 10)]);
+        st.apply(Pid(0), &ShardOp::Prepare { desc: d.clone(), ctx: ctx(0) });
+        match st.apply(Pid(0), &ShardOp::Get { key: 1 }) {
+            ShardResp::Blocked { holder, .. } => assert_eq!(holder.id, d.id),
+            r => panic!("get on a locked key answered {r:?}"),
+        }
+        // An unrelated key still reads freely.
+        match st.apply(Pid(0), &ShardOp::Get { key: 2 }) {
+            ShardResp::Value { val: None, .. } => {}
+            r => panic!("get on a free key answered {r:?}"),
         }
     }
 }

@@ -792,10 +792,14 @@ fn store_single_key_ops_survive_crash_storms_exactly() {
 
 /// A 4-shard multi_put crashed at its `nth` hit of `store::multi`
 /// (hits 1..=4 are the ascending prepares, 5..=8 the ascending
-/// resolves). Postconditions, exact in both cases:
+/// resolves, 9..=12 the ascending settle sweep that retires the commit
+/// from the shards' possibly-torn capture windows). Postconditions,
+/// exact in all cases:
 ///
 /// * a snapshot taken while the multi is stalled is never torn —
-///   all-or-nothing depending on whether any shard holds the commit;
+///   all-or-nothing depending on whether any shard holds the commit
+///   (a crash mid-settle leaves the id in some capture windows, which
+///   must cost nothing but capture bytes);
 /// * a conflicting single-key `put` helps the multi to completion from
 ///   the replicated descriptor, then applies itself — every involved
 ///   shard ends with the multi's write (the helper's own put layered
@@ -829,10 +833,11 @@ fn crashed_multi_round(nth: u64) {
     failpoints::clear();
 
     // Hit `nth` fired *before* its step, so prepares are decided on
-    // shards `0..nth-1` (capped at all 4) and resolves on shards
-    // `0..nth-5`; the multi is commit-visible somewhere iff nth >= 6.
-    // nth == 1 is the degenerate case: nothing decided anywhere, and
-    // the descriptor died with the victim — the multi never happened.
+    // shards `0..nth-1` (capped at all 4), resolves on shards
+    // `0..nth-5` and settles on shards `0..nth-9`; the multi is
+    // commit-visible somewhere iff nth >= 6. nth == 1 is the
+    // degenerate case: nothing decided anywhere, and the descriptor
+    // died with the victim — the multi never happened.
     let committed_somewhere = nth >= 6;
 
     // (1) Snapshot atomicity while the multi is stalled: committed on
@@ -853,13 +858,16 @@ fn crashed_multi_round(nth: u64) {
         );
     }
 
-    // (2) Helping: a put on a key that is *still locked* — shard 0's
+    // (2) Helping: a put on a key that is still locked — shard 0's
     // while resolution hasn't begun there (nth <= 5; its prepare was
     // hit 1), shard 3's once early resolves have already freed the low
-    // shards (nth >= 6; its own resolve would have been hit 8) —
+    // shards (6 <= nth <= 8; its own resolve would have been hit 8) —
     // completes the stalled multi from the replicated descriptor, then
     // applies. multi_put has no expectations, so the helped verdict is
-    // commit: the observed prev is exactly the multi's write.
+    // commit: the observed prev is exactly the multi's write. For
+    // nth >= 9 every lock is already released (the crash landed in the
+    // settle sweep), so the put applies directly over the committed
+    // write — same observable outcome.
     let c = if committed_somewhere { 3 } else { 0 };
     let prev = h.put(keys[c], 777);
     if nth == 1 {
@@ -893,7 +901,7 @@ fn crashed_multi_round(nth: u64) {
 #[test]
 fn store_crashed_multi_op_is_helped_and_never_torn() {
     let _guard = failpoints::exclusive();
-    for nth in [1, 2, 3, 4, 5, 6, 7, 8] {
+    for nth in 1..=12 {
         failpoints::clear();
         crashed_multi_round(nth);
     }

@@ -1353,3 +1353,71 @@ fn store_snapshots_are_never_torn_and_hb_clean() {
     }
     assert!(snaps_total >= SEEDS as usize, "campaign took too few snapshots");
 }
+
+/// Acceptance (review regression): one thread `get`ting both keys of a
+/// concurrently committing two-shard `multi_put` must never observe it
+/// half-applied. The writer multi-puts ascending round numbers to two
+/// keys on different shards; the reader reads the key on the *lower*
+/// shard first. Resolves land in ascending shard order, so a `get`
+/// that ignored multi-op locks could read the new round off the low
+/// shard after its resolve and the old round off the high shard before
+/// its resolve — a strictly decreasing pair of sequential reads, which
+/// no linearization of the atomic flat-map model allows. `get` helping
+/// past the lock (like every mutator) closes exactly this window.
+#[test]
+fn store_get_never_observes_a_half_applied_multi() {
+    for seed in 0..SEEDS {
+        let res = run(
+            waitfree::sched::RandomWalk::new(seed),
+            RunOptions::default(),
+            move || {
+                let store: ShardedStore<u64, i64> = ShardedStore::new(&StoreConfig {
+                    shards: 4,
+                    ops_per_handle: 64,
+                    ..StoreConfig::default()
+                });
+                // Two keys on distinct shards, ordered by shard: the
+                // vulnerable read order is lower-shard key first.
+                let lo = 0u64;
+                let hi = (1..)
+                    .find(|k| store.shard_of(k) != store.shard_of(&lo))
+                    .expect("4 shards hold more than one shard's worth of keys");
+                let (lo, hi) = if store.shard_of(&lo) < store.shard_of(&hi) {
+                    (lo, hi)
+                } else {
+                    (hi, lo)
+                };
+                let writer = {
+                    let store = store.clone();
+                    vthread::spawn(move || {
+                        let mut h = store.handle();
+                        for round in 1..=2i64 {
+                            h.multi_put([(lo, Some(round)), (hi, Some(round))]);
+                        }
+                        h.retire();
+                    })
+                };
+                let reader = {
+                    let store = store.clone();
+                    vthread::spawn(move || {
+                        let mut h = store.handle();
+                        for _ in 0..2 {
+                            let a = h.get(&lo).unwrap_or(0);
+                            let b = h.get(&hi).unwrap_or(0);
+                            assert!(
+                                b >= a,
+                                "seed {seed}: half-applied multi observed — \
+                                 key {lo} (low shard) read round {a}, then \
+                                 key {hi} (high shard) read round {b}"
+                            );
+                        }
+                        h.retire();
+                    })
+                };
+                writer.join().unwrap();
+                reader.join().unwrap();
+            },
+        );
+        assert!(res.error.is_none(), "seed {seed}: {:?}", res.error);
+    }
+}
