@@ -25,12 +25,22 @@
 //! Construction (all shard logs) is hoisted out of the timed region
 //! via `timing::measure_with_setup`, exactly like `bench_universal`.
 //!
-//! Merges each run into `BENCH_universal.json` under its own
-//! `"store": "sharded"` config group (schema 2; see
-//! `waitfree_bench::trajectory`), so store figures and universal-object
-//! figures never gate each other. Env knobs for the CI smoke job:
-//! `BENCH_STORE_OPS` (ops per thread, default 2000),
-//! `BENCH_STORE_SAMPLES` (median-of samples, default 9),
+//! Reads run through **both paths**, recorded as two config groups:
+//!
+//! * the original `"store": "sharded"` group keeps its reads on the
+//!   decided path (`get_decided`, byte-for-byte the pre-PR-9 `get`:
+//!   one consensus decide per read), so the recorded trajectory
+//!   continues unbroken across the semantics change;
+//! * a `"reads": "local"` group (zipf, read_heavy, snap_load) runs the
+//!   same workloads with the log-free replica path (`get`) — the
+//!   `bench_trend` gate groups by config, so it never compares a
+//!   local-read row against a decided-read baseline.
+//!
+//! Merges each run into `BENCH_universal.json` under those config
+//! groups (schema 2; see `waitfree_bench::trajectory`), so store
+//! figures and universal-object figures never gate each other. Env
+//! knobs for the CI smoke job: `BENCH_STORE_OPS` (ops per thread,
+//! default 2000), `BENCH_STORE_SAMPLES` (median-of samples, default 9),
 //! `BENCH_STORE_THREADS` (default 4).
 
 use waitfree_bench::json::Json;
@@ -100,9 +110,13 @@ impl Zipf {
 
 /// One measured cell: `threads` OS threads each run `ops` operations of
 /// `workload` against a fresh `shards`-shard store (constructed in the
-/// untimed setup). Returns (median ns/op, worst threading steps).
+/// untimed setup). `local_reads` selects the read path: the log-free
+/// replica fast path (`get`) or the decided-read witness
+/// (`get_decided`, one consensus decide per read — the pre-PR-9
+/// behaviour). Returns (median ns/op, worst threading steps).
 fn run_cell(
     workload: &str,
+    local_reads: bool,
     shards: usize,
     threads: usize,
     ops: usize,
@@ -126,12 +140,20 @@ fn run_cell(
                         let mut h = store.handle();
                         let mut rng = Rng(0x5eed_0000_0000_0000 | t as u64);
                         let zipf = Zipf::new(UNIVERSE, ZIPF_THETA);
+                        let read =
+                            |h: &mut waitfree_store::StoreHandle<u64, i64>, k: &u64| {
+                                if local_reads {
+                                    h.get(k)
+                                } else {
+                                    h.get_decided(k)
+                                }
+                            };
                         for i in 0..ops {
                             match workload.as_str() {
                                 "zipf" => {
                                     let k = zipf.draw(&mut rng);
                                     if rng.below(100) < 50 {
-                                        let _ = h.get(&k);
+                                        let _ = read(&mut h, &k);
                                     } else {
                                         let _ = h.put(k, i as i64);
                                     }
@@ -140,7 +162,7 @@ fn run_cell(
                                     let reads = if workload == "read_heavy" { 90 } else { 10 };
                                     let k = rng.below(UNIVERSE);
                                     if rng.below(100) < reads {
-                                        let _ = h.get(&k);
+                                        let _ = read(&mut h, &k);
                                     } else {
                                         let _ = h.put(k, i as i64);
                                     }
@@ -210,7 +232,7 @@ fn main() {
     let mut zipf_by_shards: Vec<(usize, f64)> = Vec::new();
     for workload in ["zipf", "read_heavy", "write_heavy", "snap_load"] {
         for shards in SHARD_COUNTS {
-            let (ns, max_steps) = run_cell(workload, shards, threads, ops, samples);
+            let (ns, max_steps) = run_cell(workload, false, shards, threads, ops, samples);
             report.row(&[
                 workload.to_string(),
                 "sharded".to_string(),
@@ -260,7 +282,59 @@ fn main() {
         ),
     ]);
     merge_into_file("BENCH_universal.json", &report.to_json(), &timestamp, config);
+
+    // The same read-bearing workloads again with reads on the log-free
+    // replica path (PR 9): a separate `"reads": "local"` config group,
+    // so `bench_trend` gates these rows against their own history and
+    // never against the decided-read baseline above. write_heavy is
+    // omitted — its rows are 90% writes, identical on both paths.
+    let mut local = Report::new(
+        "bench_store_local",
+        "Sharded store with log-free reads: get answered from the replica",
+        &["workload", "impl", "n", "threads", "ops/thread", "ns/op", "max_steps"],
+    );
+    local.note(format!(
+        "reads=local: `get` Acquire-loads the decided frontier, replays the handle's \
+         replica to it, and answers — zero log appends, zero shared-log RMWs per \
+         read; writes are unchanged. Same knobs as the decided group \
+         (threads={threads} ops_per_thread={ops} samples={samples})"
+    ));
+    for workload in ["zipf", "read_heavy", "snap_load"] {
+        for shards in SHARD_COUNTS {
+            let (ns, max_steps) = run_cell(workload, true, shards, threads, ops, samples);
+            local.row(&[
+                workload.to_string(),
+                "sharded".to_string(),
+                shards.to_string(),
+                threads.to_string(),
+                ops.to_string(),
+                format!("{ns:.1}"),
+                max_steps.to_string(),
+            ]);
+            if max_steps > 4 * threads + 8 {
+                local.fail(format!(
+                    "{workload} shards={shards} (local reads): {max_steps} threading \
+                     steps exceeds the O(threads) per-log bound"
+                ));
+            }
+        }
+    }
+    let local_config = Json::Obj(vec![
+        ("store".into(), Json::Str("sharded".into())),
+        ("reads".into(), Json::Str("local".into())),
+        ("ops_per_thread".into(), Json::num(ops as u64)),
+        ("samples".into(), Json::num(samples as u64)),
+        ("threads".into(), Json::num(threads as u64)),
+        ("universe".into(), Json::num(UNIVERSE)),
+        (
+            "shard_counts".into(),
+            Json::Arr(SHARD_COUNTS.iter().map(|n| Json::num(*n as u64)).collect()),
+        ),
+    ]);
+    merge_into_file("BENCH_universal.json", &local.to_json(), &timestamp, local_config);
+
     report.finish();
+    local.finish();
 }
 
 #[cfg(test)]

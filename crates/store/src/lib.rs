@@ -6,11 +6,19 @@
 //! behind a seeded key→shard router ([`router::route`]). Three op
 //! classes, three protocols:
 //!
-//! * **Single-key ops** (`get`/`put`/`remove`/`cas`/`fetch_update`)
+//! * **Single-key mutations** (`put`/`remove`/`cas`/`fetch_update`)
 //!   decide into exactly one shard's log — one decided op in the
 //!   uncontended case — inheriting that log's wait-free helping bound
 //!   unchanged. Keys on different shards no longer contend on a CAS
-//!   point at all.
+//!   point at all. **Reads are log-free**: `get` (and the batched
+//!   `multi_get`) answer from the caller's shard replica caught up to
+//!   an observed decided frontier (`WfHandle::read`), linearized at
+//!   the frontier load — zero log appends, zero shared-log RMWs, so
+//!   readers never contend with writers for log positions. §4.1 needs
+//!   consensus only to order mutations; a read linearizes wherever its
+//!   observed frontier sits. The decided-read path survives as
+//!   [`StoreHandle::get_decided`] (a log-ordered linearization
+//!   witness, and the before/after benchmark baseline).
 //!
 //! * **Multi-key atomic ops** (`multi_put`/`multi_cas`) run a
 //!   two-phase protocol *through the logs*: a full descriptor is
@@ -46,26 +54,35 @@
 //!
 //! ## Progress guarantees, stated honestly
 //!
-//! Single-key ops on keys not touched by any in-flight multi-op are
-//! wait-free with the per-shard `O(n)` helping bound. Any op — reads
-//! included — that hits a multi-op's lock helps that multi-op to
-//! completion first (itself a bounded number of decides over its
-//! involved shards) and retries; under a *continuous* adversarial
-//! stream of conflicting multi-ops this degrades to lock-freedom (some
-//! multi-op always completes), the standard trade for multi-object
-//! atomicity without a global log. `get` cannot be exempted from this:
-//! a committed multi-op's writes land on its shards at different log
-//! positions, so a reader that ignored the locks could see one shard
-//! after the resolve and another before it — a half-applied multi-op
-//! no linearization of the flat-map spec allows.
+//! Single-key mutations on keys not touched by any in-flight multi-op
+//! are wait-free with the per-shard `O(n)` helping bound; uncontended
+//! reads are wait-free with *no* helping at all (the replay gap is
+//! fixed at the frontier load). Any op — reads included — that hits a
+//! multi-op's lock helps that multi-op to completion first (itself a
+//! bounded number of decides over its involved shards) and retries;
+//! under a *continuous* adversarial stream of conflicting multi-ops
+//! this degrades to lock-freedom (some multi-op always completes), the
+//! standard trade for multi-object atomicity without a global log.
+//! `get` cannot be exempted from this, log-free or not: a committed
+//! multi-op's writes land on its shards at different log positions, so
+//! a reader that ignored the locks could see one shard after the
+//! resolve and another before it — a half-applied multi-op no
+//! linearization of the flat-map spec allows. The local read path
+//! keeps the rule because the replica it reads *is* the decided
+//! prefix: a lock visible at the observed frontier blocks the read
+//! ([`ShardState::peek`]), and DESIGN §14 gives the happens-before
+//! argument for why a frontier that shows one shard's resolve always
+//! shows every sibling shard's prepare.
 //!
 //! ## Failpoints
 //!
 //! With the `failpoints` feature the front-end exposes `store::route`
-//! (before every single-key routing decision), `store::multi` (before
-//! every per-shard step of a multi-op, prepares and resolves), and
-//! `store::snapshot` (before every per-shard marker decide), composing
-//! with the `universal::*` sites underneath.
+//! (before every single-key routing decision — one per op; a
+//! helped-multi retry re-stamps the context but does not re-route),
+//! `store::multi` (before every per-shard step of a multi-op, prepares
+//! and resolves), and `store::snapshot` (before every per-shard marker
+//! decide), composing with the `universal::*` sites underneath —
+//! including `universal::read` on the log-free `get`/`multi_get` path.
 
 use std::collections::BTreeMap;
 use std::fmt::Debug;
@@ -82,7 +99,7 @@ pub mod spec;
 
 pub use model::{StoreModel, StoreOp, StoreResp};
 pub use router::route;
-pub use spec::{Bump, Ctx, Merge, MultiDesc, MultiId, PendingMulti, ShardOp, ShardResp, ShardState, SnapPart};
+pub use spec::{Bump, Ctx, Merge, MultiDesc, MultiId, Peek, PendingMulti, ShardOp, ShardResp, ShardState, SnapPart};
 
 /// Construction parameters for a [`ShardedStore`].
 #[derive(Clone, Debug)]
@@ -227,7 +244,7 @@ where
             epoch: Arc::clone(&self.epoch),
             multi_seq: Arc::clone(&self.multi_seq),
             seed: self.seed,
-            seen: BTreeMap::new(),
+            seen: vec![0; self.shards.len()],
         }
     }
 }
@@ -258,9 +275,12 @@ where
     epoch: Arc<AtomicU64>,
     multi_seq: Arc<AtomicU64>,
     seed: u64,
-    /// Highest shard versions observed in responses; stamped onto every
-    /// mutating op for the snapshot cut check.
-    seen: BTreeMap<usize, u64>,
+    /// Highest shard versions observed in responses, indexed by shard;
+    /// stamped onto every mutating op for the snapshot cut check. A
+    /// flat vector (shard count is fixed at construction): stamping is
+    /// a memcpy per mutating op, where the former `BTreeMap` re-built
+    /// O(shards) nodes on every `put`/`cas`/`fetch_update`.
+    seen: Vec<u64>,
 }
 
 impl<K, V, M> StoreHandle<K, V, M>
@@ -281,9 +301,8 @@ where
     }
 
     fn observe(&mut self, shard: usize, version: u64) {
-        let e = self.seen.entry(shard).or_insert(0);
-        if version > *e {
-            *e = version;
+        if version > self.seen[shard] {
+            self.seen[shard] = version;
         }
     }
 
@@ -294,15 +313,95 @@ where
         resp
     }
 
-    /// Read one key. Wait-free when the key is not under a multi-op
-    /// lock; otherwise helps the locking multi-op to completion and
-    /// retries, like every mutator — a read that skipped the lock
-    /// could observe a cross-shard multi-op half-applied.
+    /// [`Self::invoke`] over a borrowed op, for the retry loops: the op
+    /// is built once and re-proposed on helped-multi retries without
+    /// re-cloning its key/value payload (`WfHandle::invoke_ref` clones
+    /// it exactly once, into the announce entry).
+    fn invoke_ref(&mut self, shard: usize, op: &ShardOp<K, V, M>) -> ShardResp<K, V> {
+        let resp = self.shards[shard].invoke_ref(op);
+        self.observe(shard, resp_version(&resp));
+        resp
+    }
+
+    /// Read one key — **log-free**. The value comes from this handle's
+    /// shard replica caught up to the decided frontier observed on
+    /// entry ([`WfHandle::read`]): no log append, no shared-log RMW, no
+    /// allocation, linearized at the frontier load. Wait-free with no
+    /// helping when the key is not under a multi-op lock; a key locked
+    /// at the observed frontier hands back the holder descriptor — the
+    /// reader helps that multi-op to completion and retries, exactly
+    /// like every mutator, so a cross-shard multi-op can never be
+    /// observed half-applied (module docs; DESIGN §14).
+    ///
+    /// For a read that is *decide-ordered* into the shard log (a
+    /// linearization witness at a known log position), see
+    /// [`Self::get_decided`].
     pub fn get(&mut self, key: &K) -> Option<V> {
+        failpoint!("store::route");
+        let s = route(self.seed, self.nshards(), key);
         loop {
+            match self.shards[s].read(|st| st.peek(key)) {
+                Ok((val, version)) => {
+                    self.observe(s, version);
+                    return val;
+                }
+                Err(holder) => {
+                    self.run_multi(&holder);
+                }
+            }
+        }
+    }
+
+    /// Read several keys, log-free, with one frontier read per involved
+    /// shard: keys routed to the same shard are read from the *same*
+    /// observed frontier (mutually consistent), keys on different
+    /// shards are independent reads — semantically a sequence of
+    /// [`Self::get`]s, one per shard, in ascending shard order. For a
+    /// consistent cross-shard cut use [`Self::snapshot`]. Returns
+    /// values in input-key order. Helps and retries past conflicting
+    /// multi-ops like `get`.
+    pub fn multi_get(&mut self, keys: &[K]) -> Vec<Option<V>> {
+        let n = self.nshards();
+        let mut out: Vec<Option<V>> = vec![None; keys.len()];
+        // Group key indices by shard so each shard is read once.
+        let mut by_shard: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
+        for (i, k) in keys.iter().enumerate() {
             failpoint!("store::route");
-            let s = route(self.seed, self.nshards(), key);
-            match self.invoke(s, ShardOp::Get { key: key.clone() }) {
+            by_shard.entry(route(self.seed, n, k)).or_default().push(i);
+        }
+        for (s, idxs) in by_shard {
+            loop {
+                let r = self.shards[s].read(|st| st.peek_many(idxs.iter().map(|&i| &keys[i])));
+                match r {
+                    Ok((vals, version)) => {
+                        self.observe(s, version);
+                        for (&i, v) in idxs.iter().zip(vals) {
+                            out[i] = v;
+                        }
+                        break;
+                    }
+                    Err(holder) => {
+                        self.run_multi(&holder);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Read one key through the shard's consensus log: decides a `Get`
+    /// entry, so the read occupies a log position and is linearized by
+    /// its decide — the path `get` took before the log-free replica
+    /// read existed. Kept for callers that want a log-ordered
+    /// linearization witness (`last_decided_position` names the read's
+    /// position) and as the decided-read baseline the benchmarks
+    /// compare against. Same lock/help/retry discipline as `get`.
+    pub fn get_decided(&mut self, key: &K) -> Option<V> {
+        failpoint!("store::route");
+        let s = route(self.seed, self.nshards(), key);
+        let op = ShardOp::Get { key: key.clone() };
+        loop {
+            match self.invoke_ref(s, &op) {
                 ShardResp::Value { val, .. } => return val,
                 ShardResp::Blocked { holder, .. } => {
                     self.run_multi(&holder);
@@ -324,14 +423,21 @@ where
     }
 
     fn put_opt(&mut self, key: K, val: Option<V>) -> Option<V> {
+        failpoint!("store::route");
+        let s = route(self.seed, self.nshards(), &key);
+        // Built once — a helped-multi retry re-stamps the ctx in place
+        // instead of re-cloning key and value.
+        let mut op = ShardOp::Put { key, val, ctx: self.ctx() };
         loop {
-            failpoint!("store::route");
-            let s = route(self.seed, self.nshards(), &key);
-            let op = ShardOp::Put { key: key.clone(), val: val.clone(), ctx: self.ctx() };
-            match self.invoke(s, op) {
+            match self.invoke_ref(s, &op) {
                 ShardResp::Prev { prev, .. } => return prev,
                 ShardResp::Blocked { holder, .. } => {
                     self.run_multi(&holder);
+                    // The stamp rule needs the epoch/knowledge read
+                    // immediately before each attempt — helping just
+                    // moved both.
+                    let ShardOp::Put { ctx, .. } = &mut op else { unreachable!() };
+                    *ctx = self.ctx();
                 }
                 r => unreachable!("put answered {r:?}"),
             }
@@ -346,19 +452,16 @@ where
         expect: Option<V>,
         new: Option<V>,
     ) -> (bool, Option<V>) {
+        failpoint!("store::route");
+        let s = route(self.seed, self.nshards(), &key);
+        let mut op = ShardOp::Cas { key, expect, new, ctx: self.ctx() };
         loop {
-            failpoint!("store::route");
-            let s = route(self.seed, self.nshards(), &key);
-            let op = ShardOp::Cas {
-                key: key.clone(),
-                expect: expect.clone(),
-                new: new.clone(),
-                ctx: self.ctx(),
-            };
-            match self.invoke(s, op) {
+            match self.invoke_ref(s, &op) {
                 ShardResp::CasResult { ok, prev, .. } => return (ok, prev),
                 ShardResp::Blocked { holder, .. } => {
                     self.run_multi(&holder);
+                    let ShardOp::Cas { ctx, .. } = &mut op else { unreachable!() };
+                    *ctx = self.ctx();
                 }
                 r => unreachable!("cas answered {r:?}"),
             }
@@ -368,14 +471,16 @@ where
     /// Atomically replace one key's value with `merge(current)`,
     /// returning the previous value.
     pub fn fetch_update(&mut self, key: K, merge: M) -> Option<V> {
+        failpoint!("store::route");
+        let s = route(self.seed, self.nshards(), &key);
+        let mut op = ShardOp::Update { key, merge, ctx: self.ctx() };
         loop {
-            failpoint!("store::route");
-            let s = route(self.seed, self.nshards(), &key);
-            let op = ShardOp::Update { key: key.clone(), merge: merge.clone(), ctx: self.ctx() };
-            match self.invoke(s, op) {
+            match self.invoke_ref(s, &op) {
                 ShardResp::Prev { prev, .. } => return prev,
                 ShardResp::Blocked { holder, .. } => {
                     self.run_multi(&holder);
+                    let ShardOp::Update { ctx, .. } = &mut op else { unreachable!() };
+                    *ctx = self.ctx();
                 }
                 r => unreachable!("fetch_update answered {r:?}"),
             }
@@ -457,10 +562,12 @@ where
             if verdict.is_some() {
                 break;
             }
+            // One descriptor clone per shard, not per attempt; retries
+            // re-stamp the ctx only.
+            let mut op = ShardOp::Prepare { desc: desc.clone(), ctx: self.ctx() };
             loop {
                 failpoint!("store::multi");
-                let op = ShardOp::Prepare { desc: desc.clone(), ctx: self.ctx() };
-                match self.invoke(s, op) {
+                match self.invoke_ref(s, &op) {
                     ShardResp::Vote { ok, .. } => {
                         all &= ok;
                         break;
@@ -471,6 +578,8 @@ where
                     }
                     ShardResp::Blocked { holder, .. } => {
                         self.run_multi(&holder);
+                        let ShardOp::Prepare { ctx, .. } = &mut op else { unreachable!() };
+                        *ctx = self.ctx();
                     }
                     r => unreachable!("prepare answered {r:?}"),
                 }
@@ -650,7 +759,7 @@ where
 #[cfg(debug_assertions)]
 fn check_cut<K: Ord, V>(parts: &[SnapPart<K, V>]) {
     for (s, p) in parts.iter().enumerate() {
-        for (&t, &known) in &p.know {
+        for (t, &known) in p.know.iter().enumerate() {
             let actual = parts.get(t).map_or(0, |q| q.version);
             assert!(
                 known <= actual,
@@ -793,6 +902,96 @@ mod tests {
         h.retire();
         for s in 0..2 {
             assert!(st.shard(s).active_handles() == 0);
+        }
+    }
+
+    /// Acceptance gate for the log-free read path: a burst of `get`s
+    /// moves no invoke/decide diagnostic and appends nothing to any
+    /// shard log.
+    #[test]
+    fn local_reads_leave_no_trace_in_any_shard_log() {
+        let st = store(4);
+        let mut w = st.handle();
+        for k in 0..32u64 {
+            w.put(k, k as i64);
+        }
+        let mut r = st.handle();
+        // Warm the reader on every shard so the burst below starts
+        // caught up (the first read per shard legitimately replays the
+        // decided prefix into the replica).
+        for k in 0..32u64 {
+            assert_eq!(r.get(&k), Some(k as i64));
+        }
+        let snap_diag: Vec<_> = (0..4)
+            .map(|s| {
+                let h = r.shard_handle(s);
+                (h.invokes(), h.decides(), h.last_decided_position(), h.replayed())
+            })
+            .collect();
+        let writer_pos: Vec<_> =
+            (0..4).map(|s| w.shard_handle(s).last_decided_position()).collect();
+        for k in 0..32u64 {
+            assert_eq!(r.get(&k), Some(k as i64));
+            assert_eq!(r.multi_get(&[k, (k + 1) % 32]), vec![
+                Some(k as i64),
+                Some(((k + 1) % 32) as i64)
+            ]);
+        }
+        for s in 0..4 {
+            let h = r.shard_handle(s);
+            assert_eq!(h.invokes(), snap_diag[s].0, "shard {s}: read counted as invoke");
+            assert_eq!(h.decides(), snap_diag[s].1, "shard {s}: read attempted a decide");
+            assert_eq!(h.last_decided_position(), snap_diag[s].2);
+            assert_eq!(
+                h.replayed(),
+                snap_diag[s].3,
+                "shard {s}: nothing new was decided, so reads replayed nothing"
+            );
+            assert_eq!(w.shard_handle(s).last_decided_position(), writer_pos[s]);
+        }
+        // The next write lands exactly where it would have without the
+        // 96 reads in between: the log grew by zero positions.
+        let k0 = (0..32u64).find(|k| st.shard_of(k) == 0).unwrap();
+        w.put(k0, -1);
+        assert_eq!(
+            w.shard_handle(0).last_decided_position(),
+            writer_pos[0].map(|p| p + 1).or(Some(0)),
+        );
+    }
+
+    #[test]
+    fn get_decided_still_reads_through_the_log() {
+        let st = store(2);
+        let mut h = st.handle();
+        h.put(5, 50);
+        let decides = h.decides();
+        assert_eq!(h.get_decided(&5), Some(50));
+        assert!(h.decides() > decides, "a decided read occupies a log position");
+        assert_eq!(h.get(&5), Some(50), "both paths agree");
+    }
+
+    #[test]
+    fn multi_get_orders_results_by_input_key() {
+        let st = store(4);
+        let mut h = st.handle();
+        h.multi_put((0..16u64).map(|k| (k, Some(k as i64 * 3))));
+        let keys: Vec<u64> = vec![15, 0, 7, 99, 7, 3];
+        let got = h.multi_get(&keys);
+        assert_eq!(got, vec![Some(45), Some(0), Some(21), None, Some(21), Some(9)]);
+        assert_eq!(h.multi_get(&[]), Vec::<Option<i64>>::new());
+    }
+
+    /// The local read observes every write the *same handle* completed
+    /// and every write another handle completed before the read began
+    /// (the completed-invoke frontier guarantee).
+    #[test]
+    fn local_reads_see_completed_writes_across_handles() {
+        let st = store(4);
+        let mut a = st.handle();
+        let mut b = st.handle();
+        for k in 0..64u64 {
+            a.put(k, k as i64);
+            assert_eq!(b.get(&k), Some(k as i64), "b reads a's completed put");
         }
     }
 

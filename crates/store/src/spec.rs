@@ -69,11 +69,22 @@ pub struct Ctx {
     /// The store epoch counter as read by the client immediately before
     /// this invoke. Drives snapshot early-capture (see module docs).
     pub epoch: u64,
-    /// Shard versions this client has observed (from prior responses).
-    /// Merged into [`ShardState::know`] so the debug-mode cut check can
-    /// verify the snapshot against real cross-shard dependencies.
-    pub know: BTreeMap<usize, u64>,
+    /// Shard versions this client has observed (from prior responses),
+    /// indexed by shard — the shard count is fixed at construction, so
+    /// a flat vector copies by memcpy where a `BTreeMap` would
+    /// re-allocate nodes on every mutating op. Merged into
+    /// [`ShardState::know`] so the debug-mode cut check can verify the
+    /// snapshot against real cross-shard dependencies. May be shorter
+    /// than the shard count (a client that has observed nothing sends
+    /// an empty vector); absent entries mean version 0.
+    pub know: Vec<u64>,
 }
+
+/// A replica-side read outcome ([`ShardState::peek`]/
+/// [`ShardState::peek_many`]): the value(s) plus the shard version at
+/// the observed frontier, or the descriptor of the multi-op whose lock
+/// blocks the read (for helper completion).
+pub type Peek<T, K, V> = Result<(T, u64), Box<MultiDesc<K, V>>>;
 
 /// Full description of one multi-key atomic op, replicated to every
 /// involved shard so *any* client holding it can finish the op.
@@ -132,8 +143,9 @@ pub struct SnapPart<K: Ord, V> {
     pub unsettled: BTreeMap<MultiId, Vec<usize>>,
     /// Mutation counter at the cut.
     pub version: u64,
-    /// Observed-shard-version vector at the cut (debug cut check).
-    pub know: BTreeMap<usize, u64>,
+    /// Observed-shard-version vector at the cut, indexed by shard
+    /// (debug cut check).
+    pub know: Vec<u64>,
 }
 
 /// How [`ShardedStore::fetch_update`](crate::ShardedStore) transforms a
@@ -247,8 +259,9 @@ pub struct ShardState<K: Ord, V, M> {
     /// crashed between their last resolve and their settles (any later
     /// helper of the same multi re-settles).
     unsettled: BTreeMap<MultiId, Vec<usize>>,
-    /// Max observed version per shard over all ops applied here.
-    know: BTreeMap<usize, u64>,
+    /// Max observed version per shard over all ops applied here,
+    /// indexed by shard (length `nshards` from construction).
+    know: Vec<u64>,
     /// Snapshot bookkeeping: every epoch `<= snap_floor` has its marker
     /// applied here; `snap_done` holds marker-applied epochs above the
     /// floor, compressed to ranges so a crashed snapshot (a permanent
@@ -337,7 +350,7 @@ where
             applied: BTreeSet::new(),
             aborted: BTreeSet::new(),
             unsettled: BTreeMap::new(),
-            know: BTreeMap::new(),
+            know: vec![0; nshards],
             snap_floor: 0,
             snap_done: EpochSet::default(),
             stamp_hi: 0,
@@ -389,8 +402,7 @@ where
     /// the cut), then merge the client's observed-version vector.
     fn absorb(&mut self, ctx: &Ctx) {
         self.pre_capture(ctx.epoch);
-        for (&s, &v) in &ctx.know {
-            let e = self.know.entry(s).or_insert(0);
+        for (e, &v) in self.know.iter_mut().zip(&ctx.know) {
             if v > *e {
                 *e = v;
             }
@@ -405,6 +417,50 @@ where
             .get(id)
             .expect("a locked key's holder is pending (lock/pending invariant)");
         Some(Box::new(pm.desc.clone()))
+    }
+
+    /// Replica-side read of `key` with the same lock discipline as the
+    /// decided [`ShardOp::Get`]: `Err(holder)` when the key is locked
+    /// by an in-flight multi-op, so a log-free reader
+    /// ([`crate::StoreHandle::get`]) helps the multi to completion and
+    /// retries instead of observing it half-applied. `Ok` carries the
+    /// value and the shard version at the observed frontier (the
+    /// version feeds the client's observed-version vector exactly as a
+    /// decided [`ShardResp::Value`] would).
+    ///
+    /// # Errors
+    ///
+    /// The blocking multi-op's descriptor, for helping.
+    pub fn peek(&self, key: &K) -> Peek<Option<V>, K, V> {
+        match self.holder_of(key) {
+            Some(holder) => Err(holder),
+            None => Ok((self.map.get(key).cloned(), self.version)),
+        }
+    }
+
+    /// [`Self::peek`] over several keys in one replica pass, for
+    /// [`crate::StoreHandle::multi_get`]: every value is taken from the
+    /// same observed frontier of this shard, or the first blocking
+    /// holder is handed back for helping.
+    ///
+    /// # Errors
+    ///
+    /// As [`Self::peek`].
+    pub fn peek_many<'k>(
+        &self,
+        keys: impl IntoIterator<Item = &'k K>,
+    ) -> Peek<Vec<Option<V>>, K, V>
+    where
+        K: 'k,
+    {
+        let mut vals = Vec::new();
+        for key in keys {
+            match self.holder_of(key) {
+                Some(holder) => return Err(holder),
+                None => vals.push(self.map.get(key).cloned()),
+            }
+        }
+        Ok((vals, self.version))
     }
 
     fn apply_writes_of(&mut self, desc: &MultiDesc<K, V>) {
@@ -630,7 +686,7 @@ mod tests {
     type St = ShardState<u64, i64, ()>;
 
     fn ctx(epoch: u64) -> Ctx {
-        Ctx { epoch, know: BTreeMap::new() }
+        Ctx { epoch, know: Vec::new() }
     }
 
     fn desc(id: u64, writes: &[(u64, i64)]) -> MultiDesc<u64, i64> {

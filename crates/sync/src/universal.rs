@@ -105,6 +105,17 @@
 //! 3. **Replay** the log from the handle's cached state up to the caller's
 //!    entry to compute the response (§4.1's `eval`/`apply`).
 //!
+//! Reads take none of those steps. §4.1 only needs consensus to order
+//! *mutations*; [`WfHandle::read`] answers from the handle's own replica
+//! after catching it up to an observed decided frontier — the
+//! Acquire-load of the `hint` word — without announcing, allocating, or
+//! CASing anything. The read is linearized at that frontier load: the
+//! completion-side `publish_hint` below guarantees the hint is at least
+//! one past the position of every *completed* invocation, so a read that
+//! starts after an `invoke` returned observes that invocation's effect.
+//! Bounded work (the replay gap is fixed at the frontier load), hence
+//! wait-free, and zero RMWs on the shared log.
+//!
 //! Helping can thread the same entry into several positions (helpers and
 //! the owner may each win with a batch containing it); replay
 //! deduplicates by per-thread sequence number, the standard fix. The
@@ -131,13 +142,19 @@
 //!   release half of the winner's `SeqCst` CAS, so the `LogEntry`
 //!   pointed to is fully visible;
 //! * the `hint` word: `Release` publish / `Acquire` read — it is a
-//!   heuristic lower bound on the first undecided position, but a
+//!   lower bound on the first undecided position, but a
 //!   thread that starts threading at the hint skips the prefix below it
 //!   without ever touching those slots, so the replay loop's
 //!   decided-prefix invariant must be inherited from the publisher: the
 //!   acquire load carries the publisher's happens-before edge to every
 //!   decide below the published value. Staleness still only costs
-//!   extra (already-decided) iterations. The threading start is
+//!   extra (already-decided) iterations — except on the log-free read
+//!   path, where the hint *is* the observed frontier, so `try_invoke`
+//!   additionally publishes `hint ≥ cursor` when an invocation
+//!   completes: a completed op's position is always below the hint,
+//!   which is what makes the Acquire frontier load a sound
+//!   linearization point for [`WfHandle::read`] (see DESIGN.md §14).
+//!   The threading start is
 //!   additionally clamped to the handle's own replay cursor — a safety
 //!   requirement, not a heuristic: positions at or above the cursor are
 //!   at or above the handle's published frontier, which the reclaim
@@ -192,6 +209,7 @@
 //! | `universal::cas`        | in the threading loop, before each consensus decide |
 //! | `universal::decided`    | after a decide, before the position advances |
 //! | `universal::replay`     | in the replay loop, per applied operation |
+//! | `universal::read`       | in `read`/`try_read`, after the frontier load, before the catch-up replay |
 //! | `universal::checkpoint` | after the checkpoint cadence check, before the image is built and proposed |
 //! | `universal::reclaim`    | inside `try_reclaim`, after the reclaim lock is taken, before anything is detached |
 //!
@@ -212,7 +230,11 @@
 //! at most one checkpoint proposal (the cadence check re-fires on the
 //! next invoke); a crash at `universal::reclaim` unwinds through the
 //! RAII lock guard with nothing detached, so the next reclaimer
-//! proceeds unhindered.
+//! proceeds unhindered. A reader crashed at `universal::read` has
+//! announced nothing, decided nothing, and grown nothing — the log and
+//! every other handle's counters are exactly as if the read never
+//! started (`tests/fault_tolerance.rs` asserts the exact-count
+//! postconditions).
 
 use std::cell::UnsafeCell;
 use std::fmt;
@@ -1978,7 +2000,21 @@ impl<S: ObjectSpec> WfHandle<S> {
     /// is the [`UniversalError`] display. Use [`Self::try_invoke`] to
     /// handle exhaustion as a value.
     pub fn invoke(&mut self, op: S::Op) -> S::Resp {
-        match self.try_invoke(op) {
+        match self.try_invoke_ref(&op) {
+            Ok(resp) => resp,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// [`Self::invoke`] over a borrowed operation — see
+    /// [`Self::try_invoke_ref`] for why callers that retry (the store's
+    /// helped-multi loops) want this form.
+    ///
+    /// # Panics
+    ///
+    /// As [`Self::invoke`].
+    pub fn invoke_ref(&mut self, op: &S::Op) -> S::Resp {
+        match self.try_invoke_ref(op) {
             Ok(resp) => resp,
             Err(e) => panic!("{e}"),
         }
@@ -2003,6 +2039,20 @@ impl<S: ObjectSpec> WfHandle<S> {
     /// [`WfUniversal::with_capacity`] cap leaves no undecided position
     /// (never for [`WfUniversal::new`] objects).
     pub fn try_invoke(&mut self, op: S::Op) -> Result<S::Resp, UniversalError> {
+        self.try_invoke_ref(&op)
+    }
+
+    /// [`Self::try_invoke`] over a borrowed operation. The op is cloned
+    /// exactly once — directly into the announce entry — so a caller
+    /// that may retry the same operation (e.g. the store's get/put
+    /// loops, which help a blocking multi-op and re-invoke) pays one
+    /// clone per *attempt* instead of one to move the op in plus one to
+    /// announce it.
+    ///
+    /// # Errors
+    ///
+    /// As [`Self::try_invoke`].
+    pub fn try_invoke_ref(&mut self, op: &S::Op) -> Result<S::Resp, UniversalError> {
         if self.retired {
             return Err(UniversalError::Retired { tid: self.tid });
         }
@@ -2043,8 +2093,12 @@ impl<S: ObjectSpec> WfHandle<S> {
         //    predecessor goes to the owner's limbo list (a helper's
         //    hazard may still cover it), swept opportunistically.
         failpoint!("universal::announce");
-        let own = Entry { tid: self.tid, seq, op };
-        let fresh = Box::into_raw(Box::new(own.clone()));
+        let fresh = Box::into_raw(Box::new(Entry { tid: self.tid, seq, op: op.clone() }));
+        // SAFETY: `fresh` was allocated above and only the owner ever
+        // displaces its announce cell — which cannot happen before this
+        // invocation returns — so the borrow stays valid throughout.
+        // Helpers read the cell but never free the current entry.
+        let own: &Entry<S::Op> = unsafe { &*fresh };
         let prev = slot.cell.load(Ordering::SeqCst);
         slot.cell.store(fresh, Ordering::SeqCst);
         if !prev.is_null() {
@@ -2057,7 +2111,7 @@ impl<S: ObjectSpec> WfHandle<S> {
         failpoint!("universal::announced");
 
         // 2. Thread onto the log.
-        self.thread_entry(&own)?;
+        self.thread_entry(own)?;
 
         // 3. Replay until our own entry is applied. A batch is applied
         //    member by member in decide order; we finish the position
@@ -2102,7 +2156,18 @@ impl<S: ObjectSpec> WfHandle<S> {
                 // decide carried our op.
                 self.last_pos = Some(self.cursor - 1);
                 self.invokes += 1;
-                // 4. Checkpoint duty + frontier publication: decide a
+                // 4. Completion-side hint publication: `thread_entry`'s
+                //    own publish can lag our decided position when a
+                //    helper threaded the op (its loop exits as soon as
+                //    `done` passes `seq`), so re-publish at the replay
+                //    cursor. This makes the hint ≥ one past every
+                //    *completed* op's position — the invariant the
+                //    log-free read path linearizes against: a `read`
+                //    that starts after this return Acquire-loads a
+                //    frontier covering this op. Off the contended decide
+                //    path; one fetch_max per completed invoke.
+                self.publish_hint(self.cursor);
+                // 5. Checkpoint duty + frontier publication: decide a
                 //    checkpoint if the cadence came due, advertise how
                 //    far our replica has replayed, and let reclamation
                 //    collect what fell behind every frontier.
@@ -2271,22 +2336,120 @@ impl<S: ObjectSpec> WfHandle<S> {
             // quiescence on a retired handle).
             let le = unsafe { &*raw };
             self.cursor += 1;
-            for m in le.members() {
-                if m.tid >= self.applied.len() {
-                    self.applied.resize(m.tid + 1, 0);
-                }
-                if m.seq != self.applied[m.tid] {
-                    continue;
-                }
-                self.state.apply(Pid(m.tid), &m.op);
-                self.applied[m.tid] += 1;
-            }
+            self.apply_members(le);
         }
         if !self.retired {
+            // All positions below `cursor` are decided (we replayed
+            // them), so the hint invariant is preserved; publishing
+            // keeps later log-free reads from re-walking this prefix.
+            self.publish_hint(self.cursor);
             self.maybe_checkpoint();
             self.publish_frontier();
         }
         self.state.clone()
+    }
+
+    /// Apply every not-yet-applied member of a decided entry to this
+    /// handle's replica, advancing the per-thread dedup watermarks.
+    /// Checkpoint entries contribute no members. Shared by the pure
+    /// catch-up replays (`refresh`, `try_read`); `try_invoke`'s replay
+    /// loop keeps its own copy because it additionally watches for the
+    /// caller's own response and fires the `universal::replay`
+    /// failpoint per applied op.
+    fn apply_members(&mut self, le: &LogEntry<S>) {
+        for m in le.members() {
+            if m.tid >= self.applied.len() {
+                self.applied.resize(m.tid + 1, 0);
+            }
+            if m.seq != self.applied[m.tid] {
+                continue; // duplicate from helping
+            }
+            self.state.apply(Pid(m.tid), &m.op);
+            self.applied[m.tid] += 1;
+        }
+    }
+
+    /// Linearizable **log-free** read: evaluate `f` against this
+    /// handle's replica caught up to the decided frontier observed on
+    /// entry, without announcing, allocating, or CASing anything.
+    ///
+    /// §4.1 needs consensus only to order *mutations*; a read is
+    /// answered from any replica that has replayed past an observed
+    /// frontier, linearized at the moment the frontier was read:
+    ///
+    /// 1. Acquire-load the `hint` word (clamped to the handle's own
+    ///    replay cursor) — **the linearization point**. `try_invoke`'s
+    ///    completion-side `publish_hint` guarantees the hint is past
+    ///    every *completed* invocation's position, so the read observes
+    ///    every operation that returned before it began; ops decided
+    ///    after the load are concurrent with the read and legitimately
+    ///    invisible. See DESIGN.md §14 for the full argument.
+    /// 2. Replay the replica up to exactly that frontier. The gap is
+    ///    fixed at step 1, so the work is bounded — wait-free without
+    ///    any helping.
+    /// 3. Evaluate `f` against the replica.
+    ///
+    /// The only shared-memory effect is re-publishing this handle's
+    /// replay frontier (a plain store to its own registry slot, which
+    /// lets segment reclamation advance); the log itself sees zero
+    /// appends and zero RMWs — `invokes`/`decides`/
+    /// `last_decided_position` are untouched, which the no-trace tests
+    /// assert. Unlike [`Self::refresh`], `read` never proposes a
+    /// checkpoint (that duty stays on mutators) and never clones the
+    /// state: `f` borrows the replica in place.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the handle is retired; use [`Self::try_read`] to
+    /// handle that as a value.
+    pub fn read<R>(&mut self, f: impl FnOnce(&S) -> R) -> R {
+        match self.try_read(f) {
+            Ok(r) => r,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// [`Self::read`], reporting a retired handle as a typed error
+    /// instead of panicking. A retired handle's frontier is unpinned
+    /// (`usize::MAX`), so its cached segments may be reclaimed at any
+    /// time — the quiescent diagnostics (`refresh`, the decided-log
+    /// walks) re-anchor under the quiescence contract, but a
+    /// linearizable read offers no such contract, so it refuses.
+    ///
+    /// # Errors
+    ///
+    /// [`UniversalError::Retired`] after [`WfHandle::retire`]; nothing
+    /// was read and the call had no effect.
+    pub fn try_read<R>(&mut self, f: impl FnOnce(&S) -> R) -> Result<R, UniversalError> {
+        if self.retired {
+            return Err(UniversalError::Retired { tid: self.tid });
+        }
+        // ordering: Acquire — the linearization point. Pairs with the
+        // Release `fetch_max` in `publish_hint`: the load inherits the
+        // publisher's happens-before edge to every decide below the
+        // value, so the slots replayed below never read null. Clamped
+        // to `cursor`: the hint is global and monotone, but this
+        // handle may already have replayed past a stale value.
+        let frontier = self.shared.hint.load(Ordering::Acquire).max(self.cursor);
+        failpoint!("universal::read");
+        while self.cursor < frontier {
+            self.replay_seg = self.shared.seg_for(self.replay_seg, self.cursor);
+            // ordering: Acquire — same slot-publication edge as the replay loop.
+            let raw = self.shared.slot(self.replay_seg, self.cursor).load(Ordering::Acquire);
+            assert!(
+                !raw.is_null(),
+                "hint is a lower bound on the first undecided position"
+            );
+            // SAFETY: a non-null slot owns its decided entry, and the
+            // segment cannot be reclaimed: its end() exceeds this
+            // handle's published frontier (≤ cursor), which the
+            // reclaim bound never passes.
+            let le = unsafe { &*raw };
+            self.cursor += 1;
+            self.apply_members(le);
+        }
+        self.publish_frontier();
+        Ok(f(&self.state))
     }
 
     /// Total log positions this handle has replayed (diagnostics). A
@@ -2559,6 +2722,113 @@ mod tests {
         h0.invoke(CounterOp::Add(3));
         h0.invoke(CounterOp::Add(4));
         assert_eq!(h1.refresh(), h0.refresh(), "replicas converge");
+    }
+
+    #[test]
+    fn read_observes_every_completed_invoke() {
+        let mut handles = WfUniversal::new(Counter::new(0), 2, 16);
+        let mut h1 = handles.pop().unwrap();
+        let mut h0 = handles.pop().unwrap();
+        h0.invoke(CounterOp::Add(3));
+        h0.invoke(CounterOp::Add(4));
+        // The other handle's read: the completed invokes published the
+        // hint past their positions, so the frontier covers them.
+        assert_eq!(h1.read(Counter::value), 7);
+        h1.invoke(CounterOp::Add(5));
+        assert_eq!(h0.read(Counter::value), 12);
+        // A read after our own invoke trivially sees it (cursor clamp).
+        assert_eq!(h1.read(Counter::value), 12);
+    }
+
+    #[test]
+    fn read_leaves_no_trace_in_the_log() {
+        let mut handles = WfUniversal::new(Counter::new(0), 2, 64);
+        let mut h1 = handles.pop().unwrap();
+        let mut h0 = handles.pop().unwrap();
+        for _ in 0..5 {
+            h0.invoke(CounterOp::Add(1));
+        }
+        let (inv, dec, pos) = (h1.invokes(), h1.decides(), h1.last_decided_position());
+        let log_before = h0.decided_log();
+        for _ in 0..100 {
+            assert_eq!(h1.read(Counter::value), 5);
+        }
+        // Zero log appends, zero shared-log RMWs: every invoke/decide
+        // diagnostic is exactly where it was, and the decided log is
+        // byte-for-byte the same.
+        assert_eq!(h1.invokes(), inv, "read must not count as an invoke");
+        assert_eq!(h1.decides(), dec, "read must not attempt a decide");
+        assert_eq!(h1.last_decided_position(), pos);
+        assert_eq!(h0.decided_log(), log_before, "read must not grow the log");
+        // The next mutation lands at the same position it would have
+        // without the reads.
+        h0.invoke(CounterOp::Add(1));
+        assert_eq!(h0.last_decided_position(), Some(log_before.len()));
+    }
+
+    #[test]
+    fn read_on_a_retired_handle_is_a_typed_error() {
+        let mut handles = WfUniversal::new(Counter::new(7), 1, 8);
+        let mut h = handles.remove(0);
+        h.invoke(CounterOp::Add(1));
+        h.retire();
+        match h.try_read(Counter::value) {
+            Err(UniversalError::Retired { .. }) => {}
+            other => panic!("expected Retired, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn read_stays_exact_across_checkpoint_truncation() {
+        // Checkpoint every 8 positions on a 2-handle log: drive enough
+        // ops that whole segments are reclaimed, reading throughout.
+        let mut handles = WfUniversal::new_checkpointed(Counter::new(0), 2, 512, 8);
+        let mut h1 = handles.pop().unwrap();
+        let mut h0 = handles.pop().unwrap();
+        for i in 0..300i64 {
+            h0.invoke(CounterOp::Add(1));
+            assert_eq!(h1.read(Counter::value), i + 1);
+        }
+        assert!(h0.reclaimed_segments() > 0, "truncation actually ran");
+    }
+
+    #[test]
+    fn concurrent_reads_are_monotone_and_bounded() {
+        let threads = 4;
+        let per = 300;
+        let handles = WfUniversal::new(Counter::new(0), threads, per + 1);
+        let joins: Vec<_> = handles
+            .into_iter()
+            .enumerate()
+            .map(|(i, mut h)| {
+                thread::spawn(move || {
+                    if i == 0 {
+                        // Pure reader: values must be monotone (each read
+                        // linearizes at its frontier load, and frontiers
+                        // only advance) and within [0, writers*per].
+                        let mut last = 0;
+                        for _ in 0..per {
+                            let v = h.read(Counter::value);
+                            assert!(v >= last, "reads ran backwards: {v} < {last}");
+                            assert!(v <= ((threads - 1) * per) as i64);
+                            last = v;
+                        }
+                        assert_eq!(h.invokes(), 0);
+                        assert_eq!(h.decides(), 0);
+                    } else {
+                        for _ in 0..per {
+                            h.invoke(CounterOp::Add(1));
+                        }
+                    }
+                    h
+                })
+            })
+            .collect();
+        let mut done: Vec<_> = joins.into_iter().map(|j| j.join().unwrap()).collect();
+        let total = ((threads - 1) * per) as i64;
+        for h in &mut done {
+            assert_eq!(h.read(Counter::value), total);
+        }
     }
 
     #[test]

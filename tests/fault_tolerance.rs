@@ -38,8 +38,10 @@
 //! bump storms with exact final counts (no op lost, none duplicated),
 //! a multi-key op crashed between every pair of per-shard steps and
 //! driven to completion by a conflicting helper (with snapshots taken
-//! mid-stall proving all-or-nothing visibility), and a snapshot
-//! initiator killed mid-marker-sweep (later snapshots unaffected).
+//! mid-stall proving all-or-nothing visibility), a snapshot
+//! initiator killed mid-marker-sweep (later snapshots unaffected), and
+//! a reader killed at `universal::read` mid-log-free-read (zero log
+//! growth, zero announced orphans — the read path leaves no trace).
 //!
 //! Run with `cargo test --features failpoints --test fault_tolerance`.
 #![cfg(feature = "failpoints")]
@@ -906,6 +908,97 @@ fn store_crashed_multi_op_is_helped_and_never_torn() {
         crashed_multi_round(nth);
     }
     failpoints::clear();
+}
+
+/// A reader crashed at `universal::read` — after the frontier load,
+/// before the catch-up replay — must perturb *nothing*: the log-free
+/// read path announces no entry, appends no log position, and performs
+/// no shared-log RMW, so a reader dying mid-read is invisible to every
+/// other handle. Exact postconditions, per crash point (the `nth` read
+/// of a 4-key sweep, one key per shard, via single `get`s and via one
+/// `multi_get`):
+///
+/// * every shard's decided log is byte-for-byte what the writes alone
+///   produced — zero growth, zero reordering;
+/// * no announced orphan is left for helpers to thread: a later no-op
+///   bump per shard decides exactly **one** new member there (batch
+///   combining would collect a leftover orphan into that decide, so a
+///   count of one proves the slot was never published);
+/// * all values are intact.
+#[test]
+fn store_crashed_reader_perturbs_nothing() {
+    let _guard = failpoints::exclusive();
+    failpoints::clear();
+
+    let store = store4();
+    let keys = keys_per_shard(&store);
+    let mut h = store.handle();
+    for (s, &k) in keys.iter().enumerate() {
+        h.put(k, 10 * s as i64);
+    }
+    // Byte-exact decided prefix per shard before any reader runs.
+    let before: Vec<Vec<(usize, usize)>> =
+        (0..store.shards()).map(|s| h.shard_handle(s).decided_log()).collect();
+
+    // Crash a reader at each of its four read linearization points, on
+    // both read surfaces: `get` per key, and one batched `multi_get`
+    // (which performs one frontier read per shard group, ascending).
+    for nth in 1..=4u64 {
+        for batched in [false, true] {
+            failpoints::clear();
+            failpoints::configure(
+                "universal::read",
+                FailpointConfig::once_for(FaultAction::Crash, 0, nth),
+            );
+            let group = {
+                let store = store.clone();
+                let keys = keys.clone();
+                spawn_workers(1, move |_tid| {
+                    let mut hv = store.handle();
+                    if batched {
+                        let _ = hv.multi_get(&keys);
+                    } else {
+                        for &k in &keys {
+                            let _ = hv.get(&k);
+                        }
+                    }
+                    unreachable!("nth {nth}: the reader dies mid-read");
+                })
+            };
+            let outcomes = group.finish();
+            match &outcomes[0] {
+                Outcome::Crashed { site } => assert_eq!(site, "universal::read"),
+                other => panic!("nth {nth} batched {batched}: expected a crash, got {other:?}"),
+            }
+            // Zero log growth on every shard, byte for byte.
+            for (s, want) in before.iter().enumerate() {
+                assert_eq!(
+                    &h.shard_handle(s).decided_log(),
+                    want,
+                    "nth {nth} batched {batched}: a crashed reader grew shard {s}'s log"
+                );
+            }
+        }
+    }
+    failpoints::clear();
+
+    // No announced orphans anywhere: one no-op bump per shard decides
+    // exactly one new member there (an orphan would ride along in the
+    // same batch and show up as a second member).
+    for &k in &keys {
+        h.fetch_update(k, Bump(0));
+    }
+    for (s, want) in before.iter().enumerate() {
+        assert_eq!(
+            h.shard_handle(s).decided_log().len(),
+            want.len() + 1,
+            "shard {s}: a crashed reader left an announced orphan behind"
+        );
+    }
+    // Values intact.
+    for (s, &k) in keys.iter().enumerate() {
+        assert_eq!(h.get(&k), Some(10 * s as i64), "shard {s}");
+    }
 }
 
 /// A snapshot initiator crashed at `store::snapshot` mid-marker-sweep

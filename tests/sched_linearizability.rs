@@ -1234,6 +1234,11 @@ fn store_mixed_body(rec: HistoryRecorder<StoreModel<u64, i64, Bump>>) {
                         StoreResp::Snap(h.snapshot().map)
                     });
                     rec.record(pid, StoreOp::Get(2), || StoreResp::Value(h.get(&2)));
+                    // The decided read path stays campaigned alongside
+                    // the log-free one.
+                    rec.record(pid, StoreOp::Get(3), || {
+                        StoreResp::Value(h.get_decided(&3))
+                    });
                 } else {
                     rec.record(
                         pid,
@@ -1259,6 +1264,10 @@ fn store_mixed_body(rec: HistoryRecorder<StoreModel<u64, i64, Bump>>) {
                     rec.record(pid, StoreOp::Update(3, Bump(5)), || {
                         StoreResp::Prev(h.fetch_update(3, Bump(5)))
                     });
+                    // A log-free read racing the other thread's
+                    // multi_put on key 1: the reader may observe the
+                    // lock at its frontier and help.
+                    rec.record(pid, StoreOp::Get(1), || StoreResp::Value(h.get(&1)));
                     rec.record(pid, StoreOp::Snapshot, || {
                         StoreResp::Snap(h.snapshot().map)
                     });
@@ -1275,7 +1284,10 @@ fn store_mixed_body(rec: HistoryRecorder<StoreModel<u64, i64, Bump>>) {
 /// 4-shard store linearizes against the atomic flat-map model under
 /// both strategy families (1000 seeds each). The two threads' multi-ops
 /// overlap on keys 1–3, so helping (one thread completing the other's
-/// prepared multi) is on the explored paths.
+/// prepared multi) is on the explored paths — and both read paths are
+/// in the mix: the log-free `get` (each thread reads a key the *other*
+/// thread multi-puts, so frontier-observed locks and read-side helping
+/// are explored) and the decided `get_decided`.
 #[test]
 fn sharded_store_mixed_ops_linearize() {
     sweep("4-shard store", &StoreModel::new(), store_mixed_body);
@@ -1354,16 +1366,19 @@ fn store_snapshots_are_never_torn_and_hb_clean() {
     assert!(snaps_total >= SEEDS as usize, "campaign took too few snapshots");
 }
 
-/// Acceptance (review regression): one thread `get`ting both keys of a
-/// concurrently committing two-shard `multi_put` must never observe it
-/// half-applied. The writer multi-puts ascending round numbers to two
-/// keys on different shards; the reader reads the key on the *lower*
-/// shard first. Resolves land in ascending shard order, so a `get`
-/// that ignored multi-op locks could read the new round off the low
-/// shard after its resolve and the old round off the high shard before
-/// its resolve — a strictly decreasing pair of sequential reads, which
-/// no linearization of the atomic flat-map model allows. `get` helping
-/// past the lock (like every mutator) closes exactly this window.
+/// Acceptance (review regression): one thread reading both keys of a
+/// concurrently committing two-shard `multi_put` through the *decided*
+/// read path must never observe it half-applied. The writer multi-puts
+/// ascending round numbers to two keys on different shards; the reader
+/// reads the key on the *lower* shard first. Resolves land in
+/// ascending shard order, so a read that ignored multi-op locks could
+/// read the new round off the low shard after its resolve and the old
+/// round off the high shard before its resolve — a strictly decreasing
+/// pair of sequential reads, which no linearization of the atomic
+/// flat-map model allows. Reads helping past the lock (like every
+/// mutator) closes exactly this window. See
+/// `store_local_get_never_observes_a_half_applied_multi` for the same
+/// schedule shape on the log-free path.
 #[test]
 fn store_get_never_observes_a_half_applied_multi() {
     for seed in 0..SEEDS {
@@ -1402,8 +1417,8 @@ fn store_get_never_observes_a_half_applied_multi() {
                     vthread::spawn(move || {
                         let mut h = store.handle();
                         for _ in 0..2 {
-                            let a = h.get(&lo).unwrap_or(0);
-                            let b = h.get(&hi).unwrap_or(0);
+                            let a = h.get_decided(&lo).unwrap_or(0);
+                            let b = h.get_decided(&hi).unwrap_or(0);
                             assert!(
                                 b >= a,
                                 "seed {seed}: half-applied multi observed — \
@@ -1419,5 +1434,85 @@ fn store_get_never_observes_a_half_applied_multi() {
             },
         );
         assert!(res.error.is_none(), "seed {seed}: {:?}", res.error);
+    }
+}
+
+/// Acceptance: the PR 8 half-applied-multi regression, replayed against
+/// the **log-free** read path. The schedule shape is identical to
+/// `store_get_never_observes_a_half_applied_multi`, but the reader uses
+/// the replica fast path (`get`, and `multi_get` on alternate rounds) —
+/// no log entry is decided for any read, so the only thing standing
+/// between the reader and a torn observation is the frontier argument
+/// of DESIGN §14: a frontier that shows the low shard's resolve must
+/// show the high shard's prepare, whose lock blocks the read into
+/// helping. Every schedule's trace additionally passes the
+/// happens-before audit, so the Acquire frontier load's justification
+/// is machine-checked, not just argued.
+#[test]
+fn store_local_get_never_observes_a_half_applied_multi() {
+    for seed in 0..SEEDS {
+        let res = run(
+            waitfree::sched::RandomWalk::new(seed),
+            RunOptions::default(),
+            move || {
+                let store: ShardedStore<u64, i64> = ShardedStore::new(&StoreConfig {
+                    shards: 4,
+                    ops_per_handle: 64,
+                    ..StoreConfig::default()
+                });
+                let lo = 0u64;
+                let hi = (1..)
+                    .find(|k| store.shard_of(k) != store.shard_of(&lo))
+                    .expect("4 shards hold more than one shard's worth of keys");
+                let (lo, hi) = if store.shard_of(&lo) < store.shard_of(&hi) {
+                    (lo, hi)
+                } else {
+                    (hi, lo)
+                };
+                let writer = {
+                    let store = store.clone();
+                    vthread::spawn(move || {
+                        let mut h = store.handle();
+                        for round in 1..=2i64 {
+                            h.multi_put([(lo, Some(round)), (hi, Some(round))]);
+                        }
+                        h.retire();
+                    })
+                };
+                let reader = {
+                    let store = store.clone();
+                    vthread::spawn(move || {
+                        let mut h = store.handle();
+                        for i in 0..2 {
+                            let (a, b) = if i == 0 {
+                                (h.get(&lo).unwrap_or(0), h.get(&hi).unwrap_or(0))
+                            } else {
+                                let vs = h.multi_get(&[lo, hi]);
+                                (vs[0].unwrap_or(0), vs[1].unwrap_or(0))
+                            };
+                            assert!(
+                                b >= a,
+                                "seed {seed}: half-applied multi observed on the \
+                                 log-free path — key {lo} (low shard) read round \
+                                 {a}, then key {hi} (high shard) read round {b}"
+                            );
+                        }
+                        h.retire();
+                    })
+                };
+                writer.join().unwrap();
+                reader.join().unwrap();
+            },
+        );
+        assert!(res.error.is_none(), "seed {seed}: {:?}", res.error);
+        let hb = waitfree::sched::hb_check(&res.trace);
+        assert!(
+            hb.is_clean(),
+            "seed {seed}: local-read orderings too weak \
+             ({} of {} reads unjustified): {}",
+            hb.violations.len(),
+            hb.reads_checked,
+            hb.violations[0]
+        );
     }
 }

@@ -399,7 +399,15 @@ fn sharded_store_matches_flat_map_reference_sequentially() {
         let expected = model.apply(Pid(0), op);
         for (shards, _st, h) in &mut stores {
             let got = match op.clone() {
-                StoreOp::Get(k) => StoreResp::Value(h.get(&k)),
+                StoreOp::Get(k) => {
+                    // The three read surfaces must coincide sequentially:
+                    // log-free `get`, the decided-read witness, and the
+                    // batched form.
+                    let local = h.get(&k);
+                    assert_eq!(h.get_decided(&k), local, "step {i}: decided get diverged");
+                    assert_eq!(h.multi_get(&[k]), vec![local], "step {i}: multi_get diverged");
+                    StoreResp::Value(local)
+                }
                 StoreOp::Put(k, v) => StoreResp::Prev(h.put(k, v)),
                 StoreOp::Remove(k) => StoreResp::Prev(h.remove(&k)),
                 StoreOp::Cas { key, expect, new } => {
@@ -502,6 +510,93 @@ mod store_equivalence {
             let sharded = drive(4, seed);
             let single = drive(1, seed);
             assert_eq!(sharded, single, "logical outcomes diverged at seed {seed}");
+        }
+    }
+
+    /// One scheduled run of a read-heavy mixed workload whose reads go
+    /// through either the log-free replica path (`get`/`multi_get`) or
+    /// the decided-read witness (`get_decided`), selected by `local`.
+    /// Both variants perform the same operations between the same yield
+    /// points (the paired reads share a single schedule step), so
+    /// `OpRandom` — which never preempts inside an op — produces the
+    /// identical op-granularity interleaving for both.
+    fn drive_reads(local: bool, seed: u64) -> Out {
+        let out: Arc<Mutex<Option<Out>>> = Arc::new(Mutex::new(None));
+        let sink = Arc::clone(&out);
+        let res = run(OpRandom::new(seed), RunOptions::default(), move || {
+            let store: ShardedStore<u64, i64, Bump> = ShardedStore::new(&StoreConfig {
+                shards: 4,
+                ops_per_handle: 64,
+                ..StoreConfig::default()
+            });
+            let workers: Vec<_> = (0..2usize)
+                .map(|t| {
+                    let store = store.clone();
+                    vthread::spawn(move || {
+                        let mut h = store.handle();
+                        let mut resps = Vec::new();
+                        let step = |r: R| {
+                            vthread::yield_now();
+                            r
+                        };
+                        if t == 0 {
+                            resps.push(step(R::Prev(h.put(1, 10))));
+                            resps.push(step(R::Done({
+                                h.multi_put([(1, Some(11)), (4, Some(44))]);
+                                true
+                            })));
+                            // Paired read: one schedule step for both
+                            // keys on either path, so the yield
+                            // structure is identical across variants.
+                            let (a, b) = if local {
+                                let vs = h.multi_get(&[1, 4]);
+                                (vs[0], vs[1])
+                            } else {
+                                (h.get_decided(&1), h.get_decided(&4))
+                            };
+                            resps.push(R::Prev(a));
+                            resps.push(step(R::Prev(b)));
+                            resps.push(step(R::Prev(h.fetch_update(2, Bump(5)))));
+                        } else {
+                            let (ok, prev) = h.cas(2, None, Some(20));
+                            resps.push(step(R::Cas(ok, prev)));
+                            let r1 = if local { h.get(&1) } else { h.get_decided(&1) };
+                            resps.push(step(R::Prev(r1)));
+                            resps.push(step(R::Done(h.multi_cas(
+                                [(1, Some(10))],
+                                [(2, Some(22)), (5, Some(55))],
+                            ))));
+                            let r2 = if local { h.get(&2) } else { h.get_decided(&2) };
+                            resps.push(step(R::Prev(r2)));
+                            resps.push(step(R::Snap(h.snapshot().map)));
+                        }
+                        (t, resps)
+                    })
+                })
+                .collect();
+            let mut results: Out = workers.into_iter().map(|w| w.join().unwrap()).collect();
+            results.sort_by_key(|(t, _)| *t);
+            *sink.lock().unwrap() = Some(results);
+        });
+        assert!(res.error.is_none(), "local {local} seed {seed}: {:?}", res.error);
+        let r = out.lock().unwrap().take().unwrap();
+        r
+    }
+
+    /// Satellite of the log-free read path (DESIGN §14): under
+    /// *identical* op-granularity schedules, a local read must return
+    /// exactly what a decided read returns — not merely a linearizable
+    /// value. At op granularity every completed prior op has published
+    /// its frontier hint by the time a read starts, so a local read
+    /// that lags (e.g. a missing completion-side `publish_hint`) would
+    /// return a stale value here and diverge from the decided witness,
+    /// seed for seed.
+    #[test]
+    fn local_and_decided_reads_agree_under_identical_schedules() {
+        for seed in 0..64 {
+            let local = drive_reads(true, seed);
+            let decided = drive_reads(false, seed);
+            assert_eq!(local, decided, "read paths diverged at seed {seed}");
         }
     }
 }
