@@ -1,62 +1,152 @@
-//! `wf-lint` — run the three workspace lint rules (ordering audit,
-//! facade bypass, bench timing; see the crate docs) over every `.rs`
-//! file in the workspace and exit non-zero on any finding.
+//! `wf-lint` — run the workspace lint rules (ordering audit, facade
+//! bypass, bench timing, ordering-contract annotations, progress
+//! annotations; see the crate docs) plus the cross-file pair-graph
+//! pass over every `.rs` file in the workspace, and exit non-zero on
+//! any finding.
 //!
-//! Usage: `cargo run -p waitfree-analyze --bin wf-lint [root]`
+//! Usage: `cargo run -p waitfree-analyze --bin wf-lint [flags] [root]`
 //!
-//! With no argument the workspace root is found by walking up from the
-//! current directory to the first `Cargo.toml` containing
+//! Flags:
+//! * `--json` — emit findings as a JSON array instead of the human
+//!   format (exit code unchanged).
+//! * `--contract-json` — emit the extracted ordering contract as JSON
+//!   on stdout and nothing else; exits non-zero only if the contract
+//!   itself fails to resolve.
+//! * `--seqcst-report` — advisory: list every `SeqCst` site in audited
+//!   code, flagging the undocumented ones as downgrade candidates;
+//!   always exits zero.
+//! * `--mutants` — include `#[cfg(feature = "mutant-…")]`-gated
+//!   statements in the pair graph (the CI mutant gate runs this and
+//!   expects a failure).
+//!
+//! With no root argument the workspace root is found by walking up
+//! from the current directory to the first `Cargo.toml` containing
 //! `[workspace]`.
 
 use std::fs;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
+use waitfree_analyze::contract;
 use waitfree_analyze::lint_source;
+use waitfree_analyze::Finding;
 
 fn main() -> ExitCode {
-    let root = match std::env::args().nth(1) {
-        Some(p) => PathBuf::from(p),
-        None => match find_workspace_root() {
-            Some(p) => p,
-            None => {
-                eprintln!("wf-lint: no workspace root found above the current directory");
+    let mut json = false;
+    let mut contract_json = false;
+    let mut seqcst = false;
+    let mut mutants = false;
+    let mut root_arg = None;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--contract-json" => contract_json = true,
+            "--seqcst-report" => seqcst = true,
+            "--mutants" => mutants = true,
+            other if other.starts_with("--") => {
+                eprintln!("wf-lint: unknown flag {other}");
                 return ExitCode::FAILURE;
             }
-        },
+            other => root_arg = Some(PathBuf::from(other)),
+        }
+    }
+    let root = match root_arg.or_else(find_workspace_root) {
+        Some(p) => p,
+        None => {
+            eprintln!("wf-lint: no workspace root found above the current directory");
+            return ExitCode::FAILURE;
+        }
     };
 
-    let mut files = Vec::new();
-    collect_rs_files(&root, &root, &mut files);
-    files.sort();
+    let mut paths = Vec::new();
+    collect_rs_files(&root, &root, &mut paths);
+    paths.sort();
 
-    let mut total = 0usize;
-    for rel in &files {
-        let src = match fs::read_to_string(root.join(rel)) {
-            Ok(s) => s,
-            Err(e) => {
-                eprintln!("wf-lint: {}: {e}", rel.display());
-                total += 1;
-                continue;
-            }
-        };
+    // (rel_path, source) for every readable file; read errors are
+    // findings in their own right.
+    let mut files: Vec<(String, String)> = Vec::new();
+    let mut findings: Vec<(String, Finding)> = Vec::new();
+    for rel in &paths {
         // Rule scoping keys on `/`-separated components.
         let rel_str = rel
             .components()
             .map(|c| c.as_os_str().to_string_lossy())
             .collect::<Vec<_>>()
             .join("/");
-        for f in lint_source(&rel_str, &src) {
-            println!("{rel_str}:{}: {f}", f.line);
-            total += 1;
+        match fs::read_to_string(root.join(rel)) {
+            Ok(src) => files.push((rel_str, src)),
+            Err(e) => {
+                eprintln!("wf-lint: {rel_str}: {e}");
+                findings.push((
+                    rel_str,
+                    Finding {
+                        line: 0,
+                        rule: waitfree_analyze::Rule::OrderingAudit,
+                        msg: format!("unreadable file: {e}"),
+                    },
+                ));
+            }
         }
     }
 
-    if total == 0 {
-        println!("wf-lint: {} files clean", files.len());
+    if seqcst {
+        let report = contract::seqcst_report(&files);
+        let undocumented = report.iter().filter(|s| !s.documented).count();
+        println!("wf-lint: SeqCst sites in audited code (advisory downgrade worklist)");
+        for s in &report {
+            let tag = if s.documented { "documented" } else { "candidate " };
+            println!("  [{tag}] {}:{}: {}", s.file, s.line, s.context);
+        }
+        println!(
+            "wf-lint: {} SeqCst site(s), {} documented, {} downgrade candidate(s)",
+            report.len(),
+            report.len() - undocumented,
+            undocumented
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    // Cross-file pair-graph pass (always part of the default run; the
+    // only output in --contract-json mode).
+    let result = contract::extract_contract(&files, mutants);
+    if contract_json {
+        for f in &result.findings {
+            eprintln!("{}:{}: {}", f.file, f.finding.line, f.finding);
+        }
+        print!("{}", contract::contract_json(&result.contract));
+        return if result.findings.is_empty() { ExitCode::SUCCESS } else { ExitCode::FAILURE };
+    }
+
+    for (rel_str, src) in &files {
+        for f in lint_source(rel_str, src) {
+            findings.push((rel_str.clone(), f));
+        }
+    }
+    for f in result.findings {
+        findings.push((f.file, f.finding));
+    }
+    findings.sort_by(|a, b| (&a.0, a.1.line).cmp(&(&b.0, b.1.line)));
+
+    if json {
+        print!("{}", contract::findings_json(&findings));
+    } else {
+        for (file, f) in &findings {
+            println!("{file}:{}: {f}", f.line);
+        }
+    }
+
+    if findings.is_empty() {
+        if !json {
+            println!(
+                "wf-lint: {} files clean ({} contract sites, {} declared pairs)",
+                files.len(),
+                result.contract.sites.len(),
+                result.contract.declared_pairs().len()
+            );
+        }
         ExitCode::SUCCESS
     } else {
-        eprintln!("wf-lint: {total} finding(s)");
+        eprintln!("wf-lint: {} finding(s)", findings.len());
         ExitCode::FAILURE
     }
 }

@@ -68,6 +68,8 @@
 
 use std::fmt;
 
+pub mod contract;
+
 // ---------------------------------------------------------------------
 // Findings
 // ---------------------------------------------------------------------
@@ -84,6 +86,28 @@ pub enum Rule {
     FacadeBypass,
     /// `Instant::now` inside `crates/bench/` outside `src/timing.rs`.
     BenchTiming,
+    /// Malformed contract group inside an `// ordering:` comment
+    /// (bad label, empty `pairs:`, unknown key).
+    ContractSyntax,
+    /// An audited atomic statement whose comment lacks the contract
+    /// group its orderings require (`[site: …]` / `[pairs: …]` /
+    /// `[no-edge]`).
+    ContractAnnotation,
+    /// A contract group that contradicts the statement's orderings
+    /// (e.g. `[site: …]` on an acquire-only statement).
+    ContractDirection,
+    /// The same `site:` label declared by two different statements.
+    DuplicateLabel,
+    /// A `pairs:` reference naming a label no site declares.
+    UnresolvedPair,
+    /// A declared pair whose release and acquire sides touch different
+    /// atomic fields.
+    PairField,
+    /// A `loop`/`while` in `crates/sync`/`crates/store` non-test code
+    /// without an adjacent `// progress:` annotation.
+    ProgressAnnotation,
+    /// A `// progress:` annotation adjacent to no `loop`/`while`.
+    OrphanedProgress,
 }
 
 impl fmt::Display for Rule {
@@ -93,6 +117,14 @@ impl fmt::Display for Rule {
             Rule::OrphanedAudit => "orphaned-audit",
             Rule::FacadeBypass => "facade-bypass",
             Rule::BenchTiming => "bench-timing",
+            Rule::ContractSyntax => "contract-syntax",
+            Rule::ContractAnnotation => "contract-annotation",
+            Rule::ContractDirection => "contract-direction",
+            Rule::DuplicateLabel => "duplicate-label",
+            Rule::UnresolvedPair => "unresolved-pair",
+            Rule::PairField => "pair-field",
+            Rule::ProgressAnnotation => "progress-annotation",
+            Rule::OrphanedProgress => "orphaned-progress",
         })
     }
 }
@@ -340,18 +372,21 @@ pub fn cfg_test_lines(lines: &[Line]) -> Vec<bool> {
 /// Where a file sits in the workspace, for rule scoping. Derived from
 /// the `/`-separated path relative to the workspace root.
 #[derive(Clone, Copy, Debug)]
-struct Scope<'a> {
-    rel: &'a str,
+pub(crate) struct Scope<'a> {
+    pub(crate) rel: &'a str,
     /// Inside the facade implementation (`crates/sched/src/`).
-    sched_src: bool,
+    pub(crate) sched_src: bool,
     /// In a `tests/`, `benches/` or `examples/` directory.
-    test_dir: bool,
+    pub(crate) test_dir: bool,
     /// Inside `crates/bench/`.
-    bench_crate: bool,
+    pub(crate) bench_crate: bool,
+    /// Subject to the progress lint (`crates/sync/src/`,
+    /// `crates/store/src/`).
+    pub(crate) progress_crate: bool,
 }
 
 impl<'a> Scope<'a> {
-    fn of(rel: &'a str) -> Scope<'a> {
+    pub(crate) fn of(rel: &'a str) -> Scope<'a> {
         let in_dir = |d: &str| {
             rel.starts_with(&format!("{d}/")) || rel.contains(&format!("/{d}/"))
         };
@@ -360,7 +395,15 @@ impl<'a> Scope<'a> {
             sched_src: rel.starts_with("crates/sched/src/"),
             test_dir: in_dir("tests") || in_dir("benches") || in_dir("examples"),
             bench_crate: rel.starts_with("crates/bench/"),
+            progress_crate: rel.starts_with("crates/sync/src/")
+                || rel.starts_with("crates/store/src/"),
         }
+    }
+
+    /// Whether the ordering-audit family of rules (1, 2 and the
+    /// contract checks) applies to this file at all.
+    pub(crate) fn audited(&self) -> bool {
+        !self.sched_src && !self.test_dir
     }
 }
 
@@ -373,6 +416,13 @@ const WEAK_ORDERINGS: [&str; 4] = [
 
 /// Lint one file's source. `rel_path` is `/`-separated and relative to
 /// the workspace root (e.g. `crates/sync/src/universal.rs`).
+///
+/// This covers every *single-file* rule, including the per-statement
+/// contract checks (syntax, required groups, direction) and the
+/// progress lint. The cross-file half of the contract — duplicate
+/// labels, unresolved `pairs:` references, per-pair field agreement —
+/// lives in [`contract::extract_contract`], which `wf-lint` runs over
+/// the whole workspace after the per-file pass.
 #[must_use]
 pub fn lint_source(rel_path: &str, src: &str) -> Vec<Finding> {
     let scope = Scope::of(rel_path);
@@ -383,6 +433,9 @@ pub fn lint_source(rel_path: &str, src: &str) -> Vec<Finding> {
     bench_timing(&scope, &lines, &mut findings);
     ordering_audit(&scope, &lines, &mut findings);
     orphaned_audit(&scope, &lines, &mut findings);
+    contract::annotation_lint(&scope, &lines, &mut findings);
+    progress_lint(&scope, &lines, &mut findings);
+    orphaned_progress(&scope, &lines, &mut findings);
 
     findings.sort_by_key(|f| f.line);
     findings
@@ -465,7 +518,7 @@ fn ordering_audit(scope: &Scope<'_>, lines: &[Line], out: &mut Vec<Finding>) {
 /// `if x.compare_exchange(… {` spreads a single condition over an
 /// opener line, and an audit comment sits above the whole construct.
 /// Last line: walk down to the first line ending in `;`, `{` or `}`.
-fn statement_range(lines: &[Line], l: usize) -> (usize, usize) {
+pub(crate) fn statement_range(lines: &[Line], l: usize) -> (usize, usize) {
     let ends_stmt = |code: &str| {
         matches!(code.trim_end().chars().last(), Some(';' | '{' | '}'))
     };
@@ -482,6 +535,14 @@ fn statement_range(lines: &[Line], l: usize) -> (usize, usize) {
     }
     let mut e = l;
     while e + 1 < lines.len() && !ends_stmt(&lines[e].code) {
+        // A comment-only line splits a multi-line statement into
+        // fragments, symmetric with the upward walk: each fragment
+        // owns the comment block directly above it (the Debug-chain
+        // idiom, where one long method chain holds several annotated
+        // atomic loads).
+        if lines[e + 1].code.trim().is_empty() {
+            break;
+        }
         e += 1;
     }
     (s, e)
@@ -491,8 +552,15 @@ fn statement_range(lines: &[Line], l: usize) -> (usize, usize) {
 /// audit comment — on any of its own lines, or in the comment block
 /// immediately above its first line.
 fn statement_has_audit(lines: &[Line], l: usize) -> bool {
+    statement_has_marker(lines, l, "ordering:")
+}
+
+/// [`statement_has_audit`] for an arbitrary marker (`ordering:`,
+/// `progress:`): the same adjacency convention serves both comment
+/// families.
+pub(crate) fn statement_has_marker(lines: &[Line], l: usize, marker: &str) -> bool {
     let (s, e) = statement_range(lines, l);
-    if lines[s..=e].iter().any(|ln| ln.comment.contains("ordering:")) {
+    if lines[s..=e].iter().any(|ln| ln.comment.contains(marker)) {
         return true;
     }
     // Comment block immediately above the statement.
@@ -500,7 +568,7 @@ fn statement_has_audit(lines: &[Line], l: usize) -> bool {
     while a > 0 {
         let above = &lines[a - 1];
         if above.code.trim().is_empty() && !above.comment.trim().is_empty() {
-            if above.comment.contains("ordering:") {
+            if above.comment.contains(marker) {
                 return true;
             }
             a -= 1;
@@ -509,6 +577,170 @@ fn statement_has_audit(lines: &[Line], l: usize) -> bool {
         }
     }
     false
+}
+
+/// The comment text adjacent to the statement containing line `l`:
+/// the comment block immediately above the statement (top to bottom),
+/// then the statement's own lines' comments — one string per comment
+/// line. Contract groups are parsed out of these.
+pub(crate) fn adjacent_comment_lines(lines: &[Line], l: usize) -> Vec<String> {
+    let (s, e) = statement_range(lines, l);
+    let mut a = s;
+    while a > 0 {
+        let above = &lines[a - 1];
+        if above.code.trim().is_empty() && !above.comment.trim().is_empty() {
+            a -= 1;
+        } else {
+            break;
+        }
+    }
+    lines[a..s]
+        .iter()
+        .chain(lines[s..=e].iter())
+        .filter(|ln| !ln.comment.trim().is_empty())
+        .map(|ln| ln.comment.clone())
+        .collect()
+}
+
+/// Whether `code` contains `word` as a standalone keyword (not as part
+/// of a longer identifier such as `loop_count`).
+pub(crate) fn has_keyword(code: &str, word: &str) -> bool {
+    let bytes = code.as_bytes();
+    let is_ident = |b: u8| b.is_ascii_alphanumeric() || b == b'_';
+    let mut start = 0;
+    while let Some(pos) = code[start..].find(word) {
+        let at = start + pos;
+        let before_ok = at == 0 || !is_ident(bytes[at - 1]);
+        let after = at + word.len();
+        let after_ok = after >= bytes.len() || !is_ident(bytes[after]);
+        if before_ok && after_ok {
+            return true;
+        }
+        start = at + word.len();
+    }
+    false
+}
+
+/// Whether this line of code opens a `loop` or `while` (the constructs
+/// the progress lint covers; `for` iterates a finite iterator and is
+/// structurally bounded).
+fn opens_loop(code: &str) -> bool {
+    has_keyword(code, "loop") || has_keyword(code, "while")
+}
+
+/// Rule: every `loop`/`while` in `crates/sync`/`crates/store` non-test
+/// code carries an adjacent `// progress:` annotation classifying its
+/// termination argument (`wait-free: …` / `lock-free: …` /
+/// `bounded: …`), with the same statement-aware adjacency as the
+/// ordering audit.
+fn progress_lint(scope: &Scope<'_>, lines: &[Line], out: &mut Vec<Finding>) {
+    if !scope.progress_crate || scope.test_dir {
+        return;
+    }
+    let excluded = cfg_test_lines(lines);
+    let mut seen_stmt = usize::MAX;
+    for (l, line) in lines.iter().enumerate() {
+        if excluded[l] || !opens_loop(&line.code) {
+            continue;
+        }
+        // One finding per loop header, even when a multi-line `while`
+        // condition mentions the keyword's statement across lines.
+        let (s, _) = statement_range(lines, l);
+        if s == seen_stmt {
+            continue;
+        }
+        seen_stmt = s;
+        if !statement_has_marker(lines, l, "progress:") {
+            out.push(Finding {
+                line: l + 1,
+                rule: Rule::ProgressAnnotation,
+                msg: "`loop`/`while` without an adjacent `// progress:` \
+                      annotation (`wait-free: …` / `lock-free: …` / \
+                      `bounded: …`) stating why it terminates"
+                    .into(),
+            });
+            continue;
+        }
+        // The annotation must classify the loop, not merely exist.
+        let classified = adjacent_comment_lines(lines, l).iter().any(|c| {
+            c.find("progress:").is_some_and(|at| {
+                let rest = c[at + "progress:".len()..].trim_start();
+                ["wait-free", "lock-free", "bounded"].iter().any(|k| rest.starts_with(k))
+            })
+        });
+        if !classified {
+            out.push(Finding {
+                line: l + 1,
+                rule: Rule::ProgressAnnotation,
+                msg: "`// progress:` annotation must start with one of \
+                      `wait-free:`, `lock-free:` or `bounded:`"
+                    .into(),
+            });
+        }
+    }
+}
+
+/// Rule: a comment formatted as a progress annotation must sit adjacent
+/// to a `loop`/`while` — the mirror of the orphaned-audit rule, so a
+/// refactor that deletes a loop cannot leave its termination argument
+/// covering unrelated code.
+fn orphaned_progress(scope: &Scope<'_>, lines: &[Line], out: &mut Vec<Finding>) {
+    if !scope.progress_crate || scope.test_dir {
+        return;
+    }
+    let excluded = cfg_test_lines(lines);
+    for (l, line) in lines.iter().enumerate() {
+        if excluded[l] || !line.comment.trim_start().starts_with("progress:") {
+            continue;
+        }
+        // Annotating a `for` loop is voluntary (the lint does not
+        // require it) but legal — it must not read as an orphan.
+        let covered = marker_covers(lines, l, |code| opens_loop(code) || has_keyword(code, "for"));
+        if !covered {
+            out.push(Finding {
+                line: l + 1,
+                rule: Rule::OrphanedProgress,
+                msg: "`// progress:` annotation adjacent to no `loop`/`while` — \
+                      the loop it classified was moved or deleted; move or \
+                      delete the annotation with it"
+                    .into(),
+            });
+        }
+    }
+}
+
+/// Whether the marker comment at line `l` (trailing or standalone) is
+/// adjacent to a statement satisfying `pred` — the shared coverage walk
+/// behind the two orphan rules.
+fn marker_covers(lines: &[Line], l: usize, pred: impl Fn(&str) -> bool) -> bool {
+    if !lines[l].code.trim().is_empty() {
+        // Trailing marker: its own statement must satisfy the predicate.
+        let (s, e) = statement_range(lines, l);
+        return lines[s..=e].iter().any(|ln| pred(&ln.code));
+    }
+    // Standalone marker (possibly a multi-line comment block, possibly
+    // with attributes between it and the code): the statement starting
+    // at the next code line must satisfy it. A blank line below breaks
+    // adjacency.
+    let mut n = l + 1;
+    while n < lines.len()
+        && ((lines[n].code.trim().is_empty() && !lines[n].comment.trim().is_empty())
+            || lines[n].code.trim_start().starts_with("#["))
+    {
+        n += 1;
+    }
+    n < lines.len() && !lines[n].code.trim().is_empty() && {
+        // Extend downward through `{` openers, mirroring the upward
+        // walk in `statement_range`.
+        let continues = |code: &str| {
+            !matches!(code.trim_end().chars().last(), Some(';' | '}'))
+        };
+        let mut e = n;
+        while e + 1 < lines.len() && continues(&lines[e].code) {
+            e += 1;
+        }
+        lines[n..=e].iter().any(|ln| pred(&ln.code))
+    }
 }
 
 fn orphaned_audit(scope: &Scope<'_>, lines: &[Line], out: &mut Vec<Finding>) {
@@ -523,37 +755,13 @@ fn orphaned_audit(scope: &Scope<'_>, lines: &[Line], out: &mut Vec<Finding>) {
         if excluded[l] || !line.comment.trim_start().starts_with("ordering:") {
             continue;
         }
-        let covered = if !line.code.trim().is_empty() {
-            // Trailing audit: its own statement must name an ordering.
-            let (s, e) = statement_range(lines, l);
-            lines[s..=e].iter().any(|ln| ln.code.contains("Ordering::"))
-        } else {
-            // Standalone audit (possibly a multi-line comment block,
-            // possibly with attributes between it and the code): the
-            // statement starting at the next code line must name one. A
-            // blank line below breaks adjacency, exactly as it does for
-            // the ordering-audit rule above.
-            let mut n = l + 1;
-            while n < lines.len()
-                && ((lines[n].code.trim().is_empty() && !lines[n].comment.trim().is_empty())
-                    || lines[n].code.trim_start().starts_with("#["))
-            {
-                n += 1;
-            }
-            n < lines.len() && !lines[n].code.trim().is_empty() && {
-                // Extend downward through `{` openers, mirroring the
-                // upward walk in `statement_range`: an audit above
-                // `if unsafe {` covers the CAS inside the braces.
-                let continues = |code: &str| {
-                    !matches!(code.trim_end().chars().last(), Some(';' | '}'))
-                };
-                let mut e = n;
-                while e + 1 < lines.len() && continues(&lines[e].code) {
-                    e += 1;
-                }
-                lines[n..=e].iter().any(|ln| ln.code.contains("Ordering::"))
-            }
-        };
+        // Trailing audits must share a statement naming an ordering;
+        // standalone audits (with attributes allowed in between, and the
+        // downward walk extending through `{` openers — an audit above
+        // `if unsafe {` covers the CAS inside the braces) must sit on
+        // one. A blank line below breaks adjacency, exactly as it does
+        // for the ordering-audit rule above.
+        let covered = marker_covers(lines, l, |code| code.contains("Ordering::"));
         if !covered {
             out.push(Finding {
                 line: l + 1,
@@ -633,8 +841,8 @@ mod tests {
     #[test]
     fn trailing_and_preceding_audit_comments_cover_the_op() {
         let src = "fn f(a: &AtomicUsize) {\n\
-                   \x20   a.load(Ordering::Acquire); // ordering: Acquire — pairs with X\n\
-                   \x20   // ordering: Release — publishes Y\n\
+                   \x20   a.load(Ordering::Acquire); // ordering: Acquire [pairs: x.pub]\n\
+                   \x20   // ordering: Release [site: x.pub] — publishes Y\n\
                    \x20   a.store(1, Ordering::Release);\n\
                    }\n";
         assert!(find("crates/sync/src/x.rs", src).is_empty());
@@ -643,7 +851,7 @@ mod tests {
     #[test]
     fn one_comment_covers_a_multiline_cas_and_its_failure_ordering() {
         let src = "fn f(a: &AtomicUsize) {\n\
-                   \x20   // ordering: Release on success, Relaxed on failure — publish Z\n\
+                   \x20   // ordering: Release on success [site: x.z] — publish Z\n\
                    \x20   let _ = a.compare_exchange(\n\
                    \x20       0,\n\
                    \x20       1,\n\
@@ -657,7 +865,7 @@ mod tests {
     #[test]
     fn a_comment_above_an_if_unsafe_opener_covers_the_cas_inside() {
         let src = "fn f(t: *mut Node) {\n\
-                   \x20   // ordering: Release on success — publishes the link\n\
+                   \x20   // ordering: Release on success [site: x.link] — publishes the link\n\
                    \x20   if unsafe {\n\
                    \x20       (*t).next.compare_exchange(\n\
                    \x20           ptr::null_mut(),\n\
@@ -675,7 +883,7 @@ mod tests {
     #[test]
     fn an_attribute_between_comment_and_op_is_fine() {
         let src = "fn f(a: &AtomicUsize) {\n\
-                   \x20   // ordering: Relaxed — deliberately wrong, mutant only\n\
+                   \x20   // ordering: Relaxed [no-edge] — deliberately wrong, mutant only\n\
                    \x20   #[cfg(feature = \"mutant\")]\n\
                    \x20   a.fetch_max(1, Ordering::Relaxed);\n\
                    }\n";
@@ -760,10 +968,10 @@ mod tests {
         // Trailing, above, above-with-attribute, and multi-line-CAS
         // placements — every form the ordering-audit rule accepts.
         let src = "fn f(a: &AtomicUsize) {\n\
-                   \x20   a.load(Ordering::Acquire); // ordering: pairs with X\n\
-                   \x20   // ordering: Release — publishes Y\n\
+                   \x20   a.load(Ordering::Acquire); // ordering: [pairs: x.pub]\n\
+                   \x20   // ordering: Release [site: x.pub] — publishes Y\n\
                    \x20   a.store(1, Ordering::Release);\n\
-                   \x20   // ordering: Release on success, Relaxed on failure\n\
+                   \x20   // ordering: Release on success [site: x.cas], Relaxed on failure\n\
                    \x20   let _ = a.compare_exchange(\n\
                    \x20       0,\n\
                    \x20       1,\n\
@@ -835,5 +1043,93 @@ mod tests {
         assert_eq!(find("crates/bench/benches/b.rs", src).len(), 1);
         assert!(find("crates/bench/src/timing.rs", src).is_empty());
         assert!(find("crates/faults/src/harness.rs", src).is_empty());
+    }
+
+    // -- progress lint -----------------------------------------------
+
+    #[test]
+    fn unannotated_loop_is_flagged_in_sync_and_store_only() {
+        let src = "fn f() {\n    loop {\n        break;\n    }\n}\n";
+        let f = find("crates/sync/src/x.rs", src);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, Rule::ProgressAnnotation);
+        assert_eq!(f[0].line, 2);
+        assert_eq!(find("crates/store/src/x.rs", src).len(), 1);
+        // Other crates, tests and sched code are out of scope.
+        assert!(find("crates/sched/src/x.rs", src).is_empty());
+        assert!(find("crates/faults/src/x.rs", src).is_empty());
+        assert!(find("tests/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn annotated_loops_pass_and_classifications_are_checked() {
+        let ok = "fn f() {\n\
+                  \x20   // progress: wait-free — at most MAX_THREADS iterations.\n\
+                  \x20   for _ in 0..2 {}\n\
+                  \x20   // progress: bounded: 64 — one pass per segment slot.\n\
+                  \x20   while x() {}\n\
+                  \x20   loop { // progress: lock-free — CAS retry, some thread wins.\n\
+                  \x20       break;\n\
+                  \x20   }\n\
+                  }\n";
+        assert!(find("crates/sync/src/x.rs", ok).is_empty(), "{:?}", find("crates/sync/src/x.rs", ok));
+        // A `progress:` marker with an unknown classification is flagged.
+        let bad = "fn f() {\n\
+                   \x20   // progress: eventually terminates, trust me.\n\
+                   \x20   while x() {}\n\
+                   }\n";
+        let f = find("crates/sync/src/x.rs", bad);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, Rule::ProgressAnnotation);
+        assert!(f[0].msg.contains("wait-free"), "{}", f[0].msg);
+    }
+
+    #[test]
+    fn for_loops_need_no_annotation() {
+        // `for` over a finite iterator is structurally bounded; the
+        // lint covers only `loop`/`while`, where termination is a
+        // claim about the algorithm rather than the iterator.
+        let src = "fn f() {\n    for i in 0..n {\n        g(i);\n    }\n}\n";
+        assert!(find("crates/sync/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn loop_keywords_in_prose_and_idents_do_not_count() {
+        let src = "fn f() {\n\
+                   \x20   // a loop while waiting would be bad\n\
+                   \x20   let while_loops = 3;\n\
+                   \x20   let x = workloop(while_loops);\n\
+                   }\n";
+        assert!(find("crates/sync/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn cfg_test_loops_are_exempt_from_progress() {
+        let src = "#[cfg(test)]\nmod tests {\n    fn f() {\n        loop {\n            break;\n        }\n    }\n}\n";
+        assert!(find("crates/sync/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn orphaned_progress_comment_is_flagged() {
+        let src = "fn f() {\n    // progress: wait-free — stale, loop was removed.\n    let x = 1;\n}\n";
+        let f = find("crates/sync/src/x.rs", src);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, Rule::OrphanedProgress);
+        // The same comment above a real loop is not an orphan.
+        let ok = "fn f() {\n    // progress: wait-free — bounded by helpers.\n    while x() {}\n}\n";
+        assert!(find("crates/sync/src/x.rs", ok).is_empty());
+    }
+
+    #[test]
+    fn one_annotation_does_not_cover_a_second_loop() {
+        let src = "fn f() {\n\
+                   \x20   // progress: wait-free — covers only the first loop.\n\
+                   \x20   while x() {}\n\
+                   \x20   while y() {}\n\
+                   }\n";
+        let f = find("crates/sync/src/x.rs", src);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, Rule::ProgressAnnotation);
+        assert_eq!(f[0].line, 4);
     }
 }

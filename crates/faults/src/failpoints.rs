@@ -306,7 +306,7 @@ pub fn fires(site: &str) -> u64 {
 /// Prefer the macro in instrumented code.
 #[cfg(feature = "failpoints")]
 pub fn hit(site: &str) {
-    // ordering: Relaxed — a pure fast-path counter check; a stale zero
+    // ordering: Relaxed [no-edge] — a pure fast-path counter check; a stale zero
     // only skips a site that was armed concurrently with the hit, which
     // the registry lock below would serialize anyway.
     if ACTIVE_SITES.load(Ordering::Relaxed) == 0 {

@@ -20,6 +20,11 @@
 //! and checks that every observed value is justified by those declared
 //! orderings alone.
 //!
+//! Every traced method is `#[track_caller]`, so the trace records the
+//! *workload's* source location for each op — the key that lets
+//! [`crate::hb`] resolve observed synchronization edges against the
+//! ordering contract `wf-lint` extracts from the audit comments.
+//!
 //! [`diag`] is the deliberate escape hatch for instrumentation-plane
 //! atomics (fault registries, harness counters): plain std atomics in
 //! both feature modes, never schedule points — see its docs.
@@ -84,18 +89,21 @@ mod instrumented {
             }
 
             /// Atomic load; a schedule point inside a scheduled run.
+            #[track_caller]
             pub fn load(&self, order: Ordering) -> $prim {
                 trace_point($tag, AtomicOp::Load, order, None, self.addr());
                 self.inner.load(order)
             }
 
             /// Atomic store; a schedule point inside a scheduled run.
+            #[track_caller]
             pub fn store(&self, val: $prim, order: Ordering) {
                 trace_point($tag, AtomicOp::Store, order, None, self.addr());
                 self.inner.store(val, order);
             }
 
             /// Atomic swap; a schedule point inside a scheduled run.
+            #[track_caller]
             pub fn swap(&self, val: $prim, order: Ordering) -> $prim {
                 trace_point($tag, AtomicOp::Swap, order, None, self.addr());
                 self.inner.swap(val, order)
@@ -104,6 +112,7 @@ mod instrumented {
             /// Atomic compare-exchange; a schedule point inside a
             /// scheduled run (the trace records both orderings and the
             /// outcome).
+            #[track_caller]
             pub fn compare_exchange(
                 &self,
                 current: $prim,
@@ -119,6 +128,7 @@ mod instrumented {
 
             /// Atomic fetch-and-add; a schedule point inside a scheduled
             /// run.
+            #[track_caller]
             pub fn fetch_add(&self, val: $prim, order: Ordering) -> $prim {
                 trace_point($tag, AtomicOp::FetchAdd, order, None, self.addr());
                 self.inner.fetch_add(val, order)
@@ -126,6 +136,7 @@ mod instrumented {
 
             /// Atomic fetch-and-sub; a schedule point inside a scheduled
             /// run.
+            #[track_caller]
             pub fn fetch_sub(&self, val: $prim, order: Ordering) -> $prim {
                 trace_point($tag, AtomicOp::FetchSub, order, None, self.addr());
                 self.inner.fetch_sub(val, order)
@@ -133,6 +144,7 @@ mod instrumented {
 
             /// Atomic fetch-and-max; a schedule point inside a scheduled
             /// run.
+            #[track_caller]
             pub fn fetch_max(&self, val: $prim, order: Ordering) -> $prim {
                 trace_point($tag, AtomicOp::FetchMax, order, None, self.addr());
                 self.inner.fetch_max(val, order)
@@ -205,18 +217,21 @@ mod instrumented {
         }
 
         /// Atomic load; a schedule point inside a scheduled run.
+        #[track_caller]
         pub fn load(&self, order: Ordering) -> bool {
             trace_point("AtomicBool", AtomicOp::Load, order, None, self.addr());
             self.inner.load(order)
         }
 
         /// Atomic store; a schedule point inside a scheduled run.
+        #[track_caller]
         pub fn store(&self, val: bool, order: Ordering) {
             trace_point("AtomicBool", AtomicOp::Store, order, None, self.addr());
             self.inner.store(val, order);
         }
 
         /// Atomic swap; a schedule point inside a scheduled run.
+        #[track_caller]
         pub fn swap(&self, val: bool, order: Ordering) -> bool {
             trace_point("AtomicBool", AtomicOp::Swap, order, None, self.addr());
             self.inner.swap(val, order)
@@ -224,6 +239,7 @@ mod instrumented {
 
         /// Atomic compare-exchange; a schedule point inside a scheduled
         /// run (the trace records both orderings and the outcome).
+        #[track_caller]
         pub fn compare_exchange(
             &self,
             current: bool,
@@ -270,18 +286,21 @@ mod instrumented {
         }
 
         /// Atomic load; a schedule point inside a scheduled run.
+        #[track_caller]
         pub fn load(&self, order: Ordering) -> *mut T {
             trace_point("AtomicPtr", AtomicOp::Load, order, None, self.addr());
             self.inner.load(order)
         }
 
         /// Atomic store; a schedule point inside a scheduled run.
+        #[track_caller]
         pub fn store(&self, ptr: *mut T, order: Ordering) {
             trace_point("AtomicPtr", AtomicOp::Store, order, None, self.addr());
             self.inner.store(ptr, order);
         }
 
         /// Atomic swap; a schedule point inside a scheduled run.
+        #[track_caller]
         pub fn swap(&self, ptr: *mut T, order: Ordering) -> *mut T {
             trace_point("AtomicPtr", AtomicOp::Swap, order, None, self.addr());
             self.inner.swap(ptr, order)
@@ -289,6 +308,7 @@ mod instrumented {
 
         /// Atomic compare-exchange; a schedule point inside a scheduled
         /// run (the trace records both orderings and the outcome).
+        #[track_caller]
         pub fn compare_exchange(
             &self,
             current: *mut T,

@@ -54,11 +54,129 @@
 //!   judged); the failure ordering's acquire edge, when declared, is
 //!   still applied.
 
+use std::collections::BTreeSet;
 use std::collections::HashMap;
+use std::collections::HashSet;
 use std::fmt;
 use std::sync::atomic::Ordering;
 
 use crate::runtime::{AtomicOp, OpEvent, TraceEvent};
+
+// ---------------------------------------------------------------------
+// Ordering contracts (the static↔dynamic cross-validation input)
+// ---------------------------------------------------------------------
+
+/// One declared synchronization site from the extracted ordering
+/// contract — the sched-side mirror of `waitfree-analyze`'s site table
+/// (kept as its own type so the scheduler does not depend on the lint
+/// crate; tests build it from `wf-lint --contract-json`'s source data).
+#[derive(Clone, Debug)]
+pub struct SiteSpec {
+    /// The `site:` label, if the statement declared one.
+    pub label: Option<String>,
+    /// Workspace-relative, `/`-separated path of the declaring file.
+    pub file: String,
+    /// 1-based first line of the annotated statement.
+    pub start: usize,
+    /// 1-based last line of the annotated statement.
+    pub end: usize,
+    /// Labels this statement's acquire half may synchronize with.
+    pub pairs: Vec<String>,
+}
+
+impl SiteSpec {
+    /// Stable identity: the label when present, else `file:start`.
+    #[must_use]
+    pub fn id(&self) -> String {
+        self.label.clone().unwrap_or_else(|| format!("{}:{}", self.file, self.start))
+    }
+}
+
+/// The ordering contract a happens-before pass cross-validates against:
+/// the declared sites plus the set of files the static pass covered.
+///
+/// An observed release→acquire edge is judged only when **both**
+/// endpoints fall in covered files (edges into tests or the harness are
+/// not part of the contract) and at least one side uses a weak
+/// (non-`SeqCst`) ordering — an all-`SeqCst` protocol needs no pairing
+/// declarations, its correctness does not rest on release/acquire
+/// matching. A judged edge whose `(release site, acquire pairs)` do not
+/// match is an [`UndeclaredEdge`]: the code synchronizes through a
+/// channel the audit comments never declared, which is exactly the
+/// class of drift the static lint alone cannot see.
+#[derive(Clone, Debug, Default)]
+pub struct Contract {
+    /// Declared sites, in any order.
+    pub sites: Vec<SiteSpec>,
+    /// Workspace-relative paths of the files the static pass covered.
+    pub files: Vec<String>,
+}
+
+impl Contract {
+    /// Whether `file` (a `file!()`-style path) is covered by the
+    /// contract. Matched on path suffix: inside a cargo workspace
+    /// `file!()` already yields workspace-relative paths, but suffix
+    /// matching keeps the check robust to a vendored path prefix.
+    #[must_use]
+    pub fn covers(&self, file: &str) -> bool {
+        self.files.iter().any(|f| file.ends_with(f.as_str()) || f.ends_with(file))
+    }
+
+    /// The declared site whose statement contains `file:line`.
+    #[must_use]
+    pub fn site_of(&self, file: &str, line: usize) -> Option<&SiteSpec> {
+        self.sites.iter().find(|s| {
+            line >= s.start
+                && line <= s.end
+                && (file.ends_with(s.file.as_str()) || s.file.ends_with(file))
+        })
+    }
+
+    /// Every declared `(release label, acquire site id)` pair.
+    #[must_use]
+    pub fn declared_pairs(&self) -> BTreeSet<(String, String)> {
+        let mut set = BTreeSet::new();
+        for s in &self.sites {
+            for p in &s.pairs {
+                set.insert((p.clone(), s.id()));
+            }
+        }
+        set
+    }
+}
+
+/// An observed synchronizes-with edge whose site pair the ordering
+/// contract does not declare.
+#[derive(Clone, Debug)]
+pub struct UndeclaredEdge {
+    /// Trace index of the acquire-side read.
+    pub read_index: usize,
+    /// Trace index of the release-side write whose clock was inherited.
+    pub write_index: usize,
+    /// `(file, line)` of the acquire-side call site.
+    pub read_site: (String, u32),
+    /// `(file, line)` of the release-side call site.
+    pub write_site: (String, u32),
+    /// Which declaration is missing.
+    pub detail: String,
+}
+
+impl fmt::Display for UndeclaredEdge {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "undeclared synchronization at trace[{}]: {}:{} acquires from {}:{} \
+             (trace[{}]) but the ordering contract declares no such pair — {}",
+            self.read_index,
+            self.read_site.0,
+            self.read_site.1,
+            self.write_site.0,
+            self.write_site.1,
+            self.write_index,
+            self.detail
+        )
+    }
+}
 
 /// A vector clock: `clock[t]` counts thread `t`'s events.
 type Clock = Vec<u64>;
@@ -135,13 +253,21 @@ pub struct HbReport {
     pub violations: Vec<Violation>,
     /// Number of read (or RMW) observations that were judged.
     pub reads_checked: usize,
+    /// Observed edges the contract does not declare (empty when the
+    /// pass ran without a contract). Deduplicated per `(read site,
+    /// write site)` pair within a run.
+    pub undeclared: Vec<UndeclaredEdge>,
+    /// Declared `(release label, acquire site id)` pairs this run
+    /// actually exercised — the coverage half of the cross-validation.
+    pub exercised: BTreeSet<(String, String)>,
 }
 
 impl HbReport {
-    /// Whether every judged observation had a declared edge.
+    /// Whether every judged observation had a declared edge and every
+    /// observed synchronization was a declared pair.
     #[must_use]
     pub fn is_clean(&self) -> bool {
-        self.violations.is_empty()
+        self.violations.is_empty() && self.undeclared.is_empty()
     }
 }
 
@@ -159,6 +285,26 @@ struct LocState {
     /// when the current release sequence has no release head (e.g. after
     /// a plain relaxed store with no prior release fence).
     msg: Option<Clock>,
+    /// Call sites of the writes whose clocks make up `msg` — the
+    /// release-side endpoints an acquire of this location synchronizes
+    /// with, for contract classification. Maintained in lockstep with
+    /// `msg`: a release store resets the list to its own site, a
+    /// release RMW appends, a relaxed RMW carries the list unchanged.
+    /// (Fence-published relaxed writes attribute the edge to the write's
+    /// own site; the fence that created it is adjacent in the same
+    /// file, so contract coverage is unaffected.)
+    contributors: Vec<Contributor>,
+}
+
+/// One release-side endpoint currently represented in a location's
+/// message clock.
+#[derive(Clone)]
+struct Contributor {
+    vtid: usize,
+    file: &'static str,
+    line: u32,
+    index: usize,
+    ordering: Ordering,
 }
 
 /// Per-thread state beyond the clock itself.
@@ -179,11 +325,25 @@ struct ThreadState {
 /// every read observation the declared orderings fail to justify.
 #[must_use]
 pub fn check(trace: &[TraceEvent]) -> HbReport {
+    check_with_contract(trace, None)
+}
+
+/// [`check`], additionally cross-validating every observed
+/// release→acquire edge against an extracted ordering contract — see
+/// [`Contract`] for which edges are judged and [`HbReport::undeclared`]
+/// / [`HbReport::exercised`] for the two outputs.
+#[must_use]
+pub fn check_with_contract(trace: &[TraceEvent], contract: Option<&Contract>) -> HbReport {
     let mut threads: Vec<ThreadState> = Vec::new();
     let mut locs: HashMap<usize, LocState> = HashMap::new();
     // Global clock threaded through SeqCst fences only.
     let mut sc_fence_clock: Clock = Vec::new();
     let mut report = HbReport::default();
+    let mut edges = EdgeCheck {
+        contract,
+        site_cache: HashMap::new(),
+        seen: HashSet::new(),
+    };
 
     fn ensure(threads: &mut Vec<ThreadState>, t: usize) {
         if threads.len() <= t {
@@ -237,11 +397,100 @@ pub fn check(trace: &[TraceEvent]) -> HbReport {
             }
             TraceEvent::Op(e) => {
                 ensure(&mut threads, e.vtid);
-                step_op(&mut threads, &mut locs, &mut report, i, e);
+                step_op(&mut threads, &mut locs, &mut report, &mut edges, i, e);
             }
         }
     }
     report
+}
+
+/// Contract-classification state threaded through [`step_op`].
+struct EdgeCheck<'c> {
+    contract: Option<&'c Contract>,
+    /// `(file ptr+len, line) → site index` memo — site lookup is a
+    /// linear scan over the contract, and hot loops hit the same few
+    /// call sites thousands of times per trace.
+    site_cache: HashMap<(usize, usize, u32), Option<usize>>,
+    /// `(read site, write site)` pairs already reported, so a retry
+    /// loop does not flood the report with one drifted annotation.
+    seen: HashSet<(&'static str, u32, &'static str, u32)>,
+}
+
+impl EdgeCheck<'_> {
+    fn site_idx(&mut self, file: &'static str, line: u32) -> Option<usize> {
+        let contract = self.contract?;
+        let key = (file.as_ptr() as usize, file.len(), line);
+        *self.site_cache.entry(key).or_insert_with(|| {
+            contract
+                .sites
+                .iter()
+                .position(|s| s.site_of_match(file, line))
+        })
+    }
+
+    /// Classify one observed release→acquire edge: record coverage when
+    /// the pair is declared, report it when it is not (unless exempt).
+    fn classify(&mut self, report: &mut HbReport, read_index: usize, e: &OpEvent, read_order: Ordering, c: &Contributor) {
+        let Some(contract) = self.contract else { return };
+        if !(contract.covers(e.site_file) && contract.covers(c.file)) {
+            return;
+        }
+        let rel = self.site_idx(c.file, c.line);
+        let acq = self.site_idx(e.site_file, e.site_line);
+        let declared = match (rel, acq) {
+            (Some(r), Some(a)) => {
+                let (r, a) = (&contract.sites[r], &contract.sites[a]);
+                match &r.label {
+                    Some(label) if a.pairs.contains(label) => {
+                        report.exercised.insert((label.clone(), a.id()));
+                        true
+                    }
+                    _ => false,
+                }
+            }
+            _ => false,
+        };
+        if declared {
+            return;
+        }
+        // An all-SeqCst edge needs no pairing declaration: its
+        // correctness rests on the SC total order, not on
+        // release/acquire matching.
+        if c.ordering == Ordering::SeqCst && read_order == Ordering::SeqCst {
+            return;
+        }
+        if !self.seen.insert((e.site_file, e.site_line, c.file, c.line)) {
+            return;
+        }
+        let detail = match (rel, acq) {
+            (None, _) => "no `[site:]` declaration covers the release-side statement".into(),
+            (Some(_), None) => "no `[pairs:]` declaration covers the acquire-side statement".into(),
+            (Some(r), Some(a)) => match &contract.sites[r].label {
+                None => "the release-side statement declares no `site:` label".into(),
+                Some(label) => format!(
+                    "the acquire side declares pairs {:?}, which do not include \
+                     the release site `{label}`",
+                    contract.sites[a].pairs
+                ),
+            },
+        };
+        report.undeclared.push(UndeclaredEdge {
+            read_index,
+            write_index: c.index,
+            read_site: (e.site_file.to_string(), e.site_line),
+            write_site: (c.file.to_string(), c.line),
+            detail,
+        });
+    }
+}
+
+impl SiteSpec {
+    fn site_of_match(&self, file: &str, line: u32) -> bool {
+        let line = line as usize;
+        line >= self.start
+            && line <= self.end
+            && (file.ends_with(self.file.as_str()) || self.file.ends_with(file))
+    }
 }
 
 /// Kinds of access an [`AtomicOp`] performs on its location.
@@ -273,6 +522,7 @@ fn step_op(
     threads: &mut [ThreadState],
     locs: &mut HashMap<usize, LocState>,
     report: &mut HbReport,
+    edges: &mut EdgeCheck<'_>,
     index: usize,
     e: &OpEvent,
 ) {
@@ -291,6 +541,15 @@ fn step_op(
             if let Some(msg) = &loc.msg {
                 let msg = msg.clone();
                 join(&mut threads[e.vtid].clock, &msg);
+                // This acquire synchronizes with every release-side
+                // contributor to the message clock: classify each
+                // cross-thread edge against the contract (same-thread
+                // "edges" are program order, not synchronization).
+                for c in &loc.contributors {
+                    if c.vtid != e.vtid {
+                        edges.classify(report, index, e, read_order, c);
+                    }
+                }
             }
         } else if let Some(msg) = &loc.msg {
             // A relaxed load remembers the message clock: a later
@@ -351,6 +610,33 @@ fn step_op(
                 }
             }
         };
+        // Keep the contributor list in lockstep with the message clock
+        // (see `LocState::contributors`).
+        let contrib = Contributor {
+            vtid: e.vtid,
+            file: e.site_file,
+            line: e.site_line,
+            index,
+            ordering: e.ordering,
+        };
+        match (&loc.msg, released, is_rmw) {
+            (None, ..) => loc.contributors.clear(),
+            // Release store: a fresh sequence headed by this write.
+            (Some(_), true, false) => loc.contributors = vec![contrib],
+            // Release RMW: extends the sequence, adding itself.
+            (Some(_), true, true) => loc.contributors.push(contrib),
+            // Relaxed RMW carrying the sequence: contributors unchanged
+            // (the RMW publishes nothing of its own; a prior release
+            // fence's publication is attributed to this write's site).
+            (Some(_), false, true) => {
+                if threads[e.vtid].fence_rel.is_some() {
+                    loc.contributors.push(contrib);
+                }
+            }
+            // Fence-published relaxed store: the store's site is the
+            // visible publisher.
+            (Some(_), false, false) => loc.contributors = vec![contrib],
+        }
         loc.last_write = Some((e.vtid, stamp, index));
     }
 }
@@ -373,6 +659,30 @@ mod tests {
             loc,
             failure_ordering: None,
             cas_success: None,
+            site_file: "",
+            site_line: 0,
+        })
+    }
+
+    /// [`op`] with an explicit call site, for contract tests.
+    fn op_at(
+        vtid: usize,
+        kind: AtomicOp,
+        ordering: Ordering,
+        loc: usize,
+        site_file: &'static str,
+        site_line: u32,
+    ) -> TraceEvent {
+        TraceEvent::Op(OpEvent {
+            vtid,
+            atomic: "AtomicUsize",
+            op: kind,
+            ordering,
+            loc,
+            failure_ordering: None,
+            cas_success: None,
+            site_file,
+            site_line,
         })
     }
 
@@ -385,6 +695,8 @@ mod tests {
             loc,
             failure_ordering: Some(failure),
             cas_success: Some(success),
+            site_file: "",
+            site_line: 0,
         })
     }
 
@@ -585,5 +897,156 @@ mod tests {
         let report = check(&trace);
         assert_eq!(report.violations.len(), 1, "{:?}", report.violations);
         assert_eq!(report.violations[0].write_vtid, 2);
+    }
+
+    // -- contract cross-validation ------------------------------------
+
+    const F: &str = "crates/sync/src/m.rs";
+
+    fn contract(sites: Vec<SiteSpec>) -> Contract {
+        Contract { sites, files: vec![F.to_string()] }
+    }
+
+    fn site(label: Option<&str>, start: usize, end: usize, pairs: &[&str]) -> SiteSpec {
+        SiteSpec {
+            label: label.map(str::to_string),
+            file: F.to_string(),
+            start,
+            end,
+            pairs: pairs.iter().map(|p| p.to_string()).collect(),
+        }
+    }
+
+    /// A declared release→acquire pair is recorded as exercised and
+    /// nothing is flagged.
+    #[test]
+    fn declared_edges_are_exercised_not_flagged() {
+        let c = contract(vec![
+            site(Some("m.pub"), 10, 10, &[]),
+            site(None, 20, 20, &["m.pub"]),
+        ]);
+        let trace = vec![
+            spawn(0, 1),
+            spawn(0, 2),
+            op_at(1, AtomicOp::Store, Ordering::Release, 0, F, 10),
+            op_at(2, AtomicOp::Load, Ordering::Acquire, 0, F, 20),
+        ];
+        let r = check_with_contract(&trace, Some(&c));
+        assert!(r.is_clean(), "{:?}", r.undeclared);
+        assert_eq!(r.exercised.len(), 1);
+        let (rel, acq) = r.exercised.iter().next().unwrap();
+        assert_eq!(rel, "m.pub");
+        assert_eq!(acq, &format!("{F}:20"));
+    }
+
+    /// An edge whose acquire side does not name the release site is an
+    /// undeclared-synchronization failure, and `is_clean` reflects it.
+    #[test]
+    fn unpaired_acquire_is_flagged() {
+        let c = contract(vec![
+            site(Some("m.pub"), 10, 10, &[]),
+            site(Some("m.other"), 30, 30, &[]),
+            site(None, 20, 20, &["m.other"]),
+        ]);
+        let trace = vec![
+            spawn(0, 1),
+            spawn(0, 2),
+            op_at(1, AtomicOp::Store, Ordering::Release, 0, F, 10),
+            op_at(2, AtomicOp::Load, Ordering::Acquire, 0, F, 20),
+        ];
+        let r = check_with_contract(&trace, Some(&c));
+        assert!(!r.is_clean());
+        assert_eq!(r.undeclared.len(), 1, "{:?}", r.undeclared);
+        assert_eq!(r.undeclared[0].write_site, (F.to_string(), 10));
+        assert!(r.undeclared[0].detail.contains("m.pub"), "{}", r.undeclared[0].detail);
+        assert!(r.exercised.is_empty());
+    }
+
+    /// An acquire site with no annotation at all (not in the site
+    /// table) is flagged too — the mutant-catch mechanism: mutant-gated
+    /// statements are absent from the default contract.
+    #[test]
+    fn unannotated_acquire_site_is_flagged() {
+        let c = contract(vec![site(Some("m.pub"), 10, 10, &[])]);
+        let trace = vec![
+            spawn(0, 1),
+            spawn(0, 2),
+            op_at(1, AtomicOp::Store, Ordering::Release, 0, F, 10),
+            op_at(2, AtomicOp::Load, Ordering::Acquire, 0, F, 20),
+        ];
+        let r = check_with_contract(&trace, Some(&c));
+        assert_eq!(r.undeclared.len(), 1, "{:?}", r.undeclared);
+        assert!(r.undeclared[0].detail.contains("[pairs:]"), "{}", r.undeclared[0].detail);
+    }
+
+    /// Edges with an endpoint outside the contract's files (tests, the
+    /// harness) and all-SeqCst edges are not judged.
+    #[test]
+    fn foreign_and_all_seqcst_edges_are_exempt() {
+        let c = contract(vec![]);
+        let trace = vec![
+            spawn(0, 1),
+            spawn(0, 2),
+            // Release side in an uncovered file (a test body).
+            op_at(1, AtomicOp::Store, Ordering::Release, 0, "tests/t.rs", 5),
+            op_at(2, AtomicOp::Load, Ordering::Acquire, 0, F, 20),
+            // All-SeqCst handshake inside the covered file.
+            op_at(1, AtomicOp::Store, Ordering::SeqCst, 1, F, 40),
+            op_at(2, AtomicOp::Load, Ordering::SeqCst, 1, F, 41),
+        ];
+        let r = check_with_contract(&trace, Some(&c));
+        assert!(r.undeclared.is_empty(), "{:?}", r.undeclared);
+    }
+
+    /// A release RMW extending a declared sequence is classified per
+    /// contributor: the acquire must pair with *every* release site
+    /// whose clock it inherits.
+    #[test]
+    fn each_contributor_is_classified() {
+        let c = contract(vec![
+            site(Some("m.head"), 10, 10, &[]),
+            site(Some("m.ext"), 11, 11, &[]),
+            site(None, 20, 20, &["m.head"]), // misses m.ext
+        ]);
+        let trace = vec![
+            spawn(0, 1),
+            spawn(0, 2),
+            spawn(0, 3),
+            op_at(1, AtomicOp::Store, Ordering::Release, 0, F, 10),
+            op_at(2, AtomicOp::FetchAdd, Ordering::Release, 0, F, 11),
+            op_at(3, AtomicOp::Load, Ordering::Acquire, 0, F, 20),
+        ];
+        let r = check_with_contract(&trace, Some(&c));
+        assert_eq!(r.exercised.len(), 1, "{:?}", r.exercised);
+        assert_eq!(r.undeclared.len(), 1, "{:?}", r.undeclared);
+        assert_eq!(r.undeclared[0].write_site.1, 11);
+    }
+
+    /// Repeated occurrences of the same undeclared pair (a retry loop)
+    /// are reported once.
+    #[test]
+    fn undeclared_edges_are_deduplicated() {
+        let c = contract(vec![]);
+        let mut trace = vec![spawn(0, 1), spawn(0, 2)];
+        for _ in 0..5 {
+            trace.push(op_at(1, AtomicOp::Store, Ordering::Release, 0, F, 10));
+            trace.push(op_at(2, AtomicOp::Load, Ordering::Acquire, 0, F, 20));
+        }
+        let r = check_with_contract(&trace, Some(&c));
+        assert_eq!(r.undeclared.len(), 1, "{:?}", r.undeclared);
+    }
+
+    /// Without a contract, `check` behaves exactly as before.
+    #[test]
+    fn no_contract_means_no_edge_judgement() {
+        let trace = vec![
+            spawn(0, 1),
+            spawn(0, 2),
+            op_at(1, AtomicOp::Store, Ordering::Release, 0, F, 10),
+            op_at(2, AtomicOp::Load, Ordering::Acquire, 0, F, 20),
+        ];
+        let r = check(&trace);
+        assert!(r.is_clean());
+        assert!(r.exercised.is_empty());
     }
 }

@@ -82,9 +82,15 @@ pub mod runtime;
 pub mod strategy;
 
 #[cfg(feature = "sched")]
-pub use hb::{check as hb_check, HbReport, Violation};
+pub use hb::{
+    check as hb_check, check_with_contract as hb_check_with_contract, Contract, HbReport,
+    SiteSpec, UndeclaredEdge, Violation,
+};
 #[cfg(feature = "sched")]
-pub use lincheck::{campaign, replay, run_and_check, CampaignReport, CheckedRun, Explore, FailingSchedule};
+pub use lincheck::{
+    campaign, campaign_with, replay, run_and_check, run_and_check_with, CampaignReport,
+    CheckedRun, Explore, FailingSchedule,
+};
 #[cfg(feature = "sched")]
 pub use recorder::HistoryRecorder;
 #[cfg(feature = "sched")]

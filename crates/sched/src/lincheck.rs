@@ -13,12 +13,13 @@
 //! linearizability under the SC scheduler does not transfer to
 //! weakly-ordered hardware unless the declared edges carry the proof.
 
+use std::collections::BTreeSet;
 use std::fmt;
 use std::ops::Range;
 
 use waitfree_model::{linearize, History, LinearizeReport, ObjectSpec, PendingPolicy};
 
-use crate::hb::{self, HbReport};
+use crate::hb::{self, Contract, HbReport};
 use crate::recorder::HistoryRecorder;
 use crate::runtime::{run, RunOptions, RunResult};
 use crate::strategy::{Pct, RandomWalk, Strategy};
@@ -55,12 +56,32 @@ where
     St: Strategy + 'static,
     F: FnOnce(HistoryRecorder<S>),
 {
+    run_and_check_with(initial, strategy, opts, None, body)
+}
+
+/// [`run_and_check`], with the happens-before pass additionally
+/// cross-validating observed synchronization edges against an extracted
+/// ordering contract ([`crate::hb::check_with_contract`]): an observed
+/// release→acquire edge whose site pair the contract does not declare
+/// fails the run.
+pub fn run_and_check_with<S, St, F>(
+    initial: &S,
+    strategy: St,
+    opts: RunOptions,
+    contract: Option<&Contract>,
+    body: F,
+) -> CheckedRun<S>
+where
+    S: ObjectSpec,
+    St: Strategy + 'static,
+    F: FnOnce(HistoryRecorder<S>),
+{
     let recorder = HistoryRecorder::<S>::new();
     let handed_out = recorder.clone();
     let run = run(strategy, opts, move || body(handed_out));
     let history = recorder.snapshot();
     let report = linearize(&history, initial, PendingPolicy::MayTakeEffect);
-    let hb = hb::check(&run.trace);
+    let hb = hb::check_with_contract(&run.trace, contract);
     CheckedRun { run, history, report, hb }
 }
 
@@ -121,6 +142,9 @@ pub struct CampaignReport {
     /// aborted, or whose trace failed the happens-before pass, with its
     /// replayable schedule.
     pub failures: Vec<FailingSchedule>,
+    /// Union over all runs of the declared `(release label, acquire
+    /// site id)` pairs exercised — empty when no contract was supplied.
+    pub exercised: BTreeSet<(String, String)>,
 }
 
 impl CampaignReport {
@@ -128,6 +152,12 @@ impl CampaignReport {
     /// happens-before report.
     pub fn all_linearizable(&self) -> bool {
         self.failures.is_empty()
+    }
+
+    /// Declared pairs no run of this campaign exercised — the advisory
+    /// coverage gap of the static↔dynamic cross-validation.
+    pub fn unexercised(&self, contract: &Contract) -> BTreeSet<(String, String)> {
+        contract.declared_pairs().difference(&self.exercised).cloned().collect()
     }
 }
 
@@ -140,6 +170,25 @@ pub fn campaign<S, F>(
     explore: &Explore,
     seeds: Range<u64>,
     opts: &RunOptions,
+    body: F,
+) -> CampaignReport
+where
+    S: ObjectSpec,
+    F: FnMut(HistoryRecorder<S>),
+{
+    campaign_with(initial, explore, seeds, opts, None, body)
+}
+
+/// [`campaign`] with ordering-contract cross-validation: every run's
+/// happens-before pass checks observed synchronization edges against
+/// `contract` (undeclared edges fail the run), and the report
+/// accumulates which declared pairs the sweep exercised.
+pub fn campaign_with<S, F>(
+    initial: &S,
+    explore: &Explore,
+    seeds: Range<u64>,
+    opts: &RunOptions,
+    contract: Option<&Contract>,
     mut body: F,
 ) -> CampaignReport
 where
@@ -147,22 +196,30 @@ where
     F: FnMut(HistoryRecorder<S>),
 {
     let mut failures = Vec::new();
+    let mut exercised = BTreeSet::new();
     let mut runs = 0;
     for seed in seeds {
         let strategy = explore.strategy(seed);
         let strategy_desc = strategy.describe();
-        let checked = run_and_check(initial, strategy, opts.clone(), &mut body);
+        let checked = run_and_check_with(initial, strategy, opts.clone(), contract, &mut body);
         runs += 1;
+        exercised.extend(checked.hb.exercised.iter().cloned());
         let detail = if let Some(e) = &checked.run.error {
             Some(format!("scheduler aborted: {e}"))
         } else if !checked.report.outcome.is_ok() {
             Some(format!("history not linearizable: {:?}", checked.history))
-        } else if !checked.hb.is_clean() {
+        } else if !checked.hb.violations.is_empty() {
             Some(format!(
                 "declared orderings too weak ({} of {} reads unjustified): {}",
                 checked.hb.violations.len(),
                 checked.hb.reads_checked,
                 checked.hb.violations[0]
+            ))
+        } else if !checked.hb.undeclared.is_empty() {
+            Some(format!(
+                "undeclared synchronization ({} edge(s) outside the ordering contract): {}",
+                checked.hb.undeclared.len(),
+                checked.hb.undeclared[0]
             ))
         } else {
             None
@@ -178,7 +235,7 @@ where
             failures.push(failure);
         }
     }
-    CampaignReport { runs, failures }
+    CampaignReport { runs, failures, exercised }
 }
 
 /// Replay a single seed of a campaign: same strategy family, same seed,

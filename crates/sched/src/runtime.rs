@@ -70,6 +70,12 @@ pub struct OpEvent {
     pub failure_ordering: Option<Ordering>,
     /// Whether a compare-exchange succeeded (`None` for other ops).
     pub cas_success: Option<bool>,
+    /// Source file of the call site (`file!()`-style workspace-relative
+    /// path, captured via `#[track_caller]` through the facade shims).
+    /// Empty when synthesized by tests.
+    pub site_file: &'static str,
+    /// 1-based source line of the call site (`0` when synthesized).
+    pub site_line: u32,
 }
 
 /// Kinds of traced atomic operations.
@@ -370,6 +376,7 @@ fn schedule(rt: &RtInner, vtid: usize, kind: PointKind, ev: Option<TraceEvent>) 
 /// shims). `addr` is the address of the atomic variable (interned to a
 /// dense id), `failure` the failure ordering of a compare-exchange. A
 /// no-op outside a scheduled run.
+#[track_caller]
 pub(crate) fn trace_point(
     atomic: &'static str,
     op: AtomicOp,
@@ -378,6 +385,11 @@ pub(crate) fn trace_point(
     addr: usize,
 ) {
     if let Some((rt, vtid)) = current() {
+        // With `#[track_caller]` on every facade shim between here and
+        // user code, this is the workload's own call site — the key the
+        // ordering-contract checker resolves against `wf-lint`'s
+        // extracted site table.
+        let caller = core::panic::Location::caller();
         let ev = OpEvent {
             vtid,
             atomic,
@@ -386,6 +398,8 @@ pub(crate) fn trace_point(
             loc: addr,
             failure_ordering: failure,
             cas_success: None,
+            site_file: caller.file(),
+            site_line: caller.line(),
         };
         schedule(&rt, vtid, PointKind::Atomic, Some(TraceEvent::Op(ev)));
     }

@@ -339,6 +339,9 @@ where
     pub fn get(&mut self, key: &K) -> Option<V> {
         failpoint!("store::route");
         let s = route(self.seed, self.nshards(), key);
+        // progress: wait-free — a retry only follows helping the blocking
+        // multi-op to completion, so iterations are bounded by the multi-ops
+        // admitted before this read's frontier (DESIGN §14).
         loop {
             match self.shards[s].read(|st| st.peek(key)) {
                 Ok((val, version)) => {
@@ -370,6 +373,8 @@ where
             by_shard.entry(route(self.seed, n, k)).or_default().push(i);
         }
         for (s, idxs) in by_shard {
+            // progress: wait-free — as in `get`: each retry first completes the
+            // blocking multi-op, bounding iterations by the admitted multi-ops.
             loop {
                 let r = self.shards[s].read(|st| st.peek_many(idxs.iter().map(|&i| &keys[i])));
                 match r {
@@ -400,6 +405,8 @@ where
         failpoint!("store::route");
         let s = route(self.seed, self.nshards(), key);
         let op = ShardOp::Get { key: key.clone() };
+        // progress: wait-free — each retry first completes the blocking
+        // multi-op (helping), bounding iterations by the admitted multi-ops.
         loop {
             match self.invoke_ref(s, &op) {
                 ShardResp::Value { val, .. } => return val,
@@ -428,6 +435,8 @@ where
         // Built once — a helped-multi retry re-stamps the ctx in place
         // instead of re-cloning key and value.
         let mut op = ShardOp::Put { key, val, ctx: self.ctx() };
+        // progress: wait-free — each retry first completes the blocking
+        // multi-op (helping), bounding iterations by the admitted multi-ops.
         loop {
             match self.invoke_ref(s, &op) {
                 ShardResp::Prev { prev, .. } => return prev,
@@ -455,6 +464,8 @@ where
         failpoint!("store::route");
         let s = route(self.seed, self.nshards(), &key);
         let mut op = ShardOp::Cas { key, expect, new, ctx: self.ctx() };
+        // progress: wait-free — each retry first completes the blocking
+        // multi-op (helping), bounding iterations by the admitted multi-ops.
         loop {
             match self.invoke_ref(s, &op) {
                 ShardResp::CasResult { ok, prev, .. } => return (ok, prev),
@@ -474,6 +485,8 @@ where
         failpoint!("store::route");
         let s = route(self.seed, self.nshards(), &key);
         let mut op = ShardOp::Update { key, merge, ctx: self.ctx() };
+        // progress: wait-free — each retry first completes the blocking
+        // multi-op (helping), bounding iterations by the admitted multi-ops.
         loop {
             match self.invoke_ref(s, &op) {
                 ShardResp::Prev { prev, .. } => return prev,
@@ -565,6 +578,9 @@ where
             // One descriptor clone per shard, not per attempt; retries
             // re-stamp the ctx only.
             let mut op = ShardOp::Prepare { desc: desc.clone(), ctx: self.ctx() };
+            // progress: wait-free — a `Blocked` answer is followed by helping
+            // the holder to completion, so each shard's prepare retries are
+            // bounded by the multi-ops admitted ahead of this one.
             loop {
                 failpoint!("store::multi");
                 match self.invoke_ref(s, &op) {

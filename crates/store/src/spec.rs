@@ -385,6 +385,8 @@ where
     /// per epoch even when a crashed snapshot wedges `snap_floor`.
     fn pre_capture(&mut self, stamp: u64) {
         let mut e = self.snap_floor.max(self.stamp_hi) + 1;
+        // progress: bounded — `e` strictly increases each iteration and
+        // stops at `stamp`; at most one capture is published per epoch.
         while e <= stamp {
             if !self.snap_done.contains(e) {
                 let part = self.part_now(e);

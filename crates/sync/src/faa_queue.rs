@@ -80,6 +80,9 @@ impl FaaQueue {
     /// wait-free — a crashed producer leaves consumers spinning, which is
     /// exactly the §3.4 caveat.
     pub fn deq_blocking(&self) -> i64 {
+        // progress: bounded — by the next successful `enq`: this is the
+        // deliberately *blocking* consumer of the §3.4 caveat (a crashed
+        // producer starves it); `try_deq` is the non-blocking form.
         loop {
             if let Some(x) = self.try_deq() {
                 return x;

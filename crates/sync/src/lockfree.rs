@@ -51,19 +51,22 @@ impl<T> Node<T> {
 
 /// Push `node` onto the free-list rooted at `retired`, via `free_next`.
 fn retire<T>(retired: &AtomicPtr<Node<T>>, node: *mut Node<T>) {
+    // progress: lock-free — a failed CAS means another retirer
+    // advanced the free-list head (classic Treiber retry).
     loop {
-        // ordering: Acquire — pairs with the Release CAS below, so the
-        // free-list nodes behind `old` are fully linked before we chain
-        // onto them.
+        // ordering: Acquire [pairs: lockfree.retire] — pairs with the
+        // Release CAS below, so the free-list nodes behind `old` are
+        // fully linked before we chain onto them.
         let old = retired.load(Ordering::Acquire);
         // Safety: `node` was just removed by this thread (the unique CAS
         // winner) and is not yet on the free-list, so `free_next` is ours.
-        // ordering: Relaxed — `free_next` is unpublished until the
-        // Release CAS below, which carries the edge.
+        // ordering: Relaxed [no-edge] — `free_next` is unpublished
+        // until the Release CAS below, which carries the edge.
         unsafe { (*node).free_next.store(old, Ordering::Relaxed) };
-        // ordering: Release on success — publishes the node's
-        // `free_next` link with the list head; Relaxed on failure — the
-        // observed value is discarded, the retry re-loads with Acquire.
+        // ordering: Release on success [site: lockfree.retire] —
+        // publishes the node's `free_next` link with the list head;
+        // Relaxed on failure — the observed value is discarded, the
+        // retry re-loads with Acquire.
         if retired
             .compare_exchange(old, node, Ordering::Release, Ordering::Relaxed)
             .is_ok()
@@ -75,31 +78,39 @@ fn retire<T>(retired: &AtomicPtr<Node<T>>, node: *mut Node<T>) {
 
 /// Free every node on the `free_next`-linked list rooted at `head`.
 fn drain_free_list<T>(head: &AtomicPtr<Node<T>>) {
-    // ordering: Acquire — pairs with the Release retire CAS; by drop
-    // time the caller's `&mut` access already orders all retirers
-    // before us, the acquire just keeps the pairing uniform.
+    // ordering: Acquire [pairs: lockfree.retire] — pairs with the
+    // Release retire CAS; by drop time the caller's `&mut` access
+    // already orders all retirers before us, the acquire just keeps
+    // the pairing uniform.
     let mut cur = head.swap(ptr::null_mut(), Ordering::Acquire);
+    // progress: bounded — walks the retired list once; drop's `&mut`
+    // excludes concurrent pushes.
     while !cur.is_null() {
         // Safety: drop has exclusive access; each retired node is on the
         // free-list exactly once.
         let node = unsafe { Box::from_raw(cur) };
-        // ordering: Relaxed — exclusive access at drop; every link was
-        // published by a Release CAS that happens-before the caller's
-        // `&mut`.
+        // ordering: Relaxed [no-edge] — exclusive access at drop;
+        // every link was published by a Release CAS that happens-before
+        // the caller's `&mut`.
         cur = node.free_next.load(Ordering::Relaxed);
     }
 }
 
 /// Free every node on the `next`-linked live chain rooted at `head`.
 fn drain_live_chain<T>(head: &AtomicPtr<Node<T>>) {
-    // ordering: Acquire — as in `drain_free_list`: uniform pairing with
-    // the Release publishes, though drop's `&mut` already orders them.
+    // ordering: Acquire [pairs: lockfree.stack_push,
+    // lockfree.stack_pop, lockfree.deq] — as in `drain_free_list`:
+    // uniform pairing with the Release publishes of whichever head this
+    // chain is rooted at (stack push/pop, queue dequeue), though drop's
+    // `&mut` already orders them.
     let mut cur = head.swap(ptr::null_mut(), Ordering::Acquire);
+    // progress: bounded — walks the live chain once under drop's
+    // exclusive access.
     while !cur.is_null() {
         // Safety: drop has exclusive access; live nodes are reachable
         // only through the chain.
         let node = unsafe { Box::from_raw(cur) };
-        // ordering: Relaxed — exclusive access at drop (see
+        // ordering: Relaxed [no-edge] — exclusive access at drop (see
         // `drain_free_list`).
         cur = node.next.load(Ordering::Relaxed);
     }
@@ -153,19 +164,24 @@ impl<T> TreiberStack<T> {
     /// Push a value (lock-free).
     pub fn push(&self, value: T) {
         let node = Node::alloc(value);
+        // progress: lock-free — a failed CAS means another push or pop
+        // moved the head (classic Treiber retry).
         loop {
-            // ordering: Acquire — pairs with the Release publish CAS, so
-            // the node behind `head` (and everything below it) is fully
-            // linked before we point at it.
+            // ordering: Acquire [pairs: lockfree.stack_push,
+            // lockfree.stack_pop] — pairs with the Release publish CAS
+            // (push or pop, whichever wrote `head` last), so the node
+            // behind `head` (and everything below it) is fully linked
+            // before we point at it.
             let head = self.head.load(Ordering::Acquire);
             // Safety: `node` is ours until the CAS below publishes it.
-            // ordering: Relaxed — `next` is unpublished until the
-            // Release CAS below, which carries the edge.
+            // ordering: Relaxed [no-edge] — `next` is unpublished until
+            // the Release CAS below, which carries the edge.
             unsafe { (*node).next.store(head, Ordering::Relaxed) };
             failpoint!("lockfree::stack::push_cas");
-            // ordering: Release on success — publishes the new node's
-            // value and `next` link; Relaxed on failure — the observed
-            // value is discarded, the retry re-loads with Acquire.
+            // ordering: Release on success [site: lockfree.stack_push] —
+            // publishes the new node's value and `next` link; Relaxed on
+            // failure — the observed value is discarded, the retry
+            // re-loads with Acquire.
             if self
                 .head
                 .compare_exchange(head, node, Ordering::Release, Ordering::Relaxed)
@@ -181,10 +197,13 @@ impl<T> TreiberStack<T> {
     where
         T: Clone,
     {
+        // progress: lock-free — a failed CAS means another thread's push
+        // or pop succeeded; the system as a whole advanced.
         loop {
-            // ordering: Acquire — pairs with the pusher's Release CAS,
-            // so the node's value and `next` are visible before we read
-            // them below.
+            // ordering: Acquire [pairs: lockfree.stack_push,
+            // lockfree.stack_pop] — pairs with the head writer's Release
+            // CAS, so the node's value and `next` are visible before we
+            // read them below.
             let head = self.head.load(Ordering::Acquire);
             if head.is_null() {
                 return None;
@@ -192,14 +211,19 @@ impl<T> TreiberStack<T> {
             // Safety: nodes are never freed while the stack is alive, so
             // a loaded head pointer always dereferences to a live node
             // (possibly already removed — then the CAS below fails).
-            // ordering: Acquire — the successor was Release-published by
-            // its own pusher; acquiring here keeps its contents visible
-            // if the CAS succeeds and `next` becomes the head.
+            // ordering: Acquire [no-edge] — defensive: `next` is only
+            // ever written by push's Relaxed store, whose visibility
+            // rides the head CAS edge acquired above, so no
+            // synchronizes-with edge lands on this load (the dynamic
+            // pass enforces the claim). The acquire keeps the successor's
+            // contents visible if the CAS succeeds and `next` becomes
+            // the head.
             let next = unsafe { (*head).next.load(Ordering::Acquire) };
             failpoint!("lockfree::stack::pop_cas");
-            // ordering: Release on success — hands later poppers the
-            // edge to everything this thread saw; Relaxed on failure —
-            // the observed value is discarded, the retry re-loads.
+            // ordering: Release on success [site: lockfree.stack_pop] —
+            // hands later poppers the edge to everything this thread
+            // saw; Relaxed on failure — the observed value is discarded,
+            // the retry re-loads.
             if self
                 .head
                 .compare_exchange(head, next, Ordering::Release, Ordering::Relaxed)
@@ -216,8 +240,9 @@ impl<T> TreiberStack<T> {
     /// Whether the stack is currently empty (a racy snapshot).
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        // ordering: Acquire — a racy snapshot; acquire keeps a non-null
-        // answer consistent with the node it implies exists.
+        // ordering: Acquire [pairs: lockfree.stack_push,
+        // lockfree.stack_pop] — a racy snapshot; acquire keeps a
+        // non-null answer consistent with the node it implies exists.
         self.head.load(Ordering::Acquire).is_null()
     }
 }
@@ -279,21 +304,26 @@ impl<T> MsQueue<T> {
     /// Enqueue a value (lock-free).
     pub fn enq(&self, value: T) {
         let node = Node::alloc(Some(value));
+        // progress: lock-free — every retry follows another thread's
+        // successful link CAS or tail swing (the Michael–Scott argument).
         loop {
-            // ordering: Acquire — pairs with the Release tail swings, so
-            // the node behind `tail` is fully linked before we touch its
-            // `next`.
+            // ordering: Acquire [pairs: lockfree.tail_swing_enq,
+            // lockfree.tail_post_link, lockfree.tail_swing_deq] — pairs
+            // with the Release tail swings, so the node behind `tail` is
+            // fully linked before we touch its `next`.
             let tail = self.tail.load(Ordering::Acquire);
             // Safety: tail always points at a node that has not been
             // reclaimed (only ex-heads are retired, and the tail never
             // trails the head past the dummy); its `next` is the
             // algorithmic successor even for a lagging tail.
-            // ordering: Acquire — pairs with the Release link CAS, so a
-            // non-null successor is a fully initialized node.
+            // ordering: Acquire [pairs: lockfree.enq] — pairs with the
+            // Release link CAS, so a non-null successor is a fully
+            // initialized node.
             let next = unsafe { (*tail).next.load(Ordering::Acquire) };
             if !next.is_null() {
                 // Tail lagging: help swing it.
-                // ordering: Release on success — republishes the node
+                // ordering: Release on success
+                // [site: lockfree.tail_swing_enq] — republishes the node
                 // behind the new tail for the next enqueuer's Acquire;
                 // Relaxed on failure — someone else swung it, retry.
                 let _ = self.tail.compare_exchange(
@@ -306,10 +336,10 @@ impl<T> MsQueue<T> {
             }
             failpoint!("lockfree::queue::enq_cas");
             // Safety: as above; linking is the linearization point.
-            // ordering: Release on success — publishes the new node's
-            // value with the link (the linearization point); Relaxed on
-            // failure — the observed value is discarded, the retry
-            // re-loads with Acquire.
+            // ordering: Release on success [site: lockfree.enq] —
+            // publishes the new node's value with the link (the
+            // linearization point); Relaxed on failure — the observed
+            // value is discarded, the retry re-loads with Acquire.
             if unsafe {
                 (*tail).next.compare_exchange(
                     ptr::null_mut(),
@@ -320,9 +350,10 @@ impl<T> MsQueue<T> {
             }
             .is_ok()
             {
-                // ordering: Release on success — as in the lagging-tail
-                // swing above; Relaxed on failure — a helper already
-                // swung the tail past us.
+                // ordering: Release on success
+                // [site: lockfree.tail_post_link] — as in the
+                // lagging-tail swing above; Relaxed on failure — a
+                // helper already swung the tail past us.
                 let _ = self.tail.compare_exchange(
                     tail,
                     node,
@@ -339,25 +370,31 @@ impl<T> MsQueue<T> {
     where
         T: Clone,
     {
+        // progress: lock-free — every retry follows another dequeuer's
+        // successful head swing or a tail-lag help.
         loop {
-            // ordering: Acquire — pairs with the Release head CAS of the
-            // previous dequeuer, so the dummy behind `head` is visible.
+            // ordering: Acquire [pairs: lockfree.deq] — pairs with the
+            // Release head CAS of the previous dequeuer, so the dummy
+            // behind `head` is visible.
             let head = self.head.load(Ordering::Acquire);
             // Safety: nodes live until drop; stale heads dereference
             // safely and fail the CAS below.
-            // ordering: Acquire — pairs with the enqueuer's Release link
-            // CAS, so the successor's value is visible before we clone
-            // it below.
+            // ordering: Acquire [pairs: lockfree.enq] — pairs with the
+            // enqueuer's Release link CAS, so the successor's value is
+            // visible before we clone it below.
             let next = unsafe { (*head).next.load(Ordering::Acquire) };
             if next.is_null() {
                 return None;
             }
-            // ordering: Acquire — uniform with the enqueuer's tail read.
+            // ordering: Acquire [pairs: lockfree.tail_swing_enq,
+            // lockfree.tail_post_link, lockfree.tail_swing_deq] —
+            // uniform with the enqueuer's tail read.
             let tail = self.tail.load(Ordering::Acquire);
             if head == tail {
                 // Tail lagging behind a non-empty queue: help.
-                // ordering: Release on success / Relaxed on failure — as
-                // in `enq`'s lagging-tail swing.
+                // ordering: Release on success
+                // [site: lockfree.tail_swing_deq] / Relaxed on failure —
+                // as in `enq`'s lagging-tail swing.
                 let _ = self.tail.compare_exchange(
                     tail,
                     next,
@@ -367,9 +404,10 @@ impl<T> MsQueue<T> {
                 continue;
             }
             failpoint!("lockfree::queue::deq_cas");
-            // ordering: Release on success — hands later dequeuers the
-            // edge to everything this thread saw; Relaxed on failure —
-            // the observed value is discarded, the retry re-loads.
+            // ordering: Release on success [site: lockfree.deq] — hands
+            // later dequeuers the edge to everything this thread saw;
+            // Relaxed on failure — the observed value is discarded, the
+            // retry re-loads.
             if self
                 .head
                 .compare_exchange(head, next, Ordering::Release, Ordering::Relaxed)

@@ -473,6 +473,8 @@ impl<Op> Drop for RegSegment<Op> {
         // Free the rest of the chain iteratively; each segment's slots
         // (and their announce cells) drop with their Boxes.
         let mut next = std::mem::replace(self.next.get_mut(), ptr::null_mut());
+        // progress: bounded — one iteration per registry segment;
+        // exclusive access at drop.
         while !next.is_null() {
             // SAFETY: `next` came from `Box::into_raw` in `reg_slot_grow`
             // and is detached before the Box drops, so each segment is
@@ -617,16 +619,20 @@ impl<S: ObjectSpec> fmt::Debug for Shared<S> {
             .field("cap", &self.cap)
             .field("combine", &self.combine)
             .field("checkpoint_every", &self.checkpoint_every)
-            // ordering: Acquire — diagnostics read cross-thread state;
-            // Acquire keeps the printed values consistent with the
-            // structures they describe (uniform rule for observers).
+            // ordering: Acquire [pairs: universal.slots_hi] —
+            // diagnostics read cross-thread state; Acquire keeps the
+            // printed values consistent with the structures they
+            // describe (uniform rule for observers).
             .field("slots_hi", &self.slots_hi.load(Ordering::Acquire))
             .field("active", &self.active.load(Ordering::SeqCst))
-            // ordering: Acquire — same observer rule as `slots_hi`.
+            // ordering: Acquire [pairs: universal.seg_count] — same
+            // observer rule as `slots_hi`.
             .field("segments", &self.segments.load(Ordering::Acquire))
             .field("reclaimed", &self.reclaimed.load(Ordering::SeqCst))
             .field("checkpoints", &self.checkpoints.load(Ordering::SeqCst))
             .field("cp_pos", &self.cp_pos.load(Ordering::SeqCst))
+            // ordering: Acquire [pairs: universal.hint_pub] — same
+            // observer rule as `slots_hi`.
             .field("hint", &self.hint.load(Ordering::Acquire))
             .finish_non_exhaustive()
     }
@@ -638,6 +644,8 @@ impl<S: ObjectSpec> Drop for Shared<S> {
         // once per segment), then whatever reclamation had detached but
         // not yet freed.
         let mut seg = *self.oldest.get_mut();
+        // progress: bounded — one iteration per live log segment;
+        // exclusive access at drop.
         while !seg.is_null() {
             // SAFETY: `Drop` has exclusive access; every live segment
             // came from `Box::into_raw` and is freed exactly once here
@@ -657,8 +665,8 @@ impl<S: ObjectSpec> Drop for Shared<S> {
 impl<S: ObjectSpec> Shared<S> {
     /// One past the highest slot index ever claimed.
     fn registered(&self) -> usize {
-        // ordering: Acquire — pairs with the AcqRel fetch_max in
-        // `register`'s claim, so a reader of `hi` can reach every slot
+        // ordering: Acquire [pairs: universal.slots_hi] — pairs with
+        // the AcqRel fetch_max in `register`'s claim, so a reader of `hi` can reach every slot
         // below `hi` through the registry chain (the claimant walked it
         // with Acquire before bumping).
         self.slots_hi.load(Ordering::Acquire)
@@ -673,14 +681,17 @@ impl<S: ObjectSpec> Shared<S> {
         // Release and read with Acquire; segments are never freed while
         // `self` is alive.
         let mut seg: *const RegSegment<S::Op> = &*self.reg_head;
+        // progress: bounded — one hop per installed registry segment; the
+        // caller guarantees slot `t`'s segment is already installed.
         loop {
             let s = unsafe { &*seg };
             if t < s.base + REGISTRY_SEGMENT {
                 return &s.slots[t - s.base];
             }
-            // ordering: Acquire — pairs with the Release install in
-            // `reg_slot_grow`, so the segment's slots are initialized
-            // before the link is observable.
+            // ordering: Acquire [pairs: universal.reg_install] — pairs
+            // with the Release install in `reg_slot_grow`, so the
+            // segment's slots are initialized before the link is
+            // observable.
             let next = s.next.load(Ordering::Acquire);
             assert!(!next.is_null(), "slot {t} beyond the installed registry");
             seg = next;
@@ -693,24 +704,29 @@ impl<S: ObjectSpec> Shared<S> {
     fn reg_slot_grow(&self, t: usize) -> &HandleSlot<S::Op> {
         // SAFETY: see `reg_slot`.
         let mut seg: *const RegSegment<S::Op> = &*self.reg_head;
+        // progress: wait-free — every iteration advances one segment (a
+        // lost install CAS means the winner's link is there to follow),
+        // and slot `t` is a bounded number of segments from the head.
         loop {
             let s = unsafe { &*seg };
             if t < s.base + REGISTRY_SEGMENT {
                 return &s.slots[t - s.base];
             }
-            // ordering: Acquire — pairs with the Release install below.
+            // ordering: Acquire [pairs: universal.reg_install] — pairs
+            // with the Release install below.
             let next = s.next.load(Ordering::Acquire);
             if !next.is_null() {
                 seg = next;
                 continue;
             }
             let fresh = Box::into_raw(RegSegment::new(s.base + REGISTRY_SEGMENT));
+            // ordering: Release on success [site: universal.reg_install;
+            // pairs: universal.reg_install] — publishes the fully
+            // built segment (slots, announce cells) with the link;
+            // Acquire on failure to safely follow the winner.
             match s.next.compare_exchange(
                 ptr::null_mut(),
                 fresh,
-                // ordering: Release on success — publishes the fully
-                // built segment (slots, announce cells) with the link;
-                // Acquire on failure to safely follow the winner.
                 Ordering::Release,
                 Ordering::Acquire,
             ) {
@@ -732,11 +748,14 @@ impl<S: ObjectSpec> Shared<S> {
         // SAFETY: see `reg_slot`.
         let mut seg: *const RegSegment<S::Op> = &*self.reg_head;
         let mut t = 0usize;
+        // progress: bounded — advances `t` one slot per iteration up to
+        // `hi`, hopping segments the registry has already installed.
         while t < hi {
             let s = unsafe { &*seg };
             if t >= s.base + REGISTRY_SEGMENT {
-                // ordering: Acquire — pairs with the Release segment
-                // install in `reg_slot_grow`.
+                // ordering: Acquire [pairs: universal.reg_install] —
+                // pairs with the Release segment install in
+                // `reg_slot_grow`.
                 let next = s.next.load(Ordering::Acquire);
                 if next.is_null() {
                     return; // `hi` outran this thread's view of the chain
@@ -826,11 +845,14 @@ impl<S: ObjectSpec> Shared<S> {
         // SAFETY: see `reg_slot`.
         let mut seg: *const RegSegment<S::Op> = &*self.reg_head;
         let mut t = from;
+        // progress: bounded — advances `t` one slot per iteration over
+        // the `from..to` window.
         while t < to {
             let s = unsafe { &*seg };
             if t >= s.base + REGISTRY_SEGMENT {
-                // ordering: Acquire — pairs with the Release segment
-                // install in `reg_slot_grow`.
+                // ordering: Acquire [pairs: universal.reg_install] —
+                // pairs with the Release segment install in
+                // `reg_slot_grow`.
                 let next = s.next.load(Ordering::Acquire);
                 if next.is_null() {
                     return; // `to` outran this thread's view; nothing there to help
@@ -900,6 +922,9 @@ impl<S: ObjectSpec> Shared<S> {
     /// follows our revalidating load in the SeqCst total order, so the
     /// detacher's sweep sees our hazard.
     fn pin_oldest(&self, slot: &HandleSlot<S::Op>) -> *const Segment<S> {
+        // progress: lock-free — a retry means a reclaimer advanced
+        // `oldest` between our load and revalidation; detaches are
+        // bounded by decided checkpoints.
         loop {
             let o = self.oldest.load(Ordering::SeqCst);
             slot.seg_hazard.store(o as usize, Ordering::SeqCst);
@@ -944,6 +969,8 @@ impl<S: ObjectSpec> Shared<S> {
         // here, released by the guard even on unwind) or with exclusive
         // access in `Drop`, so this is the only live reference.
         let limbo = unsafe { &mut *self.limbo.get() };
+        // progress: bounded — each iteration detaches the chain root;
+        // stops at the reclaim bound or the last installed segment.
         loop {
             let b = self.reclaim_bound();
             let x = self.oldest.load(Ordering::SeqCst);
@@ -967,6 +994,8 @@ impl<S: ObjectSpec> Shared<S> {
             limbo.push(x);
         }
         let mut i = 0;
+        // progress: bounded — one hazard-and-free check per limbo entry;
+        // `i` advances past every entry kept.
         while i < limbo.len() {
             let x = limbo[i];
             if self.seg_pinned(x) {
@@ -1007,35 +1036,42 @@ impl<S: ObjectSpec> Shared<S> {
         // above), and everything reached through `next` links covers
         // higher positions — also above the caller's frontier, so also
         // outside the reclaim bound while the caller holds its cache.
+        // progress: wait-free — every iteration advances one segment (a
+        // lost install CAS means the winner's link is there to follow),
+        // and the target position is a bounded number of segments ahead.
         loop {
             let s = unsafe { &*seg };
             debug_assert!(s.base <= k);
             if k < s.base + SEGMENT_SIZE {
                 return seg;
             }
-            // ordering: Acquire — pairs with the Release install below,
-            // so the new segment's header and nulled slots are
-            // initialized before we can observe the link.
+            // ordering: Acquire [pairs: universal.seg_install] — pairs
+            // with the Release install below, so the new segment's
+            // header and nulled slots are initialized before we can
+            // observe the link.
             let next = s.next.load(Ordering::Acquire);
             if !next.is_null() {
                 seg = next;
                 continue;
             }
             let fresh = Box::into_raw(Segment::new(s.base + SEGMENT_SIZE));
+            // ordering: Release on success [site: universal.seg_install;
+            // pairs: universal.seg_install] — publishes the fully
+            // built segment together with the link; Acquire on
+            // failure to safely follow the winner's segment.
             match s.next.compare_exchange(
                 ptr::null_mut(),
                 fresh,
-                // ordering: Release on success — publishes the fully
-                // built segment together with the link; Acquire on
-                // failure to safely follow the winner's segment.
                 Ordering::Release,
                 Ordering::Acquire,
             ) {
                 Ok(_) => {
-                    // ordering: AcqRel — the diagnostic counter chains
-                    // installer clocks, so an Acquire reader of the count
-                    // also inherits every earlier install (keeps the
-                    // counter meaningful off-thread; off the hot path).
+                    // ordering: AcqRel [site: universal.seg_count;
+                    // pairs: universal.seg_count] — the diagnostic
+                    // counter chains installer clocks, so an Acquire
+                    // reader of the count also inherits every earlier
+                    // install (keeps the counter meaningful off-thread;
+                    // off the hot path).
                     self.segments.fetch_add(1, Ordering::AcqRel);
                     seg = fresh;
                 }
@@ -1071,11 +1107,17 @@ impl<S: ObjectSpec> Shared<S> {
         candidate: Box<LogEntry<S>>,
     ) -> (*const LogEntry<S>, bool, Option<Box<LogEntry<S>>>) {
         let proposed = Box::into_raw(candidate);
-        // ordering: SeqCst success — the linearization point, kept at
-        // the strongest ordering exactly as the cell path's winner CAS
-        // was; Acquire failure — pairs with the winner's (SeqCst ⊇
-        // Release) store so the winning LogEntry's members are visible
-        // before we read them.
+        // ordering: SeqCst success [site: universal.decide;
+        // pairs: universal.decide, universal.cp_install] — the
+        // linearization point, one of
+        // the two SeqCst sites this crate keeps deliberately (the
+        // other is the announce/done handshake): every decide must
+        // take effect in one total order all threads agree on, which
+        // release/acquire alone does not give. Kept at the strongest
+        // ordering exactly as the cell path's winner CAS was; Acquire
+        // failure — pairs with the winner's (SeqCst ⊇ Release) store
+        // so the winning LogEntry's members are visible before we
+        // read them.
         match slot.compare_exchange(
             ptr::null_mut(),
             proposed,
@@ -1344,6 +1386,9 @@ impl<S: ObjectSpec> WfUniversal<S> {
         failpoint!("universal::register");
         let shared = &self.shared;
         let mut t = 0usize;
+        // progress: wait-free — a claim CAS can fail only to another
+        // registrant's success, and `t` then advances, so iterations are
+        // bounded by slots claimed ahead of us plus the chain length.
         let slot: &HandleSlot<S::Op> = loop {
             let slot = shared.reg_slot_grow(t);
             let claimable = match slot.state.load(Ordering::SeqCst) {
@@ -1382,9 +1427,10 @@ impl<S: ObjectSpec> WfUniversal<S> {
             // progress elsewhere, the wait-free accounting.
             t += 1;
         };
-        // ordering: AcqRel — publishes the claim's slot index so any
-        // reader of `slots_hi` can reach slot `t` through the registry
-        // chain this thread just walked with Acquire.
+        // ordering: AcqRel [site: universal.slots_hi;
+        // pairs: universal.slots_hi] — publishes the claim's slot
+        // index so any reader of `slots_hi` can reach slot `t` through
+        // the registry chain this thread just walked with Acquire.
         shared.slots_hi.fetch_max(t + 1, Ordering::AcqRel);
         let now = shared.active.fetch_add(1, Ordering::SeqCst) + 1;
         shared.peak_active.fetch_max(now, Ordering::SeqCst);
@@ -1420,9 +1466,14 @@ impl<S: ObjectSpec> WfUniversal<S> {
             // reclaimer's cp_pos read, which precedes its frontier
             // scan — so every reclaimer that could detach the root
             // sees our 0 frontier first and keeps it.
+            // progress: lock-free — a restart means a reclaimer detached a
+            // segment under this walk; detaches are bounded by decided
+            // checkpoints.
             anchor = 'adopt: loop {
                 let root = shared.pin_oldest(slot);
                 let mut seg = root;
+                // progress: bounded — one hop per installed segment between
+                // `root` and the first decided checkpoint (truncation keeps one).
                 loop {
                     // SAFETY: `root` is hazard-pinned; every later
                     // segment reached below is hop-validated against
@@ -1558,9 +1609,9 @@ impl<S: ObjectSpec> WfUniversal<S> {
     /// including ones since reclaimed. Starts at 1.
     #[must_use]
     pub fn installed_segments(&self) -> usize {
-        // ordering: Acquire — pairs with the AcqRel fetch_add in
-        // `seg_for`, so a count of `n` implies the `n`th install is
-        // visible to this reader.
+        // ordering: Acquire [pairs: universal.seg_count] — pairs with
+        // the AcqRel fetch_add in `seg_for`, so a count of `n` implies
+        // the `n`th install is visible to this reader.
         self.shared.segments.load(Ordering::Acquire)
     }
 
@@ -1799,9 +1850,10 @@ impl<S: ObjectSpec> WfHandle<S> {
     /// count.
     #[must_use]
     pub fn segments(&self) -> usize {
-        // ordering: Acquire — pairs with the AcqRel fetch_add in
-        // `seg_for`, so a count of `n` implies the `n`th install (and
-        // everything before it) is visible to this reader.
+        // ordering: Acquire [pairs: universal.seg_count] — pairs with
+        // the AcqRel fetch_add in `seg_for`, so a count of `n` implies
+        // the `n`th install (and everything before it) is visible to
+        // this reader.
         self.shared.segments.load(Ordering::Acquire)
     }
 
@@ -1912,7 +1964,8 @@ impl<S: ObjectSpec> WfHandle<S> {
         let slot = unsafe { &*self.slot };
         let mut own_solo: Option<Box<LogEntry<S>>> = None;
         let mut steps = 0usize;
-        // ordering: Acquire — pairs with the Release `fetch_max` in `publish_hint`.
+        // ordering: Acquire [pairs: universal.hint_pub] — pairs with
+        // the Release `fetch_max` in `publish_hint`.
         // Starting at `k` skips the prefix [0, k) without ever touching
         // those slots, so the decided-prefix invariant that the replay
         // loop asserts (and `refresh` relies on) is inherited here: the
@@ -1924,7 +1977,23 @@ impl<S: ObjectSpec> WfHandle<S> {
         // positions ≥ cursor are ≥ this handle's published frontier,
         // which the reclaim bound never passes, so `thread_seg` can
         // never be (or walk into) a reclaimed segment.
+        #[cfg(not(feature = "mutant-unpaired-acquire"))]
         let mut k = self.shared.hint.load(Ordering::Acquire).max(self.cursor);
+        // ordering: Acquire [pairs: universal.hint_stale] — DELIBERATELY
+        // WRONG. The `mutant-unpaired-acquire` feature mis-labels this
+        // acquire's pair with a label no release site declares, so the
+        // contract gates can prove they catch a dangling pair two ways:
+        // statically (`extract_contract` with mutants reports an
+        // unresolved pair) and dynamically (the happens-before pass
+        // flags the observed `hint_pub` edge as undeclared). The
+        // executed code is identical to the shipped statement above —
+        // only the declared contract lies. Never enable outside those
+        // tests.
+        #[cfg(feature = "mutant-unpaired-acquire")]
+        let mut k = self.shared.hint.load(Ordering::Acquire).max(self.cursor);
+        // progress: wait-free — the §4 helping bound: every iteration
+        // threads or helps thread position `k`, and our announced op is
+        // decided within `n` positions of the entry hint.
         while slot.done.load(Ordering::SeqCst) <= own.seq {
             if let Some(cap) = self.shared.cap {
                 if k >= cap {
@@ -1976,6 +2045,15 @@ impl<S: ObjectSpec> WfHandle<S> {
             // slot's segment is at position ≥ cursor ≥ our published
             // frontier, hence alive.
             for m in unsafe { &*winner }.members() {
+                // ordering: SeqCst — half of the announce/done
+                // handshake, the second of the two protocol points this
+                // crate deliberately keeps at SeqCst (with the decide
+                // CAS): a collector's `announced` scan and an
+                // announcer's `done` check look at opposite sides of
+                // the same race, and only the single total order rules
+                // out the both-miss interleaving that would strand an
+                // announced op unhelped — the §4 helping bound rests on
+                // it.
                 self.shared.reg_slot(m.tid).done.fetch_max(m.seq + 1, Ordering::SeqCst);
             }
             failpoint!("universal::decided");
@@ -2107,6 +2185,11 @@ impl<S: ObjectSpec> WfHandle<S> {
                 self.sweep_entry_limbo();
             }
         }
+        // ordering: SeqCst — the other half of the announce/done
+        // handshake (see `done.fetch_max` in the threading loop): the
+        // announce must be ordered into the same total order the
+        // collectors scan, or a collector could miss this op while its
+        // announcer concurrently concludes it still needs help.
         slot.announced.store(seq + 1, Ordering::SeqCst);
         failpoint!("universal::announced");
 
@@ -2120,11 +2203,16 @@ impl<S: ObjectSpec> WfHandle<S> {
         //    local catch-up), keeping `cursor` a whole-position index.
         //    Checkpoint entries contribute no members: our replica
         //    already equals their image when we reach them.
+        // progress: bounded — applies one decided position per
+        // iteration; stops at this operation's own entry, which the
+        // threading loop above guaranteed is decided.
         loop {
             self.replay_seg = self.shared.seg_for(self.replay_seg, self.cursor);
-            // ordering: Acquire — pairs with the winning decide CAS
-            // (SeqCst ⊇ Release), so the LogEntry behind a non-null slot
-            // is fully initialized before we dereference it.
+            // ordering: Acquire [pairs: universal.decide,
+            // universal.cp_install] — pairs with the winning decide
+            // CAS and with the checkpoint-image install (both
+            // SeqCst ⊇ Release), so the LogEntry behind a non-null
+            // slot is fully initialized before we dereference it.
             let raw = self.shared.slot(self.replay_seg, self.cursor).load(Ordering::Acquire);
             assert!(
                 !raw.is_null(),
@@ -2204,6 +2292,13 @@ impl<S: ObjectSpec> WfHandle<S> {
         self.replay_seg = self.shared.seg_for(self.replay_seg, k);
         let log_slot = self.shared.slot(self.replay_seg, k);
         let raw = Box::into_raw(image);
+        // ordering: SeqCst [site: universal.cp_install] — installing a
+        // checkpoint image races ordinary decides for the same slot and
+        // must land in the same total order, so it uses the decide
+        // CAS's strength; replayers' Acquire slot loads pair with it to
+        // see the boxed image's contents. (The dynamic cross-check
+        // found this site: it was the one slot publication the audit
+        // comments never declared.)
         match log_slot.compare_exchange(ptr::null_mut(), raw, Ordering::SeqCst, Ordering::SeqCst) {
             Ok(_) => {
                 // Our own checkpoint applies nothing: skip it.
@@ -2242,7 +2337,8 @@ impl<S: ObjectSpec> WfHandle<S> {
 
     /// Advance the shared frontier hint to at least `k`.
     fn publish_hint(&self, k: usize) {
-        // ordering: Release — a reader that acquire-loads this value
+        // ordering: Release [site: universal.hint_pub] — a reader
+        // that acquire-loads this value
         // starts threading at it and skips the decided prefix below
         // without observing those decides itself; the release store
         // hands over this thread's happens-before edge to every decide
@@ -2254,7 +2350,7 @@ impl<S: ObjectSpec> WfHandle<S> {
         // so the cost is negligible.
         #[cfg(not(feature = "mutant-relaxed-hint"))]
         self.shared.hint.fetch_max(k, Ordering::Release);
-        // ordering: Relaxed — DELIBERATELY WRONG. The `mutant-relaxed-hint`
+        // ordering: Relaxed [no-edge] — DELIBERATELY WRONG. The `mutant-relaxed-hint`
         // feature reintroduces the PR-2 bug (hint published without a
         // release edge) so the happens-before checker's regression test
         // can prove it flags this class mechanically. Never enable
@@ -2295,6 +2391,9 @@ impl<S: ObjectSpec> WfHandle<S> {
                 // `applied` watermarks keep the dedup exact across the
                 // jump.
                 let mut seg = root;
+                // progress: bounded — one hop per installed segment; truncation
+                // retains a decided checkpoint, so the jump lands within the
+                // chain.
                 'adopt: loop {
                     // SAFETY: quiescence, as above.
                     let s = unsafe { &*seg };
@@ -2324,9 +2423,13 @@ impl<S: ObjectSpec> WfHandle<S> {
                 }
             }
         }
+        // progress: bounded — applies one decided position per
+        // iteration; stops at the first undecided slot.
         loop {
             self.replay_seg = self.shared.seg_for(self.replay_seg, self.cursor);
-            // ordering: Acquire — same slot-publication edge as the replay loop.
+            // ordering: Acquire [pairs: universal.decide,
+            // universal.cp_install] — same slot-publication edges as
+            // the replay loop.
             let raw = self.shared.slot(self.replay_seg, self.cursor).load(Ordering::Acquire);
             if raw.is_null() {
                 break;
@@ -2424,17 +2527,22 @@ impl<S: ObjectSpec> WfHandle<S> {
         if self.retired {
             return Err(UniversalError::Retired { tid: self.tid });
         }
-        // ordering: Acquire — the linearization point. Pairs with the
-        // Release `fetch_max` in `publish_hint`: the load inherits the
+        // ordering: Acquire [pairs: universal.hint_pub] — the
+        // linearization point. Pairs with the Release `fetch_max` in
+        // `publish_hint`: the load inherits the
         // publisher's happens-before edge to every decide below the
         // value, so the slots replayed below never read null. Clamped
         // to `cursor`: the hint is global and monotone, but this
         // handle may already have replayed past a stale value.
         let frontier = self.shared.hint.load(Ordering::Acquire).max(self.cursor);
         failpoint!("universal::read");
+        // progress: bounded — `cursor` advances one position per
+        // iteration up to the frontier read on entry.
         while self.cursor < frontier {
             self.replay_seg = self.shared.seg_for(self.replay_seg, self.cursor);
-            // ordering: Acquire — same slot-publication edge as the replay loop.
+            // ordering: Acquire [pairs: universal.decide,
+            // universal.cp_install] — same slot-publication edges as
+            // the replay loop.
             let raw = self.shared.slot(self.replay_seg, self.cursor).load(Ordering::Acquire);
             assert!(
                 !raw.is_null(),
@@ -2506,6 +2614,9 @@ impl<S: ObjectSpec> WfHandle<S> {
         let slot = unsafe { &*self.slot };
         let pin = !self.retired;
         let mut out = Vec::new();
+        // progress: lock-free — a restart means a reclaimer detached a
+        // segment under this walk; detaches are bounded by decided
+        // checkpoints.
         'walk: loop {
             out.clear();
             let mut seg = if pin {
@@ -2513,6 +2624,8 @@ impl<S: ObjectSpec> WfHandle<S> {
             } else {
                 self.shared.oldest.load(Ordering::SeqCst).cast_const()
             };
+            // progress: bounded — one hop per installed segment from the
+            // pinned (or quiescent) root to the observed frontier.
             loop {
                 // SAFETY: pinned by the slot's segment hazard (hops are
                 // validated against `reclaimed_upto` before the target
@@ -2520,8 +2633,9 @@ impl<S: ObjectSpec> WfHandle<S> {
                 // contract on a retired handle.
                 let s = unsafe { &*seg };
                 for ls in s.slots.iter() {
-                    // ordering: Acquire — same slot-publication edge as
-                    // the replay loop.
+                    // ordering: Acquire [pairs: universal.decide,
+                    // universal.cp_install] — same slot-publication
+                    // edges as the replay loop.
                     let raw = ls.load(Ordering::Acquire);
                     if raw.is_null() {
                         if pin {
@@ -2533,9 +2647,9 @@ impl<S: ObjectSpec> WfHandle<S> {
                     // alive as above.
                     push(&mut out, unsafe { &*raw });
                 }
-                // ordering: Acquire — pairs with the Release segment
-                // install in `seg_for` before we walk into the next
-                // segment.
+                // ordering: Acquire [pairs: universal.seg_install] —
+                // pairs with the Release segment install in `seg_for`
+                // before we walk into the next segment.
                 let next = s.next.load(Ordering::Acquire);
                 if next.is_null() {
                     if pin {

@@ -220,6 +220,9 @@ impl<S: ObjectSpec> CellHandle<S> {
         //    position.
         let mut steps = 0usize;
         let mut k = self.shared.hint.load(Ordering::SeqCst);
+        // progress: wait-free — the §4 helping bound: position `k`
+        // advances every iteration and our announced op is decided within
+        // `n` positions of the entry hint.
         while self.shared.done[self.tid].load(Ordering::SeqCst) <= seq {
             if k >= self.shared.positions.len() {
                 return Err(UniversalError::LogFull {
@@ -241,6 +244,8 @@ impl<S: ObjectSpec> CellHandle<S> {
         self.max_threading_steps = self.max_threading_steps.max(steps);
 
         // 3. Replay until our own entry is applied.
+        // progress: bounded — applies one decided position per iteration
+        // until our own entry is reached.
         loop {
             let Some(e) = self.shared.positions[self.cursor].value() else {
                 unreachable!("own entry is threaded at or before the first undecided position")
@@ -262,6 +267,8 @@ impl<S: ObjectSpec> CellHandle<S> {
     /// Replay any outstanding log entries and return a copy of the
     /// current abstract state (a linearizable read of the whole object).
     pub fn refresh(&mut self) -> S {
+        // progress: bounded — one decided position per iteration; stops
+        // at the first undecided slot.
         while let Some(e) = self.shared.positions[self.cursor].value() {
             let e = e.clone();
             self.cursor += 1;

@@ -192,3 +192,50 @@ impl CounterPath for CellPath {
         self.0.max_threading_steps()
     }
 }
+
+// ---------------------------------------------------------------------
+// Ordering-contract plumbing: load the workspace sources and extract
+// the contract the same way `wf-lint` does, so tests can pin the pair
+// graph statically and cross-validate it dynamically.
+// ---------------------------------------------------------------------
+
+use std::fs;
+use std::path::Path;
+
+/// Every `.rs` file in the workspace as `(workspace-relative path,
+/// source)`, `/`-separated, sorted — the same corpus `wf-lint` scans.
+/// The root test binaries run with the workspace root as
+/// `CARGO_MANIFEST_DIR`, so no upward search is needed.
+pub fn workspace_sources() -> Vec<(String, String)> {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let mut out = Vec::new();
+    collect_rs(root, root, &mut out);
+    out.sort();
+    out
+}
+
+fn collect_rs(root: &Path, dir: &Path, out: &mut Vec<(String, String)>) {
+    let Ok(entries) = fs::read_dir(dir) else { return };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if name == "target" || name.starts_with('.') {
+                continue;
+            }
+            collect_rs(root, &path, out);
+        } else if name.ends_with(".rs") {
+            let rel = path
+                .strip_prefix(root)
+                .expect("walked path is under root")
+                .components()
+                .map(|c| c.as_os_str().to_string_lossy().into_owned())
+                .collect::<Vec<_>>()
+                .join("/");
+            let src = fs::read_to_string(&path)
+                .unwrap_or_else(|e| panic!("read {rel}: {e}"));
+            out.push((rel, src));
+        }
+    }
+}

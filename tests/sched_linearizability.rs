@@ -21,8 +21,10 @@
 
 #![cfg(feature = "sched")]
 
-use std::collections::BTreeMap;
-use std::sync::{Arc, Mutex};
+mod common;
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::{Arc, Mutex, OnceLock};
 
 use waitfree::model::{ObjectSpec, Pid};
 use waitfree::objects::assignment::{AssignBank, AssignOp};
@@ -35,8 +37,8 @@ use waitfree::objects::stack::{Stack, StackOp, StackResp};
 use waitfree::sched::atomic::{AtomicI64, Ordering};
 use waitfree::sched::thread as vthread;
 use waitfree::sched::{
-    campaign, replay, run, run_and_check, AtomicOp, Dfs, Explore, HistoryRecorder, RunOptions,
-    Script,
+    campaign, campaign_with, replay, run, run_and_check, AtomicOp, Contract, Dfs, Explore,
+    HistoryRecorder, RunOptions, Script, SiteSpec,
 };
 use waitfree::store::{Bump, ShardedStore, StoreConfig, StoreModel, StoreOp, StoreResp};
 use waitfree::sync::consensus::UsizeConsensus;
@@ -59,16 +61,63 @@ fn explores() -> [Explore; 2] {
     ]
 }
 
+/// The workspace ordering contract — the same site table and pair
+/// graph `wf-lint --contract-json` emits, extracted once from the
+/// checked-out sources so the dynamic cross-validation below always
+/// judges against the contract that matches the code under test.
+///
+/// Mutant-gated statements are included exactly when the corresponding
+/// feature is compiled in, so under `mutant-unpaired-acquire` the
+/// executing (mis-labeled) `hint` load resolves to *its* declaration,
+/// not the shipped twin's.
+fn ordering_contract() -> &'static Contract {
+    static CONTRACT: OnceLock<Contract> = OnceLock::new();
+    CONTRACT.get_or_init(|| {
+        let files = common::workspace_sources();
+        let include_mutants = cfg!(any(
+            feature = "mutant-unpaired-acquire",
+            feature = "mutant-relaxed-hint"
+        ));
+        let result = waitfree_analyze::contract::extract_contract(&files, include_mutants);
+        if !include_mutants {
+            // The shipped pair graph must be clean; the mutant builds
+            // deliberately dangle (pinned by tests/contract.rs).
+            assert!(result.findings.is_empty(), "{:?}", result.findings);
+        }
+        Contract {
+            sites: result
+                .contract
+                .sites
+                .into_iter()
+                .map(|s| SiteSpec {
+                    label: s.label,
+                    file: s.file,
+                    start: s.start,
+                    end: s.end,
+                    pairs: s.pairs,
+                })
+                .collect(),
+            files: result.contract.files,
+        }
+    })
+}
+
 /// Sweep both strategy families over `body` and require every explored
-/// schedule to produce a linearizable history.
-fn sweep<S, F>(name: &str, initial: &S, mut body: F)
+/// schedule to produce a linearizable history *and* a trace whose
+/// observed synchronization edges all fall inside the declared
+/// ordering contract. Returns the `(release label, acquire site)`
+/// pairs the sweep exercised, for the coverage assertion below.
+fn sweep_exercising<S, F>(name: &str, initial: &S, mut body: F) -> BTreeSet<(String, String)>
 where
     S: ObjectSpec,
     F: FnMut(HistoryRecorder<S>),
 {
+    let contract = ordering_contract();
     let opts = RunOptions::default();
+    let mut exercised = BTreeSet::new();
     for explore in explores() {
-        let report = campaign(initial, &explore, 0..SEEDS, &opts, &mut body);
+        let report =
+            campaign_with(initial, &explore, 0..SEEDS, &opts, Some(contract), &mut body);
         assert_eq!(report.runs, SEEDS as usize);
         assert!(
             report.all_linearizable(),
@@ -76,7 +125,18 @@ where
             report.failures.len(),
             report.failures[0],
         );
+        exercised.extend(report.exercised);
     }
+    exercised
+}
+
+/// [`sweep_exercising`] when the caller only wants the verdicts.
+fn sweep<S, F>(name: &str, initial: &S, body: F)
+where
+    S: ObjectSpec,
+    F: FnMut(HistoryRecorder<S>),
+{
+    let _ = sweep_exercising(name, initial, body);
 }
 
 // ---------------------------------------------------------------------
@@ -429,6 +489,179 @@ fn ms_queue_body(rec: HistoryRecorder<FifoQueue>) {
     consumer.join().unwrap();
 }
 
+/// Log growth past `SEGMENT_SIZE` (64) plus every read-side API: two
+/// workers decide 72 positions between them, so one of them installs
+/// the second log segment and the other's replay walk, `try_read`,
+/// `refresh` and `decided_log` traversals all acquire from that
+/// install; the main thread's `Debug` format and segment accessors
+/// exercise the observer loads. Built for the coverage test below —
+/// the short campaign bodies never fill a segment.
+fn universal_log_growth_body(rec: HistoryRecorder<Counter>) {
+    let obj = WfUniversal::new_dynamic_per_op(Counter::new(0), 96);
+    let workers: Vec<_> = (0..2)
+        .map(|t| {
+            let (obj, rec) = (obj.clone(), rec.clone());
+            vthread::spawn(move || {
+                let mut h = obj.register();
+                let pid = Pid(t);
+                for _ in 0..36 {
+                    let op = CounterOp::FetchAndAdd(1);
+                    rec.record(pid, op.clone(), || h.invoke(op.clone()));
+                }
+                // Unrecorded reads: invisible to the linearizability
+                // checker, but their Acquire loads land in the trace
+                // and must all resolve inside the ordering contract.
+                let _ = h.try_read(|s| s.value());
+                if t == 0 {
+                    let _ = h.refresh();
+                } else {
+                    let _ = h.decided_log();
+                    let _ = h.segments();
+                }
+            })
+        })
+        .collect();
+    for w in workers {
+        w.join().unwrap();
+    }
+    let _ = format!("{obj:?}");
+    let _ = obj.installed_segments();
+}
+
+/// Same-role contention on the lock-free baselines: two pushers and
+/// two poppers (with `is_empty` probes) on one stack, so push reads
+/// push, pop reads pop, and racing retires read each other — the
+/// edges a single-producer/single-consumer body can never exercise
+/// cross-thread.
+fn treiber_contention_body(rec: HistoryRecorder<Stack>) {
+    let s = Arc::new(TreiberStack::new());
+    let workers: Vec<_> = (0..4)
+        .map(|t| {
+            let (s, rec) = (Arc::clone(&s), rec.clone());
+            vthread::spawn(move || {
+                let pid = Pid(t);
+                let _ = s.is_empty();
+                for i in 0..2 {
+                    if t < 2 {
+                        let v = (10 * t + i) as i64;
+                        rec.record(pid, StackOp::Push(v), || {
+                            s.push(v);
+                            StackResp::Ack
+                        });
+                    } else {
+                        rec.record(pid, StackOp::Pop, || match s.pop() {
+                            Some(v) => StackResp::Item(v),
+                            None => StackResp::Empty,
+                        });
+                    }
+                }
+            })
+        })
+        .collect();
+    for w in workers {
+        w.join().unwrap();
+    }
+}
+
+/// Same-role contention on the Michael–Scott queue: two enqueuers and
+/// two dequeuers, so an enqueuer's tail/next loads read the *other*
+/// enqueuer's link and swing CASes, and a dequeuer's loads read the
+/// other dequeuer's help-swing — including every lagging-tail repair
+/// pair.
+fn ms_queue_contention_body(rec: HistoryRecorder<FifoQueue>) {
+    let q = Arc::new(MsQueue::new());
+    let workers: Vec<_> = (0..4)
+        .map(|t| {
+            let (q, rec) = (Arc::clone(&q), rec.clone());
+            vthread::spawn(move || {
+                let pid = Pid(t);
+                for i in 0..2 {
+                    if t < 2 {
+                        let v = (10 * t + i) as i64;
+                        rec.record(pid, QueueOp::Enq(v), || {
+                            q.enq(v);
+                            QueueResp::Ack
+                        });
+                    } else {
+                        rec.record(pid, QueueOp::Deq, || match q.deq() {
+                            Some(v) => QueueResp::Item(v),
+                            None => QueueResp::Empty,
+                        });
+                    }
+                }
+            })
+        })
+        .collect();
+    for w in workers {
+        w.join().unwrap();
+    }
+}
+
+/// Checkpoint images on the read side: an aggressive checkpoint
+/// cadence plus `try_read`, `refresh` and `decided_log` traversals, so
+/// those walks acquire from a checkpoint-install CAS decided by the
+/// *other* thread (the plain checkpointed body never replays through
+/// a foreign checkpoint via the read-only APIs).
+fn checkpointed_reader_body(rec: HistoryRecorder<Counter>) {
+    let obj = WfUniversal::new_dynamic_checkpointed(Counter::new(0), 8, 2);
+    let workers: Vec<_> = (0..2)
+        .map(|t| {
+            let (obj, rec) = (obj.clone(), rec.clone());
+            vthread::spawn(move || {
+                let pid = Pid(t);
+                let mut h = obj.register();
+                for _ in 0..3 {
+                    let op = CounterOp::FetchAndAdd(1);
+                    rec.record(pid, op.clone(), || h.invoke(op.clone()));
+                }
+                let _ = h.try_read(|s| s.value());
+                if t == 0 {
+                    let _ = h.refresh();
+                } else {
+                    let _ = h.decided_log();
+                }
+            })
+        })
+        .collect();
+    for w in workers {
+        w.join().unwrap();
+    }
+}
+
+/// Registry growth past `REGISTRY_SEGMENT` (8): two workers register
+/// five handles each and keep them live, so slot indices reach 9 and
+/// one worker installs the second registry segment while the other's
+/// slot walks (`reg_slot`, `for_each_slot`, `pending_range`) acquire
+/// from the install — and when both cross the boundary concurrently,
+/// the loser's install CAS acquires the winner's. Combining mode, so
+/// the collect path walks every registered slot.
+fn universal_registry_growth_body(rec: HistoryRecorder<Counter>) {
+    let obj = WfUniversal::new_dynamic(Counter::new(0), 16);
+    let workers: Vec<_> = (0..2)
+        .map(|t| {
+            let (obj, rec) = (obj.clone(), rec.clone());
+            vthread::spawn(move || {
+                let pid = Pid(t);
+                let mut handles = Vec::new();
+                for _ in 0..5 {
+                    let mut h = obj.register();
+                    let op = CounterOp::FetchAndAdd(1);
+                    rec.record(pid, op.clone(), || h.invoke(op.clone()));
+                    handles.push(h); // stays live: indices keep growing
+                }
+                // One more op with all ten slots live, so the
+                // combining collect walks the full grown registry.
+                let h = handles.last_mut().unwrap();
+                let op = CounterOp::FetchAndAdd(1);
+                rec.record(pid, op.clone(), || h.invoke(op.clone()));
+            })
+        })
+        .collect();
+    for w in workers {
+        w.join().unwrap();
+    }
+}
+
 #[test]
 fn universal_counter_campaigns_linearize() {
     sweep("WfUniversal<Counter>", &Counter::new(0), universal_counter_body);
@@ -687,6 +920,104 @@ fn treiber_stack_campaigns_linearize() {
 #[test]
 fn ms_queue_campaigns_linearize() {
     sweep("MsQueue", &FifoQueue::new(), ms_queue_body);
+}
+
+/// Coverage closes the static↔dynamic loop: every `(release site,
+/// acquire site)` pair the contract declares in `crates/sync` must be
+/// *observed* as a real synchronization edge by the 1000-seed
+/// campaigns — a declared pair no schedule can exercise is either dead
+/// annotation or a workload gap, and both deserve a failing test. The
+/// growth bodies exist exactly for this: segment and registry installs
+/// never fire in the short bodies. Pairs no bounded campaign can
+/// reach are pinned in the allowlist below with the reason.
+#[test]
+fn declared_sync_pairs_are_exercised_by_campaigns() {
+    let contract = ordering_contract();
+    let mut exercised = BTreeSet::new();
+    exercised.extend(sweep_exercising(
+        "WfUniversal<Counter> (per-op)",
+        &Counter::new(0),
+        per_op_universal_counter_body,
+    ));
+    exercised.extend(sweep_exercising(
+        "WfUniversal<Counter> (churn)",
+        &Counter::new(0),
+        universal_churn_body,
+    ));
+    exercised.extend(sweep_exercising(
+        "WfUniversal<Counter> (checkpointed churn)",
+        &Counter::new(0),
+        checkpointed_universal_counter_body,
+    ));
+    exercised.extend(sweep_exercising(
+        "WfUniversal<Counter> (log growth)",
+        &Counter::new(0),
+        universal_log_growth_body,
+    ));
+    exercised.extend(sweep_exercising(
+        "WfUniversal<Counter> (registry growth)",
+        &Counter::new(0),
+        universal_registry_growth_body,
+    ));
+    exercised.extend(sweep_exercising(
+        "WfUniversal<Counter> (checkpointed readers)",
+        &Counter::new(0),
+        checkpointed_reader_body,
+    ));
+    exercised.extend(sweep_exercising(
+        "TreiberStack",
+        &Stack::new(),
+        treiber_stack_body,
+    ));
+    exercised.extend(sweep_exercising(
+        "TreiberStack (contention)",
+        &Stack::new(),
+        treiber_contention_body,
+    ));
+    exercised.extend(sweep_exercising("MsQueue", &FifoQueue::new(), ms_queue_body));
+    exercised.extend(sweep_exercising(
+        "MsQueue (contention)",
+        &FifoQueue::new(),
+        ms_queue_contention_body,
+    ));
+
+    // Declared pairs no bounded 1000-seed campaign can exercise, with
+    // the reason each is pinned rather than deleted.
+    let allowlist: &[(&str, &str, &str)] = &[(
+        "universal.seg_count",
+        "universal.seg_count",
+        "the installer-chain edge needs two segment installs by different \
+         threads, i.e. > 128 decided log positions; campaign bodies stay an \
+         order of magnitude smaller to keep 2000 schedules per body tractable",
+    )];
+
+    let missing: Vec<String> = contract
+        .declared_pairs()
+        .into_iter()
+        .filter(|(rel, acq)| {
+            let in_sync = |id: &str| id.starts_with("crates/sync/") || !id.contains('/');
+            in_sync(rel) && in_sync(acq)
+        })
+        .filter(|(rel, acq)| {
+            !exercised.contains(&(rel.clone(), acq.clone()))
+                && !allowlist.iter().any(|(r, a, _)| r == rel && a == acq)
+        })
+        .map(|(rel, acq)| format!("{rel} -> {acq}"))
+        .collect();
+    assert!(
+        missing.is_empty(),
+        "{} declared pair(s) never exercised by any campaign:\n{}",
+        missing.len(),
+        missing.join("\n")
+    );
+    // The allowlist must not rot: an entry that *is* exercised now has
+    // lost its reason to exist.
+    for (rel, acq, why) in allowlist {
+        assert!(
+            !exercised.contains(&((*rel).to_string(), (*acq).to_string())),
+            "allowlisted pair ({rel} -> {acq}) is now exercised — drop it ({why})"
+        );
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -1002,6 +1333,59 @@ fn hint_publication_regression_schedule() {
         hb.violations[0]
     );
     assert!(hb.reads_checked > 0, "the schedule judged no loads at all");
+
+    // Contract cross-validation on the same trace: every observed
+    // release→acquire edge in this schedule is declared in the pair
+    // graph, and the hint edge itself shows up as an *exercised*
+    // declared pair — the static contract and the dynamic trace agree
+    // about this interleaving in both directions.
+    let contract = ordering_contract();
+    let hb = waitfree::sched::hb_check_with_contract(&result.trace, Some(contract));
+    assert!(
+        hb.undeclared.is_empty(),
+        "undeclared synchronization edge(s): {}",
+        hb.undeclared[0]
+    );
+    assert!(
+        hb.exercised
+            .iter()
+            .any(|(rel, acq)| rel == "universal.hint_pub" && acq.contains("universal.rs")),
+        "the pinned schedule must exercise the declared hint pair; got {:?}",
+        hb.exercised
+    );
+}
+
+/// The dynamic half of the `mutant-unpaired-acquire` gate: the mutant
+/// compiles the *identical* instruction stream as the shipped code (an
+/// `Acquire` hint load), but its annotation declares the wrong pair
+/// (`universal.hint_stale`, a label no site defines). The static pass
+/// pins the dangling label (tests/contract.rs); here the *observed*
+/// hint edge resolves to the mutant's declaration, whose `pairs:` list
+/// does not contain the releasing site's label — so the cross-check
+/// must flag the edge as undeclared synchronization under the very
+/// schedule that passes clean on the shipped annotations.
+#[test]
+#[cfg(feature = "mutant-unpaired-acquire")]
+fn mutant_unpaired_acquire_is_flagged_by_the_contract_check() {
+    let (result, _pub_resps, jump_resp, _log) = run_hint_schedule();
+    // The executed code is untouched by the mutant: behavior matches
+    // the shipped run, and the plain happens-before pass (no contract)
+    // stays clean. Only the contract cross-check can see the lie.
+    assert_eq!(jump_resp, CounterResp::Value(3), "jumper linearizes last");
+    let plain = waitfree::sched::hb_check(&result.trace);
+    assert!(plain.is_clean(), "mutant must not change executed orderings");
+
+    let contract = ordering_contract();
+    let hb = waitfree::sched::hb_check_with_contract(&result.trace, Some(contract));
+    assert!(
+        hb.undeclared
+            .iter()
+            .any(|e| e.to_string().contains("universal.hint_pub")),
+        "contract check failed to flag the mis-declared hint edge; \
+         undeclared: {:?}, exercised: {:?}",
+        hb.undeclared,
+        hb.exercised
+    );
 }
 
 /// The PR 2 bug, resurrected behind `--features mutant-relaxed-hint`
